@@ -1,0 +1,165 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+//
+//  (a) Residual absorption — retiring DNF terms subsumed by a smaller
+//      residual term ("maximal simplification", Sec. V-A) is what prevents
+//      useless probes. Ablating it shows the probe overhead strategies pay
+//      when subsumed terms stay live.
+//  (b) Algorithm General's dovetailing — Alg. 4 alternates a falsifier
+//      (Alg0) with a verifier (RO), balancing their spent costs. Running
+//      either side alone shows why the combination is robust across consent
+//      probabilities: the falsifier wins at low probabilities, the verifier
+//      at high ones, and the dovetail tracks the better of the two.
+
+#include "skewed_runner.h"
+#include "consentdb/datasets/psi.h"
+
+using namespace consentdb;
+
+namespace {
+
+// Alg0 of Algorithm 4 run alone (always trying to prove False).
+class Alg0OnlyStrategy : public strategy::ProbeStrategy {
+ public:
+  std::string name() const override { return "Alg0-only"; }
+  provenance::VarId ChooseNext(strategy::EvaluationState& state) override {
+    return strategy::GeneralStrategy::Alg0Choose(state);
+  }
+};
+
+double MeasureProbes(const datasets::SkewedParams& params,
+                     const strategy::StrategyFactory& factory,
+                     bool absorption, size_t reps, uint64_t seed) {
+  double total = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Rng rng(seed + rep * 7919);
+    datasets::SkewedDataset ds = datasets::GenerateSkewed(params, rng);
+    provenance::PartialValuation hidden = ds.pool.SampleValuation(rng);
+    strategy::EvaluationState state(ds.dnfs, ds.pool.Probabilities());
+    state.SetAbsorptionEnabled(absorption);
+    std::unique_ptr<strategy::ProbeStrategy> strat = factory();
+    total += static_cast<double>(
+        strategy::RunToCompletion(state, *strat,
+                                  [&hidden](provenance::VarId x) {
+                                    return hidden.Get(x) ==
+                                           provenance::Truth::kTrue;
+                                  })
+            .num_probes);
+  }
+  return total / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench::RepsFromEnv(5);
+  const size_t rows = bench::Scaled(200);
+
+  // --- (a) absorption -------------------------------------------------------
+  std::cout << "=== Ablation (a): residual absorption (skewed rows=" << rows
+            << ", joins=4, limit=8, rep=2.6, pi=0.7, reps=" << reps
+            << ") ===\n\n";
+  {
+    bench::Table table({"strategy", "with", "without", "overhead"});
+    table.PrintHeader();
+    datasets::SkewedParams params;
+    params.num_rows = rows;
+    struct Entry {
+      const char* name;
+      strategy::StrategyFactory factory;
+    };
+    for (const Entry& e : std::vector<Entry>{
+             {"Freq", strategy::MakeFreqFactory()},
+             {"RO", strategy::MakeRoFactory()},
+             {"General", strategy::MakeGeneralFactory()},
+             {"Random", strategy::MakeRandomFactory(11)}}) {
+      double with = MeasureProbes(params, e.factory, true, reps, 4400);
+      double without = MeasureProbes(params, e.factory, false, reps, 4400);
+      double overhead = with > 0 ? 100.0 * (without - with) / with : 0.0;
+      table.PrintRow(e.name,
+                     {bench::FormatMean(with), bench::FormatMean(without),
+                      bench::FormatMean(overhead) + "%"});
+    }
+  }
+
+  // Absorption matters most on structured provenance, where a shrunken term
+  // subsumes whole families of larger ones (e.g. psi's {u,v} after u=True):
+  // without it, strategies keep probing variables of redundant terms.
+  std::cout << "\n=== Ablation (a'): absorption on psi_6 (382 vars, pi=0.5, "
+               "reps="
+            << reps * 4 << ") ===\n\n";
+  {
+    bench::Table table({"strategy", "with", "without", "overhead"});
+    table.PrintHeader();
+    consent::VariablePool pool;
+    datasets::PsiFormula psi = datasets::BuildPsi(6, pool, 0.5);
+    std::vector<provenance::Dnf> dnfs = {datasets::PsiDnf(psi)};
+    std::vector<double> pi = pool.Probabilities();
+    struct Entry {
+      const char* name;
+      strategy::StrategyFactory factory;
+    };
+    for (const Entry& e : std::vector<Entry>{
+             {"Freq", strategy::MakeFreqFactory()},
+             {"RO", strategy::MakeRoFactory()},
+             {"General", strategy::MakeGeneralFactory()}}) {
+      double totals[2] = {0, 0};
+      for (int variant = 0; variant < 2; ++variant) {
+        for (size_t rep = 0; rep < reps * 4; ++rep) {
+          Rng rng(4600 + rep);
+          provenance::PartialValuation hidden = pool.SampleValuation(rng);
+          strategy::EvaluationState state(dnfs, pi);
+          state.SetAbsorptionEnabled(variant == 0);
+          std::unique_ptr<strategy::ProbeStrategy> strat = e.factory();
+          totals[variant] += static_cast<double>(
+              strategy::RunToCompletion(state, *strat,
+                                        [&hidden](provenance::VarId x) {
+                                          return hidden.Get(x) ==
+                                                 provenance::Truth::kTrue;
+                                        })
+                  .num_probes);
+        }
+        totals[variant] /= static_cast<double>(reps * 4);
+      }
+      double overhead =
+          totals[0] > 0 ? 100.0 * (totals[1] - totals[0]) / totals[0] : 0.0;
+      table.PrintRow(e.name,
+                     {bench::FormatMean(totals[0]),
+                      bench::FormatMean(totals[1]),
+                      bench::FormatMean(overhead) + "%"});
+    }
+  }
+
+  // --- (b) dovetailing ------------------------------------------------------
+  std::cout << "\n=== Ablation (b): General's dovetail vs its halves "
+               "(probability sweep, reps="
+            << reps << ") ===\n\n";
+  {
+    bench::Table table({"probability", "Alg0-only", "RO-only", "General"});
+    table.PrintHeader();
+    for (double p : {0.2, 0.4, 0.6, 0.8}) {
+      datasets::SkewedParams params;
+      params.num_rows = rows;
+      params.probability = p;
+      strategy::StrategyFactory alg0 = []() {
+        return std::make_unique<Alg0OnlyStrategy>();
+      };
+      double a = MeasureProbes(params, alg0, true, reps, 4500);
+      double r = MeasureProbes(params, strategy::MakeRoFactory(), true, reps,
+                               4500);
+      double g = MeasureProbes(params, strategy::MakeGeneralFactory(), true,
+                               reps, 4500);
+      table.PrintRow(bench::FormatMean(p),
+                     {bench::FormatMean(a), bench::FormatMean(r),
+                      bench::FormatMean(g)});
+    }
+  }
+  std::cout << "\ninterpretation: (a/a') absorption's role is the invariant "
+               "(no strategy ever\nprobes a variable the residual provenance "
+               "no longer depends on) — informed\nstrategies rarely chose "
+               "such variables anyway, so its effect on probe counts\nis "
+               "small and can even perturb Freq's frequency signal; "
+               "(b) Alg0 alone wins\nat low consent probabilities, RO alone "
+               "at high ones, and the dovetail stays\nnear the better half "
+               "across the sweep (the robustness Alg. 4 is built for).\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Shared support for the experiment-reproduction benches: environment-based
+// scaling, the strategy roster, and table-formatted output matching the
+// paper's figures (one row per x-value, one column per algorithm; the
+// reported quantity is the expected number of probes, estimated over
+// repetitions exactly as in Sec. V-A).
+//
+// Environment knobs:
+//   CONSENTDB_BENCH_REPS     repetitions per data point (default per bench;
+//                            the paper uses >= 10, >= 50 for Random)
+//   CONSENTDB_BENCH_SCALE    multiplies dataset sizes (default 1.0)
+
+#ifndef CONSENTDB_BENCH_BENCH_COMMON_H_
+#define CONSENTDB_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/strategy/strategies.h"
+
+namespace consentdb::bench {
+
+inline size_t RepsFromEnv(size_t fallback) {
+  const char* env = std::getenv("CONSENTDB_BENCH_REPS");
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("CONSENTDB_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * ScaleFromEnv());
+}
+
+struct NamedStrategy {
+  std::string name;
+  strategy::StrategyFactory factory;
+  bool needs_cnfs = false;
+  // Random gets more repetitions (Sec. V-A: ">= 50 times for Random").
+  size_t reps_multiplier = 1;
+};
+
+// The roster of Sec. V-A, in the paper's order.
+inline std::vector<NamedStrategy> PaperStrategies(uint64_t seed) {
+  return {
+      {"Random", strategy::MakeRandomFactory(seed), false, 5},
+      {"Freq", strategy::MakeFreqFactory(), false, 1},
+      {"RO", strategy::MakeRoFactory(), false, 1},
+      {"Q-value", strategy::MakeQValueFactory(), true, 1},
+      {"General", strategy::MakeGeneralFactory(), false, 1},
+  };
+}
+
+// Fixed-width table writer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {
+    std::ostringstream os;
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      os << std::left << std::setw(i == 0 ? 18 : 12) << columns_[i];
+    }
+    header_ = os.str();
+  }
+
+  void PrintHeader() const {
+    std::cout << header_ << "\n"
+              << std::string(header_.size(), '-') << "\n";
+  }
+
+  void PrintRow(const std::string& label,
+                const std::vector<std::string>& cells) const {
+    std::cout << std::left << std::setw(18) << label;
+    for (const std::string& cell : cells) {
+      std::cout << std::left << std::setw(12) << cell;
+    }
+    std::cout << "\n" << std::flush;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::string header_;
+};
+
+inline std::string FormatMean(double mean) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << mean;
+  return os.str();
+}
+
+}  // namespace consentdb::bench
+
+#endif  // CONSENTDB_BENCH_BENCH_COMMON_H_

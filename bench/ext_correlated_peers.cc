@@ -1,0 +1,87 @@
+// Extension experiment (Sec. VII, "Beyond independent probabilities"):
+// what happens when the independence assumption behind the expected-cost
+// optimisation is violated.
+//
+// Hidden valuations are drawn with per-peer coherence: at coherence c a
+// peer answers all probes with one coin flip with probability c (and
+// independently otherwise). The strategies still plan under the
+// independent priors. The table reports expected probes per strategy as
+// coherence grows from 0 (the paper's model) to 1 (every peer is a block).
+
+#include "bench_common.h"
+#include "consentdb/consent/correlated.h"
+#include "consentdb/datasets/skewed.h"
+#include "consentdb/strategy/runner.h"
+
+using namespace consentdb;
+
+int main() {
+  const size_t reps = bench::RepsFromEnv(5);
+  const size_t rows = bench::Scaled(200);
+  std::cout << "=== Extension: correlated peers (skewed rows=" << rows
+            << ", joins=4, limit=8, rep=2.6, pi=0.7,\n    4 peers, reps="
+            << reps << ") ===\n\n";
+
+  std::vector<bench::NamedStrategy> strategies =
+      bench::PaperStrategies(/*seed=*/305);
+  std::vector<std::string> columns = {"coherence"};
+  for (const auto& s : strategies) columns.push_back(s.name);
+  bench::Table table(columns);
+  table.PrintHeader();
+
+  provenance::NormalFormLimits cnf_limits;
+  cnf_limits.max_sets = 50000;
+  const char* kPeers[] = {"alice", "bob", "carol", "dan"};
+
+  for (double coherence : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    std::vector<double> sums(strategies.size(), 0.0);
+    std::vector<size_t> counts(strategies.size(), 0);
+    std::vector<bool> applicable(strategies.size(), true);
+    size_t max_mult = 1;
+    for (const auto& s : strategies) {
+      max_mult = std::max(max_mult, s.reps_multiplier);
+    }
+    for (size_t rep = 0; rep < reps * max_mult; ++rep) {
+      Rng rng(4800 + rep * 7919);
+      datasets::SkewedParams params;
+      params.num_rows = rows;
+      datasets::SkewedDataset ds = datasets::GenerateSkewed(params, rng);
+      // Assign every variable to one of four peers so coherence bites.
+      for (provenance::VarId x = 0; x < ds.pool.size(); ++x) {
+        ds.pool.SetOwner(x, kPeers[x % 4]);
+      }
+      provenance::PartialValuation hidden =
+          consent::SampleCorrelatedValuation(ds.pool, coherence, rng);
+      std::vector<double> pi = ds.pool.Probabilities();
+      for (size_t i = 0; i < strategies.size(); ++i) {
+        const bench::NamedStrategy& s = strategies[i];
+        if (rep >= reps * s.reps_multiplier || !applicable[i]) continue;
+        strategy::EvaluationState state(ds.dnfs, pi);
+        if (s.needs_cnfs && !state.TryAttachResidualCnfs(cnf_limits)) {
+          applicable[i] = false;
+          continue;
+        }
+        std::unique_ptr<strategy::ProbeStrategy> strat = s.factory();
+        strategy::ProbeRun run = strategy::RunToCompletion(
+            state, *strat, [&hidden](provenance::VarId x) {
+              return hidden.Get(x) == provenance::Truth::kTrue;
+            });
+        sums[i] += static_cast<double>(run.num_probes);
+        counts[i] += 1;
+      }
+    }
+    std::vector<std::string> cells;
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      cells.push_back(applicable[i] && counts[i] > 0
+                          ? bench::FormatMean(sums[i] /
+                                              static_cast<double>(counts[i]))
+                          : std::string("n/a"));
+    }
+    table.PrintRow(bench::FormatMean(coherence), cells);
+  }
+  std::cout << "\nexpected shape: all strategies benefit from coherence (one "
+               "answer decides\nmany tuples), and the informed algorithms "
+               "keep their lead even though they\nplan under the (violated) "
+               "independence assumption.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Extension experiment (Sec. VII, "the cost could differ across peers"):
+// non-uniform probe costs. A fraction of the peers is expensive to reach
+// (cost 10) and the rest cheap (cost 1); the cost-aware strategies divide
+// their scores by the cost, the cost-blind ones ignore it. The table
+// reports the expected TOTAL COST per strategy, with and without cost
+// awareness, on the default skewed workload.
+
+#include "skewed_runner.h"
+
+using namespace consentdb;
+
+namespace {
+
+double MeasureTotalCost(const datasets::SkewedParams& params,
+                        const strategy::StrategyFactory& factory,
+                        bool cost_aware, bool needs_cnfs, size_t reps,
+                        uint64_t seed) {
+  double total = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    Rng rng(seed + rep * 7919);
+    datasets::SkewedDataset ds = datasets::GenerateSkewed(params, rng);
+    std::vector<double> pi = ds.pool.Probabilities();
+    // 20% of the variables belong to hard-to-reach peers (cost 10).
+    std::vector<double> costs(pi.size(), 1.0);
+    for (double& c : costs) {
+      if (rng.Bernoulli(0.2)) c = 10.0;
+    }
+    provenance::PartialValuation hidden = ds.pool.SampleValuation(rng);
+    strategy::EvaluationState state(ds.dnfs, pi);
+    if (needs_cnfs) {
+      provenance::NormalFormLimits limits;
+      limits.max_sets = 50000;
+      CONSENTDB_CHECK(state.TryAttachResidualCnfs(limits),
+                      "CNF attachment failed");
+    }
+    if (cost_aware) state.SetCosts(costs);
+    std::unique_ptr<strategy::ProbeStrategy> strat = factory();
+    strategy::ProbeRun run = strategy::RunToCompletion(
+        state, *strat, [&hidden](provenance::VarId x) {
+          return hidden.Get(x) == provenance::Truth::kTrue;
+        });
+    // Charge the true costs either way.
+    for (const auto& [x, answer] : run.trace) total += costs[x];
+  }
+  return total / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  const size_t reps = bench::RepsFromEnv(5);
+  const size_t rows = bench::Scaled(200);
+  std::cout << "=== Extension: non-uniform probe costs (skewed rows=" << rows
+            << ", joins=4, limit=8,\n    rep=2.6, pi=0.7, 20% of peers cost "
+               "10x, reps="
+            << reps << ") ===\n\n";
+
+  bench::Table table({"strategy", "cost-blind", "cost-aware", "saving"});
+  table.PrintHeader();
+
+  datasets::SkewedParams params;
+  params.num_rows = rows;
+
+  struct Entry {
+    const char* name;
+    strategy::StrategyFactory factory;
+    bool needs_cnfs;
+  };
+  std::vector<Entry> entries = {
+      {"Freq", strategy::MakeFreqFactory(), false},
+      {"RO", strategy::MakeRoFactory(), false},
+      {"Q-value", strategy::MakeQValueFactory(), true},
+      {"General", strategy::MakeGeneralFactory(), false},
+  };
+  for (const Entry& e : entries) {
+    double blind = MeasureTotalCost(params, e.factory, /*cost_aware=*/false,
+                                    e.needs_cnfs, reps, 4300);
+    double aware = MeasureTotalCost(params, e.factory, /*cost_aware=*/true,
+                                    e.needs_cnfs, reps, 4300);
+    double saving = blind > 0 ? 100.0 * (blind - aware) / blind : 0.0;
+    table.PrintRow(e.name, {bench::FormatMean(blind),
+                            bench::FormatMean(aware),
+                            bench::FormatMean(saving) + "%"});
+  }
+  std::cout << "\nexpected shape: every cost-aware variant pays no more than "
+               "its cost-blind\ncounterpart; the saving is largest for the "
+               "greedy scorers (Freq/Q-value).\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 3a: skewed dataset, probes vs number of joins (DNF term sizes)
+// from 1 to 5. Defaults per Sec. V-A: 1000 rows, projection limit 8,
+// average repetition 2.6, probability 0.7.
+//
+// Expected shape: all informed strategies beat Random by a wide margin;
+// Freq is competitive at 1-2 variables per term but falls behind as terms
+// grow; General and Q-value do best on complex expressions.
+
+#include "skewed_runner.h"
+
+using namespace consentdb;
+
+int main() {
+  const size_t reps = bench::RepsFromEnv(5);
+  std::cout << "=== Fig. 3a: skewed dataset, probes vs #joins (rows="
+            << bench::Scaled(1000) << ", limit=8, rep=2.6, pi=0.7, reps="
+            << reps << ") ===\n\n";
+
+  std::vector<bench::NamedStrategy> strategies =
+      bench::PaperStrategies(/*seed=*/301);
+  std::vector<std::string> columns = {"joins"};
+  for (const auto& s : strategies) columns.push_back(s.name);
+  bench::Table table(columns);
+  table.PrintHeader();
+
+  provenance::NormalFormLimits cnf_limits;
+  cnf_limits.max_sets = 50000;
+
+  for (size_t joins : {1u, 2u, 3u, 4u, 5u}) {
+    datasets::SkewedParams params;
+    params.num_rows = bench::Scaled(1000);
+    params.num_joins = joins;
+    params.projection_limit = 8;
+    params.avg_repetitions = 2.6;
+    params.probability = 0.7;
+    std::vector<bench::SkewedCell> cells = bench::RunSkewedPoint(
+        params, strategies, reps, /*seed=*/3100 + joins, cnf_limits);
+    std::vector<std::string> rendered;
+    for (const auto& c : cells) rendered.push_back(c.ToString());
+    table.PrintRow(std::to_string(joins), rendered);
+  }
+  std::cout << "\nexpected shape: informed probing beats Random throughout; "
+               "Q-value/General\nlead as terms grow (finer analysis of the "
+               "provenance structure).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Shared measurement loop for the skewed-dataset figures (Figs. 3a-3d).
+//
+// Methodology per Sec. V-A: each repetition regenerates the dataset, draws
+// one hidden valuation from the variable probabilities, and executes every
+// algorithm against that same valuation. Random runs extra repetitions.
+// Q-value (and any strategy flagged needs_cnfs) is included only when the
+// brute-force CNF fits the clause budget — exactly the "no longer
+// applicable" regime of Fig. 3b.
+
+#ifndef CONSENTDB_BENCH_SKEWED_RUNNER_H_
+#define CONSENTDB_BENCH_SKEWED_RUNNER_H_
+
+#include "bench_common.h"
+#include "consentdb/datasets/skewed.h"
+#include "consentdb/strategy/runner.h"
+
+namespace consentdb::bench {
+
+struct SkewedCell {
+  double mean = 0.0;
+  size_t reps = 0;
+  bool applicable = true;
+
+  std::string ToString() const {
+    if (!applicable) return "n/a";
+    return FormatMean(mean);
+  }
+};
+
+inline std::vector<SkewedCell> RunSkewedPoint(
+    const datasets::SkewedParams& params,
+    const std::vector<NamedStrategy>& strategies, size_t base_reps,
+    uint64_t seed, provenance::NormalFormLimits cnf_limits) {
+  std::vector<SkewedCell> cells(strategies.size());
+  size_t max_mult = 1;
+  for (const NamedStrategy& s : strategies) {
+    max_mult = std::max(max_mult, s.reps_multiplier);
+  }
+  for (size_t rep = 0; rep < base_reps * max_mult; ++rep) {
+    Rng rng(seed + rep * 7919);
+    datasets::SkewedDataset ds = datasets::GenerateSkewed(params, rng);
+    std::vector<double> pi = ds.pool.Probabilities();
+    provenance::PartialValuation hidden = ds.pool.SampleValuation(rng);
+    for (size_t i = 0; i < strategies.size(); ++i) {
+      const NamedStrategy& s = strategies[i];
+      if (rep >= base_reps * s.reps_multiplier) continue;
+      if (!cells[i].applicable) continue;
+      strategy::EvaluationState state(ds.dnfs, pi);
+      if (s.needs_cnfs && !state.TryAttachResidualCnfs(cnf_limits)) {
+        cells[i].applicable = false;  // Fig. 3b: Q-value not applicable
+        continue;
+      }
+      std::unique_ptr<strategy::ProbeStrategy> strat = s.factory();
+      strategy::ProbeRun run =
+          strategy::RunToCompletion(state, *strat, hidden);
+      cells[i].mean += static_cast<double>(run.num_probes);
+      cells[i].reps += 1;
+    }
+  }
+  for (SkewedCell& cell : cells) {
+    if (cell.applicable && cell.reps > 0) {
+      cell.mean /= static_cast<double>(cell.reps);
+    }
+  }
+  return cells;
+}
+
+}  // namespace consentdb::bench
+
+#endif  // CONSENTDB_BENCH_SKEWED_RUNNER_H_

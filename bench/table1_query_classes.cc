@@ -1,0 +1,143 @@
+// Table I: per-query-class verification of the theoretical guarantees.
+//
+// For each of the eight SPJU fragments this harness builds a representative
+// query over a generated shared database, evaluates it with provenance
+// tracking, and reports: the provenance shape actually observed (matching
+// the "Provenance Shape" column), the guarantees of Table I, and the
+// algorithm the library auto-selects for OPT-PEER-PROBE and
+// OPT-PEER-PROBE-SINGLE.
+
+#include <iomanip>
+#include <iostream>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/util/rng.h"
+
+using namespace consentdb;
+using query::QueryClass;
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+consent::SharedDatabase BuildDb(Rng& rng) {
+  consent::SharedDatabase sdb;
+  auto check = [](const Status& s) { CONSENTDB_CHECK(s.ok(), s.ToString()); };
+  check(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                        Column{"b", ValueType::kInt64}})));
+  check(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                        Column{"c", ValueType::kInt64}})));
+  check(sdb.CreateRelation("T", Schema({Column{"b", ValueType::kInt64},
+                                        Column{"d", ValueType::kInt64}})));
+  for (int i = 0; i < 12; ++i) {
+    (void)*sdb.InsertTuple("R", Tuple{Value(rng.UniformInt(0, 5)),
+                                      Value(rng.UniformInt(0, 3))});
+    (void)*sdb.InsertTuple("S", Tuple{Value(rng.UniformInt(0, 3)),
+                                      Value(rng.UniformInt(0, 5))});
+    (void)*sdb.InsertTuple("T", Tuple{Value(rng.UniformInt(0, 3)),
+                                      Value(rng.UniformInt(0, 5))});
+  }
+  return sdb;
+}
+
+struct ClassCase {
+  const char* cls;
+  const char* sql;
+};
+
+const ClassCase kCases[] = {
+    {"S", "SELECT * FROM R WHERE a > 1"},
+    {"SP", "SELECT b FROM R WHERE a > 1"},
+    {"SU", "SELECT * FROM S WHERE b > 0 UNION SELECT * FROM T"},
+    {"SPU", "SELECT b FROM R UNION SELECT b FROM S"},
+    {"SJ", "SELECT * FROM R, S WHERE R.b = S.b"},
+    {"SJU",
+     "SELECT * FROM R, S WHERE R.b = S.b UNION SELECT * FROM R r2, T "
+     "WHERE r2.b = T.b"},
+    {"SPJ", "SELECT S.c FROM R, S WHERE R.b = S.b"},
+    {"SPJU",
+     "SELECT S.c FROM R, S WHERE R.b = S.b UNION SELECT T.d FROM T"},
+};
+
+std::string ShapeOf(const eval::ProvenanceProfile& p) {
+  std::string shape;
+  if (p.max_term_size <= 1) {
+    shape = p.max_terms_per_tuple <= 1 ? "single vars" : "disjunctions";
+  } else if (p.max_terms_per_tuple <= 1) {
+    shape = "conjunctions";
+  } else {
+    shape = std::to_string(p.max_term_size) + "-DNFs";
+  }
+  if (p.overall_read_once) {
+    shape += ", overall RO";
+  } else if (p.per_tuple_read_once) {
+    shape += ", per-tuple RO";
+  }
+  return shape;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Table I: query classes, observed provenance shape, "
+               "guarantees, selected algorithm ===\n\n";
+  Rng rng(1);
+  consent::SharedDatabase sdb = BuildDb(rng);
+  core::ConsentManager manager(sdb);
+
+  std::cout << std::left << std::setw(6) << "class" << std::setw(26)
+            << "provenance shape" << std::setw(26) << "full-result problem"
+            << std::setw(24) << "algorithm (full)"
+            << "algorithm (single tuple)\n";
+  std::cout << std::string(110, '-') << "\n";
+
+  for (const ClassCase& c : kCases) {
+    Result<query::PlanPtr> plan = query::ParseQuery(c.sql);
+    CONSENTDB_CHECK(plan.ok(), plan.status().ToString());
+    Result<core::QueryAnalysis> analysis = manager.Analyze(*plan);
+    CONSENTDB_CHECK(analysis.ok(), analysis.status().ToString());
+    CONSENTDB_CHECK(
+        std::string(query::QueryClassToString(
+            analysis->profile.query_class)) == c.cls,
+        std::string("class mismatch for ") + c.sql);
+
+    query::Guarantees g = query::GuaranteesFor(analysis->profile);
+    std::string hardness = g.exact_all_tuples
+                               ? "PTIME exact (RO)"
+                               : "NP-hard, approximate";
+
+    // Run both problem variants against a fully-consenting oracle and
+    // report which algorithm the library picked.
+    provenance::PartialValuation all_yes(sdb.pool().size());
+    for (provenance::VarId x = 0; x < sdb.pool().size(); ++x) {
+      all_yes.Set(x, true);
+    }
+    consent::ValuationOracle oracle_all(all_yes);
+    Result<core::SessionReport> full = manager.DecideAll(*plan, oracle_all);
+    CONSENTDB_CHECK(full.ok(), full.status().ToString());
+    std::string full_algo = full->algorithm_used + " (" +
+                            std::to_string(full->num_probes) + " probes)";
+
+    std::string single_algo = "-";
+    if (!full->tuples.empty()) {
+      consent::ValuationOracle oracle_single(all_yes);
+      Result<core::SessionReport> single =
+          manager.DecideSingle(*plan, full->tuples[0].tuple, oracle_single);
+      CONSENTDB_CHECK(single.ok(), single.status().ToString());
+      single_algo = single->algorithm_used + " (" +
+                    std::to_string(single->num_probes) + " probes)";
+    }
+
+    std::cout << std::left << std::setw(6) << c.cls << std::setw(26)
+              << ShapeOf(analysis->provenance) << std::setw(26) << hardness
+              << std::setw(24) << full_algo << single_algo << "\n";
+  }
+  std::cout << "\nColumns mirror Table I: read-once classes solve exactly in "
+               "PTIME via RO;\nbounded-term classes use the Q-value "
+               "approximation; the general class falls\nback to Algorithm "
+               "General (single-tuple approximation, Thm. IV.16).\n";
+  return 0;
+}

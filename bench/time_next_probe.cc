@@ -1,0 +1,113 @@
+// Execution-time microbenchmarks (Sec. V-B, "Execution time"): how long each
+// algorithm takes to choose the next probe, as a function of the provenance
+// size. The paper reports a few milliseconds and up to 1.3 s; the criterion
+// that matters is that probe selection stays far below the latency of a
+// human/web probe answer.
+
+#include <benchmark/benchmark.h>
+
+#include "consentdb/datasets/psi.h"
+#include "consentdb/datasets/skewed.h"
+#include "consentdb/strategy/runner.h"
+#include "consentdb/strategy/strategies.h"
+
+using namespace consentdb;
+using datasets::SkewedDataset;
+using datasets::SkewedParams;
+using strategy::EvaluationState;
+
+namespace {
+
+SkewedDataset MakeDataset(size_t rows) {
+  SkewedParams params;
+  params.num_rows = rows;
+  Rng rng(42);
+  return datasets::GenerateSkewed(params, rng);
+}
+
+// Measures the first ChooseNext on a fresh state (the most expensive call:
+// nothing is decided yet).
+template <typename MakeStrategy>
+void BenchFirstChoice(benchmark::State& state, size_t rows,
+                      MakeStrategy make_strategy, bool attach_cnfs) {
+  SkewedDataset ds = MakeDataset(rows);
+  std::vector<double> pi = ds.pool.Probabilities();
+  for (auto _ : state) {
+    EvaluationState eval_state(ds.dnfs, pi);
+    if (attach_cnfs) {
+      provenance::NormalFormLimits limits;
+      limits.max_sets = 50000;
+      bool ok = eval_state.TryAttachResidualCnfs(limits);
+      CONSENTDB_CHECK(ok, "CNF attachment failed in benchmark");
+    }
+    auto strategy = make_strategy();
+    benchmark::DoNotOptimize(strategy->ChooseNext(eval_state));
+  }
+  state.SetLabel(std::to_string(ds.pool.size()) + " vars");
+}
+
+void BM_NextProbe_RO(benchmark::State& state) {
+  BenchFirstChoice(
+      state, static_cast<size_t>(state.range(0)),
+      []() { return std::make_unique<strategy::RoStrategy>(); }, false);
+}
+
+void BM_NextProbe_Freq(benchmark::State& state) {
+  BenchFirstChoice(
+      state, static_cast<size_t>(state.range(0)),
+      []() { return std::make_unique<strategy::FreqStrategy>(); }, false);
+}
+
+void BM_NextProbe_QValue(benchmark::State& state) {
+  BenchFirstChoice(
+      state, static_cast<size_t>(state.range(0)),
+      []() { return std::make_unique<strategy::QValueStrategy>(); }, true);
+}
+
+void BM_NextProbe_General(benchmark::State& state) {
+  BenchFirstChoice(
+      state, static_cast<size_t>(state.range(0)),
+      []() { return std::make_unique<strategy::GeneralStrategy>(); }, false);
+}
+
+BENCHMARK(BM_NextProbe_RO)->Arg(100)->Arg(400)->Arg(1000);
+BENCHMARK(BM_NextProbe_Freq)->Arg(100)->Arg(400)->Arg(1000);
+BENCHMARK(BM_NextProbe_QValue)->Arg(100)->Arg(400)->Arg(1000);
+BENCHMARK(BM_NextProbe_General)->Arg(100)->Arg(400)->Arg(1000);
+
+// Full-session throughput: complete OPT-PEER-PROBE sessions per second on
+// the default skewed workload (100 rows to keep iterations snappy).
+void BM_FullSession(benchmark::State& state) {
+  SkewedDataset ds = MakeDataset(100);
+  std::vector<double> pi = ds.pool.Probabilities();
+  Rng rng(5);
+  provenance::PartialValuation hidden = ds.pool.SampleValuation(rng);
+  for (auto _ : state) {
+    EvaluationState eval_state(ds.dnfs, pi);
+    strategy::GeneralStrategy general;
+    strategy::ProbeRun run =
+        strategy::RunToCompletion(eval_state, general, hidden);
+    benchmark::DoNotOptimize(run.num_probes);
+  }
+}
+BENCHMARK(BM_FullSession);
+
+// Provenance-side costs: DNF flattening and CNF conversion on the psi
+// family (the dataset whose CNF is the stress case).
+void BM_PsiCnfConversion(benchmark::State& state) {
+  consent::VariablePool pool;
+  datasets::PsiFormula psi =
+      datasets::BuildPsi(static_cast<int>(state.range(0)), pool);
+  provenance::Dnf dnf = datasets::PsiDnf(psi);
+  for (auto _ : state) {
+    Result<provenance::Cnf> cnf = provenance::DnfToCnf(dnf);
+    CONSENTDB_CHECK(cnf.ok(), cnf.status().ToString());
+    benchmark::DoNotOptimize(cnf->num_clauses());
+  }
+  state.SetLabel(std::to_string(dnf.num_terms()) + " terms");
+}
+BENCHMARK(BM_PsiCnfConversion)->Arg(3)->Arg(5)->Arg(6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

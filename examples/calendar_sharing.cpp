@@ -1,0 +1,106 @@
+// Calendar-data sharing, after the PePPer prototype [Amsterdamer & Drien,
+// ICDE'19] that demonstrated this paper's framework on calendars.
+//
+// A team assistant wants to publish the list of meeting rooms that hosted
+// cross-team meetings this week. Each calendar event belongs to its
+// organiser; room bookings belong to facilities. The published list derives
+// from both, so consent must be procured from the right mix of peers. The
+// example runs the same query under three different probing algorithms and
+// compares how many questions each one needs (on the same hidden answers).
+//
+// Build & run:  ./build/examples/calendar_sharing
+
+#include <iomanip>
+#include <iostream>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/util/rng.h"
+
+using namespace consentdb;
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+consent::SharedDatabase BuildCalendars(Rng& rng) {
+  consent::SharedDatabase sdb;
+  auto check = [](const Status& s) { CONSENTDB_CHECK(s.ok(), s.ToString()); };
+  check(sdb.CreateRelation("Events",
+                           Schema({Column{"eid", ValueType::kInt64},
+                                   Column{"organiser", ValueType::kString},
+                                   Column{"team", ValueType::kString},
+                                   Column{"guests", ValueType::kInt64}})));
+  check(sdb.CreateRelation("Bookings",
+                           Schema({Column{"eid", ValueType::kInt64},
+                                   Column{"room", ValueType::kString}})));
+
+  const char* organisers[] = {"dana", "eli", "fay", "gil", "hila"};
+  const char* teams[] = {"search", "infra", "search", "mobile", "infra"};
+  const char* rooms[] = {"Atlas", "Banyan", "Cedar"};
+  for (int eid = 1; eid <= 12; ++eid) {
+    size_t who = rng.UniformIndex(5);
+    // Organisers differ in how freely they share their calendars.
+    double prior = 0.35 + 0.1 * static_cast<double>(who);
+    Result<provenance::VarId> r = sdb.InsertTuple(
+        "Events",
+        Tuple{Value(eid), Value(organisers[who]), Value(teams[who]),
+              Value(rng.UniformInt(2, 9))},
+        organisers[who], prior);
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+    Result<provenance::VarId> b = sdb.InsertTuple(
+        "Bookings",
+        Tuple{Value(eid), Value(rooms[rng.UniformIndex(3)])},
+        "facilities", 0.9);
+    CONSENTDB_CHECK(b.ok(), b.status().ToString());
+  }
+  return sdb;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  consent::SharedDatabase sdb = BuildCalendars(rng);
+  core::ConsentManager manager(sdb);
+
+  // Rooms that hosted a meeting with more than 4 guests: one published row
+  // per room, each derived from several event+booking pairs (a projection-
+  // limited SPJ query — the regime of Sec. IV-C).
+  const char* sql =
+      "SELECT DISTINCT b.room "
+      "FROM Events e, Bookings b "
+      "WHERE e.eid = b.eid AND e.guests > 4";
+
+  // A single hidden truth, shared by all algorithm runs for a fair race.
+  provenance::PartialValuation hidden = sdb.pool().SampleValuation(rng);
+
+  std::cout << "publishing: rooms that hosted meetings with >4 guests\n\n";
+  std::cout << std::left << std::setw(12) << "algorithm" << std::setw(10)
+            << "probes" << "verdicts\n";
+
+  for (core::Algorithm algo :
+       {core::Algorithm::kAuto, core::Algorithm::kFreq,
+        core::Algorithm::kRandom, core::Algorithm::kGeneral}) {
+    consent::ValuationOracle oracle(hidden);
+    core::SessionOptions options;
+    options.algorithm = algo;
+    Result<core::SessionReport> report =
+        manager.DecideAll(sql, oracle, options);
+    CONSENTDB_CHECK(report.ok(), report.status().ToString());
+    std::string verdicts;
+    for (const core::TupleConsent& tc : report->tuples) {
+      verdicts += tc.tuple.at(0).AsString();
+      verdicts += tc.shareable ? "(yes) " : "(no) ";
+    }
+    std::string label = report->algorithm_used;
+    if (algo == core::Algorithm::kAuto) label += "*";
+    std::cout << std::left << std::setw(12) << label << std::setw(10)
+              << report->num_probes << verdicts << "\n";
+  }
+  std::cout << "\n(* auto-selected; all algorithms reach the same verdicts —\n"
+               "   they differ only in how many peers they had to disturb)\n";
+  return 0;
+}

@@ -1,0 +1,328 @@
+// consent_shell: an interactive REPL over the ConsentDB public API.
+//
+// Build a shared database from the command line or CSV files, run SPJU
+// queries, and hold live consent-probing sessions where *you* answer the
+// probes — the closest thing to the paper's peer-probing loop without a
+// network.
+//
+//   $ ./build/examples/consent_shell
+//   consentdb> create Photos pid:int owner:string caption:string
+//   consentdb> insert Photos ana 0.9 1 'ana' 'summit'
+//   consentdb> load Albums albums.csv platform 0.95
+//   consentdb> query SELECT caption FROM Photos
+//   consentdb> analyze SELECT p.caption FROM Photos p, Albums a WHERE ...
+//   consentdb> decide SELECT caption FROM Photos        (answers y/n live)
+//   consentdb> simulate SELECT caption FROM Photos      (simulated peers)
+//
+// Also usable non-interactively: pipe a script into stdin.
+
+#include <unistd.h>
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/query/optimize.h"
+#include "consentdb/relational/csv.h"
+#include "consentdb/util/rng.h"
+#include "consentdb/util/string_util.h"
+
+using namespace consentdb;
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+class Shell {
+ public:
+  Shell() : rng_(20260705) {}
+
+  int Run(std::istream& in, bool interactive) {
+    std::string line;
+    while (true) {
+      if (interactive) std::cout << "consentdb> " << std::flush;
+      if (!std::getline(in, line)) break;
+      std::string_view trimmed = StripWhitespace(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      if (EqualsIgnoreCase(trimmed, "exit") || EqualsIgnoreCase(trimmed, "quit")) {
+        break;
+      }
+      Status status = Dispatch(std::string(trimmed), interactive);
+      if (!status.ok()) std::cout << "error: " << status.ToString() << "\n";
+    }
+    return 0;
+  }
+
+ private:
+  Status Dispatch(const std::string& line, bool interactive) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    std::string rest;
+    std::getline(words, rest);
+    rest = std::string(StripWhitespace(rest));
+
+    if (EqualsIgnoreCase(command, "help")) return Help();
+    if (EqualsIgnoreCase(command, "create")) return Create(rest);
+    if (EqualsIgnoreCase(command, "insert")) return Insert(rest);
+    if (EqualsIgnoreCase(command, "load")) return Load(rest);
+    if (EqualsIgnoreCase(command, "tables")) return Tables();
+    if (EqualsIgnoreCase(command, "show")) return Show(rest);
+    if (EqualsIgnoreCase(command, "query")) return Query(rest);
+    if (EqualsIgnoreCase(command, "analyze")) return Analyze(rest);
+    if (EqualsIgnoreCase(command, "decide")) return Decide(rest, interactive);
+    if (EqualsIgnoreCase(command, "simulate")) return Simulate(rest);
+    return Status::InvalidArgument("unknown command '" + command +
+                                   "' (try: help)");
+  }
+
+  Status Help() {
+    std::cout <<
+        "commands:\n"
+        "  create <table> <col:type> ...      types: int, double, string, bool\n"
+        "  insert <table> <owner> <prob> <v> ...   'quoted' strings, NULL\n"
+        "  load <table> <file.csv> <owner> <prob>  (table must exist)\n"
+        "  tables                             list relations\n"
+        "  show <table>                       print a relation with owners\n"
+        "  query <sql>                        evaluate (no consent check)\n"
+        "  analyze <sql>                      class, guarantees, provenance\n"
+        "  decide <sql>                       probe consent interactively\n"
+        "  simulate <sql>                     probe against simulated peers\n"
+        "  exit\n";
+    return Status::OK();
+  }
+
+  Status Create(const std::string& args) {
+    std::istringstream in(args);
+    std::string table;
+    in >> table;
+    if (table.empty()) return Status::InvalidArgument("usage: create <table> <col:type>...");
+    std::vector<Column> columns;
+    std::string spec;
+    while (in >> spec) {
+      std::vector<std::string> parts = Split(spec, ':');
+      if (parts.size() != 2) {
+        return Status::InvalidArgument("bad column spec: " + spec);
+      }
+      ValueType type;
+      if (EqualsIgnoreCase(parts[1], "int")) {
+        type = ValueType::kInt64;
+      } else if (EqualsIgnoreCase(parts[1], "double")) {
+        type = ValueType::kDouble;
+      } else if (EqualsIgnoreCase(parts[1], "string")) {
+        type = ValueType::kString;
+      } else if (EqualsIgnoreCase(parts[1], "bool")) {
+        type = ValueType::kBool;
+      } else {
+        return Status::InvalidArgument("unknown type: " + parts[1]);
+      }
+      columns.push_back(Column{parts[0], type});
+    }
+    if (columns.empty()) return Status::InvalidArgument("no columns given");
+    CONSENTDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(columns));
+    CONSENTDB_RETURN_IF_ERROR(sdb_.CreateRelation(table, schema));
+    std::cout << "created " << table << " " << schema.ToString() << "\n";
+    return Status::OK();
+  }
+
+  // Parses one literal: 123, 4.5, true/false, NULL, 'quoted string', word.
+  Result<Value> ParseLiteral(std::istream& in, ValueType type) {
+    in >> std::ws;
+    if (in.peek() == '\'') {
+      in.get();
+      std::string s;
+      char c;
+      while (in.get(c)) {
+        if (c == '\'') break;
+        s += c;
+      }
+      return Value(s);
+    }
+    std::string word;
+    if (!(in >> word)) return Status::InvalidArgument("missing value");
+    if (EqualsIgnoreCase(word, "null")) return Value::Null();
+    switch (type) {
+      case ValueType::kInt64:
+        try {
+          return Value(static_cast<int64_t>(std::stoll(word)));
+        } catch (const std::exception&) {
+          return Status::InvalidArgument("not an integer: " + word);
+        }
+      case ValueType::kDouble:
+        try {
+          return Value(std::stod(word));
+        } catch (const std::exception&) {
+          return Status::InvalidArgument("not a number: " + word);
+        }
+      case ValueType::kBool:
+        if (EqualsIgnoreCase(word, "true")) return Value(true);
+        if (EqualsIgnoreCase(word, "false")) return Value(false);
+        return Status::InvalidArgument("not a boolean: " + word);
+      default:
+        return Value(word);
+    }
+  }
+
+  Status Insert(const std::string& args) {
+    std::istringstream in(args);
+    std::string table;
+    std::string owner;
+    double prob = 0.5;
+    in >> table >> owner >> prob;
+    if (table.empty() || owner.empty()) {
+      return Status::InvalidArgument(
+          "usage: insert <table> <owner> <prob> <values...>");
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                               sdb_.database().GetRelation(table));
+    std::vector<Value> values;
+    for (size_t i = 0; i < rel->schema().num_columns(); ++i) {
+      CONSENTDB_ASSIGN_OR_RETURN(
+          Value v, ParseLiteral(in, rel->schema().column(i).type));
+      values.push_back(std::move(v));
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(
+        provenance::VarId var,
+        sdb_.InsertTuple(table, Tuple(std::move(values)), owner, prob));
+    std::cout << "inserted; consent variable " << sdb_.pool().name(var)
+              << " owned by " << owner << " (prior " << prob << ")\n";
+    return Status::OK();
+  }
+
+  Status Load(const std::string& args) {
+    std::istringstream in(args);
+    std::string table;
+    std::string file;
+    std::string owner;
+    double prob = 0.5;
+    in >> table >> file >> owner >> prob;
+    if (owner.empty()) {
+      return Status::InvalidArgument(
+          "usage: load <table> <file.csv> <owner> <prob>");
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                               sdb_.database().GetRelation(table));
+    std::ifstream stream(file);
+    if (!stream) return Status::NotFound("cannot open " + file);
+    CONSENTDB_ASSIGN_OR_RETURN(relational::Relation loaded,
+                               relational::ReadRelationCsv(stream, rel->schema()));
+    size_t added = 0;
+    for (const Tuple& t : loaded.tuples()) {
+      CONSENTDB_RETURN_IF_ERROR(
+          sdb_.InsertTuple(table, t, owner, prob).status());
+      ++added;
+    }
+    std::cout << "loaded " << added << " rows into " << table << " for "
+              << owner << "\n";
+    return Status::OK();
+  }
+
+  Status Tables() {
+    for (const std::string& name : sdb_.database().RelationNames()) {
+      const relational::Relation& rel = sdb_.database().RelationOrDie(name);
+      std::cout << "  " << name << " " << rel.schema().ToString() << "  ("
+                << rel.size() << " rows)\n";
+    }
+    return Status::OK();
+  }
+
+  Status Show(const std::string& table) {
+    CONSENTDB_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                               sdb_.database().GetRelation(table));
+    for (size_t i = 0; i < rel->size(); ++i) {
+      CONSENTDB_ASSIGN_OR_RETURN(provenance::VarId var,
+                                 sdb_.AnnotationOf(table, i));
+      std::cout << "  " << rel->tuple(i).ToString() << "  @ "
+                << sdb_.pool().name(var) << " (owner "
+                << sdb_.pool().owner(var) << ")\n";
+    }
+    return Status::OK();
+  }
+
+  Status Query(const std::string& sql) {
+    CONSENTDB_ASSIGN_OR_RETURN(query::PlanPtr plan, query::ParseQuery(sql));
+    CONSENTDB_ASSIGN_OR_RETURN(query::PlanPtr optimized,
+                               query::Optimize(plan, sdb_.database()));
+    CONSENTDB_ASSIGN_OR_RETURN(relational::Relation result,
+                               eval::Evaluate(optimized, sdb_.database()));
+    std::cout << result.ToString();
+    return Status::OK();
+  }
+
+  Status Analyze(const std::string& sql) {
+    CONSENTDB_ASSIGN_OR_RETURN(query::PlanPtr plan, query::ParseQuery(sql));
+    core::ConsentManager manager(sdb_);
+    CONSENTDB_ASSIGN_OR_RETURN(core::QueryAnalysis analysis,
+                               manager.Analyze(plan));
+    std::cout << "class: " << analysis.profile.ToString() << "\n";
+    std::cout << "provenance: " << analysis.provenance.ToString() << "\n";
+    const query::Guarantees& g = analysis.guarantees;
+    std::cout << "full result: "
+              << (g.exact_all_tuples ? "exact PTIME (RO)"
+                                     : "NP-hard, approximate")
+              << "; single tuple: "
+              << (g.exact_single_tuple ? "exact PTIME (RO)"
+                  : g.np_hard_single_tuple ? "NP-hard, approximate"
+                                           : "approximate")
+              << "\n";
+    return Status::OK();
+  }
+
+  Status Decide(const std::string& sql, bool interactive) {
+    core::ConsentManager manager(sdb_);
+    consent::CallbackOracle oracle([this, interactive](provenance::VarId x) {
+      std::cout << "  [probe] " << sdb_.pool().owner(x)
+                << ", do you consent to sharing " << sdb_.pool().name(x)
+                << "? (y/n) " << std::flush;
+      std::string answer;
+      if (!std::getline(std::cin, answer)) answer = "n";
+      if (!interactive) std::cout << answer << "\n";
+      return !answer.empty() && (answer[0] == 'y' || answer[0] == 'Y');
+    });
+    return Session(sql, manager, oracle);
+  }
+
+  Status Simulate(const std::string& sql) {
+    core::ConsentManager manager(sdb_);
+    consent::ValuationOracle oracle(sdb_.pool().SampleValuation(rng_));
+    std::cout << "(simulated peers drawn from the consent priors)\n";
+    return Session(sql, manager, oracle);
+  }
+
+  Status Session(const std::string& sql, core::ConsentManager& manager,
+                 consent::ProbeOracle& oracle) {
+    CONSENTDB_ASSIGN_OR_RETURN(core::SessionReport report,
+                               manager.DecideAll(sql, oracle));
+    std::cout << "algorithm: " << report.algorithm_used << " ("
+              << report.selection_rationale << ")\n";
+    for (const auto& probe : report.trace) {
+      std::cout << "  probed " << probe.owner << " about "
+                << probe.variable_name << " -> "
+                << (probe.answer ? "yes" : "no") << "\n";
+    }
+    std::cout << report.num_probes << " probe(s); verdicts:\n";
+    for (const core::TupleConsent& tc : report.tuples) {
+      std::cout << "  " << tc.tuple.ToString() << "  "
+                << (tc.shareable ? "SHAREABLE" : "not shareable") << "\n";
+    }
+    return Status::OK();
+  }
+
+  consent::SharedDatabase sdb_;
+  Rng rng_;
+};
+
+}  // namespace
+
+int main() {
+  bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::cout << "ConsentDB shell — type 'help' for commands.\n";
+  }
+  Shell shell;
+  return shell.Run(std::cin, interactive);
+}

@@ -1,0 +1,82 @@
+// Quickstart: the smallest end-to-end ConsentDB program.
+//
+// 1. Build a shared database: every inserted tuple gets a consent variable
+//    owned by a peer, with a prior probability of consent.
+// 2. Write an SPJU query in SQL.
+// 3. Ask the ConsentManager whether the query result may be shared; it
+//    evaluates the query with provenance tracking, picks a probing
+//    algorithm, and probes the peers (here: a simulated oracle) one at a
+//    time until every output tuple is decided.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/util/rng.h"
+
+using namespace consentdb;
+
+int main() {
+  // --- 1. A shared database of photos and album memberships. ---------------
+  consent::SharedDatabase sdb;
+  auto check = [](const Status& s) { CONSENTDB_CHECK(s.ok(), s.ToString()); };
+  auto insert = [&sdb](const std::string& rel, relational::Tuple t,
+                       std::string owner, double prior) {
+    Result<provenance::VarId> r =
+        sdb.InsertTuple(rel, std::move(t), std::move(owner), prior);
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+  };
+
+  using relational::Column;
+  using relational::Schema;
+  using relational::Tuple;
+  using relational::Value;
+  using relational::ValueType;
+
+  check(sdb.CreateRelation("Photos",
+                           Schema({Column{"pid", ValueType::kInt64},
+                                   Column{"owner", ValueType::kString},
+                                   Column{"caption", ValueType::kString}})));
+  check(sdb.CreateRelation("Albums",
+                           Schema({Column{"pid", ValueType::kInt64},
+                                   Column{"album", ValueType::kString}})));
+
+  insert("Photos", Tuple{Value(1), Value("ana"), Value("summit")}, "ana", 0.9);
+  insert("Photos", Tuple{Value(2), Value("ben"), Value("basecamp")}, "ben", 0.4);
+  insert("Photos", Tuple{Value(3), Value("ana"), Value("ridge")}, "ana", 0.9);
+  insert("Albums", Tuple{Value(1), Value("trip-2026")}, "ana", 0.9);
+  insert("Albums", Tuple{Value(2), Value("trip-2026")}, "ben", 0.4);
+  insert("Albums", Tuple{Value(3), Value("drafts")}, "ana", 0.9);
+
+  // --- 2. A derived view we would like to share with a third party. --------
+  const char* sql =
+      "SELECT DISTINCT p.caption "
+      "FROM Photos p, Albums a "
+      "WHERE p.pid = a.pid AND a.album = 'trip-2026'";
+
+  // --- 3. Probe peers until shareability of every caption is decided. ------
+  // The simulated oracle draws a hidden consent valuation from the priors;
+  // swap in a consent::CallbackOracle to ask real peers.
+  Rng rng(2026);
+  consent::ValuationOracle oracle(sdb.pool().SampleValuation(rng));
+
+  core::ConsentManager manager(sdb);
+  Result<core::SessionReport> report = manager.DecideAll(sql, oracle);
+  CONSENTDB_CHECK(report.ok(), report.status().ToString());
+
+  std::cout << "query:\n  " << sql << "\n\n";
+  std::cout << "algorithm: " << report->algorithm_used << " ("
+            << report->selection_rationale << ")\n";
+  std::cout << "probes issued: " << report->num_probes << "\n\n";
+  for (const auto& probe : report->trace) {
+    std::cout << "  asked " << probe.owner << " about " << probe.variable_name
+              << " -> " << (probe.answer ? "consented" : "denied") << "\n";
+  }
+  std::cout << "\nshareable query results:\n";
+  for (const core::TupleConsent& tc : report->tuples) {
+    std::cout << "  " << tc.tuple.ToString() << "  "
+              << (tc.shareable ? "SHAREABLE" : "not shareable") << "\n";
+  }
+  return 0;
+}

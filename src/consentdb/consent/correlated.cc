@@ -1,0 +1,44 @@
+#include "consentdb/consent/correlated.h"
+
+#include <map>
+#include <optional>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::consent {
+
+provenance::PartialValuation SampleCorrelatedValuation(
+    const VariablePool& pool, double peer_coherence, Rng& rng) {
+  CONSENTDB_CHECK(peer_coherence >= 0.0 && peer_coherence <= 1.0,
+                  "coherence out of [0,1]");
+  // Average prior per owner (the peer-level coin's bias).
+  std::map<std::string, std::pair<double, size_t>> owner_prior;
+  for (VarId x = 0; x < pool.size(); ++x) {
+    const std::string& owner = pool.owner(x);
+    if (owner.empty()) continue;
+    auto& [sum, count] = owner_prior[owner];
+    sum += pool.probability(x);
+    ++count;
+  }
+  // Decide per peer: coherent (one coin) or independent this time.
+  std::map<std::string, std::optional<bool>> peer_coin;
+  for (const auto& [owner, acc] : owner_prior) {
+    if (rng.Bernoulli(peer_coherence)) {
+      double bias = acc.first / static_cast<double>(acc.second);
+      peer_coin[owner] = rng.Bernoulli(bias);
+    } else {
+      peer_coin[owner] = std::nullopt;
+    }
+  }
+  provenance::PartialValuation val(pool.size());
+  for (VarId x = 0; x < pool.size(); ++x) {
+    const std::string& owner = pool.owner(x);
+    std::optional<bool> coin =
+        owner.empty() ? std::nullopt : peer_coin[owner];
+    val.Set(x, coin.has_value() ? *coin
+                                : rng.Bernoulli(pool.probability(x)));
+  }
+  return val;
+}
+
+}  // namespace consentdb::consent

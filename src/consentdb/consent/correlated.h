@@ -1,0 +1,31 @@
+// Correlated consent valuations (Sec. VII, "Beyond independent
+// probabilities"): in reality a peer's answers are not independent across
+// their tuples — someone who refuses one probe tends to refuse the next.
+//
+// This sampler models the simplest such structure: per-peer mixing. With
+// probability `peer_coherence`, a peer answers ALL probes with one
+// peer-level coin flip (weighted by the average prior of their variables);
+// otherwise the peer's variables are drawn independently as usual. At
+// coherence 0 this degenerates to the paper's independent model; at 1 every
+// peer behaves like a single block variable.
+//
+// The strategies still plan under the independent priors pi (they are not
+// told about the correlation), so running them against correlated hidden
+// valuations measures how robust the expected-cost optimisation is to a
+// violated independence assumption — see bench/ext_correlated_peers.
+
+#ifndef CONSENTDB_CONSENT_CORRELATED_H_
+#define CONSENTDB_CONSENT_CORRELATED_H_
+
+#include "consentdb/consent/variable_pool.h"
+
+namespace consentdb::consent {
+
+// Draws a full hidden valuation with per-peer coherence in [0, 1].
+// Variables with empty owner strings are always drawn independently.
+provenance::PartialValuation SampleCorrelatedValuation(
+    const VariablePool& pool, double peer_coherence, Rng& rng);
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_CORRELATED_H_

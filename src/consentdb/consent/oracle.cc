@@ -1,0 +1,49 @@
+#include "consentdb/consent/oracle.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::consent {
+
+using provenance::Truth;
+
+ValuationOracle::ValuationOracle(provenance::PartialValuation hidden)
+    : hidden_(std::move(hidden)) {}
+
+bool ValuationOracle::Probe(VarId x) {
+  Truth t = hidden_.Get(x);
+  CONSENTDB_CHECK(t != Truth::kUnknown,
+                  "probed variable has no hidden value: x" + std::to_string(x));
+  if (x >= seen_.size()) seen_.resize(x + 1, false);
+  bool answer = t == Truth::kTrue;
+  if (!seen_[x]) {
+    seen_[x] = true;
+    probed_.push_back(x);
+    trace_.emplace_back(x, answer);
+  }
+  return answer;
+}
+
+ReplayOracle::ReplayOracle(std::vector<std::pair<VarId, bool>> trace)
+    : trace_(std::move(trace)) {}
+
+bool ReplayOracle::Probe(VarId x) {
+  for (const auto& [var, answer] : trace_) {
+    if (var == x) {
+      ++asked_;
+      return answer;
+    }
+  }
+  CONSENTDB_CHECK(false, "replayed session never probed x" + std::to_string(x));
+  return false;
+}
+
+bool CallbackOracle::Probe(VarId x) {
+  for (const auto& [var, answer] : answers_) {
+    if (var == x) return answer;
+  }
+  bool answer = callback_(x);
+  answers_.emplace_back(x, answer);
+  return answer;
+}
+
+}  // namespace consentdb::consent

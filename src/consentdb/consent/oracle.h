@@ -1,0 +1,87 @@
+// Probe oracles: the abstraction of "asking a peer for consent" (Sec. II).
+//
+// A probe reveals val(x) for one consent variable x. In production the
+// oracle would reach a human or an automated agent; for experiments it is
+// backed by a hidden valuation drawn from the prior (Sec. V-A).
+
+#ifndef CONSENTDB_CONSENT_ORACLE_H_
+#define CONSENTDB_CONSENT_ORACLE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "consentdb/consent/variable_pool.h"
+#include "consentdb/provenance/truth.h"
+
+namespace consentdb::consent {
+
+// Interface. Implementations must answer consistently: repeated probes of
+// the same variable return the same value.
+class ProbeOracle {
+ public:
+  virtual ~ProbeOracle() = default;
+
+  // Asks the owner of `x` for consent; returns the (hidden) val(x).
+  virtual bool Probe(VarId x) = 0;
+
+  // Number of probes answered so far.
+  virtual size_t probe_count() const = 0;
+};
+
+// Answers from a fixed hidden valuation; every variable queried must be set
+// in the valuation. Counts probes; repeated probes of the same variable are
+// counted once (the answer is simply remembered, matching the cost model
+// where each peer is asked at most once per variable).
+class ValuationOracle : public ProbeOracle {
+ public:
+  explicit ValuationOracle(provenance::PartialValuation hidden);
+
+  bool Probe(VarId x) override;
+  size_t probe_count() const override { return probed_.size(); }
+
+  // The sequence of (variable, answer) pairs, in probe order.
+  const std::vector<std::pair<VarId, bool>>& trace() const { return trace_; }
+
+ private:
+  provenance::PartialValuation hidden_;
+  std::vector<bool> seen_;  // indexed by VarId
+  std::vector<std::pair<VarId, bool>> trace_;
+  std::vector<VarId> probed_;
+};
+
+// Replays the probe trace of an earlier session (audit/debugging): answers
+// exactly what was answered before and fails loudly on any probe that the
+// recorded session never asked. Deterministic strategies re-driven against
+// a ReplayOracle reproduce the original session bit for bit.
+class ReplayOracle : public ProbeOracle {
+ public:
+  explicit ReplayOracle(std::vector<std::pair<VarId, bool>> trace);
+
+  bool Probe(VarId x) override;
+  size_t probe_count() const override { return asked_; }
+
+ private:
+  std::vector<std::pair<VarId, bool>> trace_;
+  size_t asked_ = 0;
+};
+
+// Answers by invoking a user callback (e.g. a UI prompt or a network call),
+// memoising answers so each variable is asked once.
+class CallbackOracle : public ProbeOracle {
+ public:
+  using Callback = std::function<bool(VarId)>;
+  explicit CallbackOracle(Callback callback)
+      : callback_(std::move(callback)) {}
+
+  bool Probe(VarId x) override;
+  size_t probe_count() const override { return answers_.size(); }
+
+ private:
+  Callback callback_;
+  std::vector<std::pair<VarId, bool>> answers_;
+};
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_ORACLE_H_

@@ -1,0 +1,59 @@
+#include "consentdb/consent/prior_estimator.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::consent {
+
+PriorEstimator::PriorEstimator(double smoothing, double default_prior)
+    : smoothing_(smoothing), default_prior_(default_prior) {
+  CONSENTDB_CHECK(smoothing > 0.0, "smoothing must be positive");
+  CONSENTDB_CHECK(default_prior >= 0.0 && default_prior <= 1.0,
+                  "default prior out of [0,1]");
+}
+
+void PriorEstimator::RecordAnswer(const std::string& owner, bool consented) {
+  Counts& c = per_owner_[owner];
+  if (consented) {
+    ++c.yes;
+    ++total_yes_;
+  } else {
+    ++c.no;
+    ++total_no_;
+  }
+}
+
+void PriorEstimator::RecordSession(
+    const VariablePool& pool,
+    const std::vector<std::pair<VarId, bool>>& trace) {
+  for (const auto& [var, answer] : trace) {
+    RecordAnswer(pool.owner(var), answer);
+  }
+}
+
+double PriorEstimator::GlobalRate() const {
+  double total = static_cast<double>(total_yes_ + total_no_);
+  if (total == 0.0) return default_prior_;
+  // Smooth toward the default prior.
+  return (static_cast<double>(total_yes_) + smoothing_ * default_prior_ * 2) /
+         (total + smoothing_ * 2);
+}
+
+double PriorEstimator::EstimateFor(const std::string& owner) const {
+  auto it = per_owner_.find(owner);
+  double global = GlobalRate();
+  if (it == per_owner_.end()) return global;
+  const Counts& c = it->second;
+  double n = static_cast<double>(c.yes + c.no);
+  // Beta smoothing toward the global rate: with little per-peer history the
+  // estimate stays near the global rate, converging to the empirical rate.
+  return (static_cast<double>(c.yes) + smoothing_ * global * 2) /
+         (n + smoothing_ * 2);
+}
+
+void PriorEstimator::ApplyTo(VariablePool& pool) const {
+  for (VarId x = 0; x < pool.size(); ++x) {
+    pool.SetProbability(x, EstimateFor(pool.owner(x)));
+  }
+}
+
+}  // namespace consentdb::consent

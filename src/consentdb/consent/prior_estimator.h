@@ -1,0 +1,62 @@
+// PriorEstimator: learning consent priors from past probe answers.
+//
+// The paper assumes the probabilities pi are given and suggests (Sec. VI,
+// "Predicting probe answers and probabilities") estimating them "by coarse
+// means like computing the average likelihood for consent in past probes".
+// This implements exactly that: per-peer Beta-smoothed consent rates,
+// falling back to the global rate (and then to a configurable default) for
+// peers without history.
+
+#ifndef CONSENTDB_CONSENT_PRIOR_ESTIMATOR_H_
+#define CONSENTDB_CONSENT_PRIOR_ESTIMATOR_H_
+
+#include <map>
+#include <string>
+
+#include "consentdb/consent/variable_pool.h"
+
+namespace consentdb::consent {
+
+class PriorEstimator {
+ public:
+  // `smoothing` is the Beta(a, a) pseudo-count added to both outcomes;
+  // `default_prior` is used when there is no history at all.
+  explicit PriorEstimator(double smoothing = 1.0, double default_prior = 0.5);
+
+  // Records one answered probe from `owner`.
+  void RecordAnswer(const std::string& owner, bool consented);
+
+  // Convenience: records every probe of a finished session trace.
+  void RecordSession(const VariablePool& pool,
+                     const std::vector<std::pair<VarId, bool>>& trace);
+
+  // Estimated consent probability for `owner`: the smoothed per-peer rate,
+  // shrunk toward the global rate when the peer has little history.
+  double EstimateFor(const std::string& owner) const;
+
+  // The smoothed global consent rate (default_prior with no data).
+  double GlobalRate() const;
+
+  // Overwrites every pool variable's probability with the estimate for its
+  // owner — run before the next session so the strategies use the learned
+  // priors.
+  void ApplyTo(VariablePool& pool) const;
+
+  size_t total_answers() const { return total_yes_ + total_no_; }
+
+ private:
+  struct Counts {
+    size_t yes = 0;
+    size_t no = 0;
+  };
+
+  double smoothing_;
+  double default_prior_;
+  std::map<std::string, Counts> per_owner_;
+  size_t total_yes_ = 0;
+  size_t total_no_ = 0;
+};
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_PRIOR_ESTIMATOR_H_

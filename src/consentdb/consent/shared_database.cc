@@ -1,0 +1,100 @@
+#include "consentdb/consent/shared_database.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::consent {
+
+using relational::Database;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+
+Status SharedDatabase::CreateRelation(const std::string& name, Schema schema) {
+  CONSENTDB_RETURN_IF_ERROR(db_.CreateRelation(name, std::move(schema)));
+  annotations_[name] = {};
+  return Status::OK();
+}
+
+Result<VarId> SharedDatabase::InsertTuple(const std::string& relation,
+                                          Tuple t, std::string owner,
+                                          double probability) {
+  CONSENTDB_ASSIGN_OR_RETURN(Relation * rel,
+                             db_.GetMutableRelation(relation));
+  Tuple copy = t;  // keep a copy to locate the tuple if it already exists
+  CONSENTDB_ASSIGN_OR_RETURN(bool inserted, rel->Insert(std::move(t)));
+  std::vector<VarId>& vars = annotations_[relation];
+  if (!inserted) {
+    size_t index = *rel->IndexOf(copy);
+    return vars[index];
+  }
+  std::string name = relation + "#" + std::to_string(rel->size() - 1);
+  VarId id = pool_.Allocate(std::move(name), std::move(owner), probability);
+  vars.push_back(id);
+  return id;
+}
+
+Status SharedDatabase::InsertTupleInBlock(const std::string& relation,
+                                          Tuple t, VarId block_variable) {
+  if (block_variable >= pool_.size()) {
+    return Status::InvalidArgument("unknown consent variable: x" +
+                                   std::to_string(block_variable));
+  }
+  CONSENTDB_ASSIGN_OR_RETURN(Relation * rel,
+                             db_.GetMutableRelation(relation));
+  CONSENTDB_ASSIGN_OR_RETURN(bool inserted, rel->Insert(std::move(t)));
+  if (inserted) annotations_[relation].push_back(block_variable);
+  return Status::OK();
+}
+
+Result<VarId> SharedDatabase::AnnotationOf(const std::string& relation,
+                                           size_t index) const {
+  auto it = annotations_.find(relation);
+  if (it == annotations_.end()) {
+    return Status::NotFound("no such relation: " + relation);
+  }
+  if (index >= it->second.size()) {
+    return Status::OutOfRange("tuple index " + std::to_string(index) +
+                              " out of range for relation " + relation);
+  }
+  return it->second[index];
+}
+
+Result<VarId> SharedDatabase::AnnotationOf(const std::string& relation,
+                                           const relational::Tuple& t) const {
+  CONSENTDB_ASSIGN_OR_RETURN(const Relation* rel, db_.GetRelation(relation));
+  std::optional<size_t> index = rel->IndexOf(t);
+  if (!index.has_value()) {
+    return Status::NotFound("tuple " + t.ToString() + " not in relation " +
+                            relation);
+  }
+  return AnnotationOf(relation, *index);
+}
+
+Result<const std::vector<VarId>*> SharedDatabase::Annotations(
+    const std::string& relation) const {
+  auto it = annotations_.find(relation);
+  if (it == annotations_.end()) {
+    return Status::NotFound("no such relation: " + relation);
+  }
+  return &it->second;
+}
+
+Database SharedDatabase::ConsentedFragment(
+    const provenance::PartialValuation& val) const {
+  Database out;
+  for (const std::string& name : db_.RelationNames()) {
+    const Relation& rel = db_.RelationOrDie(name);
+    Relation fragment(rel.schema());
+    const std::vector<VarId>& vars = annotations_.at(name);
+    for (size_t i = 0; i < rel.size(); ++i) {
+      if (val.Get(vars[i]) == provenance::Truth::kTrue) {
+        fragment.InsertOrDie(rel.tuple(i));
+      }
+    }
+    Status st = out.AddRelation(name, std::move(fragment));
+    CONSENTDB_CHECK(st.ok(), st.ToString());
+  }
+  return out;
+}
+
+}  // namespace consentdb::consent

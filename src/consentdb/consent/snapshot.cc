@@ -1,0 +1,249 @@
+#include "consentdb/consent/snapshot.h"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "consentdb/relational/csv.h"
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::consent {
+
+using relational::Column;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+namespace {
+
+constexpr char kMagic[] = "consentdb-snapshot 1";
+
+std::string CsvField(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos && !s.empty()) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  return out + "\"";
+}
+
+Result<ValueType> ParseType(const std::string& name) {
+  if (name == "INT64") return ValueType::kInt64;
+  if (name == "DOUBLE") return ValueType::kDouble;
+  if (name == "STRING") return ValueType::kString;
+  if (name == "BOOL") return ValueType::kBool;
+  return Status::InvalidArgument("unknown column type: " + name);
+}
+
+// Formats one tuple as a CSV record using the same conventions as the CSV
+// module (empty unquoted field = NULL, strings quoted when needed).
+std::string FormatRow(const Tuple& t) {
+  std::string out;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ',';
+    const Value& v = t.at(i);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;  // empty field
+      case ValueType::kString:
+        out += CsvField(v.AsString());
+        break;
+      case ValueType::kInt64:
+        out += std::to_string(v.AsInt64());
+        break;
+      case ValueType::kDouble: {
+        std::ostringstream os;
+        os << v.AsDouble();
+        out += os.str();
+        break;
+      }
+      case ValueType::kBool:
+        out += v.AsBool() ? "true" : "false";
+        break;
+    }
+  }
+  return out;
+}
+
+Result<Value> ParseValue(const std::string& field, bool quoted,
+                         ValueType type) {
+  if (field.empty() && !quoted) return Value::Null();
+  switch (type) {
+    case ValueType::kInt64:
+      try {
+        return Value(static_cast<int64_t>(std::stoll(field)));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad integer: " + field);
+      }
+    case ValueType::kDouble:
+      try {
+        return Value(std::stod(field));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad number: " + field);
+      }
+    case ValueType::kBool:
+      if (EqualsIgnoreCase(field, "true")) return Value(true);
+      if (EqualsIgnoreCase(field, "false")) return Value(false);
+      return Status::InvalidArgument("bad boolean: " + field);
+    case ValueType::kString:
+      return Value(field);
+    case ValueType::kNull:
+      return Status::InvalidArgument("NULL column type in snapshot");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::string> NextLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(std::string("snapshot truncated: expected ") +
+                                   what);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+void SaveSnapshot(const SharedDatabase& sdb, std::ostream& out) {
+  out << kMagic << '\n';
+  for (const std::string& name : sdb.database().RelationNames()) {
+    const Relation& rel = sdb.database().RelationOrDie(name);
+    out << "relation " << name << '\n';
+    out << "columns " << rel.schema().num_columns() << '\n';
+    for (const Column& c : rel.schema().columns()) {
+      out << CsvField(c.name) << ',' << ValueTypeToString(c.type) << '\n';
+    }
+    out << "rows " << rel.size() << '\n';
+    for (const Tuple& t : rel.tuples()) out << FormatRow(t) << '\n';
+    out << "annotations\n";
+    for (size_t i = 0; i < rel.size(); ++i) {
+      Result<provenance::VarId> var = sdb.AnnotationOf(name, i);
+      CONSENTDB_CHECK(var.ok(), var.status().ToString());
+      out << *var << ',' << CsvField(sdb.pool().owner(*var)) << ','
+          << sdb.pool().probability(*var) << '\n';
+    }
+    out << "end\n";
+  }
+}
+
+std::string SaveSnapshot(const SharedDatabase& sdb) {
+  std::ostringstream out;
+  SaveSnapshot(sdb, out);
+  return out.str();
+}
+
+Result<SharedDatabase> LoadSnapshot(std::istream& in) {
+  CONSENTDB_ASSIGN_OR_RETURN(std::string magic, NextLine(in, "header"));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a consentdb snapshot: " + magic);
+  }
+  SharedDatabase sdb;
+  // Snapshot var id -> rebuilt variable (for block annotations).
+  std::map<uint64_t, provenance::VarId> var_map;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    if (line.rfind("relation ", 0) != 0) {
+      return Status::InvalidArgument("expected 'relation <name>', got: " + line);
+    }
+    std::string name = line.substr(9);
+
+    CONSENTDB_ASSIGN_OR_RETURN(std::string columns_line,
+                               NextLine(in, "columns"));
+    if (columns_line.rfind("columns ", 0) != 0) {
+      return Status::InvalidArgument("expected 'columns <n>', got: " +
+                                     columns_line);
+    }
+    size_t num_columns = std::strtoull(columns_line.c_str() + 8, nullptr, 10);
+    std::vector<Column> columns;
+    for (size_t i = 0; i < num_columns; ++i) {
+      CONSENTDB_ASSIGN_OR_RETURN(std::string col_line, NextLine(in, "column"));
+      std::vector<bool> quoted;
+      CONSENTDB_ASSIGN_OR_RETURN(
+          std::vector<std::string> fields,
+          relational::SplitCsvRecord(col_line, &quoted));
+      if (fields.size() != 2) {
+        return Status::InvalidArgument("bad column line: " + col_line);
+      }
+      CONSENTDB_ASSIGN_OR_RETURN(ValueType type, ParseType(fields[1]));
+      columns.push_back(Column{fields[0], type});
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(Schema schema, Schema::Create(columns));
+    CONSENTDB_RETURN_IF_ERROR(sdb.CreateRelation(name, schema));
+
+    CONSENTDB_ASSIGN_OR_RETURN(std::string rows_line, NextLine(in, "rows"));
+    if (rows_line.rfind("rows ", 0) != 0) {
+      return Status::InvalidArgument("expected 'rows <n>', got: " + rows_line);
+    }
+    size_t num_rows = std::strtoull(rows_line.c_str() + 5, nullptr, 10);
+    std::vector<Tuple> tuples;
+    for (size_t r = 0; r < num_rows; ++r) {
+      CONSENTDB_ASSIGN_OR_RETURN(std::string row_line, NextLine(in, "row"));
+      std::vector<bool> quoted;
+      CONSENTDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                                 relational::SplitCsvRecord(row_line, &quoted));
+      if (fields.size() != num_columns) {
+        return Status::InvalidArgument("row arity mismatch: " + row_line);
+      }
+      std::vector<Value> values;
+      for (size_t i = 0; i < fields.size(); ++i) {
+        CONSENTDB_ASSIGN_OR_RETURN(
+            Value v, ParseValue(fields[i], quoted[i], columns[i].type));
+        values.push_back(std::move(v));
+      }
+      tuples.emplace_back(std::move(values));
+    }
+
+    CONSENTDB_ASSIGN_OR_RETURN(std::string annot_header,
+                               NextLine(in, "annotations"));
+    if (annot_header != "annotations") {
+      return Status::InvalidArgument("expected 'annotations', got: " +
+                                     annot_header);
+    }
+    for (size_t r = 0; r < num_rows; ++r) {
+      CONSENTDB_ASSIGN_OR_RETURN(std::string annot_line,
+                                 NextLine(in, "annotation"));
+      std::vector<bool> quoted;
+      CONSENTDB_ASSIGN_OR_RETURN(
+          std::vector<std::string> fields,
+          relational::SplitCsvRecord(annot_line, &quoted));
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("bad annotation line: " + annot_line);
+      }
+      uint64_t snapshot_var = std::strtoull(fields[0].c_str(), nullptr, 10);
+      double prior = std::strtod(fields[2].c_str(), nullptr);
+      if (prior < 0.0 || prior > 1.0) {
+        return Status::InvalidArgument("prior out of range: " + annot_line);
+      }
+      auto it = var_map.find(snapshot_var);
+      if (it == var_map.end()) {
+        CONSENTDB_ASSIGN_OR_RETURN(
+            provenance::VarId rebuilt,
+            sdb.InsertTuple(name, tuples[r], fields[1], prior));
+        var_map.emplace(snapshot_var, rebuilt);
+      } else {
+        CONSENTDB_RETURN_IF_ERROR(
+            sdb.InsertTupleInBlock(name, tuples[r], it->second));
+      }
+    }
+
+    CONSENTDB_ASSIGN_OR_RETURN(std::string end_line, NextLine(in, "end"));
+    if (end_line != "end") {
+      return Status::InvalidArgument("expected 'end', got: " + end_line);
+    }
+  }
+  return sdb;
+}
+
+Result<SharedDatabase> LoadSnapshot(const std::string& text) {
+  std::istringstream in(text);
+  return LoadSnapshot(in);
+}
+
+}  // namespace consentdb::consent

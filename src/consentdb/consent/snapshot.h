@@ -1,0 +1,40 @@
+// Snapshots: serialise a SharedDatabase — relations, tuples, owners, consent
+// priors and block structure — to a single text stream and load it back.
+//
+// Format (line-oriented; rows and annotation records are CSV):
+//
+//   consentdb-snapshot 1
+//   relation <name>
+//   columns <n>
+//   <col-name>,<TYPE>            (n lines)
+//   rows <m>
+//   <csv row>                    (m lines)
+//   annotations
+//   <var-id>,<owner>,<prior>     (m lines, aligned with the rows)
+//   end
+//   ...                          (further relations)
+//
+// Variable ids are renumbered densely on load; the ids in the file only
+// encode which tuples share one consent variable (block annotations).
+
+#ifndef CONSENTDB_CONSENT_SNAPSHOT_H_
+#define CONSENTDB_CONSENT_SNAPSHOT_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "consentdb/consent/shared_database.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::consent {
+
+void SaveSnapshot(const SharedDatabase& sdb, std::ostream& out);
+std::string SaveSnapshot(const SharedDatabase& sdb);
+
+Result<SharedDatabase> LoadSnapshot(std::istream& in);
+Result<SharedDatabase> LoadSnapshot(const std::string& text);
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_SNAPSHOT_H_

@@ -1,0 +1,66 @@
+#include "consentdb/consent/variable_pool.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::consent {
+
+VarId VariablePool::Allocate(std::string name, std::string owner,
+                             double probability) {
+  CONSENTDB_CHECK(probability >= 0.0 && probability <= 1.0,
+                  "probability out of [0,1]");
+  VarId id = static_cast<VarId>(vars_.size());
+  if (name.empty()) name = "x" + std::to_string(id);
+  vars_.push_back(VariableInfo{std::move(name), std::move(owner), probability});
+  return id;
+}
+
+std::vector<VarId> VariablePool::AllocateN(size_t n, double probability) {
+  std::vector<VarId> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ids.push_back(Allocate("", "", probability));
+  }
+  return ids;
+}
+
+const VariableInfo& VariablePool::info(VarId x) const {
+  CONSENTDB_CHECK(x < vars_.size(), "unknown variable id");
+  return vars_[x];
+}
+
+void VariablePool::SetProbability(VarId x, double p) {
+  CONSENTDB_CHECK(x < vars_.size(), "unknown variable id");
+  CONSENTDB_CHECK(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  vars_[x].probability = p;
+}
+
+void VariablePool::SetOwner(VarId x, std::string owner) {
+  CONSENTDB_CHECK(x < vars_.size(), "unknown variable id");
+  vars_[x].owner = std::move(owner);
+}
+
+void VariablePool::SetAllProbabilities(double p) {
+  CONSENTDB_CHECK(p >= 0.0 && p <= 1.0, "probability out of [0,1]");
+  for (VariableInfo& v : vars_) v.probability = p;
+}
+
+std::vector<double> VariablePool::Probabilities() const {
+  std::vector<double> pi;
+  pi.reserve(vars_.size());
+  for (const VariableInfo& v : vars_) pi.push_back(v.probability);
+  return pi;
+}
+
+provenance::PartialValuation VariablePool::SampleValuation(Rng& rng) const {
+  provenance::PartialValuation val(vars_.size());
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    val.Set(static_cast<VarId>(i), rng.Bernoulli(vars_[i].probability));
+  }
+  return val;
+}
+
+provenance::VarNamer VariablePool::Namer() const {
+  return [this](VarId x) { return name(x); };
+}
+
+}  // namespace consentdb::consent

@@ -1,0 +1,68 @@
+// VariablePool: the set C of consent variables (Def. II.1).
+//
+// Allocates dense VarIds and keeps per-variable metadata: a display name, the
+// owning peer (who gets probed), and the prior probability pi(x) that the
+// peer consents (Sec. II, probabilistic model).
+
+#ifndef CONSENTDB_CONSENT_VARIABLE_POOL_H_
+#define CONSENTDB_CONSENT_VARIABLE_POOL_H_
+
+#include <string>
+#include <vector>
+
+#include "consentdb/provenance/bool_expr.h"
+#include "consentdb/provenance/truth.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::consent {
+
+using provenance::VarId;
+
+// Per-variable metadata.
+struct VariableInfo {
+  std::string name;   // e.g. "JobSeekers#3"
+  std::string owner;  // peer to probe, e.g. "Alice"; may be empty
+  double probability = 0.5;
+};
+
+class VariablePool {
+ public:
+  VariablePool() = default;
+
+  // Allocates a fresh variable. Default name is "x<id>".
+  VarId Allocate(std::string name = "", std::string owner = "",
+                 double probability = 0.5);
+
+  // Allocates `n` fresh variables with the same owner/probability.
+  std::vector<VarId> AllocateN(size_t n, double probability = 0.5);
+
+  size_t size() const { return vars_.size(); }
+
+  const VariableInfo& info(VarId x) const;
+  const std::string& name(VarId x) const { return info(x).name; }
+  const std::string& owner(VarId x) const { return info(x).owner; }
+  double probability(VarId x) const { return info(x).probability; }
+
+  void SetProbability(VarId x, double p);
+  void SetOwner(VarId x, std::string owner);
+  // Sets every variable's probability to `p` (the experimental setup of
+  // Sec. V-A uses one probability for all variables).
+  void SetAllProbabilities(double p);
+
+  // Probability vector indexed by VarId, for the strategy layer.
+  std::vector<double> Probabilities() const;
+
+  // Draws a full hidden consent valuation: each variable independently True
+  // with its probability (the experimental methodology of Sec. V-A).
+  provenance::PartialValuation SampleValuation(Rng& rng) const;
+
+  // Namer suitable for BoolExpr::ToString.
+  provenance::VarNamer Namer() const;
+
+ private:
+  std::vector<VariableInfo> vars_;
+};
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_VARIABLE_POOL_H_

@@ -1,0 +1,303 @@
+#include "consentdb/core/consent_manager.h"
+
+#include "consentdb/eval/targeted.h"
+#include "consentdb/query/optimize.h"
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/strategy/optimal.h"
+#include "consentdb/util/check.h"
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb::core {
+
+using consent::ProbeOracle;
+using eval::AnnotatedRelation;
+using eval::ProvenanceProfile;
+using provenance::Dnf;
+using provenance::Truth;
+using provenance::VarId;
+using query::PlanPtr;
+using relational::Tuple;
+using strategy::EvaluationState;
+using strategy::ProbeStrategy;
+
+const char* AlgorithmToString(Algorithm a) {
+  switch (a) {
+    case Algorithm::kAuto:
+      return "Auto";
+    case Algorithm::kRandom:
+      return "Random";
+    case Algorithm::kFreq:
+      return "Freq";
+    case Algorithm::kRo:
+      return "RO";
+    case Algorithm::kQValue:
+      return "Q-value";
+    case Algorithm::kGeneral:
+      return "General";
+    case Algorithm::kHybrid:
+      return "Hybrid";
+    case Algorithm::kOptimal:
+      return "Optimal";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Selection {
+  std::unique_ptr<ProbeStrategy> strategy;
+  std::string rationale;
+};
+
+// Auto selection: the runtime checks of Sec. IV-D layered over the
+// syntactic guarantees of Table I.
+Selection SelectAuto(const ProvenanceProfile& profile, bool single_tuple,
+                     const SessionOptions& options, EvaluationState* state) {
+  Selection sel;
+  if (profile.overall_read_once ||
+      (single_tuple && profile.per_tuple_read_once)) {
+    sel.strategy = std::make_unique<strategy::RoStrategy>();
+    sel.rationale = profile.overall_read_once
+                        ? "provenance is overall read-once: RO is exact "
+                          "(Prop. IV.4/IV.8)"
+                        : "single-tuple provenance is read-once: RO is exact "
+                          "(Prop. IV.5)";
+    return sel;
+  }
+  if (profile.max_terms_per_tuple <= options.qvalue_max_terms &&
+      state->TryAttachResidualCnfs(options.cnf_limits)) {
+    sel.strategy = std::make_unique<strategy::QValueStrategy>();
+    sel.rationale =
+        "projection-limited provenance (max " +
+        std::to_string(profile.max_terms_per_tuple) +
+        " terms/tuple): Q-value approximation (Props. IV.11/IV.13)";
+    return sel;
+  }
+  sel.strategy = std::make_unique<strategy::GeneralStrategy>();
+  sel.rationale =
+      "general provenance: Algorithm General (Thm. IV.16 approximation)";
+  return sel;
+}
+
+Result<Selection> SelectStrategy(Algorithm algorithm,
+                                 const ProvenanceProfile& profile,
+                                 bool single_tuple,
+                                 const SessionOptions& options,
+                                 const std::vector<double>& pi,
+                                 EvaluationState* state) {
+  Selection sel;
+  switch (algorithm) {
+    case Algorithm::kAuto:
+      return SelectAuto(profile, single_tuple, options, state);
+    case Algorithm::kRandom:
+      sel.strategy =
+          std::make_unique<strategy::RandomStrategy>(options.random_seed);
+      break;
+    case Algorithm::kFreq:
+      sel.strategy = std::make_unique<strategy::FreqStrategy>();
+      break;
+    case Algorithm::kRo:
+      sel.strategy = std::make_unique<strategy::RoStrategy>();
+      break;
+    case Algorithm::kQValue: {
+      CONSENTDB_RETURN_IF_ERROR(state->AttachCnfs(options.cnf_limits));
+      sel.strategy = std::make_unique<strategy::QValueStrategy>();
+      break;
+    }
+    case Algorithm::kGeneral:
+      sel.strategy = std::make_unique<strategy::GeneralStrategy>();
+      break;
+    case Algorithm::kHybrid:
+      sel.strategy =
+          std::make_unique<strategy::HybridStrategy>(options.cnf_limits);
+      break;
+    case Algorithm::kOptimal: {
+      std::vector<Dnf> dnfs = profile.dnfs;
+      sel.strategy = std::make_unique<strategy::OptimalStrategy>(
+          std::move(dnfs), pi, options.optimal_max_vars);
+      break;
+    }
+  }
+  sel.rationale = "requested explicitly";
+  return sel;
+}
+
+}  // namespace
+
+Result<SessionReport> ConsentManager::RunSession(
+    const PlanPtr& plan, std::optional<Tuple> single, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  PlanPtr effective = plan;
+  if (options.optimize_plan) {
+    CONSENTDB_ASSIGN_OR_RETURN(effective,
+                               query::Optimize(plan, sdb_.database()));
+  }
+  std::vector<Tuple> tuples;
+  std::vector<provenance::BoolExprPtr> annotations;
+  CONSENTDB_ASSIGN_OR_RETURN(relational::Schema schema,
+                             effective->OutputSchema(sdb_.database()));
+  if (single.has_value()) {
+    // Targeted evaluation: the tuple's provenance is computed by pushing
+    // its values down the plan, without materialising the whole result.
+    CONSENTDB_ASSIGN_OR_RETURN(
+        provenance::BoolExprPtr annotation,
+        eval::AnnotationForTuple(effective, sdb_, *single));
+    tuples.push_back(*single);
+    annotations.push_back(std::move(annotation));
+  } else {
+    CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation annotated,
+                               eval::EvaluateAnnotated(effective, sdb_));
+    tuples = annotated.tuples();
+    annotations = annotated.annotations();
+  }
+
+  // Flatten to DNF and profile the provenance structure.
+  ProvenanceProfile profile;
+  {
+    AnnotatedRelation subset(schema);
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      subset.Insert(tuples[i], annotations[i]);
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(profile,
+                               eval::ProfileProvenance(subset, options.dnf_limits));
+  }
+
+  std::vector<double> pi = sdb_.pool().Probabilities();
+  EvaluationState state(profile.dnfs, pi);
+  CONSENTDB_ASSIGN_OR_RETURN(
+      Selection sel,
+      SelectStrategy(options.algorithm, profile, single.has_value(), options,
+                     pi, &state));
+
+  strategy::ProbeRun run = strategy::RunToCompletion(
+      state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); });
+
+  SessionReport report;
+  report.num_probes = run.num_probes;
+  report.algorithm_used = sel.strategy->name();
+  report.selection_rationale = sel.rationale;
+  report.query_profile = query::Classify(*plan);
+  report.provenance_tuples = profile.dnfs.size();
+  report.provenance_max_terms = profile.max_terms_per_tuple;
+  report.provenance_max_term_size = profile.max_term_size;
+  report.provenance_overall_read_once = profile.overall_read_once;
+  report.provenance_per_tuple_read_once = profile.per_tuple_read_once;
+  report.tuples.reserve(tuples.size());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    CONSENTDB_CHECK(run.outcomes[i] != Truth::kUnknown,
+                    "session ended with an undecided tuple");
+    report.tuples.push_back(
+        TupleConsent{tuples[i], run.outcomes[i] == Truth::kTrue});
+  }
+  report.trace.reserve(run.trace.size());
+  for (const auto& [x, answer] : run.trace) {
+    report.trace.push_back(SessionReport::ProbeRecord{
+        x, sdb_.pool().name(x), sdb_.pool().owner(x), answer});
+  }
+  return report;
+}
+
+Result<SessionReport> ConsentManager::DecideAll(
+    const PlanPtr& plan, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  return RunSession(plan, std::nullopt, oracle, options);
+}
+
+Result<SessionReport> ConsentManager::DecideAll(
+    std::string_view sql, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  CONSENTDB_ASSIGN_OR_RETURN(PlanPtr plan, query::ParseQuery(sql));
+  return RunSession(plan, std::nullopt, oracle, options);
+}
+
+Result<SessionReport> ConsentManager::DecideSingle(
+    const PlanPtr& plan, const Tuple& tuple, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  return RunSession(plan, tuple, oracle, options);
+}
+
+Result<SessionReport> ConsentManager::DecideSingle(
+    std::string_view sql, const Tuple& tuple, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  CONSENTDB_ASSIGN_OR_RETURN(PlanPtr plan, query::ParseQuery(sql));
+  return RunSession(plan, tuple, oracle, options);
+}
+
+Result<QueryAnalysis> ConsentManager::Analyze(
+    const PlanPtr& plan, const SessionOptions& options) const {
+  QueryAnalysis analysis;
+  analysis.profile = query::Classify(*plan);
+  analysis.guarantees = query::GuaranteesFor(analysis.profile);
+  CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation annotated,
+                             eval::EvaluateAnnotated(plan, sdb_));
+  CONSENTDB_ASSIGN_OR_RETURN(
+      analysis.provenance,
+      eval::ProfileProvenance(annotated, options.dnf_limits));
+  return analysis;
+}
+
+std::string SessionReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algorithm_used);
+  w.Key("selection_rationale");
+  w.String(selection_rationale);
+  w.Key("query_class");
+  w.String(query::QueryClassToString(query_profile.query_class));
+  w.Key("num_probes");
+  w.Uint(num_probes);
+  w.Key("provenance");
+  w.BeginObject();
+  w.Key("tuples");
+  w.Uint(provenance_tuples);
+  w.Key("max_terms_per_tuple");
+  w.Uint(provenance_max_terms);
+  w.Key("max_term_size");
+  w.Uint(provenance_max_term_size);
+  w.Key("overall_read_once");
+  w.Bool(provenance_overall_read_once);
+  w.Key("per_tuple_read_once");
+  w.Bool(provenance_per_tuple_read_once);
+  w.EndObject();
+  w.Key("tuples");
+  w.BeginArray();
+  for (const TupleConsent& tc : tuples) {
+    w.BeginObject();
+    w.Key("tuple");
+    w.String(tc.tuple.ToString());
+    w.Key("shareable");
+    w.Bool(tc.shareable);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("trace");
+  w.BeginArray();
+  for (const ProbeRecord& rec : trace) {
+    w.BeginObject();
+    w.Key("variable");
+    w.String(rec.variable_name);
+    w.Key("owner");
+    w.String(rec.owner);
+    w.Key("answer");
+    w.Bool(rec.answer);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string SessionReport::ToString() const {
+  std::string out = "SessionReport{algorithm=" + algorithm_used;
+  out += ", probes=" + std::to_string(num_probes);
+  out += ", tuples=" + std::to_string(tuples.size());
+  size_t shareable = 0;
+  for (const TupleConsent& t : tuples) shareable += t.shareable ? 1 : 0;
+  out += ", shareable=" + std::to_string(shareable);
+  out += ", class=" + std::string(query::QueryClassToString(
+                          query_profile.query_class));
+  return out + "}";
+}
+
+}  // namespace consentdb::core

@@ -1,0 +1,135 @@
+// ConsentManager: the end-to-end public API of the library.
+//
+// Implements OPT-PEER-PROBE and OPT-PEER-PROBE-SINGLE (Def. II.8): given a
+// shared database and an SPJU query, it evaluates the query with provenance
+// tracking, picks a probing algorithm (by the query class and the runtime
+// provenance-structure checks of Sec. IV-D), and probes the peers through an
+// oracle until the shareability of the requested output tuples is decided.
+
+#ifndef CONSENTDB_CORE_CONSENT_MANAGER_H_
+#define CONSENTDB_CORE_CONSENT_MANAGER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "consentdb/consent/oracle.h"
+#include "consentdb/consent/shared_database.h"
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/eval/provenance_profile.h"
+#include "consentdb/query/classify.h"
+#include "consentdb/query/parser.h"
+#include "consentdb/strategy/runner.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::core {
+
+enum class Algorithm {
+  kAuto,  // select by query class + runtime provenance checks (default)
+  kRandom,
+  kFreq,
+  kRo,
+  kQValue,
+  kGeneral,
+  kHybrid,
+  kOptimal,  // exponential; small provenance only
+};
+
+const char* AlgorithmToString(Algorithm a);
+
+struct SessionOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  // Rewrite the plan (selection pushdown) before evaluation. Provenance is
+  // plan-invariant, so this only affects evaluation time, never probing.
+  bool optimize_plan = true;
+  // Budgets for flattening provenance to DNF and for CNF computation.
+  provenance::NormalFormLimits dnf_limits = {};
+  provenance::NormalFormLimits cnf_limits = {};
+  // Auto selection attempts Q-value only when no tuple has more DNF terms
+  // than this (brute-force CNF feasibility, Sec. IV-C).
+  size_t qvalue_max_terms = 64;
+  uint64_t random_seed = 42;       // for Algorithm::kRandom
+  size_t optimal_max_vars = 20;    // for Algorithm::kOptimal
+};
+
+// Shareability verdict for one output tuple.
+struct TupleConsent {
+  relational::Tuple tuple;
+  bool shareable = false;
+};
+
+struct SessionReport {
+  std::vector<TupleConsent> tuples;
+  size_t num_probes = 0;
+  // Probe sequence: variable, owning peer, answer.
+  struct ProbeRecord {
+    provenance::VarId variable;
+    std::string variable_name;
+    std::string owner;
+    bool answer;
+  };
+  std::vector<ProbeRecord> trace;
+  std::string algorithm_used;
+  std::string selection_rationale;
+  query::QueryProfile query_profile;
+  // Summary of the provenance structure the session ran on.
+  size_t provenance_tuples = 0;
+  size_t provenance_max_terms = 0;
+  size_t provenance_max_term_size = 0;
+  bool provenance_overall_read_once = false;
+  bool provenance_per_tuple_read_once = false;
+
+  std::string ToString() const;
+  // Machine-readable export: algorithm, probes, per-tuple verdicts, trace.
+  std::string ToJson() const;
+};
+
+// Static analysis bundle (used by examples and the Table I bench).
+struct QueryAnalysis {
+  query::QueryProfile profile;
+  query::Guarantees guarantees;
+  eval::ProvenanceProfile provenance;
+};
+
+class ConsentManager {
+ public:
+  explicit ConsentManager(const consent::SharedDatabase& sdb) : sdb_(sdb) {}
+
+  // OPT-PEER-PROBE: decides shareability of every output tuple.
+  Result<SessionReport> DecideAll(const query::PlanPtr& plan,
+                                  consent::ProbeOracle& oracle,
+                                  const SessionOptions& options = {}) const;
+  Result<SessionReport> DecideAll(std::string_view sql,
+                                  consent::ProbeOracle& oracle,
+                                  const SessionOptions& options = {}) const;
+
+  // OPT-PEER-PROBE-SINGLE: decides shareability of one output tuple (which
+  // must belong to the query result).
+  Result<SessionReport> DecideSingle(const query::PlanPtr& plan,
+                                     const relational::Tuple& tuple,
+                                     consent::ProbeOracle& oracle,
+                                     const SessionOptions& options = {}) const;
+  Result<SessionReport> DecideSingle(std::string_view sql,
+                                     const relational::Tuple& tuple,
+                                     consent::ProbeOracle& oracle,
+                                     const SessionOptions& options = {}) const;
+
+  // Evaluates and profiles a query without probing.
+  Result<QueryAnalysis> Analyze(const query::PlanPtr& plan,
+                                const SessionOptions& options = {}) const;
+
+  const consent::SharedDatabase& shared_database() const { return sdb_; }
+
+ private:
+  Result<SessionReport> RunSession(const query::PlanPtr& plan,
+                                   std::optional<relational::Tuple> single,
+                                   consent::ProbeOracle& oracle,
+                                   const SessionOptions& options) const;
+
+  const consent::SharedDatabase& sdb_;
+};
+
+}  // namespace consentdb::core
+
+#endif  // CONSENTDB_CORE_CONSENT_MANAGER_H_

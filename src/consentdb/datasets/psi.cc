@@ -1,0 +1,110 @@
+#include "consentdb/datasets/psi.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::datasets {
+
+using provenance::BoolExpr;
+using provenance::BoolExprPtr;
+using provenance::Truth;
+using provenance::VarSet;
+
+provenance::BoolExprPtr PsiFormula::ToExpr() const {
+  if (level == 0) {
+    return BoolExpr::OrN({
+        BoolExpr::And(BoolExpr::Var(w), BoolExpr::Var(x)),
+        BoolExpr::And(BoolExpr::Var(x), BoolExpr::Var(y)),
+        BoolExpr::And(BoolExpr::Var(y), BoolExpr::Var(z)),
+    });
+  }
+  return BoolExpr::OrN({
+      BoolExpr::And(BoolExpr::Var(u), left->ToExpr()),
+      BoolExpr::And(BoolExpr::Var(u), BoolExpr::Var(v)),
+      BoolExpr::And(BoolExpr::Var(v), right->ToExpr()),
+  });
+}
+
+size_t PsiFormula::NumVars() const {
+  return 6 * (static_cast<size_t>(1) << level) - 2;
+}
+
+size_t PsiFormula::NumDnfTerms() const {
+  return (static_cast<size_t>(1) << (level + 2)) - 1;
+}
+
+PsiFormula BuildPsi(int level, consent::VariablePool& pool,
+                    double probability) {
+  CONSENTDB_CHECK(level >= 0, "negative psi level");
+  PsiFormula psi;
+  psi.level = level;
+  if (level == 0) {
+    psi.w = pool.Allocate("", "", probability);
+    psi.x = pool.Allocate("", "", probability);
+    psi.y = pool.Allocate("", "", probability);
+    psi.z = pool.Allocate("", "", probability);
+    return psi;
+  }
+  psi.left =
+      std::make_unique<PsiFormula>(BuildPsi(level - 1, pool, probability));
+  psi.right =
+      std::make_unique<PsiFormula>(BuildPsi(level - 1, pool, probability));
+  psi.u = pool.Allocate("", "", probability);
+  psi.v = pool.Allocate("", "", probability);
+  return psi;
+}
+
+namespace {
+
+void ExpandTerms(const PsiFormula& psi, std::vector<VarSet>* out) {
+  if (psi.level == 0) {
+    out->push_back(VarSet{psi.w, psi.x});
+    out->push_back(VarSet{psi.x, psi.y});
+    out->push_back(VarSet{psi.y, psi.z});
+    return;
+  }
+  std::vector<VarSet> left_terms;
+  std::vector<VarSet> right_terms;
+  ExpandTerms(*psi.left, &left_terms);
+  ExpandTerms(*psi.right, &right_terms);
+  for (const VarSet& t : left_terms) out->push_back(t.Union(VarSet{psi.u}));
+  out->push_back(VarSet{psi.u, psi.v});
+  for (const VarSet& t : right_terms) out->push_back(t.Union(VarSet{psi.v}));
+}
+
+}  // namespace
+
+Dnf PsiDnf(const PsiFormula& psi) {
+  std::vector<VarSet> terms;
+  terms.reserve(psi.NumDnfTerms());
+  ExpandTerms(psi, &terms);
+  // The expansion is already an antichain; skip the quadratic absorption.
+  return Dnf(std::move(terms), /*absorb=*/false);
+}
+
+VarId PsiOptimalStrategy::ChooseNext(strategy::EvaluationState& state) {
+  const PsiFormula* node = root_;
+  while (node->level >= 1) {
+    Truth tu = state.var_value(node->u);
+    Truth tv = state.var_value(node->v);
+    if (tu == Truth::kUnknown) return node->u;
+    if (tv == Truth::kUnknown) return node->v;
+    CONSENTDB_CHECK(tu != tv,
+                    "psi node decided but session still running");
+    node = tu == Truth::kTrue ? node->left.get() : node->right.get();
+  }
+  Truth tx = state.var_value(node->x);
+  Truth ty = state.var_value(node->y);
+  if (tx == Truth::kUnknown) return node->x;
+  if (ty == Truth::kUnknown) return node->y;
+  if (tx == Truth::kTrue && ty == Truth::kFalse) return node->w;
+  if (tx == Truth::kFalse && ty == Truth::kTrue) return node->z;
+  CONSENTDB_CHECK(false, "psi base decided but session still running");
+  return provenance::kInvalidVar;
+}
+
+strategy::StrategyFactory MakePsiOptimalFactory(const PsiFormula& psi) {
+  const PsiFormula* root = &psi;
+  return [root]() { return std::make_unique<PsiOptimalStrategy>(*root); };
+}
+
+}  // namespace consentdb::datasets

@@ -1,0 +1,75 @@
+// The ψ-dataset (Sec. V-A): the recursive formula family of Theorem III.5,
+//
+//   ψ_0     = (w ∧ x) ∨ (x ∧ y) ∨ (y ∧ z)
+//   ψ_{i+1} = (u_i ∧ ψ_i) ∨ (u_i ∧ v_i) ∨ (v_i ∧ ψ'_i)
+//
+// with ψ'_i a fresh-variable copy of ψ_i. |vars(ψ_i)| = 6·2^i − 2 and the
+// optimal strategy probes O(i) variables, which makes the family the
+// yardstick of Figs. 2a/2b: the optimal cost is known by construction even
+// though computing optimal strategies is NP-hard in general.
+
+#ifndef CONSENTDB_DATASETS_PSI_H_
+#define CONSENTDB_DATASETS_PSI_H_
+
+#include <memory>
+
+#include "consentdb/consent/variable_pool.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/strategy/strategies.h"
+
+namespace consentdb::datasets {
+
+using provenance::Dnf;
+using provenance::VarId;
+
+// The recursive structure of ψ_i, kept so the constructive optimal strategy
+// can walk it.
+struct PsiFormula {
+  int level = 0;
+  // level >= 1: top variables and the two sub-formulas.
+  VarId u = provenance::kInvalidVar;
+  VarId v = provenance::kInvalidVar;
+  std::unique_ptr<PsiFormula> left;   // ψ_{i-1}
+  std::unique_ptr<PsiFormula> right;  // ψ'_{i-1}
+  // level == 0: the four base variables of (w∧x)∨(x∧y)∨(y∧z).
+  VarId w = provenance::kInvalidVar;
+  VarId x = provenance::kInvalidVar;
+  VarId y = provenance::kInvalidVar;
+  VarId z = provenance::kInvalidVar;
+
+  provenance::BoolExprPtr ToExpr() const;
+  // 6·2^level − 2.
+  size_t NumVars() const;
+  // 2^{level+2} − 1 terms in the expanded DNF.
+  size_t NumDnfTerms() const;
+};
+
+// Builds ψ_`level`, allocating its variables in `pool` with probability
+// `probability` each (the paper uses 0.5 by default for this dataset).
+PsiFormula BuildPsi(int level, consent::VariablePool& pool,
+                    double probability = 0.5);
+
+// The expanded monotone DNF of a ψ formula.
+Dnf PsiDnf(const PsiFormula& psi);
+
+// The O(level) optimal BDD from the proof of Theorem III.5, packaged as a
+// strategy: probe u_i then v_i; equal answers decide ψ_i, otherwise recurse
+// into the surviving branch; ψ_0 is decided with at most 3 probes (x, y,
+// then w or z).
+class PsiOptimalStrategy : public strategy::ProbeStrategy {
+ public:
+  explicit PsiOptimalStrategy(const PsiFormula& psi) : root_(&psi) {}
+
+  std::string name() const override { return "Optimal"; }
+  VarId ChooseNext(strategy::EvaluationState& state) override;
+
+ private:
+  const PsiFormula* root_;
+};
+
+// Factory wrapper (the formula must outlive the produced strategies).
+strategy::StrategyFactory MakePsiOptimalFactory(const PsiFormula& psi);
+
+}  // namespace consentdb::datasets
+
+#endif  // CONSENTDB_DATASETS_PSI_H_

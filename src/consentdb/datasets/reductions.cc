@@ -1,0 +1,204 @@
+#include "consentdb/datasets/reductions.h"
+
+#include <algorithm>
+#include <set>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::datasets {
+
+using provenance::Dnf;
+using provenance::VarId;
+using provenance::VarSet;
+using query::CompareOp;
+using query::Plan;
+using query::PlanPtr;
+using query::Predicate;
+using query::PredicatePtr;
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+Graph RandomGraph(size_t num_vertices, size_t num_edges, Rng& rng) {
+  CONSENTDB_CHECK(num_vertices >= 3, "need at least 3 vertices");
+  CONSENTDB_CHECK(num_edges >= num_vertices,
+                  "need at least as many edges as vertices (ring backbone)");
+  Graph g;
+  g.num_vertices = num_vertices;
+  std::set<std::pair<size_t, size_t>> seen;
+  std::vector<size_t> degree(num_vertices, 0);
+  auto add_edge = [&](size_t a, size_t b) {
+    if (a == b) return false;
+    auto key = std::minmax(a, b);
+    if (!seen.insert(key).second) return false;
+    if (degree[a] >= 3 || degree[b] >= 3) {
+      seen.erase(key);
+      return false;
+    }
+    g.edges.emplace_back(key.first, key.second);
+    ++degree[a];
+    ++degree[b];
+    return true;
+  };
+  // Ring backbone: every vertex has degree >= 2.
+  for (size_t v = 0; v < num_vertices; ++v) {
+    add_edge(v, (v + 1) % num_vertices);
+  }
+  // Random chords up to the requested count (degree capped at 3 so the
+  // graph stays cubic-ish, as in the Thm. IV.10 reduction).
+  size_t attempts = 0;
+  while (g.edges.size() < num_edges && attempts < num_edges * 64) {
+    ++attempts;
+    add_edge(rng.UniformIndex(num_vertices), rng.UniformIndex(num_vertices));
+  }
+  return g;
+}
+
+Result<SpjInstance> BuildSpjFromDnf(const Dnf& dnf,
+                                    double variable_probability) {
+  if (dnf.IsConstantTrue() || dnf.IsConstantFalse()) {
+    return Status::InvalidArgument("constant DNF has no SPJ encoding");
+  }
+  const size_t k = dnf.MaxTermSize();
+  SpjInstance inst;
+
+  // Vars(v): one row per DNF variable, annotated with its consent variable.
+  CONSENTDB_RETURN_IF_ERROR(inst.sdb.CreateRelation(
+      "Vars", Schema({Column{"v", ValueType::kString}})));
+  VarSet vars = dnf.Vars();
+  VarId max_input = vars.empty() ? 0 : vars.vars().back();
+  inst.var_map.assign(max_input + 1, provenance::kInvalidVar);
+  for (VarId x : vars) {
+    std::string name = "x" + std::to_string(x);
+    CONSENTDB_ASSIGN_OR_RETURN(
+        VarId annotation,
+        inst.sdb.InsertTuple("Vars", Tuple{Value(name)}, "peer-of-" + name,
+                             variable_probability));
+    inst.var_map[x] = annotation;
+  }
+
+  // Clauses(c1..ck): one row per term (short terms pad by repetition),
+  // annotated with a fresh probability-1 variable.
+  std::vector<Column> clause_cols;
+  for (size_t i = 0; i < k; ++i) {
+    clause_cols.push_back(Column{"c" + std::to_string(i + 1),
+                                 ValueType::kString});
+  }
+  CONSENTDB_RETURN_IF_ERROR(
+      inst.sdb.CreateRelation("Clauses", Schema(clause_cols)));
+  for (const VarSet& term : dnf.terms()) {
+    std::vector<Value> row;
+    for (size_t i = 0; i < k; ++i) {
+      VarId x = term[std::min(i, term.size() - 1)];  // pad by repeating
+      row.emplace_back("x" + std::to_string(x));
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(
+        VarId annotation,
+        inst.sdb.InsertTuple("Clauses", Tuple(std::move(row)), "system",
+                             /*probability=*/1.0));
+    inst.clause_vars.push_back(annotation);
+  }
+
+  // Ans('yes'), probability 1 — projecting onto it realises the Boolean
+  // query with a single output tuple.
+  CONSENTDB_RETURN_IF_ERROR(inst.sdb.CreateRelation(
+      "Ans", Schema({Column{"a", ValueType::kString}})));
+  CONSENTDB_RETURN_IF_ERROR(
+      inst.sdb.InsertTuple("Ans", Tuple{Value("yes")}, "system", 1.0)
+          .status());
+
+  // ans(a) :- Ans(a), Clauses(z1..zk), Vars(z1), ..., Vars(zk).
+  PlanPtr plan = Plan::Scan("Clauses", "c");
+  std::vector<PredicatePtr> conds;
+  for (size_t i = 0; i < k; ++i) {
+    std::string alias = "v" + std::to_string(i + 1);
+    plan = Plan::Product(std::move(plan), Plan::Scan("Vars", alias));
+    conds.push_back(Predicate::ColumnsEqual("c.c" + std::to_string(i + 1),
+                                            alias + ".v"));
+  }
+  plan = Plan::Product(std::move(plan), Plan::Scan("Ans", "ans"));
+  plan = Plan::Select(Predicate::And(std::move(conds)), std::move(plan));
+  inst.plan = Plan::Project({"ans.a"}, std::move(plan));
+  return inst;
+}
+
+Result<SjInstance> BuildSjFromGraph(const Graph& graph, double probability) {
+  SjInstance inst;
+  CONSENTDB_RETURN_IF_ERROR(inst.sdb.CreateRelation(
+      "Vars", Schema({Column{"v", ValueType::kInt64}})));
+  CONSENTDB_RETURN_IF_ERROR(inst.sdb.CreateRelation(
+      "Clauses", Schema({Column{"v1", ValueType::kInt64},
+                         Column{"v2", ValueType::kInt64}})));
+  inst.vertex_vars.reserve(graph.num_vertices);
+  for (size_t v = 0; v < graph.num_vertices; ++v) {
+    CONSENTDB_ASSIGN_OR_RETURN(
+        VarId annotation,
+        inst.sdb.InsertTuple("Vars",
+                             Tuple{Value(static_cast<int64_t>(v))},
+                             "peer-" + std::to_string(v), probability));
+    inst.vertex_vars.push_back(annotation);
+  }
+  for (const auto& [a, b] : graph.edges) {
+    CONSENTDB_RETURN_IF_ERROR(
+        inst.sdb
+            .InsertTuple("Clauses",
+                         Tuple{Value(static_cast<int64_t>(a)),
+                               Value(static_cast<int64_t>(b))},
+                         "system", probability)
+            .status());
+  }
+  // SELECT * FROM Vars a, Vars b, Clauses c WHERE a.v = c.v1 AND b.v = c.v2
+  PlanPtr product = Plan::Product(
+      Plan::Product(Plan::Scan("Vars", "a"), Plan::Scan("Vars", "b")),
+      Plan::Scan("Clauses", "c"));
+  inst.plan = Plan::Select(
+      Predicate::And({Predicate::ColumnsEqual("a.v", "c.v1"),
+                      Predicate::ColumnsEqual("b.v", "c.v2")}),
+      std::move(product));
+  return inst;
+}
+
+Result<SpuInstance> BuildSpuFromGraph(const Graph& graph, double probability) {
+  // Incident edge ids per vertex.
+  std::vector<std::vector<int64_t>> incident(graph.num_vertices);
+  for (size_t e = 0; e < graph.edges.size(); ++e) {
+    incident[graph.edges[e].first].push_back(static_cast<int64_t>(e));
+    incident[graph.edges[e].second].push_back(static_cast<int64_t>(e));
+  }
+  SpuInstance inst;
+  CONSENTDB_RETURN_IF_ERROR(inst.sdb.CreateRelation(
+      "R", Schema({Column{"v", ValueType::kInt64},
+                   Column{"e1", ValueType::kInt64},
+                   Column{"e2", ValueType::kInt64},
+                   Column{"e3", ValueType::kInt64}})));
+  inst.vertex_vars.reserve(graph.num_vertices);
+  for (size_t v = 0; v < graph.num_vertices; ++v) {
+    if (incident[v].empty()) {
+      return Status::InvalidArgument("vertex " + std::to_string(v) +
+                                     " has no incident edge");
+    }
+    // Vertices of degree < 3 repeat an incident edge (as in the reduction).
+    int64_t e1 = incident[v][0];
+    int64_t e2 = incident[v][std::min<size_t>(1, incident[v].size() - 1)];
+    int64_t e3 = incident[v][std::min<size_t>(2, incident[v].size() - 1)];
+    CONSENTDB_ASSIGN_OR_RETURN(
+        VarId annotation,
+        inst.sdb.InsertTuple(
+            "R",
+            Tuple{Value(static_cast<int64_t>(v)), Value(e1), Value(e2),
+                  Value(e3)},
+            "peer-" + std::to_string(v), probability));
+    inst.vertex_vars.push_back(annotation);
+  }
+  // pi_e1(R) UNION pi_e2(R) UNION pi_e3(R), all projecting to column "e".
+  inst.plan = Plan::Union({
+      Plan::Project({"R.e1"}, Plan::Scan("R"), {"e"}),
+      Plan::Project({"R.e2"}, Plan::Scan("R"), {"e"}),
+      Plan::Project({"R.e3"}, Plan::Scan("R"), {"e"}),
+  });
+  return inst;
+}
+
+}  // namespace consentdb::datasets

@@ -1,0 +1,76 @@
+// The hardness-proof constructions of the paper, as runnable instance
+// builders: they witness the two-way correspondence between queries and
+// monotone k-DNFs (Prop. IV.2) and the VERTEX-COVER reductions behind
+// Thms. IV.9/IV.10/IV.15. Used by tests (to validate the constructions) and
+// by the Table I benchmark.
+
+#ifndef CONSENTDB_DATASETS_REDUCTIONS_H_
+#define CONSENTDB_DATASETS_REDUCTIONS_H_
+
+#include <utility>
+#include <vector>
+
+#include "consentdb/consent/shared_database.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/query/plan.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::datasets {
+
+// An undirected graph on vertices 0..num_vertices-1.
+struct Graph {
+  size_t num_vertices = 0;
+  std::vector<std::pair<size_t, size_t>> edges;
+};
+
+// Generates a random cubic-ish graph (every vertex degree <= 3; cubic where
+// the paper's Thm. IV.10 reduction needs exactly 3, vertices of lower degree
+// repeat an incident edge).
+Graph RandomGraph(size_t num_vertices, size_t num_edges, Rng& rng);
+
+// --- Prop. IV.2 (2): k-DNF -> SPJ instance -----------------------------------
+//
+// Builds relations Var(x) and Clause(x_1..x_k) encoding `dnf`, plus the
+// fixed SPJ query ans() :- Clause(z_1..z_k), Var(z_1), ..., Var(z_k) with
+// everything projected out. The single output tuple's provenance equals
+// `dnf` up to the fresh clause-tuple variables (which get probability 1).
+struct SpjInstance {
+  consent::SharedDatabase sdb;
+  query::PlanPtr plan;
+  // Maps each variable of the input DNF to the consent variable annotating
+  // its Var-tuple, indexed by the input VarId.
+  std::vector<provenance::VarId> var_map;
+  // The consent variables of the Clause tuples (probability 1).
+  std::vector<provenance::VarId> clause_vars;
+};
+Result<SpjInstance> BuildSpjFromDnf(const provenance::Dnf& dnf,
+                                    double variable_probability);
+
+// --- Thm. IV.9: SJ query whose OPT-PEER-PROBE encodes VERTEX COVER -----------
+//
+// Schema Vars(v), Clauses(v1, v2); query
+//   SELECT * FROM Vars a, Vars b, Clauses c WHERE a.v = c.v1 AND b.v = c.v2
+// One output tuple per edge; provenance x_u ∧ x_v ∧ t_uv (3-conjunctions,
+// per-tuple read-once).
+struct SjInstance {
+  consent::SharedDatabase sdb;
+  query::PlanPtr plan;
+  std::vector<provenance::VarId> vertex_vars;  // by vertex id
+};
+Result<SjInstance> BuildSjFromGraph(const Graph& graph, double probability);
+
+// --- Thm. IV.10: SPU query whose OPT-PEER-PROBE encodes VERTEX COVER ---------
+//
+// Schema R(v, e1, e2, e3) with one row per vertex listing its (up to) three
+// incident edges; query pi_2(R) UNION pi_3(R) UNION pi_4(R). One output
+// tuple per edge; provenance x_u ∨ x_v (disjunctions, per-tuple read-once).
+struct SpuInstance {
+  consent::SharedDatabase sdb;
+  query::PlanPtr plan;
+  std::vector<provenance::VarId> vertex_vars;  // by vertex id
+};
+Result<SpuInstance> BuildSpuFromGraph(const Graph& graph, double probability);
+
+}  // namespace consentdb::datasets
+
+#endif  // CONSENTDB_DATASETS_REDUCTIONS_H_

@@ -1,0 +1,165 @@
+#include "consentdb/datasets/skewed.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "consentdb/provenance/var_set.h"
+#include "consentdb/util/check.h"
+
+namespace consentdb::datasets {
+
+using provenance::VarId;
+using provenance::VarSet;
+
+namespace {
+
+// Uniform draw from `pool` avoiding duplicates within `term`.
+VarId DrawDistinct(const std::vector<VarId>& pool,
+                   const std::vector<VarId>& term, Rng& rng) {
+  for (size_t attempts = 0; attempts < pool.size() * 4 + 32; ++attempts) {
+    VarId candidate = pool[rng.UniformIndex(pool.size())];
+    if (std::find(term.begin(), term.end(), candidate) == term.end()) {
+      return candidate;
+    }
+  }
+  CONSENTDB_CHECK(false, "variable pool too small for the term size");
+  return provenance::kInvalidVar;
+}
+
+}  // namespace
+
+std::string SkewedParams::ToString() const {
+  std::string out = "skewed{rows=" + std::to_string(num_rows);
+  out += ", joins=" + std::to_string(num_joins);
+  out += ", limit=" + std::to_string(projection_limit);
+  out += ", rep=" + std::to_string(avg_repetitions);
+  out += ", p=" + std::to_string(probability);
+  return out + "}";
+}
+
+SkewedDataset GenerateSkewed(const SkewedParams& params, Rng& rng) {
+  CONSENTDB_CHECK(params.num_rows > 0, "need at least one row");
+  CONSENTDB_CHECK(params.projection_limit > 0, "projection limit must be >= 1");
+  CONSENTDB_CHECK(params.avg_repetitions >= 1.0,
+                  "average repetitions must be >= 1");
+  const size_t term_size = params.term_size();
+  const double r = params.avg_repetitions;
+  const bool read_once = r <= 1.0 + 1e-9;
+
+  SkewedDataset out;
+  out.params = params;
+
+  // Expected slots over the whole dataset (terms per row ~ U[1, limit]).
+  const double mean_terms =
+      (1.0 + static_cast<double>(params.projection_limit)) / 2.0;
+  const double expected_slots = static_cast<double>(params.num_rows) *
+                                mean_terms * static_cast<double>(term_size);
+
+  // Global frequent pool: a small set of variables reused across rows, each
+  // occurring ~frequent_boost times more often than the average variable.
+  std::vector<VarId> frequent;
+  if (!read_once) {
+    const double q = params.frequent_slot_share();
+    size_t num_frequent = std::max<size_t>(
+        2, static_cast<size_t>(std::llround(
+               expected_slots * q / (params.frequent_boost * r))));
+    frequent = out.pool.AllocateN(num_frequent, params.probability);
+  }
+  // Per-row infrequent pool sizing: infrequent variables live inside one
+  // row, so the overall average repetition is
+  //   slots / (|frequent| + sum_row |row pool|),
+  // solved per row as row_slots * (1/r - q/(boost*r)).
+  const double infrequent_pool_factor =
+      read_once ? 1.0
+                : (1.0 / r) * (1.0 - params.frequent_slot_share() /
+                                         params.frequent_boost);
+
+  // Rows are generated in groups sharing an infrequent pool: for moderate
+  // repetition targets a group is a single row (repetition lives inside one
+  // provenance expression, as in the paper's example); for high targets a
+  // group spans several rows so the pool can stay above the term size while
+  // still being exhausted r times on average.
+  out.dnfs.reserve(params.num_rows);
+  size_t row = 0;
+  while (row < params.num_rows) {
+    // Accumulate rows into the group until the implied pool is big enough.
+    std::vector<size_t> group_terms;
+    size_t group_slots = 0;
+    while (row + group_terms.size() < params.num_rows) {
+      group_terms.push_back(1 + rng.UniformIndex(params.projection_limit));
+      group_slots += group_terms.back() * term_size;
+      double implied_pool =
+          static_cast<double>(group_slots) * infrequent_pool_factor;
+      if (read_once || implied_pool >= static_cast<double>(term_size + 2)) {
+        break;
+      }
+    }
+    std::vector<VarId> group_pool;
+    if (!read_once) {
+      size_t pool_size = std::max<size_t>(
+          term_size,
+          static_cast<size_t>(std::llround(
+              static_cast<double>(group_slots) * infrequent_pool_factor)));
+      group_pool = out.pool.AllocateN(pool_size, params.probability);
+    }
+    for (size_t num_terms : group_terms) {
+      std::vector<VarSet> terms;
+      terms.reserve(num_terms);
+      // Fresh variables for the whole row, shuffled so that variable ids
+      // carry no information about the term layout (otherwise id-based tie
+      // breaking would accidentally emulate term-by-term probing).
+      std::vector<VarId> fresh;
+      if (read_once) {
+        fresh = out.pool.AllocateN(num_terms * term_size, params.probability);
+        rng.Shuffle(fresh);
+      }
+      for (size_t t = 0; t < num_terms; ++t) {
+        std::vector<VarId> term;
+        term.reserve(term_size);
+        if (read_once) {
+          for (size_t s = 0; s < term_size; ++s) {
+            term.push_back(fresh[t * term_size + s]);
+          }
+        } else {
+          double roll = rng.UniformReal();
+          size_t num_freq = roll < params.prob_term_freq_freq
+                                ? 2
+                                : (roll < params.prob_term_freq_freq +
+                                              params.prob_term_freq_infreq
+                                       ? 1
+                                       : 0);
+          num_freq = std::min(num_freq, std::min(term_size, frequent.size()));
+          for (size_t s = 0; s < num_freq; ++s) {
+            term.push_back(DrawDistinct(frequent, term, rng));
+          }
+          while (term.size() < term_size) {
+            term.push_back(DrawDistinct(group_pool, term, rng));
+          }
+        }
+        terms.emplace_back(std::move(term));
+      }
+      out.dnfs.emplace_back(std::move(terms));
+      ++row;
+    }
+  }
+
+  // Realised statistics.
+  std::vector<size_t> occurrences(out.pool.size(), 0);
+  for (const Dnf& dnf : out.dnfs) {
+    for (const VarSet& term : dnf.terms()) {
+      out.total_literals += term.size();
+      for (VarId v : term) ++occurrences[v];
+    }
+  }
+  for (size_t count : occurrences) {
+    if (count > 0) ++out.distinct_vars;
+  }
+  out.realized_avg_repetitions =
+      out.distinct_vars == 0
+          ? 0.0
+          : static_cast<double>(out.total_literals) /
+                static_cast<double>(out.distinct_vars);
+  return out;
+}
+
+}  // namespace consentdb::datasets

@@ -1,0 +1,77 @@
+// The "skewed" dataset of Sec. V-A: randomly generated provenance systems
+// with controlled shape — number of rows (output tuples), joins (term
+// sizes), projection limit (terms per row) and average variable repetition —
+// where variables split into four co-occurrence types: frequent/infrequent
+// variables co-occurring with frequent/infrequent variables.
+//
+// The paper specifies the parameters and the four types but not the exact
+// sampling law; this generator uses two weighted pools (small "frequent",
+// large "infrequent") and per-term co-occurrence patterns, and the realised
+// statistics are verified in tests (see DESIGN.md, Substitutions).
+
+#ifndef CONSENTDB_DATASETS_SKEWED_H_
+#define CONSENTDB_DATASETS_SKEWED_H_
+
+#include <string>
+#include <vector>
+
+#include "consentdb/consent/variable_pool.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::datasets {
+
+using provenance::Dnf;
+
+struct SkewedParams {
+  // Number of query output rows, each with its own DNF provenance.
+  size_t num_rows = 1000;
+  // Number of joins; every DNF term has num_joins + 1 variables (a term is
+  // the conjunction of the joined tuples' annotations).
+  size_t num_joins = 4;
+  // Projection limit p (Sec. IV-C): the number of DNF terms per row is
+  // drawn uniformly from [1, p] ("the number of tuples that agree on the
+  // projected attributes is bounded by p").
+  size_t projection_limit = 8;
+  // Target average number of occurrences of each variable (1.0 = overall
+  // read-once; the paper's default is 2.6). Repetition is concentrated
+  // within rows (as in the paper's example formula, where the frequent
+  // variable a and the pair g,h repeat across terms of one provenance
+  // expression), with cross-row reuse through the frequent pool.
+  double avg_repetitions = 2.6;
+  // Prior consent probability of every variable (paper default 0.7).
+  double probability = 0.7;
+  // Per-term probabilities of the co-occurrence patterns
+  // {two frequent vars} / {one frequent var} (remainder: all infrequent) —
+  // the four frequent/infrequent co-occurrence types of Sec. V-A.
+  double prob_term_freq_freq = 0.25;
+  double prob_term_freq_infreq = 0.5;
+  // How much more often a frequent variable occurs than the average.
+  double frequent_boost = 6.0;
+
+  size_t term_size() const { return num_joins + 1; }
+  // Expected fraction of term slots filled from the frequent pool.
+  double frequent_slot_share() const {
+    return (2.0 * prob_term_freq_freq + prob_term_freq_infreq) /
+           static_cast<double>(term_size());
+  }
+  std::string ToString() const;
+};
+
+struct SkewedDataset {
+  SkewedParams params;
+  consent::VariablePool pool;
+  std::vector<Dnf> dnfs;
+
+  // Realised statistics.
+  size_t total_literals = 0;
+  size_t distinct_vars = 0;
+  double realized_avg_repetitions = 0.0;
+};
+
+// Generates one dataset instance (the paper regenerates per repetition).
+SkewedDataset GenerateSkewed(const SkewedParams& params, Rng& rng);
+
+}  // namespace consentdb::datasets
+
+#endif  // CONSENTDB_DATASETS_SKEWED_H_

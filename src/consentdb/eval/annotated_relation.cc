@@ -1,0 +1,67 @@
+#include "consentdb/eval/annotated_relation.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::eval {
+
+using provenance::BoolExpr;
+using provenance::BoolExprPtr;
+using relational::Relation;
+using relational::Tuple;
+
+const Tuple& AnnotatedRelation::tuple(size_t i) const {
+  CONSENTDB_CHECK(i < tuples_.size(), "tuple index out of range");
+  return tuples_[i];
+}
+
+const BoolExprPtr& AnnotatedRelation::annotation(size_t i) const {
+  CONSENTDB_CHECK(i < annotations_.size(), "tuple index out of range");
+  return annotations_[i];
+}
+
+void AnnotatedRelation::Insert(Tuple t, BoolExprPtr annotation) {
+  CONSENTDB_CHECK(annotation != nullptr, "null annotation");
+  auto [it, inserted] = index_.try_emplace(t, tuples_.size());
+  if (inserted) {
+    tuples_.push_back(std::move(t));
+    annotations_.push_back(std::move(annotation));
+  } else {
+    annotations_[it->second] =
+        BoolExpr::Or(annotations_[it->second], std::move(annotation));
+  }
+}
+
+std::optional<size_t> AnnotatedRelation::IndexOf(const Tuple& t) const {
+  auto it = index_.find(t);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Relation AnnotatedRelation::ToRelation() const {
+  Relation rel(schema_);
+  for (const Tuple& t : tuples_) rel.InsertOrDie(t);
+  return rel;
+}
+
+Relation AnnotatedRelation::ShareableFragment(
+    const provenance::PartialValuation& val) const {
+  Relation rel(schema_);
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (annotations_[i]->Evaluate(val) == provenance::Truth::kTrue) {
+      rel.InsertOrDie(tuples_[i]);
+    }
+  }
+  return rel;
+}
+
+std::string AnnotatedRelation::ToString(
+    const provenance::VarNamer& namer) const {
+  std::string out = schema_.ToString() + "\n";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    out += "  " + tuples_[i].ToString() + "  @  " +
+           annotations_[i]->ToString(namer) + "\n";
+  }
+  return out;
+}
+
+}  // namespace consentdb::eval

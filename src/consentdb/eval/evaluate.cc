@@ -1,0 +1,145 @@
+#include "consentdb/eval/evaluate.h"
+
+#include <functional>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::eval {
+
+using consent::SharedDatabase;
+using provenance::BoolExpr;
+using provenance::BoolExprPtr;
+using query::Operand;
+using query::Plan;
+using query::PlanKind;
+using query::PlanPtr;
+using query::PredicatePtr;
+using relational::Database;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+
+namespace {
+
+// Resolves projection columns against the child schema.
+Result<std::vector<size_t>> ProjectionIndexes(const Plan& plan,
+                                              const Schema& child_schema) {
+  std::vector<size_t> indexes;
+  indexes.reserve(plan.columns().size());
+  for (const std::string& col : plan.columns()) {
+    Operand op = Operand::Column(col);
+    CONSENTDB_RETURN_IF_ERROR(op.Bind(child_schema));
+    indexes.push_back(op.column_index());
+  }
+  return indexes;
+}
+
+// The single recursive evaluator, generic over the annotation bookkeeping so
+// the plain and annotated paths cannot drift apart. `MakeLeafAnnotation`
+// produces the annotation of a scanned base tuple.
+Result<AnnotatedRelation> EvaluateImpl(
+    const PlanPtr& plan, const Database& db,
+    const std::function<Result<BoolExprPtr>(const std::string& relation,
+                                            size_t tuple_index)>& leaf) {
+  CONSENTDB_CHECK(plan != nullptr, "null plan");
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      CONSENTDB_ASSIGN_OR_RETURN(const Relation* rel,
+                                 db.GetRelation(plan->relation()));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < rel->size(); ++i) {
+        CONSENTDB_ASSIGN_OR_RETURN(BoolExprPtr ann,
+                                   leaf(plan->relation(), i));
+        out.Insert(rel->tuple(i), std::move(ann));
+      }
+      return out;
+    }
+    case PlanKind::kSelect: {
+      CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation child,
+                                 EvaluateImpl(plan->child(0), db, leaf));
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr bound,
+                                 plan->predicate()->Bind(child.schema()));
+      AnnotatedRelation out(child.schema());
+      for (size_t i = 0; i < child.size(); ++i) {
+        if (bound->Evaluate(child.tuple(i))) {
+          out.Insert(child.tuple(i), child.annotation(i));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation child,
+                                 EvaluateImpl(plan->child(0), db, leaf));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      CONSENTDB_ASSIGN_OR_RETURN(std::vector<size_t> indexes,
+                                 ProjectionIndexes(*plan, child.schema()));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < child.size(); ++i) {
+        out.Insert(child.tuple(i).Project(indexes), child.annotation(i));
+      }
+      return out;
+    }
+    case PlanKind::kProduct: {
+      CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation left,
+                                 EvaluateImpl(plan->child(0), db, leaf));
+      CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation right,
+                                 EvaluateImpl(plan->child(1), db, leaf));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < left.size(); ++i) {
+        for (size_t j = 0; j < right.size(); ++j) {
+          out.Insert(left.tuple(i).Concat(right.tuple(j)),
+                     BoolExpr::And(left.annotation(i), right.annotation(j)));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kUnion: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      AnnotatedRelation out(std::move(schema));
+      for (const PlanPtr& c : plan->children()) {
+        CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation child,
+                                   EvaluateImpl(c, db, leaf));
+        for (size_t i = 0; i < child.size(); ++i) {
+          out.Insert(child.tuple(i), child.annotation(i));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+Result<Relation> Evaluate(const PlanPtr& plan, const Database& db) {
+  CONSENTDB_ASSIGN_OR_RETURN(
+      AnnotatedRelation annotated,
+      EvaluateImpl(plan, db, [](const std::string&, size_t) {
+        return Result<BoolExprPtr>(BoolExpr::True());
+      }));
+  return annotated.ToRelation();
+}
+
+Result<AnnotatedRelation> EvaluateAnnotated(const PlanPtr& plan,
+                                            const SharedDatabase& sdb) {
+  const Database& db = sdb.database();
+  return EvaluateImpl(
+      plan, db,
+      [&sdb](const std::string& relation,
+             size_t tuple_index) -> Result<BoolExprPtr> {
+        CONSENTDB_ASSIGN_OR_RETURN(provenance::VarId var,
+                                   sdb.AnnotationOf(relation, tuple_index));
+        return BoolExpr::Var(var);
+      });
+}
+
+Result<Relation> EvaluateOverConsentedFragment(
+    const PlanPtr& plan, const SharedDatabase& sdb,
+    const provenance::PartialValuation& val) {
+  Database consented = sdb.ConsentedFragment(val);
+  return Evaluate(plan, consented);
+}
+
+}  // namespace consentdb::eval

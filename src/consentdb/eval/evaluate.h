@@ -1,0 +1,36 @@
+// SPJU plan evaluation: plain (standard set semantics) and annotated
+// (Boolean provenance tracking, the construction of Sec. III-A).
+//
+// Both evaluators are the naive nested-loop implementations — the paper's
+// complexity bound O(|D|^|Q|) of Prop. III.3 — which is the right trade-off
+// here: probe counts, not query latency, are the optimisation target.
+
+#ifndef CONSENTDB_EVAL_EVALUATE_H_
+#define CONSENTDB_EVAL_EVALUATE_H_
+
+#include "consentdb/consent/shared_database.h"
+#include "consentdb/eval/annotated_relation.h"
+#include "consentdb/query/plan.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::eval {
+
+// Standard evaluation of `plan` over a plain database.
+Result<relational::Relation> Evaluate(const query::PlanPtr& plan,
+                                      const relational::Database& db);
+
+// Provenance-tracked evaluation of `plan` over a shared database: every
+// output tuple is annotated with a positive Boolean expression over the
+// consent variables of the input tuples it derives from.
+Result<AnnotatedRelation> EvaluateAnnotated(
+    const query::PlanPtr& plan, const consent::SharedDatabase& sdb);
+
+// Def. II.6 implemented literally: evaluates `plan` over the sub-database of
+// consented tuples. Used to cross-check EvaluateAnnotated (Prop. III.2).
+Result<relational::Relation> EvaluateOverConsentedFragment(
+    const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
+    const provenance::PartialValuation& val);
+
+}  // namespace consentdb::eval
+
+#endif  // CONSENTDB_EVAL_EVALUATE_H_

@@ -1,0 +1,48 @@
+#include "consentdb/eval/provenance_profile.h"
+
+#include <set>
+
+namespace consentdb::eval {
+
+using provenance::Dnf;
+using provenance::VarId;
+
+Result<ProvenanceProfile> ProfileProvenance(
+    const AnnotatedRelation& relation, provenance::NormalFormLimits limits) {
+  ProvenanceProfile profile;
+  profile.dnfs.reserve(relation.size());
+  std::set<VarId> seen_anywhere;
+  for (size_t i = 0; i < relation.size(); ++i) {
+    CONSENTDB_ASSIGN_OR_RETURN(
+        Dnf dnf, Dnf::FromExpr(relation.annotation(i), limits));
+    profile.max_terms_per_tuple =
+        std::max(profile.max_terms_per_tuple, dnf.num_terms());
+    profile.max_term_size = std::max(profile.max_term_size, dnf.MaxTermSize());
+    profile.total_dnf_literals += dnf.TotalLiterals();
+    if (!dnf.IsReadOnce()) {
+      profile.per_tuple_read_once = false;
+      profile.overall_read_once = false;
+    } else if (profile.overall_read_once) {
+      for (VarId x : dnf.Vars()) {
+        if (!seen_anywhere.insert(x).second) {
+          profile.overall_read_once = false;
+          break;
+        }
+      }
+    }
+    profile.dnfs.push_back(std::move(dnf));
+  }
+  return profile;
+}
+
+std::string ProvenanceProfile::ToString() const {
+  std::string out = "ProvenanceProfile{tuples=" + std::to_string(dnfs.size());
+  out += ", max_terms=" + std::to_string(max_terms_per_tuple);
+  out += ", k=" + std::to_string(max_term_size);
+  out += ", literals=" + std::to_string(total_dnf_literals);
+  out += per_tuple_read_once ? ", per-tuple-RO" : "";
+  out += overall_read_once ? ", overall-RO" : "";
+  return out + "}";
+}
+
+}  // namespace consentdb::eval

@@ -1,0 +1,45 @@
+// ProvenanceProfile: data-dependent structure of an annotated query result —
+// the runtime checks of Sec. IV-D ("Beyond syntactically-defined fragments")
+// that drive automatic algorithm selection, plus the realised projection
+// limit p of Sec. IV-C.
+
+#ifndef CONSENTDB_EVAL_PROVENANCE_PROFILE_H_
+#define CONSENTDB_EVAL_PROVENANCE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "consentdb/eval/annotated_relation.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::eval {
+
+struct ProvenanceProfile {
+  // Per-output-tuple monotone DNF provenance, indexed like the relation.
+  std::vector<provenance::Dnf> dnfs;
+
+  // Realised projection limit: max number of DNF terms of any tuple.
+  size_t max_terms_per_tuple = 0;
+  // The k of the k-DNF: max term size across tuples.
+  size_t max_term_size = 0;
+  // Sum of term sizes across all tuples (paper's "total DNF provenance size").
+  size_t total_dnf_literals = 0;
+
+  // Every tuple's provenance is read-once in isolation.
+  bool per_tuple_read_once = true;
+  // Additionally no variable occurs in two different tuples' provenance.
+  bool overall_read_once = true;
+
+  std::string ToString() const;
+};
+
+// Flattens every annotation to minimal monotone DNF and computes the
+// profile. Fails with ResourceExhausted if a DNF exceeds `limits`.
+Result<ProvenanceProfile> ProfileProvenance(
+    const AnnotatedRelation& relation,
+    provenance::NormalFormLimits limits = {});
+
+}  // namespace consentdb::eval
+
+#endif  // CONSENTDB_EVAL_PROVENANCE_PROFILE_H_

@@ -1,0 +1,178 @@
+#include "consentdb/eval/targeted.h"
+
+#include "consentdb/query/predicate.h"
+#include "consentdb/util/check.h"
+
+namespace consentdb::eval {
+
+using consent::SharedDatabase;
+using provenance::BoolExpr;
+using provenance::BoolExprPtr;
+using query::Operand;
+using query::Plan;
+using query::PlanKind;
+using query::PlanPtr;
+using query::PredicatePtr;
+using relational::Database;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+
+namespace {
+
+bool Matches(const Tuple& t, const ColumnConstraints& constraints) {
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    if (constraints[i].has_value() && !(t.at(i) == *constraints[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<AnnotatedRelation> EvaluateConstrained(
+    const PlanPtr& plan, const SharedDatabase& sdb,
+    const ColumnConstraints& constraints) {
+  const Database& db = sdb.database();
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      CONSENTDB_ASSIGN_OR_RETURN(const Relation* rel,
+                                 db.GetRelation(plan->relation()));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < rel->size(); ++i) {
+        if (!Matches(rel->tuple(i), constraints)) continue;
+        CONSENTDB_ASSIGN_OR_RETURN(provenance::VarId var,
+                                   sdb.AnnotationOf(plan->relation(), i));
+        out.Insert(rel->tuple(i), BoolExpr::Var(var));
+      }
+      return out;
+    }
+    case PlanKind::kSelect: {
+      CONSENTDB_ASSIGN_OR_RETURN(
+          AnnotatedRelation child,
+          EvaluateConstrained(plan->child(0), sdb, constraints));
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr bound,
+                                 plan->predicate()->Bind(child.schema()));
+      AnnotatedRelation out(child.schema());
+      for (size_t i = 0; i < child.size(); ++i) {
+        if (bound->Evaluate(child.tuple(i))) {
+          out.Insert(child.tuple(i), child.annotation(i));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      // Translate output-column constraints to the projected input columns.
+      CONSENTDB_ASSIGN_OR_RETURN(Schema child_schema,
+                                 plan->child(0)->OutputSchema(db));
+      ColumnConstraints child_constraints(child_schema.num_columns());
+      std::vector<size_t> indexes;
+      indexes.reserve(plan->columns().size());
+      for (size_t i = 0; i < plan->columns().size(); ++i) {
+        Operand op = Operand::Column(plan->columns()[i]);
+        CONSENTDB_RETURN_IF_ERROR(op.Bind(child_schema));
+        indexes.push_back(op.column_index());
+        if (constraints[i].has_value()) {
+          // Two projected outputs can reference the same input column; the
+          // constraints must then agree or the result is empty.
+          std::optional<Value>& slot = child_constraints[op.column_index()];
+          if (slot.has_value() && !(*slot == *constraints[i])) {
+            CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+            return AnnotatedRelation(std::move(schema));
+          }
+          slot = constraints[i];
+        }
+      }
+      CONSENTDB_ASSIGN_OR_RETURN(
+          AnnotatedRelation child,
+          EvaluateConstrained(plan->child(0), sdb, child_constraints));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < child.size(); ++i) {
+        out.Insert(child.tuple(i).Project(indexes), child.annotation(i));
+      }
+      return out;
+    }
+    case PlanKind::kProduct: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema left_schema,
+                                 plan->child(0)->OutputSchema(db));
+      size_t split = left_schema.num_columns();
+      ColumnConstraints left_constraints(
+          constraints.begin(), constraints.begin() + split);
+      ColumnConstraints right_constraints(constraints.begin() + split,
+                                          constraints.end());
+      CONSENTDB_ASSIGN_OR_RETURN(
+          AnnotatedRelation left,
+          EvaluateConstrained(plan->child(0), sdb, left_constraints));
+      CONSENTDB_ASSIGN_OR_RETURN(
+          AnnotatedRelation right,
+          EvaluateConstrained(plan->child(1), sdb, right_constraints));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      AnnotatedRelation out(std::move(schema));
+      for (size_t i = 0; i < left.size(); ++i) {
+        for (size_t j = 0; j < right.size(); ++j) {
+          out.Insert(left.tuple(i).Concat(right.tuple(j)),
+                     BoolExpr::And(left.annotation(i), right.annotation(j)));
+        }
+      }
+      return out;
+    }
+    case PlanKind::kUnion: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, plan->OutputSchema(db));
+      AnnotatedRelation out(std::move(schema));
+      for (const PlanPtr& c : plan->children()) {
+        // Branch schemas agree positionally (types), so the constraints
+        // forward unchanged.
+        CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation child,
+                                   EvaluateConstrained(c, sdb, constraints));
+        for (size_t i = 0; i < child.size(); ++i) {
+          out.Insert(child.tuple(i), child.annotation(i));
+        }
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+Result<AnnotatedRelation> EvaluateAnnotatedConstrained(
+    const PlanPtr& plan, const SharedDatabase& sdb,
+    const ColumnConstraints& constraints) {
+  CONSENTDB_CHECK(plan != nullptr, "null plan");
+  CONSENTDB_ASSIGN_OR_RETURN(Schema schema,
+                             plan->OutputSchema(sdb.database()));
+  if (constraints.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        "constraints cover " + std::to_string(constraints.size()) +
+        " columns but the plan outputs " +
+        std::to_string(schema.num_columns()));
+  }
+  return EvaluateConstrained(plan, sdb, constraints);
+}
+
+Result<BoolExprPtr> AnnotationForTuple(const PlanPtr& plan,
+                                       const SharedDatabase& sdb,
+                                       const Tuple& tuple) {
+  CONSENTDB_ASSIGN_OR_RETURN(Schema schema,
+                             plan->OutputSchema(sdb.database()));
+  if (tuple.size() != schema.num_columns()) {
+    return Status::InvalidArgument("tuple arity does not match the query");
+  }
+  ColumnConstraints constraints;
+  constraints.reserve(tuple.size());
+  for (const Value& v : tuple.values()) constraints.emplace_back(v);
+  CONSENTDB_ASSIGN_OR_RETURN(
+      AnnotatedRelation result,
+      EvaluateAnnotatedConstrained(plan, sdb, constraints));
+  std::optional<size_t> index = result.IndexOf(tuple);
+  if (!index.has_value()) {
+    return Status::NotFound("tuple " + tuple.ToString() +
+                            " is not in the query result");
+  }
+  return result.annotation(*index);
+}
+
+}  // namespace consentdb::eval

@@ -1,0 +1,40 @@
+// Targeted provenance: the annotation of ONE output tuple, computed without
+// materialising the full query result.
+//
+// The paper notes (proof of Prop. IV.11) that "for OPT-PEER-PROBE-SINGLE we
+// can compute the provenance of the specific output tuple t we are
+// interested in, without evaluating the whole query". This module does so
+// by pushing the target tuple's values down the plan as equality
+// constraints on output columns: scans only surface matching rows, products
+// split the constraints between their sides, projections translate them to
+// input columns, unions forward them positionally.
+
+#ifndef CONSENTDB_EVAL_TARGETED_H_
+#define CONSENTDB_EVAL_TARGETED_H_
+
+#include "consentdb/consent/shared_database.h"
+#include "consentdb/eval/annotated_relation.h"
+#include "consentdb/query/plan.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::eval {
+
+// Per-output-column equality constraints (nullopt = unconstrained).
+using ColumnConstraints = std::vector<std::optional<relational::Value>>;
+
+// Evaluates `plan` with provenance tracking, restricted to output tuples
+// satisfying `constraints` (sized like the plan's output schema).
+Result<AnnotatedRelation> EvaluateAnnotatedConstrained(
+    const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
+    const ColumnConstraints& constraints);
+
+// The Boolean provenance of `tuple` in the result of `plan`, or NotFound if
+// the tuple is not in Q(D). (For SPJU under set semantics, membership in
+// Q(D) is equivalent to the annotation not being constant-False.)
+Result<provenance::BoolExprPtr> AnnotationForTuple(
+    const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
+    const relational::Tuple& tuple);
+
+}  // namespace consentdb::eval
+
+#endif  // CONSENTDB_EVAL_TARGETED_H_

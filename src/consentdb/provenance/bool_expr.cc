@@ -1,0 +1,191 @@
+#include "consentdb/provenance/bool_expr.h"
+
+#include <algorithm>
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::provenance {
+
+namespace {
+
+// Appends `child` to `out`, flattening children of the same kind.
+void FlattenInto(ExprKind kind, const BoolExprPtr& child,
+                 std::vector<BoolExprPtr>* out) {
+  if (child->kind() == kind) {
+    for (const BoolExprPtr& grandchild : child->children()) {
+      out->push_back(grandchild);
+    }
+  } else {
+    out->push_back(child);
+  }
+}
+
+}  // namespace
+
+BoolExprPtr BoolExpr::False() {
+  static const BoolExprPtr instance(
+      new BoolExpr(ExprKind::kFalse, kInvalidVar, {}));
+  return instance;
+}
+
+BoolExprPtr BoolExpr::True() {
+  static const BoolExprPtr instance(
+      new BoolExpr(ExprKind::kTrue, kInvalidVar, {}));
+  return instance;
+}
+
+BoolExprPtr BoolExpr::Var(VarId x) {
+  CONSENTDB_CHECK(x != kInvalidVar, "invalid variable id");
+  return BoolExprPtr(new BoolExpr(ExprKind::kVar, x, {}));
+}
+
+BoolExprPtr BoolExpr::And(BoolExprPtr a, BoolExprPtr b) {
+  return AndN({std::move(a), std::move(b)});
+}
+
+BoolExprPtr BoolExpr::Or(BoolExprPtr a, BoolExprPtr b) {
+  return OrN({std::move(a), std::move(b)});
+}
+
+BoolExprPtr BoolExpr::AndN(std::vector<BoolExprPtr> children) {
+  std::vector<BoolExprPtr> kept;
+  for (const BoolExprPtr& c : children) {
+    CONSENTDB_CHECK(c != nullptr, "null child expression");
+    if (c->kind() == ExprKind::kFalse) return False();
+    if (c->kind() == ExprKind::kTrue) continue;  // neutral element
+    FlattenInto(ExprKind::kAnd, c, &kept);
+  }
+  if (kept.empty()) return True();
+  if (kept.size() == 1) return kept[0];
+  return BoolExprPtr(new BoolExpr(ExprKind::kAnd, kInvalidVar, std::move(kept)));
+}
+
+BoolExprPtr BoolExpr::OrN(std::vector<BoolExprPtr> children) {
+  std::vector<BoolExprPtr> kept;
+  for (const BoolExprPtr& c : children) {
+    CONSENTDB_CHECK(c != nullptr, "null child expression");
+    if (c->kind() == ExprKind::kTrue) return True();
+    if (c->kind() == ExprKind::kFalse) continue;  // neutral element
+    FlattenInto(ExprKind::kOr, c, &kept);
+  }
+  if (kept.empty()) return False();
+  if (kept.size() == 1) return kept[0];
+  return BoolExprPtr(new BoolExpr(ExprKind::kOr, kInvalidVar, std::move(kept)));
+}
+
+VarId BoolExpr::var() const {
+  CONSENTDB_CHECK(kind_ == ExprKind::kVar, "not a variable node");
+  return var_;
+}
+
+Truth BoolExpr::Evaluate(const PartialValuation& val) const {
+  switch (kind_) {
+    case ExprKind::kFalse:
+      return Truth::kFalse;
+    case ExprKind::kTrue:
+      return Truth::kTrue;
+    case ExprKind::kVar:
+      return val.Get(var_);
+    case ExprKind::kAnd: {
+      Truth acc = Truth::kTrue;
+      for (const BoolExprPtr& c : children_) {
+        acc = KleeneAnd(acc, c->Evaluate(val));
+        if (acc == Truth::kFalse) break;  // short-circuit: False dominates
+      }
+      return acc;
+    }
+    case ExprKind::kOr: {
+      Truth acc = Truth::kFalse;
+      for (const BoolExprPtr& c : children_) {
+        acc = KleeneOr(acc, c->Evaluate(val));
+        if (acc == Truth::kTrue) break;  // short-circuit: True dominates
+      }
+      return acc;
+    }
+  }
+  return Truth::kUnknown;
+}
+
+void BoolExpr::CollectVars(std::set<VarId>* out) const {
+  if (kind_ == ExprKind::kVar) {
+    out->insert(var_);
+    return;
+  }
+  for (const BoolExprPtr& c : children_) c->CollectVars(out);
+}
+
+std::vector<VarId> BoolExpr::Vars() const {
+  std::set<VarId> vars;
+  CollectVars(&vars);
+  return {vars.begin(), vars.end()};
+}
+
+size_t BoolExpr::TreeSize() const {
+  size_t n = 1;
+  for (const BoolExprPtr& c : children_) n += c->TreeSize();
+  return n;
+}
+
+std::string BoolExpr::ToString(const VarNamer& namer) const {
+  switch (kind_) {
+    case ExprKind::kFalse:
+      return "false";
+    case ExprKind::kTrue:
+      return "true";
+    case ExprKind::kVar:
+      return namer ? namer(var_) : "x" + std::to_string(var_);
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const char* op = kind_ == ExprKind::kAnd ? " ∧ " : " ∨ ";
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const BoolExprPtr& c : children_) parts.push_back(c->ToString(namer));
+      return "(" + Join(parts, op) + ")";
+    }
+  }
+  return "?";
+}
+
+bool StructurallyEqual(const BoolExprPtr& a, const BoolExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kFalse:
+    case ExprKind::kTrue:
+      return true;
+    case ExprKind::kVar:
+      return a->var() == b->var();
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      if (a->children().size() != b->children().size()) return false;
+      for (size_t i = 0; i < a->children().size(); ++i) {
+        if (!StructurallyEqual(a->children()[i], b->children()[i])) {
+          return false;
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EquivalentByEnumeration(const BoolExprPtr& a, const BoolExprPtr& b) {
+  std::set<VarId> var_set;
+  a->CollectVars(&var_set);
+  b->CollectVars(&var_set);
+  std::vector<VarId> vars(var_set.begin(), var_set.end());
+  CONSENTDB_CHECK(vars.size() <= 24,
+                  "EquivalentByEnumeration is exponential; too many variables");
+  size_t combos = static_cast<size_t>(1) << vars.size();
+  for (size_t mask = 0; mask < combos; ++mask) {
+    PartialValuation val;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      val.Set(vars[i], (mask >> i) & 1 ? Truth::kTrue : Truth::kFalse);
+    }
+    if (a->Evaluate(val) != b->Evaluate(val)) return false;
+  }
+  return true;
+}
+
+}  // namespace consentdb::provenance

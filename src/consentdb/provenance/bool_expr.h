@@ -1,0 +1,92 @@
+// Positive Boolean expression trees: PosBool(C) of Def. III.1.
+//
+// These are the annotations produced by provenance-tracked query evaluation
+// (Section III-A). Nodes are immutable and shared, so the annotated result of
+// a query is a DAG over the input consent variables. Strategies do not run on
+// trees directly; they run on flattened monotone DNF systems (see dnf.h).
+
+#ifndef CONSENTDB_PROVENANCE_BOOL_EXPR_H_
+#define CONSENTDB_PROVENANCE_BOOL_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "consentdb/provenance/truth.h"
+
+namespace consentdb::provenance {
+
+class BoolExpr;
+using BoolExprPtr = std::shared_ptr<const BoolExpr>;
+
+// Maps a variable id to a display name; defaults to "x<id>" when null.
+using VarNamer = std::function<std::string(VarId)>;
+
+enum class ExprKind : uint8_t {
+  kFalse,
+  kTrue,
+  kVar,
+  kAnd,
+  kOr,
+};
+
+// An immutable node of a positive Boolean expression. Construct through the
+// factory functions, which constant-fold (And(False, e) = False, etc.) and
+// flatten nested nodes of the same kind.
+class BoolExpr {
+ public:
+  static BoolExprPtr False();
+  static BoolExprPtr True();
+  static BoolExprPtr Var(VarId x);
+  static BoolExprPtr And(BoolExprPtr a, BoolExprPtr b);
+  static BoolExprPtr Or(BoolExprPtr a, BoolExprPtr b);
+  // N-ary forms; empty AndN is True, empty OrN is False.
+  static BoolExprPtr AndN(std::vector<BoolExprPtr> children);
+  static BoolExprPtr OrN(std::vector<BoolExprPtr> children);
+
+  ExprKind kind() const { return kind_; }
+  bool is_constant() const {
+    return kind_ == ExprKind::kFalse || kind_ == ExprKind::kTrue;
+  }
+
+  // Valid only for kVar nodes.
+  VarId var() const;
+
+  // Valid only for kAnd/kOr nodes; always has >= 2 children.
+  const std::vector<BoolExprPtr>& children() const { return children_; }
+
+  // Kleene evaluation under a partial valuation.
+  Truth Evaluate(const PartialValuation& val) const;
+
+  // Adds every distinct variable of the expression to `out`.
+  void CollectVars(std::set<VarId>* out) const;
+  std::vector<VarId> Vars() const;
+
+  // Number of nodes (shared sub-DAGs counted once per occurrence in the
+  // traversal, i.e. as a tree).
+  size_t TreeSize() const;
+
+  // E.g. "((x0 ∧ x1) ∨ x2)".
+  std::string ToString(const VarNamer& namer = nullptr) const;
+
+ private:
+  BoolExpr(ExprKind kind, VarId var, std::vector<BoolExprPtr> children)
+      : kind_(kind), var_(var), children_(std::move(children)) {}
+
+  ExprKind kind_;
+  VarId var_ = kInvalidVar;
+  std::vector<BoolExprPtr> children_;
+};
+
+// Structural (not semantic) equality.
+bool StructurallyEqual(const BoolExprPtr& a, const BoolExprPtr& b);
+
+// Semantic equivalence by exhaustive enumeration over the union of variable
+// sets. Intended for tests; cost is O(2^n) with n distinct variables.
+bool EquivalentByEnumeration(const BoolExprPtr& a, const BoolExprPtr& b);
+
+}  // namespace consentdb::provenance
+
+#endif  // CONSENTDB_PROVENANCE_BOOL_EXPR_H_

@@ -1,0 +1,138 @@
+// Monotone normal forms: Dnf (disjunction of conjunctive terms) and Cnf
+// (conjunction of disjunctive clauses), with absorption-based minimisation,
+// Kleene evaluation, conversions and read-once detection.
+//
+// Conventions (standard for monotone formulas):
+//   * A Dnf with no terms is the constant False; a Dnf containing the empty
+//     term is the constant True.
+//   * A Cnf with no clauses is the constant True; a Cnf containing the empty
+//     clause is the constant False.
+
+#ifndef CONSENTDB_PROVENANCE_NORMAL_FORM_H_
+#define CONSENTDB_PROVENANCE_NORMAL_FORM_H_
+
+#include <string>
+#include <vector>
+
+#include "consentdb/provenance/bool_expr.h"
+#include "consentdb/provenance/var_set.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::provenance {
+
+// Limits applied by conversions to normal form: the number of terms/clauses
+// may blow up exponentially (e.g. CNF of a projection-unlimited provenance),
+// so every conversion takes a budget and fails with ResourceExhausted when
+// exceeded — callers (the Q-value applicability check, Fig. 3b) treat that
+// as "not applicable", never as a crash.
+struct NormalFormLimits {
+  size_t max_sets = 100000;  // max number of terms/clauses at any point
+
+  static NormalFormLimits Unlimited() {
+    return NormalFormLimits{static_cast<size_t>(-1)};
+  }
+};
+
+class Dnf {
+ public:
+  Dnf() = default;  // constant False
+  explicit Dnf(std::vector<VarSet> terms, bool absorb = true);
+
+  static Dnf ConstantFalse() { return Dnf(); }
+  static Dnf ConstantTrue() { return Dnf({VarSet{}}); }
+
+  // Flattens a positive Boolean expression into minimal monotone DNF
+  // (absorption applied throughout). Fails when the term budget is exceeded.
+  static Result<Dnf> FromExpr(const BoolExprPtr& expr,
+                              NormalFormLimits limits = {});
+
+  const std::vector<VarSet>& terms() const { return terms_; }
+  size_t num_terms() const { return terms_.size(); }
+  // Total number of variable occurrences (the paper's "provenance size").
+  size_t TotalLiterals() const;
+  // Largest term size — the k of the k-DNF (Def. IV.1).
+  size_t MaxTermSize() const;
+
+  bool IsConstantFalse() const { return terms_.empty(); }
+  bool IsConstantTrue() const {
+    return terms_.size() == 1 && terms_[0].empty();
+  }
+
+  // All distinct variables, sorted.
+  VarSet Vars() const;
+
+  // Kleene evaluation: True if some term is all-True, False if every term
+  // has a False variable, else Unknown.
+  Truth Evaluate(const PartialValuation& val) const;
+
+  // The residual formula after substituting known values: False terms are
+  // dropped, True variables are removed from terms; absorption re-applied.
+  Dnf Simplify(const PartialValuation& val) const;
+
+  // True when no variable occurs in two different terms (read-once within
+  // this formula — "per-tuple read-once" when applied tuple-wise).
+  bool IsReadOnce() const;
+
+  // Probability that the formula evaluates to True when each variable x is
+  // independently True with probability pi[x]. Exact for read-once formulas;
+  // computed by inclusion-exclusion otherwise (exponential in #terms, capped
+  // by CONSENTDB_CHECK at 20 terms — use for tests/small inputs only).
+  double TrueProbability(const std::vector<double>& pi) const;
+
+  BoolExprPtr ToExpr() const;
+  std::string ToString() const;
+
+  friend bool operator==(const Dnf& a, const Dnf& b) {
+    return a.terms_ == b.terms_;
+  }
+
+ private:
+  // Sorted minimal (antichain) list of terms.
+  std::vector<VarSet> terms_;
+};
+
+class Cnf {
+ public:
+  Cnf() = default;  // constant True
+  explicit Cnf(std::vector<VarSet> clauses, bool absorb = true);
+
+  static Cnf ConstantTrue() { return Cnf(); }
+  static Cnf ConstantFalse() { return Cnf({VarSet{}}); }
+
+  static Result<Cnf> FromExpr(const BoolExprPtr& expr,
+                              NormalFormLimits limits = {});
+
+  const std::vector<VarSet>& clauses() const { return clauses_; }
+  size_t num_clauses() const { return clauses_.size(); }
+  size_t TotalLiterals() const;
+
+  bool IsConstantTrue() const { return clauses_.empty(); }
+  bool IsConstantFalse() const {
+    return clauses_.size() == 1 && clauses_[0].empty();
+  }
+
+  VarSet Vars() const;
+  Truth Evaluate(const PartialValuation& val) const;
+
+  BoolExprPtr ToExpr() const;
+  std::string ToString() const;
+
+  friend bool operator==(const Cnf& a, const Cnf& b) {
+    return a.clauses_ == b.clauses_;
+  }
+
+ private:
+  std::vector<VarSet> clauses_;
+};
+
+// Converts a monotone DNF to the equivalent minimal monotone CNF by
+// distribution with absorption (the "brute force" of Prop. IV.11's proof).
+// Fails with ResourceExhausted when the clause budget is exceeded.
+Result<Cnf> DnfToCnf(const Dnf& dnf, NormalFormLimits limits = {});
+
+// Dual direction, used by tests.
+Result<Dnf> CnfToDnf(const Cnf& cnf, NormalFormLimits limits = {});
+
+}  // namespace consentdb::provenance
+
+#endif  // CONSENTDB_PROVENANCE_NORMAL_FORM_H_

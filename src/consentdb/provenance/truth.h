@@ -1,0 +1,110 @@
+// Three-valued (Kleene) truth values and partial valuations over consent
+// variables (Def. IV.3 of the paper).
+
+#ifndef CONSENTDB_PROVENANCE_TRUTH_H_
+#define CONSENTDB_PROVENANCE_TRUTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::provenance {
+
+// Dense identifier of a consent variable. Ids are allocated consecutively by
+// consent::VariablePool starting from 0.
+using VarId = uint32_t;
+inline constexpr VarId kInvalidVar = static_cast<VarId>(-1);
+
+// Kleene three-valued logic: Unknown models a consent value not yet probed.
+enum class Truth : uint8_t {
+  kFalse = 0,
+  kTrue = 1,
+  kUnknown = 2,
+};
+
+inline const char* TruthToString(Truth t) {
+  switch (t) {
+    case Truth::kFalse:
+      return "False";
+    case Truth::kTrue:
+      return "True";
+    case Truth::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+inline Truth TruthOf(bool b) { return b ? Truth::kTrue : Truth::kFalse; }
+
+// Kleene conjunction: False dominates, then Unknown.
+inline Truth KleeneAnd(Truth a, Truth b) {
+  if (a == Truth::kFalse || b == Truth::kFalse) return Truth::kFalse;
+  if (a == Truth::kUnknown || b == Truth::kUnknown) return Truth::kUnknown;
+  return Truth::kTrue;
+}
+
+// Kleene disjunction: True dominates, then Unknown.
+inline Truth KleeneOr(Truth a, Truth b) {
+  if (a == Truth::kTrue || b == Truth::kTrue) return Truth::kTrue;
+  if (a == Truth::kUnknown || b == Truth::kUnknown) return Truth::kUnknown;
+  return Truth::kFalse;
+}
+
+// A (partial) assignment of truth values to variable ids [0, size).
+// Variables outside the constructed range read as Unknown.
+class PartialValuation {
+ public:
+  PartialValuation() = default;
+  explicit PartialValuation(size_t num_vars)
+      : values_(num_vars, Truth::kUnknown) {}
+
+  // A total valuation from booleans.
+  static PartialValuation FromBools(const std::vector<bool>& bits) {
+    PartialValuation v(bits.size());
+    for (size_t i = 0; i < bits.size(); ++i) {
+      v.values_[i] = TruthOf(bits[i]);
+    }
+    return v;
+  }
+
+  size_t size() const { return values_.size(); }
+
+  Truth Get(VarId x) const {
+    return x < values_.size() ? values_[x] : Truth::kUnknown;
+  }
+
+  void Set(VarId x, Truth t) {
+    if (x >= values_.size()) values_.resize(x + 1, Truth::kUnknown);
+    values_[x] = t;
+  }
+  void Set(VarId x, bool b) { Set(x, TruthOf(b)); }
+
+  bool IsKnown(VarId x) const { return Get(x) != Truth::kUnknown; }
+
+  size_t CountKnown() const {
+    size_t n = 0;
+    for (Truth t : values_) {
+      if (t != Truth::kUnknown) ++n;
+    }
+    return n;
+  }
+
+  friend bool operator==(const PartialValuation& a, const PartialValuation& b) {
+    // Compare with implicit Unknown padding so sizes need not match.
+    size_t n = std::max(a.values_.size(), b.values_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a.Get(static_cast<VarId>(i)) != b.Get(static_cast<VarId>(i))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<Truth> values_;
+};
+
+}  // namespace consentdb::provenance
+
+#endif  // CONSENTDB_PROVENANCE_TRUTH_H_

@@ -1,0 +1,104 @@
+// VarSet: a small sorted set of variable ids — the representation of both
+// DNF terms (conjunctions) and CNF clauses (disjunctions).
+
+#ifndef CONSENTDB_PROVENANCE_VAR_SET_H_
+#define CONSENTDB_PROVENANCE_VAR_SET_H_
+
+#include <algorithm>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "consentdb/provenance/truth.h"
+
+namespace consentdb::provenance {
+
+// Sorted, duplicate-free vector of VarIds. An empty VarSet denotes the empty
+// conjunction (True) when used as a term, and the empty disjunction (False)
+// when used as a clause.
+class VarSet {
+ public:
+  VarSet() = default;
+  VarSet(std::initializer_list<VarId> vars)
+      : VarSet(std::vector<VarId>(vars)) {}
+  explicit VarSet(std::vector<VarId> vars) : vars_(std::move(vars)) {
+    std::sort(vars_.begin(), vars_.end());
+    vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+  }
+
+  size_t size() const { return vars_.size(); }
+  bool empty() const { return vars_.empty(); }
+  const std::vector<VarId>& vars() const { return vars_; }
+  VarId operator[](size_t i) const { return vars_[i]; }
+
+  auto begin() const { return vars_.begin(); }
+  auto end() const { return vars_.end(); }
+
+  bool Contains(VarId x) const {
+    return std::binary_search(vars_.begin(), vars_.end(), x);
+  }
+
+  // True iff every element of this set is in `other`.
+  bool SubsetOf(const VarSet& other) const {
+    return std::includes(other.vars_.begin(), other.vars_.end(),
+                         vars_.begin(), vars_.end());
+  }
+
+  // Set union.
+  VarSet Union(const VarSet& other) const {
+    std::vector<VarId> out;
+    out.reserve(vars_.size() + other.vars_.size());
+    std::set_union(vars_.begin(), vars_.end(), other.vars_.begin(),
+                   other.vars_.end(), std::back_inserter(out));
+    VarSet result;
+    result.vars_ = std::move(out);  // already sorted & unique
+    return result;
+  }
+
+  // This set minus the elements of `other`.
+  VarSet Difference(const VarSet& other) const {
+    std::vector<VarId> out;
+    std::set_difference(vars_.begin(), vars_.end(), other.vars_.begin(),
+                        other.vars_.end(), std::back_inserter(out));
+    VarSet result;
+    result.vars_ = std::move(out);
+    return result;
+  }
+
+  bool Intersects(const VarSet& other) const {
+    auto a = vars_.begin();
+    auto b = other.vars_.begin();
+    while (a != vars_.end() && b != other.vars_.end()) {
+      if (*a == *b) return true;
+      if (*a < *b) {
+        ++a;
+      } else {
+        ++b;
+      }
+    }
+    return false;
+  }
+
+  std::string ToString(const char* sep) const {
+    std::string out = "{";
+    for (size_t i = 0; i < vars_.size(); ++i) {
+      if (i > 0) out += sep;
+      out += "x" + std::to_string(vars_[i]);
+    }
+    return out + "}";
+  }
+
+  friend bool operator==(const VarSet& a, const VarSet& b) {
+    return a.vars_ == b.vars_;
+  }
+  friend bool operator<(const VarSet& a, const VarSet& b) {
+    return a.vars_ < b.vars_;
+  }
+
+ private:
+  std::vector<VarId> vars_;
+};
+
+}  // namespace consentdb::provenance
+
+#endif  // CONSENTDB_PROVENANCE_VAR_SET_H_

@@ -1,0 +1,177 @@
+#include "consentdb/query/classify.h"
+
+#include <set>
+
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::query {
+
+const char* QueryClassToString(QueryClass c) {
+  switch (c) {
+    case QueryClass::kS:
+      return "S";
+    case QueryClass::kSP:
+      return "SP";
+    case QueryClass::kSU:
+      return "SU";
+    case QueryClass::kSPU:
+      return "SPU";
+    case QueryClass::kSJ:
+      return "SJ";
+    case QueryClass::kSJU:
+      return "SJU";
+    case QueryClass::kSPJ:
+      return "SPJ";
+    case QueryClass::kSPJU:
+      return "SPJU";
+  }
+  return "?";
+}
+
+namespace {
+
+// Recursive walk. `branch_joins` accumulates Product nodes under the current
+// SPJ branch (reset at each Union child).
+void Walk(const Plan& plan, QueryProfile* profile, size_t* branch_joins) {
+  switch (plan.kind()) {
+    case PlanKind::kScan:
+      return;
+    case PlanKind::kSelect:
+      Walk(*plan.child(0), profile, branch_joins);
+      return;
+    case PlanKind::kProject:
+      profile->has_projection = true;
+      Walk(*plan.child(0), profile, branch_joins);
+      return;
+    case PlanKind::kProduct: {
+      profile->has_join = true;
+      profile->num_joins += 1;
+      *branch_joins += 1;
+      Walk(*plan.child(0), profile, branch_joins);
+      Walk(*plan.child(1), profile, branch_joins);
+      return;
+    }
+    case PlanKind::kUnion: {
+      profile->has_union = true;
+      profile->num_unions += plan.children().size() - 1;
+      for (const PlanPtr& c : plan.children()) {
+        size_t child_joins = 0;
+        Walk(*c, profile, &child_joins);
+        profile->max_joins_per_branch =
+            std::max(profile->max_joins_per_branch, child_joins);
+      }
+      return;
+    }
+  }
+}
+
+bool IsPartitioned(const Plan& plan) {
+  // A plan whose unions are all at the top (possibly none) is partitioned
+  // iff the branch relation sets are pairwise disjoint. Unions nested under
+  // products/selections are treated conservatively: we flatten only the
+  // top-level union spine; nested unions make the branches share relations
+  // only if they actually scan common names.
+  struct Shim {
+    static void Collect(const Plan& p, std::vector<const Plan*>* out) {
+      if (p.kind() == PlanKind::kUnion) {
+        for (const PlanPtr& c : p.children()) Collect(*c, out);
+      } else {
+        out->push_back(&p);
+      }
+    }
+  };
+  std::vector<const Plan*> branch_ptrs;
+  Shim::Collect(plan, &branch_ptrs);
+  std::set<std::string> seen;
+  for (const Plan* branch : branch_ptrs) {
+    std::set<std::string> mine;
+    for (const std::string& rel : branch->ScannedRelations()) {
+      mine.insert(rel);
+    }
+    for (const std::string& rel : mine) {
+      if (!seen.insert(rel).second) return false;  // shared across branches
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+QueryProfile Classify(const Plan& plan) {
+  QueryProfile profile;
+  size_t top_branch_joins = 0;
+  Walk(plan, &profile, &top_branch_joins);
+  profile.max_joins_per_branch =
+      std::max(profile.max_joins_per_branch, top_branch_joins);
+  profile.partitioned = IsPartitioned(plan);
+
+  if (profile.has_join && profile.has_projection && profile.has_union) {
+    profile.query_class = QueryClass::kSPJU;
+  } else if (profile.has_join && profile.has_projection) {
+    profile.query_class = QueryClass::kSPJ;
+  } else if (profile.has_join && profile.has_union) {
+    profile.query_class = QueryClass::kSJU;
+  } else if (profile.has_join) {
+    profile.query_class = QueryClass::kSJ;
+  } else if (profile.has_projection && profile.has_union) {
+    profile.query_class = QueryClass::kSPU;
+  } else if (profile.has_projection) {
+    profile.query_class = QueryClass::kSP;
+  } else if (profile.has_union) {
+    profile.query_class = QueryClass::kSU;
+  } else {
+    profile.query_class = QueryClass::kS;
+  }
+  return profile;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out = QueryClassToString(query_class);
+  out += " (joins=" + std::to_string(num_joins);
+  out += ", unions=" + std::to_string(num_unions);
+  out += ", max_joins_per_branch=" + std::to_string(max_joins_per_branch);
+  out += partitioned ? ", partitioned)" : ", non-partitioned)";
+  return out;
+}
+
+Guarantees GuaranteesFor(const QueryProfile& p) {
+  Guarantees g;
+  switch (p.query_class) {
+    case QueryClass::kS:
+    case QueryClass::kSP:
+    case QueryClass::kSU:
+      // Prop. IV.4: overall read-once; RO exact for both problems.
+      g.overall_read_once = true;
+      g.per_tuple_read_once = true;
+      g.exact_all_tuples = true;
+      g.exact_single_tuple = true;
+      break;
+    case QueryClass::kSPU:
+      // Prop. IV.5 + Thm. IV.10.
+      g.per_tuple_read_once = true;
+      g.exact_single_tuple = true;
+      g.np_hard_all_tuples = true;
+      break;
+    case QueryClass::kSJ:
+      // Prop. IV.5 + Thm. IV.9.
+      g.per_tuple_read_once = true;
+      g.exact_single_tuple = true;
+      g.np_hard_all_tuples = true;
+      break;
+    case QueryClass::kSJU:
+      // Prop. IV.8 (partitioned) / Sec. IV-C approximation otherwise.
+      g.per_tuple_read_once = p.partitioned;
+      g.exact_single_tuple = p.partitioned;
+      g.np_hard_all_tuples = true;
+      break;
+    case QueryClass::kSPJ:
+    case QueryClass::kSPJU:
+      // Thm. IV.15.
+      g.np_hard_all_tuples = true;
+      g.np_hard_single_tuple = true;
+      break;
+  }
+  return g;
+}
+
+}  // namespace consentdb::query

@@ -1,0 +1,76 @@
+// Query classification (Table I): which SPJU fragment a plan belongs to,
+// whether it is partitioned (Def. IV.6), and its join/union counts — the
+// inputs to the algorithm-selection logic and to the theoretical guarantees.
+
+#ifndef CONSENTDB_QUERY_CLASSIFY_H_
+#define CONSENTDB_QUERY_CLASSIFY_H_
+
+#include <string>
+
+#include "consentdb/query/plan.h"
+
+namespace consentdb::query {
+
+// The eight fragments of Table I. "S" (selection) is always present; the
+// other letters flag the use of Projection, Join and Union anywhere in the
+// plan.
+enum class QueryClass {
+  kS,
+  kSP,
+  kSU,
+  kSPU,
+  kSJ,
+  kSJU,
+  kSPJ,
+  kSPJU,
+};
+
+const char* QueryClassToString(QueryClass c);
+
+struct QueryProfile {
+  QueryClass query_class = QueryClass::kS;
+  bool has_projection = false;
+  bool has_join = false;
+  bool has_union = false;
+
+  // Number of Product nodes — the paper's j; the maximal conjunction size
+  // in the provenance is joins_per_branch + 1 (the k of Prop. IV.2).
+  size_t num_joins = 0;
+  // Number of binary unions (a Union node with c children counts c-1) — the
+  // paper's u.
+  size_t num_unions = 0;
+  // Max number of Product nodes within a single SPJ branch of the union.
+  size_t max_joins_per_branch = 0;
+
+  // Def. IV.6: every base relation is scanned by at most one SPJ branch of
+  // the top-level union (self-joins within a branch are fine).
+  bool partitioned = true;
+
+  std::string ToString() const;
+};
+
+// Statically analyses a plan. (The database is not consulted; data-dependent
+// properties such as the projection limit are computed by the eval module
+// on the annotated result.)
+QueryProfile Classify(const Plan& plan);
+
+// Theoretical guarantees from Table I for a profile.
+struct Guarantees {
+  // OPT-PEER-PROBE (whole result) admits an exact PTIME solution (RO).
+  bool exact_all_tuples = false;
+  // OPT-PEER-PROBE-SINGLE admits an exact PTIME solution (RO).
+  bool exact_single_tuple = false;
+  // Provenance is overall read-once for every database.
+  bool overall_read_once = false;
+  // Provenance is per-tuple read-once for every database.
+  bool per_tuple_read_once = false;
+  // NP-hard for OPT-PEER-PROBE / -SINGLE (Thms. IV.9, IV.10, IV.15).
+  bool np_hard_all_tuples = false;
+  bool np_hard_single_tuple = false;
+};
+
+Guarantees GuaranteesFor(const QueryProfile& profile);
+
+}  // namespace consentdb::query
+
+#endif  // CONSENTDB_QUERY_CLASSIFY_H_

@@ -1,0 +1,258 @@
+#include "consentdb/query/optimize.h"
+
+#include <functional>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::query {
+
+using relational::Database;
+using relational::Schema;
+
+namespace {
+
+// Rewrites every column reference of `predicate` through `mapper`; returns
+// nullptr when some reference has no mapping (the caller then keeps the
+// predicate where it is).
+PredicatePtr MapColumns(
+    const PredicatePtr& predicate,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        mapper) {
+  switch (predicate->kind()) {
+    case Predicate::Kind::kTrue:
+      return predicate;
+    case Predicate::Kind::kComparison: {
+      auto map_operand = [&mapper](const Operand& op) -> std::optional<Operand> {
+        if (!op.is_column()) return op;
+        std::optional<std::string> name = mapper(op.column_name());
+        if (!name.has_value()) return std::nullopt;
+        return Operand::Column(*name);
+      };
+      std::optional<Operand> lhs = map_operand(predicate->lhs());
+      std::optional<Operand> rhs = map_operand(predicate->rhs());
+      if (!lhs.has_value() || !rhs.has_value()) return nullptr;
+      return Predicate::Comparison(std::move(*lhs), predicate->op(),
+                                   std::move(*rhs));
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr: {
+      std::vector<PredicatePtr> mapped;
+      mapped.reserve(predicate->children().size());
+      for (const PredicatePtr& c : predicate->children()) {
+        PredicatePtr m = MapColumns(c, mapper);
+        if (m == nullptr) return nullptr;
+        mapped.push_back(std::move(m));
+      }
+      return predicate->kind() == Predicate::Kind::kAnd
+                 ? Predicate::And(std::move(mapped))
+                 : Predicate::Or(std::move(mapped));
+    }
+  }
+  return nullptr;
+}
+
+// Resolves a (possibly bare) column reference in `schema`; nullopt when it
+// does not bind or is ambiguous.
+std::optional<size_t> ResolveColumn(const std::string& name,
+                                    const Schema& schema) {
+  Operand op = Operand::Column(name);
+  if (!op.Bind(schema).ok()) return std::nullopt;
+  return op.column_index();
+}
+
+Result<PlanPtr> PushSelect(std::vector<PredicatePtr> conjuncts, PlanPtr child,
+                           const Database& db);
+
+Result<PlanPtr> OptimizeImpl(const PlanPtr& plan, const Database& db) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return plan;
+    case PlanKind::kSelect: {
+      CONSENTDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 OptimizeImpl(plan->child(0), db));
+      return PushSelect(SplitConjuncts(plan->predicate()), std::move(child),
+                        db);
+    }
+    case PlanKind::kProject: {
+      CONSENTDB_ASSIGN_OR_RETURN(PlanPtr child,
+                                 OptimizeImpl(plan->child(0), db));
+      return Plan::Project(plan->columns(), std::move(child),
+                           plan->output_names());
+    }
+    case PlanKind::kProduct: {
+      CONSENTDB_ASSIGN_OR_RETURN(PlanPtr left,
+                                 OptimizeImpl(plan->child(0), db));
+      CONSENTDB_ASSIGN_OR_RETURN(PlanPtr right,
+                                 OptimizeImpl(plan->child(1), db));
+      return Plan::Product(std::move(left), std::move(right));
+    }
+    case PlanKind::kUnion: {
+      std::vector<PlanPtr> children;
+      children.reserve(plan->children().size());
+      for (const PlanPtr& c : plan->children()) {
+        CONSENTDB_ASSIGN_OR_RETURN(PlanPtr opt, OptimizeImpl(c, db));
+        children.push_back(std::move(opt));
+      }
+      return Plan::Union(std::move(children));
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+// Wraps `child` in a Select over the conjuncts (no-op when empty).
+PlanPtr WrapSelect(std::vector<PredicatePtr> conjuncts, PlanPtr child) {
+  if (conjuncts.empty()) return child;
+  return Plan::Select(Predicate::And(std::move(conjuncts)), std::move(child));
+}
+
+Result<PlanPtr> PushSelect(std::vector<PredicatePtr> conjuncts, PlanPtr child,
+                           const Database& db) {
+  if (conjuncts.empty()) return child;
+  switch (child->kind()) {
+    case PlanKind::kSelect: {
+      // Merge with the child selection and keep pushing as one batch.
+      std::vector<PredicatePtr> merged = SplitConjuncts(child->predicate());
+      merged.insert(merged.end(), conjuncts.begin(), conjuncts.end());
+      return PushSelect(std::move(merged), child->child(0), db);
+    }
+    case PlanKind::kProduct: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema left_schema,
+                                 child->child(0)->OutputSchema(db));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema right_schema,
+                                 child->child(1)->OutputSchema(db));
+      std::vector<PredicatePtr> to_left;
+      std::vector<PredicatePtr> to_right;
+      std::vector<PredicatePtr> keep;
+      for (PredicatePtr& atom : conjuncts) {
+        if (BindsAgainst(atom, left_schema)) {
+          to_left.push_back(std::move(atom));
+        } else if (BindsAgainst(atom, right_schema)) {
+          to_right.push_back(std::move(atom));
+        } else {
+          keep.push_back(std::move(atom));
+        }
+      }
+      CONSENTDB_ASSIGN_OR_RETURN(
+          PlanPtr left, PushSelect(std::move(to_left), child->child(0), db));
+      CONSENTDB_ASSIGN_OR_RETURN(
+          PlanPtr right, PushSelect(std::move(to_right), child->child(1), db));
+      return WrapSelect(std::move(keep),
+                        Plan::Product(std::move(left), std::move(right)));
+    }
+    case PlanKind::kUnion: {
+      // Distribute over the branches, renaming columns positionally (branch
+      // schemas agree on types, not necessarily on names). Atoms that fail
+      // to rename for some branch stay above the union.
+      CONSENTDB_ASSIGN_OR_RETURN(Schema union_schema, child->OutputSchema(db));
+      std::vector<Schema> branch_schemas;
+      for (const PlanPtr& branch : child->children()) {
+        CONSENTDB_ASSIGN_OR_RETURN(Schema s, branch->OutputSchema(db));
+        branch_schemas.push_back(std::move(s));
+      }
+      std::vector<PredicatePtr> pushed;
+      std::vector<PredicatePtr> keep;
+      for (PredicatePtr& atom : conjuncts) {
+        if (BindsAgainst(atom, union_schema)) {
+          pushed.push_back(std::move(atom));
+        } else {
+          keep.push_back(std::move(atom));
+        }
+      }
+      std::vector<PlanPtr> branches;
+      branches.reserve(child->children().size());
+      for (size_t b = 0; b < child->children().size(); ++b) {
+        std::vector<PredicatePtr> renamed;
+        bool ok = true;
+        for (const PredicatePtr& atom : pushed) {
+          PredicatePtr mapped = MapColumns(
+              atom, [&](const std::string& name) -> std::optional<std::string> {
+                std::optional<size_t> idx = ResolveColumn(name, union_schema);
+                if (!idx.has_value()) return std::nullopt;
+                return branch_schemas[b].column(*idx).name;
+              });
+          if (mapped == nullptr) {
+            ok = false;
+            break;
+          }
+          renamed.push_back(std::move(mapped));
+        }
+        if (!ok) {
+          // Renaming failed; fall back to keeping everything above.
+          keep.insert(keep.end(), pushed.begin(), pushed.end());
+          pushed.clear();
+          branches.clear();
+          for (const PlanPtr& branch : child->children()) {
+            branches.push_back(branch);
+          }
+          break;
+        }
+        CONSENTDB_ASSIGN_OR_RETURN(
+            PlanPtr pushed_branch,
+            PushSelect(std::move(renamed), child->children()[b], db));
+        branches.push_back(std::move(pushed_branch));
+      }
+      return WrapSelect(std::move(keep), Plan::Union(std::move(branches)));
+    }
+    case PlanKind::kProject: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema out_schema, child->OutputSchema(db));
+      // Output name -> input column name.
+      auto input_name =
+          [&](const std::string& ref) -> std::optional<std::string> {
+        std::optional<size_t> idx = ResolveColumn(ref, out_schema);
+        if (!idx.has_value()) return std::nullopt;
+        return child->columns()[*idx];
+      };
+      std::vector<PredicatePtr> below;
+      std::vector<PredicatePtr> keep;
+      for (PredicatePtr& atom : conjuncts) {
+        PredicatePtr mapped = MapColumns(atom, input_name);
+        if (mapped != nullptr) {
+          below.push_back(std::move(mapped));
+        } else {
+          keep.push_back(std::move(atom));
+        }
+      }
+      CONSENTDB_ASSIGN_OR_RETURN(
+          PlanPtr inner, PushSelect(std::move(below), child->child(0), db));
+      return WrapSelect(
+          std::move(keep),
+          Plan::Project(child->columns(), std::move(inner),
+                        child->output_names()));
+    }
+    case PlanKind::kScan:
+      return WrapSelect(std::move(conjuncts), std::move(child));
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+}  // namespace
+
+std::vector<PredicatePtr> SplitConjuncts(const PredicatePtr& predicate) {
+  std::vector<PredicatePtr> out;
+  switch (predicate->kind()) {
+    case Predicate::Kind::kTrue:
+      return out;
+    case Predicate::Kind::kAnd:
+      for (const PredicatePtr& c : predicate->children()) {
+        std::vector<PredicatePtr> sub = SplitConjuncts(c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    default:
+      out.push_back(predicate);
+      return out;
+  }
+}
+
+bool BindsAgainst(const PredicatePtr& predicate, const Schema& schema) {
+  return predicate->Bind(schema).ok();
+}
+
+Result<PlanPtr> Optimize(const PlanPtr& plan, const Database& db) {
+  CONSENTDB_CHECK(plan != nullptr, "null plan");
+  // Validate up front so rewrites can assume well-formed references.
+  CONSENTDB_RETURN_IF_ERROR(plan->OutputSchema(db).status());
+  return OptimizeImpl(plan, db);
+}
+
+}  // namespace consentdb::query

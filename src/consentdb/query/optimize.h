@@ -1,0 +1,41 @@
+// Logical plan rewrites. Probing cost (the paper's metric) is unaffected by
+// the plan shape — provenance is plan-invariant for SPJU under set
+// semantics — but evaluation cost is not: the naive Product-then-Select
+// plans produced by the parser enumerate full cross products. Selection
+// pushdown keeps the annotated-evaluation step (Prop. III.3) practical on
+// larger databases.
+//
+// Rewrites performed by Optimize():
+//   * Select-merge:      Select(p, Select(q, X))      -> Select(p AND q, X)
+//   * Pushdown/Product:  conjuncts binding entirely on one side of a
+//                         Product move below it
+//   * Pushdown/Union:    selections distribute over every branch
+//   * Pushdown/Project:  conjuncts whose columns are all projection outputs
+//                         are rewritten to the input columns and pushed
+//
+// All rewrites preserve the query result AND the tuple annotations (tested
+// by property tests against the unoptimised plan).
+
+#ifndef CONSENTDB_QUERY_OPTIMIZE_H_
+#define CONSENTDB_QUERY_OPTIMIZE_H_
+
+#include "consentdb/query/plan.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::query {
+
+// Rewrites `plan` over `db` (schemas are needed to decide where conjuncts
+// bind). Returns a semantically equivalent plan.
+Result<PlanPtr> Optimize(const PlanPtr& plan, const relational::Database& db);
+
+// Splits a predicate into its top-level conjuncts (AND flattened; OR and
+// comparisons are atomic units).
+std::vector<PredicatePtr> SplitConjuncts(const PredicatePtr& predicate);
+
+// True when every column the predicate references resolves in `schema`.
+bool BindsAgainst(const PredicatePtr& predicate,
+                  const relational::Schema& schema);
+
+}  // namespace consentdb::query
+
+#endif  // CONSENTDB_QUERY_OPTIMIZE_H_

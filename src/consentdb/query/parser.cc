@@ -1,0 +1,391 @@
+#include "consentdb/query/parser.h"
+
+#include <cctype>
+#include <set>
+
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::query {
+
+namespace {
+
+using relational::Value;
+
+enum class TokenKind {
+  kIdent,    // possibly-qualified identifier, text as written
+  kInt,
+  kFloat,
+  kString,   // unquoted content
+  kSymbol,   // one of = != <> < <= > >= ( ) , *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t pos = 0;  // byte offset in the input, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) {
+        out.push_back(Token{TokenKind::kEnd, "", pos_});
+        return out;
+      }
+      char c = input_[pos_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(LexIdent());
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        CONSENTDB_ASSIGN_OR_RETURN(Token t, LexNumber());
+        out.push_back(std::move(t));
+      } else if (c == '\'') {
+        CONSENTDB_ASSIGN_OR_RETURN(Token t, LexString());
+        out.push_back(std::move(t));
+      } else {
+        CONSENTDB_ASSIGN_OR_RETURN(Token t, LexSymbol());
+        out.push_back(std::move(t));
+      }
+    }
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Token LexIdent() {
+    size_t start = pos_;
+    auto is_ident_char = [this]() {
+      char c = input_[pos_];
+      return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    while (pos_ < input_.size() && is_ident_char()) ++pos_;
+    // Qualified name: ident '.' ident
+    if (pos_ < input_.size() && input_[pos_] == '.' && pos_ + 1 < input_.size() &&
+        (std::isalpha(static_cast<unsigned char>(input_[pos_ + 1])) ||
+         input_[pos_ + 1] == '_')) {
+      ++pos_;  // consume '.'
+      while (pos_ < input_.size() && is_ident_char()) ++pos_;
+    }
+    return Token{TokenKind::kIdent, std::string(input_.substr(start, pos_ - start)),
+                 start};
+  }
+
+  Result<Token> LexNumber() {
+    size_t start = pos_;
+    bool is_float = false;
+    while (pos_ < input_.size() &&
+           std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < input_.size() && input_[pos_] == '.' && pos_ + 1 < input_.size() &&
+        std::isdigit(static_cast<unsigned char>(input_[pos_ + 1]))) {
+      is_float = true;
+      ++pos_;
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Token{is_float ? TokenKind::kFloat : TokenKind::kInt,
+                 std::string(input_.substr(start, pos_ - start)), start};
+  }
+
+  Result<Token> LexString() {
+    size_t start = pos_;
+    ++pos_;  // opening quote
+    std::string content;
+    while (pos_ < input_.size()) {
+      char c = input_[pos_];
+      if (c == '\'') {
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '\'') {
+          content += '\'';  // '' escape
+          pos_ += 2;
+          continue;
+        }
+        ++pos_;
+        return Token{TokenKind::kString, std::move(content), start};
+      }
+      content += c;
+      ++pos_;
+    }
+    return Status::InvalidArgument("unterminated string literal at offset " +
+                                   std::to_string(start));
+  }
+
+  Result<Token> LexSymbol() {
+    size_t start = pos_;
+    char c = input_[pos_];
+    auto make = [&](std::string text) {
+      pos_ += text.size();
+      return Token{TokenKind::kSymbol, std::move(text), start};
+    };
+    switch (c) {
+      case '(': case ')': case ',': case '*': case '=':
+        return make(std::string(1, c));
+      case '!':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          return make("!=");
+        }
+        break;
+      case '<':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          return make("<=");
+        }
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '>') {
+          return make("!=");  // normalise <> to !=
+        }
+        return make("<");
+      case '>':
+        if (pos_ + 1 < input_.size() && input_[pos_ + 1] == '=') {
+          return make(">=");
+        }
+        return make(">");
+      default:
+        break;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(start));
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+bool IsKeyword(const Token& t, std::string_view kw) {
+  return t.kind == TokenKind::kIdent && EqualsIgnoreCase(t.text, kw);
+}
+
+// The reserved words that cannot be identifiers.
+bool IsAnyKeyword(const Token& t) {
+  static const char* kKeywords[] = {"select", "distinct", "from",  "where",
+                                    "and",    "or",       "union", "as",
+                                    "true",   "false",    "null"};
+  if (t.kind != TokenKind::kIdent) return false;
+  for (const char* kw : kKeywords) {
+    if (EqualsIgnoreCase(t.text, kw)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<PlanPtr> ParseQuery() {
+    CONSENTDB_ASSIGN_OR_RETURN(PlanPtr first, ParseSelect());
+    std::vector<PlanPtr> branches{std::move(first)};
+    while (IsKeyword(Peek(), "union")) {
+      Advance();
+      CONSENTDB_ASSIGN_OR_RETURN(PlanPtr next, ParseSelect());
+      branches.push_back(std::move(next));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return UnexpectedToken("end of query");
+    }
+    return Plan::Union(std::move(branches));
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(index_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Advance() { return tokens_[std::min(index_++, tokens_.size() - 1)]; }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (IsKeyword(Peek(), kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSymbol(std::string_view sym) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == sym) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status UnexpectedToken(const std::string& expected) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kEnd ? "end of input" : "'" + t.text + "'";
+    return Status::InvalidArgument("expected " + expected + " but found " +
+                                   got + " at offset " +
+                                   std::to_string(t.pos));
+  }
+
+  Result<std::string> ExpectIdent(const std::string& what) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdent || IsAnyKeyword(t)) {
+      return UnexpectedToken(what);
+    }
+    return Advance().text;
+  }
+
+  Result<PlanPtr> ParseSelect() {
+    if (!ConsumeKeyword("select")) return UnexpectedToken("SELECT");
+    ConsumeKeyword("distinct");  // optional; set semantics regardless
+
+    // Projection list.
+    bool select_star = false;
+    std::vector<std::string> columns;
+    if (ConsumeSymbol("*")) {
+      select_star = true;
+    } else {
+      do {
+        CONSENTDB_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+        columns.push_back(std::move(col));
+      } while (ConsumeSymbol(","));
+    }
+
+    if (!ConsumeKeyword("from")) return UnexpectedToken("FROM");
+
+    // Table list with aliases.
+    PlanPtr plan;
+    std::set<std::string> aliases;
+    do {
+      CONSENTDB_ASSIGN_OR_RETURN(std::string table, ExpectIdent("table name"));
+      std::string alias = table;
+      if (ConsumeKeyword("as")) {
+        CONSENTDB_ASSIGN_OR_RETURN(alias, ExpectIdent("alias"));
+      } else if (Peek().kind == TokenKind::kIdent && !IsAnyKeyword(Peek())) {
+        alias = Advance().text;
+      }
+      if (!aliases.insert(alias).second) {
+        return Status::InvalidArgument("duplicate table alias: " + alias);
+      }
+      PlanPtr scan = Plan::Scan(std::move(table), std::move(alias));
+      plan = plan == nullptr ? std::move(scan)
+                             : Plan::Product(std::move(plan), std::move(scan));
+    } while (ConsumeSymbol(","));
+
+    if (ConsumeKeyword("where")) {
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr pred, ParseCondition());
+      plan = Plan::Select(std::move(pred), std::move(plan));
+    }
+
+    if (!select_star) {
+      plan = Plan::Project(std::move(columns), std::move(plan));
+    }
+    return plan;
+  }
+
+  Result<PredicatePtr> ParseCondition() {
+    CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr first, ParseConjunction());
+    std::vector<PredicatePtr> disjuncts{std::move(first)};
+    while (ConsumeKeyword("or")) {
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr next, ParseConjunction());
+      disjuncts.push_back(std::move(next));
+    }
+    return Predicate::Or(std::move(disjuncts));
+  }
+
+  Result<PredicatePtr> ParseConjunction() {
+    CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr first, ParseAtom());
+    std::vector<PredicatePtr> conjuncts{std::move(first)};
+    while (ConsumeKeyword("and")) {
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr next, ParseAtom());
+      conjuncts.push_back(std::move(next));
+    }
+    return Predicate::And(std::move(conjuncts));
+  }
+
+  Result<PredicatePtr> ParseAtom() {
+    if (ConsumeSymbol("(")) {
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr inner, ParseCondition());
+      if (!ConsumeSymbol(")")) return UnexpectedToken("')'");
+      return inner;
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    CONSENTDB_ASSIGN_OR_RETURN(CompareOp op, ParseCompareOp());
+    CONSENTDB_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return Predicate::Comparison(std::move(lhs), op, std::move(rhs));
+  }
+
+  Result<CompareOp> ParseCompareOp() {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kSymbol) return UnexpectedToken("comparison operator");
+    CompareOp op;
+    if (t.text == "=") {
+      op = CompareOp::kEq;
+    } else if (t.text == "!=") {
+      op = CompareOp::kNe;
+    } else if (t.text == "<") {
+      op = CompareOp::kLt;
+    } else if (t.text == "<=") {
+      op = CompareOp::kLe;
+    } else if (t.text == ">") {
+      op = CompareOp::kGt;
+    } else if (t.text == ">=") {
+      op = CompareOp::kGe;
+    } else {
+      return UnexpectedToken("comparison operator");
+    }
+    Advance();
+    return op;
+  }
+
+  Result<Operand> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        Advance();
+        return Operand::Literal(Value(static_cast<int64_t>(std::stoll(t.text))));
+      }
+      case TokenKind::kFloat: {
+        Advance();
+        return Operand::Literal(Value(std::stod(t.text)));
+      }
+      case TokenKind::kString: {
+        Advance();
+        return Operand::Literal(Value(t.text));
+      }
+      case TokenKind::kIdent: {
+        if (IsKeyword(t, "true")) {
+          Advance();
+          return Operand::Literal(Value(true));
+        }
+        if (IsKeyword(t, "false")) {
+          Advance();
+          return Operand::Literal(Value(false));
+        }
+        if (IsKeyword(t, "null")) {
+          Advance();
+          return Operand::Literal(Value::Null());
+        }
+        if (IsAnyKeyword(t)) return UnexpectedToken("operand");
+        Advance();
+        return Operand::Column(t.text);
+      }
+      default:
+        return UnexpectedToken("operand");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<PlanPtr> ParseQuery(std::string_view sql) {
+  Lexer lexer(sql);
+  CONSENTDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace consentdb::query

@@ -1,0 +1,32 @@
+// A parser for the SQL fragment matching SPJU plans:
+//
+//   query  := select (UNION select)*
+//   select := SELECT [DISTINCT] ('*' | column (',' column)*)
+//             FROM table [[AS] alias] (',' table [[AS] alias])*
+//             [WHERE condition]
+//   condition := conj (OR conj)* ; conj := atom (AND atom)*
+//   atom   := operand (= | != | <> | < | <= | > | >=) operand
+//           | '(' condition ')'
+//   operand:= column | 'string' | 123 | 4.5 | TRUE | FALSE | NULL
+//
+// DISTINCT is accepted but implied: the library's consent semantics is a set
+// algebra. Keywords are case-insensitive. Column references may be qualified
+// (alias.column) or bare when unambiguous.
+
+#ifndef CONSENTDB_QUERY_PARSER_H_
+#define CONSENTDB_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "consentdb/query/plan.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::query {
+
+// Parses `sql` into an SPJU plan. Errors carry a position-annotated message.
+Result<PlanPtr> ParseQuery(std::string_view sql);
+
+}  // namespace consentdb::query
+
+#endif  // CONSENTDB_QUERY_PARSER_H_

@@ -1,0 +1,192 @@
+#include "consentdb/query/plan.h"
+
+#include <unordered_set>
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::query {
+
+using relational::Column;
+using relational::Database;
+using relational::Schema;
+
+PlanPtr Plan::Scan(std::string relation, std::string alias) {
+  CONSENTDB_CHECK(!relation.empty(), "empty relation name");
+  auto* p = new Plan(PlanKind::kScan);
+  p->alias_ = alias.empty() ? relation : std::move(alias);
+  p->relation_ = std::move(relation);
+  return PlanPtr(p);
+}
+
+PlanPtr Plan::Select(PredicatePtr predicate, PlanPtr child) {
+  CONSENTDB_CHECK(predicate != nullptr && child != nullptr,
+                  "null select argument");
+  auto* p = new Plan(PlanKind::kSelect);
+  p->predicate_ = std::move(predicate);
+  p->children_.push_back(std::move(child));
+  return PlanPtr(p);
+}
+
+PlanPtr Plan::Project(std::vector<std::string> columns, PlanPtr child,
+                      std::vector<std::string> output_names) {
+  CONSENTDB_CHECK(child != nullptr, "null project child");
+  CONSENTDB_CHECK(!columns.empty(), "empty projection list");
+  CONSENTDB_CHECK(output_names.empty() || output_names.size() == columns.size(),
+                  "output_names length mismatch");
+  auto* p = new Plan(PlanKind::kProject);
+  p->columns_ = std::move(columns);
+  p->output_names_ = std::move(output_names);
+  p->children_.push_back(std::move(child));
+  return PlanPtr(p);
+}
+
+PlanPtr Plan::Product(PlanPtr left, PlanPtr right) {
+  CONSENTDB_CHECK(left != nullptr && right != nullptr, "null product child");
+  auto* p = new Plan(PlanKind::kProduct);
+  p->children_.push_back(std::move(left));
+  p->children_.push_back(std::move(right));
+  return PlanPtr(p);
+}
+
+PlanPtr Plan::Union(std::vector<PlanPtr> children) {
+  CONSENTDB_CHECK(!children.empty(), "empty union");
+  if (children.size() == 1) return children[0];
+  auto* p = new Plan(PlanKind::kUnion);
+  p->children_ = std::move(children);
+  return PlanPtr(p);
+}
+
+PlanPtr Plan::Join(PlanPtr left, PlanPtr right, PredicatePtr predicate) {
+  return Select(std::move(predicate),
+                Product(std::move(left), std::move(right)));
+}
+
+const PlanPtr& Plan::child(size_t i) const {
+  CONSENTDB_CHECK(i < children_.size(), "plan child index out of range");
+  return children_[i];
+}
+
+namespace {
+
+// Output name for a projected column: the suffix after the qualifying dot.
+std::string BareName(const std::string& qualified) {
+  size_t dot = qualified.rfind('.');
+  return dot == std::string::npos ? qualified : qualified.substr(dot + 1);
+}
+
+}  // namespace
+
+Result<Schema> Plan::OutputSchema(const Database& db) const {
+  switch (kind_) {
+    case PlanKind::kScan: {
+      CONSENTDB_ASSIGN_OR_RETURN(const relational::Relation* rel,
+                                 db.GetRelation(relation_));
+      std::vector<Column> cols;
+      cols.reserve(rel->schema().num_columns());
+      for (const Column& c : rel->schema().columns()) {
+        cols.push_back(Column{alias_ + "." + c.name, c.type});
+      }
+      return Schema::Create(std::move(cols));
+    }
+    case PlanKind::kSelect: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, children_[0]->OutputSchema(db));
+      // Validate the predicate binds.
+      CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr bound, predicate_->Bind(schema));
+      (void)bound;
+      return schema;
+    }
+    case PlanKind::kProject: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema schema, children_[0]->OutputSchema(db));
+      std::vector<Column> cols;
+      cols.reserve(columns_.size());
+      std::unordered_set<std::string> names;
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        Operand op = Operand::Column(columns_[i]);
+        CONSENTDB_RETURN_IF_ERROR(op.Bind(schema));
+        std::string out_name = output_names_.empty()
+                                   ? BareName(columns_[i])
+                                   : output_names_[i];
+        // SQL permits duplicate output names (SELECT x.id, y.id ...);
+        // disambiguate positionally like Concat does.
+        while (!names.insert(out_name).second) {
+          out_name += "_" + std::to_string(i + 1);
+        }
+        cols.push_back(
+            Column{std::move(out_name), schema.column(op.column_index()).type});
+      }
+      return Schema::Create(std::move(cols));
+    }
+    case PlanKind::kProduct: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema left, children_[0]->OutputSchema(db));
+      CONSENTDB_ASSIGN_OR_RETURN(Schema right, children_[1]->OutputSchema(db));
+      // Qualified names must be distinct across the two sides.
+      for (const Column& c : right.columns()) {
+        if (left.IndexOf(c.name).has_value()) {
+          return Status::InvalidArgument(
+              "duplicate column across product: " + c.name +
+              " (use distinct aliases for self-joins)");
+        }
+      }
+      return left.Concat(right);
+    }
+    case PlanKind::kUnion: {
+      CONSENTDB_ASSIGN_OR_RETURN(Schema first, children_[0]->OutputSchema(db));
+      for (size_t i = 1; i < children_.size(); ++i) {
+        CONSENTDB_ASSIGN_OR_RETURN(Schema s, children_[i]->OutputSchema(db));
+        if (!first.TypesMatch(s)) {
+          return Status::InvalidArgument(
+              "union inputs have incompatible types: " + first.ToString() +
+              " vs " + s.ToString());
+        }
+      }
+      return first;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+std::vector<std::string> Plan::ScannedRelations() const {
+  std::vector<std::string> out;
+  if (kind_ == PlanKind::kScan) {
+    out.push_back(relation_);
+    return out;
+  }
+  for (const PlanPtr& c : children_) {
+    std::vector<std::string> sub = c->ScannedRelations();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Plan::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case PlanKind::kScan:
+      *out += "Scan(" + relation_;
+      if (alias_ != relation_) *out += " AS " + alias_;
+      *out += ")\n";
+      return;
+    case PlanKind::kSelect:
+      *out += "Select[" + predicate_->ToString() + "]\n";
+      break;
+    case PlanKind::kProject:
+      *out += "Project[" + ::consentdb::Join(columns_, ", ") + "]\n";
+      break;
+    case PlanKind::kProduct:
+      *out += "Product\n";
+      break;
+    case PlanKind::kUnion:
+      *out += "Union\n";
+      break;
+  }
+  for (const PlanPtr& c : children_) c->AppendTo(out, indent + 1);
+}
+
+std::string Plan::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+}  // namespace consentdb::query

@@ -1,0 +1,80 @@
+// SPJU logical plans: the query representation evaluated by the eval module.
+//
+// Five operators, exactly the algebra of Sec. III-A:
+//   Scan(relation [AS alias])      — output columns qualified "alias.col"
+//   Select(predicate, child)
+//   Project(columns, child)        — set semantics (DISTINCT)
+//   Product(left, right)           — cartesian product; equi-joins are
+//                                    Select over Product (the Join helper)
+//   Union(children)                — set union of type-compatible inputs
+
+#ifndef CONSENTDB_QUERY_PLAN_H_
+#define CONSENTDB_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consentdb/query/predicate.h"
+#include "consentdb/relational/database.h"
+
+namespace consentdb::query {
+
+class Plan;
+using PlanPtr = std::shared_ptr<const Plan>;
+
+enum class PlanKind { kScan, kSelect, kProject, kProduct, kUnion };
+
+class Plan {
+ public:
+  // `alias` defaults to the relation name.
+  static PlanPtr Scan(std::string relation, std::string alias = "");
+  static PlanPtr Select(PredicatePtr predicate, PlanPtr child);
+  // `columns` are input column names (qualified or unique bare names);
+  // `output_names` optionally renames them (same length), else the bare
+  // suffix of each input name is used.
+  static PlanPtr Project(std::vector<std::string> columns, PlanPtr child,
+                         std::vector<std::string> output_names = {});
+  static PlanPtr Product(PlanPtr left, PlanPtr right);
+  static PlanPtr Union(std::vector<PlanPtr> children);
+  // Sugar: Select(predicate, Product(left, right)).
+  static PlanPtr Join(PlanPtr left, PlanPtr right, PredicatePtr predicate);
+
+  PlanKind kind() const { return kind_; }
+  const std::string& relation() const { return relation_; }
+  const std::string& alias() const { return alias_; }
+  const PredicatePtr& predicate() const { return predicate_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& output_names() const {
+    return output_names_;
+  }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i = 0) const;
+
+  // The schema this plan produces over `db`; validates relation/column
+  // references and union type compatibility along the way.
+  Result<relational::Schema> OutputSchema(
+      const relational::Database& db) const;
+
+  // Names of base relations scanned anywhere below this node (with
+  // duplicates when a relation is scanned twice — self-joins).
+  std::vector<std::string> ScannedRelations() const;
+
+  std::string ToString() const;  // multi-line indented tree
+
+ private:
+  explicit Plan(PlanKind kind) : kind_(kind) {}
+  void AppendTo(std::string* out, int indent) const;
+
+  PlanKind kind_;
+  std::string relation_;
+  std::string alias_;
+  PredicatePtr predicate_;
+  std::vector<std::string> columns_;
+  std::vector<std::string> output_names_;
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace consentdb::query
+
+#endif  // CONSENTDB_QUERY_PLAN_H_

@@ -1,0 +1,190 @@
+#include "consentdb/query/predicate.h"
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::query {
+
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Status Operand::Bind(const Schema& schema) {
+  if (!is_column_) return Status::OK();
+  // Exact match first.
+  if (std::optional<size_t> idx = schema.IndexOf(column_name_)) {
+    column_index_ = *idx;
+    return Status::OK();
+  }
+  // Bare name: match the suffix after '.' of qualified columns, uniquely.
+  std::optional<size_t> found;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    const std::string& name = schema.column(i).name;
+    size_t dot = name.rfind('.');
+    if (dot != std::string::npos && name.substr(dot + 1) == column_name_) {
+      if (found.has_value()) {
+        return Status::InvalidArgument("ambiguous column reference: " +
+                                       column_name_);
+      }
+      found = i;
+    }
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("unknown column: " + column_name_ + " in " +
+                            schema.ToString());
+  }
+  column_index_ = *found;
+  return Status::OK();
+}
+
+const Value& Operand::Resolve(const Tuple& t) const {
+  if (!is_column_) return literal_;
+  CONSENTDB_CHECK(column_index_ != static_cast<size_t>(-1),
+                  "operand not bound: " + column_name_);
+  return t.at(column_index_);
+}
+
+std::string Operand::ToString() const {
+  return is_column_ ? column_name_ : literal_.ToString();
+}
+
+PredicatePtr Predicate::True() {
+  return PredicatePtr(new Predicate(Kind::kTrue));
+}
+
+PredicatePtr Predicate::Comparison(Operand lhs, CompareOp op, Operand rhs) {
+  auto* p = new Predicate(Kind::kComparison);
+  p->lhs_ = std::move(lhs);
+  p->rhs_ = std::move(rhs);
+  p->op_ = op;
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::ColumnsEqual(std::string lhs, std::string rhs) {
+  return Comparison(Operand::Column(std::move(lhs)), CompareOp::kEq,
+                    Operand::Column(std::move(rhs)));
+}
+
+PredicatePtr Predicate::ColumnCompare(std::string column, CompareOp op,
+                                      Value v) {
+  return Comparison(Operand::Column(std::move(column)), op,
+                    Operand::Literal(std::move(v)));
+}
+
+PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return children[0];
+  auto* p = new Predicate(Kind::kAnd);
+  p->children_ = std::move(children);
+  return PredicatePtr(p);
+}
+
+PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
+  CONSENTDB_CHECK(!children.empty(), "empty OR predicate");
+  if (children.size() == 1) return children[0];
+  auto* p = new Predicate(Kind::kOr);
+  p->children_ = std::move(children);
+  return PredicatePtr(p);
+}
+
+Result<PredicatePtr> Predicate::Bind(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return True();
+    case Kind::kComparison: {
+      Operand lhs = lhs_;
+      Operand rhs = rhs_;
+      CONSENTDB_RETURN_IF_ERROR(lhs.Bind(schema));
+      CONSENTDB_RETURN_IF_ERROR(rhs.Bind(schema));
+      return Comparison(std::move(lhs), op_, std::move(rhs));
+    }
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<PredicatePtr> bound;
+      bound.reserve(children_.size());
+      for (const PredicatePtr& c : children_) {
+        CONSENTDB_ASSIGN_OR_RETURN(PredicatePtr b, c->Bind(schema));
+        bound.push_back(std::move(b));
+      }
+      return kind_ == Kind::kAnd ? And(std::move(bound)) : Or(std::move(bound));
+    }
+  }
+  return Status::Internal("unreachable predicate kind");
+}
+
+bool Predicate::Evaluate(const Tuple& t) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kComparison: {
+      const Value& a = lhs_.Resolve(t);
+      const Value& b = rhs_.Resolve(t);
+      switch (op_) {
+        case CompareOp::kEq:
+          return a == b;
+        case CompareOp::kNe:
+          return a != b;
+        case CompareOp::kLt:
+          return a < b;
+        case CompareOp::kLe:
+          return a <= b;
+        case CompareOp::kGt:
+          return a > b;
+        case CompareOp::kGe:
+          return a >= b;
+      }
+      return false;
+    }
+    case Kind::kAnd: {
+      for (const PredicatePtr& c : children_) {
+        if (!c->Evaluate(t)) return false;
+      }
+      return true;
+    }
+    case Kind::kOr: {
+      for (const PredicatePtr& c : children_) {
+        if (c->Evaluate(t)) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kComparison:
+      return lhs_.ToString() + " " + CompareOpToString(op_) + " " +
+             rhs_.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::vector<std::string> parts;
+      parts.reserve(children_.size());
+      for (const PredicatePtr& c : children_) parts.push_back(c->ToString());
+      return "(" + Join(parts, kind_ == Kind::kAnd ? " AND " : " OR ") + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace consentdb::query

@@ -1,0 +1,106 @@
+// Selection predicates for SPJU plans: comparisons over columns and
+// literals, combined with AND/OR (positive Boolean combinations only, which
+// keeps query monotonicity and hence monotone provenance).
+
+#ifndef CONSENTDB_QUERY_PREDICATE_H_
+#define CONSENTDB_QUERY_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consentdb/relational/schema.h"
+#include "consentdb/relational/tuple.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::query {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpToString(CompareOp op);
+
+// One side of a comparison: a column reference (by name, resolved to an
+// index at bind time) or a literal value.
+class Operand {
+ public:
+  static Operand Column(std::string name) {
+    Operand o;
+    o.is_column_ = true;
+    o.column_name_ = std::move(name);
+    return o;
+  }
+  static Operand Literal(relational::Value v) {
+    Operand o;
+    o.literal_ = std::move(v);
+    return o;
+  }
+
+  bool is_column() const { return is_column_; }
+  const std::string& column_name() const { return column_name_; }
+  const relational::Value& literal() const { return literal_; }
+  size_t column_index() const { return column_index_; }
+
+  // Resolves the column name against `schema`. A bare name matches a
+  // qualified column "alias.name" when the match is unique.
+  Status Bind(const relational::Schema& schema);
+
+  // Value of this operand in row `t` (bound operands only).
+  const relational::Value& Resolve(const relational::Tuple& t) const;
+
+  std::string ToString() const;
+
+ private:
+  bool is_column_ = false;
+  std::string column_name_;
+  size_t column_index_ = static_cast<size_t>(-1);
+  relational::Value literal_;
+};
+
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+// Immutable predicate tree. Build with the factories; call Bind against the
+// input schema before Evaluate.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kComparison, kAnd, kOr };
+
+  static PredicatePtr True();
+  static PredicatePtr Comparison(Operand lhs, CompareOp op, Operand rhs);
+  // Convenience: column-to-column equality (the equi-join condition).
+  static PredicatePtr ColumnsEqual(std::string lhs, std::string rhs);
+  // Convenience: column compared to a literal.
+  static PredicatePtr ColumnCompare(std::string column, CompareOp op,
+                                    relational::Value v);
+  static PredicatePtr And(std::vector<PredicatePtr> children);
+  static PredicatePtr Or(std::vector<PredicatePtr> children);
+
+  Kind kind() const { return kind_; }
+  const std::vector<PredicatePtr>& children() const { return children_; }
+  const Operand& lhs() const { return lhs_; }
+  const Operand& rhs() const { return rhs_; }
+  CompareOp op() const { return op_; }
+
+  // Returns a copy of this predicate bound to `schema` (column names
+  // resolved to indexes). Fails on unknown/ambiguous columns.
+  Result<PredicatePtr> Bind(const relational::Schema& schema) const;
+
+  // Evaluates a bound predicate on a row. Comparisons involving NULL are
+  // false (except NULL = NULL, see Value equality).
+  bool Evaluate(const relational::Tuple& t) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Predicate(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Operand lhs_;
+  Operand rhs_;
+  CompareOp op_ = CompareOp::kEq;
+  std::vector<PredicatePtr> children_;
+};
+
+}  // namespace consentdb::query
+
+#endif  // CONSENTDB_QUERY_PREDICATE_H_

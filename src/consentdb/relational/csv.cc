@@ -1,0 +1,220 @@
+#include "consentdb/relational/csv.h"
+
+#include <sstream>
+
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::relational {
+
+namespace {
+
+// True when the field needs quoting on output.
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string QuoteField(const std::string& field) {
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<Value> ParseField(const std::string& field, bool was_quoted,
+                         const Column& column, size_t line_number) {
+  if (field.empty() && !was_quoted) return Value::Null();
+  auto error = [&](const std::string& what) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line_number) + ", column '" + column.name +
+        "': " + what + ": '" + field + "'");
+  };
+  switch (column.type) {
+    case ValueType::kInt64: {
+      try {
+        size_t consumed = 0;
+        int64_t v = std::stoll(field, &consumed);
+        if (consumed != field.size()) return error("trailing characters");
+        return Value(v);
+      } catch (const std::exception&) {
+        return error("not an integer");
+      }
+    }
+    case ValueType::kDouble: {
+      try {
+        size_t consumed = 0;
+        double v = std::stod(field, &consumed);
+        if (consumed != field.size()) return error("trailing characters");
+        return Value(v);
+      } catch (const std::exception&) {
+        return error("not a number");
+      }
+    }
+    case ValueType::kBool: {
+      if (EqualsIgnoreCase(field, "true") || field == "1") return Value(true);
+      if (EqualsIgnoreCase(field, "false") || field == "0") {
+        return Value(false);
+      }
+      return error("not a boolean");
+    }
+    case ValueType::kString:
+      return Value(field);
+    case ValueType::kNull:
+      return error("column declared NULL type");
+  }
+  return error("unknown column type");
+}
+
+std::string FormatField(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      // Quote empty strings so they are not read back as NULL.
+      if (s.empty() || NeedsQuoting(s)) return QuoteField(s);
+      return s;
+    }
+    case ValueType::kInt64:
+      return std::to_string(v.AsInt64());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << v.AsDouble();
+      return os.str();
+    }
+    case ValueType::kBool:
+      return v.AsBool() ? "true" : "false";
+  }
+  return "";
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                std::vector<bool>* quoted) {
+  std::vector<std::string> fields;
+  std::vector<bool> was_quoted;
+  std::string current;
+  bool in_quotes = false;
+  bool current_quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      if (!current.empty()) {
+        return Status::InvalidArgument(
+            "quote in the middle of an unquoted field: " + line);
+      }
+      in_quotes = true;
+      current_quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      was_quoted.push_back(current_quoted);
+      current.clear();
+      current_quoted = false;
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field: " + line);
+  }
+  fields.push_back(std::move(current));
+  was_quoted.push_back(current_quoted);
+  if (quoted != nullptr) *quoted = std::move(was_quoted);
+  return fields;
+}
+
+Result<Relation> ReadRelationCsv(std::istream& in, const Schema& schema) {
+  Relation relation(schema);
+  std::string line;
+  size_t line_number = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() && !header_seen) continue;
+    std::vector<bool> quoted;
+    CONSENTDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                               SplitCsvRecord(line, &quoted));
+    if (!header_seen) {
+      header_seen = true;
+      if (fields.size() != schema.num_columns()) {
+        return Status::InvalidArgument(
+            "header has " + std::to_string(fields.size()) +
+            " fields but the schema has " +
+            std::to_string(schema.num_columns()) + " columns");
+      }
+      for (size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i] != schema.column(i).name) {
+          return Status::InvalidArgument(
+              "header field '" + fields[i] + "' does not match column '" +
+              schema.column(i).name + "'");
+        }
+      }
+      continue;
+    }
+    if (line.empty()) continue;  // trailing blank lines
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(schema.num_columns()));
+    }
+    std::vector<Value> values;
+    values.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      CONSENTDB_ASSIGN_OR_RETURN(
+          Value v, ParseField(fields[i], quoted[i], schema.column(i),
+                              line_number));
+      values.push_back(std::move(v));
+    }
+    CONSENTDB_RETURN_IF_ERROR(relation.Insert(Tuple(std::move(values))).status());
+  }
+  if (!header_seen) {
+    return Status::InvalidArgument("empty CSV document (no header)");
+  }
+  return relation;
+}
+
+Result<Relation> ReadRelationCsv(const std::string& text,
+                                 const Schema& schema) {
+  std::istringstream in(text);
+  return ReadRelationCsv(in, schema);
+}
+
+void WriteRelationCsv(const Relation& relation, std::ostream& out) {
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.column(i).name;
+  }
+  out << '\n';
+  for (const Tuple& t : relation.tuples()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i > 0) out << ',';
+      out << FormatField(t.at(i));
+    }
+    out << '\n';
+  }
+}
+
+std::string WriteRelationCsv(const Relation& relation) {
+  std::ostringstream out;
+  WriteRelationCsv(relation, out);
+  return out.str();
+}
+
+}  // namespace consentdb::relational

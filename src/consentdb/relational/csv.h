@@ -1,0 +1,44 @@
+// CSV import/export for relations and shared-database loading.
+//
+// Format: RFC-4180-style — comma separated, double-quote quoting with ""
+// escapes, first line is the header. Types are declared by the caller (for
+// ReadRelation) or taken from the relation's schema (for WriteRelation).
+// NULL is an empty unquoted field.
+
+#ifndef CONSENTDB_RELATIONAL_CSV_H_
+#define CONSENTDB_RELATIONAL_CSV_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "consentdb/relational/relation.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::relational {
+
+// Parses one CSV document into a relation. The header must match the schema
+// column names (same order); rows are validated against the column types:
+// kInt64/kDouble parse numerically, kBool accepts true/false (case-
+// insensitive) and 0/1, kString is taken verbatim. An empty unquoted field
+// is NULL. Duplicate rows collapse (set semantics).
+Result<Relation> ReadRelationCsv(std::istream& in, const Schema& schema);
+
+// Convenience overload parsing from a string.
+Result<Relation> ReadRelationCsv(const std::string& text,
+                                 const Schema& schema);
+
+// Writes the relation with a header row. Strings are quoted when they
+// contain commas, quotes or newlines; NULL is an empty field.
+void WriteRelationCsv(const Relation& relation, std::ostream& out);
+std::string WriteRelationCsv(const Relation& relation);
+
+// Splits one CSV record (no trailing newline) into fields. Exposed for
+// tests; `quoted[i]` reports whether field i was quoted (distinguishes
+// NULL, an empty unquoted field, from "", an empty string).
+Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+                                                std::vector<bool>* quoted);
+
+}  // namespace consentdb::relational
+
+#endif  // CONSENTDB_RELATIONAL_CSV_H_

@@ -1,0 +1,73 @@
+#include "consentdb/relational/database.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::relational {
+
+Status Database::CreateRelation(const std::string& name, Schema schema) {
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  relations_.emplace(name, Relation(std::move(schema)));
+  return Status::OK();
+}
+
+Status Database::AddRelation(const std::string& name, Relation relation) {
+  if (relations_.contains(name)) {
+    return Status::AlreadyExists("relation already exists: " + name);
+  }
+  relations_.emplace(name, std::move(relation));
+  return Status::OK();
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.contains(name);
+}
+
+Result<const Relation*> Database::GetRelation(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return &it->second;
+}
+
+Result<Relation*> Database::GetMutableRelation(const std::string& name) {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return &it->second;
+}
+
+const Relation& Database::RelationOrDie(const std::string& name) const {
+  Result<const Relation*> r = GetRelation(name);
+  CONSENTDB_CHECK(r.ok(), r.status().ToString());
+  return **r;
+}
+
+Relation& Database::MutableRelationOrDie(const std::string& name) {
+  Result<Relation*> r = GetMutableRelation(name);
+  CONSENTDB_CHECK(r.ok(), r.status().ToString());
+  return **r;
+}
+
+Result<bool> Database::Insert(const std::string& relation, Tuple t) {
+  CONSENTDB_ASSIGN_OR_RETURN(Relation * rel, GetMutableRelation(relation));
+  return rel->Insert(std::move(t));
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, _] : relations_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [_, rel] : relations_) n += rel.size();
+  return n;
+}
+
+}  // namespace consentdb::relational

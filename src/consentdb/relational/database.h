@@ -1,0 +1,50 @@
+// Database: a named catalog of relations.
+
+#ifndef CONSENTDB_RELATIONAL_DATABASE_H_
+#define CONSENTDB_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "consentdb/relational/relation.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::relational {
+
+class Database {
+ public:
+  Database() = default;
+
+  // Creates an empty relation named `name`. Fails if the name is taken.
+  Status CreateRelation(const std::string& name, Schema schema);
+
+  // Adds a fully-built relation under `name`.
+  Status AddRelation(const std::string& name, Relation relation);
+
+  bool HasRelation(const std::string& name) const;
+
+  Result<const Relation*> GetRelation(const std::string& name) const;
+  Result<Relation*> GetMutableRelation(const std::string& name);
+
+  // Convenience for statically-known names (programmer error if absent).
+  const Relation& RelationOrDie(const std::string& name) const;
+  Relation& MutableRelationOrDie(const std::string& name);
+
+  // Inserts a tuple into the named relation (set semantics; returns whether
+  // it was new).
+  Result<bool> Insert(const std::string& relation, Tuple t);
+
+  // Relation names in deterministic (lexicographic) order.
+  std::vector<std::string> RelationNames() const;
+
+  // Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace consentdb::relational
+
+#endif  // CONSENTDB_RELATIONAL_DATABASE_H_

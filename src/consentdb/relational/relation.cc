@@ -1,0 +1,69 @@
+#include "consentdb/relational/relation.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::relational {
+
+const Tuple& Relation::tuple(size_t i) const {
+  CONSENTDB_CHECK(i < tuples_.size(), "tuple index out of range");
+  return tuples_[i];
+}
+
+Status Relation::ValidateTuple(const Tuple& t) const {
+  if (t.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(t.size()) + " does not match schema " +
+        schema_.ToString());
+  }
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Value& v = t.at(i);
+    if (v.is_null()) continue;
+    if (v.type() != schema_.column(i).type) {
+      return Status::InvalidArgument(
+          "value " + v.ToString() + " has type " +
+          ValueTypeToString(v.type()) + " but column '" +
+          schema_.column(i).name + "' expects " +
+          ValueTypeToString(schema_.column(i).type));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> Relation::Insert(Tuple t) {
+  CONSENTDB_RETURN_IF_ERROR(ValidateTuple(t));
+  auto [it, inserted] = index_.try_emplace(t, tuples_.size());
+  if (inserted) tuples_.push_back(std::move(t));
+  return inserted;
+}
+
+bool Relation::InsertOrDie(Tuple t) {
+  Result<bool> r = Insert(std::move(t));
+  CONSENTDB_CHECK(r.ok(), r.status().ToString());
+  return *r;
+}
+
+bool Relation::Contains(const Tuple& t) const { return index_.contains(t); }
+
+std::optional<size_t> Relation::IndexOf(const Tuple& t) const {
+  auto it = index_.find(t);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + "\n";
+  for (const Tuple& t : tuples_) {
+    out += "  " + t.ToString() + "\n";
+  }
+  return out;
+}
+
+bool operator==(const Relation& a, const Relation& b) {
+  if (!(a.schema_ == b.schema_) || a.size() != b.size()) return false;
+  for (const Tuple& t : a.tuples_) {
+    if (!b.Contains(t)) return false;
+  }
+  return true;
+}
+
+}  // namespace consentdb::relational

@@ -1,0 +1,61 @@
+// Relation: a set-semantics collection of tuples under a Schema.
+//
+// SPJU under the paper's possible-worlds consent semantics is a set algebra
+// (DISTINCT everywhere), so Relation deduplicates on insertion while keeping
+// a deterministic (insertion) order for reproducible iteration.
+
+#ifndef CONSENTDB_RELATIONAL_RELATION_H_
+#define CONSENTDB_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consentdb/relational/schema.h"
+#include "consentdb/relational/tuple.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::relational {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const Tuple& tuple(size_t i) const;
+
+  // Inserts under set semantics; returns false when the tuple was already
+  // present. Arity and types must match the schema (NULL matches any type).
+  Result<bool> Insert(Tuple t);
+
+  // Insert that treats schema mismatch as a programmer error. Convenient for
+  // statically-known rows in tests/examples.
+  bool InsertOrDie(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  // Index of `t` in insertion order, or nullopt.
+  std::optional<size_t> IndexOf(const Tuple& t) const;
+
+  // Validates that `t` could be a row of this relation.
+  Status ValidateTuple(const Tuple& t) const;
+
+  // Multi-line textual rendering (schema header + rows).
+  std::string ToString() const;
+
+  // Equality is set equality over the same schema (order-insensitive).
+  friend bool operator==(const Relation& a, const Relation& b);
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<Tuple, size_t> index_;  // tuple -> position in tuples_
+};
+
+}  // namespace consentdb::relational
+
+#endif  // CONSENTDB_RELATIONAL_RELATION_H_

@@ -1,0 +1,78 @@
+#include "consentdb/relational/schema.h"
+
+#include <unordered_set>
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::relational {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns_) {
+    CONSENTDB_CHECK(seen.insert(c.name).second,
+                    "duplicate column name: " + c.name);
+  }
+}
+
+Result<Schema> Schema::Create(std::vector<Column> columns) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns) {
+    if (!seen.insert(c.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + c.name);
+    }
+  }
+  return Schema(std::move(columns));
+}
+
+const Column& Schema::column(size_t i) const {
+  CONSENTDB_CHECK(i < columns_.size(), "column index out of range");
+  return columns_[i];
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(indexes.size());
+  for (size_t i : indexes) cols.push_back(column(i));
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Concat(const Schema& other) const {
+  std::unordered_set<std::string> names;
+  for (const Column& c : columns_) names.insert(c.name);
+  std::vector<Column> cols = columns_;
+  for (size_t i = 0; i < other.columns_.size(); ++i) {
+    Column c = other.columns_[i];
+    while (!names.insert(c.name).second) {
+      c.name += "_" + std::to_string(columns_.size() + i);
+    }
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+bool Schema::TypesMatch(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != other.columns_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.name + " " + ValueTypeToString(c.type));
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+}  // namespace consentdb::relational

@@ -1,0 +1,65 @@
+// Schema: ordered, typed, named columns of a relation.
+
+#ifndef CONSENTDB_RELATIONAL_SCHEMA_H_
+#define CONSENTDB_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consentdb/relational/value.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::relational {
+
+// A single column: name plus declared type.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  friend bool operator==(const Column& a, const Column& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+// An ordered list of uniquely-named columns. Immutable after construction.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  // Builds a schema, rejecting duplicate column names.
+  static Result<Schema> Create(std::vector<Column> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  // Index of the column named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  // Schema of a projection onto the given column indexes (in that order).
+  Schema Project(const std::vector<size_t>& indexes) const;
+
+  // Schema of the concatenation `this ++ other`. On column-name clashes the
+  // right-hand column is renamed by appending a positional suffix; callers
+  // that care (the query layer) qualify names before concatenating.
+  Schema Concat(const Schema& other) const;
+
+  // True when both schemas have the same column types in the same order
+  // (names may differ) — the condition for UNION compatibility.
+  bool TypesMatch(const Schema& other) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.columns_ == b.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace consentdb::relational
+
+#endif  // CONSENTDB_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,45 @@
+#include "consentdb/relational/tuple.h"
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/string_util.h"
+
+namespace consentdb::relational {
+
+const Value& Tuple::at(size_t i) const {
+  CONSENTDB_CHECK(i < values_.size(), "tuple index out of range");
+  return values_[i];
+}
+
+Tuple Tuple::Project(const std::vector<size_t>& indexes) const {
+  std::vector<Value> out;
+  out.reserve(indexes.size());
+  for (size_t i : indexes) out.push_back(at(i));
+  return Tuple(std::move(out));
+}
+
+Tuple Tuple::Concat(const Tuple& other) const {
+  std::vector<Value> out = values_;
+  out.insert(out.end(), other.values_.begin(), other.values_.end());
+  return Tuple(std::move(out));
+}
+
+std::string Tuple::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(values_.size());
+  for (const Value& v : values_) parts.push_back(v.ToString());
+  return "(" + Join(parts, ", ") + ")";
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x345678;
+  for (const Value& v : values_) {
+    h = h * 1000003 ^ v.Hash();
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace consentdb::relational

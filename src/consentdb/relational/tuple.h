@@ -1,0 +1,58 @@
+// Tuple: an ordered list of values, interpreted against a Schema.
+
+#ifndef CONSENTDB_RELATIONAL_TUPLE_H_
+#define CONSENTDB_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "consentdb/relational/value.h"
+
+namespace consentdb::relational {
+
+// A flat row of values. Tuples are schema-agnostic; the owning Relation pairs
+// them with a Schema and validates arity/types at insertion.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const;
+  const std::vector<Value>& values() const { return values_; }
+
+  // Tuple restricted to the given column indexes (in that order).
+  Tuple Project(const std::vector<size_t>& indexes) const;
+
+  // Concatenation `this ++ other` (the row form of a cartesian product).
+  Tuple Concat(const Tuple& other) const;
+
+  std::string ToString() const;
+  size_t Hash() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace consentdb::relational
+
+template <>
+struct std::hash<consentdb::relational::Tuple> {
+  size_t operator()(const consentdb::relational::Tuple& t) const {
+    return t.Hash();
+  }
+};
+
+#endif  // CONSENTDB_RELATIONAL_TUPLE_H_

@@ -1,0 +1,130 @@
+#include "consentdb/relational/value.h"
+
+#include <sstream>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::relational {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kBool:
+      return "BOOL";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kInt64;
+    case 2:
+      return ValueType::kDouble;
+    case 3:
+      return ValueType::kString;
+    case 4:
+      return ValueType::kBool;
+  }
+  return ValueType::kNull;
+}
+
+int64_t Value::AsInt64() const {
+  CONSENTDB_CHECK(std::holds_alternative<int64_t>(data_),
+                  "Value is not INT64: " + ToString());
+  return std::get<int64_t>(data_);
+}
+
+double Value::AsDouble() const {
+  CONSENTDB_CHECK(std::holds_alternative<double>(data_),
+                  "Value is not DOUBLE: " + ToString());
+  return std::get<double>(data_);
+}
+
+const std::string& Value::AsString() const {
+  CONSENTDB_CHECK(std::holds_alternative<std::string>(data_),
+                  "Value is not STRING: " + ToString());
+  return std::get<std::string>(data_);
+}
+
+bool Value::AsBool() const {
+  CONSENTDB_CHECK(std::holds_alternative<bool>(data_),
+                  "Value is not BOOL: " + ToString());
+  return std::get<bool>(data_);
+}
+
+double Value::AsNumeric() const {
+  if (std::holds_alternative<int64_t>(data_)) {
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+  CONSENTDB_CHECK(std::holds_alternative<double>(data_),
+                  "Value is not numeric: " + ToString());
+  return std::get<double>(data_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(data_));
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(data_);
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + std::get<std::string>(data_) + "'";
+    case ValueType::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+  }
+  return "NULL";
+}
+
+size_t Value::Hash() const {
+  size_t type_tag = data_.index();
+  size_t payload = 0;
+  switch (type()) {
+    case ValueType::kNull:
+      payload = 0;
+      break;
+    case ValueType::kInt64:
+      payload = std::hash<int64_t>{}(std::get<int64_t>(data_));
+      break;
+    case ValueType::kDouble:
+      payload = std::hash<double>{}(std::get<double>(data_));
+      break;
+    case ValueType::kString:
+      payload = std::hash<std::string>{}(std::get<std::string>(data_));
+      break;
+    case ValueType::kBool:
+      payload = std::hash<bool>{}(std::get<bool>(data_));
+      break;
+  }
+  // Mix the type tag so equal payloads of different types do not collide.
+  return payload ^ (type_tag * 0x9e3779b97f4a7c15ULL);
+}
+
+bool operator==(const Value& a, const Value& b) { return a.data_ == b.data_; }
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index()) {
+    return a.data_.index() < b.data_.index();
+  }
+  return a.data_ < b.data_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace consentdb::relational

@@ -1,0 +1,85 @@
+// Typed scalar values for the relational substrate.
+//
+// ConsentDB relations hold values of four primitive types (int64, double,
+// string, bool) plus NULL. Values order and hash across the whole domain so
+// they can key hash joins and set-semantics deduplication.
+
+#ifndef CONSENTDB_RELATIONAL_VALUE_H_
+#define CONSENTDB_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace consentdb::relational {
+
+// The type of a column or value. kNull is the type of the NULL literal only;
+// columns are declared with one of the other types.
+enum class ValueType {
+  kNull = 0,
+  kInt64,
+  kDouble,
+  kString,
+  kBool,
+};
+
+const char* ValueTypeToString(ValueType type);
+
+// An immutable scalar. Comparison between different types orders by type tag
+// (so heterogeneous containers are well-ordered); equality across types is
+// always false except NULL==NULL, which is true — consent bookkeeping needs
+// set semantics, not SQL's three-valued NULL comparisons (see DESIGN.md).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}  // NULL
+  Value(int64_t v) : data_(v) {}        // NOLINT: implicit by design
+  Value(int v) : data_(static_cast<int64_t>(v)) {}  // NOLINT
+  Value(double v) : data_(v) {}                     // NOLINT
+  Value(std::string v) : data_(std::move(v)) {}     // NOLINT
+  Value(const char* v) : data_(std::string(v)) {}   // NOLINT
+  Value(bool v) : data_(v) {}                       // NOLINT
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  // Typed accessors; calling the wrong one is a checked programmer error.
+  int64_t AsInt64() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  bool AsBool() const;
+
+  // Numeric view: int64 and double both convert; anything else is an error.
+  double AsNumeric() const;
+
+  // Renders e.g. 42, 3.5, 'text', true, NULL.
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, bool> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace consentdb::relational
+
+template <>
+struct std::hash<consentdb::relational::Value> {
+  size_t operator()(const consentdb::relational::Value& v) const {
+    return v.Hash();
+  }
+};
+
+#endif  // CONSENTDB_RELATIONAL_VALUE_H_

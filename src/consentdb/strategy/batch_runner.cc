@@ -1,0 +1,62 @@
+#include "consentdb/strategy/batch_runner.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::strategy {
+
+BatchProbeRun RunToCompletionBatched(EvaluationState& state,
+                                     const StrategyFactory& factory,
+                                     const ProbeFn& probe,
+                                     size_t batch_size) {
+  CONSENTDB_CHECK(batch_size >= 1, "batch size must be positive");
+  BatchProbeRun run;
+  while (!state.AllDecided()) {
+    // Plan the round on a scratch copy under most-likely answers.
+    std::vector<VarId> batch;
+    {
+      EvaluationState scratch = state;
+      std::unique_ptr<ProbeStrategy> planner = factory();
+      while (batch.size() < batch_size && !scratch.AllDecided()) {
+        VarId x = planner->ChooseNext(scratch);
+        CONSENTDB_CHECK(scratch.IsUseful(x),
+                        "planner chose a useless variable");
+        batch.push_back(x);
+        bool guess = scratch.probability(x) >= 0.5;
+        scratch.Assign(x, guess);
+        planner->OnAnswer(scratch, x, guess);
+      }
+    }
+    CONSENTDB_CHECK(!batch.empty(), "empty batch with undecided formulas");
+    // Send the whole batch; every sent probe counts, even those made
+    // redundant by earlier answers of the same round.
+    ++run.num_rounds;
+    for (VarId x : batch) {
+      bool answer = probe(x);
+      ++run.num_probes;
+      if (state.var_value(x) == Truth::kUnknown) state.Assign(x, answer);
+    }
+  }
+  run.outcomes = state.FormulaValues();
+  return run;
+}
+
+BudgetedProbeRun RunWithBudget(EvaluationState& state, ProbeStrategy& strategy,
+                               const ProbeFn& probe, size_t max_probes) {
+  BudgetedProbeRun run;
+  while (!state.AllDecided() && run.num_probes < max_probes) {
+    VarId x = strategy.ChooseNext(state);
+    CONSENTDB_CHECK(state.IsUseful(x),
+                    "strategy chose a useless or known variable");
+    bool answer = probe(x);
+    state.Assign(x, answer);
+    strategy.OnAnswer(state, x, answer);
+    ++run.num_probes;
+  }
+  run.outcomes = state.FormulaValues();
+  for (Truth t : run.outcomes) {
+    if (t != Truth::kUnknown) ++run.num_decided;
+  }
+  return run;
+}
+
+}  // namespace consentdb::strategy

@@ -1,0 +1,175 @@
+#include "consentdb/strategy/bdd.h"
+
+#include <set>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::strategy {
+
+namespace {
+
+// Replays `path` on a fresh state+strategy, checking determinism.
+struct Replayed {
+  EvaluationState state;
+  std::unique_ptr<ProbeStrategy> strategy;
+};
+
+Replayed Replay(const std::vector<Dnf>& dnfs, const std::vector<double>& pi,
+                const StrategyFactory& factory, bool attach_cnfs,
+                const std::vector<std::pair<VarId, bool>>& path) {
+  Replayed r{EvaluationState(dnfs, pi), factory()};
+  if (attach_cnfs) {
+    Status st = r.state.AttachCnfs();
+    CONSENTDB_CHECK(st.ok(), st.ToString());
+  }
+  for (const auto& [x, b] : path) {
+    VarId chosen = r.strategy->ChooseNext(r.state);
+    CONSENTDB_CHECK(chosen == x,
+                    "strategy is not deterministic: BDD materialisation "
+                    "requires replayable choices");
+    r.state.Assign(x, b);
+    r.strategy->OnAnswer(r.state, x, b);
+  }
+  return r;
+}
+
+}  // namespace
+
+Bdd::NodeId Bdd::InternLeaf(std::vector<Truth> outcomes) {
+  std::string key = "L:";
+  for (Truth t : outcomes) key += static_cast<char>('0' + static_cast<int>(t));
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.outcomes = std::move(outcomes);
+  nodes_.push_back(std::move(node));
+  intern_.emplace(std::move(key), id);
+  return id;
+}
+
+Bdd::NodeId Bdd::InternInner(VarId variable, NodeId when_false,
+                             NodeId when_true) {
+  std::string key = "N:" + std::to_string(variable) + "," +
+                    std::to_string(when_false) + "," +
+                    std::to_string(when_true);
+  auto it = intern_.find(key);
+  if (it != intern_.end()) return it->second;
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  Node node;
+  node.variable = variable;
+  node.when_false = when_false;
+  node.when_true = when_true;
+  nodes_.push_back(node);
+  intern_.emplace(std::move(key), id);
+  return id;
+}
+
+Bdd Bdd::Materialize(const std::vector<Dnf>& dnfs,
+                     const std::vector<double>& pi,
+                     const StrategyFactory& factory, bool attach_cnfs,
+                     size_t max_vars) {
+  std::set<VarId> vars;
+  for (const Dnf& dnf : dnfs) {
+    VarSet v = dnf.Vars();
+    vars.insert(v.begin(), v.end());
+  }
+  CONSENTDB_CHECK(vars.size() <= max_vars,
+                  "BDD materialisation is exponential: " +
+                      std::to_string(vars.size()) + " variables exceed " +
+                      std::to_string(max_vars));
+  Bdd bdd;
+  // Depth-first over answer paths (recursive lambda).
+  std::vector<std::pair<VarId, bool>> path;
+  auto build = [&](auto&& self) -> NodeId {
+    Replayed r = Replay(dnfs, pi, factory, attach_cnfs, path);
+    if (r.state.AllDecided()) {
+      return bdd.InternLeaf(r.state.FormulaValues());
+    }
+    VarId x = r.strategy->ChooseNext(r.state);
+    path.emplace_back(x, false);
+    NodeId lo = self(self);
+    path.back().second = true;
+    NodeId hi = self(self);
+    path.pop_back();
+    return bdd.InternInner(x, lo, hi);
+  };
+  bdd.root_ = build(build);
+  return bdd;
+}
+
+const Bdd::Node& Bdd::node(NodeId id) const {
+  CONSENTDB_CHECK(id < nodes_.size(), "BDD node id out of range");
+  return nodes_[id];
+}
+
+double Bdd::ExpectedCost(const std::vector<double>& pi) const {
+  // Children are interned before their parents, so ids are in dependency
+  // order and one ascending pass suffices.
+  std::vector<double> cost(nodes_.size(), 0.0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.is_leaf()) continue;
+    CONSENTDB_CHECK(n.variable < pi.size(), "probability missing for BDD var");
+    double p = pi[n.variable];
+    cost[id] = 1.0 + (1.0 - p) * cost[n.when_false] + p * cost[n.when_true];
+  }
+  return cost[root_];
+}
+
+size_t Bdd::MaxDepth() const {
+  std::vector<size_t> depth(nodes_.size(), 0);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.is_leaf()) continue;
+    depth[id] = 1 + std::max(depth[n.when_false], depth[n.when_true]);
+  }
+  return depth[root_];
+}
+
+bool Bdd::ConsistentWith(const std::vector<Dnf>& dnfs,
+                         const PartialValuation& val) const {
+  NodeId id = root_;
+  while (!nodes_[id].is_leaf()) {
+    const Node& n = nodes_[id];
+    Truth t = val.Get(n.variable);
+    CONSENTDB_CHECK(t != Truth::kUnknown,
+                    "valuation does not cover BDD variable");
+    id = t == Truth::kTrue ? n.when_true : n.when_false;
+  }
+  const std::vector<Truth>& outcomes = nodes_[id].outcomes;
+  if (outcomes.size() != dnfs.size()) return false;
+  for (size_t j = 0; j < dnfs.size(); ++j) {
+    if (outcomes[j] != dnfs[j].Evaluate(val)) return false;
+  }
+  return true;
+}
+
+std::string Bdd::ToDot(const provenance::VarNamer& namer) const {
+  std::string out = "digraph bdd {\n  rankdir=TB;\n";
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.is_leaf()) {
+      std::string label;
+      for (Truth t : n.outcomes) {
+        label += t == Truth::kTrue ? 'T' : (t == Truth::kFalse ? 'F' : '?');
+      }
+      out += "  n" + std::to_string(id) + " [shape=box,label=\"" + label +
+             "\"];\n";
+    } else {
+      std::string name = namer ? namer(n.variable)
+                               : "x" + std::to_string(n.variable);
+      out += "  n" + std::to_string(id) + " [shape=circle,label=\"" + name +
+             "\"];\n";
+      out += "  n" + std::to_string(id) + " -> n" +
+             std::to_string(n.when_false) + " [style=dashed,label=\"0\"];\n";
+      out += "  n" + std::to_string(id) + " -> n" +
+             std::to_string(n.when_true) + " [label=\"1\"];\n";
+    }
+  }
+  out += "  root -> n" + std::to_string(root_) + ";\n";
+  out += "  root [shape=none,label=\"\"];\n}\n";
+  return out;
+}
+
+}  // namespace consentdb::strategy

@@ -1,0 +1,83 @@
+// Explicit Binary Decision Diagrams — the paper's formalisation of probing
+// strategies (Sec. III-B).
+//
+// A BDD here is the materialised decision structure of a strategy on a
+// formula system: inner nodes are probed variables with False/True branches
+// and leaves carry the decided value of every formula. Strategies are
+// normally executed implicitly (the BDD "is only represented implicitly,
+// e.g., as the possible execution traces of a given algorithm"); this
+// module materialises them for small systems so their expected cost
+// (Def. III.4), worst-case depth and size can be inspected exactly, and so
+// Thm. III.5's statements (exponentially cheaper/more expensive BDDs for
+// the same formula) can be demonstrated concretely.
+//
+// Nodes are hash-consed: isomorphic subtrees are shared, so the node count
+// is the size of the reduced DAG, not of the decision tree.
+
+#ifndef CONSENTDB_STRATEGY_BDD_H_
+#define CONSENTDB_STRATEGY_BDD_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consentdb/strategy/strategies.h"
+
+namespace consentdb::strategy {
+
+class Bdd {
+ public:
+  using NodeId = uint32_t;
+
+  struct Node {
+    // kInvalidVar marks a leaf.
+    VarId variable = provenance::kInvalidVar;
+    NodeId when_false = 0;
+    NodeId when_true = 0;
+    // Leaf payload: the decided value of every formula.
+    std::vector<Truth> outcomes;
+
+    bool is_leaf() const { return variable == provenance::kInvalidVar; }
+  };
+
+  // Materialises the decision structure of `factory`-built strategies on
+  // the system. Every answer path is simulated once, so the cost is
+  // proportional to the decision-tree size — CHECK-bounded by `max_vars`
+  // distinct variables (and practical only when the strategy's depth is
+  // moderate). `attach_cnfs` must be set for Q-value.
+  static Bdd Materialize(const std::vector<Dnf>& dnfs,
+                         const std::vector<double>& pi,
+                         const StrategyFactory& factory,
+                         bool attach_cnfs = false, size_t max_vars = 20);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  NodeId root() const { return root_; }
+  const Node& node(NodeId id) const;
+
+  // Def. III.4: the expected number of variables tested on a root-to-leaf
+  // path, under independent probabilities `pi`.
+  double ExpectedCost(const std::vector<double>& pi) const;
+
+  // The worst-case number of probes (maximal root-to-leaf depth).
+  size_t MaxDepth() const;
+
+  // Verifies the BDD against ground truth: follows the path for `val` and
+  // compares the leaf outcomes with direct evaluation of the formulas.
+  bool ConsistentWith(const std::vector<Dnf>& dnfs,
+                      const PartialValuation& val) const;
+
+  // Graphviz dot rendering (small BDDs; every node labelled).
+  std::string ToDot(const provenance::VarNamer& namer = nullptr) const;
+
+ private:
+  NodeId InternLeaf(std::vector<Truth> outcomes);
+  NodeId InternInner(VarId variable, NodeId when_false, NodeId when_true);
+
+  std::vector<Node> nodes_;
+  std::unordered_map<std::string, NodeId> intern_;
+  NodeId root_ = 0;
+};
+
+}  // namespace consentdb::strategy
+
+#endif  // CONSENTDB_STRATEGY_BDD_H_

@@ -1,0 +1,226 @@
+// EvaluationState: the shared runtime substrate of all probing strategies.
+//
+// Holds a system of monotone DNF formulas (one per query output tuple, from
+// the provenance), optional CNFs (for Q-value), the probability map pi, and
+// a partial consent valuation. After every probe answer the state performs
+// the "maximal simplification" required of all algorithms in Sec. V-A:
+//   * terms with a False variable are falsified;
+//   * True variables are removed from terms; an emptied term satisfies its
+//     formula;
+//   * terms subsumed by a smaller residual term are retired (absorption), so
+//     no strategy ever probes a useless variable;
+//   * clauses are updated dually; a formula is decided the moment its value
+//     is determined, retiring all of its terms and clauses.
+//
+// All bookkeeping is incremental: Assign(x, b) costs O(deg(x)) plus an
+// absorption pass over the formulas containing x, and Q-value candidate
+// scoring costs O(deg(x)) per candidate — this is what makes the paper's
+// 1000-row experiments tractable.
+
+#ifndef CONSENTDB_STRATEGY_EVALUATION_STATE_H_
+#define CONSENTDB_STRATEGY_EVALUATION_STATE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/provenance/truth.h"
+#include "consentdb/util/result.h"
+
+namespace consentdb::strategy {
+
+using provenance::Cnf;
+using provenance::Dnf;
+using provenance::PartialValuation;
+using provenance::Truth;
+using provenance::VarId;
+using provenance::VarSet;
+
+class EvaluationState {
+ public:
+  // `pi[x]` is the probability that variable x is True; it must cover every
+  // variable occurring in `dnfs`.
+  EvaluationState(std::vector<Dnf> dnfs, std::vector<double> pi);
+
+  // --- CNF attachment (required by Q-value scoring) -----------------------
+
+  // Computes the CNF of every formula from its original DNF. Fails with
+  // ResourceExhausted if a CNF exceeds `limits` (Q-value "not applicable").
+  Status AttachCnfs(provenance::NormalFormLimits limits = {});
+
+  // Attaches precomputed CNFs (one per formula, same order as the DNFs;
+  // entries for constant formulas are ignored). Avoids re-running the
+  // conversion when many sessions share one formula system. Must be called
+  // before any probe.
+  void AttachPrecomputedCnfs(const std::vector<Cnf>& cnfs);
+
+  // Computes CNFs of the *residual* formulas (Hybrid's late attachment);
+  // returns true on success. No-op (true) when already attached.
+  bool TryAttachResidualCnfs(provenance::NormalFormLimits limits = {});
+
+  bool cnfs_attached() const { return cnfs_attached_; }
+
+  // --- Formulas ------------------------------------------------------------
+
+  size_t num_formulas() const { return formulas_.size(); }
+  size_t num_undecided() const { return num_undecided_; }
+  bool AllDecided() const { return num_undecided_ == 0; }
+  Truth formula_value(size_t j) const;
+  std::vector<Truth> FormulaValues() const;
+
+  // --- Variables -----------------------------------------------------------
+
+  const std::vector<double>& pi() const { return pi_; }
+  double probability(VarId x) const;
+
+  // Optional non-uniform probe costs (Sec. VII, "the cost could differ
+  // across peers"). Defaults to 1 for every variable; must be set before
+  // any probe. Cost-aware strategies divide their scores by the cost.
+  void SetCosts(std::vector<double> costs);
+  bool has_costs() const { return !costs_.empty(); }
+  double cost(VarId x) const {
+    return x < costs_.size() ? costs_[x] : 1.0;
+  }
+  Truth var_value(VarId x) const { return val_.Get(x); }
+  const PartialValuation& valuation() const { return val_; }
+
+  // Every variable occurring in the original formulas, ascending.
+  const std::vector<VarId>& AllVars() const { return all_vars_; }
+
+  // A variable is useful iff it is unprobed and occurs in a live (residual,
+  // non-absorbed) term of an undecided formula; probing any other variable
+  // can never affect the outcome.
+  bool IsUseful(VarId x) const;
+  std::vector<VarId> UsefulVars() const;
+  // Number of live terms containing x (the Freq criterion).
+  size_t LiveTermCount(VarId x) const;
+
+  // Records a probe answer and simplifies. `x` must be unprobed.
+  void Assign(VarId x, bool value);
+
+  // Ablation switch: disables the residual-absorption pass (subsumed terms
+  // then stay live, so strategies may issue useless probes). Intended for
+  // the ablation benchmarks only; must be set before any probe.
+  void SetAbsorptionEnabled(bool enabled);
+
+  // --- Terms (for RO / General / Freq) --------------------------------------
+
+  size_t num_terms() const { return terms_.size(); }
+  // Ids of all terms whose original conjunction contains x (any state).
+  const std::vector<size_t>& TermsContaining(VarId x) const;
+  bool TermLive(size_t tid) const;
+  size_t TermFormula(size_t tid) const;
+  // Unknown variables of a live term, ascending.
+  std::vector<VarId> TermResidualVars(size_t tid) const;
+  size_t TermResidualSize(size_t tid) const;
+  // Product of pi over the term's unknown variables.
+  double TermResidualProbability(size_t tid) const;
+  // Calls fn(tid) for every live term of every undecided formula.
+  void ForEachLiveTerm(const std::function<void(size_t)>& fn) const;
+
+  // --- Q-value scoring (Algs. 2-3); requires attached CNFs ------------------
+
+  // The greedy Q-value of probing x: pi(x)*DeltaTrue + (1-pi(x))*DeltaFalse,
+  // where Delta_b is the increase of the DHK goal utility
+  // sum_j terms[j]*clauses[j] - t_j*c_j under the hypothetical answer b.
+  double QValueScore(VarId x) const;
+  // argmax of QValueScore over useful variables (ties: smallest id).
+  VarId QValueArgMax() const;
+
+  // --- Residual-structure checks (Hybrid / diagnostics) ---------------------
+
+  // No unknown variable occurs in two live terms (across all undecided
+  // formulas) — RO is provably optimal from this point on.
+  bool ResidualOverallReadOnce() const;
+  size_t MaxLiveTermsPerFormula() const;
+  // Live (unknown-ish) term/clause counters per formula, for tests.
+  size_t live_terms(size_t j) const;
+  size_t qv_unknown_terms(size_t j) const;
+  size_t live_clauses(size_t j) const;
+
+  std::string ToString() const;
+
+ private:
+  enum class TermState : uint8_t {
+    kLive,       // value Unknown, not subsumed
+    kAbsorbed,   // value Unknown but subsumed by a smaller live term
+    kFalsified,  // contains a False variable
+    kSatisfied,  // all variables True (formula decided True)
+    kDefunct,    // its formula was decided by other means
+  };
+  enum class ClauseState : uint8_t { kLive, kSatisfied, kFalsified, kDefunct };
+
+  struct TermInfo {
+    size_t formula;
+    VarSet vars;
+    uint32_t unknown_count;
+    TermState state = TermState::kLive;
+  };
+  struct ClauseInfo {
+    size_t formula;
+    VarSet vars;
+    uint32_t unknown_count;
+    ClauseState state = ClauseState::kLive;
+  };
+  struct FormulaInfo {
+    Truth value = Truth::kUnknown;
+    std::vector<size_t> term_ids;
+    std::vector<size_t> clause_ids;
+    size_t live_terms = 0;        // TermState::kLive only
+    size_t qv_unknown_terms = 0;  // kLive + kAbsorbed (DHK's t_j)
+    size_t live_clauses = 0;      // DHK's c_j
+    // Frozen totals for the DHK utility (set at CNF attachment).
+    double qv_total_terms = 0;
+    double qv_total_clauses = 0;
+  };
+
+  void DecideFormula(size_t j, Truth value);
+  // Retires live terms of formula j that are subsumed by a smaller residual
+  // term (run after a True assignment touched the formula).
+  void AbsorbWithin(size_t j);
+  void RegisterClauses(size_t j, const Cnf& cnf);
+
+  std::vector<FormulaInfo> formulas_;
+  std::vector<TermInfo> terms_;
+  std::vector<ClauseInfo> clauses_;
+  std::vector<std::vector<size_t>> var_to_terms_;
+  std::vector<std::vector<size_t>> var_to_clauses_;
+  // Live-term occurrence count per variable.
+  std::vector<size_t> var_live_terms_;
+  std::vector<VarId> all_vars_;
+  std::vector<double> pi_;
+  std::vector<double> costs_;  // empty = unit costs
+  PartialValuation val_;
+  size_t num_undecided_ = 0;
+  bool cnfs_attached_ = false;
+  bool absorption_enabled_ = true;
+
+  // Scratch for QValueScore (epoch-stamped per-formula accumulators).
+  mutable std::vector<uint64_t> scratch_epoch_;
+  mutable std::vector<size_t> scratch_formulas_;
+  mutable uint64_t epoch_ = 0;
+  struct Scratch {
+    size_t terms_with_x = 0;
+    size_t clauses_with_x = 0;
+    bool sat_trigger = false;    // some term with x has unknown_count == 1
+    bool false_trigger = false;  // some clause with x has unknown_count == 1
+  };
+  mutable std::vector<Scratch> scratch_;
+
+  // Cache for ResidualOverallReadOnce.
+  mutable bool ro_cache_valid_ = false;
+  mutable bool ro_cache_value_ = false;
+
+  // Q-value score cache: a variable's score only changes when a formula it
+  // occurs in is touched by an assignment, so QValueArgMax re-scores only
+  // the dirty candidates (the difference between O(#vars * deg) and
+  // O(#dirty * deg) per probe dominates large skewed workloads).
+  void MarkQValueDirty(size_t formula);
+  mutable std::vector<double> qv_score_cache_;
+  mutable std::vector<bool> qv_dirty_;
+};
+
+}  // namespace consentdb::strategy
+
+#endif  // CONSENTDB_STRATEGY_EVALUATION_STATE_H_

@@ -1,0 +1,85 @@
+#include "consentdb/strategy/expected_cost.h"
+
+#include <cmath>
+#include <set>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::strategy {
+
+CostEstimate EstimateExpectedCost(const std::vector<Dnf>& dnfs,
+                                  const std::vector<double>& pi,
+                                  const StrategyFactory& factory,
+                                  const EstimateOptions& options) {
+  CONSENTDB_CHECK(options.reps > 0, "need at least one repetition");
+  Rng rng(options.seed);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = -1.0;
+  double max = -1.0;
+  for (size_t rep = 0; rep < options.reps; ++rep) {
+    // Draw the hidden valuation.
+    PartialValuation hidden(pi.size());
+    for (size_t i = 0; i < pi.size(); ++i) {
+      hidden.Set(static_cast<VarId>(i), rng.Bernoulli(pi[i]));
+    }
+    EvaluationState state(dnfs, pi);
+    if (options.precomputed_cnfs != nullptr) {
+      state.AttachPrecomputedCnfs(*options.precomputed_cnfs);
+    } else if (options.attach_cnfs) {
+      Status st = state.AttachCnfs(options.cnf_limits);
+      CONSENTDB_CHECK(st.ok(), st.ToString());
+    }
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, hidden);
+    double probes = static_cast<double>(run.num_probes);
+    sum += probes;
+    sum_sq += probes * probes;
+    min = (min < 0.0 || probes < min) ? probes : min;
+    max = (max < 0.0 || probes > max) ? probes : max;
+  }
+  CostEstimate est;
+  est.reps = options.reps;
+  est.mean = sum / static_cast<double>(options.reps);
+  double variance =
+      sum_sq / static_cast<double>(options.reps) - est.mean * est.mean;
+  est.stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+  est.min = min;
+  est.max = max;
+  return est;
+}
+
+double ExactExpectedCost(const std::vector<Dnf>& dnfs,
+                         const std::vector<double>& pi,
+                         const StrategyFactory& factory, bool attach_cnfs) {
+  std::set<VarId> var_set;
+  for (const Dnf& dnf : dnfs) {
+    VarSet vars = dnf.Vars();
+    var_set.insert(vars.begin(), vars.end());
+  }
+  std::vector<VarId> vars(var_set.begin(), var_set.end());
+  CONSENTDB_CHECK(vars.size() <= 20, "ExactExpectedCost limited to 20 vars");
+  double expected = 0.0;
+  size_t combos = static_cast<size_t>(1) << vars.size();
+  for (size_t mask = 0; mask < combos; ++mask) {
+    PartialValuation hidden(pi.size());
+    double prob = 1.0;
+    for (size_t i = 0; i < vars.size(); ++i) {
+      bool value = (mask >> i) & 1;
+      hidden.Set(vars[i], value);
+      prob *= value ? pi[vars[i]] : 1.0 - pi[vars[i]];
+    }
+    if (prob == 0.0) continue;
+    EvaluationState state(dnfs, pi);
+    if (attach_cnfs) {
+      Status st = state.AttachCnfs();
+      CONSENTDB_CHECK(st.ok(), st.ToString());
+    }
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, hidden);
+    expected += prob * static_cast<double>(run.num_probes);
+  }
+  return expected;
+}
+
+}  // namespace consentdb::strategy

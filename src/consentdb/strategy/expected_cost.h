@@ -1,0 +1,53 @@
+// Expected-cost measurement harnesses: Monte-Carlo estimation (the paper's
+// experimental methodology, Sec. V-A) and exact enumeration (for tests on
+// small formulas).
+
+#ifndef CONSENTDB_STRATEGY_EXPECTED_COST_H_
+#define CONSENTDB_STRATEGY_EXPECTED_COST_H_
+
+#include <vector>
+
+#include "consentdb/strategy/runner.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::strategy {
+
+struct CostEstimate {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t reps = 0;
+};
+
+struct EstimateOptions {
+  size_t reps = 10;
+  uint64_t seed = 1;
+  // Attach CNFs to each run's state (required by Q-value / useful for
+  // Hybrid's diagnostics).
+  bool attach_cnfs = false;
+  provenance::NormalFormLimits cnf_limits = {};
+  // Precomputed CNFs (one per formula); when set, reused by every
+  // repetition instead of converting per run. Implies attach_cnfs.
+  const std::vector<Cnf>* precomputed_cnfs = nullptr;
+};
+
+// Runs the strategy `options.reps` times; each repetition draws a hidden
+// valuation at random from `pi` (every variable independently) and counts
+// the probes until all formulas are decided.
+CostEstimate EstimateExpectedCost(const std::vector<Dnf>& dnfs,
+                                  const std::vector<double>& pi,
+                                  const StrategyFactory& factory,
+                                  const EstimateOptions& options);
+
+// Exact expected cost of a deterministic strategy by enumerating all 2^n
+// valuations of the variables appearing in the formulas (n <= 20 checked).
+// The strategy factory must produce deterministic strategies.
+double ExactExpectedCost(const std::vector<Dnf>& dnfs,
+                         const std::vector<double>& pi,
+                         const StrategyFactory& factory,
+                         bool attach_cnfs = false);
+
+}  // namespace consentdb::strategy
+
+#endif  // CONSENTDB_STRATEGY_EXPECTED_COST_H_

@@ -1,0 +1,37 @@
+#include "consentdb/strategy/runner.h"
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::strategy {
+
+ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
+                         const ProbeFn& probe) {
+  ProbeRun run;
+  while (!state.AllDecided()) {
+    VarId x = strategy.ChooseNext(state);
+    CONSENTDB_CHECK(state.IsUseful(x),
+                    "strategy '" + strategy.name() +
+                        "' chose a useless or known variable: x" +
+                        std::to_string(x));
+    bool answer = probe(x);
+    state.Assign(x, answer);
+    strategy.OnAnswer(state, x, answer);
+    ++run.num_probes;
+    run.total_cost += state.cost(x);
+    run.trace.emplace_back(x, answer);
+  }
+  run.outcomes = state.FormulaValues();
+  return run;
+}
+
+ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
+                         const PartialValuation& hidden) {
+  return RunToCompletion(state, strategy, [&hidden](VarId x) {
+    Truth t = hidden.Get(x);
+    CONSENTDB_CHECK(t != Truth::kUnknown,
+                    "hidden valuation does not cover x" + std::to_string(x));
+    return t == Truth::kTrue;
+  });
+}
+
+}  // namespace consentdb::strategy

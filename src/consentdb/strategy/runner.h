@@ -1,0 +1,42 @@
+// The probing session loop: repeatedly ask the strategy for a variable,
+// probe it, and apply the answer until every formula is decided.
+
+#ifndef CONSENTDB_STRATEGY_RUNNER_H_
+#define CONSENTDB_STRATEGY_RUNNER_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "consentdb/strategy/strategies.h"
+
+namespace consentdb::strategy {
+
+// Answers a probe for variable x; must be consistent across calls.
+using ProbeFn = std::function<bool(VarId)>;
+
+struct ProbeRun {
+  // Total probes issued — the cost the paper optimises.
+  size_t num_probes = 0;
+  // Sum of per-variable probe costs (== num_probes under unit costs).
+  double total_cost = 0.0;
+  // Final truth value of every formula (none Unknown).
+  std::vector<Truth> outcomes;
+  // The probe sequence with answers, in order.
+  std::vector<std::pair<VarId, bool>> trace;
+};
+
+// Runs `strategy` on `state` until all formulas are decided. Checks the
+// invariants every strategy must satisfy: each chosen variable is useful and
+// never probed twice.
+ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
+                         const ProbeFn& probe);
+
+// Convenience overload reading answers from a fixed hidden valuation (must
+// cover every variable of the formulas).
+ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
+                         const PartialValuation& hidden);
+
+}  // namespace consentdb::strategy
+
+#endif  // CONSENTDB_STRATEGY_RUNNER_H_

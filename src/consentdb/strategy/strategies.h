@@ -1,0 +1,214 @@
+// The probing strategies of Sec. IV-V. Each strategy picks the next consent
+// variable to probe given the current EvaluationState; the session loop
+// (runner.h) applies answers back to the state.
+//
+//   Random  — baseline: probes the variables in a uniformly random order
+//             (skipping variables that became useless).
+//   Freq    — baseline: the variable occurring in the most live DNF terms.
+//   RO      — Algorithm 1: optimal for read-once provenance (Props. IV.4,
+//             IV.5, IV.8); a greedy heuristic beyond that class.
+//   Q-value — Algorithms 2-3: CDNF goal-utility greedy (Deshpande-
+//             Hellerstein-Kletenik), approximation of Props. IV.11/IV.13/
+//             IV.14. Requires CNFs attached to the state.
+//   General — Algorithm 4: dovetails Alg0 of Allen et al. (greedy
+//             0-certificate cover) with the multi-formula RO; constant-
+//             factor approximation for OPT-PEER-PROBE-SINGLE (Thm. IV.16).
+//   Hybrid  — Sec. V-B: acts like General, switches to Q-value as soon as
+//             the residual CNF is feasible and to RO once the residual
+//             provenance is overall read-once.
+//
+// All strategies honour non-uniform probe costs when the state carries them
+// (Sec. VII extension): scores are divided by the variable's cost, and RO
+// orders by cost/(1-p) — identical to the paper's rules under unit costs.
+//
+// A strategy instance carries per-run state; construct a fresh one per
+// probing session (see StrategyFactory / MakeFactory).
+
+#ifndef CONSENTDB_STRATEGY_STRATEGIES_H_
+#define CONSENTDB_STRATEGY_STRATEGIES_H_
+
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+
+#include "consentdb/strategy/evaluation_state.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::strategy {
+
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  // The next variable to probe. The state has at least one undecided
+  // formula; the returned variable must be useful. The reference is
+  // non-const only so that Hybrid can attach residual CNFs; strategies must
+  // not assign values.
+  virtual VarId ChooseNext(EvaluationState& state) = 0;
+
+  // Called with the answer of the probe this strategy chose last, after the
+  // state has been updated.
+  virtual void OnAnswer(const EvaluationState& state, VarId x, bool value) {
+    (void)state;
+    (void)x;
+    (void)value;
+  }
+};
+
+// Creates a fresh strategy for one probing session.
+using StrategyFactory = std::function<std::unique_ptr<ProbeStrategy>()>;
+
+// --- Baselines ---------------------------------------------------------------
+
+class RandomStrategy : public ProbeStrategy {
+ public:
+  explicit RandomStrategy(uint64_t seed) : rng_(seed) {}
+  std::string name() const override { return "Random"; }
+  VarId ChooseNext(EvaluationState& state) override;
+
+ private:
+  Rng rng_;
+  // Variables in a random order, consumed front to back.
+  std::vector<VarId> order_;
+  size_t next_ = 0;
+  bool shuffled_ = false;
+};
+
+// Lazy argmax over variables whose score never increases during a session
+// (Freq's live-term counts, Alg0's expected eliminations): stale heap
+// entries are refreshed on pop, giving amortised O(log n) selection instead
+// of an O(n) scan per probe.
+class LazyArgMax {
+ public:
+  // `score(x)` must be non-increasing over time for each variable. Returns
+  // the useful variable with the maximal current score (ties: smallest id).
+  VarId Choose(const EvaluationState& state,
+               const std::function<double(VarId)>& score);
+
+ private:
+  struct Entry {
+    double score;
+    VarId var;
+    bool operator<(const Entry& other) const {
+      if (score != other.score) return score < other.score;
+      return var > other.var;  // prefer the smallest id
+    }
+  };
+  std::priority_queue<Entry> heap_;
+  bool built_ = false;
+};
+
+class FreqStrategy : public ProbeStrategy {
+ public:
+  std::string name() const override { return "Freq"; }
+  VarId ChooseNext(EvaluationState& state) override;
+
+ private:
+  LazyArgMax argmax_;
+};
+
+// --- Algorithm 1: RO ---------------------------------------------------------
+
+class RoStrategy : public ProbeStrategy {
+ public:
+  std::string name() const override { return "RO"; }
+  VarId ChooseNext(EvaluationState& state) override;
+  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+ private:
+  struct TermEntry {
+    double frac;  // probability / size (or / expected cost)
+    double prob;
+    size_t tid;
+    // Max-heap order with the fixed tie criterion of Sec. V-A:
+    // higher frac, then higher prob, then lower tid.
+    bool operator<(const TermEntry& other) const {
+      if (frac != other.frac) return frac < other.frac;
+      if (prob != other.prob) return prob < other.prob;
+      return tid > other.tid;
+    }
+  };
+
+  TermEntry ScoreTerm(const EvaluationState& state, size_t tid) const;
+
+  // The term currently being verified, or SIZE_MAX when none.
+  size_t current_term_ = static_cast<size_t>(-1);
+  // Lazy max-heap over live terms; entries go stale when terms die and are
+  // re-pushed when terms shrink (OnAnswer with a True answer).
+  std::priority_queue<TermEntry> heap_;
+  bool heap_initialized_ = false;
+};
+
+// --- Algorithms 2-3: Q-value --------------------------------------------------
+
+// The caller must have attached CNFs to the state (AttachCnfs) before the
+// first ChooseNext; construction is checked lazily.
+class QValueStrategy : public ProbeStrategy {
+ public:
+  std::string name() const override { return "Q-value"; }
+  VarId ChooseNext(EvaluationState& state) override;
+};
+
+// --- Algorithm 4: General -----------------------------------------------------
+
+class GeneralStrategy : public ProbeStrategy {
+ public:
+  std::string name() const override { return "General"; }
+  VarId ChooseNext(EvaluationState& state) override;
+  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+  // Alg0 of [8] Sec. 5.1 on the disjunction of all live provenance: the
+  // useful variable maximising (1 - pi(x)) * #(live terms containing x),
+  // scaled by 1/cost(x) under non-uniform costs.
+  static VarId Alg0Choose(const EvaluationState& state);
+
+ private:
+  RoStrategy ro_;
+  LazyArgMax alg0_argmax_;
+  double cost0_ = 0;  // probe cost spent by Alg0 choices
+  double cost1_ = 0;  // probe cost spent by RO choices
+  bool last_was_alg0_ = false;
+};
+
+// --- Hybrid (Sec. V-B) ---------------------------------------------------------
+
+class HybridStrategy : public ProbeStrategy {
+ public:
+  // `cnf_limits` bounds the residual-CNF attachment attempts;
+  // `attach_max_terms` is the live-term threshold below which an attachment
+  // attempt is made (brute-force CNF is feasible only for small DNFs).
+  explicit HybridStrategy(
+      provenance::NormalFormLimits cnf_limits = {},
+      size_t attach_max_terms = 32)
+      : cnf_limits_(cnf_limits), attach_max_terms_(attach_max_terms) {}
+
+  std::string name() const override { return "Hybrid"; }
+  VarId ChooseNext(EvaluationState& state) override;
+  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+ private:
+  RoStrategy ro_;
+  QValueStrategy qvalue_;
+  GeneralStrategy general_;
+  provenance::NormalFormLimits cnf_limits_;
+  size_t attach_max_terms_;
+  bool attach_failed_ = false;
+  enum class Mode { kGeneral, kQValue, kRo } last_mode_ = Mode::kGeneral;
+};
+
+// --- Factories ----------------------------------------------------------------
+
+StrategyFactory MakeRandomFactory(uint64_t seed);
+StrategyFactory MakeFreqFactory();
+StrategyFactory MakeRoFactory();
+StrategyFactory MakeQValueFactory();
+StrategyFactory MakeGeneralFactory();
+StrategyFactory MakeHybridFactory(provenance::NormalFormLimits limits = {},
+                                  size_t attach_max_terms = 32);
+
+}  // namespace consentdb::strategy
+
+#endif  // CONSENTDB_STRATEGY_STRATEGIES_H_

@@ -1,0 +1,34 @@
+// CONSENTDB_CHECK: precondition / invariant assertions that stay on in all
+// build types. A failed check is a programmer error, not a recoverable
+// condition; it aborts with a diagnostic.
+
+#ifndef CONSENTDB_UTIL_CHECK_H_
+#define CONSENTDB_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace consentdb::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::cerr << "CONSENTDB_CHECK failed at " << file << ":" << line << ": "
+            << expr;
+  if (!message.empty()) std::cerr << " — " << message;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace consentdb::internal
+
+#define CONSENTDB_CHECK(cond, ...)                                     \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::consentdb::internal::CheckFailed(__FILE__, __LINE__, #cond,    \
+                                         ::std::string{__VA_ARGS__}); \
+    }                                                                  \
+  } while (false)
+
+#endif  // CONSENTDB_UTIL_CHECK_H_

@@ -1,0 +1,143 @@
+#include "consentdb/util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb {
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    CONSENTDB_CHECK(out_.empty(), "multiple top-level JSON values");
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    CONSENTDB_CHECK(key_pending_, "object value without a key");
+    key_pending_ = false;
+    return;
+  }
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  CONSENTDB_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "EndObject outside an object");
+  CONSENTDB_CHECK(!key_pending_, "dangling key at EndObject");
+  out_ += '}';
+  stack_.pop_back();
+  has_value_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_value_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  CONSENTDB_CHECK(!stack_.empty() && stack_.back() == Scope::kArray,
+                  "EndArray outside an array");
+  out_ += ']';
+  stack_.pop_back();
+  has_value_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  CONSENTDB_CHECK(!stack_.empty() && stack_.back() == Scope::kObject,
+                  "Key outside an object");
+  CONSENTDB_CHECK(!key_pending_, "two keys in a row");
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  key_pending_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    out_ += buf;
+  } else {
+    out_ += "null";  // JSON has no NaN/Inf
+  }
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::TakeString() {
+  CONSENTDB_CHECK(stack_.empty(), "unterminated JSON structure");
+  return std::move(out_);
+}
+
+}  // namespace consentdb

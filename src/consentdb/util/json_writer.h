@@ -1,0 +1,63 @@
+// A minimal streaming JSON writer (objects, arrays, scalars, escaping) —
+// enough to export session reports and experiment results without an
+// external dependency.
+
+#ifndef CONSENTDB_UTIL_JSON_WRITER_H_
+#define CONSENTDB_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace consentdb {
+
+// Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("name"); w.String("consentdb");
+//   w.Key("probes"); w.Int(12);
+//   w.Key("trace"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+//   std::string json = w.TakeString();
+//
+// The writer validates nesting with CONSENTDB_CHECK (programmer errors).
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Inside an object: emits the key; must be followed by exactly one value.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Finishes and returns the document; the writer must be at nesting
+  // depth 0.
+  std::string TakeString();
+
+  // Escapes a string for inclusion in JSON (no surrounding quotes).
+  static std::string Escape(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  // Whether a value has been emitted at the current nesting level.
+  std::vector<bool> has_value_;
+  bool key_pending_ = false;
+};
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_JSON_WRITER_H_

@@ -1,0 +1,75 @@
+// Result<T>: a value-or-Status, in the style of arrow::Result / absl::StatusOr.
+
+#ifndef CONSENTDB_UTIL_RESULT_H_
+#define CONSENTDB_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/status.h"
+
+namespace consentdb {
+
+// Holds either a T or a non-OK Status. Construct implicitly from either.
+// Accessing the value of an errored Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: lets functions `return value;` or `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    CONSENTDB_CHECK(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CONSENTDB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    CONSENTDB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    CONSENTDB_CHECK(ok(), "Result::value() on error: " + status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged
+};
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+// Usage: CONSENTDB_ASSIGN_OR_RETURN(auto x, ComputeX());
+#define CONSENTDB_ASSIGN_OR_RETURN(lhs, expr)                 \
+  CONSENTDB_ASSIGN_OR_RETURN_IMPL_(                           \
+      CONSENTDB_CONCAT_(_consentdb_result_, __LINE__), lhs, expr)
+
+#define CONSENTDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define CONSENTDB_CONCAT_(a, b) CONSENTDB_CONCAT_IMPL_(a, b)
+#define CONSENTDB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_RESULT_H_

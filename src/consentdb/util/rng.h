@@ -1,0 +1,77 @@
+// Deterministic random number generation for experiments and tests.
+//
+// All stochastic components of the library (simulated oracles, dataset
+// generators, the Random baseline strategy) take an Rng so that every
+// experiment is reproducible from a seed.
+
+#ifndef CONSENTDB_UTIL_RNG_H_
+#define CONSENTDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb {
+
+// A seeded Mersenne-Twister wrapper with the handful of draws the library
+// needs. Not thread-safe; use one Rng per thread.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CONSENTDB_CHECK(lo <= hi, "empty integer range");
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    CONSENTDB_CHECK(n > 0, "UniformIndex over empty range");
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  // Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformReal() < p;
+  }
+
+  // Derives an independent child seed; lets one master seed drive many
+  // generators without correlated streams.
+  uint64_t Fork() {
+    return std::uniform_int_distribution<uint64_t>()(engine_);
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[UniformIndex(i)]);
+    }
+  }
+
+  // Picks a uniformly random element. Requires non-empty input.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    CONSENTDB_CHECK(!v.empty(), "Choice over empty vector");
+    return v[UniformIndex(v.size())];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_RNG_H_

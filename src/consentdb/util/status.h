@@ -1,0 +1,102 @@
+// Status: lightweight error propagation in the style of RocksDB/Arrow.
+//
+// Library code that can fail for reasons other than programmer error returns
+// a Status (or Result<T>, see result.h) instead of throwing. Programmer
+// errors (violated preconditions) use CONSENTDB_CHECK from check.h.
+
+#ifndef CONSENTDB_UTIL_STATUS_H_
+#define CONSENTDB_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace consentdb {
+
+// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (relation, column, variable) missing
+  kAlreadyExists,     // attempt to redefine an existing entity
+  kOutOfRange,        // index or parameter outside the valid range
+  kFailedPrecondition,// object not in the right state for the operation
+  kResourceExhausted, // a size guard tripped (e.g. CNF blow-up)
+  kUnimplemented,     // feature intentionally not supported
+  kInternal,          // invariant violation detected at runtime
+};
+
+// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A Status is either OK (cheap, no allocation) or an error carrying a code
+// and a message. Copyable and movable; moved-from statuses are OK.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Propagates a non-OK status to the caller of the enclosing function.
+#define CONSENTDB_RETURN_IF_ERROR(expr)                  \
+  do {                                                   \
+    ::consentdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                           \
+  } while (false)
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_STATUS_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across modules.
+
+#ifndef CONSENTDB_UTIL_STRING_UTIL_H_
+#define CONSENTDB_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace consentdb {
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on `sep`; empty fields are kept. Splitting "" yields {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// ASCII-only case mapping (sufficient for SQL keywords).
+std::string AsciiToLower(std::string_view s);
+std::string AsciiToUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_STRING_UTIL_H_

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/datasets/psi.h"
+#include "consentdb/strategy/bdd.h"
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/strategy/optimal.h"
+
+namespace consentdb::strategy {
+namespace {
+
+using provenance::PartialValuation;
+using provenance::VarSet;
+
+std::vector<double> UniformPi(size_t n, double p = 0.5) {
+  return std::vector<double>(n, p);
+}
+
+// --- Structure -------------------------------------------------------------------
+
+TEST(BddTest, SingleVariableHasThreeNodes) {
+  Bdd bdd = Bdd::Materialize({Dnf({VarSet{0}})}, UniformPi(1),
+                             MakeRoFactory());
+  // Two leaves (True/False) plus one inner node.
+  EXPECT_EQ(bdd.num_nodes(), 3u);
+  EXPECT_EQ(bdd.MaxDepth(), 1u);
+  EXPECT_DOUBLE_EQ(bdd.ExpectedCost(UniformPi(1)), 1.0);
+}
+
+TEST(BddTest, HashConsingSharesIsomorphicSubtrees) {
+  // n independent singleton formulas probed in a fixed order: the decision
+  // tree has 2^n leaves-paths but outcome-distinct leaves... use a
+  // disjunction instead: x0 ∨ x1 ∨ x2 probed left to right by Freq shares
+  // the terminal "True" leaf across branches.
+  Bdd bdd = Bdd::Materialize({Dnf({VarSet{0}, VarSet{1}, VarSet{2}})},
+                             UniformPi(3), MakeFreqFactory());
+  // Path count is 4 (stop at first True, or all False) => leaves 2
+  // (True/False) + 3 inner nodes = 5 total with sharing.
+  EXPECT_EQ(bdd.num_nodes(), 5u);
+  EXPECT_EQ(bdd.MaxDepth(), 3u);
+}
+
+TEST(BddTest, ExpectedCostMatchesDefinitionIII4) {
+  // x0 ∨ x1 with p = 0.5 and left-to-right probing: 1 + 0.5 = 1.5.
+  Bdd bdd = Bdd::Materialize({Dnf({VarSet{0}, VarSet{1}})}, UniformPi(2),
+                             MakeFreqFactory());
+  EXPECT_DOUBLE_EQ(bdd.ExpectedCost(UniformPi(2)), 1.5);
+}
+
+// --- Equivalence with the execution harness -----------------------------------------
+
+class BddAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddAgreementTest, BddCostEqualsExactHarnessCost) {
+  Rng rng(51000 + GetParam());
+  size_t num_vars = 4 + rng.UniformIndex(3);
+  std::vector<VarSet> terms;
+  size_t num_terms = 1 + rng.UniformIndex(4);
+  for (size_t t = 0; t < num_terms; ++t) {
+    std::vector<VarId> term;
+    size_t size = 1 + rng.UniformIndex(3);
+    for (size_t s = 0; s < size; ++s) {
+      term.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+    }
+    terms.emplace_back(std::move(term));
+  }
+  std::vector<Dnf> dnfs = {Dnf(std::move(terms))};
+  std::vector<double> pi;
+  for (size_t i = 0; i < num_vars; ++i) {
+    pi.push_back(0.2 + 0.6 * rng.UniformReal());
+  }
+  for (auto& [name, factory, cnfs] :
+       std::vector<std::tuple<std::string, StrategyFactory, bool>>{
+           {"RO", MakeRoFactory(), false},
+           {"Freq", MakeFreqFactory(), false},
+           {"Q-value", MakeQValueFactory(), true},
+           {"General", MakeGeneralFactory(), false}}) {
+    Bdd bdd = Bdd::Materialize(dnfs, pi, factory, cnfs);
+    double via_bdd = bdd.ExpectedCost(pi);
+    double via_harness = ExactExpectedCost(dnfs, pi, factory, cnfs);
+    EXPECT_NEAR(via_bdd, via_harness, 1e-9) << name;
+    // The BDD decides every valuation correctly.
+    for (size_t mask = 0; mask < (1u << num_vars); ++mask) {
+      PartialValuation val(num_vars);
+      for (size_t i = 0; i < num_vars; ++i) {
+        val.Set(static_cast<VarId>(i), ((mask >> i) & 1) != 0);
+      }
+      EXPECT_TRUE(bdd.ConsistentWith(dnfs, val)) << name << " mask " << mask;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BddAgreementTest, ::testing::Range(0, 8));
+
+// --- Theorem III.5, concretely ---------------------------------------------------------
+
+TEST(BddTest, PsiHasCheapAndExpensiveBdds) {
+  // psi_1 (10 vars): the constructive strategy's BDD has depth 2*1+3 = 5
+  // and low expected cost; Freq's BDD on the same formula is measurably
+  // more expensive in expectation — two BDDs for one formula with very
+  // different costs, which is the point of Thm. III.5.
+  consent::VariablePool pool;
+  datasets::PsiFormula psi = datasets::BuildPsi(1, pool, 0.5);
+  std::vector<Dnf> dnfs = {datasets::PsiDnf(psi)};
+  std::vector<double> pi = pool.Probabilities();
+
+  Bdd optimal = Bdd::Materialize(dnfs, pi, datasets::MakePsiOptimalFactory(psi));
+  EXPECT_LE(optimal.MaxDepth(), 5u);
+  double optimal_cost = optimal.ExpectedCost(pi);
+  EXPECT_NEAR(optimal_cost, OptimalExpectedCost(dnfs, pi), 1e-9);
+
+  Bdd freq = Bdd::Materialize(dnfs, pi, MakeFreqFactory());
+  EXPECT_GE(freq.ExpectedCost(pi), optimal_cost - 1e-9);
+}
+
+TEST(BddTest, DotOutputIsWellFormed) {
+  Bdd bdd = Bdd::Materialize({Dnf({VarSet{0, 1}})}, UniformPi(2),
+                             MakeRoFactory());
+  std::string dot = bdd.ToDot();
+  EXPECT_NE(dot.find("digraph bdd"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+}
+
+TEST(BddTest, NamerIsUsedInDot) {
+  Bdd bdd = Bdd::Materialize({Dnf({VarSet{0}})}, UniformPi(1),
+                             MakeRoFactory());
+  std::string dot =
+      bdd.ToDot([](VarId x) { return "consent_" + std::to_string(x); });
+  EXPECT_NE(dot.find("consent_0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace consentdb::strategy

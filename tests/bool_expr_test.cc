@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/provenance/bool_expr.h"
+
+namespace consentdb::provenance {
+namespace {
+
+PartialValuation Val(std::initializer_list<std::pair<VarId, Truth>> entries) {
+  PartialValuation v;
+  for (const auto& [x, t] : entries) v.Set(x, t);
+  return v;
+}
+
+// --- Construction & constant folding ---------------------------------------------
+
+TEST(BoolExprTest, ConstantsAreSingletons) {
+  EXPECT_EQ(BoolExpr::True().get(), BoolExpr::True().get());
+  EXPECT_EQ(BoolExpr::False().get(), BoolExpr::False().get());
+  EXPECT_TRUE(BoolExpr::True()->is_constant());
+  EXPECT_TRUE(BoolExpr::False()->is_constant());
+}
+
+TEST(BoolExprTest, AndFoldsConstants) {
+  BoolExprPtr x = BoolExpr::Var(0);
+  EXPECT_EQ(BoolExpr::And(BoolExpr::False(), x)->kind(), ExprKind::kFalse);
+  EXPECT_EQ(BoolExpr::And(BoolExpr::True(), x).get(), x.get());
+  EXPECT_EQ(BoolExpr::And(BoolExpr::True(), BoolExpr::True())->kind(),
+            ExprKind::kTrue);
+}
+
+TEST(BoolExprTest, OrFoldsConstants) {
+  BoolExprPtr x = BoolExpr::Var(0);
+  EXPECT_EQ(BoolExpr::Or(BoolExpr::True(), x)->kind(), ExprKind::kTrue);
+  EXPECT_EQ(BoolExpr::Or(BoolExpr::False(), x).get(), x.get());
+  EXPECT_EQ(BoolExpr::Or(BoolExpr::False(), BoolExpr::False())->kind(),
+            ExprKind::kFalse);
+}
+
+TEST(BoolExprTest, EmptyNaryForms) {
+  EXPECT_EQ(BoolExpr::AndN({})->kind(), ExprKind::kTrue);
+  EXPECT_EQ(BoolExpr::OrN({})->kind(), ExprKind::kFalse);
+}
+
+TEST(BoolExprTest, NestedSameKindIsFlattened) {
+  BoolExprPtr e = BoolExpr::And(BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1)),
+                                BoolExpr::Var(2));
+  EXPECT_EQ(e->kind(), ExprKind::kAnd);
+  EXPECT_EQ(e->children().size(), 3u);
+}
+
+TEST(BoolExprTest, SingleChildCollapses) {
+  BoolExprPtr x = BoolExpr::Var(3);
+  EXPECT_EQ(BoolExpr::AndN({x}).get(), x.get());
+  EXPECT_EQ(BoolExpr::OrN({x}).get(), x.get());
+}
+
+// --- Kleene evaluation --------------------------------------------------------------
+
+TEST(BoolExprTest, VarEvaluatesToItsValue) {
+  BoolExprPtr x = BoolExpr::Var(0);
+  EXPECT_EQ(x->Evaluate(Val({{0, Truth::kTrue}})), Truth::kTrue);
+  EXPECT_EQ(x->Evaluate(Val({{0, Truth::kFalse}})), Truth::kFalse);
+  EXPECT_EQ(x->Evaluate(PartialValuation()), Truth::kUnknown);
+}
+
+TEST(BoolExprTest, KleeneAndSemantics) {
+  BoolExprPtr e = BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1));
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kTrue}, {1, Truth::kTrue}})),
+            Truth::kTrue);
+  // False dominates Unknown.
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kFalse}})), Truth::kFalse);
+  // True + Unknown stays Unknown.
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kTrue}})), Truth::kUnknown);
+}
+
+TEST(BoolExprTest, KleeneOrSemantics) {
+  BoolExprPtr e = BoolExpr::Or(BoolExpr::Var(0), BoolExpr::Var(1));
+  // True dominates Unknown.
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kTrue}})), Truth::kTrue);
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kFalse}})), Truth::kUnknown);
+  EXPECT_EQ(e->Evaluate(Val({{0, Truth::kFalse}, {1, Truth::kFalse}})),
+            Truth::kFalse);
+}
+
+TEST(BoolExprTest, TruthTableHelpers) {
+  EXPECT_EQ(KleeneAnd(Truth::kUnknown, Truth::kFalse), Truth::kFalse);
+  EXPECT_EQ(KleeneAnd(Truth::kUnknown, Truth::kTrue), Truth::kUnknown);
+  EXPECT_EQ(KleeneOr(Truth::kUnknown, Truth::kTrue), Truth::kTrue);
+  EXPECT_EQ(KleeneOr(Truth::kUnknown, Truth::kFalse), Truth::kUnknown);
+}
+
+// --- Vars, size, printing ------------------------------------------------------------
+
+TEST(BoolExprTest, CollectVarsDeduplicates) {
+  BoolExprPtr e = BoolExpr::Or(BoolExpr::And(BoolExpr::Var(2), BoolExpr::Var(0)),
+                               BoolExpr::Var(2));
+  EXPECT_EQ(e->Vars(), (std::vector<VarId>{0, 2}));
+}
+
+TEST(BoolExprTest, ToStringReadable) {
+  BoolExprPtr e = BoolExpr::Or(BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1)),
+                               BoolExpr::Var(2));
+  EXPECT_EQ(e->ToString(), "((x0 ∧ x1) ∨ x2)");
+}
+
+TEST(BoolExprTest, ToStringUsesNamer) {
+  BoolExprPtr e = BoolExpr::Var(1);
+  VarNamer namer = [](VarId x) { return "consent_" + std::to_string(x); };
+  EXPECT_EQ(e->ToString(namer), "consent_1");
+}
+
+// --- Equality helpers ------------------------------------------------------------------
+
+TEST(BoolExprTest, StructurallyEqual) {
+  BoolExprPtr a = BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1));
+  BoolExprPtr b = BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1));
+  BoolExprPtr c = BoolExpr::And(BoolExpr::Var(1), BoolExpr::Var(0));
+  EXPECT_TRUE(StructurallyEqual(a, b));
+  EXPECT_FALSE(StructurallyEqual(a, c));  // order matters structurally
+}
+
+TEST(BoolExprTest, EquivalentByEnumerationSeesSemantics) {
+  // x ∨ (x ∧ y) ≡ x (absorption).
+  BoolExprPtr lhs = BoolExpr::Or(
+      BoolExpr::Var(0), BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1)));
+  EXPECT_TRUE(EquivalentByEnumeration(lhs, BoolExpr::Var(0)));
+  // Distribution: (x ∨ y) ∧ (x ∨ z) ≡ x ∨ (y ∧ z).
+  BoolExprPtr l2 = BoolExpr::And(BoolExpr::Or(BoolExpr::Var(0), BoolExpr::Var(1)),
+                                 BoolExpr::Or(BoolExpr::Var(0), BoolExpr::Var(2)));
+  BoolExprPtr r2 = BoolExpr::Or(
+      BoolExpr::Var(0), BoolExpr::And(BoolExpr::Var(1), BoolExpr::Var(2)));
+  EXPECT_TRUE(EquivalentByEnumeration(l2, r2));
+  EXPECT_FALSE(EquivalentByEnumeration(BoolExpr::Var(0), BoolExpr::Var(1)));
+}
+
+TEST(BoolExprTest, TreeSizeCountsNodes) {
+  BoolExprPtr e = BoolExpr::Or(BoolExpr::And(BoolExpr::Var(0), BoolExpr::Var(1)),
+                               BoolExpr::Var(2));
+  // Or + And + 3 vars.
+  EXPECT_EQ(e->TreeSize(), 5u);
+}
+
+}  // namespace
+}  // namespace consentdb::provenance

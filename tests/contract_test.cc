@@ -1,0 +1,110 @@
+// Contract (death) tests: programmer errors are CHECK-aborted with a
+// diagnostic, never silently mishandled. These pin the library's documented
+// preconditions.
+
+#include <gtest/gtest.h>
+
+#include "consentdb/relational/value.h"
+#include "consentdb/strategy/runner.h"
+#include "consentdb/strategy/strategies.h"
+#include "consentdb/util/check.h"
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb {
+namespace {
+
+using provenance::Dnf;
+using provenance::VarSet;
+using relational::Value;
+
+TEST(ContractTest, CheckMacroAborts) {
+  EXPECT_DEATH(CONSENTDB_CHECK(false, "boom"), "boom");
+  CONSENTDB_CHECK(true, "never printed");  // passing check is a no-op
+}
+
+TEST(ContractTest, ValueTypedAccessorsAbortOnWrongType) {
+  EXPECT_DEATH(Value("text").AsInt64(), "not INT64");
+  EXPECT_DEATH(Value(1).AsString(), "not STRING");
+  EXPECT_DEATH(Value(true).AsDouble(), "not DOUBLE");
+  EXPECT_DEATH(Value(1.5).AsBool(), "not BOOL");
+  EXPECT_DEATH(Value("x").AsNumeric(), "not numeric");
+}
+
+TEST(ContractTest, StateRejectsDoubleProbe) {
+  strategy::EvaluationState state({Dnf({VarSet{0, 1}})}, {0.5, 0.5});
+  state.Assign(0, true);
+  EXPECT_DEATH(state.Assign(0, false), "probed twice");
+}
+
+TEST(ContractTest, StateRejectsUnknownVariable) {
+  strategy::EvaluationState state({Dnf({VarSet{0}})}, {0.5});
+  EXPECT_DEATH(state.Assign(7, true), "unknown variable");
+}
+
+TEST(ContractTest, QValueRequiresCnfs) {
+  strategy::EvaluationState state({Dnf({VarSet{0}})}, {0.5});
+  strategy::QValueStrategy qv;
+  EXPECT_DEATH(qv.ChooseNext(state), "requires CNFs");
+}
+
+TEST(ContractTest, CostsMustBeSetBeforeProbing) {
+  strategy::EvaluationState state({Dnf({VarSet{0, 1}})}, {0.5, 0.5});
+  state.Assign(0, true);
+  EXPECT_DEATH(state.SetCosts({1.0, 1.0}), "before any probe");
+}
+
+TEST(ContractTest, CostsMustBePositive) {
+  strategy::EvaluationState state({Dnf({VarSet{0}})}, {0.5});
+  EXPECT_DEATH(state.SetCosts({0.0}), "positive");
+}
+
+TEST(ContractTest, RunnerRejectsStrategiesChoosingUselessVariables) {
+  // A deliberately broken strategy returning an unrelated variable.
+  class Broken : public strategy::ProbeStrategy {
+   public:
+    std::string name() const override { return "Broken"; }
+    provenance::VarId ChooseNext(strategy::EvaluationState&) override {
+      return 1;  // not part of any formula
+    }
+  };
+  strategy::EvaluationState state({Dnf({VarSet{0}})}, {0.5, 0.5});
+  Broken broken;
+  EXPECT_DEATH(strategy::RunToCompletion(
+                   state, broken, [](provenance::VarId) { return true; }),
+               "useless or known");
+}
+
+TEST(ContractTest, JsonWriterValidatesNesting) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        w.Int(1);  // value without a key
+      },
+      "without a key");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginArray();
+        w.EndObject();  // mismatched close
+      },
+      "outside an object");
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject();
+        (void)w.TakeString();  // unterminated
+      },
+      "unterminated");
+}
+
+TEST(ContractTest, HiddenValuationMustCoverProbedVariables) {
+  strategy::EvaluationState state({Dnf({VarSet{0}})}, {0.5});
+  strategy::RoStrategy ro;
+  provenance::PartialValuation empty;
+  EXPECT_DEATH(strategy::RunToCompletion(state, ro, empty),
+               "does not cover");
+}
+
+}  // namespace
+}  // namespace consentdb

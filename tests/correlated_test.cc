@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/consent/correlated.h"
+
+namespace consentdb::consent {
+namespace {
+
+using provenance::PartialValuation;
+using provenance::Truth;
+using provenance::VarId;
+
+VariablePool PoolWithPeers(size_t per_peer, double prior) {
+  VariablePool pool;
+  for (const char* owner : {"alice", "bob"}) {
+    for (size_t i = 0; i < per_peer; ++i) {
+      pool.Allocate("", owner, prior);
+    }
+  }
+  return pool;
+}
+
+TEST(CorrelatedTest, ZeroCoherenceMatchesIndependentStatistics) {
+  VariablePool pool = PoolWithPeers(10, 0.5);
+  Rng rng(1);
+  size_t trues = 0;
+  const int reps = 2000;
+  for (int r = 0; r < reps; ++r) {
+    PartialValuation val = SampleCorrelatedValuation(pool, 0.0, rng);
+    for (VarId x = 0; x < pool.size(); ++x) {
+      ASSERT_NE(val.Get(x), Truth::kUnknown);
+      trues += val.Get(x) == Truth::kTrue ? 1 : 0;
+    }
+  }
+  double rate = static_cast<double>(trues) /
+                static_cast<double>(reps * pool.size());
+  EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+TEST(CorrelatedTest, FullCoherenceMakesPeersUniform) {
+  VariablePool pool = PoolWithPeers(8, 0.5);
+  Rng rng(2);
+  for (int r = 0; r < 50; ++r) {
+    PartialValuation val = SampleCorrelatedValuation(pool, 1.0, rng);
+    // Within each peer all answers identical.
+    for (size_t base : {size_t{0}, size_t{8}}) {
+      Truth first = val.Get(static_cast<VarId>(base));
+      for (size_t i = 1; i < 8; ++i) {
+        EXPECT_EQ(val.Get(static_cast<VarId>(base + i)), first);
+      }
+    }
+  }
+}
+
+TEST(CorrelatedTest, FullCoherencePreservesMarginals) {
+  VariablePool pool = PoolWithPeers(5, 0.3);
+  Rng rng(3);
+  size_t trues = 0;
+  const int reps = 4000;
+  for (int r = 0; r < reps; ++r) {
+    PartialValuation val = SampleCorrelatedValuation(pool, 1.0, rng);
+    trues += val.Get(0) == Truth::kTrue ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(trues) / reps, 0.3, 0.03);
+}
+
+TEST(CorrelatedTest, OwnerlessVariablesStayIndependent) {
+  VariablePool pool;
+  pool.AllocateN(16, 0.5);  // no owners
+  Rng rng(4);
+  // Even at coherence 1, ownerless variables are independent: find a
+  // sample where they disagree.
+  bool saw_disagreement = false;
+  for (int r = 0; r < 50 && !saw_disagreement; ++r) {
+    PartialValuation val = SampleCorrelatedValuation(pool, 1.0, rng);
+    for (VarId x = 1; x < pool.size(); ++x) {
+      if (val.Get(x) != val.Get(0)) saw_disagreement = true;
+    }
+  }
+  EXPECT_TRUE(saw_disagreement);
+}
+
+TEST(CorrelatedTest, SetOwnerReassigns) {
+  VariablePool pool;
+  VarId x = pool.Allocate("", "alice", 0.5);
+  EXPECT_EQ(pool.owner(x), "alice");
+  pool.SetOwner(x, "bob");
+  EXPECT_EQ(pool.owner(x), "bob");
+}
+
+}  // namespace
+}  // namespace consentdb::consent

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/relational/csv.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::relational {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column{"id", ValueType::kInt64},
+                 Column{"name", ValueType::kString},
+                 Column{"score", ValueType::kDouble},
+                 Column{"active", ValueType::kBool}});
+}
+
+// --- Record splitting -----------------------------------------------------------
+
+TEST(CsvRecordTest, PlainFields) {
+  EXPECT_EQ(*SplitCsvRecord("a,b,c", nullptr),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvRecordTest, EmptyFields) {
+  EXPECT_EQ(*SplitCsvRecord(",,", nullptr),
+            (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvRecordTest, QuotedFieldsWithCommasAndQuotes) {
+  EXPECT_EQ(*SplitCsvRecord(R"("a,b","say ""hi""",plain)", nullptr),
+            (std::vector<std::string>{"a,b", "say \"hi\"", "plain"}));
+}
+
+TEST(CsvRecordTest, QuotedFlagDistinguishesEmpty) {
+  std::vector<bool> quoted;
+  ASSERT_TRUE(SplitCsvRecord(R"(,"",x)", &quoted).ok());
+  std::vector<std::string> fields = *SplitCsvRecord(R"(,"",x)", &quoted);
+  EXPECT_EQ(fields, (std::vector<std::string>{"", "", "x"}));
+  EXPECT_EQ(quoted, (std::vector<bool>{false, true, false}));
+}
+
+TEST(CsvRecordTest, ErrorsOnMalformedQuotes) {
+  EXPECT_FALSE(SplitCsvRecord(R"(ab"cd)", nullptr).ok());
+  EXPECT_FALSE(SplitCsvRecord(R"("unterminated)", nullptr).ok());
+}
+
+// --- Reading --------------------------------------------------------------------
+
+TEST(CsvReadTest, ParsesTypedRows) {
+  Relation r = *ReadRelationCsv(
+      "id,name,score,active\n"
+      "1,ada,9.5,true\n"
+      "2,grace,8.25,false\n",
+      TestSchema());
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuple(0), (Tuple{Value(1), Value("ada"), Value(9.5), Value(true)}));
+  EXPECT_EQ(r.tuple(1).at(3), Value(false));
+}
+
+TEST(CsvReadTest, BoolAcceptsNumericAndCase) {
+  Relation r = *ReadRelationCsv(
+      "id,name,score,active\n"
+      "1,a,0.0,1\n"
+      "2,b,0.0,TRUE\n"
+      "3,c,0.0,0\n",
+      TestSchema());
+  EXPECT_EQ(r.tuple(0).at(3), Value(true));
+  EXPECT_EQ(r.tuple(1).at(3), Value(true));
+  EXPECT_EQ(r.tuple(2).at(3), Value(false));
+}
+
+TEST(CsvReadTest, EmptyUnquotedIsNullQuotedIsEmptyString) {
+  Relation r = *ReadRelationCsv(
+      "id,name,score,active\n"
+      "1,,1.0,true\n"
+      "2,\"\",1.0,true\n",
+      TestSchema());
+  EXPECT_TRUE(r.tuple(0).at(1).is_null());
+  EXPECT_EQ(r.tuple(1).at(1), Value(""));
+}
+
+TEST(CsvReadTest, DeduplicatesRows) {
+  Relation r = *ReadRelationCsv(
+      "id,name,score,active\n"
+      "1,a,1.0,true\n"
+      "1,a,1.0,true\n",
+      TestSchema());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(CsvReadTest, HandlesCrLf) {
+  Relation r = *ReadRelationCsv(
+      "id,name,score,active\r\n1,a,1.0,true\r\n", TestSchema());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(CsvReadTest, RejectsBadHeader) {
+  EXPECT_FALSE(ReadRelationCsv("id,nome,score,active\n", TestSchema()).ok());
+  EXPECT_FALSE(ReadRelationCsv("id,name\n", TestSchema()).ok());
+  EXPECT_FALSE(ReadRelationCsv("", TestSchema()).ok());
+}
+
+TEST(CsvReadTest, RejectsBadValues) {
+  Status s = ReadRelationCsv(
+                 "id,name,score,active\nxyz,a,1.0,true\n", TestSchema())
+                 .status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_FALSE(ReadRelationCsv(
+                   "id,name,score,active\n1,a,notanumber,true\n", TestSchema())
+                   .ok());
+  EXPECT_FALSE(ReadRelationCsv(
+                   "id,name,score,active\n1,a,1.0,maybe\n", TestSchema())
+                   .ok());
+  EXPECT_FALSE(ReadRelationCsv("id,name,score,active\n1,a,1.0\n",
+                               TestSchema())
+                   .ok());
+}
+
+TEST(CsvReadTest, IntegerRejectsTrailingGarbage) {
+  EXPECT_FALSE(ReadRelationCsv(
+                   "id,name,score,active\n12abc,a,1.0,true\n", TestSchema())
+                   .ok());
+}
+
+// --- Round trip -----------------------------------------------------------------
+
+TEST(CsvRoundTripTest, WriteThenReadIsIdentity) {
+  Relation original(TestSchema());
+  original.InsertOrDie(Tuple{Value(1), Value("plain"), Value(1.5), Value(true)});
+  original.InsertOrDie(
+      Tuple{Value(2), Value("with,comma"), Value(-2.25), Value(false)});
+  original.InsertOrDie(
+      Tuple{Value(3), Value("say \"hi\""), Value(0.0), Value(true)});
+  original.InsertOrDie(Tuple{Value(4), Value::Null(), Value(3.0), Value(false)});
+  original.InsertOrDie(Tuple{Value(5), Value(""), Value(4.0), Value(true)});
+
+  std::string csv = WriteRelationCsv(original);
+  Relation reread = *ReadRelationCsv(csv, TestSchema());
+  EXPECT_EQ(original, reread);
+}
+
+TEST(CsvRoundTripTest, RandomizedRoundTrip) {
+  Rng rng(31);
+  const char* samples[] = {"", "x", "a,b", "\"q\"", "line", "sp ace", "?!"};
+  for (int trial = 0; trial < 20; ++trial) {
+    Relation original(TestSchema());
+    for (int row = 0; row < 10; ++row) {
+      original.InsertOrDie(Tuple{
+          Value(rng.UniformInt(-100, 100)),
+          rng.Bernoulli(0.15) ? Value::Null() : Value(std::string(rng.Choice(
+              std::vector<std::string>(samples, samples + 7)))),
+          Value(static_cast<double>(rng.UniformInt(-8, 8)) / 2.0),
+          Value(rng.Bernoulli(0.5))});
+    }
+    Relation reread = *ReadRelationCsv(WriteRelationCsv(original), TestSchema());
+    EXPECT_EQ(original, reread) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace consentdb::relational

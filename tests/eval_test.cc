@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/eval/provenance_profile.h"
+#include "consentdb/query/parser.h"
+#include "consentdb/util/rng.h"
+#include "test_fixtures.h"
+
+namespace consentdb::eval {
+namespace {
+
+using consent::SharedDatabase;
+using provenance::BoolExprPtr;
+using provenance::Dnf;
+using provenance::PartialValuation;
+using provenance::Truth;
+using provenance::VarId;
+using query::ParseQuery;
+using query::PlanPtr;
+using relational::Column;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+// Small two-relation shared database for operator-level tests.
+SharedDatabase SmallDb() {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                              Column{"b", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                              Column{"c", ValueType::kInt64}}))
+                  .ok());
+  // R: (1,10) x0, (2,10) x1, (3,20) x2
+  EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(1), Value(10)}).ok());
+  EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(2), Value(10)}).ok());
+  EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(3), Value(20)}).ok());
+  // S: (10,100) x3, (20,200) x4
+  EXPECT_TRUE(sdb.InsertTuple("S", Tuple{Value(10), Value(100)}).ok());
+  EXPECT_TRUE(sdb.InsertTuple("S", Tuple{Value(20), Value(200)}).ok());
+  return sdb;
+}
+
+Dnf AnnotationDnf(const AnnotatedRelation& rel, const Tuple& t) {
+  std::optional<size_t> idx = rel.IndexOf(t);
+  EXPECT_TRUE(idx.has_value()) << "tuple not found: " << t.ToString();
+  return *Dnf::FromExpr(rel.annotation(*idx));
+}
+
+// --- Per-operator annotation rules (Sec. III-A) ---------------------------------
+
+TEST(EvalTest, ScanAnnotatesWithInputVariables) {
+  SharedDatabase sdb = SmallDb();
+  AnnotatedRelation out = *EvaluateAnnotated(*ParseQuery("SELECT * FROM R"), sdb);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(1), Value(10)}),
+            Dnf({provenance::VarSet{0}}));
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(3), Value(20)}),
+            Dnf({provenance::VarSet{2}}));
+}
+
+TEST(EvalTest, SelectionKeepsAnnotations) {
+  SharedDatabase sdb = SmallDb();
+  AnnotatedRelation out =
+      *EvaluateAnnotated(*ParseQuery("SELECT * FROM R WHERE b = 10"), sdb);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(2), Value(10)}),
+            Dnf({provenance::VarSet{1}}));
+}
+
+TEST(EvalTest, ProjectionDisjoinsMergedTuples) {
+  SharedDatabase sdb = SmallDb();
+  // Projecting R onto b merges (1,10) and (2,10): annotation x0 ∨ x1.
+  AnnotatedRelation out = *EvaluateAnnotated(*ParseQuery("SELECT b FROM R"), sdb);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(10)}),
+            Dnf({provenance::VarSet{0}, provenance::VarSet{1}}));
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(20)}), Dnf({provenance::VarSet{2}}));
+}
+
+TEST(EvalTest, JoinConjoinsAnnotations) {
+  SharedDatabase sdb = SmallDb();
+  AnnotatedRelation out = *EvaluateAnnotated(
+      *ParseQuery("SELECT * FROM R, S WHERE R.b = S.b"), sdb);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(
+      AnnotationDnf(out, Tuple{Value(1), Value(10), Value(10), Value(100)}),
+      Dnf({provenance::VarSet{0, 3}}));
+  EXPECT_EQ(
+      AnnotationDnf(out, Tuple{Value(3), Value(20), Value(20), Value(200)}),
+      Dnf({provenance::VarSet{2, 4}}));
+}
+
+TEST(EvalTest, UnionDisjoinsDuplicates) {
+  SharedDatabase sdb = SmallDb();
+  // b-values of R union b-values of S(first col): 10 appears in both.
+  AnnotatedRelation out = *EvaluateAnnotated(
+      *ParseQuery("SELECT b FROM R UNION SELECT b FROM S"), sdb);
+  // Values: 10 (x0 ∨ x1 ∨ x3), 20 (x2 ∨ x4).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(10)}),
+            Dnf({provenance::VarSet{0}, provenance::VarSet{1},
+                 provenance::VarSet{3}}));
+  EXPECT_EQ(AnnotationDnf(out, Tuple{Value(20)}),
+            Dnf({provenance::VarSet{2}, provenance::VarSet{4}}));
+}
+
+TEST(EvalTest, SelfJoinSquaresAnnotations) {
+  SharedDatabase sdb = SmallDb();
+  AnnotatedRelation out = *EvaluateAnnotated(
+      *ParseQuery("SELECT * FROM R x, R y WHERE x.a = y.a"), sdb);
+  // Diagonal tuples: annotation x_i ∧ x_i = x_i.
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(
+      AnnotationDnf(out, Tuple{Value(1), Value(10), Value(1), Value(10)}),
+      Dnf({provenance::VarSet{0}}));
+}
+
+TEST(EvalTest, PlainEvaluationMatchesAnnotated) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = *ParseQuery("SELECT b FROM R UNION SELECT b FROM S");
+  Relation plain = *Evaluate(plan, sdb.database());
+  AnnotatedRelation annotated = *EvaluateAnnotated(plan, sdb);
+  EXPECT_EQ(plain, annotated.ToRelation());
+}
+
+// --- The paper's running example --------------------------------------------------
+
+TEST(EvalTest, RunningExampleSingleResult) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  PlanPtr plan = *ParseQuery(testing::RecruitmentQuerySql());
+  AnnotatedRelation out = *EvaluateAnnotated(plan, sdb);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0), Tuple{Value("PennSolarExperts Ltd.")});
+  // David, Ellen and Georgia were hired -> three derivations.
+  Dnf dnf = *Dnf::FromExpr(out.annotation(0));
+  EXPECT_EQ(dnf.num_terms(), 3u);
+  // Each derivation joins 4 tuples: company, vacancy, seeker, assignment.
+  EXPECT_EQ(dnf.MaxTermSize(), 4u);
+}
+
+TEST(EvalTest, RunningExampleConsentScenario) {
+  // Example II.7: only seeker 2 (Ellen)'s consent among JobSeekers plus all
+  // other tables: result shareable through Ellen's hire.
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  PartialValuation val(sdb.pool().size());
+  for (VarId x = 0; x < sdb.pool().size(); ++x) val.Set(x, true);
+  // Deny all JobSeekers except sid=2 (Ellen, who was hired at 111).
+  const std::vector<VarId>& seekers = **sdb.Annotations("JobSeekers");
+  val.Set(seekers[0], false);
+  val.Set(seekers[2], false);
+  val.Set(seekers[3], false);
+  PlanPtr plan = *ParseQuery(testing::RecruitmentQuerySql());
+  AnnotatedRelation out = *EvaluateAnnotated(plan, sdb);
+  EXPECT_EQ(out.annotation(0)->Evaluate(val), Truth::kTrue);
+  // Def. II.6 cross-check.
+  Relation direct = *EvaluateOverConsentedFragment(plan, sdb, val);
+  EXPECT_TRUE(direct.Contains(Tuple{Value("PennSolarExperts Ltd.")}));
+}
+
+// --- Prop. III.2: possible-worlds equivalence (property test) -----------------------
+
+// Random SPJU queries over a random small shared database; for every total
+// valuation, the annotated result's shareable fragment must equal direct
+// evaluation over the consented sub-database.
+class PossibleWorldsTest : public ::testing::TestWithParam<int> {};
+
+SharedDatabase RandomDb(Rng& rng, size_t rows_per_rel) {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                              Column{"b", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                              Column{"c", ValueType::kInt64}}))
+                  .ok());
+  for (size_t i = 0; i < rows_per_rel; ++i) {
+    EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(rng.UniformInt(0, 3)),
+                                           Value(rng.UniformInt(0, 2))})
+                    .ok());
+    EXPECT_TRUE(sdb.InsertTuple("S", Tuple{Value(rng.UniformInt(0, 2)),
+                                           Value(rng.UniformInt(0, 3))})
+                    .ok());
+  }
+  return sdb;
+}
+
+const char* kRandomQueries[] = {
+    "SELECT * FROM R WHERE a > 0",
+    "SELECT a FROM R",
+    "SELECT b FROM R UNION SELECT b FROM S",
+    "SELECT * FROM R, S WHERE R.b = S.b",
+    "SELECT a FROM R, S WHERE R.b = S.b",
+    "SELECT R.a FROM R, S WHERE R.b = S.b AND S.c > 1",
+    "SELECT a FROM R WHERE b = 1 UNION SELECT c FROM S",
+    "SELECT x.a FROM R x, R y WHERE x.b = y.b",
+    "SELECT b FROM R WHERE a >= 1 UNION SELECT b FROM S WHERE c <= 2",
+};
+
+TEST_P(PossibleWorldsTest, AnnotationsMatchDefinitionII6) {
+  Rng rng(7000 + GetParam());
+  SharedDatabase sdb = RandomDb(rng, 4);  // 8 tuples -> 256 valuations
+  size_t n = sdb.pool().size();
+  ASSERT_LE(n, 10u);
+  for (const char* sql : kRandomQueries) {
+    PlanPtr plan = *ParseQuery(sql);
+    AnnotatedRelation annotated = *EvaluateAnnotated(plan, sdb);
+    for (size_t mask = 0; mask < (static_cast<size_t>(1) << n); ++mask) {
+      PartialValuation val(n);
+      for (size_t i = 0; i < n; ++i) {
+        val.Set(static_cast<VarId>(i), static_cast<bool>((mask >> i) & 1));
+      }
+      Relation via_annotations = annotated.ShareableFragment(val);
+      Relation via_definition = *EvaluateOverConsentedFragment(plan, sdb, val);
+      EXPECT_EQ(via_annotations, via_definition)
+          << "sql: " << sql << " mask: " << mask;
+      if (via_annotations.size() != via_definition.size()) return;  // fail fast
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, PossibleWorldsTest,
+                         ::testing::Range(0, 6));
+
+// --- Provenance profiling ------------------------------------------------------------
+
+TEST(ProfileTest, ReadOnceFlags) {
+  SharedDatabase sdb = SmallDb();
+  // SP query: overall read-once (Prop. IV.4).
+  AnnotatedRelation sp = *EvaluateAnnotated(*ParseQuery("SELECT b FROM R"), sdb);
+  ProvenanceProfile p = *ProfileProvenance(sp);
+  EXPECT_TRUE(p.overall_read_once);
+  EXPECT_TRUE(p.per_tuple_read_once);
+  EXPECT_EQ(p.max_terms_per_tuple, 2u);
+  EXPECT_EQ(p.max_term_size, 1u);
+}
+
+TEST(ProfileTest, JoinWithReuseBreaksOverallReadOnce) {
+  SharedDatabase sdb = SmallDb();
+  // S tuple (10,100) joins two R tuples: x3 occurs in two output tuples.
+  AnnotatedRelation sj = *EvaluateAnnotated(
+      *ParseQuery("SELECT * FROM R, S WHERE R.b = S.b"), sdb);
+  ProvenanceProfile p = *ProfileProvenance(sj);
+  EXPECT_TRUE(p.per_tuple_read_once);
+  EXPECT_FALSE(p.overall_read_once);
+  EXPECT_EQ(p.max_term_size, 2u);
+}
+
+TEST(ProfileTest, ProjectionOverJoinCanBreakPerTupleReadOnce) {
+  SharedDatabase sdb = SmallDb();
+  // Project join result onto S.c: tuple 100 derives via x3 twice.
+  AnnotatedRelation spj = *EvaluateAnnotated(
+      *ParseQuery("SELECT S.c FROM R, S WHERE R.b = S.b"), sdb);
+  ProvenanceProfile p = *ProfileProvenance(spj);
+  EXPECT_FALSE(p.per_tuple_read_once);
+  EXPECT_FALSE(p.overall_read_once);
+}
+
+TEST(ProfileTest, DnfLimitsAreEnforced) {
+  SharedDatabase sdb = SmallDb();
+  AnnotatedRelation out = *EvaluateAnnotated(*ParseQuery("SELECT b FROM R"), sdb);
+  provenance::NormalFormLimits limits;
+  limits.max_sets = 1;
+  Result<ProvenanceProfile> r = ProfileProvenance(out, limits);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace consentdb::eval

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/strategy/evaluation_state.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::strategy {
+namespace {
+
+using provenance::VarSet;
+
+std::vector<double> UniformPi(size_t n, double p = 0.5) {
+  return std::vector<double>(n, p);
+}
+
+// --- Construction ----------------------------------------------------------------
+
+TEST(EvaluationStateTest, ConstantsAreDecidedImmediately) {
+  EvaluationState state({Dnf::ConstantTrue(), Dnf::ConstantFalse(),
+                         Dnf({VarSet{0}})},
+                        UniformPi(1));
+  EXPECT_EQ(state.formula_value(0), Truth::kTrue);
+  EXPECT_EQ(state.formula_value(1), Truth::kFalse);
+  EXPECT_EQ(state.formula_value(2), Truth::kUnknown);
+  EXPECT_EQ(state.num_undecided(), 1u);
+}
+
+TEST(EvaluationStateTest, AllVarsSortedAndUseful) {
+  EvaluationState state({Dnf({VarSet{3, 1}, VarSet{5}})}, UniformPi(6));
+  EXPECT_EQ(state.AllVars(), (std::vector<VarId>{1, 3, 5}));
+  for (VarId x : {1u, 3u, 5u}) EXPECT_TRUE(state.IsUseful(x));
+  EXPECT_FALSE(state.IsUseful(0));  // not in any formula
+}
+
+// --- Assignment mechanics -----------------------------------------------------------
+
+TEST(EvaluationStateTest, TrueConjunctionDecidesFormula) {
+  EvaluationState state({Dnf({VarSet{0, 1}})}, UniformPi(2));
+  state.Assign(0, true);
+  EXPECT_EQ(state.formula_value(0), Truth::kUnknown);
+  state.Assign(1, true);
+  EXPECT_EQ(state.formula_value(0), Truth::kTrue);
+  EXPECT_TRUE(state.AllDecided());
+}
+
+TEST(EvaluationStateTest, FalseVariableFalsifiesConjunction) {
+  EvaluationState state({Dnf({VarSet{0, 1}})}, UniformPi(2));
+  state.Assign(0, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kFalse);
+  EXPECT_TRUE(state.AllDecided());
+  EXPECT_FALSE(state.IsUseful(1));  // formula decided: nothing useful left
+}
+
+TEST(EvaluationStateTest, DisjunctionNeedsAllFalse) {
+  EvaluationState state({Dnf({VarSet{0}, VarSet{1}, VarSet{2}})},
+                        UniformPi(3));
+  state.Assign(0, false);
+  state.Assign(1, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kUnknown);
+  state.Assign(2, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kFalse);
+}
+
+TEST(EvaluationStateTest, SharedVariableAffectsAllFormulas) {
+  EvaluationState state({Dnf({VarSet{0, 1}}), Dnf({VarSet{0, 2}})},
+                        UniformPi(3));
+  state.Assign(0, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kFalse);
+  EXPECT_EQ(state.formula_value(1), Truth::kFalse);
+}
+
+TEST(EvaluationStateTest, UsefulnessShrinksWithFalsifiedTerms) {
+  // x1 only occurs in the term {0,1}; falsifying via x0 makes x1 useless.
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{2}})}, UniformPi(3));
+  state.Assign(0, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kUnknown);
+  EXPECT_FALSE(state.IsUseful(1));
+  EXPECT_TRUE(state.IsUseful(2));
+}
+
+TEST(EvaluationStateTest, AbsorptionRetiresSubsumedResiduals) {
+  // Terms {0} and {0,1} never coexist (construction absorbs), but {0,2} and
+  // {1,2}: after x2 = true, residuals {0} and {1} stay; after a *shrink*
+  // making {1} ⊆ {0,1}: use terms {1,2} and {0,1}: x2=true shrinks {1,2} to
+  // {1}, which absorbs {0,1}. x0 becomes useless.
+  EvaluationState state({Dnf({VarSet{1, 2}, VarSet{0, 1}})}, UniformPi(3));
+  state.Assign(2, true);
+  EXPECT_EQ(state.formula_value(0), Truth::kUnknown);
+  EXPECT_FALSE(state.IsUseful(0)) << "x0's term is subsumed by residual {x1}";
+  EXPECT_TRUE(state.IsUseful(1));
+  state.Assign(1, true);
+  EXPECT_EQ(state.formula_value(0), Truth::kTrue);
+}
+
+TEST(EvaluationStateTest, LiveTermCountTracksFreq) {
+  EvaluationState state(
+      {Dnf({VarSet{0, 1}, VarSet{0, 2}}), Dnf({VarSet{0, 3}})},
+      UniformPi(4));
+  EXPECT_EQ(state.LiveTermCount(0), 3u);
+  EXPECT_EQ(state.LiveTermCount(1), 1u);
+  state.Assign(1, false);  // falsifies {0,1}
+  EXPECT_EQ(state.LiveTermCount(0), 2u);
+}
+
+// --- Residual structure ---------------------------------------------------------------
+
+TEST(EvaluationStateTest, ResidualOverallReadOnce) {
+  EvaluationState shared({Dnf({VarSet{0, 1}}), Dnf({VarSet{0, 2}})},
+                         UniformPi(3));
+  EXPECT_FALSE(shared.ResidualOverallReadOnce());
+  // Deciding formula 1 removes the sharing.
+  shared.Assign(2, false);
+  EXPECT_EQ(shared.formula_value(1), Truth::kFalse);
+  EXPECT_TRUE(shared.ResidualOverallReadOnce());
+}
+
+TEST(EvaluationStateTest, MaxLiveTermsPerFormula) {
+  EvaluationState state(
+      {Dnf({VarSet{0}, VarSet{1}, VarSet{2}}), Dnf({VarSet{3}})},
+      UniformPi(4));
+  EXPECT_EQ(state.MaxLiveTermsPerFormula(), 3u);
+  state.Assign(0, false);
+  EXPECT_EQ(state.MaxLiveTermsPerFormula(), 2u);
+}
+
+// --- CNF attachment & Q-value ----------------------------------------------------------
+
+TEST(EvaluationStateTest, AttachCnfsComputesClauseCounts) {
+  // (x0∧x1) ∨ x2: CNF (x0∨x2)(x1∨x2) -> 2 clauses.
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{2}})}, UniformPi(3));
+  ASSERT_TRUE(state.AttachCnfs().ok());
+  EXPECT_TRUE(state.cnfs_attached());
+  EXPECT_EQ(state.live_clauses(0), 2u);
+}
+
+TEST(EvaluationStateTest, AttachCnfsHonoursBudget) {
+  std::vector<VarSet> terms;
+  for (VarId i = 0; i < 14; ++i) terms.push_back(VarSet{2 * i, 2 * i + 1});
+  EvaluationState state({Dnf(std::move(terms))}, UniformPi(28));
+  provenance::NormalFormLimits limits;
+  limits.max_sets = 100;
+  Status st = state.AttachCnfs(limits);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(state.cnfs_attached());
+}
+
+TEST(EvaluationStateTest, ClausePathDecidesFalseEarly) {
+  // (x0∧x1) ∨ (x0∧x2): CNF (x0)(x1∨x2). Setting x0=false falsifies the
+  // singleton clause -> formula decided False in one probe.
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{0, 2}})}, UniformPi(3));
+  ASSERT_TRUE(state.AttachCnfs().ok());
+  state.Assign(0, false);
+  EXPECT_EQ(state.formula_value(0), Truth::kFalse);
+  EXPECT_TRUE(state.AllDecided());
+}
+
+TEST(EvaluationStateTest, QValuePrefersDecisiveVariable) {
+  // (x0∧x1) ∨ (x0∧x2): x0 decides False alone and shrinks both terms when
+  // True; it must out-score x1/x2.
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{0, 2}})}, UniformPi(3));
+  ASSERT_TRUE(state.AttachCnfs().ok());
+  EXPECT_GT(state.QValueScore(0), state.QValueScore(1));
+  EXPECT_EQ(state.QValueArgMax(), 0u);
+}
+
+TEST(EvaluationStateTest, QValueScoreMatchesNaiveDefinition) {
+  // Cross-check the incremental Q-value against a direct computation from
+  // the DHK definition on a nontrivial system.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2, 3}}),
+                           Dnf({VarSet{1, 2}, VarSet{3, 4}, VarSet{0, 4}})};
+  std::vector<double> pi = {0.3, 0.5, 0.6, 0.7, 0.4};
+  EvaluationState state(dnfs, pi);
+  ASSERT_TRUE(state.AttachCnfs().ok());
+
+  std::vector<provenance::Cnf> cnfs;
+  for (const Dnf& d : dnfs) cnfs.push_back(*DnfToCnf(d));
+
+  auto naive_q = [&](const provenance::PartialValuation& val) {
+    double q = 0;
+    for (size_t j = 0; j < dnfs.size(); ++j) {
+      double total_terms = static_cast<double>(dnfs[j].num_terms());
+      double total_clauses = static_cast<double>(cnfs[j].num_clauses());
+      double t = 0;
+      double c = 0;
+      for (const VarSet& term : dnfs[j].terms()) {
+        Dnf single({term});
+        if (single.Evaluate(val) == Truth::kUnknown) t += 1;
+      }
+      for (const VarSet& clause : cnfs[j].clauses()) {
+        provenance::Cnf single({clause});
+        if (single.Evaluate(val) == Truth::kUnknown) c += 1;
+      }
+      if (dnfs[j].Evaluate(val) == Truth::kTrue) c = 0;
+      if (dnfs[j].Evaluate(val) == Truth::kFalse) t = 0;
+      q += total_terms * total_clauses - t * c;
+    }
+    return q;
+  };
+
+  provenance::PartialValuation empty;
+  double q_now = naive_q(empty);
+  for (VarId x = 0; x < 5; ++x) {
+    provenance::PartialValuation vt;
+    vt.Set(x, true);
+    provenance::PartialValuation vf;
+    vf.Set(x, false);
+    double expected = pi[x] * (naive_q(vt) - q_now) +
+                      (1 - pi[x]) * (naive_q(vf) - q_now);
+    EXPECT_NEAR(state.QValueScore(x), expected, 1e-9) << "x" << x;
+  }
+}
+
+// --- Property test: incremental state vs naive recomputation ----------------------------
+
+class StateConsistencyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StateConsistencyTest, MatchesNaiveSimplification) {
+  Rng rng(9000 + GetParam());
+  // Random formula system.
+  size_t num_vars = 8 + rng.UniformIndex(5);
+  size_t num_formulas = 2 + rng.UniformIndex(4);
+  std::vector<Dnf> dnfs;
+  for (size_t j = 0; j < num_formulas; ++j) {
+    std::vector<VarSet> terms;
+    size_t num_terms = 1 + rng.UniformIndex(4);
+    for (size_t t = 0; t < num_terms; ++t) {
+      std::vector<VarId> term;
+      size_t size = 1 + rng.UniformIndex(3);
+      for (size_t s = 0; s < size; ++s) {
+        term.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+      }
+      terms.emplace_back(std::move(term));
+    }
+    dnfs.emplace_back(std::move(terms));
+  }
+  EvaluationState state(dnfs, UniformPi(num_vars, 0.6));
+  ASSERT_TRUE(state.AttachCnfs().ok());
+
+  provenance::PartialValuation val(num_vars);
+  std::vector<VarId> order(num_vars);
+  for (size_t i = 0; i < num_vars; ++i) order[i] = static_cast<VarId>(i);
+  rng.Shuffle(order);
+
+  for (VarId x : order) {
+    bool value = rng.Bernoulli(0.6);
+    state.Assign(x, value);
+    val.Set(x, value);
+    // 1. Formula values match Kleene evaluation of the original DNFs.
+    for (size_t j = 0; j < dnfs.size(); ++j) {
+      EXPECT_EQ(state.formula_value(j), dnfs[j].Evaluate(val))
+          << "formula " << j << " after x" << x << "=" << value;
+    }
+    // 2. Useful variables match the simplified residual system exactly:
+    //    a var is useful iff it occurs in the (absorbed) simplification of
+    //    some undecided formula.
+    std::vector<bool> expected_useful(num_vars, false);
+    for (size_t j = 0; j < dnfs.size(); ++j) {
+      if (dnfs[j].Evaluate(val) != Truth::kUnknown) continue;
+      Dnf residual = dnfs[j].Simplify(val);
+      for (VarId v : residual.Vars()) expected_useful[v] = true;
+    }
+    for (VarId v = 0; v < num_vars; ++v) {
+      bool expected = expected_useful[v] && val.Get(v) == Truth::kUnknown;
+      EXPECT_EQ(state.IsUseful(v), expected)
+          << "usefulness of x" << v << " after assigning x" << x;
+    }
+    // 3. Live term counts match the residual DNFs.
+    std::vector<size_t> expected_counts(num_vars, 0);
+    for (size_t j = 0; j < dnfs.size(); ++j) {
+      if (dnfs[j].Evaluate(val) != Truth::kUnknown) continue;
+      Dnf residual = dnfs[j].Simplify(val);
+      for (const VarSet& term : residual.terms()) {
+        for (VarId v : term) ++expected_counts[v];
+      }
+    }
+    for (VarId v = 0; v < num_vars; ++v) {
+      if (val.Get(v) != Truth::kUnknown) continue;
+      EXPECT_EQ(state.LiveTermCount(v), expected_counts[v])
+          << "live-term count of x" << v;
+    }
+  }
+  EXPECT_TRUE(state.AllDecided());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StateConsistencyTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace consentdb::strategy

@@ -1,0 +1,159 @@
+// Robustness ("fuzz-lite") tests: malformed and randomly generated inputs
+// must produce Status errors, never crashes or CHECK failures.
+
+#include <gtest/gtest.h>
+
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/query/optimize.h"
+#include "consentdb/query/parser.h"
+#include "consentdb/relational/csv.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb {
+namespace {
+
+using query::ParseQuery;
+using query::PlanPtr;
+using relational::Column;
+using relational::Schema;
+using relational::ValueType;
+
+// --- Parser ----------------------------------------------------------------------
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(41000 + GetParam());
+  const std::string alphabet =
+      "abcXYZ019 \t\n.,*()'\"=<>!_-;#%&";
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng.UniformIndex(64);
+    std::string input;
+    for (size_t i = 0; i < length; ++i) {
+      input += alphabet[rng.UniformIndex(alphabet.size())];
+    }
+    // Must return (either way) without crashing.
+    Result<PlanPtr> r = ParseQuery(input);
+    if (r.ok()) {
+      EXPECT_NE(*r, nullptr);
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidQueriesNeverCrash) {
+  Rng rng(42000 + GetParam());
+  const std::string base =
+      "SELECT a.x FROM T a, U b WHERE a.x = b.y AND a.z = 'lit' "
+      "UNION SELECT c FROM V WHERE c > 1.5";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = base;
+    size_t edits = 1 + rng.UniformIndex(5);
+    for (size_t e = 0; e < edits; ++e) {
+      size_t pos = rng.UniformIndex(mutated.size());
+      switch (rng.UniformIndex(3)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, "(),'*="[rng.UniformIndex(6)]);
+          break;
+        default:
+          mutated[pos] = static_cast<char>('!' + rng.UniformIndex(90));
+      }
+      if (mutated.empty()) break;
+    }
+    (void)ParseQuery(mutated);  // must not crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(0, 4));
+
+// Queries that parse but reference garbage must fail cleanly at planning /
+// evaluation time.
+TEST(PlanFuzzTest, ParsedGarbageFailsWithStatusNotCrash) {
+  relational::Database db;
+  ASSERT_TRUE(
+      db.CreateRelation("T", Schema({Column{"x", ValueType::kInt64}})).ok());
+  const char* queries[] = {
+      "SELECT * FROM Nope",
+      "SELECT missing FROM T",
+      "SELECT x FROM T WHERE ghost = 1",
+      "SELECT * FROM T a, T a2, Nope",
+      "SELECT x FROM T UNION SELECT * FROM T t2, T t3",  // arity mismatch
+  };
+  for (const char* sql : queries) {
+    Result<PlanPtr> plan = ParseQuery(sql);
+    if (!plan.ok()) continue;
+    Result<relational::Relation> result = eval::Evaluate(*plan, db);
+    EXPECT_FALSE(result.ok()) << sql;
+    Result<PlanPtr> optimized = query::Optimize(*plan, db);
+    EXPECT_FALSE(optimized.ok()) << sql;
+  }
+}
+
+// --- CSV -------------------------------------------------------------------------
+
+class CsvFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsvFuzzTest, RandomDocumentsNeverCrash) {
+  Rng rng(43000 + GetParam());
+  Schema schema({Column{"a", ValueType::kInt64},
+                 Column{"b", ValueType::kString}});
+  const std::string alphabet = "ab,\"\n\r123 x";
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string doc = "a,b\n";
+    size_t length = rng.UniformIndex(80);
+    for (size_t i = 0; i < length; ++i) {
+      doc += alphabet[rng.UniformIndex(alphabet.size())];
+    }
+    (void)relational::ReadRelationCsv(doc, schema);  // must not crash
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest, ::testing::Range(0, 3));
+
+// --- Probability sanity (Monte Carlo) -----------------------------------------------
+
+TEST(ProbabilitySanityTest, TrueProbabilityMatchesSampling) {
+  using provenance::Dnf;
+  using provenance::PartialValuation;
+  using provenance::VarSet;
+  Rng rng(44000);
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t num_vars = 4 + rng.UniformIndex(3);
+    std::vector<VarSet> terms;
+    size_t num_terms = 1 + rng.UniformIndex(4);
+    for (size_t t = 0; t < num_terms; ++t) {
+      std::vector<provenance::VarId> term;
+      size_t size = 1 + rng.UniformIndex(3);
+      for (size_t s = 0; s < size; ++s) {
+        term.push_back(static_cast<provenance::VarId>(
+            rng.UniformIndex(num_vars)));
+      }
+      terms.emplace_back(std::move(term));
+    }
+    Dnf dnf(std::move(terms));
+    std::vector<double> pi;
+    for (size_t i = 0; i < num_vars; ++i) {
+      pi.push_back(0.2 + 0.6 * rng.UniformReal());
+    }
+    double exact = dnf.TrueProbability(pi);
+    int hits = 0;
+    const int samples = 20000;
+    for (int s = 0; s < samples; ++s) {
+      PartialValuation val(num_vars);
+      for (size_t i = 0; i < num_vars; ++i) {
+        val.Set(static_cast<provenance::VarId>(i), rng.Bernoulli(pi[i]));
+      }
+      hits += dnf.Evaluate(val) == provenance::Truth::kTrue ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / samples, exact, 0.02)
+        << dnf.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace consentdb

@@ -1,0 +1,226 @@
+// End-to-end integration tests: random shared databases and SPJU queries
+// run through the full pipeline (parser -> annotated evaluation -> strategy
+// selection -> probing session), with every verdict cross-checked against
+// the possible-worlds definition (Def. II.6) evaluated directly.
+
+#include <gtest/gtest.h>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/util/rng.h"
+#include "test_fixtures.h"
+
+namespace consentdb {
+namespace {
+
+using consent::SharedDatabase;
+using consent::ValuationOracle;
+using core::Algorithm;
+using core::ConsentManager;
+using core::SessionOptions;
+using core::SessionReport;
+using core::TupleConsent;
+using provenance::PartialValuation;
+using provenance::VarId;
+using query::ParseQuery;
+using query::PlanPtr;
+using relational::Column;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+SharedDatabase RandomDb(Rng& rng, size_t rows) {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                              Column{"b", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                              Column{"c", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("T", Schema({Column{"c", ValueType::kInt64},
+                                              Column{"d", ValueType::kInt64}}))
+                  .ok());
+  const char* peers[] = {"alice", "bob", "carol"};
+  for (size_t i = 0; i < rows; ++i) {
+    double prior = 0.2 + 0.6 * rng.UniformReal();
+    (void)*sdb.InsertTuple("R",
+                           Tuple{Value(rng.UniformInt(0, 4)),
+                                 Value(rng.UniformInt(0, 3))},
+                           peers[rng.UniformIndex(3)], prior);
+    (void)*sdb.InsertTuple("S",
+                           Tuple{Value(rng.UniformInt(0, 3)),
+                                 Value(rng.UniformInt(0, 3))},
+                           peers[rng.UniformIndex(3)], prior);
+    (void)*sdb.InsertTuple("T",
+                           Tuple{Value(rng.UniformInt(0, 3)),
+                                 Value(rng.UniformInt(0, 4))},
+                           peers[rng.UniformIndex(3)], prior);
+  }
+  return sdb;
+}
+
+const char* kQueries[] = {
+    // One query per Table I class.
+    "SELECT * FROM R WHERE a >= 2",
+    "SELECT a FROM R WHERE b > 0",
+    "SELECT * FROM S UNION SELECT * FROM T",
+    "SELECT b FROM R UNION SELECT b FROM S",
+    "SELECT * FROM R, S WHERE R.b = S.b",
+    "SELECT * FROM R, S WHERE R.b = S.b UNION SELECT * FROM R r2, T "
+    "WHERE r2.a = T.c",
+    "SELECT S.c FROM R, S WHERE R.b = S.b",
+    "SELECT S.c FROM R, S WHERE R.b = S.b UNION SELECT T.c FROM T WHERE "
+    "d > 1",
+    // Deeper pipelines.
+    "SELECT R.a FROM R, S, T WHERE R.b = S.b AND S.c = T.c AND T.d > 0",
+    "SELECT x.a FROM R x, R y WHERE x.b = y.b AND x.a != y.a",
+};
+
+class EndToEndTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EndToEndTest, SessionVerdictsMatchDefinitionII6) {
+  Rng rng(21000 + GetParam());
+  SharedDatabase sdb = RandomDb(rng, 5);
+  ConsentManager manager(sdb);
+  for (const char* sql : kQueries) {
+    PlanPtr plan = *ParseQuery(sql);
+    PartialValuation hidden = sdb.pool().SampleValuation(rng);
+    ValuationOracle oracle(hidden);
+    Result<SessionReport> report = manager.DecideAll(plan, oracle);
+    ASSERT_TRUE(report.ok()) << sql << ": " << report.status().ToString();
+    Relation expected = *eval::EvaluateOverConsentedFragment(plan, sdb, hidden);
+    size_t expected_shareable = expected.size();
+    size_t got_shareable = 0;
+    for (const TupleConsent& tc : report->tuples) {
+      EXPECT_EQ(tc.shareable, expected.Contains(tc.tuple))
+          << sql << " tuple " << tc.tuple.ToString();
+      got_shareable += tc.shareable ? 1 : 0;
+    }
+    EXPECT_EQ(got_shareable, expected_shareable) << sql;
+    // Probes never exceed the relevant variables.
+    EXPECT_LE(report->num_probes, sdb.pool().size());
+  }
+}
+
+TEST_P(EndToEndTest, SingleTupleSessionsAgreeWithFullSessions) {
+  Rng rng(22000 + GetParam());
+  SharedDatabase sdb = RandomDb(rng, 4);
+  ConsentManager manager(sdb);
+  for (const char* sql : {"SELECT b FROM R UNION SELECT b FROM S",
+                          "SELECT S.c FROM R, S WHERE R.b = S.b"}) {
+    PlanPtr plan = *ParseQuery(sql);
+    PartialValuation hidden = sdb.pool().SampleValuation(rng);
+    ValuationOracle full_oracle(hidden);
+    Result<SessionReport> full = manager.DecideAll(plan, full_oracle);
+    ASSERT_TRUE(full.ok());
+    for (const TupleConsent& tc : full->tuples) {
+      ValuationOracle single_oracle(hidden);
+      Result<SessionReport> single =
+          manager.DecideSingle(plan, tc.tuple, single_oracle);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ(single->tuples[0].shareable, tc.shareable)
+          << sql << " tuple " << tc.tuple.ToString();
+      // The single-tuple session cannot need more probes than a full one
+      // plus slack; it must never touch variables outside the tuple's
+      // provenance.
+      EXPECT_LE(single->num_probes, full->num_probes + sdb.pool().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EndToEndTest, ::testing::Range(0, 8));
+
+// --- Determinism -----------------------------------------------------------------
+
+TEST(IntegrationTest, SessionsAreDeterministicGivenOracle) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  ConsentManager manager(sdb);
+  PartialValuation hidden(sdb.pool().size());
+  Rng rng(5);
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    hidden.Set(x, rng.Bernoulli(0.5));
+  }
+  ValuationOracle o1(hidden);
+  ValuationOracle o2(hidden);
+  SessionReport r1 = *manager.DecideAll(testing::RecruitmentQuerySql(), o1);
+  SessionReport r2 = *manager.DecideAll(testing::RecruitmentQuerySql(), o2);
+  ASSERT_EQ(r1.num_probes, r2.num_probes);
+  for (size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i].variable, r2.trace[i].variable);
+    EXPECT_EQ(r1.trace[i].answer, r2.trace[i].answer);
+  }
+}
+
+// --- Probes only touch relevant variables -----------------------------------------
+
+TEST(IntegrationTest, ProbesStayWithinQueryProvenance) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  ConsentManager manager(sdb);
+  // Query touching only the Companies relation.
+  PlanPtr plan = *ParseQuery("SELECT name FROM Companies");
+  PartialValuation all_true(sdb.pool().size());
+  for (VarId x = 0; x < sdb.pool().size(); ++x) all_true.Set(x, true);
+  ValuationOracle oracle(all_true);
+  SessionReport report = *manager.DecideAll(plan, oracle);
+  const std::vector<VarId>& company_vars = **sdb.Annotations("Companies");
+  for (const auto& rec : report.trace) {
+    EXPECT_NE(std::find(company_vars.begin(), company_vars.end(),
+                        rec.variable),
+              company_vars.end())
+        << "probed a variable outside the query provenance: "
+        << rec.variable_name;
+  }
+}
+
+// --- Precomputed CNF reuse ----------------------------------------------------------
+
+TEST(IntegrationTest, PrecomputedCnfsMatchOnTheFlyConversion) {
+  using provenance::Cnf;
+  using provenance::Dnf;
+  using provenance::VarSet;
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{1, 2}}),
+                           Dnf({VarSet{2, 3}, VarSet{0, 3}})};
+  std::vector<double> pi(4, 0.5);
+  std::vector<Cnf> cnfs;
+  for (const Dnf& d : dnfs) cnfs.push_back(*provenance::DnfToCnf(d));
+
+  strategy::EstimateOptions with_precomputed;
+  with_precomputed.reps = 50;
+  with_precomputed.seed = 9;
+  with_precomputed.precomputed_cnfs = &cnfs;
+  strategy::EstimateOptions on_the_fly;
+  on_the_fly.reps = 50;
+  on_the_fly.seed = 9;
+  on_the_fly.attach_cnfs = true;
+
+  double a = strategy::EstimateExpectedCost(
+                 dnfs, pi, strategy::MakeQValueFactory(), with_precomputed)
+                 .mean;
+  double b = strategy::EstimateExpectedCost(
+                 dnfs, pi, strategy::MakeQValueFactory(), on_the_fly)
+                 .mean;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+// --- Peer-level accounting -----------------------------------------------------------
+
+TEST(IntegrationTest, TraceSupportsPerPeerAccounting) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  ConsentManager manager(sdb);
+  PartialValuation all_true(sdb.pool().size());
+  for (VarId x = 0; x < sdb.pool().size(); ++x) all_true.Set(x, true);
+  ValuationOracle oracle(all_true);
+  SessionReport report =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), oracle);
+  std::map<std::string, size_t> per_peer;
+  for (const auto& rec : report.trace) ++per_peer[rec.owner];
+  size_t total = 0;
+  for (const auto& [peer, n] : per_peer) total += n;
+  EXPECT_EQ(total, report.num_probes);
+  EXPECT_FALSE(per_peer.empty());
+}
+
+}  // namespace
+}  // namespace consentdb

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/util/json_writer.h"
+#include "test_fixtures.h"
+
+namespace consentdb {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.EndObject();
+    EXPECT_EQ(w.TakeString(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray();
+    w.EndArray();
+    EXPECT_EQ(w.TakeString(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, ScalarsAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("i");
+  w.Int(-3);
+  w.Key("u");
+  w.Uint(7);
+  w.Key("d");
+  w.Double(1.5);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("n");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(),
+            R"({"i":-3,"u":7,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("x");
+  w.String("y");
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.TakeString(), R"({"list":[1,2,{"x":"y"}]})");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("quote\" backslash\\ newline\n tab\t");
+  w.String(std::string("ctrl") + '\x01');
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(),
+            "[\"quote\\\" backslash\\\\ newline\\n tab\\t\",\"ctrl\\u0001\"]");
+}
+
+TEST(JsonWriterTest, DoubleNonFiniteBecomesNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.TakeString(), "[null,null]");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w;
+  w.String("alone");
+  EXPECT_EQ(w.TakeString(), "\"alone\"");
+}
+
+// --- SessionReport::ToJson ---------------------------------------------------------
+
+TEST(SessionReportJsonTest, ExportsVerdictsAndTrace) {
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::ConsentManager manager(sdb);
+  provenance::PartialValuation all_true(sdb.pool().size());
+  for (provenance::VarId x = 0; x < sdb.pool().size(); ++x) {
+    all_true.Set(x, true);
+  }
+  consent::ValuationOracle oracle(all_true);
+  core::SessionReport report =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), oracle);
+  std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"algorithm\":"), std::string::npos);
+  EXPECT_NE(json.find("\"num_probes\":" + std::to_string(report.num_probes)),
+            std::string::npos);
+  EXPECT_NE(json.find("PennSolarExperts"), std::string::npos);
+  EXPECT_NE(json.find("\"shareable\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"trace\":["), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace consentdb

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::provenance {
+namespace {
+
+PartialValuation Val(std::initializer_list<std::pair<VarId, Truth>> entries) {
+  PartialValuation v;
+  for (const auto& [x, t] : entries) v.Set(x, t);
+  return v;
+}
+
+// --- VarSet --------------------------------------------------------------------
+
+TEST(VarSetTest, SortsAndDeduplicates) {
+  VarSet s{3, 1, 3, 2};
+  EXPECT_EQ(s.vars(), (std::vector<VarId>{1, 2, 3}));
+}
+
+TEST(VarSetTest, SubsetAndContains) {
+  VarSet small{1, 3};
+  VarSet big{1, 2, 3};
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_TRUE(small.SubsetOf(small));
+  EXPECT_TRUE(big.Contains(2));
+  EXPECT_FALSE(big.Contains(4));
+  EXPECT_TRUE(VarSet{}.SubsetOf(small));
+}
+
+TEST(VarSetTest, UnionDifferenceIntersects) {
+  VarSet a{1, 2};
+  VarSet b{2, 3};
+  EXPECT_EQ(a.Union(b), (VarSet{1, 2, 3}));
+  EXPECT_EQ(a.Difference(b), (VarSet{1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(VarSet{4, 5}));
+}
+
+// --- Dnf constants & absorption ---------------------------------------------------
+
+TEST(DnfTest, Constants) {
+  EXPECT_TRUE(Dnf::ConstantFalse().IsConstantFalse());
+  EXPECT_TRUE(Dnf::ConstantTrue().IsConstantTrue());
+  EXPECT_EQ(Dnf::ConstantFalse().Evaluate(PartialValuation()), Truth::kFalse);
+  EXPECT_EQ(Dnf::ConstantTrue().Evaluate(PartialValuation()), Truth::kTrue);
+}
+
+TEST(DnfTest, AbsorptionRemovesSupersets) {
+  Dnf dnf({VarSet{0}, VarSet{0, 1}, VarSet{1, 2}});
+  // {0,1} ⊇ {0} is absorbed.
+  EXPECT_EQ(dnf.num_terms(), 2u);
+  EXPECT_EQ(dnf.terms()[0], (VarSet{0}));
+  EXPECT_EQ(dnf.terms()[1], (VarSet{1, 2}));
+}
+
+TEST(DnfTest, DuplicateTermsCollapse) {
+  Dnf dnf({VarSet{0, 1}, VarSet{1, 0}});
+  EXPECT_EQ(dnf.num_terms(), 1u);
+}
+
+TEST(DnfTest, EmptyTermMakesConstantTrue) {
+  Dnf dnf({VarSet{0, 1}, VarSet{}});
+  EXPECT_TRUE(dnf.IsConstantTrue());
+}
+
+TEST(DnfTest, SizeMetrics) {
+  Dnf dnf({VarSet{0, 1, 2}, VarSet{3}});
+  EXPECT_EQ(dnf.TotalLiterals(), 4u);
+  EXPECT_EQ(dnf.MaxTermSize(), 3u);
+  EXPECT_EQ(dnf.Vars(), (VarSet{0, 1, 2, 3}));
+}
+
+// --- Dnf evaluation & simplification ------------------------------------------------
+
+TEST(DnfTest, KleeneEvaluation) {
+  Dnf dnf({VarSet{0, 1}, VarSet{2}});
+  EXPECT_EQ(dnf.Evaluate(Val({{2, Truth::kTrue}})), Truth::kTrue);
+  EXPECT_EQ(dnf.Evaluate(Val({{0, Truth::kFalse}, {2, Truth::kFalse}})),
+            Truth::kFalse);
+  EXPECT_EQ(dnf.Evaluate(Val({{0, Truth::kTrue}, {2, Truth::kFalse}})),
+            Truth::kUnknown);
+}
+
+TEST(DnfTest, SimplifyDropsFalsifiedTerms) {
+  Dnf dnf({VarSet{0, 1}, VarSet{2, 3}});
+  Dnf s = dnf.Simplify(Val({{0, Truth::kFalse}}));
+  EXPECT_EQ(s.num_terms(), 1u);
+  EXPECT_EQ(s.terms()[0], (VarSet{2, 3}));
+}
+
+TEST(DnfTest, SimplifyRemovesTrueVars) {
+  Dnf dnf({VarSet{0, 1}});
+  Dnf s = dnf.Simplify(Val({{0, Truth::kTrue}}));
+  EXPECT_EQ(s.terms()[0], (VarSet{1}));
+}
+
+TEST(DnfTest, SimplifyDetectsConstants) {
+  Dnf dnf({VarSet{0, 1}, VarSet{2}});
+  EXPECT_TRUE(dnf.Simplify(Val({{2, Truth::kTrue}})).IsConstantTrue());
+  EXPECT_TRUE(dnf.Simplify(Val({{0, Truth::kFalse}, {2, Truth::kFalse}}))
+                  .IsConstantFalse());
+}
+
+TEST(DnfTest, SimplifyAppliesAbsorption) {
+  // After x2=True, {1,2} becomes {1} which absorbs {0,1}... no: {1} ⊆ {0,1},
+  // so {0,1} is absorbed.
+  Dnf dnf({VarSet{0, 1}, VarSet{1, 2}});
+  Dnf s = dnf.Simplify(Val({{2, Truth::kTrue}}));
+  EXPECT_EQ(s.num_terms(), 1u);
+  EXPECT_EQ(s.terms()[0], (VarSet{1}));
+}
+
+// --- Read-once & probability ----------------------------------------------------------
+
+TEST(DnfTest, ReadOnceDetection) {
+  EXPECT_TRUE(Dnf({VarSet{0, 1}, VarSet{2, 3}}).IsReadOnce());
+  EXPECT_FALSE(Dnf({VarSet{0, 1}, VarSet{1, 2}}).IsReadOnce());
+}
+
+TEST(DnfTest, TrueProbabilityReadOnce) {
+  // (x0 ∧ x1) ∨ x2, p = (0.5, 0.5, 0.5): 1 - (1-0.25)(1-0.5) = 0.625.
+  Dnf dnf({VarSet{0, 1}, VarSet{2}});
+  EXPECT_NEAR(dnf.TrueProbability({0.5, 0.5, 0.5}), 0.625, 1e-12);
+}
+
+TEST(DnfTest, TrueProbabilityInclusionExclusion) {
+  // (x0 ∧ x1) ∨ (x1 ∧ x2): p01 + p12 - p012.
+  Dnf dnf({VarSet{0, 1}, VarSet{1, 2}});
+  double expected = 0.5 * 0.5 + 0.5 * 0.5 - 0.5 * 0.5 * 0.5;
+  EXPECT_NEAR(dnf.TrueProbability({0.5, 0.5, 0.5}), expected, 1e-12);
+}
+
+// --- Cnf ------------------------------------------------------------------------------
+
+TEST(CnfTest, Constants) {
+  EXPECT_TRUE(Cnf::ConstantTrue().IsConstantTrue());
+  EXPECT_TRUE(Cnf::ConstantFalse().IsConstantFalse());
+  EXPECT_EQ(Cnf::ConstantTrue().Evaluate(PartialValuation()), Truth::kTrue);
+  EXPECT_EQ(Cnf::ConstantFalse().Evaluate(PartialValuation()), Truth::kFalse);
+}
+
+TEST(CnfTest, KleeneEvaluation) {
+  Cnf cnf({VarSet{0, 1}, VarSet{2}});
+  EXPECT_EQ(cnf.Evaluate(Val({{2, Truth::kFalse}})), Truth::kFalse);
+  EXPECT_EQ(cnf.Evaluate(Val({{0, Truth::kTrue}, {2, Truth::kTrue}})),
+            Truth::kTrue);
+  EXPECT_EQ(cnf.Evaluate(Val({{2, Truth::kTrue}})), Truth::kUnknown);
+}
+
+TEST(CnfTest, AbsorptionRemovesSupersetClauses) {
+  Cnf cnf({VarSet{0}, VarSet{0, 1}});
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+// --- Conversions -----------------------------------------------------------------------
+
+TEST(ConversionTest, DnfToCnfSimple) {
+  // (x0 ∧ x1) ∨ x2  ==  (x0 ∨ x2) ∧ (x1 ∨ x2).
+  Dnf dnf({VarSet{0, 1}, VarSet{2}});
+  Cnf cnf = *DnfToCnf(dnf);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses()[0], (VarSet{0, 2}));
+  EXPECT_EQ(cnf.clauses()[1], (VarSet{1, 2}));
+}
+
+TEST(ConversionTest, ConstantsRoundTrip) {
+  EXPECT_TRUE(DnfToCnf(Dnf::ConstantTrue())->IsConstantTrue());
+  EXPECT_TRUE(DnfToCnf(Dnf::ConstantFalse())->IsConstantFalse());
+  EXPECT_TRUE(CnfToDnf(Cnf::ConstantTrue())->IsConstantTrue());
+  EXPECT_TRUE(CnfToDnf(Cnf::ConstantFalse())->IsConstantFalse());
+}
+
+TEST(ConversionTest, BudgetIsEnforced) {
+  // n disjoint 2-terms -> CNF has 2^n clauses.
+  std::vector<VarSet> terms;
+  for (VarId i = 0; i < 16; ++i) {
+    terms.push_back(VarSet{2 * i, 2 * i + 1});
+  }
+  Dnf dnf(std::move(terms));
+  NormalFormLimits limits;
+  limits.max_sets = 1000;
+  Result<Cnf> r = DnfToCnf(dnf, limits);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ConversionTest, FromExprMatchesSemantics) {
+  // (x0 ∨ x1) ∧ (x2 ∨ x3): DNF has 4 terms, CNF has the 2 clauses.
+  BoolExprPtr e = BoolExpr::And(BoolExpr::Or(BoolExpr::Var(0), BoolExpr::Var(1)),
+                                BoolExpr::Or(BoolExpr::Var(2), BoolExpr::Var(3)));
+  Dnf dnf = *Dnf::FromExpr(e);
+  Cnf cnf = *Cnf::FromExpr(e);
+  EXPECT_EQ(dnf.num_terms(), 4u);
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_TRUE(EquivalentByEnumeration(dnf.ToExpr(), e));
+  EXPECT_TRUE(EquivalentByEnumeration(cnf.ToExpr(), e));
+}
+
+TEST(ConversionTest, FromExprConstants) {
+  EXPECT_TRUE(Dnf::FromExpr(BoolExpr::True())->IsConstantTrue());
+  EXPECT_TRUE(Dnf::FromExpr(BoolExpr::False())->IsConstantFalse());
+  EXPECT_TRUE(Cnf::FromExpr(BoolExpr::True())->IsConstantTrue());
+  EXPECT_TRUE(Cnf::FromExpr(BoolExpr::False())->IsConstantFalse());
+}
+
+// --- Property tests: random expressions --------------------------------------------------
+
+// Builds a random positive Boolean expression over `num_vars` variables.
+BoolExprPtr RandomExpr(Rng& rng, int depth, VarId num_vars) {
+  if (depth == 0 || rng.UniformReal() < 0.35) {
+    return BoolExpr::Var(static_cast<VarId>(rng.UniformIndex(num_vars)));
+  }
+  size_t arity = 2 + rng.UniformIndex(2);
+  std::vector<BoolExprPtr> children;
+  for (size_t i = 0; i < arity; ++i) {
+    children.push_back(RandomExpr(rng, depth - 1, num_vars));
+  }
+  return rng.Bernoulli(0.5) ? BoolExpr::AndN(std::move(children))
+                            : BoolExpr::OrN(std::move(children));
+}
+
+class NormalFormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalFormPropertyTest, DnfEquivalentToExpr) {
+  Rng rng(1000 + GetParam());
+  BoolExprPtr e = RandomExpr(rng, 3, 8);
+  Dnf dnf = *Dnf::FromExpr(e);
+  EXPECT_TRUE(EquivalentByEnumeration(dnf.ToExpr(), e))
+      << "expr: " << e->ToString() << "\ndnf: " << dnf.ToString();
+}
+
+TEST_P(NormalFormPropertyTest, CnfEquivalentToExpr) {
+  Rng rng(2000 + GetParam());
+  BoolExprPtr e = RandomExpr(rng, 3, 8);
+  Cnf cnf = *Cnf::FromExpr(e);
+  EXPECT_TRUE(EquivalentByEnumeration(cnf.ToExpr(), e))
+      << "expr: " << e->ToString() << "\ncnf: " << cnf.ToString();
+}
+
+TEST_P(NormalFormPropertyTest, DnfCnfRoundTrip) {
+  Rng rng(3000 + GetParam());
+  BoolExprPtr e = RandomExpr(rng, 3, 8);
+  Dnf dnf = *Dnf::FromExpr(e);
+  Cnf cnf = *DnfToCnf(dnf);
+  Dnf back = *CnfToDnf(cnf);
+  // Both minimal monotone DNFs of the same function must be identical.
+  EXPECT_EQ(dnf, back) << "expr: " << e->ToString();
+}
+
+TEST_P(NormalFormPropertyTest, EvaluationAgreesUnderPartialValuations) {
+  Rng rng(4000 + GetParam());
+  BoolExprPtr e = RandomExpr(rng, 3, 8);
+  Dnf dnf = *Dnf::FromExpr(e);
+  Cnf cnf = *Cnf::FromExpr(e);
+  // Random partial valuations: Dnf and Cnf Kleene evaluation must agree
+  // whenever the value is determined.
+  for (int trial = 0; trial < 30; ++trial) {
+    PartialValuation val;
+    for (VarId x = 0; x < 8; ++x) {
+      double roll = rng.UniformReal();
+      if (roll < 0.33) {
+        val.Set(x, Truth::kTrue);
+      } else if (roll < 0.66) {
+        val.Set(x, Truth::kFalse);
+      }
+    }
+    Truth td = dnf.Evaluate(val);
+    Truth tc = cnf.Evaluate(val);
+    Truth te = e->Evaluate(val);
+    // DNF/CNF evaluation may be MORE informative than Kleene on the raw tree
+    // (normal forms resolve some unknowns), but never contradictory.
+    if (te != Truth::kUnknown) {
+      EXPECT_EQ(td, te);
+    }
+    if (td != Truth::kUnknown && tc != Truth::kUnknown) {
+      EXPECT_EQ(td, tc);
+    }
+  }
+}
+
+TEST_P(NormalFormPropertyTest, SimplifyMatchesSemantics) {
+  Rng rng(5000 + GetParam());
+  BoolExprPtr e = RandomExpr(rng, 3, 8);
+  Dnf dnf = *Dnf::FromExpr(e);
+  PartialValuation val;
+  for (VarId x = 0; x < 8; ++x) {
+    double roll = rng.UniformReal();
+    if (roll < 0.3) {
+      val.Set(x, Truth::kTrue);
+    } else if (roll < 0.6) {
+      val.Set(x, Truth::kFalse);
+    }
+  }
+  Dnf simplified = dnf.Simplify(val);
+  // The simplified formula, with the valuation substituted into the
+  // original, must be logically equivalent on the remaining variables.
+  for (int trial = 0; trial < 50; ++trial) {
+    PartialValuation full = val;
+    for (VarId x = 0; x < 8; ++x) {
+      if (full.Get(x) == Truth::kUnknown) {
+        full.Set(x, rng.Bernoulli(0.5));
+      }
+    }
+    EXPECT_EQ(dnf.Evaluate(full), simplified.Evaluate(full));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, NormalFormPropertyTest,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace consentdb::provenance

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/query/optimize.h"
+#include "consentdb/query/parser.h"
+#include "consentdb/util/rng.h"
+#include "test_fixtures.h"
+
+namespace consentdb::query {
+namespace {
+
+using consent::SharedDatabase;
+using eval::AnnotatedRelation;
+using relational::Column;
+using relational::Database;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+SharedDatabase SmallDb() {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                              Column{"b", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                              Column{"c", ValueType::kInt64}}))
+                  .ok());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(a), Value(b)}).ok());
+      EXPECT_TRUE(sdb.InsertTuple("S", Tuple{Value(b), Value(a)}).ok());
+    }
+  }
+  return sdb;
+}
+
+// Counts Select nodes directly above Scan nodes (evidence of pushdown).
+size_t CountSelectsOnScans(const Plan& plan) {
+  size_t n = 0;
+  if (plan.kind() == PlanKind::kSelect &&
+      plan.child(0)->kind() == PlanKind::kScan) {
+    ++n;
+  }
+  for (const PlanPtr& c : plan.children()) n += CountSelectsOnScans(*c);
+  return n;
+}
+
+size_t CountNodes(const Plan& plan, PlanKind kind) {
+  size_t n = plan.kind() == kind ? 1 : 0;
+  for (const PlanPtr& c : plan.children()) n += CountNodes(*c, kind);
+  return n;
+}
+
+// --- Helpers -------------------------------------------------------------------
+
+TEST(SplitConjunctsTest, FlattensNestedAnds) {
+  PredicatePtr p = Predicate::And(
+      {Predicate::ColumnCompare("a", CompareOp::kEq, Value(1)),
+       Predicate::And({Predicate::ColumnCompare("b", CompareOp::kGt, Value(2)),
+                       Predicate::ColumnCompare("c", CompareOp::kLt, Value(3))})});
+  EXPECT_EQ(SplitConjuncts(p).size(), 3u);
+}
+
+TEST(SplitConjunctsTest, OrIsAtomic) {
+  PredicatePtr p = Predicate::Or(
+      {Predicate::ColumnCompare("a", CompareOp::kEq, Value(1)),
+       Predicate::ColumnCompare("b", CompareOp::kEq, Value(2))});
+  EXPECT_EQ(SplitConjuncts(p).size(), 1u);
+}
+
+TEST(SplitConjunctsTest, TrueVanishes) {
+  EXPECT_TRUE(SplitConjuncts(Predicate::True()).empty());
+}
+
+TEST(BindsAgainstTest, ChecksAllReferences) {
+  Schema schema({Column{"r.a", ValueType::kInt64}});
+  EXPECT_TRUE(BindsAgainst(
+      Predicate::ColumnCompare("r.a", CompareOp::kEq, Value(1)), schema));
+  EXPECT_FALSE(BindsAgainst(Predicate::ColumnsEqual("r.a", "s.b"), schema));
+}
+
+// --- Structural rewrites ----------------------------------------------------------
+
+TEST(OptimizeTest, PushesFilterBelowProduct) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = *ParseQuery(
+      "SELECT * FROM R, S WHERE R.b = S.b AND R.a = 1 AND S.c = 2");
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  // R.a = 1 and S.c = 2 must sit on the scans; R.b = S.b stays above.
+  EXPECT_EQ(CountSelectsOnScans(*optimized), 2u);
+  EXPECT_EQ(CountNodes(*optimized, PlanKind::kSelect), 3u);
+}
+
+TEST(OptimizeTest, MergesStackedSelects) {
+  PlanPtr plan = Plan::Select(
+      Predicate::ColumnCompare("R.a", CompareOp::kEq, Value(1)),
+      Plan::Select(Predicate::ColumnCompare("R.b", CompareOp::kEq, Value(2)),
+                   Plan::Scan("R")));
+  SharedDatabase sdb = SmallDb();
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  EXPECT_EQ(CountNodes(*optimized, PlanKind::kSelect), 1u);
+}
+
+TEST(OptimizeTest, DistributesSelectionOverUnion) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = Plan::Select(
+      Predicate::ColumnCompare("b", CompareOp::kGt, Value(0)),
+      Plan::Union({Plan::Project({"R.b"}, Plan::Scan("R")),
+                   Plan::Project({"S.b"}, Plan::Scan("S"))}));
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  // No selection above the union any more.
+  EXPECT_NE(optimized->kind(), PlanKind::kSelect);
+  EXPECT_EQ(CountNodes(*optimized, PlanKind::kSelect), 2u);
+}
+
+TEST(OptimizeTest, PushesThroughProjectWithRenaming) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = Plan::Select(
+      Predicate::ColumnCompare("bee", CompareOp::kEq, Value(1)),
+      Plan::Project({"R.b"}, Plan::Scan("R"), {"bee"}));
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  ASSERT_EQ(optimized->kind(), PlanKind::kProject);
+  ASSERT_EQ(optimized->child(0)->kind(), PlanKind::kSelect);
+  // The pushed predicate references the input column.
+  EXPECT_NE(optimized->child(0)->predicate()->ToString().find("R.b"),
+            std::string::npos);
+}
+
+TEST(OptimizeTest, KeepsCrossSidePredicatesAboveProduct) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = *ParseQuery("SELECT * FROM R, S WHERE R.b = S.b");
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  ASSERT_EQ(optimized->kind(), PlanKind::kSelect);
+  EXPECT_EQ(optimized->child(0)->kind(), PlanKind::kProduct);
+}
+
+TEST(OptimizeTest, DropsTrueSelections) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = Plan::Select(Predicate::True(), Plan::Scan("R"));
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  EXPECT_EQ(optimized->kind(), PlanKind::kScan);
+}
+
+TEST(OptimizeTest, RejectsInvalidPlans) {
+  SharedDatabase sdb = SmallDb();
+  PlanPtr plan = *ParseQuery("SELECT * FROM Missing");
+  EXPECT_FALSE(Optimize(plan, sdb.database()).ok());
+}
+
+// --- Semantics preservation (property tests) -----------------------------------------
+
+const char* kQueries[] = {
+    "SELECT * FROM R WHERE a = 1 AND b = 2",
+    "SELECT a FROM R WHERE b > 0 AND a < 3",
+    "SELECT * FROM R, S WHERE R.b = S.b AND R.a >= 2 AND S.c != 1",
+    "SELECT R.a FROM R, S WHERE R.b = S.b AND S.c = 2",
+    "SELECT b FROM R WHERE a = 1 UNION SELECT b FROM S WHERE c = 2",
+    "SELECT b FROM R UNION SELECT b FROM S",
+    "SELECT x.a FROM R x, R y WHERE x.b = y.b AND x.a > 0 AND y.a < 3",
+    "SELECT S.c FROM R, S WHERE R.b = S.b AND R.a = 1 OR R.a = 2 AND S.c > 0",
+    "SELECT a FROM R WHERE a = 1 AND (b = 0 OR b = 2)",
+};
+
+class OptimizeEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizeEquivalenceTest, PreservesResultsAndProvenance) {
+  SharedDatabase sdb = SmallDb();
+  const char* sql = kQueries[GetParam()];
+  PlanPtr plan = *ParseQuery(sql);
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+
+  // Same schema.
+  EXPECT_EQ(*plan->OutputSchema(sdb.database()),
+            *optimized->OutputSchema(sdb.database()));
+
+  // Same annotated result: tuples AND annotations (checked semantically).
+  AnnotatedRelation original = *eval::EvaluateAnnotated(plan, sdb);
+  AnnotatedRelation rewritten = *eval::EvaluateAnnotated(optimized, sdb);
+  ASSERT_EQ(original.size(), rewritten.size()) << sql;
+  for (size_t i = 0; i < original.size(); ++i) {
+    std::optional<size_t> j = rewritten.IndexOf(original.tuple(i));
+    ASSERT_TRUE(j.has_value()) << sql << " missing " << original.tuple(i);
+    EXPECT_TRUE(provenance::EquivalentByEnumeration(original.annotation(i),
+                                                    rewritten.annotation(*j)))
+        << sql << " tuple " << original.tuple(i).ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, OptimizeEquivalenceTest,
+                         ::testing::Range(0, 9));
+
+TEST(OptimizeTest, RunningExamplePushesAllLocalFilters) {
+  SharedDatabase sdb = consentdb::testing::RecruitmentDatabase();
+  PlanPtr plan = *ParseQuery(consentdb::testing::RecruitmentQuerySql());
+  PlanPtr optimized = *Optimize(plan, sdb.database());
+  // status='hired' and education='Env. studies' land on their scans.
+  EXPECT_EQ(CountSelectsOnScans(*optimized), 2u);
+  AnnotatedRelation original = *eval::EvaluateAnnotated(plan, sdb);
+  AnnotatedRelation rewritten = *eval::EvaluateAnnotated(optimized, sdb);
+  ASSERT_EQ(original.size(), 1u);
+  ASSERT_EQ(rewritten.size(), 1u);
+  EXPECT_TRUE(provenance::EquivalentByEnumeration(original.annotation(0),
+                                                  rewritten.annotation(0)));
+}
+
+}  // namespace
+}  // namespace consentdb::query

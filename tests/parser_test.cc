@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/query/classify.h"
+#include "consentdb/query/parser.h"
+
+namespace consentdb::query {
+namespace {
+
+PlanPtr MustParse(std::string_view sql) {
+  Result<PlanPtr> r = ParseQuery(sql);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nsql: " << sql;
+  return r.ok() ? *r : nullptr;
+}
+
+Status ParseError(std::string_view sql) {
+  Result<PlanPtr> r = ParseQuery(sql);
+  EXPECT_FALSE(r.ok()) << "expected parse error for: " << sql;
+  return r.ok() ? Status::OK() : r.status();
+}
+
+// --- Structure ----------------------------------------------------------------
+
+TEST(ParserTest, SelectStarSingleTable) {
+  PlanPtr p = MustParse("SELECT * FROM People");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kScan);
+  EXPECT_EQ(p->relation(), "People");
+}
+
+TEST(ParserTest, SelectColumnsAddsProject) {
+  PlanPtr p = MustParse("SELECT name FROM People");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kProject);
+  EXPECT_EQ(p->columns(), (std::vector<std::string>{"name"}));
+  EXPECT_EQ(p->child(0)->kind(), PlanKind::kScan);
+}
+
+TEST(ParserTest, DistinctIsAcceptedAndImplied) {
+  PlanPtr a = MustParse("SELECT DISTINCT name FROM People");
+  PlanPtr b = MustParse("SELECT name FROM People");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->kind(), b->kind());
+}
+
+TEST(ParserTest, WhereAddsSelect) {
+  PlanPtr p = MustParse("SELECT * FROM People WHERE age > 18");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kSelect);
+  EXPECT_EQ(p->predicate()->ToString(), "age > 18");
+}
+
+TEST(ParserTest, MultipleTablesFoldIntoProducts) {
+  PlanPtr p = MustParse("SELECT * FROM A, B, C");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kProduct);
+  EXPECT_EQ(p->child(0)->kind(), PlanKind::kProduct);
+  EXPECT_EQ(p->child(1)->kind(), PlanKind::kScan);
+  EXPECT_EQ(Classify(*p).num_joins, 2u);
+}
+
+TEST(ParserTest, AliasesWithAndWithoutAs) {
+  PlanPtr p = MustParse("SELECT * FROM People AS p, Pets q");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->child(0)->alias(), "p");
+  EXPECT_EQ(p->child(1)->alias(), "q");
+}
+
+TEST(ParserTest, UnionProducesUnionNode) {
+  PlanPtr p = MustParse("SELECT name FROM A UNION SELECT name FROM B");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kUnion);
+  EXPECT_EQ(p->children().size(), 2u);
+}
+
+TEST(ParserTest, ThreeWayUnion) {
+  PlanPtr p = MustParse(
+      "SELECT x FROM A UNION SELECT x FROM B UNION SELECT x FROM C");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->children().size(), 3u);
+  EXPECT_EQ(Classify(*p).num_unions, 2u);
+}
+
+TEST(ParserTest, PaperRunningExampleParses) {
+  // The query Q_ex of Fig. 1.
+  PlanPtr p = MustParse(
+      "SELECT DISTINCT c.name "
+      "FROM Companies c, JobSeekers s, Vacancies v, Assignment a "
+      "WHERE c.cid = v.cid AND v.vid = a.vid AND a.status = 'hired' "
+      "AND a.sid = s.sid AND s.education = 'Env. studies'");
+  ASSERT_NE(p, nullptr);
+  QueryProfile profile = Classify(*p);
+  EXPECT_EQ(profile.query_class, QueryClass::kSPJ);
+  EXPECT_EQ(profile.num_joins, 3u);
+  EXPECT_TRUE(profile.partitioned);
+}
+
+// --- Predicates ------------------------------------------------------------------
+
+TEST(ParserTest, AndOrPrecedence) {
+  PlanPtr p = MustParse("SELECT * FROM A WHERE x = 1 AND y = 2 OR z = 3");
+  ASSERT_NE(p, nullptr);
+  // OR binds loosest: (x=1 AND y=2) OR z=3.
+  EXPECT_EQ(p->predicate()->kind(), Predicate::Kind::kOr);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  PlanPtr p = MustParse("SELECT * FROM A WHERE x = 1 AND (y = 2 OR z = 3)");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->predicate()->kind(), Predicate::Kind::kAnd);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  PlanPtr p = MustParse(
+      "SELECT * FROM A WHERE a = 1 AND b != 2 AND c <> 3 AND d < 4 AND "
+      "e <= 5 AND f > 6 AND g >= 7");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->predicate()->children().size(), 7u);
+}
+
+TEST(ParserTest, LiteralTypes) {
+  PlanPtr p = MustParse(
+      "SELECT * FROM A WHERE a = 'str' AND b = 42 AND c = 3.5 AND d = TRUE "
+      "AND e = FALSE AND f = NULL");
+  ASSERT_NE(p, nullptr);
+}
+
+TEST(ParserTest, StringEscape) {
+  PlanPtr p = MustParse("SELECT * FROM A WHERE a = 'it''s'");
+  ASSERT_NE(p, nullptr);
+  EXPECT_NE(p->predicate()->ToString().find("it's"), std::string::npos);
+}
+
+TEST(ParserTest, QualifiedColumnReferences) {
+  PlanPtr p = MustParse("SELECT a.x FROM T a WHERE a.x = a.y");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->columns()[0], "a.x");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  PlanPtr p = MustParse("select * from A where x = 1 union select * from B");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind(), PlanKind::kUnion);
+}
+
+TEST(ParserTest, LiteralOnBothSides) {
+  // Degenerate but legal: constant comparison.
+  PlanPtr p = MustParse("SELECT * FROM A WHERE 1 = 1");
+  ASSERT_NE(p, nullptr);
+}
+
+// --- Errors ------------------------------------------------------------------------
+
+TEST(ParserErrorTest, MissingFrom) {
+  Status s = ParseError("SELECT name");
+  EXPECT_NE(s.message().find("FROM"), std::string::npos);
+}
+
+TEST(ParserErrorTest, MissingSelect) { ParseError("FROM A"); }
+
+TEST(ParserErrorTest, EmptyInput) { ParseError(""); }
+
+TEST(ParserErrorTest, TrailingGarbage) {
+  ParseError("SELECT * FROM A extra tokens here ,");
+}
+
+TEST(ParserErrorTest, DuplicateAlias) {
+  Status s = ParseError("SELECT * FROM A x, B x");
+  EXPECT_NE(s.message().find("alias"), std::string::npos);
+}
+
+TEST(ParserErrorTest, UnterminatedString) {
+  ParseError("SELECT * FROM A WHERE x = 'oops");
+}
+
+TEST(ParserErrorTest, MissingComparisonRhs) {
+  ParseError("SELECT * FROM A WHERE x =");
+}
+
+TEST(ParserErrorTest, MissingCloseParen) {
+  ParseError("SELECT * FROM A WHERE (x = 1");
+}
+
+TEST(ParserErrorTest, KeywordAsTableName) {
+  ParseError("SELECT * FROM WHERE");
+}
+
+TEST(ParserErrorTest, UnexpectedCharacter) {
+  ParseError("SELECT * FROM A WHERE x # 1");
+}
+
+TEST(ParserErrorTest, UnionMissingSecondSelect) {
+  ParseError("SELECT * FROM A UNION");
+}
+
+TEST(ParserErrorTest, ErrorsCarryOffset) {
+  Status s = ParseError("SELECT * FROM A WHERE x =");
+  EXPECT_NE(s.message().find("offset"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace consentdb::query

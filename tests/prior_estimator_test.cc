@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/consent/oracle.h"
+#include "consentdb/consent/prior_estimator.h"
+#include "consentdb/core/consent_manager.h"
+#include "test_fixtures.h"
+
+namespace consentdb::consent {
+namespace {
+
+// --- PriorEstimator -----------------------------------------------------------
+
+TEST(PriorEstimatorTest, NoHistoryYieldsDefault) {
+  PriorEstimator est(1.0, 0.5);
+  EXPECT_DOUBLE_EQ(est.EstimateFor("anyone"), 0.5);
+  EXPECT_DOUBLE_EQ(est.GlobalRate(), 0.5);
+  PriorEstimator pessimistic(1.0, 0.2);
+  EXPECT_DOUBLE_EQ(pessimistic.EstimateFor("anyone"), 0.2);
+}
+
+TEST(PriorEstimatorTest, ConvergesToEmpiricalRate) {
+  PriorEstimator est;
+  for (int i = 0; i < 90; ++i) est.RecordAnswer("alice", true);
+  for (int i = 0; i < 10; ++i) est.RecordAnswer("alice", false);
+  EXPECT_NEAR(est.EstimateFor("alice"), 0.9, 0.02);
+}
+
+TEST(PriorEstimatorTest, UnknownPeerGetsGlobalRate) {
+  PriorEstimator est;
+  for (int i = 0; i < 40; ++i) est.RecordAnswer("alice", true);
+  for (int i = 0; i < 60; ++i) est.RecordAnswer("bob", false);
+  // Global: 40% yes; a new peer should sit near it.
+  EXPECT_NEAR(est.EstimateFor("carol"), 0.4, 0.05);
+}
+
+TEST(PriorEstimatorTest, SmoothingShrinksSparseHistory) {
+  PriorEstimator est(2.0, 0.5);
+  est.RecordAnswer("alice", true);  // 1/1 yes
+  // With one observation the estimate must stay well below 1.
+  EXPECT_LT(est.EstimateFor("alice"), 0.9);
+  EXPECT_GT(est.EstimateFor("alice"), 0.5);
+}
+
+TEST(PriorEstimatorTest, EstimatesAreProbabilities) {
+  PriorEstimator est;
+  for (int i = 0; i < 50; ++i) est.RecordAnswer("x", true);
+  for (int i = 0; i < 50; ++i) est.RecordAnswer("y", false);
+  for (const char* who : {"x", "y", "z"}) {
+    double p = est.EstimateFor(who);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  EXPECT_GT(est.EstimateFor("x"), est.EstimateFor("y"));
+}
+
+TEST(PriorEstimatorTest, ApplyToOverwritesPoolPriors) {
+  VariablePool pool;
+  VarId a = pool.Allocate("", "alice", 0.5);
+  VarId b = pool.Allocate("", "bob", 0.5);
+  PriorEstimator est;
+  for (int i = 0; i < 30; ++i) est.RecordAnswer("alice", true);
+  for (int i = 0; i < 30; ++i) est.RecordAnswer("bob", false);
+  est.ApplyTo(pool);
+  EXPECT_GT(pool.probability(a), 0.8);
+  EXPECT_LT(pool.probability(b), 0.2);
+}
+
+TEST(PriorEstimatorTest, LearnsAcrossSessions) {
+  // End-to-end: record the traces of a few sessions, apply the learned
+  // priors, and check they track the hidden behaviour of the peers.
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::ConsentManager manager(sdb);
+  PriorEstimator est;
+  // Hidden truth: Bob always consents, Alice never, platform always.
+  provenance::PartialValuation hidden(sdb.pool().size());
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    hidden.Set(x, sdb.pool().owner(x) != "Alice");
+  }
+  for (int session = 0; session < 3; ++session) {
+    ValuationOracle oracle(hidden);
+    core::SessionOptions options;
+    options.algorithm = core::Algorithm::kRandom;
+    options.random_seed = 100 + session;
+    core::SessionReport report =
+        *manager.DecideAll(testing::RecruitmentQuerySql(), oracle, options);
+    std::vector<std::pair<VarId, bool>> trace;
+    for (const auto& rec : report.trace) {
+      trace.emplace_back(rec.variable, rec.answer);
+    }
+    est.RecordSession(sdb.pool(), trace);
+  }
+  ASSERT_GT(est.total_answers(), 0u);
+  // Alice owns few tuples in this query's provenance, so her estimate may
+  // stay near the global rate — but it must order below always-consenting
+  // Bob, whose rows dominate the derivations.
+  EXPECT_GT(est.EstimateFor("Bob"), 0.6);
+  EXPECT_LT(est.EstimateFor("Alice"), est.EstimateFor("Bob"));
+}
+
+// --- ReplayOracle ------------------------------------------------------------------
+
+TEST(ReplayOracleTest, AnswersFromRecordedTrace) {
+  ReplayOracle oracle({{3, true}, {1, false}});
+  EXPECT_FALSE(oracle.Probe(1));
+  EXPECT_TRUE(oracle.Probe(3));
+  EXPECT_EQ(oracle.probe_count(), 2u);
+}
+
+TEST(ReplayOracleTest, ReproducesASessionExactly) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::ConsentManager manager(sdb);
+  provenance::PartialValuation hidden(sdb.pool().size());
+  Rng rng(8);
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    hidden.Set(x, rng.Bernoulli(0.5));
+  }
+  ValuationOracle original_oracle(hidden);
+  core::SessionReport original =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), original_oracle);
+
+  std::vector<std::pair<VarId, bool>> trace;
+  for (const auto& rec : original.trace) {
+    trace.emplace_back(rec.variable, rec.answer);
+  }
+  ReplayOracle replay(std::move(trace));
+  core::SessionReport replayed =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), replay);
+  ASSERT_EQ(replayed.num_probes, original.num_probes);
+  for (size_t i = 0; i < original.trace.size(); ++i) {
+    EXPECT_EQ(replayed.trace[i].variable, original.trace[i].variable);
+    EXPECT_EQ(replayed.trace[i].answer, original.trace[i].answer);
+  }
+  ASSERT_EQ(replayed.tuples.size(), original.tuples.size());
+  for (size_t i = 0; i < original.tuples.size(); ++i) {
+    EXPECT_EQ(replayed.tuples[i].shareable, original.tuples[i].shareable);
+  }
+}
+
+}  // namespace
+}  // namespace consentdb::consent

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/datasets/psi.h"
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/strategy/optimal.h"
+#include "consentdb/strategy/runner.h"
+
+namespace consentdb::datasets {
+namespace {
+
+using consent::VariablePool;
+using provenance::PartialValuation;
+using provenance::Truth;
+using strategy::EstimateExpectedCost;
+using strategy::EstimateOptions;
+using strategy::EvaluationState;
+using strategy::ExactExpectedCost;
+using strategy::ProbeRun;
+using strategy::RunToCompletion;
+
+// --- Structure (Theorem III.5 size identities) -----------------------------------
+
+TEST(PsiTest, VariableCountFormula) {
+  for (int level = 0; level <= 6; ++level) {
+    VariablePool pool;
+    PsiFormula psi = BuildPsi(level, pool);
+    EXPECT_EQ(pool.size(), psi.NumVars()) << "level " << level;
+    EXPECT_EQ(psi.NumVars(), 6u * (1u << level) - 2) << "level " << level;
+  }
+  // The paper's default: psi_6 has 382 distinct variables.
+  VariablePool pool;
+  EXPECT_EQ(BuildPsi(6, pool).NumVars(), 382u);
+}
+
+TEST(PsiTest, DnfTermCountFormula) {
+  for (int level = 0; level <= 6; ++level) {
+    VariablePool pool;
+    PsiFormula psi = BuildPsi(level, pool);
+    Dnf dnf = PsiDnf(psi);
+    EXPECT_EQ(dnf.num_terms(), psi.NumDnfTerms()) << "level " << level;
+    EXPECT_EQ(dnf.num_terms(), (1u << (level + 2)) - 1) << "level " << level;
+  }
+}
+
+TEST(PsiTest, DnfIsAntichain) {
+  VariablePool pool;
+  Dnf raw = PsiDnf(BuildPsi(4, pool));
+  // Re-minimising must not remove anything.
+  Dnf minimised(std::vector<provenance::VarSet>(raw.terms()));
+  EXPECT_EQ(raw.num_terms(), minimised.num_terms());
+}
+
+TEST(PsiTest, DnfMatchesExpressionSemantics) {
+  VariablePool pool;
+  PsiFormula psi = BuildPsi(1, pool);  // 10 vars: enumerable
+  EXPECT_TRUE(provenance::EquivalentByEnumeration(PsiDnf(psi).ToExpr(),
+                                                  psi.ToExpr()));
+}
+
+TEST(PsiTest, MaxTermSizeGrowsLinearly) {
+  for (int level = 0; level <= 6; ++level) {
+    VariablePool pool;
+    Dnf dnf = PsiDnf(BuildPsi(level, pool));
+    // Deepest term: base term (2 vars) plus one u/v per level.
+    EXPECT_EQ(dnf.MaxTermSize(), static_cast<size_t>(level) + 2)
+        << "level " << level;
+  }
+}
+
+TEST(PsiTest, CnfStaysSmall) {
+  // The paper reports total DNF/CNF size up to 4.3K for psi_6 — the CNF must
+  // not blow up despite the 255-term DNF.
+  VariablePool pool;
+  Dnf dnf = PsiDnf(BuildPsi(6, pool));
+  Result<provenance::Cnf> cnf = DnfToCnf(dnf);
+  ASSERT_TRUE(cnf.ok()) << cnf.status().ToString();
+  size_t total = dnf.TotalLiterals() + cnf->TotalLiterals();
+  EXPECT_LE(total, 4500u);
+  EXPECT_GE(total, 1000u);
+}
+
+// --- The constructive optimal strategy ----------------------------------------------
+
+TEST(PsiOptimalTest, DecidesCorrectlyOnRandomValuations) {
+  VariablePool pool;
+  PsiFormula psi = BuildPsi(4, pool);
+  Dnf dnf = PsiDnf(psi);
+  Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    PartialValuation hidden = pool.SampleValuation(rng);
+    EvaluationState state({dnf}, pool.Probabilities());
+    PsiOptimalStrategy optimal(psi);
+    ProbeRun run = RunToCompletion(state, optimal, hidden);
+    EXPECT_EQ(run.outcomes[0], dnf.Evaluate(hidden));
+  }
+}
+
+TEST(PsiOptimalTest, ProbesAtMostLinearInLevel) {
+  // The proof's BDD makes at most 2*level + 3 probes on ANY valuation.
+  for (int level : {0, 1, 2, 3, 4, 5, 6}) {
+    VariablePool pool;
+    PsiFormula psi = BuildPsi(level, pool);
+    Dnf dnf = PsiDnf(psi);
+    Rng rng(100 + level);
+    for (int trial = 0; trial < 10; ++trial) {
+      PartialValuation hidden = pool.SampleValuation(rng);
+      EvaluationState state({dnf}, pool.Probabilities());
+      PsiOptimalStrategy optimal(psi);
+      ProbeRun run = RunToCompletion(state, optimal, hidden);
+      EXPECT_LE(run.num_probes, 2u * level + 3u) << "level " << level;
+    }
+  }
+}
+
+TEST(PsiOptimalTest, MatchesExponentialDpOnPsi1) {
+  // psi_1 has 10 variables — small enough for the exact DP. The constructive
+  // strategy must achieve the DP's optimal expected cost (Thm. III.5 says it
+  // is optimal for constant probabilities).
+  VariablePool pool;
+  PsiFormula psi = BuildPsi(1, pool, 0.5);
+  Dnf dnf = PsiDnf(psi);
+  std::vector<double> pi = pool.Probabilities();
+  double dp = strategy::OptimalExpectedCost({dnf}, pi);
+  double constructive = ExactExpectedCost(
+      {dnf}, pi, MakePsiOptimalFactory(psi));
+  EXPECT_NEAR(constructive, dp, 1e-9);
+}
+
+TEST(PsiOptimalTest, ExponentiallyBetterThanRandomAtScale) {
+  VariablePool pool;
+  PsiFormula psi = BuildPsi(6, pool, 0.5);
+  Dnf dnf = PsiDnf(psi);
+  std::vector<double> pi = pool.Probabilities();
+  EstimateOptions options;
+  options.reps = 20;
+  options.seed = 3;
+  double optimal =
+      EstimateExpectedCost({dnf}, pi, MakePsiOptimalFactory(psi), options)
+          .mean;
+  double random =
+      EstimateExpectedCost({dnf}, pi, strategy::MakeRandomFactory(5), options)
+          .mean;
+  EXPECT_LE(optimal, 15.0);   // 2*6+3 = 15 worst case
+  EXPECT_GE(random, 40.0);    // Random needs Omega(n) on psi_6 (382 vars)
+}
+
+}  // namespace
+}  // namespace consentdb::datasets

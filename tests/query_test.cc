@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/query/classify.h"
+#include "consentdb/query/plan.h"
+#include "consentdb/query/predicate.h"
+
+namespace consentdb::query {
+namespace {
+
+using relational::Column;
+using relational::Database;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+Schema PeopleSchema() {
+  return Schema({Column{"id", ValueType::kInt64},
+                 Column{"name", ValueType::kString},
+                 Column{"age", ValueType::kInt64}});
+}
+
+Database TestDb() {
+  Database db;
+  EXPECT_TRUE(db.CreateRelation("People", PeopleSchema()).ok());
+  EXPECT_TRUE(db.CreateRelation(
+                    "Pets", Schema({Column{"owner", ValueType::kInt64},
+                                    Column{"pet", ValueType::kString}}))
+                  .ok());
+  return db;
+}
+
+// --- Predicate -----------------------------------------------------------------
+
+TEST(PredicateTest, ComparisonEvaluates) {
+  Schema schema = PeopleSchema();
+  PredicatePtr p = Predicate::ColumnCompare("age", CompareOp::kGe, Value(18));
+  PredicatePtr bound = *p->Bind(schema);
+  EXPECT_TRUE(bound->Evaluate(Tuple{Value(1), Value("a"), Value(20)}));
+  EXPECT_FALSE(bound->Evaluate(Tuple{Value(1), Value("a"), Value(17)}));
+}
+
+TEST(PredicateTest, AllOperators) {
+  Schema schema = PeopleSchema();
+  Tuple row{Value(1), Value("a"), Value(30)};
+  auto eval = [&](CompareOp op, int64_t lit) {
+    PredicatePtr p = Predicate::ColumnCompare("age", op, Value(lit));
+    return (*p->Bind(schema))->Evaluate(row);
+  };
+  EXPECT_TRUE(eval(CompareOp::kEq, 30));
+  EXPECT_TRUE(eval(CompareOp::kNe, 29));
+  EXPECT_TRUE(eval(CompareOp::kLt, 31));
+  EXPECT_TRUE(eval(CompareOp::kLe, 30));
+  EXPECT_TRUE(eval(CompareOp::kGt, 29));
+  EXPECT_TRUE(eval(CompareOp::kGe, 30));
+  EXPECT_FALSE(eval(CompareOp::kEq, 29));
+  EXPECT_FALSE(eval(CompareOp::kLt, 30));
+}
+
+TEST(PredicateTest, ColumnToColumn) {
+  Schema schema({Column{"a", ValueType::kInt64}, Column{"b", ValueType::kInt64}});
+  PredicatePtr p = *Predicate::ColumnsEqual("a", "b")->Bind(schema);
+  EXPECT_TRUE(p->Evaluate(Tuple{Value(3), Value(3)}));
+  EXPECT_FALSE(p->Evaluate(Tuple{Value(3), Value(4)}));
+}
+
+TEST(PredicateTest, AndOrCombinations) {
+  Schema schema = PeopleSchema();
+  PredicatePtr p = Predicate::Or(
+      {Predicate::ColumnCompare("age", CompareOp::kLt, Value(10)),
+       Predicate::And(
+           {Predicate::ColumnCompare("age", CompareOp::kGe, Value(60)),
+            Predicate::ColumnCompare("name", CompareOp::kEq, Value("zoe"))})});
+  PredicatePtr bound = *p->Bind(schema);
+  EXPECT_TRUE(bound->Evaluate(Tuple{Value(1), Value("kid"), Value(5)}));
+  EXPECT_TRUE(bound->Evaluate(Tuple{Value(1), Value("zoe"), Value(70)}));
+  EXPECT_FALSE(bound->Evaluate(Tuple{Value(1), Value("ann"), Value(70)}));
+  EXPECT_FALSE(bound->Evaluate(Tuple{Value(1), Value("zoe"), Value(30)}));
+}
+
+TEST(PredicateTest, BindRejectsUnknownColumn) {
+  Schema schema = PeopleSchema();
+  PredicatePtr p = Predicate::ColumnCompare("salary", CompareOp::kEq, Value(1));
+  EXPECT_EQ(p->Bind(schema).status().code(), StatusCode::kNotFound);
+}
+
+TEST(PredicateTest, BareNameResolvesQualifiedColumn) {
+  Schema schema({Column{"p.id", ValueType::kInt64},
+                 Column{"p.name", ValueType::kString}});
+  PredicatePtr p = *Predicate::ColumnCompare("name", CompareOp::kEq,
+                                             Value("bo"))
+                        ->Bind(schema);
+  EXPECT_TRUE(p->Evaluate(Tuple{Value(1), Value("bo")}));
+}
+
+TEST(PredicateTest, BareNameAmbiguityIsError) {
+  Schema schema({Column{"a.id", ValueType::kInt64},
+                 Column{"b.id", ValueType::kInt64}});
+  PredicatePtr p = Predicate::ColumnCompare("id", CompareOp::kEq, Value(1));
+  EXPECT_EQ(p->Bind(schema).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PredicateTest, TrueAlwaysHolds) {
+  PredicatePtr p = *Predicate::True()->Bind(PeopleSchema());
+  EXPECT_TRUE(p->Evaluate(Tuple{Value(1), Value("a"), Value(2)}));
+}
+
+TEST(PredicateTest, ToStringReadable) {
+  PredicatePtr p = Predicate::And(
+      {Predicate::ColumnsEqual("a.v", "c.v1"),
+       Predicate::ColumnCompare("c.w", CompareOp::kGt, Value(3))});
+  EXPECT_EQ(p->ToString(), "(a.v = c.v1 AND c.w > 3)");
+}
+
+// --- Plan schemas -----------------------------------------------------------------
+
+TEST(PlanTest, ScanQualifiesColumns) {
+  Database db = TestDb();
+  Schema s = *Plan::Scan("People", "p")->OutputSchema(db);
+  EXPECT_EQ(s.column(0).name, "p.id");
+  EXPECT_EQ(s.column(1).name, "p.name");
+}
+
+TEST(PlanTest, ScanDefaultsAliasToRelation) {
+  Database db = TestDb();
+  Schema s = *Plan::Scan("People")->OutputSchema(db);
+  EXPECT_EQ(s.column(0).name, "People.id");
+}
+
+TEST(PlanTest, ScanUnknownRelationFails) {
+  Database db = TestDb();
+  EXPECT_EQ(Plan::Scan("Nope")->OutputSchema(db).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PlanTest, ProjectRenamesToBareNames) {
+  Database db = TestDb();
+  PlanPtr p = Plan::Project({"p.name"}, Plan::Scan("People", "p"));
+  Schema s = *p->OutputSchema(db);
+  EXPECT_EQ(s.num_columns(), 1u);
+  EXPECT_EQ(s.column(0).name, "name");
+  EXPECT_EQ(s.column(0).type, ValueType::kString);
+}
+
+TEST(PlanTest, ProjectExplicitOutputNames) {
+  Database db = TestDb();
+  PlanPtr p = Plan::Project({"p.name"}, Plan::Scan("People", "p"), {"who"});
+  EXPECT_EQ(p->OutputSchema(db)->column(0).name, "who");
+}
+
+TEST(PlanTest, ProductConcatenatesSchemas) {
+  Database db = TestDb();
+  PlanPtr p = Plan::Product(Plan::Scan("People", "p"), Plan::Scan("Pets", "q"));
+  Schema s = *p->OutputSchema(db);
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.column(3).name, "q.owner");
+}
+
+TEST(PlanTest, SelfJoinNeedsDistinctAliases) {
+  Database db = TestDb();
+  PlanPtr bad =
+      Plan::Product(Plan::Scan("People", "p"), Plan::Scan("People", "p"));
+  EXPECT_FALSE(bad->OutputSchema(db).ok());
+  PlanPtr good =
+      Plan::Product(Plan::Scan("People", "a"), Plan::Scan("People", "b"));
+  EXPECT_TRUE(good->OutputSchema(db).ok());
+}
+
+TEST(PlanTest, UnionRequiresTypeCompatibility) {
+  Database db = TestDb();
+  PlanPtr names1 = Plan::Project({"p.name"}, Plan::Scan("People", "p"));
+  PlanPtr names2 = Plan::Project({"q.pet"}, Plan::Scan("Pets", "q"));
+  PlanPtr ids = Plan::Project({"p.id"}, Plan::Scan("People", "p"));
+  EXPECT_TRUE(Plan::Union({names1, names2})->OutputSchema(db).ok());
+  EXPECT_FALSE(Plan::Union({names1, ids})->OutputSchema(db).ok());
+}
+
+TEST(PlanTest, SelectValidatesPredicate) {
+  Database db = TestDb();
+  PlanPtr ok = Plan::Select(
+      Predicate::ColumnCompare("p.age", CompareOp::kGt, Value(1)),
+      Plan::Scan("People", "p"));
+  EXPECT_TRUE(ok->OutputSchema(db).ok());
+  PlanPtr bad = Plan::Select(
+      Predicate::ColumnCompare("p.salary", CompareOp::kGt, Value(1)),
+      Plan::Scan("People", "p"));
+  EXPECT_FALSE(bad->OutputSchema(db).ok());
+}
+
+TEST(PlanTest, ScannedRelationsKeepsDuplicates) {
+  PlanPtr p = Plan::Product(Plan::Scan("A", "x"), Plan::Scan("A", "y"));
+  EXPECT_EQ(p->ScannedRelations(), (std::vector<std::string>{"A", "A"}));
+}
+
+TEST(PlanTest, JoinIsSelectOverProduct) {
+  PlanPtr p = Plan::Join(Plan::Scan("A"), Plan::Scan("B"),
+                         Predicate::ColumnsEqual("A.x", "B.y"));
+  EXPECT_EQ(p->kind(), PlanKind::kSelect);
+  EXPECT_EQ(p->child(0)->kind(), PlanKind::kProduct);
+}
+
+TEST(PlanTest, UnionOfOneCollapses) {
+  PlanPtr scan = Plan::Scan("A");
+  EXPECT_EQ(Plan::Union({scan}).get(), scan.get());
+}
+
+// --- Classification (Table I) -------------------------------------------------------
+
+PlanPtr SelectOnly() {
+  return Plan::Select(Predicate::ColumnCompare("A.x", CompareOp::kGt, Value(0)),
+                      Plan::Scan("A"));
+}
+
+TEST(ClassifyTest, AllEightClasses) {
+  PlanPtr s = SelectOnly();
+  PlanPtr sp = Plan::Project({"A.x"}, SelectOnly());
+  PlanPtr su = Plan::Union({SelectOnly(), Plan::Scan("B")});
+  PlanPtr spu = Plan::Union({sp, Plan::Project({"B.x"}, Plan::Scan("B"))});
+  PlanPtr sj = Plan::Join(Plan::Scan("A"), Plan::Scan("B"),
+                          Predicate::ColumnsEqual("A.x", "B.y"));
+  PlanPtr sju = Plan::Union({sj, Plan::Scan("C")});
+  PlanPtr spj = Plan::Project({"A.x"}, sj);
+  PlanPtr spju = Plan::Union({spj, Plan::Project({"C.x"}, Plan::Scan("C"))});
+
+  EXPECT_EQ(Classify(*s).query_class, QueryClass::kS);
+  EXPECT_EQ(Classify(*sp).query_class, QueryClass::kSP);
+  EXPECT_EQ(Classify(*su).query_class, QueryClass::kSU);
+  EXPECT_EQ(Classify(*spu).query_class, QueryClass::kSPU);
+  EXPECT_EQ(Classify(*sj).query_class, QueryClass::kSJ);
+  EXPECT_EQ(Classify(*sju).query_class, QueryClass::kSJU);
+  EXPECT_EQ(Classify(*spj).query_class, QueryClass::kSPJ);
+  EXPECT_EQ(Classify(*spju).query_class, QueryClass::kSPJU);
+}
+
+TEST(ClassifyTest, CountsJoinsAndUnions) {
+  PlanPtr three_way = Plan::Product(
+      Plan::Product(Plan::Scan("A"), Plan::Scan("B")), Plan::Scan("C"));
+  QueryProfile p = Classify(*three_way);
+  EXPECT_EQ(p.num_joins, 2u);
+  EXPECT_EQ(p.max_joins_per_branch, 2u);
+
+  PlanPtr u3 = Plan::Union({Plan::Scan("A"), Plan::Scan("B"), Plan::Scan("C")});
+  EXPECT_EQ(Classify(*u3).num_unions, 2u);
+}
+
+TEST(ClassifyTest, PartitionedDetection) {
+  // Disjoint relations across branches: partitioned (Def. IV.6).
+  PlanPtr part = Plan::Union({Plan::Scan("A"), Plan::Scan("B")});
+  EXPECT_TRUE(Classify(*part).partitioned);
+  // Same relation in two branches: not partitioned.
+  PlanPtr nonpart = Plan::Union({Plan::Scan("A"), SelectOnly()});
+  EXPECT_FALSE(Classify(*nonpart).partitioned);
+  // Self-join within one branch is fine.
+  PlanPtr selfjoin = Plan::Union(
+      {Plan::Product(Plan::Scan("A", "x"), Plan::Scan("A", "y")),
+       Plan::Scan("B")});
+  EXPECT_TRUE(Classify(*selfjoin).partitioned);
+}
+
+TEST(ClassifyTest, QueriesWithoutUnionAreTriviallyPartitioned) {
+  // Example IV.7.
+  PlanPtr sj = Plan::Product(Plan::Scan("A", "x"), Plan::Scan("A", "y"));
+  EXPECT_TRUE(Classify(*sj).partitioned);
+}
+
+TEST(ClassifyTest, MaxJoinsPerBranchSeparatesUnionBranches) {
+  PlanPtr left = Plan::Product(Plan::Product(Plan::Scan("A"), Plan::Scan("B")),
+                               Plan::Scan("C"));
+  PlanPtr right = Plan::Scan("D");
+  QueryProfile p = Classify(*Plan::Union({left, right}));
+  EXPECT_EQ(p.num_joins, 2u);
+  EXPECT_EQ(p.max_joins_per_branch, 2u);
+}
+
+// --- Table I guarantees --------------------------------------------------------------
+
+TEST(GuaranteesTest, ReadOnceClasses) {
+  for (QueryClass c : {QueryClass::kS, QueryClass::kSP, QueryClass::kSU}) {
+    QueryProfile p;
+    p.query_class = c;
+    Guarantees g = GuaranteesFor(p);
+    EXPECT_TRUE(g.overall_read_once);
+    EXPECT_TRUE(g.exact_all_tuples);
+    EXPECT_TRUE(g.exact_single_tuple);
+    EXPECT_FALSE(g.np_hard_all_tuples);
+  }
+}
+
+TEST(GuaranteesTest, PerTupleReadOnceClasses) {
+  for (QueryClass c : {QueryClass::kSPU, QueryClass::kSJ}) {
+    QueryProfile p;
+    p.query_class = c;
+    Guarantees g = GuaranteesFor(p);
+    EXPECT_FALSE(g.overall_read_once);
+    EXPECT_TRUE(g.per_tuple_read_once);
+    EXPECT_TRUE(g.exact_single_tuple);
+    EXPECT_TRUE(g.np_hard_all_tuples);  // Thms. IV.9 / IV.10
+    EXPECT_FALSE(g.np_hard_single_tuple);
+  }
+}
+
+TEST(GuaranteesTest, SjuDependsOnPartitioning) {
+  QueryProfile p;
+  p.query_class = QueryClass::kSJU;
+  p.partitioned = true;
+  EXPECT_TRUE(GuaranteesFor(p).exact_single_tuple);  // Prop. IV.8
+  p.partitioned = false;
+  EXPECT_FALSE(GuaranteesFor(p).exact_single_tuple);
+}
+
+TEST(GuaranteesTest, GeneralSpjIsHardBothWays) {
+  for (QueryClass c : {QueryClass::kSPJ, QueryClass::kSPJU}) {
+    QueryProfile p;
+    p.query_class = c;
+    Guarantees g = GuaranteesFor(p);
+    EXPECT_TRUE(g.np_hard_all_tuples);    // Thm. IV.15
+    EXPECT_TRUE(g.np_hard_single_tuple);  // Thm. IV.15
+    EXPECT_FALSE(g.exact_single_tuple);
+  }
+}
+
+}  // namespace
+}  // namespace consentdb::query

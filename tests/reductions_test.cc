@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/datasets/reductions.h"
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/eval/provenance_profile.h"
+#include "consentdb/query/classify.h"
+
+namespace consentdb::datasets {
+namespace {
+
+using eval::AnnotatedRelation;
+using provenance::Dnf;
+using provenance::PartialValuation;
+using provenance::Truth;
+using provenance::VarId;
+using provenance::VarSet;
+
+// --- RandomGraph ------------------------------------------------------------------
+
+TEST(RandomGraphTest, RespectsDegreeCapAndConnectivity) {
+  Rng rng(1);
+  Graph g = RandomGraph(10, 14, rng);
+  EXPECT_EQ(g.num_vertices, 10u);
+  EXPECT_GE(g.edges.size(), 10u);  // ring backbone
+  std::vector<size_t> degree(10, 0);
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& [a, b] : g.edges) {
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(seen.insert({a, b}).second) << "duplicate edge";
+    ++degree[a];
+    ++degree[b];
+  }
+  for (size_t d : degree) {
+    EXPECT_GE(d, 2u);
+    EXPECT_LE(d, 3u);
+  }
+}
+
+// --- Prop. IV.2(2): k-DNF -> SPJ -----------------------------------------------------
+
+TEST(SpjReductionTest, SingleOutputTupleWithEquivalentProvenance) {
+  // phi = (x0 ∧ x1) ∨ (x2) — k = 2.
+  Dnf phi({VarSet{0, 1}, VarSet{2}});
+  SpjInstance inst = *BuildSpjFromDnf(phi, 0.5);
+
+  query::QueryProfile profile = query::Classify(*inst.plan);
+  EXPECT_EQ(profile.query_class, query::QueryClass::kSPJ);
+
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  ASSERT_EQ(out.size(), 1u);  // singleton output
+
+  // Substituting True for the fresh clause/ans variables, the provenance
+  // must be equivalent to phi (with input vars renamed by var_map).
+  Dnf prov = *Dnf::FromExpr(out.annotation(0));
+  PartialValuation fresh_true;
+  for (VarId y : inst.clause_vars) fresh_true.Set(y, true);
+  // The Ans annotation is the last allocated variable of the pool.
+  for (VarId v = 0; v < inst.sdb.pool().size(); ++v) {
+    if (inst.sdb.pool().probability(v) == 1.0) fresh_true.Set(v, true);
+  }
+  Dnf simplified = prov.Simplify(fresh_true);
+
+  // Rename phi's variables through var_map and compare.
+  std::vector<VarSet> renamed;
+  for (const VarSet& term : phi.terms()) {
+    std::vector<VarId> vars;
+    for (VarId x : term) vars.push_back(inst.var_map[x]);
+    renamed.emplace_back(std::move(vars));
+  }
+  EXPECT_EQ(simplified, Dnf(std::move(renamed)));
+}
+
+TEST(SpjReductionTest, PadsShortTermsByRepetition) {
+  // Mixed term sizes: k = 3, the singleton term {4} is padded.
+  Dnf phi({VarSet{0, 1, 2}, VarSet{4}});
+  SpjInstance inst = *BuildSpjFromDnf(phi, 0.5);
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  ASSERT_EQ(out.size(), 1u);
+  // With all fresh vars True the provenance is phi: check one world.
+  PartialValuation val;
+  for (VarId v = 0; v < inst.sdb.pool().size(); ++v) {
+    val.Set(v, inst.sdb.pool().probability(v) == 1.0);
+  }
+  val.Set(inst.var_map[4], true);  // {4} satisfied
+  EXPECT_EQ(out.annotation(0)->Evaluate(val), Truth::kTrue);
+}
+
+TEST(SpjReductionTest, RejectsConstants) {
+  EXPECT_FALSE(BuildSpjFromDnf(Dnf::ConstantTrue(), 0.5).ok());
+  EXPECT_FALSE(BuildSpjFromDnf(Dnf::ConstantFalse(), 0.5).ok());
+}
+
+// --- Thm. IV.9: SJ instance ------------------------------------------------------------
+
+TEST(SjReductionTest, OneOutputTuplePerEdgeWithConjunctiveProvenance) {
+  Rng rng(2);
+  Graph g = RandomGraph(6, 8, rng);
+  SjInstance inst = *BuildSjFromGraph(g, 0.5);
+
+  query::QueryProfile profile = query::Classify(*inst.plan);
+  EXPECT_EQ(profile.query_class, query::QueryClass::kSJ);
+
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  EXPECT_EQ(out.size(), g.edges.size());
+  eval::ProvenanceProfile pp = *eval::ProfileProvenance(out);
+  EXPECT_TRUE(pp.per_tuple_read_once);   // conjunctions
+  EXPECT_FALSE(pp.overall_read_once);    // vertices shared across edges
+  EXPECT_EQ(pp.max_terms_per_tuple, 1u); // pure conjunctions
+  EXPECT_EQ(pp.max_term_size, 3u);       // x_u ∧ x_v ∧ t_uv
+}
+
+TEST(SjReductionTest, EdgeProvenanceUsesItsVertices) {
+  Graph g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  SjInstance inst = *BuildSjFromGraph(g, 0.5);
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  ASSERT_EQ(out.size(), 3u);
+  // Deny vertex 1: edges {0,1} and {1,2} unshareable, {0,2} shareable when
+  // the rest consents.
+  PartialValuation val;
+  for (VarId v = 0; v < inst.sdb.pool().size(); ++v) val.Set(v, true);
+  val.Set(inst.vertex_vars[1], false);
+  size_t shareable = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.annotation(i)->Evaluate(val) == Truth::kTrue) ++shareable;
+  }
+  EXPECT_EQ(shareable, 1u);
+}
+
+// --- Thm. IV.10: SPU instance -----------------------------------------------------------
+
+TEST(SpuReductionTest, OneOutputTuplePerEdgeWithDisjunctiveProvenance) {
+  Rng rng(3);
+  Graph g = RandomGraph(8, 11, rng);
+  SpuInstance inst = *BuildSpuFromGraph(g, 0.5);
+
+  query::QueryProfile profile = query::Classify(*inst.plan);
+  EXPECT_EQ(profile.query_class, query::QueryClass::kSPU);
+
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  EXPECT_EQ(out.size(), g.edges.size());
+  eval::ProvenanceProfile pp = *eval::ProfileProvenance(out);
+  EXPECT_TRUE(pp.per_tuple_read_once);
+  EXPECT_EQ(pp.max_term_size, 1u);  // disjunction of singletons
+}
+
+TEST(SpuReductionTest, EdgeCoveredIffSomeEndpointConsents) {
+  Graph g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  SpuInstance inst = *BuildSpuFromGraph(g, 0.5);
+  AnnotatedRelation out = *eval::EvaluateAnnotated(inst.plan, inst.sdb);
+  ASSERT_EQ(out.size(), 4u);
+  // Vertex cover {1, 3}: every edge has a consenting endpoint.
+  PartialValuation val;
+  for (VarId v : inst.vertex_vars) val.Set(v, false);
+  val.Set(inst.vertex_vars[1], true);
+  val.Set(inst.vertex_vars[3], true);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.annotation(i)->Evaluate(val), Truth::kTrue)
+        << "edge tuple " << i;
+  }
+  // Non-cover {0}: edges {1,2} and {2,3} uncovered.
+  PartialValuation val2;
+  for (VarId v : inst.vertex_vars) val2.Set(v, false);
+  val2.Set(inst.vertex_vars[0], true);
+  size_t covered = 0;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (out.annotation(i)->Evaluate(val2) == Truth::kTrue) ++covered;
+  }
+  EXPECT_EQ(covered, 2u);  // edges {0,1} and {3,0}
+}
+
+}  // namespace
+}  // namespace consentdb::datasets

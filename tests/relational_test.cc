@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/relational/database.h"
+#include "consentdb/relational/relation.h"
+#include "consentdb/relational/schema.h"
+#include "consentdb/relational/tuple.h"
+#include "consentdb/relational/value.h"
+
+namespace consentdb::relational {
+namespace {
+
+// --- Value ---------------------------------------------------------------------
+
+TEST(ValueTest, TypesAreTagged) {
+  EXPECT_EQ(Value(int64_t{3}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_TRUE(Value::Null().is_null());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("abc").AsString(), "abc");
+  EXPECT_TRUE(Value(true).AsBool());
+}
+
+TEST(ValueTest, AsNumericCoversIntAndDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).AsNumeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.5).AsNumeric(), 4.5);
+}
+
+TEST(ValueTest, EqualityWithinType) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, EqualityAcrossTypesIsFalse) {
+  EXPECT_NE(Value(1), Value(1.0));
+  EXPECT_NE(Value(0), Value(false));
+  EXPECT_NE(Value("1"), Value(1));
+  EXPECT_NE(Value::Null(), Value(0));
+}
+
+TEST(ValueTest, OrderingWithinType) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LE(Value(1), Value(1));
+  EXPECT_GT(Value(3), Value(2));
+  EXPECT_GE(Value("b"), Value("b"));
+}
+
+TEST(ValueTest, OrderingAcrossTypesIsByTypeTag) {
+  // NULL < int < double < string < bool (variant index order); the point is
+  // that the order is total and consistent, not the specific arrangement.
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value(int64_t{1} << 60), Value(0.5));
+  EXPECT_LT(Value(1e300), Value(""));
+}
+
+TEST(ValueTest, ToStringFormats) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("x").ToString(), "'x'");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(false).ToString(), "false");
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+  EXPECT_EQ(Value("s").Hash(), Value("s").Hash());
+  // Different types with "same" payload should (practically) differ.
+  EXPECT_NE(Value(0).Hash(), Value(false).Hash());
+}
+
+// --- Schema --------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({Column{"id", ValueType::kInt64},
+                 Column{"name", ValueType::kString},
+                 Column{"score", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, BasicAccessors) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.column(1).name, "name");
+  EXPECT_EQ(s.column(2).type, ValueType::kDouble);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.IndexOf("id"), 0u);
+  EXPECT_EQ(s.IndexOf("score"), 2u);
+  EXPECT_FALSE(s.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, CreateRejectsDuplicates) {
+  Result<Schema> r = Schema::Create(
+      {Column{"a", ValueType::kInt64}, Column{"a", ValueType::kString}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ProjectReordersColumns) {
+  Schema s = TestSchema().Project({2, 0});
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.column(0).name, "score");
+  EXPECT_EQ(s.column(1).name, "id");
+}
+
+TEST(SchemaTest, ConcatKeepsBothSides) {
+  Schema left({Column{"a", ValueType::kInt64}});
+  Schema right({Column{"b", ValueType::kString}});
+  Schema both = left.Concat(right);
+  EXPECT_EQ(both.num_columns(), 2u);
+  EXPECT_EQ(both.column(0).name, "a");
+  EXPECT_EQ(both.column(1).name, "b");
+}
+
+TEST(SchemaTest, ConcatRenamesClashes) {
+  Schema left({Column{"a", ValueType::kInt64}});
+  Schema right({Column{"a", ValueType::kString}});
+  Schema both = left.Concat(right);
+  EXPECT_EQ(both.num_columns(), 2u);
+  EXPECT_NE(both.column(0).name, both.column(1).name);
+}
+
+TEST(SchemaTest, TypesMatchIgnoresNames) {
+  Schema a({Column{"x", ValueType::kInt64}, Column{"y", ValueType::kString}});
+  Schema b({Column{"p", ValueType::kInt64}, Column{"q", ValueType::kString}});
+  Schema c({Column{"p", ValueType::kString}, Column{"q", ValueType::kInt64}});
+  EXPECT_TRUE(a.TypesMatch(b));
+  EXPECT_FALSE(a.TypesMatch(c));
+  EXPECT_FALSE(a.TypesMatch(Schema({Column{"x", ValueType::kInt64}})));
+}
+
+// --- Tuple ---------------------------------------------------------------------
+
+TEST(TupleTest, BasicAccessors) {
+  Tuple t{Value(1), Value("a")};
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.at(0), Value(1));
+  EXPECT_EQ(t.at(1), Value("a"));
+}
+
+TEST(TupleTest, ProjectAndConcat) {
+  Tuple t{Value(1), Value("a"), Value(2.5)};
+  EXPECT_EQ(t.Project({2, 0}), (Tuple{Value(2.5), Value(1)}));
+  EXPECT_EQ((Tuple{Value(1)}).Concat(Tuple{Value(2)}),
+            (Tuple{Value(1), Value(2)}));
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{Value(1), Value("x")};
+  Tuple b{Value(1), Value("x")};
+  Tuple c{Value(1), Value("y")};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(TupleTest, ToStringRendersValues) {
+  EXPECT_EQ((Tuple{Value(1), Value("a")}).ToString(), "(1, 'a')");
+  EXPECT_EQ(Tuple().ToString(), "()");
+}
+
+// --- Relation -------------------------------------------------------------------
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(Schema({Column{"id", ValueType::kInt64}}));
+  EXPECT_TRUE(*rel.Insert(Tuple{Value(1)}));
+  EXPECT_TRUE(*rel.Insert(Tuple{Value(2)}));
+  EXPECT_FALSE(*rel.Insert(Tuple{Value(1)}));  // duplicate
+  EXPECT_EQ(rel.size(), 2u);
+}
+
+TEST(RelationTest, InsertValidatesArity) {
+  Relation rel(TestSchema());
+  Result<bool> r = rel.Insert(Tuple{Value(1)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, InsertValidatesTypes) {
+  Relation rel(TestSchema());
+  Result<bool> r = rel.Insert(Tuple{Value("not-an-int"), Value("n"), Value(1.0)});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RelationTest, NullMatchesAnyColumnType) {
+  Relation rel(TestSchema());
+  EXPECT_TRUE(rel.Insert(Tuple{Value::Null(), Value("n"), Value::Null()}).ok());
+}
+
+TEST(RelationTest, ContainsAndIndexOf) {
+  Relation rel(Schema({Column{"id", ValueType::kInt64}}));
+  rel.InsertOrDie(Tuple{Value(10)});
+  rel.InsertOrDie(Tuple{Value(20)});
+  EXPECT_TRUE(rel.Contains(Tuple{Value(10)}));
+  EXPECT_FALSE(rel.Contains(Tuple{Value(30)}));
+  EXPECT_EQ(rel.IndexOf(Tuple{Value(20)}), 1u);
+  EXPECT_FALSE(rel.IndexOf(Tuple{Value(30)}).has_value());
+}
+
+TEST(RelationTest, EqualityIsSetEquality) {
+  Schema s({Column{"id", ValueType::kInt64}});
+  Relation a(s);
+  Relation b(s);
+  a.InsertOrDie(Tuple{Value(1)});
+  a.InsertOrDie(Tuple{Value(2)});
+  b.InsertOrDie(Tuple{Value(2)});
+  b.InsertOrDie(Tuple{Value(1)});
+  EXPECT_EQ(a, b);
+  b.InsertOrDie(Tuple{Value(3)});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RelationTest, PreservesInsertionOrder) {
+  Relation rel(Schema({Column{"id", ValueType::kInt64}}));
+  rel.InsertOrDie(Tuple{Value(5)});
+  rel.InsertOrDie(Tuple{Value(3)});
+  rel.InsertOrDie(Tuple{Value(9)});
+  EXPECT_EQ(rel.tuple(0), Tuple{Value(5)});
+  EXPECT_EQ(rel.tuple(1), Tuple{Value(3)});
+  EXPECT_EQ(rel.tuple(2), Tuple{Value(9)});
+}
+
+// --- Database -------------------------------------------------------------------
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("t", TestSchema()).ok());
+  EXPECT_TRUE(db.HasRelation("t"));
+  EXPECT_FALSE(db.HasRelation("u"));
+  EXPECT_TRUE(db.GetRelation("t").ok());
+  EXPECT_EQ(db.GetRelation("u").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, CreateRejectsDuplicateNames) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("t", TestSchema()).ok());
+  EXPECT_EQ(db.CreateRelation("t", TestSchema()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DatabaseTest, InsertRoutesToRelation) {
+  Database db;
+  ASSERT_TRUE(
+      db.CreateRelation("t", Schema({Column{"id", ValueType::kInt64}})).ok());
+  EXPECT_TRUE(*db.Insert("t", Tuple{Value(1)}));
+  EXPECT_FALSE(*db.Insert("t", Tuple{Value(1)}));
+  EXPECT_FALSE(db.Insert("missing", Tuple{Value(1)}).ok());
+  EXPECT_EQ(db.TotalTuples(), 1u);
+}
+
+TEST(DatabaseTest, RelationNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateRelation("zeta", TestSchema()).ok());
+  ASSERT_TRUE(db.CreateRelation("alpha", TestSchema()).ok());
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace consentdb::relational

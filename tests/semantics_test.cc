@@ -1,0 +1,118 @@
+// Documented-semantics tests: NULL handling and set semantics in SPJU
+// evaluation. ConsentDB deliberately deviates from SQL's three-valued NULL
+// comparisons (NULL = NULL is TRUE here) because consent bookkeeping needs
+// set semantics over tuple identity — these tests pin that choice.
+
+#include <gtest/gtest.h>
+
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/query/parser.h"
+
+namespace consentdb {
+namespace {
+
+using consent::SharedDatabase;
+using eval::AnnotatedRelation;
+using query::ParseQuery;
+using query::PlanPtr;
+using relational::Column;
+using relational::Relation;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+SharedDatabase DbWithNulls() {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("T", Schema({Column{"id", ValueType::kInt64},
+                                              Column{"tag", ValueType::kString}}))
+                  .ok());
+  (void)*sdb.InsertTuple("T", Tuple{Value(1), Value("a")});
+  (void)*sdb.InsertTuple("T", Tuple{Value(2), Value::Null()});
+  (void)*sdb.InsertTuple("T", Tuple{Value(3), Value("a")});
+  (void)*sdb.InsertTuple("T", Tuple{Value::Null(), Value("b")});
+  return sdb;
+}
+
+TEST(NullSemanticsTest, EqualityWithNullLiteral) {
+  SharedDatabase sdb = DbWithNulls();
+  Relation r = *eval::Evaluate(*ParseQuery("SELECT id FROM T WHERE tag = NULL"),
+                               sdb.database());
+  // Exactly the row whose tag is NULL (NULL = NULL is TRUE here, unlike SQL).
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.tuple(0), Tuple{Value(2)});
+}
+
+TEST(NullSemanticsTest, NullNeverEqualsValues) {
+  SharedDatabase sdb = DbWithNulls();
+  Relation r = *eval::Evaluate(*ParseQuery("SELECT id FROM T WHERE tag = 'b'"),
+                               sdb.database());
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.tuple(0).at(0).is_null());
+}
+
+TEST(NullSemanticsTest, NullsJoinWithNulls) {
+  SharedDatabase sdb = DbWithNulls();
+  // Self-join on tag: NULL tags pair with each other only.
+  Relation r = *eval::Evaluate(
+      *ParseQuery("SELECT x.id, y.id FROM T x, T y WHERE x.tag = y.tag"),
+      sdb.database());
+  // tags: a(1), NULL(2), a(3), b(NULL-id): pairs on 'a' (4), on NULL (1),
+  // on 'b' (1) = 6.
+  EXPECT_EQ(r.size(), 6u);
+}
+
+TEST(NullSemanticsTest, ProjectionMergesNullGroups) {
+  SharedDatabase sdb = DbWithNulls();
+  AnnotatedRelation out =
+      *eval::EvaluateAnnotated(*ParseQuery("SELECT tag FROM T"), sdb);
+  // Distinct tags: 'a', NULL, 'b'.
+  EXPECT_EQ(out.size(), 3u);
+  // The 'a' group merges two derivations.
+  std::optional<size_t> idx = out.IndexOf(Tuple{Value("a")});
+  ASSERT_TRUE(idx.has_value());
+  provenance::Dnf dnf = *provenance::Dnf::FromExpr(out.annotation(*idx));
+  EXPECT_EQ(dnf.num_terms(), 2u);
+}
+
+TEST(SetSemanticsTest, UnionDeduplicatesAcrossBranches) {
+  SharedDatabase sdb = DbWithNulls();
+  Relation r = *eval::Evaluate(
+      *ParseQuery("SELECT tag FROM T UNION SELECT tag FROM T"),
+      sdb.database());
+  EXPECT_EQ(r.size(), 3u);  // same three distinct tags, not six
+}
+
+TEST(SetSemanticsTest, ProductOfSetsHasNoDuplicates) {
+  SharedDatabase sdb = DbWithNulls();
+  Relation r = *eval::Evaluate(*ParseQuery("SELECT * FROM T x, T y"),
+                               sdb.database());
+  EXPECT_EQ(r.size(), 16u);  // 4 x 4 distinct concatenations
+}
+
+TEST(SetSemanticsTest, OrderInsensitiveComparisons) {
+  SharedDatabase sdb = DbWithNulls();
+  Relation a = *eval::Evaluate(
+      *ParseQuery("SELECT tag FROM T UNION SELECT tag FROM T WHERE id > 1"),
+      sdb.database());
+  Relation b = *eval::Evaluate(
+      *ParseQuery("SELECT tag FROM T WHERE id > 1 UNION SELECT tag FROM T"),
+      sdb.database());
+  EXPECT_EQ(a, b);
+}
+
+TEST(NullSemanticsTest, OrderingComparisonsAgainstNull) {
+  SharedDatabase sdb = DbWithNulls();
+  // NULL sorts below every integer (type-tag ordering), so id > 0 excludes
+  // the NULL id; combined with its complement it partitions the table.
+  Relation gt = *eval::Evaluate(*ParseQuery("SELECT tag FROM T WHERE id > 0"),
+                                sdb.database());
+  Relation le = *eval::Evaluate(*ParseQuery("SELECT tag FROM T WHERE id <= 0"),
+                                sdb.database());
+  EXPECT_EQ(gt.size(), 2u);  // tags 'a', NULL (from ids 1,2,3; distinct)
+  EXPECT_EQ(le.size(), 1u);  // the NULL id row ('b')
+}
+
+}  // namespace
+}  // namespace consentdb

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/datasets/skewed.h"
+
+namespace consentdb::datasets {
+namespace {
+
+using provenance::VarSet;
+
+TEST(SkewedTest, ProducesRequestedShape) {
+  SkewedParams params;
+  params.num_rows = 50;
+  params.num_joins = 3;
+  params.projection_limit = 4;
+  Rng rng(1);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  EXPECT_EQ(ds.dnfs.size(), 50u);
+  for (const Dnf& dnf : ds.dnfs) {
+    EXPECT_LE(dnf.num_terms(), 4u);  // absorption may merge duplicates
+    EXPECT_GE(dnf.num_terms(), 1u);
+    for (const VarSet& term : dnf.terms()) {
+      EXPECT_EQ(term.size(), 4u);  // joins + 1
+    }
+  }
+}
+
+TEST(SkewedTest, RealisedRepetitionNearTarget) {
+  SkewedParams params;
+  params.num_rows = 200;
+  params.avg_repetitions = 2.6;
+  Rng rng(2);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  EXPECT_NEAR(ds.realized_avg_repetitions, 2.6, 2.6 * 0.25);
+}
+
+TEST(SkewedTest, HighRepetitionTarget) {
+  SkewedParams params;
+  params.num_rows = 200;
+  params.avg_repetitions = 6.0;
+  Rng rng(3);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  EXPECT_NEAR(ds.realized_avg_repetitions, 6.0, 6.0 * 0.25);
+}
+
+TEST(SkewedTest, ReadOnceModeUsesFreshVariables) {
+  SkewedParams params;
+  params.num_rows = 30;
+  params.avg_repetitions = 1.0;
+  Rng rng(4);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  EXPECT_DOUBLE_EQ(ds.realized_avg_repetitions, 1.0);
+  for (const Dnf& dnf : ds.dnfs) {
+    EXPECT_TRUE(dnf.IsReadOnce());
+    EXPECT_GE(dnf.num_terms(), 1u);
+    EXPECT_LE(dnf.num_terms(), params.projection_limit);
+  }
+  // Overall read-once: total distinct vars == total literals.
+  EXPECT_EQ(ds.distinct_vars, ds.total_literals);
+}
+
+TEST(SkewedTest, FrequentVariablesExist) {
+  SkewedParams params;
+  params.num_rows = 300;
+  Rng rng(5);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  // Count occurrences; the frequent pool must produce much-repeated vars.
+  std::vector<size_t> occ(ds.pool.size(), 0);
+  for (const Dnf& dnf : ds.dnfs) {
+    for (const VarSet& term : dnf.terms()) {
+      for (provenance::VarId v : term) ++occ[v];
+    }
+  }
+  size_t max_occ = 0;
+  for (size_t c : occ) max_occ = std::max(max_occ, c);
+  EXPECT_GE(max_occ, static_cast<size_t>(4 * ds.realized_avg_repetitions));
+}
+
+TEST(SkewedTest, ProbabilityAppliedToAllVariables) {
+  SkewedParams params;
+  params.num_rows = 10;
+  params.probability = 0.7;
+  Rng rng(6);
+  SkewedDataset ds = GenerateSkewed(params, rng);
+  for (double p : ds.pool.Probabilities()) EXPECT_DOUBLE_EQ(p, 0.7);
+}
+
+TEST(SkewedTest, DeterministicForSameSeed) {
+  SkewedParams params;
+  params.num_rows = 20;
+  Rng rng1(9);
+  Rng rng2(9);
+  SkewedDataset a = GenerateSkewed(params, rng1);
+  SkewedDataset b = GenerateSkewed(params, rng2);
+  ASSERT_EQ(a.dnfs.size(), b.dnfs.size());
+  for (size_t i = 0; i < a.dnfs.size(); ++i) {
+    EXPECT_EQ(a.dnfs[i], b.dnfs[i]);
+  }
+}
+
+TEST(SkewedTest, JoinSweepMatchesFig3aShape) {
+  for (size_t joins : {1u, 2u, 3u, 4u, 5u}) {
+    SkewedParams params;
+    params.num_rows = 20;
+    params.num_joins = joins;
+    Rng rng(30 + joins);
+    SkewedDataset ds = GenerateSkewed(params, rng);
+    for (const Dnf& dnf : ds.dnfs) {
+      EXPECT_EQ(dnf.MaxTermSize(), joins + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace consentdb::datasets

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/strategy/expected_cost.h"
+#include "consentdb/strategy/runner.h"
+#include "consentdb/strategy/strategies.h"
+#include "consentdb/util/rng.h"
+
+namespace consentdb::strategy {
+namespace {
+
+using provenance::PartialValuation;
+using provenance::VarSet;
+
+std::vector<double> UniformPi(size_t n, double p = 0.5) {
+  return std::vector<double>(n, p);
+}
+
+PartialValuation AllSet(size_t n, bool value) {
+  PartialValuation val(n);
+  for (size_t i = 0; i < n; ++i) val.Set(static_cast<VarId>(i), value);
+  return val;
+}
+
+// Every factory under test, with a name for diagnostics.
+std::vector<std::pair<std::string, StrategyFactory>> AllFactories() {
+  return {
+      {"Random", MakeRandomFactory(17)},
+      {"Freq", MakeFreqFactory()},
+      {"RO", MakeRoFactory()},
+      {"Q-value", MakeQValueFactory()},
+      {"General", MakeGeneralFactory()},
+      {"Hybrid", MakeHybridFactory()},
+  };
+}
+
+// --- RO specifics -------------------------------------------------------------------
+
+TEST(RoStrategyTest, ProbesCheapestTermFirst) {
+  // Terms: {0} with p=0.9 (ratio 0.9) vs {1,2} with p=0.81 (ratio 0.405):
+  // RO must start with the singleton.
+  std::vector<double> pi = {0.9, 0.9, 0.9};
+  EvaluationState state({Dnf({VarSet{0}, VarSet{1, 2}})}, pi);
+  RoStrategy ro;
+  EXPECT_EQ(ro.ChooseNext(state), 0u);
+}
+
+TEST(RoStrategyTest, WithinTermLowestProbabilityFirst) {
+  // Single term {0,1,2} with probabilities 0.9, 0.2, 0.5: probe x1 first
+  // (most likely to disprove the conjunction).
+  std::vector<double> pi = {0.9, 0.2, 0.5};
+  EvaluationState state({Dnf({VarSet{0, 1, 2}})}, pi);
+  RoStrategy ro;
+  EXPECT_EQ(ro.ChooseNext(state), 1u);
+  state.Assign(1, true);
+  EXPECT_EQ(ro.ChooseNext(state), 2u);  // next-lowest probability
+}
+
+TEST(RoStrategyTest, SticksWithTermUntilResolved) {
+  // Term {0,1} has probability 0.81, ratio 0.405; term {2,3} has 0.01,
+  // ratio 0.005: RO picks {0,1} and stays on it after a True answer.
+  std::vector<double> pi = {0.9, 0.9, 0.1, 0.1};
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{2, 3}})}, pi);
+  RoStrategy ro;
+  VarId first = ro.ChooseNext(state);
+  EXPECT_TRUE(first == 0 || first == 1);
+  state.Assign(first, true);
+  VarId second = ro.ChooseNext(state);
+  EXPECT_TRUE(second == 0 || second == 1);
+  EXPECT_NE(second, first);
+}
+
+TEST(RoStrategyTest, ReselectsAfterTermFalsified) {
+  std::vector<double> pi = {0.9, 0.9, 0.1, 0.1};
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{2, 3}})}, pi);
+  RoStrategy ro;
+  VarId first = ro.ChooseNext(state);
+  EXPECT_TRUE(first == 0 || first == 1);
+  state.Assign(first, false);  // falsifies the preferred term
+  VarId next = ro.ChooseNext(state);
+  EXPECT_TRUE(next == 2 || next == 3);
+}
+
+// --- Freq specifics ------------------------------------------------------------------
+
+TEST(FreqStrategyTest, PicksMostFrequentVariable) {
+  EvaluationState state(
+      {Dnf({VarSet{0, 1}, VarSet{0, 2}}), Dnf({VarSet{0, 3}, VarSet{4}})},
+      UniformPi(5));
+  FreqStrategy freq;
+  EXPECT_EQ(freq.ChooseNext(state), 0u);  // occurs in 3 live terms
+}
+
+TEST(FreqStrategyTest, TieBreaksBySmallestId) {
+  EvaluationState state({Dnf({VarSet{2}, VarSet{5}})}, UniformPi(6));
+  FreqStrategy freq;
+  EXPECT_EQ(freq.ChooseNext(state), 2u);
+}
+
+// --- General specifics ----------------------------------------------------------------
+
+TEST(GeneralStrategyTest, Alg0MaximisesExpectedElimination) {
+  // x0 in 2 terms with (1-p)=0.5 -> 1.0; x3 in 1 term with (1-p)=0.9 -> 0.9.
+  std::vector<double> pi = {0.5, 0.5, 0.5, 0.1};
+  EvaluationState state({Dnf({VarSet{0, 1}, VarSet{0, 2}, VarSet{3}})}, pi);
+  EXPECT_EQ(GeneralStrategy::Alg0Choose(state), 0u);
+}
+
+TEST(GeneralStrategyTest, AlternatesBetweenSides) {
+  // With equal costs the first pick is Alg0's; after it is charged, RO picks.
+  std::vector<double> pi = UniformPi(6, 0.5);
+  EvaluationState state(
+      {Dnf({VarSet{0, 1}, VarSet{2, 3}}), Dnf({VarSet{4, 5}})}, pi);
+  GeneralStrategy general;
+  VarId first = general.ChooseNext(state);
+  state.Assign(first, true);
+  general.OnAnswer(state, first, true);
+  // cost0=1 > cost1=0 -> RO's turn next.
+  VarId second = general.ChooseNext(state);
+  state.Assign(second, true);
+  general.OnAnswer(state, second, true);
+  // cost0=1 <= cost1=1 -> Alg0 again.
+  (void)general.ChooseNext(state);
+}
+
+// --- Runner invariants (property test over all strategies) ------------------------------
+
+struct SystemCase {
+  std::string name;
+  std::vector<Dnf> dnfs;
+  size_t num_vars;
+};
+
+std::vector<SystemCase> TestSystems() {
+  std::vector<SystemCase> cases;
+  cases.push_back({"single-conjunction", {Dnf({VarSet{0, 1, 2}})}, 3});
+  cases.push_back({"single-disjunction",
+                   {Dnf({VarSet{0}, VarSet{1}, VarSet{2}})},
+                   3});
+  cases.push_back(
+      {"read-once-dnf", {Dnf({VarSet{0, 1}, VarSet{2, 3}, VarSet{4}})}, 5});
+  cases.push_back(
+      {"shared-vars", {Dnf({VarSet{0, 1}, VarSet{1, 2}, VarSet{0, 2}})}, 3});
+  cases.push_back({"multi-formula",
+                   {Dnf({VarSet{0, 1}, VarSet{2}}), Dnf({VarSet{1, 3}}),
+                    Dnf({VarSet{4}, VarSet{0, 3}})},
+                   5});
+  cases.push_back({"with-constants",
+                   {Dnf::ConstantTrue(), Dnf({VarSet{0, 1}}),
+                    Dnf::ConstantFalse()},
+                   2});
+  return cases;
+}
+
+class StrategyInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyInvariantTest, AlwaysDecidesCorrectlyWithoutWaste) {
+  Rng rng(11000 + GetParam());
+  for (const SystemCase& sys : TestSystems()) {
+    std::vector<double> pi;
+    for (size_t i = 0; i < sys.num_vars; ++i) {
+      pi.push_back(0.1 + 0.8 * rng.UniformReal());
+    }
+    for (int trial = 0; trial < 5; ++trial) {
+      PartialValuation hidden(sys.num_vars);
+      for (size_t i = 0; i < sys.num_vars; ++i) {
+        hidden.Set(static_cast<VarId>(i), rng.Bernoulli(pi[i]));
+      }
+      for (auto& [name, factory] : AllFactories()) {
+        EvaluationState state(sys.dnfs, pi);
+        ASSERT_TRUE(state.AttachCnfs().ok());
+        std::unique_ptr<ProbeStrategy> strategy = factory();
+        // RunToCompletion itself checks the no-useless-probe invariant.
+        ProbeRun run = RunToCompletion(state, *strategy, hidden);
+        // Probes are bounded by the number of variables.
+        EXPECT_LE(run.num_probes, sys.num_vars)
+            << name << " on " << sys.name;
+        // No variable probed twice.
+        std::set<VarId> seen;
+        for (const auto& [x, v] : run.trace) {
+          EXPECT_TRUE(seen.insert(x).second)
+              << name << " probed x" << x << " twice on " << sys.name;
+        }
+        // Verdicts match ground truth.
+        for (size_t j = 0; j < sys.dnfs.size(); ++j) {
+          EXPECT_EQ(run.outcomes[j], sys.dnfs[j].Evaluate(hidden))
+              << name << " wrong verdict on " << sys.name << " formula " << j;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, StrategyInvariantTest,
+                         ::testing::Range(0, 10));
+
+// Larger randomized sweep: random systems, all strategies, decisions always
+// match ground truth.
+class RandomSystemTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSystemTest, VerdictsMatchGroundTruth) {
+  Rng rng(12000 + GetParam());
+  size_t num_vars = 6 + rng.UniformIndex(8);
+  size_t num_formulas = 1 + rng.UniformIndex(5);
+  std::vector<Dnf> dnfs;
+  for (size_t j = 0; j < num_formulas; ++j) {
+    std::vector<VarSet> terms;
+    size_t num_terms = 1 + rng.UniformIndex(5);
+    for (size_t t = 0; t < num_terms; ++t) {
+      std::vector<VarId> term;
+      size_t size = 1 + rng.UniformIndex(3);
+      for (size_t s = 0; s < size; ++s) {
+        term.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+      }
+      terms.emplace_back(std::move(term));
+    }
+    dnfs.emplace_back(std::move(terms));
+  }
+  std::vector<double> pi = UniformPi(num_vars, 0.5);
+  PartialValuation hidden(num_vars);
+  for (size_t i = 0; i < num_vars; ++i) {
+    hidden.Set(static_cast<VarId>(i), rng.Bernoulli(0.5));
+  }
+  for (auto& [name, factory] : AllFactories()) {
+    EvaluationState state(dnfs, pi);
+    ASSERT_TRUE(state.AttachCnfs().ok());
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, hidden);
+    for (size_t j = 0; j < dnfs.size(); ++j) {
+      EXPECT_EQ(run.outcomes[j], dnfs[j].Evaluate(hidden))
+          << name << " formula " << j << " dnf " << dnfs[j].ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, RandomSystemTest,
+                         ::testing::Range(0, 40));
+
+// --- Degenerate answer patterns ---------------------------------------------------------
+
+TEST(StrategyEdgeTest, AllTrueValuation) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2, 3}}),
+                           Dnf({VarSet{1, 4}})};
+  for (auto& [name, factory] : AllFactories()) {
+    EvaluationState state(dnfs, UniformPi(5));
+    ASSERT_TRUE(state.AttachCnfs().ok());
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, AllSet(5, true));
+    for (Truth t : run.outcomes) EXPECT_EQ(t, Truth::kTrue) << name;
+  }
+}
+
+TEST(StrategyEdgeTest, AllFalseValuation) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2, 3}}),
+                           Dnf({VarSet{1, 4}})};
+  for (auto& [name, factory] : AllFactories()) {
+    EvaluationState state(dnfs, UniformPi(5));
+    ASSERT_TRUE(state.AttachCnfs().ok());
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, AllSet(5, false));
+    for (Truth t : run.outcomes) EXPECT_EQ(t, Truth::kFalse) << name;
+  }
+}
+
+TEST(StrategyEdgeTest, NothingToDoWhenAllConstant) {
+  for (auto& [name, factory] : AllFactories()) {
+    EvaluationState state({Dnf::ConstantTrue(), Dnf::ConstantFalse()},
+                          UniformPi(1));
+    std::unique_ptr<ProbeStrategy> strategy = factory();
+    ProbeRun run = RunToCompletion(state, *strategy, AllSet(1, true));
+    EXPECT_EQ(run.num_probes, 0u) << name;
+  }
+}
+
+// --- Hybrid specifics ----------------------------------------------------------------------
+
+TEST(HybridStrategyTest, UsesRoOnReadOnceProvenance) {
+  // Overall read-once from the start: Hybrid should behave exactly like RO.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2}})};
+  std::vector<double> pi = {0.4, 0.5, 0.9};
+  PartialValuation hidden = AllSet(3, true);
+  EvaluationState hybrid_state(dnfs, pi);
+  HybridStrategy hybrid;
+  ProbeRun hybrid_run = RunToCompletion(hybrid_state, hybrid, hidden);
+  EvaluationState ro_state(dnfs, pi);
+  RoStrategy ro;
+  ProbeRun ro_run = RunToCompletion(ro_state, ro, hidden);
+  EXPECT_EQ(hybrid_run.trace, ro_run.trace);
+}
+
+TEST(HybridStrategyTest, AttachesCnfsLazily) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{1, 2}, VarSet{0, 2}})};
+  EvaluationState state(dnfs, UniformPi(3, 0.5));
+  EXPECT_FALSE(state.cnfs_attached());
+  HybridStrategy hybrid;
+  (void)hybrid.ChooseNext(state);
+  // Small formula: hybrid attaches CNFs at the first opportunity.
+  EXPECT_TRUE(state.cnfs_attached());
+}
+
+// --- Expected-cost harness --------------------------------------------------------------------
+
+TEST(ExpectedCostTest, EstimateIsReproducible) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2, 3}})};
+  std::vector<double> pi = UniformPi(4, 0.5);
+  EstimateOptions options;
+  options.reps = 20;
+  options.seed = 5;
+  CostEstimate a = EstimateExpectedCost(dnfs, pi, MakeRoFactory(), options);
+  CostEstimate b = EstimateExpectedCost(dnfs, pi, MakeRoFactory(), options);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.reps, 20u);
+  EXPECT_GE(a.min, 1.0);
+  EXPECT_LE(a.max, 4.0);
+}
+
+TEST(ExpectedCostTest, ExactMatchesHandComputation) {
+  // Single variable: always exactly 1 probe.
+  EXPECT_DOUBLE_EQ(
+      ExactExpectedCost({Dnf({VarSet{0}})}, {0.3}, MakeRoFactory()), 1.0);
+  // x0 ∧ x1 with p=0.5, RO probes both iff the first is True: 1.5 expected.
+  EXPECT_DOUBLE_EQ(
+      ExactExpectedCost({Dnf({VarSet{0, 1}})}, UniformPi(2), MakeRoFactory()),
+      1.5);
+  // x0 ∨ x1 with p=0.5: stop early iff first is True: 1.5 expected.
+  EXPECT_DOUBLE_EQ(ExactExpectedCost({Dnf({VarSet{0}, VarSet{1}})},
+                                     UniformPi(2), MakeRoFactory()),
+                   1.5);
+}
+
+TEST(ExpectedCostTest, MonteCarloConvergesToExact) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2}})};
+  std::vector<double> pi = UniformPi(3, 0.5);
+  double exact = ExactExpectedCost(dnfs, pi, MakeRoFactory());
+  EstimateOptions options;
+  options.reps = 4000;
+  options.seed = 11;
+  CostEstimate mc = EstimateExpectedCost(dnfs, pi, MakeRoFactory(), options);
+  EXPECT_NEAR(mc.mean, exact, 0.1);
+}
+
+}  // namespace
+}  // namespace consentdb::strategy

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "consentdb/eval/evaluate.h"
+#include "consentdb/eval/targeted.h"
+#include "consentdb/provenance/normal_form.h"
+#include "consentdb/query/parser.h"
+#include "consentdb/util/rng.h"
+#include "test_fixtures.h"
+
+namespace consentdb::eval {
+namespace {
+
+using consent::SharedDatabase;
+using provenance::BoolExprPtr;
+using query::ParseQuery;
+using query::PlanPtr;
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+SharedDatabase SmallDb(Rng& rng, size_t rows) {
+  SharedDatabase sdb;
+  EXPECT_TRUE(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                              Column{"b", ValueType::kInt64}}))
+                  .ok());
+  EXPECT_TRUE(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                              Column{"c", ValueType::kInt64}}))
+                  .ok());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(sdb.InsertTuple("R", Tuple{Value(rng.UniformInt(0, 3)),
+                                           Value(rng.UniformInt(0, 2))})
+                    .ok());
+    EXPECT_TRUE(sdb.InsertTuple("S", Tuple{Value(rng.UniformInt(0, 2)),
+                                           Value(rng.UniformInt(0, 3))})
+                    .ok());
+  }
+  return sdb;
+}
+
+const char* kQueries[] = {
+    "SELECT * FROM R WHERE a > 0",
+    "SELECT a FROM R",
+    "SELECT b FROM R UNION SELECT b FROM S",
+    "SELECT * FROM R, S WHERE R.b = S.b",
+    "SELECT S.c FROM R, S WHERE R.b = S.b",
+    "SELECT x.a FROM R x, R y WHERE x.b = y.b",
+    "SELECT a FROM R WHERE b = 1 UNION SELECT c FROM S WHERE b = 0",
+};
+
+// --- AnnotationForTuple agrees with full evaluation -------------------------------
+
+class TargetedEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TargetedEquivalenceTest, MatchesFullEvaluationForEveryResultTuple) {
+  Rng rng(31000 + GetParam());
+  SharedDatabase sdb = SmallDb(rng, 5);
+  for (const char* sql : kQueries) {
+    PlanPtr plan = *ParseQuery(sql);
+    AnnotatedRelation full = *EvaluateAnnotated(plan, sdb);
+    for (size_t i = 0; i < full.size(); ++i) {
+      Result<BoolExprPtr> targeted =
+          AnnotationForTuple(plan, sdb, full.tuple(i));
+      ASSERT_TRUE(targeted.ok())
+          << sql << " tuple " << full.tuple(i).ToString() << ": "
+          << targeted.status().ToString();
+      EXPECT_TRUE(provenance::EquivalentByEnumeration(full.annotation(i),
+                                                      *targeted))
+          << sql << " tuple " << full.tuple(i).ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, TargetedEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+// --- Constrained evaluation is the filtered full evaluation ------------------------
+
+TEST(ConstrainedEvalTest, PartialConstraintsFilterTheResult) {
+  Rng rng(5);
+  SharedDatabase sdb = SmallDb(rng, 6);
+  PlanPtr plan = *ParseQuery("SELECT * FROM R, S WHERE R.b = S.b");
+  AnnotatedRelation full = *EvaluateAnnotated(plan, sdb);
+  // Constrain only the first column (R.a).
+  ColumnConstraints constraints(4);
+  constraints[0] = Value(1);
+  AnnotatedRelation filtered =
+      *EvaluateAnnotatedConstrained(plan, sdb, constraints);
+  size_t expected = 0;
+  for (size_t i = 0; i < full.size(); ++i) {
+    if (!(full.tuple(i).at(0) == Value(1))) continue;
+    ++expected;
+    std::optional<size_t> j = filtered.IndexOf(full.tuple(i));
+    ASSERT_TRUE(j.has_value());
+    EXPECT_TRUE(provenance::EquivalentByEnumeration(full.annotation(i),
+                                                    filtered.annotation(*j)));
+  }
+  EXPECT_EQ(filtered.size(), expected);
+}
+
+TEST(ConstrainedEvalTest, UnconstrainedMatchesFullEvaluation) {
+  Rng rng(6);
+  SharedDatabase sdb = SmallDb(rng, 4);
+  PlanPtr plan = *ParseQuery("SELECT b FROM R UNION SELECT b FROM S");
+  AnnotatedRelation full = *EvaluateAnnotated(plan, sdb);
+  AnnotatedRelation open =
+      *EvaluateAnnotatedConstrained(plan, sdb, ColumnConstraints(1));
+  EXPECT_EQ(full.size(), open.size());
+}
+
+TEST(ConstrainedEvalTest, RejectsWrongArity) {
+  Rng rng(7);
+  SharedDatabase sdb = SmallDb(rng, 2);
+  PlanPtr plan = *ParseQuery("SELECT a FROM R");
+  EXPECT_FALSE(
+      EvaluateAnnotatedConstrained(plan, sdb, ColumnConstraints(3)).ok());
+}
+
+// --- Error cases ----------------------------------------------------------------------
+
+TEST(TargetedTest, MissingTupleIsNotFound) {
+  Rng rng(8);
+  SharedDatabase sdb = SmallDb(rng, 3);
+  PlanPtr plan = *ParseQuery("SELECT a FROM R");
+  Result<BoolExprPtr> r = AnnotationForTuple(plan, sdb, Tuple{Value(999)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TargetedTest, WrongArityIsInvalid) {
+  Rng rng(9);
+  SharedDatabase sdb = SmallDb(rng, 3);
+  PlanPtr plan = *ParseQuery("SELECT a FROM R");
+  Result<BoolExprPtr> r =
+      AnnotationForTuple(plan, sdb, Tuple{Value(1), Value(2)});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TargetedTest, RunningExampleTargeted) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  PlanPtr plan = *ParseQuery(testing::RecruitmentQuerySql());
+  BoolExprPtr ann = *AnnotationForTuple(
+      plan, sdb, Tuple{Value("PennSolarExperts Ltd.")});
+  provenance::Dnf dnf = *provenance::Dnf::FromExpr(ann);
+  EXPECT_EQ(dnf.num_terms(), 3u);  // David, Ellen, Georgia hires
+  EXPECT_EQ(dnf.MaxTermSize(), 4u);
+}
+
+}  // namespace
+}  // namespace consentdb::eval

@@ -1,0 +1,95 @@
+// Shared test fixtures: the paper's running example (Table II) and helpers
+// for building small shared databases.
+
+#ifndef CONSENTDB_TESTS_TEST_FIXTURES_H_
+#define CONSENTDB_TESTS_TEST_FIXTURES_H_
+
+#include "consentdb/consent/shared_database.h"
+
+namespace consentdb::testing {
+
+using relational::Column;
+using relational::Schema;
+using relational::Tuple;
+using relational::Value;
+using relational::ValueType;
+
+// Builds the recruitment-agency database of Table II. Tuple owners: the
+// JobSeekers/Assignment rows belong to the agency in their "agency" column;
+// Companies/Vacancies rows belong to "platform".
+inline consent::SharedDatabase RecruitmentDatabase(double probability = 0.5) {
+  consent::SharedDatabase sdb;
+  auto check = [](const Status& s) { CONSENTDB_CHECK(s.ok(), s.ToString()); };
+  auto insert = [&sdb](const std::string& rel, Tuple t, std::string owner,
+                       double p) {
+    Result<provenance::VarId> r = sdb.InsertTuple(rel, std::move(t), owner, p);
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+  };
+
+  check(sdb.CreateRelation("Companies",
+                           Schema({Column{"cid", ValueType::kInt64},
+                                   Column{"name", ValueType::kString}})));
+  insert("Companies", Tuple{Value(11), Value("PennSolarExperts Ltd.")},
+         "platform", probability);
+
+  check(sdb.CreateRelation("Vacancies",
+                           Schema({Column{"vid", ValueType::kInt64},
+                                   Column{"cid", ValueType::kInt64},
+                                   Column{"position", ValueType::kString},
+                                   Column{"amount", ValueType::kInt64}})));
+  insert("Vacancies", Tuple{Value(111), Value(11), Value("analyst"), Value(3)},
+         "platform", probability);
+  insert("Vacancies",
+         Tuple{Value(112), Value(11), Value("supervisor"), Value(1)},
+         "platform", probability);
+
+  check(sdb.CreateRelation("JobSeekers",
+                           Schema({Column{"sid", ValueType::kInt64},
+                                   Column{"name", ValueType::kString},
+                                   Column{"education", ValueType::kString},
+                                   Column{"agency", ValueType::kString}})));
+  insert("JobSeekers",
+         Tuple{Value(1), Value("David"), Value("Env. studies"), Value("Bob")},
+         "Bob", probability);
+  insert("JobSeekers",
+         Tuple{Value(2), Value("Ellen"), Value("Env. studies"), Value("Bob")},
+         "Bob", probability);
+  insert("JobSeekers",
+         Tuple{Value(3), Value("Frank"), Value("Env. studies"), Value("Alice")},
+         "Alice", probability);
+  insert("JobSeekers",
+         Tuple{Value(4), Value("Georgia"), Value("Env. studies"), Value("Bob")},
+         "Bob", probability);
+
+  check(sdb.CreateRelation("Assignment",
+                           Schema({Column{"sid", ValueType::kInt64},
+                                   Column{"vid", ValueType::kInt64},
+                                   Column{"status", ValueType::kString},
+                                   Column{"agency", ValueType::kString}})));
+  insert("Assignment", Tuple{Value(1), Value(111), Value("hired"), Value("Bob")},
+         "Bob", probability);
+  insert("Assignment",
+         Tuple{Value(2), Value(112), Value("rejected"), Value("Alice")},
+         "Alice", probability);
+  insert("Assignment", Tuple{Value(2), Value(111), Value("hired"), Value("Bob")},
+         "Bob", probability);
+  insert("Assignment",
+         Tuple{Value(3), Value(111), Value("rejected"), Value("Alice")},
+         "Alice", probability);
+  insert("Assignment",
+         Tuple{Value(4), Value(112), Value("hired"), Value("Alice")},
+         "Alice", probability);
+  return sdb;
+}
+
+// The query Q_ex of Fig. 1.
+inline const char* RecruitmentQuerySql() {
+  return "SELECT DISTINCT c.name "
+         "FROM Companies c, JobSeekers s, Vacancies v, Assignment a "
+         "WHERE c.cid = v.cid AND v.vid = a.vid AND a.status = 'hired' "
+         "AND a.sid = s.sid AND s.education = 'Env. studies'";
+}
+
+}  // namespace consentdb::testing
+
+#endif  // CONSENTDB_TESTS_TEST_FIXTURES_H_
