@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batch_probing.dir/ext_batch_probing.cc.o"
+  "CMakeFiles/ext_batch_probing.dir/ext_batch_probing.cc.o.d"
+  "ext_batch_probing"
+  "ext_batch_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batch_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_correlated_peers.dir/ext_correlated_peers.cc.o"
+  "CMakeFiles/ext_correlated_peers.dir/ext_correlated_peers.cc.o.d"
+  "ext_correlated_peers"
+  "ext_correlated_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_correlated_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_correlated_peers.
+# This may be replaced when dependencies are built.

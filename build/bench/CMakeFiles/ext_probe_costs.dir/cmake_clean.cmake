@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_probe_costs.dir/ext_probe_costs.cc.o"
+  "CMakeFiles/ext_probe_costs.dir/ext_probe_costs.cc.o.d"
+  "ext_probe_costs"
+  "ext_probe_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_probe_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_worst_case.dir/ext_worst_case.cc.o"
+  "CMakeFiles/ext_worst_case.dir/ext_worst_case.cc.o.d"
+  "ext_worst_case"
+  "ext_worst_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_worst_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_psi_size.dir/fig2a_psi_size.cc.o"
+  "CMakeFiles/fig2a_psi_size.dir/fig2a_psi_size.cc.o.d"
+  "fig2a_psi_size"
+  "fig2a_psi_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_psi_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

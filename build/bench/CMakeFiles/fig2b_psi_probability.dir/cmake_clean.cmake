@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_psi_probability.dir/fig2b_psi_probability.cc.o"
+  "CMakeFiles/fig2b_psi_probability.dir/fig2b_psi_probability.cc.o.d"
+  "fig2b_psi_probability"
+  "fig2b_psi_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_psi_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_skewed_joins.dir/fig3a_skewed_joins.cc.o"
+  "CMakeFiles/fig3a_skewed_joins.dir/fig3a_skewed_joins.cc.o.d"
+  "fig3a_skewed_joins"
+  "fig3a_skewed_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_skewed_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

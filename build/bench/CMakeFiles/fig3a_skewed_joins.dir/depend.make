@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3a_skewed_joins.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_skewed_projection.dir/fig3b_skewed_projection.cc.o"
+  "CMakeFiles/fig3b_skewed_projection.dir/fig3b_skewed_projection.cc.o.d"
+  "fig3b_skewed_projection"
+  "fig3b_skewed_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_skewed_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3c_skewed_probability.dir/fig3c_skewed_probability.cc.o"
+  "CMakeFiles/fig3c_skewed_probability.dir/fig3c_skewed_probability.cc.o.d"
+  "fig3c_skewed_probability"
+  "fig3c_skewed_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3c_skewed_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3d_skewed_repetition.dir/fig3d_skewed_repetition.cc.o"
+  "CMakeFiles/fig3d_skewed_repetition.dir/fig3d_skewed_repetition.cc.o.d"
+  "fig3d_skewed_repetition"
+  "fig3d_skewed_repetition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3d_skewed_repetition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

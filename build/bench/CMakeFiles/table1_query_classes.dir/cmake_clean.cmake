@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_query_classes.dir/table1_query_classes.cc.o"
+  "CMakeFiles/table1_query_classes.dir/table1_query_classes.cc.o.d"
+  "table1_query_classes"
+  "table1_query_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_query_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_next_probe.dir/time_next_probe.cc.o"
+  "CMakeFiles/time_next_probe.dir/time_next_probe.cc.o.d"
+  "time_next_probe"
+  "time_next_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_next_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_plan_optimizer.dir/time_plan_optimizer.cc.o"
+  "CMakeFiles/time_plan_optimizer.dir/time_plan_optimizer.cc.o.d"
+  "time_plan_optimizer"
+  "time_plan_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_plan_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

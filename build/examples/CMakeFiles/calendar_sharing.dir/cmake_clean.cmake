@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calendar_sharing.dir/calendar_sharing.cpp.o"
+  "CMakeFiles/calendar_sharing.dir/calendar_sharing.cpp.o.d"
+  "calendar_sharing"
+  "calendar_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calendar_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

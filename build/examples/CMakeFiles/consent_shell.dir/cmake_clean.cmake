@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consent_shell.dir/consent_shell.cpp.o"
+  "CMakeFiles/consent_shell.dir/consent_shell.cpp.o.d"
+  "consent_shell"
+  "consent_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consent_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

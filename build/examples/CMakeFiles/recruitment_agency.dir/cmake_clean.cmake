@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recruitment_agency.dir/recruitment_agency.cpp.o"
+  "CMakeFiles/recruitment_agency.dir/recruitment_agency.cpp.o.d"
+  "recruitment_agency"
+  "recruitment_agency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recruitment_agency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

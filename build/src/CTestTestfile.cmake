@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("consentdb/util")
+subdirs("consentdb/relational")
+subdirs("consentdb/provenance")
+subdirs("consentdb/query")
+subdirs("consentdb/consent")
+subdirs("consentdb/eval")
+subdirs("consentdb/strategy")
+subdirs("consentdb/core")
+subdirs("consentdb/datasets")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/consent/correlated.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/correlated.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/correlated.cc.o.d"
+  "/root/repo/src/consentdb/consent/oracle.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/oracle.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/oracle.cc.o.d"
+  "/root/repo/src/consentdb/consent/prior_estimator.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/prior_estimator.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/prior_estimator.cc.o.d"
+  "/root/repo/src/consentdb/consent/shared_database.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/shared_database.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/shared_database.cc.o.d"
+  "/root/repo/src/consentdb/consent/snapshot.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/snapshot.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/snapshot.cc.o.d"
+  "/root/repo/src/consentdb/consent/variable_pool.cc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/variable_pool.cc.o" "gcc" "src/consentdb/consent/CMakeFiles/consentdb_consent.dir/variable_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/relational/CMakeFiles/consentdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

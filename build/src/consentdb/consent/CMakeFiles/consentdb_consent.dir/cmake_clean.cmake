@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_consent.dir/correlated.cc.o"
+  "CMakeFiles/consentdb_consent.dir/correlated.cc.o.d"
+  "CMakeFiles/consentdb_consent.dir/oracle.cc.o"
+  "CMakeFiles/consentdb_consent.dir/oracle.cc.o.d"
+  "CMakeFiles/consentdb_consent.dir/prior_estimator.cc.o"
+  "CMakeFiles/consentdb_consent.dir/prior_estimator.cc.o.d"
+  "CMakeFiles/consentdb_consent.dir/shared_database.cc.o"
+  "CMakeFiles/consentdb_consent.dir/shared_database.cc.o.d"
+  "CMakeFiles/consentdb_consent.dir/snapshot.cc.o"
+  "CMakeFiles/consentdb_consent.dir/snapshot.cc.o.d"
+  "CMakeFiles/consentdb_consent.dir/variable_pool.cc.o"
+  "CMakeFiles/consentdb_consent.dir/variable_pool.cc.o.d"
+  "libconsentdb_consent.a"
+  "libconsentdb_consent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_consent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

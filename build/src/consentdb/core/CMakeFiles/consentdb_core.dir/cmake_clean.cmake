@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_core.dir/consent_manager.cc.o"
+  "CMakeFiles/consentdb_core.dir/consent_manager.cc.o.d"
+  "libconsentdb_core.a"
+  "libconsentdb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

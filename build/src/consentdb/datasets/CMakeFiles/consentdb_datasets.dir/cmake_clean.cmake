@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_datasets.dir/psi.cc.o"
+  "CMakeFiles/consentdb_datasets.dir/psi.cc.o.d"
+  "CMakeFiles/consentdb_datasets.dir/reductions.cc.o"
+  "CMakeFiles/consentdb_datasets.dir/reductions.cc.o.d"
+  "CMakeFiles/consentdb_datasets.dir/skewed.cc.o"
+  "CMakeFiles/consentdb_datasets.dir/skewed.cc.o.d"
+  "libconsentdb_datasets.a"
+  "libconsentdb_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libconsentdb_datasets.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/eval/annotated_relation.cc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/annotated_relation.cc.o" "gcc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/annotated_relation.cc.o.d"
+  "/root/repo/src/consentdb/eval/evaluate.cc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/evaluate.cc.o" "gcc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/evaluate.cc.o.d"
+  "/root/repo/src/consentdb/eval/provenance_profile.cc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/provenance_profile.cc.o" "gcc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/provenance_profile.cc.o.d"
+  "/root/repo/src/consentdb/eval/targeted.cc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/targeted.cc.o" "gcc" "src/consentdb/eval/CMakeFiles/consentdb_eval.dir/targeted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/consent/CMakeFiles/consentdb_consent.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/query/CMakeFiles/consentdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/relational/CMakeFiles/consentdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_eval.dir/annotated_relation.cc.o"
+  "CMakeFiles/consentdb_eval.dir/annotated_relation.cc.o.d"
+  "CMakeFiles/consentdb_eval.dir/evaluate.cc.o"
+  "CMakeFiles/consentdb_eval.dir/evaluate.cc.o.d"
+  "CMakeFiles/consentdb_eval.dir/provenance_profile.cc.o"
+  "CMakeFiles/consentdb_eval.dir/provenance_profile.cc.o.d"
+  "CMakeFiles/consentdb_eval.dir/targeted.cc.o"
+  "CMakeFiles/consentdb_eval.dir/targeted.cc.o.d"
+  "libconsentdb_eval.a"
+  "libconsentdb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/provenance/bool_expr.cc" "src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/bool_expr.cc.o" "gcc" "src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/bool_expr.cc.o.d"
+  "/root/repo/src/consentdb/provenance/normal_form.cc" "src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/normal_form.cc.o" "gcc" "src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/normal_form.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

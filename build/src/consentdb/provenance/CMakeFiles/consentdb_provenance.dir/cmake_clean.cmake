@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_provenance.dir/bool_expr.cc.o"
+  "CMakeFiles/consentdb_provenance.dir/bool_expr.cc.o.d"
+  "CMakeFiles/consentdb_provenance.dir/normal_form.cc.o"
+  "CMakeFiles/consentdb_provenance.dir/normal_form.cc.o.d"
+  "libconsentdb_provenance.a"
+  "libconsentdb_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/query/classify.cc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/classify.cc.o" "gcc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/classify.cc.o.d"
+  "/root/repo/src/consentdb/query/optimize.cc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/optimize.cc.o" "gcc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/optimize.cc.o.d"
+  "/root/repo/src/consentdb/query/parser.cc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/parser.cc.o" "gcc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/parser.cc.o.d"
+  "/root/repo/src/consentdb/query/plan.cc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/plan.cc.o" "gcc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/plan.cc.o.d"
+  "/root/repo/src/consentdb/query/predicate.cc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/predicate.cc.o" "gcc" "src/consentdb/query/CMakeFiles/consentdb_query.dir/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/relational/CMakeFiles/consentdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

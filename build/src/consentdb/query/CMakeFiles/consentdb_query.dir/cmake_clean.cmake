@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_query.dir/classify.cc.o"
+  "CMakeFiles/consentdb_query.dir/classify.cc.o.d"
+  "CMakeFiles/consentdb_query.dir/optimize.cc.o"
+  "CMakeFiles/consentdb_query.dir/optimize.cc.o.d"
+  "CMakeFiles/consentdb_query.dir/parser.cc.o"
+  "CMakeFiles/consentdb_query.dir/parser.cc.o.d"
+  "CMakeFiles/consentdb_query.dir/plan.cc.o"
+  "CMakeFiles/consentdb_query.dir/plan.cc.o.d"
+  "CMakeFiles/consentdb_query.dir/predicate.cc.o"
+  "CMakeFiles/consentdb_query.dir/predicate.cc.o.d"
+  "libconsentdb_query.a"
+  "libconsentdb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/relational/csv.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/csv.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/csv.cc.o.d"
+  "/root/repo/src/consentdb/relational/database.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/database.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/database.cc.o.d"
+  "/root/repo/src/consentdb/relational/relation.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/relation.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/relation.cc.o.d"
+  "/root/repo/src/consentdb/relational/schema.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/schema.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/schema.cc.o.d"
+  "/root/repo/src/consentdb/relational/tuple.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/tuple.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/tuple.cc.o.d"
+  "/root/repo/src/consentdb/relational/value.cc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/value.cc.o" "gcc" "src/consentdb/relational/CMakeFiles/consentdb_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

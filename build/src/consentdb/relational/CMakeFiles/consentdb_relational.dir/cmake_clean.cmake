@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_relational.dir/csv.cc.o"
+  "CMakeFiles/consentdb_relational.dir/csv.cc.o.d"
+  "CMakeFiles/consentdb_relational.dir/database.cc.o"
+  "CMakeFiles/consentdb_relational.dir/database.cc.o.d"
+  "CMakeFiles/consentdb_relational.dir/relation.cc.o"
+  "CMakeFiles/consentdb_relational.dir/relation.cc.o.d"
+  "CMakeFiles/consentdb_relational.dir/schema.cc.o"
+  "CMakeFiles/consentdb_relational.dir/schema.cc.o.d"
+  "CMakeFiles/consentdb_relational.dir/tuple.cc.o"
+  "CMakeFiles/consentdb_relational.dir/tuple.cc.o.d"
+  "CMakeFiles/consentdb_relational.dir/value.cc.o"
+  "CMakeFiles/consentdb_relational.dir/value.cc.o.d"
+  "libconsentdb_relational.a"
+  "libconsentdb_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consentdb/strategy/batch_runner.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/batch_runner.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/batch_runner.cc.o.d"
+  "/root/repo/src/consentdb/strategy/bdd.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/bdd.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/bdd.cc.o.d"
+  "/root/repo/src/consentdb/strategy/evaluation_state.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/evaluation_state.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/evaluation_state.cc.o.d"
+  "/root/repo/src/consentdb/strategy/expected_cost.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/expected_cost.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/expected_cost.cc.o.d"
+  "/root/repo/src/consentdb/strategy/optimal.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/optimal.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/optimal.cc.o.d"
+  "/root/repo/src/consentdb/strategy/runner.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/runner.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/runner.cc.o.d"
+  "/root/repo/src/consentdb/strategy/strategies.cc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/strategies.cc.o" "gcc" "src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_strategy.dir/batch_runner.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/batch_runner.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/bdd.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/bdd.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/evaluation_state.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/evaluation_state.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/expected_cost.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/expected_cost.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/optimal.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/optimal.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/runner.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/runner.cc.o.d"
+  "CMakeFiles/consentdb_strategy.dir/strategies.cc.o"
+  "CMakeFiles/consentdb_strategy.dir/strategies.cc.o.d"
+  "libconsentdb_strategy.a"
+  "libconsentdb_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consentdb_util.dir/json_writer.cc.o"
+  "CMakeFiles/consentdb_util.dir/json_writer.cc.o.d"
+  "CMakeFiles/consentdb_util.dir/status.cc.o"
+  "CMakeFiles/consentdb_util.dir/status.cc.o.d"
+  "CMakeFiles/consentdb_util.dir/string_util.cc.o"
+  "CMakeFiles/consentdb_util.dir/string_util.cc.o.d"
+  "libconsentdb_util.a"
+  "libconsentdb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consentdb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bdd_test.cc" "tests/CMakeFiles/bdd_test.dir/bdd_test.cc.o" "gcc" "tests/CMakeFiles/bdd_test.dir/bdd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/consentdb/core/CMakeFiles/consentdb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/datasets/CMakeFiles/consentdb_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/strategy/CMakeFiles/consentdb_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/eval/CMakeFiles/consentdb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/query/CMakeFiles/consentdb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/consent/CMakeFiles/consentdb_consent.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/provenance/CMakeFiles/consentdb_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/relational/CMakeFiles/consentdb_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/consentdb/util/CMakeFiles/consentdb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bool_expr_test.dir/bool_expr_test.cc.o"
+  "CMakeFiles/bool_expr_test.dir/bool_expr_test.cc.o.d"
+  "bool_expr_test"
+  "bool_expr_test.pdb"
+  "bool_expr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bool_expr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consent_test.dir/consent_test.cc.o"
+  "CMakeFiles/consent_test.dir/consent_test.cc.o.d"
+  "consent_test"
+  "consent_test.pdb"
+  "consent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

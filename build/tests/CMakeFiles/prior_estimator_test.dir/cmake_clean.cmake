@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prior_estimator_test.dir/prior_estimator_test.cc.o"
+  "CMakeFiles/prior_estimator_test.dir/prior_estimator_test.cc.o.d"
+  "prior_estimator_test"
+  "prior_estimator_test.pdb"
+  "prior_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prior_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

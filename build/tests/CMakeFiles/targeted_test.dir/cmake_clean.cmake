@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targeted_test.dir/targeted_test.cc.o"
+  "CMakeFiles/targeted_test.dir/targeted_test.cc.o.d"
+  "targeted_test"
+  "targeted_test.pdb"
+  "targeted_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targeted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
