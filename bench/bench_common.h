@@ -8,17 +8,26 @@
 //   CONSENTDB_BENCH_REPS     repetitions per data point (default per bench;
 //                            the paper uses >= 10, >= 50 for Random)
 //   CONSENTDB_BENCH_SCALE    multiplies dataset sizes (default 1.0)
+//   CONSENTDB_EMIT_METRICS   when set (non-"0"), instrumented benches record
+//                            probe/decision telemetry and write a
+//                            <bench>_metrics.json sidecar next to their
+//                            stdout tables — the perf trajectory baseline
+//                            for future optimisation PRs
 
 #ifndef CONSENTDB_BENCH_BENCH_COMMON_H_
 #define CONSENTDB_BENCH_BENCH_COMMON_H_
 
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "consentdb/obs/metrics.h"
+#include "consentdb/obs/tracer.h"
 #include "consentdb/strategy/expected_cost.h"
 #include "consentdb/strategy/strategies.h"
 
@@ -40,6 +49,36 @@ inline double ScaleFromEnv() {
 
 inline size_t Scaled(size_t base) {
   return static_cast<size_t>(static_cast<double>(base) * ScaleFromEnv());
+}
+
+// --- Metrics sidecars (CONSENTDB_EMIT_METRICS) -------------------------------
+
+inline bool EmitMetricsEnabled() {
+  const char* env = std::getenv("CONSENTDB_EMIT_METRICS");
+  return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+}
+
+// The bench-wide registry: null (no instrumentation, no clock reads) unless
+// CONSENTDB_EMIT_METRICS is set.
+inline obs::MetricsRegistry* MetricsSink() {
+  static obs::MetricsRegistry registry;
+  return EmitMetricsEnabled() ? &registry : nullptr;
+}
+
+// Writes the accumulated registry as `<bench_name>_metrics.json` in the
+// working directory (next to any result output). No-op when the toggle is
+// off.
+inline void EmitMetricsSidecar(const std::string& bench_name) {
+  obs::MetricsRegistry* metrics = MetricsSink();
+  if (metrics == nullptr) return;
+  const std::string path = bench_name + "_metrics.json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write metrics sidecar " << path << "\n";
+    return;
+  }
+  out << obs::ExportObservabilityJson(metrics, nullptr) << "\n";
+  std::cerr << "wrote metrics sidecar " << path << "\n";
 }
 
 struct NamedStrategy {

@@ -41,6 +41,7 @@ int main() {
       strategy::EstimateOptions options;
       options.reps = base_reps;
       options.seed = 500 + level;
+      options.metrics = bench::MetricsSink();
       cells.push_back(bench::FormatMean(
           strategy::EstimateExpectedCost(
               dnfs, pi, datasets::MakePsiOptimalFactory(psi), options)
@@ -51,6 +52,7 @@ int main() {
       options.reps = base_reps * s.reps_multiplier;
       options.seed = 500 + level;  // same valuations across algorithms
       if (s.needs_cnfs) options.precomputed_cnfs = &cnfs;
+      options.metrics = bench::MetricsSink();
       cells.push_back(bench::FormatMean(
           strategy::EstimateExpectedCost(dnfs, pi, s.factory, options).mean));
     }
@@ -60,5 +62,6 @@ int main() {
   }
   std::cout << "\nexpected shape: informed strategies stay near 2*level+3 "
                "probes;\nRandom degrades linearly with the variable count.\n";
+  bench::EmitMetricsSidecar("fig2a_psi_size");
   return 0;
 }

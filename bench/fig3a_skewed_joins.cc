@@ -34,7 +34,8 @@ int main() {
     params.avg_repetitions = 2.6;
     params.probability = 0.7;
     std::vector<bench::SkewedCell> cells = bench::RunSkewedPoint(
-        params, strategies, reps, /*seed=*/3100 + joins, cnf_limits);
+        params, strategies, reps, /*seed=*/3100 + joins, cnf_limits,
+        bench::MetricsSink());
     std::vector<std::string> rendered;
     for (const auto& c : cells) rendered.push_back(c.ToString());
     table.PrintRow(std::to_string(joins), rendered);
@@ -42,5 +43,6 @@ int main() {
   std::cout << "\nexpected shape: informed probing beats Random throughout; "
                "Q-value/General\nlead as terms grow (finer analysis of the "
                "provenance structure).\n";
+  bench::EmitMetricsSidecar("fig3a_skewed_joins");
   return 0;
 }

@@ -30,7 +30,8 @@ struct SkewedCell {
 inline std::vector<SkewedCell> RunSkewedPoint(
     const datasets::SkewedParams& params,
     const std::vector<NamedStrategy>& strategies, size_t base_reps,
-    uint64_t seed, provenance::NormalFormLimits cnf_limits) {
+    uint64_t seed, provenance::NormalFormLimits cnf_limits,
+    obs::MetricsRegistry* metrics = nullptr) {
   std::vector<SkewedCell> cells(strategies.size());
   size_t max_mult = 1;
   for (const NamedStrategy& s : strategies) {
@@ -51,8 +52,10 @@ inline std::vector<SkewedCell> RunSkewedPoint(
         continue;
       }
       std::unique_ptr<strategy::ProbeStrategy> strat = s.factory();
+      strategy::RunInstrumentation instr;
+      instr.metrics = metrics;
       strategy::ProbeRun run =
-          strategy::RunToCompletion(state, *strat, hidden);
+          strategy::RunToCompletion(state, *strat, hidden, instr);
       cells[i].mean += static_cast<double>(run.num_probes);
       cells[i].reps += 1;
     }

@@ -23,6 +23,8 @@
 #include <sstream>
 
 #include "consentdb/core/consent_manager.h"
+#include "consentdb/obs/metrics.h"
+#include "consentdb/obs/tracer.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/relational/csv.h"
 #include "consentdb/util/rng.h"
@@ -76,6 +78,9 @@ class Shell {
     if (EqualsIgnoreCase(command, "analyze")) return Analyze(rest);
     if (EqualsIgnoreCase(command, "decide")) return Decide(rest, interactive);
     if (EqualsIgnoreCase(command, "simulate")) return Simulate(rest);
+    if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
+      return Stats(rest);
+    }
     return Status::InvalidArgument("unknown command '" + command +
                                    "' (try: help)");
   }
@@ -92,6 +97,8 @@ class Shell {
         "  analyze <sql>                      class, guarantees, provenance\n"
         "  decide <sql>                       probe consent interactively\n"
         "  simulate <sql>                     probe against simulated peers\n"
+        "  \\stats [json|reset]                session telemetry (metrics +\n"
+        "                                     last-session probe trace)\n"
         "  exit\n";
     return Status::OK();
   }
@@ -256,8 +263,10 @@ class Shell {
   Status Analyze(const std::string& sql) {
     CONSENTDB_ASSIGN_OR_RETURN(query::PlanPtr plan, query::ParseQuery(sql));
     core::ConsentManager manager(sdb_);
+    core::SessionOptions options;
+    options.metrics = &metrics_;
     CONSENTDB_ASSIGN_OR_RETURN(core::QueryAnalysis analysis,
-                               manager.Analyze(plan));
+                               manager.Analyze(plan, options));
     std::cout << "class: " << analysis.profile.ToString() << "\n";
     std::cout << "provenance: " << analysis.provenance.ToString() << "\n";
     const query::Guarantees& g = analysis.guarantees;
@@ -295,8 +304,11 @@ class Shell {
 
   Status Session(const std::string& sql, core::ConsentManager& manager,
                  consent::ProbeOracle& oracle) {
+    core::SessionOptions options;
+    options.metrics = &metrics_;
+    options.tracer = &tracer_;
     CONSENTDB_ASSIGN_OR_RETURN(core::SessionReport report,
-                               manager.DecideAll(sql, oracle));
+                               manager.DecideAll(sql, oracle, options));
     std::cout << "algorithm: " << report.algorithm_used << " ("
               << report.selection_rationale << ")\n";
     for (const auto& probe : report.trace) {
@@ -312,8 +324,46 @@ class Shell {
     return Status::OK();
   }
 
+  Status Stats(const std::string& args) {
+    if (EqualsIgnoreCase(args, "json")) {
+      std::cout << obs::ExportObservabilityJson(&metrics_, &tracer_) << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(args, "reset")) {
+      metrics_.Reset();
+      tracer_.Clear();
+      std::cout << "telemetry reset\n";
+      return Status::OK();
+    }
+    if (!args.empty()) {
+      return Status::InvalidArgument("usage: \\stats [json|reset]");
+    }
+    if (metrics_.num_metrics() == 0) {
+      std::cout << "no telemetry yet — run decide/simulate/analyze first\n";
+      return Status::OK();
+    }
+    std::cout << "--- metrics (cumulative) ---\n" << metrics_.ExportText();
+    if (!tracer_.events().empty()) {
+      std::cout << "--- last session (" << tracer_.algorithm() << ", "
+                << tracer_.num_probes() << " probes, "
+                << tracer_.session_nanos() / 1000 << " us) ---\n";
+      for (const obs::ProbeEvent& ev : tracer_.events()) {
+        std::cout << "  #" << ev.probe_index << " " << ev.variable_name
+                  << " (" << ev.owner << ") -> "
+                  << (ev.answer ? "yes" : "no") << "  decided "
+                  << ev.formulas_decided << "/"
+                  << (ev.formulas_decided + ev.formulas_remaining)
+                  << ", residual terms " << ev.residual_terms << ", chose in "
+                  << ev.decision_nanos / 1000 << " us\n";
+      }
+    }
+    return Status::OK();
+  }
+
   consent::SharedDatabase sdb_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  obs::SessionTracer tracer_;
 };
 
 }  // namespace

@@ -127,8 +127,17 @@ Result<Selection> SelectStrategy(Algorithm algorithm,
 Result<SessionReport> ConsentManager::RunSession(
     const PlanPtr& plan, std::optional<Tuple> single, ProbeOracle& oracle,
     const SessionOptions& options) const {
+  obs::MetricsRegistry* metrics = options.metrics;
+  const bool instrumented = metrics != nullptr || options.tracer != nullptr;
+  const int64_t session_start = instrumented ? obs::MonotonicNanos() : 0;
+  obs::ScopedTimer session_timer(
+      obs::MaybeHistogram(metrics, "session.total_ns"));
+  obs::Increment(metrics, "session.count");
+  if (options.tracer != nullptr) options.tracer->Clear();
+
   PlanPtr effective = plan;
   if (options.optimize_plan) {
+    obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "query.optimize_ns"));
     CONSENTDB_ASSIGN_OR_RETURN(effective,
                                query::Optimize(plan, sdb_.database()));
   }
@@ -139,14 +148,16 @@ Result<SessionReport> ConsentManager::RunSession(
   if (single.has_value()) {
     // Targeted evaluation: the tuple's provenance is computed by pushing
     // its values down the plan, without materialising the whole result.
+    obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "eval.targeted_ns"));
     CONSENTDB_ASSIGN_OR_RETURN(
         provenance::BoolExprPtr annotation,
         eval::AnnotationForTuple(effective, sdb_, *single));
     tuples.push_back(*single);
     annotations.push_back(std::move(annotation));
   } else {
-    CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation annotated,
-                               eval::EvaluateAnnotated(effective, sdb_));
+    CONSENTDB_ASSIGN_OR_RETURN(
+        AnnotatedRelation annotated,
+        eval::EvaluateAnnotated(effective, sdb_, metrics));
     tuples = annotated.tuples();
     annotations = annotated.annotations();
   }
@@ -158,25 +169,41 @@ Result<SessionReport> ConsentManager::RunSession(
     for (size_t i = 0; i < tuples.size(); ++i) {
       subset.Insert(tuples[i], annotations[i]);
     }
-    CONSENTDB_ASSIGN_OR_RETURN(profile,
-                               eval::ProfileProvenance(subset, options.dnf_limits));
+    CONSENTDB_ASSIGN_OR_RETURN(
+        profile,
+        eval::ProfileProvenance(subset, options.dnf_limits, metrics));
   }
 
   std::vector<double> pi = sdb_.pool().Probabilities();
   EvaluationState state(profile.dnfs, pi);
-  CONSENTDB_ASSIGN_OR_RETURN(
-      Selection sel,
-      SelectStrategy(options.algorithm, profile, single.has_value(), options,
-                     pi, &state));
+  Selection sel;
+  {
+    obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "session.select_ns"));
+    CONSENTDB_ASSIGN_OR_RETURN(
+        sel, SelectStrategy(options.algorithm, profile, single.has_value(),
+                            options, pi, &state));
+  }
+  if (metrics != nullptr) {
+    obs::Increment(
+        metrics,
+        ("session.algorithm." + sel.strategy->name()).c_str());
+  }
+  if (options.tracer != nullptr) {
+    options.tracer->set_algorithm(sel.strategy->name());
+  }
 
+  strategy::RunInstrumentation instr;
+  instr.metrics = metrics;
+  instr.tracer = options.tracer;
   strategy::ProbeRun run = strategy::RunToCompletion(
-      state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); });
+      state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); },
+      instr);
 
   SessionReport report;
   report.num_probes = run.num_probes;
   report.algorithm_used = sel.strategy->name();
   report.selection_rationale = sel.rationale;
-  report.query_profile = query::Classify(*plan);
+  report.query_profile = query::Classify(*plan, metrics);
   report.provenance_tuples = profile.dnfs.size();
   report.provenance_max_terms = profile.max_terms_per_tuple;
   report.provenance_max_term_size = profile.max_term_size;
@@ -193,6 +220,23 @@ Result<SessionReport> ConsentManager::RunSession(
   for (const auto& [x, answer] : run.trace) {
     report.trace.push_back(SessionReport::ProbeRecord{
         x, sdb_.pool().name(x), sdb_.pool().owner(x), answer});
+  }
+  if (metrics != nullptr) {
+    metrics
+        ->GetHistogram("session.probes",
+                       {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096})
+        ->Observe(run.num_probes);
+    obs::SetGauge(metrics, "session.last_probes",
+                  static_cast<double>(run.num_probes));
+  }
+  if (options.tracer != nullptr) {
+    // Enrich the runner's events with peer-facing identities; the runner
+    // only sees VarIds.
+    for (obs::ProbeEvent& ev : options.tracer->mutable_events()) {
+      ev.variable_name = sdb_.pool().name(ev.variable);
+      ev.owner = sdb_.pool().owner(ev.variable);
+    }
+    options.tracer->set_session_nanos(obs::MonotonicNanos() - session_start);
   }
   return report;
 }
@@ -226,13 +270,14 @@ Result<SessionReport> ConsentManager::DecideSingle(
 Result<QueryAnalysis> ConsentManager::Analyze(
     const PlanPtr& plan, const SessionOptions& options) const {
   QueryAnalysis analysis;
-  analysis.profile = query::Classify(*plan);
+  analysis.profile = query::Classify(*plan, options.metrics);
   analysis.guarantees = query::GuaranteesFor(analysis.profile);
-  CONSENTDB_ASSIGN_OR_RETURN(AnnotatedRelation annotated,
-                             eval::EvaluateAnnotated(plan, sdb_));
+  CONSENTDB_ASSIGN_OR_RETURN(
+      AnnotatedRelation annotated,
+      eval::EvaluateAnnotated(plan, sdb_, options.metrics));
   CONSENTDB_ASSIGN_OR_RETURN(
       analysis.provenance,
-      eval::ProfileProvenance(annotated, options.dnf_limits));
+      eval::ProfileProvenance(annotated, options.dnf_limits, options.metrics));
   return analysis;
 }
 

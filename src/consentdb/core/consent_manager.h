@@ -18,6 +18,8 @@
 #include "consentdb/consent/shared_database.h"
 #include "consentdb/eval/evaluate.h"
 #include "consentdb/eval/provenance_profile.h"
+#include "consentdb/obs/metrics.h"
+#include "consentdb/obs/tracer.h"
 #include "consentdb/query/classify.h"
 #include "consentdb/query/parser.h"
 #include "consentdb/strategy/runner.h"
@@ -51,6 +53,15 @@ struct SessionOptions {
   size_t qvalue_max_terms = 64;
   uint64_t random_seed = 42;       // for Algorithm::kRandom
   size_t optimal_max_vars = 20;    // for Algorithm::kOptimal
+
+  // Opt-in telemetry. With `metrics` attached the whole pipeline records
+  // phase timings and counters (session.*, eval.*, query.*, strategy.*);
+  // with `tracer` attached the session logs one structured event per probe
+  // (cleared at session start, enriched with peer names/owners at the end).
+  // Both default to null — the null sink — which skips every clock read and
+  // must not change which probes are issued.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SessionTracer* tracer = nullptr;
 };
 
 // Shareability verdict for one output tuple.

@@ -123,9 +123,11 @@ Result<Relation> Evaluate(const PlanPtr& plan, const Database& db) {
 }
 
 Result<AnnotatedRelation> EvaluateAnnotated(const PlanPtr& plan,
-                                            const SharedDatabase& sdb) {
+                                            const SharedDatabase& sdb,
+                                            obs::MetricsRegistry* metrics) {
   const Database& db = sdb.database();
-  return EvaluateImpl(
+  obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "eval.annotate_ns"));
+  Result<AnnotatedRelation> annotated = EvaluateImpl(
       plan, db,
       [&sdb](const std::string& relation,
              size_t tuple_index) -> Result<BoolExprPtr> {
@@ -133,6 +135,10 @@ Result<AnnotatedRelation> EvaluateAnnotated(const PlanPtr& plan,
                                    sdb.AnnotationOf(relation, tuple_index));
         return BoolExpr::Var(var);
       });
+  if (metrics != nullptr && annotated.ok()) {
+    obs::Increment(metrics, "eval.output_tuples", annotated->size());
+  }
+  return annotated;
 }
 
 Result<Relation> EvaluateOverConsentedFragment(

@@ -10,6 +10,7 @@
 
 #include "consentdb/consent/shared_database.h"
 #include "consentdb/eval/annotated_relation.h"
+#include "consentdb/obs/metrics.h"
 #include "consentdb/query/plan.h"
 #include "consentdb/util/result.h"
 
@@ -21,9 +22,12 @@ Result<relational::Relation> Evaluate(const query::PlanPtr& plan,
 
 // Provenance-tracked evaluation of `plan` over a shared database: every
 // output tuple is annotated with a positive Boolean expression over the
-// consent variables of the input tuples it derives from.
+// consent variables of the input tuples it derives from. With `metrics`
+// attached, records the provenance build time (eval.annotate_ns) and the
+// output size (eval.output_tuples).
 Result<AnnotatedRelation> EvaluateAnnotated(
-    const query::PlanPtr& plan, const consent::SharedDatabase& sdb);
+    const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
+    obs::MetricsRegistry* metrics = nullptr);
 
 // Def. II.6 implemented literally: evaluates `plan` over the sub-database of
 // consented tuples. Used to cross-check EvaluateAnnotated (Prop. III.2).

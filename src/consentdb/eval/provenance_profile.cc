@@ -8,13 +8,29 @@ using provenance::Dnf;
 using provenance::VarId;
 
 Result<ProvenanceProfile> ProfileProvenance(
-    const AnnotatedRelation& relation, provenance::NormalFormLimits limits) {
+    const AnnotatedRelation& relation, provenance::NormalFormLimits limits,
+    obs::MetricsRegistry* metrics) {
+  obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "eval.profile_ns"));
+  // Size-scaled buckets (term/literal counts, not latencies).
+  const std::vector<uint64_t> size_bounds = {1,  2,   4,   8,    16,  32,
+                                             64, 128, 256, 1024, 4096};
+  obs::Histogram* dnf_terms =
+      metrics != nullptr ? metrics->GetHistogram("eval.dnf_terms", size_bounds)
+                         : nullptr;
+  obs::Histogram* dnf_literals =
+      metrics != nullptr
+          ? metrics->GetHistogram("eval.dnf_literals", size_bounds)
+          : nullptr;
   ProvenanceProfile profile;
   profile.dnfs.reserve(relation.size());
   std::set<VarId> seen_anywhere;
   for (size_t i = 0; i < relation.size(); ++i) {
     CONSENTDB_ASSIGN_OR_RETURN(
         Dnf dnf, Dnf::FromExpr(relation.annotation(i), limits));
+    if (dnf_terms != nullptr) {
+      dnf_terms->Observe(dnf.num_terms());
+      dnf_literals->Observe(dnf.TotalLiterals());
+    }
     profile.max_terms_per_tuple =
         std::max(profile.max_terms_per_tuple, dnf.num_terms());
     profile.max_term_size = std::max(profile.max_term_size, dnf.MaxTermSize());

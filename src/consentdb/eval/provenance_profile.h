@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "consentdb/eval/annotated_relation.h"
+#include "consentdb/obs/metrics.h"
 #include "consentdb/provenance/normal_form.h"
 #include "consentdb/util/result.h"
 
@@ -35,10 +36,13 @@ struct ProvenanceProfile {
 };
 
 // Flattens every annotation to minimal monotone DNF and computes the
-// profile. Fails with ResourceExhausted if a DNF exceeds `limits`.
+// profile. Fails with ResourceExhausted if a DNF exceeds `limits`. With
+// `metrics` attached, records the flattening time (eval.profile_ns) and the
+// per-tuple DNF size distribution (eval.dnf_terms / eval.dnf_literals).
 Result<ProvenanceProfile> ProfileProvenance(
     const AnnotatedRelation& relation,
-    provenance::NormalFormLimits limits = {});
+    provenance::NormalFormLimits limits = {},
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace consentdb::eval
 

@@ -1,0 +1,233 @@
+#include "consentdb/obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb::obs {
+
+int64_t MonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::vector<uint64_t> Histogram::DefaultLatencyBounds() {
+  std::vector<uint64_t> bounds;
+  for (uint64_t b = 256; b <= (uint64_t{1} << 32); b *= 4) {
+    bounds.push_back(b);
+  }
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBounds() : std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CONSENTDB_CHECK(bounds_[i - 1] < bounds_[i],
+                    "histogram bounds must be strictly ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(uint64_t value) {
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = min_.load(std::memory_order_relaxed);
+  while (value < prev &&
+         !min_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+  prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+uint64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+double Histogram::Mean() const {
+  uint64_t c = count();
+  return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  CONSENTDB_CHECK(i <= bounds_.size(), "histogram bucket index out of range");
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  uint64_t c = count();
+  if (c == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(c - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) return std::min(bounds_[i], max());
+  }
+  return max();
+}
+
+void Histogram::Merge(const Histogram& other) {
+  CONSENTDB_CHECK(bounds_ == other.bounds_,
+                  "cannot merge histograms with different bounds");
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].fetch_add(other.bucket_count(i), std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  if (other.count() > 0) {
+    uint64_t v = other.min();
+    uint64_t prev = min_.load(std::memory_order_relaxed);
+    while (v < prev &&
+           !min_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+    v = other.max();
+    prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return slot.get();
+}
+
+size_t MetricsRegistry::num_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " count=" << h->count() << " sum=" << h->sum()
+       << " mean=" << h->Mean() << " min=" << h->min() << " max=" << h->max()
+       << " p50=" << h->Percentile(0.5) << " p99=" << h->Percentile(0.99)
+       << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) {
+    w.Key(name);
+    w.Uint(c->value());
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) {
+    w.Key(name);
+    w.Double(g->value());
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h->count());
+    w.Key("sum");
+    w.Uint(h->sum());
+    w.Key("min");
+    w.Uint(h->min());
+    w.Key("max");
+    w.Uint(h->max());
+    w.Key("mean");
+    w.Double(h->Mean());
+    w.Key("p50");
+    w.Uint(h->Percentile(0.5));
+    w.Key("p99");
+    w.Uint(h->Percentile(0.99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i <= h->bounds().size(); ++i) {
+      uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;  // sparse export: empty buckets are implicit
+      w.BeginObject();
+      w.Key("le");
+      if (i < h->bounds().size()) {
+        w.Uint(h->bounds()[i]);
+      } else {
+        w.String("inf");
+      }
+      w.Key("count");
+      w.Uint(n);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.TakeString();
+}
+
+}  // namespace consentdb::obs

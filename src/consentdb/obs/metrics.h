@@ -1,0 +1,187 @@
+// Probe-session telemetry: a metrics registry of named counters, gauges and
+// fixed-bucket latency histograms, plus a ScopedTimer RAII helper.
+//
+// Design constraints (the ROADMAP's hot paths must stay hot):
+//   * Updates are lock-free: counters/gauges are single relaxed atomics and
+//     histogram buckets are an atomic array. The registry mutex guards only
+//     name registration; call sites hoist the instrument pointer once per
+//     session and then update without any lock.
+//   * The whole subsystem is opt-in. Every instrumented API takes a
+//     `MetricsRegistry*` defaulting to nullptr; the null-sink helpers below
+//     (`Increment`, `Observe`, `MaybeHistogram`, a ScopedTimer on a null
+//     histogram) compile down to a pointer test, so the default path does
+//     not even read the clock.
+//   * Instrument pointers returned by the registry are stable for the
+//     registry's lifetime (instruments are heap-allocated and never erased
+//     by Reset, which only zeroes values).
+//
+// Export goes through util/json_writer (ExportJson) or a plain aligned text
+// dump (ExportText) for the shell's \stats command.
+
+#ifndef CONSENTDB_OBS_METRICS_H_
+#define CONSENTDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace consentdb {
+class JsonWriter;
+}  // namespace consentdb
+
+namespace consentdb::obs {
+
+// Monotonic wall clock in nanoseconds (steady_clock).
+int64_t MonotonicNanos();
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// A fixed-bucket histogram over non-negative integer samples (latencies in
+// nanoseconds, sizes in counts). Bucket i counts samples <= bounds[i]; one
+// implicit overflow bucket counts the rest. Bounds are fixed at first
+// registration, so Merge between histograms of the same name is well-defined.
+class Histogram {
+ public:
+  // `bounds` must be strictly ascending; empty selects DefaultLatencyBounds.
+  explicit Histogram(std::vector<uint64_t> bounds = {});
+
+  // Power-of-4 nanosecond bounds from 256ns to ~4.4s (12 buckets + overflow):
+  // wide enough for a sub-microsecond heap pop and a multi-second session.
+  static std::vector<uint64_t> DefaultLatencyBounds();
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t min() const;  // 0 when empty
+  uint64_t max() const;  // 0 when empty
+  double Mean() const;
+  // Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
+  // counts; returns max() for samples in the overflow bucket.
+  uint64_t Percentile(double q) const;
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  // Count of bucket i (i == bounds().size() is the overflow bucket).
+  uint64_t bucket_count(size_t i) const;
+
+  // Adds another histogram's samples into this one; bounds must match.
+  void Merge(const Histogram& other);
+  void Reset();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named instruments. Thread-safe; see the header comment for the locking
+// discipline. Instruments live as long as the registry.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // First call fixes the bounds (empty = DefaultLatencyBounds); later calls
+  // with different bounds return the originally registered histogram.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<uint64_t> bounds = {});
+
+  // Distinct metric names registered (counters + gauges + histograms).
+  size_t num_metrics() const;
+  // Zeroes every instrument, keeping registrations and pointers valid.
+  void Reset();
+
+  // Alphabetical `name value` / histogram summary lines.
+  std::string ExportText() const;
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  //  mean,p50,p99,buckets:[{le,count},...]}}}
+  std::string ExportJson() const;
+  // Emits the same object into an in-progress document (after w.Key(...)).
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Times a scope and records the elapsed nanoseconds into `hist` on
+// destruction. A null histogram makes construction and destruction no-ops
+// (the clock is never read) — this is the zero-overhead null sink.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? MonotonicNanos() : 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<uint64_t>(MonotonicNanos() - start_));
+    }
+  }
+
+  // Nanoseconds since construction (0 under a null histogram).
+  int64_t ElapsedNanos() const {
+    return hist_ != nullptr ? MonotonicNanos() - start_ : 0;
+  }
+
+ private:
+  Histogram* hist_;
+  int64_t start_;
+};
+
+// --- Null-sink helpers: every call is a no-op when `m` is nullptr. ----------
+
+inline void Increment(MetricsRegistry* m, const char* name,
+                      uint64_t delta = 1) {
+  if (m != nullptr) m->GetCounter(name)->Add(delta);
+}
+
+inline void SetGauge(MetricsRegistry* m, const char* name, double value) {
+  if (m != nullptr) m->GetGauge(name)->Set(value);
+}
+
+inline void Observe(MetricsRegistry* m, const char* name, uint64_t value) {
+  if (m != nullptr) m->GetHistogram(name)->Observe(value);
+}
+
+inline Histogram* MaybeHistogram(MetricsRegistry* m, const char* name) {
+  return m != nullptr ? m->GetHistogram(name) : nullptr;
+}
+
+}  // namespace consentdb::obs
+
+#endif  // CONSENTDB_OBS_METRICS_H_

@@ -1,0 +1,80 @@
+#include "consentdb/obs/tracer.h"
+
+#include "consentdb/obs/metrics.h"
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb::obs {
+
+void SessionTracer::Clear() {
+  events_.clear();
+  algorithm_.clear();
+  session_nanos_ = 0;
+}
+
+void SessionTracer::WriteJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("algorithm");
+  w.String(algorithm_);
+  w.Key("session_nanos");
+  w.Int(session_nanos_);
+  w.Key("num_probes");
+  w.Uint(events_.size());
+  w.Key("events");
+  w.BeginArray();
+  for (const ProbeEvent& ev : events_) {
+    w.BeginObject();
+    w.Key("probe_index");
+    w.Uint(ev.probe_index);
+    w.Key("variable");
+    w.Uint(ev.variable);
+    if (!ev.variable_name.empty()) {
+      w.Key("variable_name");
+      w.String(ev.variable_name);
+    }
+    if (!ev.owner.empty()) {
+      w.Key("owner");
+      w.String(ev.owner);
+    }
+    w.Key("answer");
+    w.Bool(ev.answer);
+    w.Key("decision_nanos");
+    w.Int(ev.decision_nanos);
+    w.Key("formulas_decided");
+    w.Uint(ev.formulas_decided);
+    w.Key("formulas_remaining");
+    w.Uint(ev.formulas_remaining);
+    w.Key("residual_terms");
+    w.Uint(ev.residual_terms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string SessionTracer::ToJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.TakeString();
+}
+
+std::string ExportObservabilityJson(const MetricsRegistry* metrics,
+                                    const SessionTracer* tracer) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics");
+  if (metrics != nullptr) {
+    metrics->WriteJson(w);
+  } else {
+    w.Null();
+  }
+  w.Key("session");
+  if (tracer != nullptr) {
+    tracer->WriteJson(w);
+  } else {
+    w.Null();
+  }
+  w.EndObject();
+  return w.TakeString();
+}
+
+}  // namespace consentdb::obs

@@ -1,0 +1,91 @@
+// SessionTracer: structured per-probe event log of one probing session.
+//
+// Where the MetricsRegistry aggregates (how much time, how many probes), the
+// tracer keeps the sequence: one ProbeEvent per probe issued, recording which
+// variable the strategy picked, how long the deliberation took, what the
+// answer was and how much of the formula system remained afterwards. The
+// session loop (strategy/runner) is the single producer; ProbeRun::trace is
+// derived from these events, so the two views cannot diverge.
+//
+// The tracer is a passive sink with no locking: one session records into one
+// tracer. ConsentManager enriches events with variable names and owners
+// after the run (the runner only sees VarIds).
+
+#ifndef CONSENTDB_OBS_TRACER_H_
+#define CONSENTDB_OBS_TRACER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace consentdb {
+class JsonWriter;
+}  // namespace consentdb
+
+namespace consentdb::obs {
+
+class MetricsRegistry;
+
+struct ProbeEvent {
+  // 0-based index within the session.
+  size_t probe_index = 0;
+  // The consent variable the strategy chose.
+  uint32_t variable = 0;
+  // Human-readable enrichment (empty until ConsentManager fills them in).
+  std::string variable_name;
+  std::string owner;
+  // The peer's answer.
+  bool answer = false;
+  // Wall time the strategy spent deciding which variable to probe. Zero when
+  // the session ran uninstrumented.
+  int64_t decision_nanos = 0;
+  // Formula-system shape after applying the answer.
+  size_t formulas_decided = 0;
+  size_t formulas_remaining = 0;
+  // Live DNF terms across all undecided formulas (residual size). Zero when
+  // the session ran uninstrumented.
+  size_t residual_terms = 0;
+};
+
+class SessionTracer {
+ public:
+  SessionTracer() = default;
+  SessionTracer(const SessionTracer&) = delete;
+  SessionTracer& operator=(const SessionTracer&) = delete;
+
+  // Starts a fresh session: drops prior events and metadata.
+  void Clear();
+
+  void OnProbe(ProbeEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<ProbeEvent>& events() const { return events_; }
+  // For post-run enrichment (names/owners) by the session owner.
+  std::vector<ProbeEvent>& mutable_events() { return events_; }
+  size_t num_probes() const { return events_.size(); }
+
+  // Session metadata, set by the session owner.
+  void set_algorithm(std::string algorithm) {
+    algorithm_ = std::move(algorithm);
+  }
+  const std::string& algorithm() const { return algorithm_; }
+  void set_session_nanos(int64_t nanos) { session_nanos_ = nanos; }
+  int64_t session_nanos() const { return session_nanos_; }
+
+  // {"algorithm":...,"session_nanos":...,"num_probes":...,"events":[...]}
+  std::string ToJson() const;
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  std::vector<ProbeEvent> events_;
+  std::string algorithm_;
+  int64_t session_nanos_ = 0;
+};
+
+// One combined observability document for sidecars and the shell:
+// {"metrics":{...}|null,"session":{...}|null}.
+std::string ExportObservabilityJson(const MetricsRegistry* metrics,
+                                    const SessionTracer* tracer);
+
+}  // namespace consentdb::obs
+
+#endif  // CONSENTDB_OBS_TRACER_H_

@@ -97,7 +97,8 @@ bool IsPartitioned(const Plan& plan) {
 
 }  // namespace
 
-QueryProfile Classify(const Plan& plan) {
+QueryProfile Classify(const Plan& plan, obs::MetricsRegistry* metrics) {
+  obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "query.classify_ns"));
   QueryProfile profile;
   size_t top_branch_joins = 0;
   Walk(plan, &profile, &top_branch_joins);
@@ -121,6 +122,12 @@ QueryProfile Classify(const Plan& plan) {
     profile.query_class = QueryClass::kSU;
   } else {
     profile.query_class = QueryClass::kS;
+  }
+  if (metrics != nullptr) {
+    obs::Increment(metrics,
+                   (std::string("query.class.") +
+                    QueryClassToString(profile.query_class))
+                       .c_str());
   }
   return profile;
 }

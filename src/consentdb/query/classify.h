@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "consentdb/obs/metrics.h"
 #include "consentdb/query/plan.h"
 
 namespace consentdb::query {
@@ -51,8 +52,9 @@ struct QueryProfile {
 
 // Statically analyses a plan. (The database is not consulted; data-dependent
 // properties such as the projection limit are computed by the eval module
-// on the annotated result.)
-QueryProfile Classify(const Plan& plan);
+// on the annotated result.) With `metrics` attached, records classification
+// time (query.classify_ns) and a per-fragment counter (query.class.<name>).
+QueryProfile Classify(const Plan& plan, obs::MetricsRegistry* metrics = nullptr);
 
 // Theoretical guarantees from Table I for a profile.
 struct Guarantees {

@@ -6,13 +6,15 @@ namespace consentdb::strategy {
 
 BatchProbeRun RunToCompletionBatched(EvaluationState& state,
                                      const StrategyFactory& factory,
-                                     const ProbeFn& probe,
-                                     size_t batch_size) {
+                                     const ProbeFn& probe, size_t batch_size,
+                                     const RunInstrumentation& instr) {
   CONSENTDB_CHECK(batch_size >= 1, "batch size must be positive");
   BatchProbeRun run;
+  obs::Histogram* plan_ns = obs::MaybeHistogram(instr.metrics, "batch.plan_ns");
   while (!state.AllDecided()) {
     // Plan the round on a scratch copy under most-likely answers.
     std::vector<VarId> batch;
+    const int64_t t0 = instr.enabled() ? obs::MonotonicNanos() : 0;
     {
       EvaluationState scratch = state;
       std::unique_ptr<ProbeStrategy> planner = factory();
@@ -26,14 +28,31 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
         planner->OnAnswer(scratch, x, guess);
       }
     }
+    const int64_t planning = instr.enabled() ? obs::MonotonicNanos() - t0 : 0;
+    if (plan_ns != nullptr) plan_ns->Observe(static_cast<uint64_t>(planning));
     CONSENTDB_CHECK(!batch.empty(), "empty batch with undecided formulas");
     // Send the whole batch; every sent probe counts, even those made
     // redundant by earlier answers of the same round.
     ++run.num_rounds;
-    for (VarId x : batch) {
+    obs::Increment(instr.metrics, "batch.rounds");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      VarId x = batch[i];
       bool answer = probe(x);
       ++run.num_probes;
       if (state.var_value(x) == Truth::kUnknown) state.Assign(x, answer);
+      obs::Increment(instr.metrics, "batch.probes");
+      if (instr.tracer != nullptr) {
+        obs::ProbeEvent ev;
+        ev.probe_index = run.num_probes - 1;
+        ev.variable = x;
+        ev.answer = answer;
+        // Planning time is a per-round cost; attribute it to the round's
+        // first probe so event sums match wall time.
+        ev.decision_nanos = i == 0 ? planning : 0;
+        ev.formulas_decided = state.num_formulas() - state.num_undecided();
+        ev.formulas_remaining = state.num_undecided();
+        instr.tracer->OnProbe(std::move(ev));
+      }
     }
   }
   run.outcomes = state.FormulaValues();
@@ -41,16 +60,36 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
 }
 
 BudgetedProbeRun RunWithBudget(EvaluationState& state, ProbeStrategy& strategy,
-                               const ProbeFn& probe, size_t max_probes) {
+                               const ProbeFn& probe, size_t max_probes,
+                               const RunInstrumentation& instr) {
   BudgetedProbeRun run;
+  obs::Histogram* decision_ns =
+      obs::MaybeHistogram(instr.metrics, "strategy.decision_ns");
   while (!state.AllDecided() && run.num_probes < max_probes) {
+    const int64_t t0 = instr.enabled() ? obs::MonotonicNanos() : 0;
     VarId x = strategy.ChooseNext(state);
+    const int64_t deliberation =
+        instr.enabled() ? obs::MonotonicNanos() - t0 : 0;
     CONSENTDB_CHECK(state.IsUseful(x),
                     "strategy chose a useless or known variable");
     bool answer = probe(x);
     state.Assign(x, answer);
     strategy.OnAnswer(state, x, answer);
     ++run.num_probes;
+    obs::Increment(instr.metrics, "probe.count");
+    if (decision_ns != nullptr) {
+      decision_ns->Observe(static_cast<uint64_t>(deliberation));
+    }
+    if (instr.tracer != nullptr) {
+      obs::ProbeEvent ev;
+      ev.probe_index = run.num_probes - 1;
+      ev.variable = x;
+      ev.answer = answer;
+      ev.decision_nanos = deliberation;
+      ev.formulas_decided = state.num_formulas() - state.num_undecided();
+      ev.formulas_remaining = state.num_undecided();
+      instr.tracer->OnProbe(std::move(ev));
+    }
   }
   run.outcomes = state.FormulaValues();
   for (Truth t : run.outcomes) {

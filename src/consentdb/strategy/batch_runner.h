@@ -29,9 +29,12 @@ struct BatchProbeRun {
 // Within a round, the strategy's subsequent picks are derived on a scratch
 // copy of the state under the most-likely-answer assumption (x assumed True
 // iff pi(x) >= 0.5). batch_size == 1 degenerates to sequential probing.
+// With instrumentation attached, per-round planning time goes to the
+// "batch.plan_ns" histogram and every sent probe becomes a tracer event.
 BatchProbeRun RunToCompletionBatched(EvaluationState& state,
                                      const StrategyFactory& factory,
-                                     const ProbeFn& probe, size_t batch_size);
+                                     const ProbeFn& probe, size_t batch_size,
+                                     const RunInstrumentation& instr = {});
 
 struct BudgetedProbeRun {
   size_t num_probes = 0;
@@ -43,7 +46,8 @@ struct BudgetedProbeRun {
 // Probes sequentially with `strategy` but stops after `max_probes` (or when
 // everything is decided, whichever comes first).
 BudgetedProbeRun RunWithBudget(EvaluationState& state, ProbeStrategy& strategy,
-                               const ProbeFn& probe, size_t max_probes);
+                               const ProbeFn& probe, size_t max_probes,
+                               const RunInstrumentation& instr = {});
 
 }  // namespace consentdb::strategy
 

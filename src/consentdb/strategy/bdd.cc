@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "consentdb/obs/metrics.h"
 #include "consentdb/util/check.h"
 
 namespace consentdb::strategy {
@@ -39,7 +40,11 @@ Bdd::NodeId Bdd::InternLeaf(std::vector<Truth> outcomes) {
   std::string key = "L:";
   for (Truth t : outcomes) key += static_cast<char>('0' + static_cast<int>(t));
   auto it = intern_.find(key);
-  if (it != intern_.end()) return it->second;
+  if (it != intern_.end()) {
+    obs::Increment(metrics_, "bdd.intern_hit");
+    return it->second;
+  }
+  obs::Increment(metrics_, "bdd.intern_miss");
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node node;
   node.outcomes = std::move(outcomes);
@@ -54,7 +59,11 @@ Bdd::NodeId Bdd::InternInner(VarId variable, NodeId when_false,
                     std::to_string(when_false) + "," +
                     std::to_string(when_true);
   auto it = intern_.find(key);
-  if (it != intern_.end()) return it->second;
+  if (it != intern_.end()) {
+    obs::Increment(metrics_, "bdd.intern_hit");
+    return it->second;
+  }
+  obs::Increment(metrics_, "bdd.intern_miss");
   NodeId id = static_cast<NodeId>(nodes_.size());
   Node node;
   node.variable = variable;
@@ -68,7 +77,7 @@ Bdd::NodeId Bdd::InternInner(VarId variable, NodeId when_false,
 Bdd Bdd::Materialize(const std::vector<Dnf>& dnfs,
                      const std::vector<double>& pi,
                      const StrategyFactory& factory, bool attach_cnfs,
-                     size_t max_vars) {
+                     size_t max_vars, obs::MetricsRegistry* metrics) {
   std::set<VarId> vars;
   for (const Dnf& dnf : dnfs) {
     VarSet v = dnf.Vars();
@@ -79,9 +88,12 @@ Bdd Bdd::Materialize(const std::vector<Dnf>& dnfs,
                       std::to_string(vars.size()) + " variables exceed " +
                       std::to_string(max_vars));
   Bdd bdd;
+  bdd.metrics_ = metrics;
+  obs::ScopedTimer build_timer(obs::MaybeHistogram(metrics, "bdd.build_ns"));
   // Depth-first over answer paths (recursive lambda).
   std::vector<std::pair<VarId, bool>> path;
   auto build = [&](auto&& self) -> NodeId {
+    obs::Increment(metrics, "bdd.replays");
     Replayed r = Replay(dnfs, pi, factory, attach_cnfs, path);
     if (r.state.AllDecided()) {
       return bdd.InternLeaf(r.state.FormulaValues());
@@ -95,6 +107,13 @@ Bdd Bdd::Materialize(const std::vector<Dnf>& dnfs,
     return bdd.InternInner(x, lo, hi);
   };
   bdd.root_ = build(build);
+  bdd.metrics_ = nullptr;
+  if (metrics != nullptr) {
+    obs::SetGauge(metrics, "bdd.nodes",
+                  static_cast<double>(bdd.num_nodes()));
+    obs::SetGauge(metrics, "bdd.max_depth",
+                  static_cast<double>(bdd.MaxDepth()));
+  }
   return bdd;
 }
 

@@ -23,6 +23,10 @@
 
 #include "consentdb/strategy/strategies.h"
 
+namespace consentdb::obs {
+class MetricsRegistry;
+}  // namespace consentdb::obs
+
 namespace consentdb::strategy {
 
 class Bdd {
@@ -44,11 +48,14 @@ class Bdd {
   // the system. Every answer path is simulated once, so the cost is
   // proportional to the decision-tree size — CHECK-bounded by `max_vars`
   // distinct variables (and practical only when the strategy's depth is
-  // moderate). `attach_cnfs` must be set for Q-value.
+  // moderate). `attach_cnfs` must be set for Q-value. With `metrics`
+  // attached, records hash-consing effectiveness (bdd.intern_hit/_miss),
+  // replay count, build time and final node/depth gauges.
   static Bdd Materialize(const std::vector<Dnf>& dnfs,
                          const std::vector<double>& pi,
                          const StrategyFactory& factory,
-                         bool attach_cnfs = false, size_t max_vars = 20);
+                         bool attach_cnfs = false, size_t max_vars = 20,
+                         obs::MetricsRegistry* metrics = nullptr);
 
   size_t num_nodes() const { return nodes_.size(); }
   NodeId root() const { return root_; }
@@ -76,6 +83,8 @@ class Bdd {
   std::vector<Node> nodes_;
   std::unordered_map<std::string, NodeId> intern_;
   NodeId root_ = 0;
+  // Construction-time sink only (null outside Materialize).
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace consentdb::strategy

@@ -31,7 +31,9 @@ CostEstimate EstimateExpectedCost(const std::vector<Dnf>& dnfs,
       CONSENTDB_CHECK(st.ok(), st.ToString());
     }
     std::unique_ptr<ProbeStrategy> strategy = factory();
-    ProbeRun run = RunToCompletion(state, *strategy, hidden);
+    RunInstrumentation instr;
+    instr.metrics = options.metrics;
+    ProbeRun run = RunToCompletion(state, *strategy, hidden, instr);
     double probes = static_cast<double>(run.num_probes);
     sum += probes;
     sum_sq += probes * probes;

@@ -30,6 +30,9 @@ struct EstimateOptions {
   // Precomputed CNFs (one per formula); when set, reused by every
   // repetition instead of converting per run. Implies attach_cnfs.
   const std::vector<Cnf>* precomputed_cnfs = nullptr;
+  // Opt-in telemetry: every repetition's probes and decision timings are
+  // recorded here (see RunInstrumentation). Null = no instrumentation.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Runs the strategy `options.reps` times; each repetition draws a hidden

@@ -4,11 +4,46 @@
 
 namespace consentdb::strategy {
 
+namespace {
+
+size_t CountLiveTerms(const EvaluationState& state) {
+  size_t live = 0;
+  state.ForEachLiveTerm([&live](size_t) { ++live; });
+  return live;
+}
+
+}  // namespace
+
 ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
-                         const ProbeFn& probe) {
+                         const ProbeFn& probe,
+                         const RunInstrumentation& instr) {
   ProbeRun run;
+  // Every probe is recorded as exactly one tracer event; with no external
+  // tracer a session-local one backs ProbeRun::trace, so both views are
+  // always produced by the same code path.
+  obs::SessionTracer local_tracer;
+  obs::SessionTracer& tracer =
+      instr.tracer != nullptr ? *instr.tracer : local_tracer;
+  const size_t first_event = tracer.events().size();
+  const bool instrumented = instr.enabled();
+
+  // Hoist instrument pointers once; per-probe updates are then lock-free.
+  obs::Counter* probe_count = nullptr;
+  obs::Counter* answer_true = nullptr;
+  obs::Counter* answer_false = nullptr;
+  obs::Histogram* decision_ns = nullptr;
+  if (instr.metrics != nullptr) {
+    probe_count = instr.metrics->GetCounter("probe.count");
+    answer_true = instr.metrics->GetCounter("probe.answer_true");
+    answer_false = instr.metrics->GetCounter("probe.answer_false");
+    decision_ns = instr.metrics->GetHistogram("strategy.decision_ns");
+  }
+
   while (!state.AllDecided()) {
+    const int64_t t0 = instrumented ? obs::MonotonicNanos() : 0;
     VarId x = strategy.ChooseNext(state);
+    const int64_t deliberation =
+        instrumented ? obs::MonotonicNanos() - t0 : 0;
     CONSENTDB_CHECK(state.IsUseful(x),
                     "strategy '" + strategy.name() +
                         "' chose a useless or known variable: x" +
@@ -18,20 +53,46 @@ ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
     strategy.OnAnswer(state, x, answer);
     ++run.num_probes;
     run.total_cost += state.cost(x);
-    run.trace.emplace_back(x, answer);
+
+    obs::ProbeEvent ev;
+    ev.probe_index = run.num_probes - 1;
+    ev.variable = x;
+    ev.answer = answer;
+    ev.decision_nanos = deliberation;
+    ev.formulas_decided = state.num_formulas() - state.num_undecided();
+    ev.formulas_remaining = state.num_undecided();
+    if (instrumented) ev.residual_terms = CountLiveTerms(state);
+    tracer.OnProbe(std::move(ev));
+
+    if (instr.metrics != nullptr) {
+      probe_count->Add();
+      (answer ? answer_true : answer_false)->Add();
+      decision_ns->Observe(static_cast<uint64_t>(deliberation));
+    }
   }
   run.outcomes = state.FormulaValues();
+
+  const std::vector<obs::ProbeEvent>& events = tracer.events();
+  run.trace.reserve(events.size() - first_event);
+  for (size_t i = first_event; i < events.size(); ++i) {
+    run.trace.emplace_back(events[i].variable, events[i].answer);
+  }
   return run;
 }
 
 ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
-                         const PartialValuation& hidden) {
-  return RunToCompletion(state, strategy, [&hidden](VarId x) {
-    Truth t = hidden.Get(x);
-    CONSENTDB_CHECK(t != Truth::kUnknown,
-                    "hidden valuation does not cover x" + std::to_string(x));
-    return t == Truth::kTrue;
-  });
+                         const PartialValuation& hidden,
+                         const RunInstrumentation& instr) {
+  return RunToCompletion(
+      state, strategy,
+      [&hidden](VarId x) {
+        Truth t = hidden.Get(x);
+        CONSENTDB_CHECK(t != Truth::kUnknown,
+                        "hidden valuation does not cover x" +
+                            std::to_string(x));
+        return t == Truth::kTrue;
+      },
+      instr);
 }
 
 }  // namespace consentdb::strategy

@@ -8,12 +8,24 @@
 #include <utility>
 #include <vector>
 
+#include "consentdb/obs/metrics.h"
+#include "consentdb/obs/tracer.h"
 #include "consentdb/strategy/strategies.h"
 
 namespace consentdb::strategy {
 
 // Answers a probe for variable x; must be consistent across calls.
 using ProbeFn = std::function<bool(VarId)>;
+
+// Opt-in telemetry sinks for a probing session. Both default to null, in
+// which case the loop records no timings and reads no clocks; attaching
+// either one must not change which probes are issued (verified by tests).
+struct RunInstrumentation {
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::SessionTracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
 
 struct ProbeRun {
   // Total probes issued — the cost the paper optimises.
@@ -22,20 +34,26 @@ struct ProbeRun {
   double total_cost = 0.0;
   // Final truth value of every formula (none Unknown).
   std::vector<Truth> outcomes;
-  // The probe sequence with answers, in order.
+  // The probe sequence with answers, in order. Derived from the session's
+  // tracer events (runner.cc records each probe exactly once), so this view
+  // and SessionTracer::events() cannot diverge.
   std::vector<std::pair<VarId, bool>> trace;
 };
 
 // Runs `strategy` on `state` until all formulas are decided. Checks the
 // invariants every strategy must satisfy: each chosen variable is useful and
-// never probed twice.
+// never probed twice. With instrumentation attached, records one ProbeEvent
+// per probe (decision wall-time, residual-formula shape) and bumps
+// probe/decision metrics.
 ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
-                         const ProbeFn& probe);
+                         const ProbeFn& probe,
+                         const RunInstrumentation& instr = {});
 
 // Convenience overload reading answers from a fixed hidden valuation (must
 // cover every variable of the formulas).
 ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
-                         const PartialValuation& hidden);
+                         const PartialValuation& hidden,
+                         const RunInstrumentation& instr = {});
 
 }  // namespace consentdb::strategy
 
