@@ -1,0 +1,173 @@
+// Extension experiment: concurrent consent sessions through the
+// SessionEngine. A server-shaped workload sends many sessions asking a
+// small set of repeated join queries; the engine amortises parsing,
+// optimization and provenance-annotated evaluation across sessions via its
+// plan and provenance caches, while a thread pool overlaps the probing
+// phases. The sequential baseline is ConsentManager::DecideAll per session
+// (parse + optimize + evaluate + probe every time).
+//
+// The table reports wall time and throughput for both modes; the speedup
+// column is the acceptance metric (target: >= 3x with warm caches on a
+// repeated-query workload). Probe totals are printed as a cross-check that
+// both modes ran identical sessions.
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "bench_common.h"
+#include "consentdb/consent/oracle.h"
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/core/session_engine.h"
+#include "consentdb/util/rng.h"
+
+using namespace consentdb;
+
+namespace {
+
+// R(a, b) x S(b, c) with a small shared-b domain: the join fans out, the
+// DISTINCT projection folds it back, and every output row carries a
+// multi-term DNF. Evaluation dominates probing, which is the regime the
+// provenance cache targets.
+consent::SharedDatabase BuildDatabase(size_t rows) {
+  using relational::Column;
+  using relational::Schema;
+  using relational::Tuple;
+  using relational::Value;
+  using relational::ValueType;
+
+  consent::SharedDatabase sdb;
+  auto check = [](const Status& s) { CONSENTDB_CHECK(s.ok(), s.ToString()); };
+  check(sdb.CreateRelation("R", Schema({Column{"a", ValueType::kInt64},
+                                        Column{"b", ValueType::kInt64}})));
+  check(sdb.CreateRelation("S", Schema({Column{"b", ValueType::kInt64},
+                                        Column{"c", ValueType::kInt64}})));
+  const int64_t b_domain = 12;
+  const int64_t a_domain = 40;
+  for (size_t i = 0; i < rows; ++i) {
+    auto r = sdb.InsertTuple(
+        "R", Tuple{Value(static_cast<int64_t>(i) % a_domain),
+                   Value(static_cast<int64_t>(i) % b_domain)},
+        "owner" + std::to_string(i % 7), 0.5);
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+    auto s = sdb.InsertTuple(
+        "S", Tuple{Value(static_cast<int64_t>(i * 5 + 3) % b_domain),
+                   Value(static_cast<int64_t>(i) % 4)},
+        "owner" + std::to_string(i % 7), 0.5);
+    CONSENTDB_CHECK(s.ok(), s.status().ToString());
+  }
+  return sdb;
+}
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+int main() {
+  const size_t rows = bench::Scaled(120);
+  const size_t sessions = bench::Scaled(200);
+  size_t threads = std::thread::hardware_concurrency();
+  if (threads < 4) threads = 4;
+
+  // The repeated-query workload: four selection variants, round-robin.
+  std::vector<std::string> sqls;
+  for (int k = 0; k < 4; ++k) {
+    sqls.push_back(
+        "SELECT DISTINCT r.a FROM R r, S s WHERE r.b = s.b AND s.c = " +
+        std::to_string(k));
+  }
+
+  consent::SharedDatabase sdb = BuildDatabase(rows);
+  std::cout << "=== Extension: concurrent sessions (rows=" << rows
+            << " per relation, sessions=" << sessions
+            << ", distinct queries=" << sqls.size() << ", threads=" << threads
+            << ") ===\n\n";
+
+  // One hidden valuation per session, fixed up front so both modes answer
+  // identically.
+  std::vector<provenance::PartialValuation> hidden;
+  hidden.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    Rng rng(9000 + 127 * i);
+    hidden.push_back(sdb.pool().SampleValuation(rng));
+  }
+
+  // --- Sequential baseline: full pipeline per session --------------------
+  core::ConsentManager manager(sdb);
+  size_t seq_probes = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < sessions; ++i) {
+    consent::ValuationOracle oracle(hidden[i]);
+    Result<core::SessionReport> r =
+        manager.DecideAll(sqls[i % sqls.size()], oracle);
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+    seq_probes += r.value().num_probes;
+  }
+  const double seq_s = Seconds(std::chrono::steady_clock::now() - t0);
+
+  // --- Engine: warm caches, then the same workload concurrently ----------
+  core::EngineOptions options;
+  options.num_threads = threads;
+  // Valuations differ per session, so each keeps its own un-shared oracle.
+  options.share_consent_ledger = false;
+  core::SessionEngine engine(sdb, options);
+  {  // warm-up: one session per distinct query populates both caches
+    std::vector<std::unique_ptr<consent::ValuationOracle>> oracles;
+    std::vector<core::SessionRequest> warm;
+    for (size_t q = 0; q < sqls.size(); ++q) {
+      oracles.push_back(
+          std::make_unique<consent::ValuationOracle>(hidden[q]));
+      core::SessionRequest request;
+      request.sql = sqls[q];
+      request.oracle = oracles.back().get();
+      warm.push_back(std::move(request));
+    }
+    for (auto& r : engine.RunAll(std::move(warm))) {
+      CONSENTDB_CHECK(r.ok(), r.status().ToString());
+    }
+  }
+
+  std::vector<std::unique_ptr<consent::ValuationOracle>> oracles;
+  std::vector<core::SessionRequest> requests;
+  for (size_t i = 0; i < sessions; ++i) {
+    oracles.push_back(std::make_unique<consent::ValuationOracle>(hidden[i]));
+    core::SessionRequest request;
+    request.sql = sqls[i % sqls.size()];
+    request.oracle = oracles.back().get();
+    requests.push_back(std::move(request));
+  }
+  size_t engine_probes = 0;
+  t0 = std::chrono::steady_clock::now();
+  std::vector<Result<core::SessionReport>> results =
+      engine.RunAll(std::move(requests));
+  const double eng_s = Seconds(std::chrono::steady_clock::now() - t0);
+  for (auto& r : results) {
+    CONSENTDB_CHECK(r.ok(), r.status().ToString());
+    engine_probes += r.value().num_probes;
+  }
+
+  bench::Table table({"mode", "wall s", "sess/s", "probes", "speedup"});
+  table.PrintHeader();
+  table.PrintRow("sequential",
+                 {bench::FormatMean(seq_s),
+                  bench::FormatMean(static_cast<double>(sessions) / seq_s),
+                  std::to_string(seq_probes), bench::FormatMean(1.0)});
+  table.PrintRow("engine (warm)",
+                 {bench::FormatMean(eng_s),
+                  bench::FormatMean(static_cast<double>(sessions) / eng_s),
+                  std::to_string(engine_probes),
+                  bench::FormatMean(seq_s / eng_s)});
+
+  core::SessionEngine::CacheStats stats = engine.cache_stats();
+  std::cout << "\nplan cache: " << stats.plan_hits << " hits / "
+            << stats.plan_misses << " misses; provenance cache: "
+            << stats.provenance_hits << " hits / " << stats.provenance_misses
+            << " misses\n";
+  std::cout << "\nexpected shape: identical probe totals; with warm caches "
+               "the engine skips\nparse/optimize/evaluate per session, so "
+               "throughput rises well past the 3x target\neven before "
+               "thread-level overlap of the probing phases.\n";
+  return 0;
+}

@@ -18,11 +18,15 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "consentdb/core/consent_manager.h"
+#include "consentdb/core/session_engine.h"
 #include "consentdb/obs/metrics.h"
 #include "consentdb/obs/tracer.h"
 #include "consentdb/query/optimize.h"
@@ -78,6 +82,7 @@ class Shell {
     if (EqualsIgnoreCase(command, "analyze")) return Analyze(rest);
     if (EqualsIgnoreCase(command, "decide")) return Decide(rest, interactive);
     if (EqualsIgnoreCase(command, "simulate")) return Simulate(rest);
+    if (EqualsIgnoreCase(command, "stress")) return Stress(rest);
     if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
       return Stats(rest);
     }
@@ -97,6 +102,9 @@ class Shell {
         "  analyze <sql>                      class, guarantees, provenance\n"
         "  decide <sql>                       probe consent interactively\n"
         "  simulate <sql>                     probe against simulated peers\n"
+        "  stress <n> <threads> <sql>         n simulated sessions through the\n"
+        "                                     concurrent engine (plan/provenance\n"
+        "                                     caches); prints throughput\n"
         "  \\stats [json|reset]                session telemetry (metrics +\n"
         "                                     last-session probe trace)\n"
         "  exit\n";
@@ -300,6 +308,69 @@ class Shell {
     consent::ValuationOracle oracle(sdb_.pool().SampleValuation(rng_));
     std::cout << "(simulated peers drawn from the consent priors)\n";
     return Session(sql, manager, oracle);
+  }
+
+  Status Stress(const std::string& args) {
+    std::istringstream in(args);
+    size_t sessions = 0;
+    size_t threads = 0;
+    in >> sessions >> threads;
+    std::string sql;
+    std::getline(in, sql);
+    sql = std::string(StripWhitespace(sql));
+    if (sessions == 0 || threads == 0 || sql.empty()) {
+      return Status::InvalidArgument("usage: stress <n> <threads> <sql>");
+    }
+
+    core::EngineOptions options;
+    options.num_threads = threads;
+    // Each simulated session draws its own peers from the priors, so
+    // answers may differ across sessions; keep oracles un-shared.
+    options.share_consent_ledger = false;
+    options.session.metrics = &metrics_;
+    core::SessionEngine engine(sdb_, options);
+
+    std::vector<std::unique_ptr<consent::ValuationOracle>> oracles;
+    std::vector<core::SessionRequest> requests;
+    for (size_t i = 0; i < sessions; ++i) {
+      oracles.push_back(std::make_unique<consent::ValuationOracle>(
+          sdb_.pool().SampleValuation(rng_)));
+      core::SessionRequest request;
+      request.sql = sql;
+      request.oracle = oracles.back().get();
+      requests.push_back(std::move(request));
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<Result<core::SessionReport>> results =
+        engine.RunAll(std::move(requests));
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    size_t probes = 0;
+    size_t shareable = 0;
+    for (Result<core::SessionReport>& r : results) {
+      CONSENTDB_RETURN_IF_ERROR(r.status());
+      probes += r.value().num_probes;
+      for (const core::TupleConsent& tc : r.value().tuples) {
+        shareable += tc.shareable ? 1 : 0;
+      }
+    }
+    core::SessionEngine::CacheStats stats = engine.cache_stats();
+    std::cout << sessions << " session(s) on " << engine.num_threads()
+              << " thread(s) in " << std::fixed << std::setprecision(3)
+              << seconds << " s ("
+              << static_cast<double>(sessions) / (seconds > 0 ? seconds : 1e-9)
+              << " sessions/s)\n"
+              << std::defaultfloat << std::setprecision(6) << "  " << probes
+              << " probe(s) total, " << shareable
+              << " shareable verdict(s)\n"
+              << "  plan cache " << stats.plan_hits << " hit(s) / "
+              << stats.plan_misses << " miss(es); provenance cache "
+              << stats.provenance_hits << " hit(s) / "
+              << stats.provenance_misses << " miss(es)\n";
+    return Status::OK();
   }
 
   Status Session(const std::string& sql, core::ConsentManager& manager,

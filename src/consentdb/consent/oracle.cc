@@ -46,4 +46,52 @@ bool CallbackOracle::Probe(VarId x) {
   return answer;
 }
 
+bool ConsentLedger::ProbeVia(ProbeOracle& oracle, VarId x,
+                             bool* answered_from_ledger) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = answers_.find(x);
+  if (it != answers_.end()) {
+    ++hits_;
+    if (answered_from_ledger != nullptr) *answered_from_ledger = true;
+    return it->second;
+  }
+  if (answered_from_ledger != nullptr) *answered_from_ledger = false;
+  // First touch: ask the peer while still holding the lock — this both
+  // serializes access to the (not necessarily thread-safe) oracle and
+  // guarantees no variable is ever sent to a peer twice.
+  bool answer = oracle.Probe(x);
+  ++oracle_probes_;
+  answers_.emplace(x, answer);
+  return answer;
+}
+
+std::optional<bool> ConsentLedger::Lookup(VarId x) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = answers_.find(x);
+  if (it == answers_.end()) return std::nullopt;
+  return it->second;
+}
+
+size_t ConsentLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return answers_.size();
+}
+
+uint64_t ConsentLedger::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ConsentLedger::oracle_probes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oracle_probes_;
+}
+
+void ConsentLedger::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  answers_.clear();
+  hits_ = 0;
+  oracle_probes_ = 0;
+}
+
 }  // namespace consentdb::consent

@@ -7,7 +7,11 @@
 #ifndef CONSENTDB_CONSENT_ORACLE_H_
 #define CONSENTDB_CONSENT_ORACLE_H_
 
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -80,6 +84,48 @@ class CallbackOracle : public ProbeOracle {
  private:
   Callback callback_;
   std::vector<std::pair<VarId, bool>> answers_;
+};
+
+// A thread-safe answer ledger shared by concurrent probing sessions: the
+// first session to probe a variable forwards the probe to the backing
+// oracle; every later probe of the same variable — from any session — is
+// answered from the ledger without bothering the peer again. Oracle calls
+// are serialized under the ledger mutex, so ProbeOracle implementations
+// need not be thread-safe.
+//
+// The ledger only deduplicates *oracle traffic*; each session still counts
+// its own probes by the paper's cost model, so session reports are
+// identical with and without a shared ledger (answers are consistent).
+class ConsentLedger {
+ public:
+  ConsentLedger() = default;
+  ConsentLedger(const ConsentLedger&) = delete;
+  ConsentLedger& operator=(const ConsentLedger&) = delete;
+
+  // Answers `x`, forwarding to `oracle` on first touch. When
+  // `answered_from_ledger` is non-null it is set to whether the answer came
+  // from the ledger (per-caller accounting; the global tallies below are
+  // engine-wide).
+  bool ProbeVia(ProbeOracle& oracle, VarId x,
+                bool* answered_from_ledger = nullptr);
+
+  // The recorded answer, if any session probed `x` already.
+  std::optional<bool> Lookup(VarId x) const;
+
+  // Distinct variables answered so far.
+  size_t size() const;
+  // Probes answered from the ledger without reaching an oracle.
+  uint64_t hits() const;
+  // Probes forwarded to an oracle.
+  uint64_t oracle_probes() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<VarId, bool> answers_;
+  uint64_t hits_ = 0;
+  uint64_t oracle_probes_ = 0;
 };
 
 }  // namespace consentdb::consent

@@ -12,6 +12,7 @@ using relational::Tuple;
 Status SharedDatabase::CreateRelation(const std::string& name, Schema schema) {
   CONSENTDB_RETURN_IF_ERROR(db_.CreateRelation(name, std::move(schema)));
   annotations_[name] = {};
+  ++version_;
   return Status::OK();
 }
 
@@ -30,6 +31,7 @@ Result<VarId> SharedDatabase::InsertTuple(const std::string& relation,
   std::string name = relation + "#" + std::to_string(rel->size() - 1);
   VarId id = pool_.Allocate(std::move(name), std::move(owner), probability);
   vars.push_back(id);
+  ++version_;
   return id;
 }
 
@@ -42,7 +44,10 @@ Status SharedDatabase::InsertTupleInBlock(const std::string& relation,
   CONSENTDB_ASSIGN_OR_RETURN(Relation * rel,
                              db_.GetMutableRelation(relation));
   CONSENTDB_ASSIGN_OR_RETURN(bool inserted, rel->Insert(std::move(t)));
-  if (inserted) annotations_[relation].push_back(block_variable);
+  if (inserted) {
+    annotations_[relation].push_back(block_variable);
+    ++version_;
+  }
   return Status::OK();
 }
 

@@ -59,11 +59,21 @@ class SharedDatabase {
   // Number of annotated tuples across all relations.
   size_t TotalTuples() const { return db_.TotalTuples(); }
 
+  // Monotone content-version counter, bumped by every mutation that can
+  // change a query result or its provenance annotations (CreateRelation and
+  // actual tuple inserts). Pool metadata edits (probabilities, owners) do
+  // NOT bump it: they affect strategy choices, which are never cached, but
+  // not the annotated evaluation the session engine's provenance cache
+  // stores. Cache entries keyed by (plan fingerprint, version) are
+  // invalidated by any mutation.
+  uint64_t version() const { return version_; }
+
  private:
   relational::Database db_;
   VariablePool pool_;
   // relation name -> per-tuple-index consent variable
   std::unordered_map<std::string, std::vector<VarId>> annotations_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace consentdb::consent

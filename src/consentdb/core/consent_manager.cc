@@ -124,24 +124,27 @@ Result<Selection> SelectStrategy(Algorithm algorithm,
 
 }  // namespace
 
-Result<SessionReport> ConsentManager::RunSession(
-    const PlanPtr& plan, std::optional<Tuple> single, ProbeOracle& oracle,
+Result<PreparedSession> ConsentManager::Prepare(
+    const PlanPtr& plan, std::optional<Tuple> single,
     const SessionOptions& options) const {
-  obs::MetricsRegistry* metrics = options.metrics;
-  const bool instrumented = metrics != nullptr || options.tracer != nullptr;
-  const int64_t session_start = instrumented ? obs::MonotonicNanos() : 0;
-  obs::ScopedTimer session_timer(
-      obs::MaybeHistogram(metrics, "session.total_ns"));
-  obs::Increment(metrics, "session.count");
-  if (options.tracer != nullptr) options.tracer->Clear();
-
   PlanPtr effective = plan;
   if (options.optimize_plan) {
-    obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "query.optimize_ns"));
+    obs::ScopedTimer timer(
+        obs::MaybeHistogram(options.metrics, "query.optimize_ns"));
     CONSENTDB_ASSIGN_OR_RETURN(effective,
                                query::Optimize(plan, sdb_.database()));
   }
-  std::vector<Tuple> tuples;
+  return PrepareResolved(plan, effective, std::move(single), options);
+}
+
+Result<PreparedSession> ConsentManager::PrepareResolved(
+    const PlanPtr& plan, const PlanPtr& effective, std::optional<Tuple> single,
+    const SessionOptions& options) const {
+  obs::MetricsRegistry* metrics = options.metrics;
+  PreparedSession prepared;
+  prepared.plan = plan;
+  prepared.effective = effective;
+  prepared.single = single.has_value();
   std::vector<provenance::BoolExprPtr> annotations;
   CONSENTDB_ASSIGN_OR_RETURN(relational::Schema schema,
                              effective->OutputSchema(sdb_.database()));
@@ -152,35 +155,48 @@ Result<SessionReport> ConsentManager::RunSession(
     CONSENTDB_ASSIGN_OR_RETURN(
         provenance::BoolExprPtr annotation,
         eval::AnnotationForTuple(effective, sdb_, *single));
-    tuples.push_back(*single);
+    prepared.tuples.push_back(*std::move(single));
     annotations.push_back(std::move(annotation));
   } else {
     CONSENTDB_ASSIGN_OR_RETURN(
         AnnotatedRelation annotated,
         eval::EvaluateAnnotated(effective, sdb_, metrics));
-    tuples = annotated.tuples();
+    prepared.tuples = annotated.tuples();
     annotations = annotated.annotations();
   }
 
   // Flatten to DNF and profile the provenance structure.
-  ProvenanceProfile profile;
   {
     AnnotatedRelation subset(schema);
-    for (size_t i = 0; i < tuples.size(); ++i) {
-      subset.Insert(tuples[i], annotations[i]);
+    for (size_t i = 0; i < prepared.tuples.size(); ++i) {
+      subset.Insert(prepared.tuples[i], annotations[i]);
     }
     CONSENTDB_ASSIGN_OR_RETURN(
-        profile,
+        prepared.provenance,
         eval::ProfileProvenance(subset, options.dnf_limits, metrics));
   }
 
+  // Classify the plan the session actually relies on (the effective one);
+  // the submitted plan's class is kept alongside for reporting, without
+  // double-counting the query.class.* metrics.
+  prepared.profile = query::Classify(*effective, metrics);
+  prepared.submitted_profile =
+      effective == plan ? prepared.profile : query::Classify(*plan);
+  return prepared;
+}
+
+Result<SessionReport> ConsentManager::FinishSession(
+    const PreparedSession& prepared, ProbeOracle& oracle,
+    const SessionOptions& options, int64_t session_start) const {
+  obs::MetricsRegistry* metrics = options.metrics;
+  const ProvenanceProfile& profile = prepared.provenance;
   std::vector<double> pi = sdb_.pool().Probabilities();
   EvaluationState state(profile.dnfs, pi);
   Selection sel;
   {
     obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "session.select_ns"));
     CONSENTDB_ASSIGN_OR_RETURN(
-        sel, SelectStrategy(options.algorithm, profile, single.has_value(),
+        sel, SelectStrategy(options.algorithm, profile, prepared.single,
                             options, pi, &state));
   }
   if (metrics != nullptr) {
@@ -203,18 +219,19 @@ Result<SessionReport> ConsentManager::RunSession(
   report.num_probes = run.num_probes;
   report.algorithm_used = sel.strategy->name();
   report.selection_rationale = sel.rationale;
-  report.query_profile = query::Classify(*plan, metrics);
+  report.query_profile = prepared.profile;
+  report.query_profile_submitted = prepared.submitted_profile;
   report.provenance_tuples = profile.dnfs.size();
   report.provenance_max_terms = profile.max_terms_per_tuple;
   report.provenance_max_term_size = profile.max_term_size;
   report.provenance_overall_read_once = profile.overall_read_once;
   report.provenance_per_tuple_read_once = profile.per_tuple_read_once;
-  report.tuples.reserve(tuples.size());
-  for (size_t i = 0; i < tuples.size(); ++i) {
+  report.tuples.reserve(prepared.tuples.size());
+  for (size_t i = 0; i < prepared.tuples.size(); ++i) {
     CONSENTDB_CHECK(run.outcomes[i] != Truth::kUnknown,
                     "session ended with an undecided tuple");
     report.tuples.push_back(
-        TupleConsent{tuples[i], run.outcomes[i] == Truth::kTrue});
+        TupleConsent{prepared.tuples[i], run.outcomes[i] == Truth::kTrue});
   }
   report.trace.reserve(run.trace.size());
   for (const auto& [x, answer] : run.trace) {
@@ -222,9 +239,7 @@ Result<SessionReport> ConsentManager::RunSession(
         x, sdb_.pool().name(x), sdb_.pool().owner(x), answer});
   }
   if (metrics != nullptr) {
-    metrics
-        ->GetHistogram("session.probes",
-                       {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096})
+    metrics->GetHistogram("session.probes", obs::SessionProbeBuckets())
         ->Observe(run.num_probes);
     obs::SetGauge(metrics, "session.last_probes",
                   static_cast<double>(run.num_probes));
@@ -239,6 +254,35 @@ Result<SessionReport> ConsentManager::RunSession(
     options.tracer->set_session_nanos(obs::MonotonicNanos() - session_start);
   }
   return report;
+}
+
+Result<SessionReport> ConsentManager::RunPrepared(
+    const PreparedSession& prepared, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  const bool instrumented =
+      options.metrics != nullptr || options.tracer != nullptr;
+  const int64_t session_start = instrumented ? obs::MonotonicNanos() : 0;
+  obs::ScopedTimer session_timer(
+      obs::MaybeHistogram(options.metrics, "session.total_ns"));
+  obs::Increment(options.metrics, "session.count");
+  if (options.tracer != nullptr) options.tracer->Clear();
+  return FinishSession(prepared, oracle, options, session_start);
+}
+
+Result<SessionReport> ConsentManager::RunSession(
+    const PlanPtr& plan, std::optional<Tuple> single, ProbeOracle& oracle,
+    const SessionOptions& options) const {
+  const bool instrumented =
+      options.metrics != nullptr || options.tracer != nullptr;
+  const int64_t session_start = instrumented ? obs::MonotonicNanos() : 0;
+  obs::ScopedTimer session_timer(
+      obs::MaybeHistogram(options.metrics, "session.total_ns"));
+  obs::Increment(options.metrics, "session.count");
+  if (options.tracer != nullptr) options.tracer->Clear();
+
+  CONSENTDB_ASSIGN_OR_RETURN(PreparedSession prepared,
+                             Prepare(plan, std::move(single), options));
+  return FinishSession(prepared, oracle, options, session_start);
 }
 
 Result<SessionReport> ConsentManager::DecideAll(
@@ -290,6 +334,8 @@ std::string SessionReport::ToJson() const {
   w.String(selection_rationale);
   w.Key("query_class");
   w.String(query::QueryClassToString(query_profile.query_class));
+  w.Key("query_class_submitted");
+  w.String(query::QueryClassToString(query_profile_submitted.query_class));
   w.Key("num_probes");
   w.Uint(num_probes);
   w.Key("provenance");

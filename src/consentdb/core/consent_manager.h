@@ -83,7 +83,14 @@ struct SessionReport {
   std::vector<ProbeRecord> trace;
   std::string algorithm_used;
   std::string selection_rationale;
+  // Classification of the plan the session actually evaluated and selected
+  // its strategy from (the optimized plan when optimization is on) — the
+  // class whose Table I guarantees the session relied on.
   query::QueryProfile query_profile;
+  // Classification of the plan as submitted, before optimization. Usually
+  // identical; selection pushdown cannot change the fragment letters, but
+  // the two are reported separately so they can never silently disagree.
+  query::QueryProfile query_profile_submitted;
   // Summary of the provenance structure the session ran on.
   size_t provenance_tuples = 0;
   size_t provenance_max_terms = 0;
@@ -101,6 +108,21 @@ struct QueryAnalysis {
   query::QueryProfile profile;
   query::Guarantees guarantees;
   eval::ProvenanceProfile provenance;
+};
+
+// The oracle-independent prefix of a consent session: the resolved plan
+// with its provenance-annotated evaluation over one database state.
+// Immutable once built, so concurrent sessions may share one instance —
+// this is the unit the session engine's provenance cache stores, keyed by
+// (plan fingerprint, database version).
+struct PreparedSession {
+  query::PlanPtr plan;       // as submitted
+  query::PlanPtr effective;  // after optional optimization
+  query::QueryProfile profile;            // classification of `effective`
+  query::QueryProfile submitted_profile;  // classification of `plan`
+  std::vector<relational::Tuple> tuples;  // output tuples (or the target)
+  eval::ProvenanceProfile provenance;     // per-tuple DNFs + structure
+  bool single = false;  // built by targeted (single-tuple) evaluation
 };
 
 class ConsentManager {
@@ -130,6 +152,30 @@ class ConsentManager {
   Result<QueryAnalysis> Analyze(const query::PlanPtr& plan,
                                 const SessionOptions& options = {}) const;
 
+  // --- Split pipeline (used by the session engine's caches) -----------------
+
+  // The oracle-independent phase: optimizes (per options), evaluates with
+  // provenance tracking, flattens to DNF and classifies. The result depends
+  // only on the plan and the current database content, never on an oracle.
+  Result<PreparedSession> Prepare(const query::PlanPtr& plan,
+                                  std::optional<relational::Tuple> single,
+                                  const SessionOptions& options = {}) const;
+  // Same, with the optimized plan supplied by the caller (the engine's plan
+  // cache); options.optimize_plan is ignored.
+  Result<PreparedSession> PrepareResolved(
+      const query::PlanPtr& plan, const query::PlanPtr& effective,
+      std::optional<relational::Tuple> single,
+      const SessionOptions& options = {}) const;
+
+  // The probing phase: strategy selection and the probe loop over an
+  // already-prepared session. Safe to call concurrently from multiple
+  // threads on one shared `prepared` (each call builds its own
+  // EvaluationState) as long as the database and its variable pool are not
+  // mutated meanwhile and each concurrent call uses its own tracer.
+  Result<SessionReport> RunPrepared(const PreparedSession& prepared,
+                                    consent::ProbeOracle& oracle,
+                                    const SessionOptions& options = {}) const;
+
   const consent::SharedDatabase& shared_database() const { return sdb_; }
 
  private:
@@ -137,6 +183,10 @@ class ConsentManager {
                                    std::optional<relational::Tuple> single,
                                    consent::ProbeOracle& oracle,
                                    const SessionOptions& options) const;
+  Result<SessionReport> FinishSession(const PreparedSession& prepared,
+                                      consent::ProbeOracle& oracle,
+                                      const SessionOptions& options,
+                                      int64_t session_start) const;
 
   const consent::SharedDatabase& sdb_;
 };

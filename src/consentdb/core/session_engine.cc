@@ -1,0 +1,216 @@
+#include "consentdb/core/session_engine.h"
+
+#include <thread>
+
+#include "consentdb/query/optimize.h"
+#include "consentdb/util/check.h"
+
+namespace consentdb::core {
+
+using consent::ProbeOracle;
+using provenance::VarId;
+using query::PlanPtr;
+
+namespace {
+
+size_t ResolveThreads(size_t requested) {
+  if (requested > 0) return requested;
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+// Per-session view of the shared ledger: satisfies the ProbeOracle
+// interface the probing loop expects while deduplicating oracle traffic
+// engine-wide. probe_count() is this session's call count, mirroring how
+// each session pays for its own probes in the paper's cost model.
+class LedgerOracle : public ProbeOracle {
+ public:
+  LedgerOracle(consent::ConsentLedger& ledger, ProbeOracle& backing)
+      : ledger_(ledger), backing_(backing) {}
+
+  bool Probe(VarId x) override {
+    ++asked_;
+    bool from_ledger = false;
+    bool answer = ledger_.ProbeVia(backing_, x, &from_ledger);
+    if (from_ledger) ++ledger_hits_;
+    return answer;
+  }
+  size_t probe_count() const override { return asked_; }
+  uint64_t ledger_hits() const { return ledger_hits_; }
+
+ private:
+  consent::ConsentLedger& ledger_;
+  ProbeOracle& backing_;
+  size_t asked_ = 0;
+  uint64_t ledger_hits_ = 0;
+};
+
+}  // namespace
+
+SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
+                             EngineOptions options)
+    : sdb_(sdb),
+      manager_(sdb),
+      options_(std::move(options)),
+      plan_cache_(options_.plan_cache_capacity),
+      prov_cache_(options_.provenance_cache_capacity),
+      pool_(ResolveThreads(options_.num_threads)) {
+  CONSENTDB_CHECK(options_.session.tracer == nullptr,
+                  "EngineOptions::session.tracer must be null; use "
+                  "SessionRequest::tracer for per-session tracing");
+}
+
+Result<SessionEngine::PlanEntry> SessionEngine::ResolvePlan(
+    const SessionRequest& request, const SessionOptions& options,
+    uint64_t version) {
+  obs::MetricsRegistry* metrics = options.metrics;
+  PlanEntry entry;
+  entry.version = version;
+  const bool cacheable = request.plan == nullptr;
+  if (request.plan != nullptr) {
+    entry.plan = request.plan;
+  } else {
+    if (request.sql.empty()) {
+      return Status::InvalidArgument("SessionRequest carries neither sql "
+                                     "nor a plan");
+    }
+    std::optional<std::shared_ptr<const PlanEntry>> cached =
+        plan_cache_.Get(request.sql);
+    if (cached.has_value() && (*cached)->version == version) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::Increment(metrics, "engine.plan_cache.hit");
+      return **cached;
+    }
+    plan_misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics, "engine.plan_cache.miss");
+    CONSENTDB_ASSIGN_OR_RETURN(entry.plan, query::ParseQuery(request.sql));
+  }
+  if (options.optimize_plan) {
+    obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "query.optimize_ns"));
+    CONSENTDB_ASSIGN_OR_RETURN(entry.effective,
+                               query::Optimize(entry.plan, sdb_.database()));
+  } else {
+    entry.effective = entry.plan;
+  }
+  if (cacheable) {
+    plan_cache_.Put(request.sql, std::make_shared<const PlanEntry>(entry));
+  }
+  return entry;
+}
+
+Result<std::shared_ptr<const PreparedSession>> SessionEngine::ResolvePrepared(
+    const SessionRequest& request, const PlanEntry& entry,
+    const SessionOptions& options, uint64_t version) {
+  obs::MetricsRegistry* metrics = options.metrics;
+  if (request.single.has_value()) {
+    // Targeted provenance depends on the requested tuple; not cached.
+    CONSENTDB_ASSIGN_OR_RETURN(
+        PreparedSession prepared,
+        manager_.PrepareResolved(entry.plan, entry.effective, request.single,
+                                 options));
+    return std::make_shared<const PreparedSession>(std::move(prepared));
+  }
+  const ProvKey key{entry.plan->Fingerprint(), version};
+  std::optional<std::shared_ptr<const PreparedSession>> cached =
+      prov_cache_.Get(key);
+  if (cached.has_value()) {
+    prov_hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::Increment(metrics, "engine.prov_cache.hit");
+    return *cached;
+  }
+  prov_misses_.fetch_add(1, std::memory_order_relaxed);
+  obs::Increment(metrics, "engine.prov_cache.miss");
+  CONSENTDB_ASSIGN_OR_RETURN(
+      PreparedSession prepared,
+      manager_.PrepareResolved(entry.plan, entry.effective, std::nullopt,
+                               options));
+  auto shared = std::make_shared<const PreparedSession>(std::move(prepared));
+  prov_cache_.Put(key, shared);
+  return shared;
+}
+
+Result<SessionReport> SessionEngine::RunOne(const SessionRequest& request) {
+  if (request.oracle == nullptr) {
+    return Status::InvalidArgument("SessionRequest carries no oracle");
+  }
+  SessionOptions options = options_.session;
+  options.tracer = request.tracer;
+  obs::MetricsRegistry* metrics = options.metrics;
+  obs::Increment(metrics, "engine.sessions");
+
+  // One consistent database version per session; a mutation between the
+  // reads would be a contract violation (see the header), not a race the
+  // engine needs to survive.
+  const uint64_t version = sdb_.version();
+  CONSENTDB_ASSIGN_OR_RETURN(PlanEntry entry,
+                             ResolvePlan(request, options, version));
+  CONSENTDB_ASSIGN_OR_RETURN(
+      std::shared_ptr<const PreparedSession> prepared,
+      ResolvePrepared(request, entry, options, version));
+
+  if (options_.share_consent_ledger) {
+    LedgerOracle oracle(ledger_, *request.oracle);
+    Result<SessionReport> report =
+        manager_.RunPrepared(*prepared, oracle, options);
+    obs::Increment(metrics, "engine.ledger.hit", oracle.ledger_hits());
+    return report;
+  }
+  return manager_.RunPrepared(*prepared, *request.oracle, options);
+}
+
+std::future<Result<SessionReport>> SessionEngine::Submit(
+    SessionRequest request) {
+  obs::MetricsRegistry* metrics = options_.session.metrics;
+  auto promise = std::make_shared<std::promise<Result<SessionReport>>>();
+  std::future<Result<SessionReport>> future = promise->get_future();
+  pool_.Submit([this, promise, request = std::move(request), metrics] {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    obs::SetGauge(metrics, "engine.sessions_in_flight",
+                  static_cast<double>(sessions_in_flight()));
+    obs::SetGauge(metrics, "engine.queue_depth",
+                  static_cast<double>(pool_.queue_depth()));
+    Result<SessionReport> result = RunOne(request);
+    // The in-flight count drops before the future is fulfilled, so a
+    // caller returning from get() never sees its own session in flight.
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    obs::SetGauge(metrics, "engine.sessions_in_flight",
+                  static_cast<double>(sessions_in_flight()));
+    promise->set_value(std::move(result));
+  });
+  obs::SetGauge(metrics, "engine.queue_depth",
+                static_cast<double>(pool_.queue_depth()));
+  return future;
+}
+
+std::vector<Result<SessionReport>> SessionEngine::RunAll(
+    std::vector<SessionRequest> requests) {
+  std::vector<std::future<Result<SessionReport>>> futures;
+  futures.reserve(requests.size());
+  for (SessionRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  std::vector<Result<SessionReport>> results;
+  results.reserve(futures.size());
+  for (std::future<Result<SessionReport>>& f : futures) {
+    results.push_back(f.get());
+  }
+  return results;
+}
+
+SessionEngine::CacheStats SessionEngine::cache_stats() const {
+  CacheStats stats;
+  stats.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  stats.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  stats.provenance_hits = prov_hits_.load(std::memory_order_relaxed);
+  stats.provenance_misses = prov_misses_.load(std::memory_order_relaxed);
+  stats.plan_entries = plan_cache_.size();
+  stats.provenance_entries = prov_cache_.size();
+  return stats;
+}
+
+void SessionEngine::InvalidateCaches() {
+  plan_cache_.Clear();
+  prov_cache_.Clear();
+}
+
+}  // namespace consentdb::core

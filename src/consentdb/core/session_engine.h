@@ -1,0 +1,175 @@
+// SessionEngine: a server-shaped, multi-threaded front end for consent
+// sessions. Many sessions run concurrently against one SharedDatabase,
+// sharing three pieces of state that are expensive or wasteful to rebuild
+// per session:
+//
+//   * a plan cache   — SQL text -> parsed + optimized PlanPtr, so repeated
+//     queries skip the parser and the rewrite pass;
+//   * a provenance cache — (plan fingerprint, database version) ->
+//     PreparedSession (annotated output tuples + DNF provenance profile).
+//     Provenance-annotated evaluation is the dominant per-session cost and
+//     is immutable until the database changes (cf. provenance
+//     materialization à la ProvSQL), so thousands of sessions asking the
+//     same query over one snapshot pay for it once. Any database mutation
+//     bumps SharedDatabase::version() and thereby invalidates every entry;
+//   * a consent ledger — a variable probed by any in-flight session is
+//     answered from the ledger for all others, so the engine never asks a
+//     peer the same question twice (consent answers are per-variable facts,
+//     not per-session ones).
+//
+// Caching never changes what a session reports: a cached PreparedSession is
+// byte-for-byte the one ConsentManager would rebuild (tested), probing
+// state is always per-session, and the ledger returns exactly the answers
+// the oracle would (oracles must answer consistently). Running N sessions
+// through the engine therefore yields reports identical to running them
+// sequentially through ConsentManager.
+//
+// Thread-safety contract: the SharedDatabase (content and variable pool)
+// must not be mutated while sessions are in flight. Mutate between
+// RunAll/Submit waves; the version bump then retires stale cache entries
+// automatically.
+
+#ifndef CONSENTDB_CORE_SESSION_ENGINE_H_
+#define CONSENTDB_CORE_SESSION_ENGINE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "consentdb/consent/oracle.h"
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/util/lru_cache.h"
+#include "consentdb/util/thread_pool.h"
+
+namespace consentdb::core {
+
+struct EngineOptions {
+  // Worker threads; 0 = hardware concurrency (at least 1).
+  size_t num_threads = 0;
+  size_t plan_cache_capacity = 256;
+  size_t provenance_cache_capacity = 128;
+  // Share one consent ledger across all sessions of this engine. Turn off
+  // to give every request raw, unmemoized access to its own oracle.
+  bool share_consent_ledger = true;
+  // Base options for every session. `tracer` must stay null here — a
+  // tracer is per-session state; attach per-request tracers through
+  // SessionRequest instead. `metrics` may be set: the registry is
+  // thread-safe and additionally receives the engine.* instruments below.
+  SessionOptions session;
+};
+
+struct SessionRequest {
+  // The query: SQL (resolved through the plan cache) or a prebuilt plan
+  // (takes precedence; bypasses the plan cache, not the provenance cache).
+  std::string sql;
+  query::PlanPtr plan;
+  // OPT-PEER-PROBE-SINGLE target. Targeted provenance depends on the tuple,
+  // so single-tuple sessions bypass the provenance cache.
+  std::optional<relational::Tuple> single;
+  // Required. With the shared ledger enabled one oracle may serve many
+  // concurrent requests (ledger access is serialized); with it disabled,
+  // concurrent requests need distinct or thread-safe oracles.
+  consent::ProbeOracle* oracle = nullptr;
+  // Optional per-request probe tracer.
+  obs::SessionTracer* tracer = nullptr;
+};
+
+// Metrics recorded into EngineOptions::session.metrics (when attached), on
+// top of the per-session session.*/eval.*/strategy.* instruments:
+//   engine.sessions            counter  sessions executed
+//   engine.plan_cache.hit/.miss    counters (stale-version hits count as miss)
+//   engine.prov_cache.hit/.miss    counters
+//   engine.ledger.hit          counter  probes answered without an oracle
+//   engine.queue_depth         gauge    tasks waiting for a worker
+//   engine.sessions_in_flight  gauge    sessions currently executing
+class SessionEngine {
+ public:
+  explicit SessionEngine(const consent::SharedDatabase& sdb,
+                         EngineOptions options = {});
+
+  // Joins the workers after draining every submitted session.
+  ~SessionEngine() = default;
+
+  // Enqueues one session; the future carries its report (or error).
+  std::future<Result<SessionReport>> Submit(SessionRequest request);
+
+  // Submits every request and waits; results are in request order.
+  std::vector<Result<SessionReport>> RunAll(
+      std::vector<SessionRequest> requests);
+
+  struct CacheStats {
+    uint64_t plan_hits = 0;
+    uint64_t plan_misses = 0;
+    uint64_t provenance_hits = 0;
+    uint64_t provenance_misses = 0;
+    size_t plan_entries = 0;
+    size_t provenance_entries = 0;
+  };
+  CacheStats cache_stats() const;
+
+  const consent::ConsentLedger& ledger() const { return ledger_; }
+
+  size_t num_threads() const { return pool_.num_threads(); }
+  size_t queue_depth() const { return pool_.queue_depth(); }
+  size_t sessions_in_flight() const {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+
+  // Drops every cached plan and prepared session. Only needed by tests and
+  // memory-pressure handling: database mutations invalidate automatically
+  // through the version in the cache keys.
+  void InvalidateCaches();
+
+  const ConsentManager& manager() const { return manager_; }
+
+ private:
+  struct PlanEntry {
+    query::PlanPtr plan;
+    query::PlanPtr effective;
+    uint64_t version = 0;
+  };
+  struct ProvKey {
+    uint64_t fingerprint = 0;
+    uint64_t version = 0;
+    bool operator==(const ProvKey& other) const {
+      return fingerprint == other.fingerprint && version == other.version;
+    }
+  };
+  struct ProvKeyHash {
+    size_t operator()(const ProvKey& k) const {
+      return static_cast<size_t>(
+          (k.fingerprint ^ (k.version * 0x9e3779b97f4a7c15ull)));
+    }
+  };
+
+  Result<SessionReport> RunOne(const SessionRequest& request);
+  Result<PlanEntry> ResolvePlan(const SessionRequest& request,
+                                const SessionOptions& options,
+                                uint64_t version);
+  Result<std::shared_ptr<const PreparedSession>> ResolvePrepared(
+      const SessionRequest& request, const PlanEntry& entry,
+      const SessionOptions& options, uint64_t version);
+
+  const consent::SharedDatabase& sdb_;
+  ConsentManager manager_;
+  EngineOptions options_;
+  LruCache<std::string, std::shared_ptr<const PlanEntry>> plan_cache_;
+  LruCache<ProvKey, std::shared_ptr<const PreparedSession>, ProvKeyHash>
+      prov_cache_;
+  consent::ConsentLedger ledger_;
+  std::atomic<uint64_t> plan_hits_{0};
+  std::atomic<uint64_t> plan_misses_{0};
+  std::atomic<uint64_t> prov_hits_{0};
+  std::atomic<uint64_t> prov_misses_{0};
+  std::atomic<size_t> in_flight_{0};
+  // Declared last: destroyed first, so the workers drain and join while
+  // the caches, ledger and manager above are still alive.
+  ThreadPool pool_;
+};
+
+}  // namespace consentdb::core
+
+#endif  // CONSENTDB_CORE_SESSION_ENGINE_H_

@@ -163,6 +163,19 @@ class ScopedTimer {
   int64_t start_;
 };
 
+// Shared bucket ladder for per-session probe-count histograms
+// ("session.probes", "engine.session_probes" and the bench sidecars): the
+// full power-of-two ladder from 1 to 4096. Defined once here so every
+// recorder of a probe-count distribution uses the same buckets — Histogram
+// bounds are fixed at first registration and Merge requires equal bounds.
+// (The ladder previously inlined at call sites skipped 512 and 2048,
+// blurring exactly the range the paper's 1000-row workloads land in.)
+inline const std::vector<uint64_t>& SessionProbeBuckets() {
+  static const std::vector<uint64_t> buckets = {
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096};
+  return buckets;
+}
+
 // --- Null-sink helpers: every call is a no-op when `m` is nullptr. ----------
 
 inline void Increment(MetricsRegistry* m, const char* name,

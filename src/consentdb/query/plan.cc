@@ -189,4 +189,36 @@ std::string Plan::ToString() const {
   return out;
 }
 
+void Plan::FingerprintInto(std::string* out) const {
+  // Every field is length-prefixed into the stream so that distinct plans
+  // cannot serialize to the same byte sequence (no delimiter ambiguity).
+  auto field = [out](const std::string& s) {
+    *out += std::to_string(s.size());
+    *out += ':';
+    *out += s;
+  };
+  *out += static_cast<char>('A' + static_cast<int>(kind_));
+  field(relation_);
+  field(alias_);
+  field(predicate_ != nullptr ? predicate_->ToString() : "");
+  *out += std::to_string(columns_.size());
+  for (const std::string& c : columns_) field(c);
+  *out += std::to_string(output_names_.size());
+  for (const std::string& n : output_names_) field(n);
+  *out += std::to_string(children_.size());
+  for (const PlanPtr& c : children_) c->FingerprintInto(out);
+}
+
+uint64_t Plan::Fingerprint() const {
+  std::string canonical;
+  FingerprintInto(&canonical);
+  // FNV-1a, 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : canonical) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace consentdb::query

@@ -11,6 +11,7 @@
 #ifndef CONSENTDB_QUERY_PLAN_H_
 #define CONSENTDB_QUERY_PLAN_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,9 +63,17 @@ class Plan {
 
   std::string ToString() const;  // multi-line indented tree
 
+  // Stable 64-bit structural fingerprint (FNV-1a over a canonical
+  // serialization that, unlike ToString, includes projection output names).
+  // Structurally identical plans always collide; the converse holds up to
+  // 64-bit hash collisions, which is the contract the session engine's
+  // provenance cache keys rely on.
+  uint64_t Fingerprint() const;
+
  private:
   explicit Plan(PlanKind kind) : kind_(kind) {}
   void AppendTo(std::string* out, int indent) const;
+  void FingerprintInto(std::string* out) const;
 
   PlanKind kind_;
   std::string relation_;

@@ -7,7 +7,8 @@ namespace consentdb::strategy {
 BatchProbeRun RunToCompletionBatched(EvaluationState& state,
                                      const StrategyFactory& factory,
                                      const ProbeFn& probe, size_t batch_size,
-                                     const RunInstrumentation& instr) {
+                                     const RunInstrumentation& instr,
+                                     bool skip_answered) {
   CONSENTDB_CHECK(batch_size >= 1, "batch size must be positive");
   BatchProbeRun run;
   obs::Histogram* plan_ns = obs::MaybeHistogram(instr.metrics, "batch.plan_ns");
@@ -31,12 +32,22 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
     const int64_t planning = instr.enabled() ? obs::MonotonicNanos() - t0 : 0;
     if (plan_ns != nullptr) plan_ns->Observe(static_cast<uint64_t>(planning));
     CONSENTDB_CHECK(!batch.empty(), "empty batch with undecided formulas");
-    // Send the whole batch; every sent probe counts, even those made
-    // redundant by earlier answers of the same round.
+    // Send the batch. Under the default accounting every planned probe is
+    // sent and counts, even those made redundant by earlier answers of the
+    // same round; under skip_answered, redundant probes (variable answered
+    // or no longer useful in the real state) are dropped before reaching
+    // the oracle. The round's first probe is always sent: it was chosen on
+    // the real state, so it is useful and unanswered.
     ++run.num_rounds;
     obs::Increment(instr.metrics, "batch.rounds");
-    for (size_t i = 0; i < batch.size(); ++i) {
-      VarId x = batch[i];
+    bool planning_attributed = false;
+    for (VarId x : batch) {
+      if (skip_answered &&
+          (state.var_value(x) != Truth::kUnknown || !state.IsUseful(x))) {
+        ++run.num_skipped;
+        obs::Increment(instr.metrics, "batch.skipped");
+        continue;
+      }
       bool answer = probe(x);
       ++run.num_probes;
       if (state.var_value(x) == Truth::kUnknown) state.Assign(x, answer);
@@ -47,12 +58,13 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
         ev.variable = x;
         ev.answer = answer;
         // Planning time is a per-round cost; attribute it to the round's
-        // first probe so event sums match wall time.
-        ev.decision_nanos = i == 0 ? planning : 0;
+        // first sent probe so event sums match wall time.
+        ev.decision_nanos = planning_attributed ? 0 : planning;
         ev.formulas_decided = state.num_formulas() - state.num_undecided();
         ev.formulas_remaining = state.num_undecided();
         instr.tracer->OnProbe(std::move(ev));
       }
+      planning_attributed = true;
     }
   }
   run.outcomes = state.FormulaValues();

@@ -1,0 +1,100 @@
+// A thread-safe fixed-capacity LRU map, used by the session engine for the
+// shared plan and provenance caches. Values are returned by copy, so cached
+// types should be cheap handles (shared_ptr, PlanPtr) to immutable payloads
+// — a value stays alive in the caller even if evicted concurrently.
+
+#ifndef CONSENTDB_UTIL_LRU_CACHE_H_
+#define CONSENTDB_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    CONSENTDB_CHECK(capacity >= 1, "LRU cache capacity must be positive");
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // Returns the cached value and marks it most-recently-used.
+  std::optional<Value> Get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  // Inserts or overwrites; evicts the least-recently-used entry at capacity.
+  void Put(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_[key] = order_.begin();
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_.clear();
+    order_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_LRU_CACHE_H_

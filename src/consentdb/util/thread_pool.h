@@ -1,0 +1,90 @@
+// A fixed-size worker pool over a FIFO task queue — the execution substrate
+// of the concurrent session engine (core/session_engine.h).
+//
+// Semantics kept deliberately small:
+//   * Submit() enqueues a task and never blocks (the queue is unbounded;
+//     callers that need backpressure read queue_depth()).
+//   * Tasks run in submission order, up to `num_threads` at a time.
+//   * The destructor drains the queue: every task submitted before
+//     destruction runs to completion before the workers join.
+//   * Tasks must not throw (the library is exception-free; errors travel
+//     through Status/Result inside the task's closure).
+
+#ifndef CONSENTDB_UTIL_THREAD_POOL_H_
+#define CONSENTDB_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads) {
+    CONSENTDB_CHECK(num_threads >= 1, "thread pool needs at least one thread");
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      CONSENTDB_CHECK(!stopping_, "Submit on a stopping thread pool");
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Tasks submitted but not yet picked up by a worker.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_THREAD_POOL_H_

@@ -6,6 +6,8 @@
 #include "consentdb/consent/shared_database.h"
 #include "consentdb/eval/evaluate.h"
 #include "consentdb/eval/provenance_profile.h"
+#include "consentdb/obs/metrics.h"
+#include "consentdb/obs/tracer.h"
 #include "consentdb/query/parser.h"
 #include "consentdb/strategy/batch_runner.h"
 #include "consentdb/strategy/expected_cost.h"
@@ -106,6 +108,60 @@ TEST(BatchRunnerTest, CorrectOnAllValuations) {
   }
 }
 
+TEST(BatchRunnerTest, SkipAnsweredDropsProbesMadeRedundantMidRound) {
+  // One term {x0, x1}: once x0 answers False the formula is decided and x1
+  // stops being useful. The default accounting still sends the planned x1
+  // probe (the paper's model: a dispatched batch costs its full size); the
+  // skip_answered accounting re-checks the real state and drops it.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}})};
+  std::vector<double> pi = UniformPi(2, 0.9);
+  PartialValuation hidden(2);
+  hidden.Set(0, false);
+  hidden.Set(1, true);
+
+  EvaluationState default_state(dnfs, pi);
+  BatchProbeRun sent_all = RunToCompletionBatched(
+      default_state, MakeRoFactory(), FromValuation(hidden), 2);
+  EXPECT_EQ(sent_all.num_probes, 2u);
+  EXPECT_EQ(sent_all.num_skipped, 0u);
+  EXPECT_EQ(sent_all.num_rounds, 1u);
+
+  size_t oracle_calls = 0;
+  ProbeFn counting = [&hidden, &oracle_calls](VarId x) {
+    ++oracle_calls;
+    return hidden.Get(x) == Truth::kTrue;
+  };
+  EvaluationState skip_state(dnfs, pi);
+  BatchProbeRun skipped = RunToCompletionBatched(
+      skip_state, MakeRoFactory(), counting, 2, {}, /*skip_answered=*/true);
+  EXPECT_EQ(skipped.num_probes, 1u);
+  EXPECT_EQ(skipped.num_skipped, 1u);
+  EXPECT_EQ(oracle_calls, 1u);  // the redundant probe never reached the peer
+
+  EXPECT_EQ(skipped.outcomes, sent_all.outcomes);
+  EXPECT_EQ(skipped.outcomes[0], Truth::kFalse);
+}
+
+TEST(BatchRunnerTest, SkipAnsweredMatchesDefaultWhenNothingIsRedundant) {
+  // All-true answers keep every planned probe useful, so both accountings
+  // send identical probes.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{2, 3}})};
+  std::vector<double> pi = UniformPi(4, 0.7);
+  PartialValuation hidden = AllSet(4, true);
+
+  EvaluationState default_state(dnfs, pi);
+  BatchProbeRun sent_all = RunToCompletionBatched(
+      default_state, MakeRoFactory(), FromValuation(hidden), 2);
+  EvaluationState skip_state(dnfs, pi);
+  BatchProbeRun skipped =
+      RunToCompletionBatched(skip_state, MakeRoFactory(), FromValuation(hidden),
+                             2, {}, /*skip_answered=*/true);
+  EXPECT_EQ(skipped.num_probes, sent_all.num_probes);
+  EXPECT_EQ(skipped.num_skipped, 0u);
+  EXPECT_EQ(skipped.num_rounds, sent_all.num_rounds);
+  EXPECT_EQ(skipped.outcomes, sent_all.outcomes);
+}
+
 // --- Budgeted probing ----------------------------------------------------------------
 
 TEST(BudgetRunnerTest, StopsAtBudget) {
@@ -141,6 +197,69 @@ TEST(BudgetRunnerTest, ZeroBudgetDecidesNothing) {
       RunWithBudget(state, ro, FromValuation(AllSet(1, true)), 0);
   EXPECT_EQ(run.num_probes, 0u);
   EXPECT_EQ(run.num_decided, 0u);
+}
+
+TEST(BudgetRunnerTest, ExhaustionLeavesUnknownsAndConsistentCounts) {
+  // Mixed answers, budget smaller than the formula count: outcomes must be
+  // Unknown exactly for the formulas the budget never reached, num_decided
+  // must equal the non-Unknown count, and every decided outcome must agree
+  // with the hidden valuation.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0}}), Dnf({VarSet{1}}),
+                           Dnf({VarSet{2}}), Dnf({VarSet{3}}),
+                           Dnf({VarSet{4}})};
+  std::vector<double> pi = UniformPi(5, 0.5);
+  PartialValuation hidden(5);
+  hidden.Set(0, true);
+  hidden.Set(1, false);
+  hidden.Set(2, true);
+  hidden.Set(3, false);
+  hidden.Set(4, true);
+
+  EvaluationState state(dnfs, pi);
+  RoStrategy ro;
+  BudgetedProbeRun run = RunWithBudget(state, ro, FromValuation(hidden), 3);
+  EXPECT_EQ(run.num_probes, 3u);
+  ASSERT_EQ(run.outcomes.size(), dnfs.size());
+
+  size_t unknown = 0;
+  size_t decided = 0;
+  for (size_t j = 0; j < run.outcomes.size(); ++j) {
+    if (run.outcomes[j] == Truth::kUnknown) {
+      ++unknown;
+    } else {
+      ++decided;
+      EXPECT_EQ(run.outcomes[j], dnfs[j].Evaluate(hidden)) << "formula " << j;
+    }
+  }
+  EXPECT_EQ(unknown, 2u);  // 5 singleton formulas, 3 probes
+  EXPECT_EQ(decided, 3u);
+  EXPECT_EQ(run.num_decided, decided);
+}
+
+TEST(BudgetRunnerTest, TracerSeesExactlyTheBudgetedProbes) {
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0}}), Dnf({VarSet{1}}),
+                           Dnf({VarSet{2}}), Dnf({VarSet{3}})};
+  std::vector<double> pi = UniformPi(4, 0.5);
+  PartialValuation hidden = AllSet(4, true);
+
+  obs::SessionTracer tracer;
+  obs::MetricsRegistry metrics;
+  RunInstrumentation instr;
+  instr.tracer = &tracer;
+  instr.metrics = &metrics;
+
+  EvaluationState state(dnfs, pi);
+  RoStrategy ro;
+  BudgetedProbeRun run =
+      RunWithBudget(state, ro, FromValuation(hidden), 2, instr);
+  EXPECT_EQ(run.num_probes, 2u);
+  ASSERT_EQ(tracer.num_probes(), run.num_probes);
+  for (size_t i = 0; i < tracer.events().size(); ++i) {
+    const obs::ProbeEvent& event = tracer.events()[i];
+    EXPECT_EQ(event.probe_index, i);
+    EXPECT_EQ(hidden.Get(static_cast<VarId>(event.variable)),
+              event.answer ? Truth::kTrue : Truth::kFalse);
+  }
 }
 
 // --- Non-uniform probe costs -------------------------------------------------------------

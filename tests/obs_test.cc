@@ -491,6 +491,32 @@ TEST(SessionTelemetryTest, EndToEndReportAndNullSinkEquivalence) {
   EXPECT_NE(json.find("\"events\":["), std::string::npos);
 }
 
+TEST(SessionTelemetryTest, SessionProbeBucketLadderHasNoSkippedRungs) {
+  // The shared ladder is a complete power-of-two ramp; the inline copy it
+  // replaced skipped 512 and 2048, folding those probe counts into the
+  // next-larger bucket.
+  const std::vector<uint64_t>& buckets = obs::SessionProbeBuckets();
+  ASSERT_GE(buckets.size(), 2u);
+  EXPECT_EQ(buckets.front(), 1u);
+  EXPECT_EQ(buckets.back(), 4096u);
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_EQ(buckets[i], buckets[i - 1] * 2) << "rung " << i;
+  }
+
+  // A session registers session.probes with exactly this ladder.
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase(0.5);
+  core::ConsentManager manager(sdb);
+  MetricsRegistry registry;
+  core::SessionOptions options;
+  options.metrics = &registry;
+  provenance::PartialValuation hidden(sdb.pool().size());
+  for (VarId x = 0; x < sdb.pool().size(); ++x) hidden.Set(x, true);
+  consent::ValuationOracle oracle(hidden);
+  ASSERT_TRUE(
+      manager.DecideAll(testing::RecruitmentQuerySql(), oracle, options).ok());
+  EXPECT_EQ(registry.GetHistogram("session.probes")->bounds(), buckets);
+}
+
 TEST(SessionTelemetryTest, TracerClearedBetweenSessions) {
   consent::SharedDatabase sdb = testing::RecruitmentDatabase(0.5);
   core::ConsentManager manager(sdb);
