@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""consentdb-lint: project-specific C++ hygiene checks.
+
+Walks src/, tests/ and bench/ and rejects patterns the compilers cannot (or
+do not) catch but that this codebase bans:
+
+  naked-new               `new`/`delete` outside a smart-pointer factory
+                          (a `new` is fine when the same statement wraps it
+                          in unique_ptr/shared_ptr/make_*/an XxxPtr alias)
+  mutex-guard             a std::mutex / consentdb::Mutex member in a class
+                          with no field annotated GUARDED_BY — either the
+                          mutex is dead or the guarded data is unannotated
+  include-cc              #include of a .cc file
+  using-namespace-header  `using namespace` at any scope in a header
+  raw-cout                std::cout/std::cerr in src/consentdb (library code
+                          reports through Status/obs; only the shell/bench/
+                          example layers own a terminal)
+
+A finding on a line carrying `// lint:allow <rule>` (or whose previous line
+is only that comment) is suppressed; the allowlist is per-rule, so an
+allowed `naked-new` does not silence a `raw-cout` on the same line.
+
+Exit status: 0 clean, 1 findings, 2 usage/IO error.
+
+Usage: consentdb_lint.py [REPO_ROOT] [--list-rules]
+Run from anywhere; REPO_ROOT defaults to the script's parent repo.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINT_DIRS = ("src", "tests", "bench")
+CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
+HEADER_SUFFIXES = {".h", ".hpp"}
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w,-]+)")
+
+# `new` is legal only when the same statement hands it straight to a smart
+# pointer, in either construction style:
+#   return PlanPtr(new Plan(...));                 temporary wrap
+#   std::unique_ptr<Plan> p(new Plan(...));        declaration wrap
+#   ptr.reset(new T(...));                         explicit handoff
+# The window spans two lines so a wrap opened on the previous line counts.
+SMART_WRAP_RE = re.compile(
+    r"(?:\w*Ptr|unique_ptr\s*(?:<[^;]*>)?|shared_ptr\s*(?:<[^;]*>)?|"
+    r"\breset)\s*(?:\w+\s*)?\(\s*new\b"
+)
+NEW_RE = re.compile(r"\bnew\b(?!\s*\()")  # `new (place)` placement is flagged too
+DELETE_RE = re.compile(r"\bdelete\b(?!\s*;)")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:std::mutex|Mutex)\s+(\w+)\s*(?:=[^;]*)?;"
+)
+GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*(\w+)\s*\)")
+INCLUDE_CC_RE = re.compile(r'#\s*include\s*[<"][^">]+\.cc[">]')
+USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
+RAW_COUT_RE = re.compile(r"\bstd::(cout|cerr)\b")
+
+RULES = (
+    "naked-new",
+    "mutex-guard",
+    "include-cc",
+    "using-namespace-header",
+    "raw-cout",
+)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and the contents of string/char literals so the
+    pattern rules never fire inside prose or quoted SQL."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed on line idx: an inline `lint:allow` or a preceding
+    comment-only line carrying one."""
+    allowed: set[str] = set()
+    m = ALLOW_RE.search(lines[idx])
+    if m:
+        allowed.update(m.group(1).split(","))
+    if idx > 0:
+        prev = lines[idx - 1].strip()
+        m = ALLOW_RE.search(prev)
+        if m and prev.startswith("//"):
+            allowed.update(m.group(1).split(","))
+    return allowed
+
+
+def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as e:
+        findings.append(Finding(rel, 0, "io", f"unreadable: {e}"))
+        return
+
+    lines = text.splitlines()
+    is_header = path.suffix in HEADER_SUFFIXES
+    in_library = rel.parts[:2] == ("src", "consentdb")
+
+    # mutex-guard bookkeeping: mutex members and GUARDED_BY targets seen in
+    # this file. Field-to-class attribution uses a simple heuristic (one
+    # class per mutex name is the codebase convention: `mu_`).
+    mutex_members: list[tuple[int, str, set[str]]] = []  # line, name, allowed
+    guarded_targets: set[str] = set()
+
+    for idx, raw in enumerate(lines):
+        lineno = idx + 1
+        allowed = allowed_rules(lines, idx)
+        code = strip_comments_and_strings(raw)
+        if not code.strip():
+            continue
+
+        # Checked against the raw line: the include path lives inside the
+        # quotes the string-stripper removes.
+        if INCLUDE_CC_RE.search(raw) and "include-cc" not in allowed:
+            findings.append(
+                Finding(rel, lineno, "include-cc",
+                        "#include of a .cc file; include the header and "
+                        "link the object instead"))
+
+        if (is_header and USING_NAMESPACE_RE.search(code)
+                and "using-namespace-header" not in allowed):
+            findings.append(
+                Finding(rel, lineno, "using-namespace-header",
+                        "`using namespace` in a header leaks into every "
+                        "includer; qualify or alias instead"))
+
+        if in_library and RAW_COUT_RE.search(code) and "raw-cout" not in allowed:
+            findings.append(
+                Finding(rel, lineno, "raw-cout",
+                        "library code must not write to std::cout/cerr; "
+                        "return a Status or report through obs/"))
+
+        for m in GUARDED_BY_RE.finditer(code):
+            guarded_targets.add(m.group(1))
+
+        mm = MUTEX_MEMBER_RE.match(code)
+        if mm:
+            mutex_members.append((lineno, mm.group(1), allowed))
+
+        if "naked-new" not in allowed:
+            stripped_deleted = DELETED_FN_RE.sub("", code)
+            has_new = NEW_RE.search(stripped_deleted)
+            has_delete = DELETE_RE.search(stripped_deleted)
+            if has_new:
+                prev = strip_comments_and_strings(lines[idx - 1]) if idx else ""
+                window = prev.rstrip() + " " + code
+                if not SMART_WRAP_RE.search(window):
+                    findings.append(
+                        Finding(rel, lineno, "naked-new",
+                                "`new` outside a smart-pointer factory; wrap "
+                                "it in unique_ptr/shared_ptr/XxxPtr in the "
+                                "same statement"))
+            if has_delete:
+                findings.append(
+                    Finding(rel, lineno, "naked-new",
+                            "manual `delete`; ownership belongs to a smart "
+                            "pointer"))
+
+    for lineno, name, allowed in mutex_members:
+        if "mutex-guard" in allowed:
+            continue
+        if name not in guarded_targets:
+            findings.append(
+                Finding(rel, lineno, "mutex-guard",
+                        f"mutex member `{name}` has no GUARDED_BY({name}) "
+                        "field in this file; annotate the data it protects "
+                        "(see util/thread_annotations.h)"))
+
+
+def run(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for d in LINT_DIRS:
+        base = root / d
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in CXX_SUFFIXES and path.is_file():
+                lint_file(path, path.relative_to(root), findings)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    args = [a for a in argv[1:] if a != "--list-rules"]
+    if "--list-rules" in argv:
+        print("\n".join(RULES))
+        return 0
+    if len(args) > 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    root = Path(args[0]).resolve() if args else Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"consentdb-lint: no such directory: {root}", file=sys.stderr)
+        return 2
+    findings = run(root)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"consentdb-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

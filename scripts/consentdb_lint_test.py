@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Unit tests for every consentdb_lint.py rule, including the allowlist.
+
+Each test materializes a miniature repo in a temp directory and asserts on
+the (rule, line) pairs the linter reports. Run directly or via ctest:
+
+    python3 scripts/consentdb_lint_test.py
+"""
+
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import consentdb_lint as lint  # noqa: E402
+
+
+class LintHarness(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel: str, content: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+    def findings(self):
+        return [(f.rule, str(f.path), f.line) for f in lint.run(self.root)]
+
+    def rules(self):
+        return [r for r, _, _ in self.findings()]
+
+
+class NakedNewTest(LintHarness):
+    def test_flags_raw_new(self):
+        self.write("src/consentdb/a.cc", "void f() {\n  int* p = new int(3);\n}\n")
+        self.assertEqual(self.rules(), ["naked-new"])
+        self.assertEqual(self.findings()[0][2], 2)
+
+    def test_flags_manual_delete(self):
+        self.write("src/consentdb/a.cc", "void f(int* p) {\n  delete p;\n}\n")
+        self.assertEqual(self.rules(), ["naked-new"])
+
+    def test_deleted_function_is_not_delete(self):
+        self.write("src/consentdb/a.h",
+                   "class A {\n  A(const A&) = delete;\n};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_same_line_smart_wrap_ok(self):
+        self.write("src/consentdb/a.cc",
+                   "PlanPtr f() {\n  return PlanPtr(new Plan(kScan));\n}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_declaration_wrap_ok(self):
+        self.write("src/consentdb/a.cc",
+                   "void f() {\n  std::unique_ptr<Plan> p(new Plan(kScan));\n}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_previous_line_wrap_ok(self):
+        self.write("src/consentdb/a.cc",
+                   "void f() {\n  static const BoolExprPtr instance(\n"
+                   "      new BoolExpr(kFalse));\n}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_new_in_comment_or_string_ignored(self):
+        self.write("src/consentdb/a.cc",
+                   '// a new idea\nconst char* s = "new Plan";\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("src/consentdb/a.cc",
+                   "void f() {\n  int* p = new int(3);  // lint:allow naked-new\n}\n")
+        self.assertEqual(self.rules(), [])
+
+
+class MutexGuardTest(LintHarness):
+    def test_flags_unguarded_mutex(self):
+        self.write("src/consentdb/a.h",
+                   "class A {\n  mutable std::mutex mu_;\n  int x_ = 0;\n};\n")
+        self.assertEqual(self.rules(), ["mutex-guard"])
+
+    def test_guarded_field_satisfies(self):
+        self.write("src/consentdb/a.h",
+                   "class A {\n  mutable Mutex mu_;\n"
+                   "  int x_ GUARDED_BY(mu_) = 0;\n};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_wrapper_mutex_class_allowlisted(self):
+        self.write("src/consentdb/a.h",
+                   "class M {\n  std::mutex mu_;  // lint:allow mutex-guard\n};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_preceding_comment_allowlist(self):
+        self.write("src/consentdb/a.h",
+                   "class M {\n  // lint:allow mutex-guard\n"
+                   "  std::mutex mu_;\n};\n")
+        self.assertEqual(self.rules(), [])
+
+
+class IncludeCcTest(LintHarness):
+    def test_flags_cc_include(self):
+        self.write("tests/a.cc", '#include "consentdb/query/plan.cc"\n')
+        self.assertEqual(self.rules(), ["include-cc"])
+
+    def test_header_include_ok(self):
+        self.write("tests/a.cc", '#include "consentdb/query/plan.h"\n')
+        self.assertEqual(self.rules(), [])
+
+
+class UsingNamespaceHeaderTest(LintHarness):
+    def test_flags_in_header(self):
+        self.write("src/consentdb/a.h", "using namespace std;\n")
+        self.assertEqual(self.rules(), ["using-namespace-header"])
+
+    def test_ok_in_cc(self):
+        self.write("src/consentdb/a.cc", "using namespace std::chrono;\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_using_declaration_ok(self):
+        self.write("src/consentdb/a.h", "using std::vector;\n")
+        self.assertEqual(self.rules(), [])
+
+
+class RawCoutTest(LintHarness):
+    def test_flags_cout_in_library(self):
+        self.write("src/consentdb/a.cc",
+                   'void f() {\n  std::cout << "hi";\n}\n')
+        self.assertEqual(self.rules(), ["raw-cout"])
+
+    def test_cerr_also_flagged(self):
+        self.write("src/consentdb/a.cc",
+                   'void f() {\n  std::cerr << "hi";\n}\n')
+        self.assertEqual(self.rules(), ["raw-cout"])
+
+    def test_ok_outside_library(self):
+        # bench/tests/examples own their terminal; only src/consentdb is
+        # held to the no-stdout rule.
+        self.write("bench/a.cc", 'void f() {\n  std::cout << "hi";\n}\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_cout_in_string_ignored(self):
+        self.write("src/consentdb/a.cc", 'const char* s = "std::cout";\n')
+        self.assertEqual(self.rules(), [])
+
+
+class AllowlistScopingTest(LintHarness):
+    def test_allow_is_per_rule(self):
+        # An allow for one rule must not silence a different rule on the
+        # same line.
+        self.write("src/consentdb/a.cc",
+                   'void f() {\n'
+                   '  std::cout << (new int(1));  // lint:allow raw-cout\n'
+                   '}\n')
+        self.assertEqual(self.rules(), ["naked-new"])
+
+    def test_comma_separated_allows(self):
+        self.write("src/consentdb/a.cc",
+                   'void f() {\n'
+                   '  std::cout << (new int(1));  // lint:allow raw-cout,naked-new\n'
+                   '}\n')
+        self.assertEqual(self.rules(), [])
+
+
+class CliTest(LintHarness):
+    def test_exit_codes(self):
+        self.write("src/consentdb/clean.cc", "int f() { return 1; }\n")
+        self.assertEqual(lint.main(["lint", str(self.root)]), 0)
+        self.write("src/consentdb/bad.cc", "int* f() { return new int; }\n")
+        self.assertEqual(lint.main(["lint", str(self.root)]), 1)
+        self.assertEqual(lint.main(["lint", str(self.root / "missing")]), 2)
+
+    def test_list_rules(self):
+        self.assertEqual(lint.main(["lint", "--list-rules"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -48,10 +48,10 @@ bool CallbackOracle::Probe(VarId x) {
 
 bool ConsentLedger::ProbeVia(ProbeOracle& oracle, VarId x,
                              bool* answered_from_ledger) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = answers_.find(x);
   if (it != answers_.end()) {
-    ++hits_;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     if (answered_from_ledger != nullptr) *answered_from_ledger = true;
     return it->second;
   }
@@ -60,38 +60,28 @@ bool ConsentLedger::ProbeVia(ProbeOracle& oracle, VarId x,
   // serializes access to the (not necessarily thread-safe) oracle and
   // guarantees no variable is ever sent to a peer twice.
   bool answer = oracle.Probe(x);
-  ++oracle_probes_;
+  oracle_probes_.fetch_add(1, std::memory_order_relaxed);
   answers_.emplace(x, answer);
   return answer;
 }
 
 std::optional<bool> ConsentLedger::Lookup(VarId x) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = answers_.find(x);
   if (it == answers_.end()) return std::nullopt;
   return it->second;
 }
 
 size_t ConsentLedger::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return answers_.size();
 }
 
-uint64_t ConsentLedger::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-uint64_t ConsentLedger::oracle_probes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return oracle_probes_;
-}
-
 void ConsentLedger::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   answers_.clear();
-  hits_ = 0;
-  oracle_probes_ = 0;
+  hits_.store(0, std::memory_order_relaxed);
+  oracle_probes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace consentdb::consent

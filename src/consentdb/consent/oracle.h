@@ -7,9 +7,9 @@
 #ifndef CONSENTDB_CONSENT_ORACLE_H_
 #define CONSENTDB_CONSENT_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -17,6 +17,7 @@
 
 #include "consentdb/consent/variable_pool.h"
 #include "consentdb/provenance/truth.h"
+#include "consentdb/util/thread_annotations.h"
 
 namespace consentdb::consent {
 
@@ -107,25 +108,33 @@ class ConsentLedger {
   // from the ledger (per-caller accounting; the global tallies below are
   // engine-wide).
   bool ProbeVia(ProbeOracle& oracle, VarId x,
-                bool* answered_from_ledger = nullptr);
+                bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
 
   // The recorded answer, if any session probed `x` already.
-  std::optional<bool> Lookup(VarId x) const;
+  std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
 
   // Distinct variables answered so far.
-  size_t size() const;
+  size_t size() const EXCLUDES(mu_);
   // Probes answered from the ledger without reaching an oracle.
-  uint64_t hits() const;
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   // Probes forwarded to an oracle.
-  uint64_t oracle_probes() const;
+  uint64_t oracle_probes() const {
+    return oracle_probes_.load(std::memory_order_relaxed);
+  }
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<VarId, bool> answers_;
-  uint64_t hits_ = 0;
-  uint64_t oracle_probes_ = 0;
+  // mu_ guards the answer map and, deliberately, the backing oracle call:
+  // ProbeVia holds it across Probe() so non-thread-safe oracles are
+  // serialized and no variable ever reaches a peer twice. The tallies are
+  // atomics rather than guarded fields precisely because of that — a
+  // stats read (hits()/oracle_probes()) must not block behind a slow
+  // in-flight peer probe.
+  mutable Mutex mu_;
+  std::unordered_map<VarId, bool> answers_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> oracle_probes_{0};
 };
 
 }  // namespace consentdb::consent

@@ -23,13 +23,13 @@ class SharedDatabase {
   const VariablePool& pool() const { return pool_; }
   VariablePool& mutable_pool() { return pool_; }
 
-  Status CreateRelation(const std::string& name, relational::Schema schema);
+  [[nodiscard]] Status CreateRelation(const std::string& name, relational::Schema schema);
 
   // Inserts a tuple and annotates it with a fresh consent variable named
   // "<relation>#<index>", owned by `owner`, with prior `probability`.
   // Returns the allocated variable. Re-inserting an existing tuple keeps its
   // original annotation (L is one-to-one on tuples).
-  Result<VarId> InsertTuple(const std::string& relation, relational::Tuple t,
+  [[nodiscard]] Result<VarId> InsertTuple(const std::string& relation, relational::Tuple t,
                             std::string owner = "", double probability = 0.5);
 
   // Inserts a tuple annotated by an EXISTING consent variable — a "block"
@@ -38,17 +38,17 @@ class SharedDatabase {
   // one-to-one, so variables co-occur in provenance expressions and the
   // read-once guarantees of Table I no longer apply syntactically; the
   // runtime provenance checks still select a correct algorithm.
-  Status InsertTupleInBlock(const std::string& relation, relational::Tuple t,
+  [[nodiscard]] Status InsertTupleInBlock(const std::string& relation, relational::Tuple t,
                             VarId block_variable);
 
   // The annotation L(t) of the `index`-th tuple of `relation`.
-  Result<VarId> AnnotationOf(const std::string& relation, size_t index) const;
+  [[nodiscard]] Result<VarId> AnnotationOf(const std::string& relation, size_t index) const;
   // The annotation of a tuple by value.
-  Result<VarId> AnnotationOf(const std::string& relation,
+  [[nodiscard]] Result<VarId> AnnotationOf(const std::string& relation,
                              const relational::Tuple& t) const;
 
   // All annotations of `relation`, indexed like its tuples() vector.
-  Result<const std::vector<VarId>*> Annotations(
+  [[nodiscard]] Result<const std::vector<VarId>*> Annotations(
       const std::string& relation) const;
 
   // The sub-database D' of Def. II.6: tuples whose annotation is True under

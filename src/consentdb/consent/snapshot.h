@@ -32,8 +32,8 @@ namespace consentdb::consent {
 void SaveSnapshot(const SharedDatabase& sdb, std::ostream& out);
 std::string SaveSnapshot(const SharedDatabase& sdb);
 
-Result<SharedDatabase> LoadSnapshot(std::istream& in);
-Result<SharedDatabase> LoadSnapshot(const std::string& text);
+[[nodiscard]] Result<SharedDatabase> LoadSnapshot(std::istream& in);
+[[nodiscard]] Result<SharedDatabase> LoadSnapshot(const std::string& text);
 
 }  // namespace consentdb::consent
 

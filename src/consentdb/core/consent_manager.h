@@ -130,26 +130,26 @@ class ConsentManager {
   explicit ConsentManager(const consent::SharedDatabase& sdb) : sdb_(sdb) {}
 
   // OPT-PEER-PROBE: decides shareability of every output tuple.
-  Result<SessionReport> DecideAll(const query::PlanPtr& plan,
+  [[nodiscard]] Result<SessionReport> DecideAll(const query::PlanPtr& plan,
                                   consent::ProbeOracle& oracle,
                                   const SessionOptions& options = {}) const;
-  Result<SessionReport> DecideAll(std::string_view sql,
+  [[nodiscard]] Result<SessionReport> DecideAll(std::string_view sql,
                                   consent::ProbeOracle& oracle,
                                   const SessionOptions& options = {}) const;
 
   // OPT-PEER-PROBE-SINGLE: decides shareability of one output tuple (which
   // must belong to the query result).
-  Result<SessionReport> DecideSingle(const query::PlanPtr& plan,
+  [[nodiscard]] Result<SessionReport> DecideSingle(const query::PlanPtr& plan,
                                      const relational::Tuple& tuple,
                                      consent::ProbeOracle& oracle,
                                      const SessionOptions& options = {}) const;
-  Result<SessionReport> DecideSingle(std::string_view sql,
+  [[nodiscard]] Result<SessionReport> DecideSingle(std::string_view sql,
                                      const relational::Tuple& tuple,
                                      consent::ProbeOracle& oracle,
                                      const SessionOptions& options = {}) const;
 
   // Evaluates and profiles a query without probing.
-  Result<QueryAnalysis> Analyze(const query::PlanPtr& plan,
+  [[nodiscard]] Result<QueryAnalysis> Analyze(const query::PlanPtr& plan,
                                 const SessionOptions& options = {}) const;
 
   // --- Split pipeline (used by the session engine's caches) -----------------
@@ -157,12 +157,12 @@ class ConsentManager {
   // The oracle-independent phase: optimizes (per options), evaluates with
   // provenance tracking, flattens to DNF and classifies. The result depends
   // only on the plan and the current database content, never on an oracle.
-  Result<PreparedSession> Prepare(const query::PlanPtr& plan,
+  [[nodiscard]] Result<PreparedSession> Prepare(const query::PlanPtr& plan,
                                   std::optional<relational::Tuple> single,
                                   const SessionOptions& options = {}) const;
   // Same, with the optimized plan supplied by the caller (the engine's plan
   // cache); options.optimize_plan is ignored.
-  Result<PreparedSession> PrepareResolved(
+  [[nodiscard]] Result<PreparedSession> PrepareResolved(
       const query::PlanPtr& plan, const query::PlanPtr& effective,
       std::optional<relational::Tuple> single,
       const SessionOptions& options = {}) const;
@@ -172,18 +172,18 @@ class ConsentManager {
   // threads on one shared `prepared` (each call builds its own
   // EvaluationState) as long as the database and its variable pool are not
   // mutated meanwhile and each concurrent call uses its own tracer.
-  Result<SessionReport> RunPrepared(const PreparedSession& prepared,
+  [[nodiscard]] Result<SessionReport> RunPrepared(const PreparedSession& prepared,
                                     consent::ProbeOracle& oracle,
                                     const SessionOptions& options = {}) const;
 
   const consent::SharedDatabase& shared_database() const { return sdb_; }
 
  private:
-  Result<SessionReport> RunSession(const query::PlanPtr& plan,
+  [[nodiscard]] Result<SessionReport> RunSession(const query::PlanPtr& plan,
                                    std::optional<relational::Tuple> single,
                                    consent::ProbeOracle& oracle,
                                    const SessionOptions& options) const;
-  Result<SessionReport> FinishSession(const PreparedSession& prepared,
+  [[nodiscard]] Result<SessionReport> FinishSession(const PreparedSession& prepared,
                                       consent::ProbeOracle& oracle,
                                       const SessionOptions& options,
                                       int64_t session_start) const;

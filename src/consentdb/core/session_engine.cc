@@ -163,6 +163,11 @@ std::future<Result<SessionReport>> SessionEngine::Submit(
   obs::MetricsRegistry* metrics = options_.session.metrics;
   auto promise = std::make_shared<std::promise<Result<SessionReport>>>();
   std::future<Result<SessionReport>> future = promise->get_future();
+  // Audited for -Wthread-safety: the queue-depth and in-flight gauges are
+  // sampled outside any engine lock on purpose. in_flight_ is an atomic,
+  // pool_.queue_depth() locks internally, and Gauge::Set is last-write-wins
+  // — concurrent writers can interleave stale samples, which is benign for
+  // an instantaneous telemetry gauge (never read back by the engine).
   pool_.Submit([this, promise, request = std::move(request), metrics] {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     obs::SetGauge(metrics, "engine.sessions_in_flight",

@@ -94,7 +94,8 @@ class SessionEngine {
   ~SessionEngine() = default;
 
   // Enqueues one session; the future carries its report (or error).
-  std::future<Result<SessionReport>> Submit(SessionRequest request);
+  [[nodiscard]] std::future<Result<SessionReport>> Submit(
+      SessionRequest request);
 
   // Submits every request and waits; results are in request order.
   std::vector<Result<SessionReport>> RunAll(
@@ -145,11 +146,11 @@ class SessionEngine {
     }
   };
 
-  Result<SessionReport> RunOne(const SessionRequest& request);
-  Result<PlanEntry> ResolvePlan(const SessionRequest& request,
+  [[nodiscard]] Result<SessionReport> RunOne(const SessionRequest& request);
+  [[nodiscard]] Result<PlanEntry> ResolvePlan(const SessionRequest& request,
                                 const SessionOptions& options,
                                 uint64_t version);
-  Result<std::shared_ptr<const PreparedSession>> ResolvePrepared(
+  [[nodiscard]] Result<std::shared_ptr<const PreparedSession>> ResolvePrepared(
       const SessionRequest& request, const PlanEntry& entry,
       const SessionOptions& options, uint64_t version);
 

@@ -43,7 +43,7 @@ struct SpjInstance {
   // The consent variables of the Clause tuples (probability 1).
   std::vector<provenance::VarId> clause_vars;
 };
-Result<SpjInstance> BuildSpjFromDnf(const provenance::Dnf& dnf,
+[[nodiscard]] Result<SpjInstance> BuildSpjFromDnf(const provenance::Dnf& dnf,
                                     double variable_probability);
 
 // --- Thm. IV.9: SJ query whose OPT-PEER-PROBE encodes VERTEX COVER -----------
@@ -57,7 +57,7 @@ struct SjInstance {
   query::PlanPtr plan;
   std::vector<provenance::VarId> vertex_vars;  // by vertex id
 };
-Result<SjInstance> BuildSjFromGraph(const Graph& graph, double probability);
+[[nodiscard]] Result<SjInstance> BuildSjFromGraph(const Graph& graph, double probability);
 
 // --- Thm. IV.10: SPU query whose OPT-PEER-PROBE encodes VERTEX COVER ---------
 //
@@ -69,7 +69,7 @@ struct SpuInstance {
   query::PlanPtr plan;
   std::vector<provenance::VarId> vertex_vars;  // by vertex id
 };
-Result<SpuInstance> BuildSpuFromGraph(const Graph& graph, double probability);
+[[nodiscard]] Result<SpuInstance> BuildSpuFromGraph(const Graph& graph, double probability);
 
 }  // namespace consentdb::datasets
 

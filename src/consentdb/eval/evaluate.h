@@ -17,7 +17,7 @@
 namespace consentdb::eval {
 
 // Standard evaluation of `plan` over a plain database.
-Result<relational::Relation> Evaluate(const query::PlanPtr& plan,
+[[nodiscard]] Result<relational::Relation> Evaluate(const query::PlanPtr& plan,
                                       const relational::Database& db);
 
 // Provenance-tracked evaluation of `plan` over a shared database: every
@@ -25,13 +25,13 @@ Result<relational::Relation> Evaluate(const query::PlanPtr& plan,
 // consent variables of the input tuples it derives from. With `metrics`
 // attached, records the provenance build time (eval.annotate_ns) and the
 // output size (eval.output_tuples).
-Result<AnnotatedRelation> EvaluateAnnotated(
+[[nodiscard]] Result<AnnotatedRelation> EvaluateAnnotated(
     const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
     obs::MetricsRegistry* metrics = nullptr);
 
 // Def. II.6 implemented literally: evaluates `plan` over the sub-database of
 // consented tuples. Used to cross-check EvaluateAnnotated (Prop. III.2).
-Result<relational::Relation> EvaluateOverConsentedFragment(
+[[nodiscard]] Result<relational::Relation> EvaluateOverConsentedFragment(
     const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
     const provenance::PartialValuation& val);
 

@@ -39,7 +39,7 @@ struct ProvenanceProfile {
 // profile. Fails with ResourceExhausted if a DNF exceeds `limits`. With
 // `metrics` attached, records the flattening time (eval.profile_ns) and the
 // per-tuple DNF size distribution (eval.dnf_terms / eval.dnf_literals).
-Result<ProvenanceProfile> ProfileProvenance(
+[[nodiscard]] Result<ProvenanceProfile> ProfileProvenance(
     const AnnotatedRelation& relation,
     provenance::NormalFormLimits limits = {},
     obs::MetricsRegistry* metrics = nullptr);

@@ -24,14 +24,14 @@ using ColumnConstraints = std::vector<std::optional<relational::Value>>;
 
 // Evaluates `plan` with provenance tracking, restricted to output tuples
 // satisfying `constraints` (sized like the plan's output schema).
-Result<AnnotatedRelation> EvaluateAnnotatedConstrained(
+[[nodiscard]] Result<AnnotatedRelation> EvaluateAnnotatedConstrained(
     const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
     const ColumnConstraints& constraints);
 
 // The Boolean provenance of `tuple` in the result of `plan`, or NotFound if
 // the tuple is not in Q(D). (For SPJU under set semantics, membership in
 // Q(D) is equivalent to the annotation not being constant-False.)
-Result<provenance::BoolExprPtr> AnnotationForTuple(
+[[nodiscard]] Result<provenance::BoolExprPtr> AnnotationForTuple(
     const query::PlanPtr& plan, const consent::SharedDatabase& sdb,
     const relational::Tuple& tuple);
 

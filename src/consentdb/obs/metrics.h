@@ -25,9 +25,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "consentdb/util/thread_annotations.h"
 
 namespace consentdb {
 class JsonWriter;
@@ -111,31 +112,35 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
   // First call fixes the bounds (empty = DefaultLatencyBounds); later calls
   // with different bounds return the originally registered histogram.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<uint64_t> bounds = {});
+                          std::vector<uint64_t> bounds = {}) EXCLUDES(mu_);
 
   // Distinct metric names registered (counters + gauges + histograms).
-  size_t num_metrics() const;
+  size_t num_metrics() const EXCLUDES(mu_);
   // Zeroes every instrument, keeping registrations and pointers valid.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   // Alphabetical `name value` / histogram summary lines.
-  std::string ExportText() const;
+  std::string ExportText() const EXCLUDES(mu_);
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
   //  mean,p50,p99,buckets:[{le,count},...]}}}
-  std::string ExportJson() const;
+  std::string ExportJson() const EXCLUDES(mu_);
   // Emits the same object into an in-progress document (after w.Key(...)).
-  void WriteJson(JsonWriter& w) const;
+  void WriteJson(JsonWriter& w) const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // mu_ guards only name registration (the maps); the instruments
+  // themselves are updated lock-free through the returned pointers, which
+  // stay valid for the registry's lifetime.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
 };
 
 // Times a scope and records the elapsed nanoseconds into `hist` on

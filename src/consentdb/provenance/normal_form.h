@@ -43,7 +43,7 @@ class Dnf {
 
   // Flattens a positive Boolean expression into minimal monotone DNF
   // (absorption applied throughout). Fails when the term budget is exceeded.
-  static Result<Dnf> FromExpr(const BoolExprPtr& expr,
+  [[nodiscard]] static Result<Dnf> FromExpr(const BoolExprPtr& expr,
                               NormalFormLimits limits = {});
 
   const std::vector<VarSet>& terms() const { return terms_; }
@@ -99,7 +99,7 @@ class Cnf {
   static Cnf ConstantTrue() { return Cnf(); }
   static Cnf ConstantFalse() { return Cnf({VarSet{}}); }
 
-  static Result<Cnf> FromExpr(const BoolExprPtr& expr,
+  [[nodiscard]] static Result<Cnf> FromExpr(const BoolExprPtr& expr,
                               NormalFormLimits limits = {});
 
   const std::vector<VarSet>& clauses() const { return clauses_; }
@@ -128,10 +128,10 @@ class Cnf {
 // Converts a monotone DNF to the equivalent minimal monotone CNF by
 // distribution with absorption (the "brute force" of Prop. IV.11's proof).
 // Fails with ResourceExhausted when the clause budget is exceeded.
-Result<Cnf> DnfToCnf(const Dnf& dnf, NormalFormLimits limits = {});
+[[nodiscard]] Result<Cnf> DnfToCnf(const Dnf& dnf, NormalFormLimits limits = {});
 
 // Dual direction, used by tests.
-Result<Dnf> CnfToDnf(const Cnf& cnf, NormalFormLimits limits = {});
+[[nodiscard]] Result<Dnf> CnfToDnf(const Cnf& cnf, NormalFormLimits limits = {});
 
 }  // namespace consentdb::provenance
 

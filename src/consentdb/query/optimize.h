@@ -26,7 +26,7 @@ namespace consentdb::query {
 
 // Rewrites `plan` over `db` (schemas are needed to decide where conjuncts
 // bind). Returns a semantically equivalent plan.
-Result<PlanPtr> Optimize(const PlanPtr& plan, const relational::Database& db);
+[[nodiscard]] Result<PlanPtr> Optimize(const PlanPtr& plan, const relational::Database& db);
 
 // Splits a predicate into its top-level conjuncts (AND flattened; OR and
 // comparisons are atomic units).

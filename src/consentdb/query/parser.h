@@ -25,7 +25,7 @@
 namespace consentdb::query {
 
 // Parses `sql` into an SPJU plan. Errors carry a position-annotated message.
-Result<PlanPtr> ParseQuery(std::string_view sql);
+[[nodiscard]] Result<PlanPtr> ParseQuery(std::string_view sql);
 
 }  // namespace consentdb::query
 

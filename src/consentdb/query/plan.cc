@@ -1,5 +1,6 @@
 #include "consentdb/query/plan.h"
 
+#include <memory>
 #include <unordered_set>
 
 #include "consentdb/util/check.h"
@@ -13,19 +14,19 @@ using relational::Schema;
 
 PlanPtr Plan::Scan(std::string relation, std::string alias) {
   CONSENTDB_CHECK(!relation.empty(), "empty relation name");
-  auto* p = new Plan(PlanKind::kScan);
+  std::unique_ptr<Plan> p(new Plan(PlanKind::kScan));
   p->alias_ = alias.empty() ? relation : std::move(alias);
   p->relation_ = std::move(relation);
-  return PlanPtr(p);
+  return PlanPtr(std::move(p));
 }
 
 PlanPtr Plan::Select(PredicatePtr predicate, PlanPtr child) {
   CONSENTDB_CHECK(predicate != nullptr && child != nullptr,
                   "null select argument");
-  auto* p = new Plan(PlanKind::kSelect);
+  std::unique_ptr<Plan> p(new Plan(PlanKind::kSelect));
   p->predicate_ = std::move(predicate);
   p->children_.push_back(std::move(child));
-  return PlanPtr(p);
+  return PlanPtr(std::move(p));
 }
 
 PlanPtr Plan::Project(std::vector<std::string> columns, PlanPtr child,
@@ -34,27 +35,27 @@ PlanPtr Plan::Project(std::vector<std::string> columns, PlanPtr child,
   CONSENTDB_CHECK(!columns.empty(), "empty projection list");
   CONSENTDB_CHECK(output_names.empty() || output_names.size() == columns.size(),
                   "output_names length mismatch");
-  auto* p = new Plan(PlanKind::kProject);
+  std::unique_ptr<Plan> p(new Plan(PlanKind::kProject));
   p->columns_ = std::move(columns);
   p->output_names_ = std::move(output_names);
   p->children_.push_back(std::move(child));
-  return PlanPtr(p);
+  return PlanPtr(std::move(p));
 }
 
 PlanPtr Plan::Product(PlanPtr left, PlanPtr right) {
   CONSENTDB_CHECK(left != nullptr && right != nullptr, "null product child");
-  auto* p = new Plan(PlanKind::kProduct);
+  std::unique_ptr<Plan> p(new Plan(PlanKind::kProduct));
   p->children_.push_back(std::move(left));
   p->children_.push_back(std::move(right));
-  return PlanPtr(p);
+  return PlanPtr(std::move(p));
 }
 
 PlanPtr Plan::Union(std::vector<PlanPtr> children) {
   CONSENTDB_CHECK(!children.empty(), "empty union");
   if (children.size() == 1) return children[0];
-  auto* p = new Plan(PlanKind::kUnion);
+  std::unique_ptr<Plan> p(new Plan(PlanKind::kUnion));
   p->children_ = std::move(children);
-  return PlanPtr(p);
+  return PlanPtr(std::move(p));
 }
 
 PlanPtr Plan::Join(PlanPtr left, PlanPtr right, PredicatePtr predicate) {

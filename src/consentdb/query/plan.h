@@ -54,7 +54,7 @@ class Plan {
 
   // The schema this plan produces over `db`; validates relation/column
   // references and union type compatibility along the way.
-  Result<relational::Schema> OutputSchema(
+  [[nodiscard]] Result<relational::Schema> OutputSchema(
       const relational::Database& db) const;
 
   // Names of base relations scanned anywhere below this node (with

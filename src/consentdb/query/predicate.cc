@@ -1,5 +1,7 @@
 #include "consentdb/query/predicate.h"
 
+#include <memory>
+
 #include "consentdb/util/check.h"
 #include "consentdb/util/string_util.h"
 
@@ -71,11 +73,11 @@ PredicatePtr Predicate::True() {
 }
 
 PredicatePtr Predicate::Comparison(Operand lhs, CompareOp op, Operand rhs) {
-  auto* p = new Predicate(Kind::kComparison);
+  std::unique_ptr<Predicate> p(new Predicate(Kind::kComparison));
   p->lhs_ = std::move(lhs);
   p->rhs_ = std::move(rhs);
   p->op_ = op;
-  return PredicatePtr(p);
+  return PredicatePtr(std::move(p));
 }
 
 PredicatePtr Predicate::ColumnsEqual(std::string lhs, std::string rhs) {
@@ -92,17 +94,17 @@ PredicatePtr Predicate::ColumnCompare(std::string column, CompareOp op,
 PredicatePtr Predicate::And(std::vector<PredicatePtr> children) {
   if (children.empty()) return True();
   if (children.size() == 1) return children[0];
-  auto* p = new Predicate(Kind::kAnd);
+  std::unique_ptr<Predicate> p(new Predicate(Kind::kAnd));
   p->children_ = std::move(children);
-  return PredicatePtr(p);
+  return PredicatePtr(std::move(p));
 }
 
 PredicatePtr Predicate::Or(std::vector<PredicatePtr> children) {
   CONSENTDB_CHECK(!children.empty(), "empty OR predicate");
   if (children.size() == 1) return children[0];
-  auto* p = new Predicate(Kind::kOr);
+  std::unique_ptr<Predicate> p(new Predicate(Kind::kOr));
   p->children_ = std::move(children);
-  return PredicatePtr(p);
+  return PredicatePtr(std::move(p));
 }
 
 Result<PredicatePtr> Predicate::Bind(const Schema& schema) const {

@@ -42,7 +42,7 @@ class Operand {
 
   // Resolves the column name against `schema`. A bare name matches a
   // qualified column "alias.name" when the match is unique.
-  Status Bind(const relational::Schema& schema);
+  [[nodiscard]] Status Bind(const relational::Schema& schema);
 
   // Value of this operand in row `t` (bound operands only).
   const relational::Value& Resolve(const relational::Tuple& t) const;
@@ -83,7 +83,7 @@ class Predicate {
 
   // Returns a copy of this predicate bound to `schema` (column names
   // resolved to indexes). Fails on unknown/ambiguous columns.
-  Result<PredicatePtr> Bind(const relational::Schema& schema) const;
+  [[nodiscard]] Result<PredicatePtr> Bind(const relational::Schema& schema) const;
 
   // Evaluates a bound predicate on a row. Comparisons involving NULL are
   // false (except NULL = NULL, see Value equality).

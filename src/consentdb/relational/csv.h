@@ -22,10 +22,10 @@ namespace consentdb::relational {
 // kInt64/kDouble parse numerically, kBool accepts true/false (case-
 // insensitive) and 0/1, kString is taken verbatim. An empty unquoted field
 // is NULL. Duplicate rows collapse (set semantics).
-Result<Relation> ReadRelationCsv(std::istream& in, const Schema& schema);
+[[nodiscard]] Result<Relation> ReadRelationCsv(std::istream& in, const Schema& schema);
 
 // Convenience overload parsing from a string.
-Result<Relation> ReadRelationCsv(const std::string& text,
+[[nodiscard]] Result<Relation> ReadRelationCsv(const std::string& text,
                                  const Schema& schema);
 
 // Writes the relation with a header row. Strings are quoted when they
@@ -36,7 +36,7 @@ std::string WriteRelationCsv(const Relation& relation);
 // Splits one CSV record (no trailing newline) into fields. Exposed for
 // tests; `quoted[i]` reports whether field i was quoted (distinguishes
 // NULL, an empty unquoted field, from "", an empty string).
-Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
+[[nodiscard]] Result<std::vector<std::string>> SplitCsvRecord(const std::string& line,
                                                 std::vector<bool>* quoted);
 
 }  // namespace consentdb::relational

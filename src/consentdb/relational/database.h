@@ -17,15 +17,15 @@ class Database {
   Database() = default;
 
   // Creates an empty relation named `name`. Fails if the name is taken.
-  Status CreateRelation(const std::string& name, Schema schema);
+  [[nodiscard]] Status CreateRelation(const std::string& name, Schema schema);
 
   // Adds a fully-built relation under `name`.
-  Status AddRelation(const std::string& name, Relation relation);
+  [[nodiscard]] Status AddRelation(const std::string& name, Relation relation);
 
   bool HasRelation(const std::string& name) const;
 
-  Result<const Relation*> GetRelation(const std::string& name) const;
-  Result<Relation*> GetMutableRelation(const std::string& name);
+  [[nodiscard]] Result<const Relation*> GetRelation(const std::string& name) const;
+  [[nodiscard]] Result<Relation*> GetMutableRelation(const std::string& name);
 
   // Convenience for statically-known names (programmer error if absent).
   const Relation& RelationOrDie(const std::string& name) const;
@@ -33,7 +33,7 @@ class Database {
 
   // Inserts a tuple into the named relation (set semantics; returns whether
   // it was new).
-  Result<bool> Insert(const std::string& relation, Tuple t);
+  [[nodiscard]] Result<bool> Insert(const std::string& relation, Tuple t);
 
   // Relation names in deterministic (lexicographic) order.
   std::vector<std::string> RelationNames() const;

@@ -30,7 +30,7 @@ class Relation {
 
   // Inserts under set semantics; returns false when the tuple was already
   // present. Arity and types must match the schema (NULL matches any type).
-  Result<bool> Insert(Tuple t);
+  [[nodiscard]] Result<bool> Insert(Tuple t);
 
   // Insert that treats schema mismatch as a programmer error. Convenient for
   // statically-known rows in tests/examples.
@@ -42,7 +42,7 @@ class Relation {
   std::optional<size_t> IndexOf(const Tuple& t) const;
 
   // Validates that `t` could be a row of this relation.
-  Status ValidateTuple(const Tuple& t) const;
+  [[nodiscard]] Status ValidateTuple(const Tuple& t) const;
 
   // Multi-line textual rendering (schema header + rows).
   std::string ToString() const;

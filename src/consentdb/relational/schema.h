@@ -29,7 +29,7 @@ class Schema {
   explicit Schema(std::vector<Column> columns);
 
   // Builds a schema, rejecting duplicate column names.
-  static Result<Schema> Create(std::vector<Column> columns);
+  [[nodiscard]] static Result<Schema> Create(std::vector<Column> columns);
 
   size_t num_columns() const { return columns_.size(); }
   const Column& column(size_t i) const;

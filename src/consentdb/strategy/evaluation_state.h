@@ -47,7 +47,7 @@ class EvaluationState {
 
   // Computes the CNF of every formula from its original DNF. Fails with
   // ResourceExhausted if a CNF exceeds `limits` (Q-value "not applicable").
-  Status AttachCnfs(provenance::NormalFormLimits limits = {});
+  [[nodiscard]] Status AttachCnfs(provenance::NormalFormLimits limits = {});
 
   // Attaches precomputed CNFs (one per formula, same order as the DNFs;
   // entries for constant formulas are ignored). Avoids re-running the

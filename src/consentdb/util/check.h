@@ -14,10 +14,11 @@ namespace consentdb::internal {
 [[noreturn]] inline void CheckFailed(const char* file, int line,
                                      const char* expr,
                                      const std::string& message) {
-  std::cerr << "CONSENTDB_CHECK failed at " << file << ":" << line << ": "
-            << expr;
-  if (!message.empty()) std::cerr << " — " << message;
-  std::cerr << std::endl;
+  // The process is about to abort; stderr is the only channel left.
+  std::cerr << "CONSENTDB_CHECK failed at "   // lint:allow raw-cout
+            << file << ":" << line << ": " << expr;
+  if (!message.empty()) std::cerr << " — " << message;  // lint:allow raw-cout
+  std::cerr << std::endl;                      // lint:allow raw-cout
   std::abort();
 }
 
@@ -30,5 +31,12 @@ namespace consentdb::internal {
                                          ::std::string{__VA_ARGS__}); \
     }                                                                  \
   } while (false)
+
+// The sanctioned way to discard a [[nodiscard]] Status/Result. Use it only
+// where failure is genuinely uninteresting AND the call is wanted for its
+// side effect — e.g. best-effort cleanup, or a bench warming a cache where
+// the subsequent measured run re-checks the same Status. Every use should
+// read as a deliberate decision; "the compiler complained" is not one.
+#define CONSENTDB_IGNORE_STATUS(expr) static_cast<void>(expr)
 
 #endif  // CONSENTDB_UTIL_CHECK_H_

@@ -2,18 +2,21 @@
 // shared plan and provenance caches. Values are returned by copy, so cached
 // types should be cheap handles (shared_ptr, PlanPtr) to immutable payloads
 // — a value stays alive in the caller even if evicted concurrently.
+//
+// One mutex guards the recency list, the index map and the hit/miss/eviction
+// tallies (annotated for -Wthread-safety); capacity_ is const and lock-free.
 
 #ifndef CONSENTDB_UTIL_LRU_CACHE_H_
 #define CONSENTDB_UTIL_LRU_CACHE_H_
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "consentdb/util/check.h"
+#include "consentdb/util/thread_annotations.h"
 
 namespace consentdb {
 
@@ -28,8 +31,8 @@ class LruCache {
   LruCache& operator=(const LruCache&) = delete;
 
   // Returns the cached value and marks it most-recently-used.
-  std::optional<Value> Get(const Key& key) {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<Value> Get(const Key& key) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
@@ -41,8 +44,8 @@ class LruCache {
   }
 
   // Inserts or overwrites; evicts the least-recently-used entry at capacity.
-  void Put(const Key& key, Value value) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Put(const Key& key, Value value) EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) {
       it->second->second = std::move(value);
@@ -58,28 +61,28 @@ class LruCache {
     map_[key] = order_.begin();
   }
 
-  void Clear() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Clear() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     map_.clear();
     order_.clear();
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return map_.size();
   }
   size_t capacity() const { return capacity_; }
 
-  uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t hits() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hits_;
   }
-  uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t misses() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return misses_;
   }
-  uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  uint64_t evictions() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return evictions_;
   }
 
@@ -87,12 +90,14 @@ class LruCache {
   using Entry = std::pair<Key, Value>;
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> order_;  // front = most recently used
-  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
+  mutable Mutex mu_;
+  // front = most recently used
+  std::list<Entry> order_ GUARDED_BY(mu_);
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_
+      GUARDED_BY(mu_);
+  uint64_t hits_ GUARDED_BY(mu_) = 0;
+  uint64_t misses_ GUARDED_BY(mu_) = 0;
+  uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace consentdb

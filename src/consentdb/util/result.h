@@ -13,8 +13,11 @@ namespace consentdb {
 
 // Holds either a T or a non-OK Status. Construct implicitly from either.
 // Accessing the value of an errored Result is a checked programmer error.
+//
+// [[nodiscard]] like Status: an ignored Result is a dropped error and a
+// dropped value at once, which is never right. See CONSENTDB_IGNORE_STATUS.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit: lets functions `return value;` or `return status;`.
   Result(T value) : value_(std::move(value)) {}

@@ -31,7 +31,11 @@ const char* StatusCodeToString(StatusCode code);
 
 // A Status is either OK (cheap, no allocation) or an error carrying a code
 // and a message. Copyable and movable; moved-from statuses are OK.
-class Status {
+//
+// The class is [[nodiscard]]: ignoring any Status-returning call is a
+// compile error (-Werror=unused-result repo-wide). Intentional discards go
+// through CONSENTDB_IGNORE_STATUS in util/check.h.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 

@@ -1,0 +1,131 @@
+// Clang thread-safety annotations (-Wthread-safety) plus the annotated
+// Mutex/MutexLock/CondVar wrappers the analysis needs to be useful.
+//
+// The annotation macros expand to Clang attributes when the compiler
+// supports them and to nothing everywhere else (GCC, MSVC), so annotated
+// code builds unchanged on every toolchain; the dedicated `thread-safety`
+// CI job compiles the tree with `clang++ -Wthread-safety -Werror` and turns
+// every lock-discipline violation into a build failure.
+//
+// Why wrappers instead of raw std::mutex: libstdc++'s std::mutex and
+// std::lock_guard carry no capability attributes, so Clang's analysis
+// cannot track them. Following the RocksDB/Abseil idiom, every
+// mutex-protected structure in this codebase holds a consentdb::Mutex,
+// takes scopes with consentdb::MutexLock, and declares its protected fields
+// GUARDED_BY(mu_). Condition waits go through consentdb::CondVar, whose
+// Wait() REQUIRES the mutex (held on entry, held again on return).
+//
+// Annotation conventions (see DESIGN.md "Static analysis"):
+//   * every field written under a mutex is GUARDED_BY(that mutex);
+//   * private helpers called with the lock held are REQUIRES(mu_);
+//   * public methods that take the lock themselves are EXCLUDES(mu_)
+//     when a re-entrant call would self-deadlock;
+//   * data read concurrently without a lock must be std::atomic, const
+//     after construction, or externally synchronized (document which).
+
+#ifndef CONSENTDB_UTIL_THREAD_ANNOTATIONS_H_
+#define CONSENTDB_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CONSENTDB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CONSENTDB_THREAD_ANNOTATION_(x)
+#endif
+
+#define CAPABILITY(x) CONSENTDB_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY CONSENTDB_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) CONSENTDB_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) CONSENTDB_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  CONSENTDB_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  CONSENTDB_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  CONSENTDB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  CONSENTDB_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  CONSENTDB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  CONSENTDB_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  CONSENTDB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  CONSENTDB_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  CONSENTDB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) CONSENTDB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  CONSENTDB_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) CONSENTDB_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  CONSENTDB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace consentdb {
+
+// A std::mutex the thread-safety analysis can see. Same cost as the naked
+// std::mutex it wraps; adds only the capability attributes.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Documents (to the analysis, not the runtime) that the caller holds
+  // this mutex at this point.
+  void AssertHeld() ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  // The wrapped mutex IS the capability; there is no guarded data here.
+  std::mutex mu_;  // lint:allow mutex-guard
+};
+
+// RAII scope over a Mutex, visible to the analysis (std::lock_guard over an
+// annotated mutex would not be).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() { mu_.Unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable paired with consentdb::Mutex. Wait() must be called
+// with the mutex held and returns with it held again, which is exactly what
+// REQUIRES states — so guarded fields may be read in the wait loop:
+//
+//   MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(mu_);   // ready_ is GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_THREAD_ANNOTATIONS_H_

@@ -9,18 +9,21 @@
 //     destruction runs to completion before the workers join.
 //   * Tasks must not throw (the library is exception-free; errors travel
 //     through Status/Result inside the task's closure).
+//
+// Lock discipline is annotated for -Wthread-safety (thread_annotations.h):
+// mu_ guards the queue and the stop flag; the wait loop holds mu_ across
+// its guarded reads and releases it around task execution.
 
 #ifndef CONSENTDB_UTIL_THREAD_POOL_H_
 #define CONSENTDB_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "consentdb/util/check.h"
+#include "consentdb/util/thread_annotations.h"
 
 namespace consentdb {
 
@@ -39,37 +42,37 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stopping_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     for (std::thread& w : workers_) w.join();
   }
 
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       CONSENTDB_CHECK(!stopping_, "Submit on a stopping thread pool");
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
   size_t num_threads() const { return workers_.size(); }
 
   // Tasks submitted but not yet picked up by a worker.
-  size_t queue_depth() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t queue_depth() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mu_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
         if (queue_.empty()) return;  // stopping_ and drained
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -78,10 +81,10 @@ class ThreadPool {
     }
   }
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stopping_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,14 @@
+// MUST NOT COMPILE: a Result<T>-returning call whose result is dropped.
+// Paired with discard_status_good.cc; see run_negative_compile.cmake.
+
+#include "consentdb/util/result.h"
+
+using consentdb::Result;
+using consentdb::Status;
+
+Result<int> MightFail() { return Status::Internal("boom"); }
+
+int main() {
+  MightFail();  // dropped error and value at once
+  return 0;
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: a Status-returning call whose result is dropped.
+// Paired with discard_status_good.cc; see run_negative_compile.cmake.
+
+#include "consentdb/util/status.h"
+
+using consentdb::Status;
+
+Status MightFail() { return Status::Internal("boom"); }
+
+int main() {
+  MightFail();  // dropped error — rejected by [[nodiscard]] + -Werror=unused-result
+  return 0;
+}

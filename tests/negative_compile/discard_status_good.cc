@@ -1,0 +1,21 @@
+// Control snippet: the sanctioned ways to consume (or deliberately drop) a
+// Status/Result. Must compile under the exact flags that reject the _bad
+// variants.
+
+#include "consentdb/util/check.h"
+#include "consentdb/util/result.h"
+#include "consentdb/util/status.h"
+
+using consentdb::Result;
+using consentdb::Status;
+
+Status MightFail() { return Status::Internal("boom"); }
+Result<int> MightCompute() { return Status::Internal("boom"); }
+
+int main() {
+  Status s = MightFail();                    // consumed
+  CONSENTDB_IGNORE_STATUS(MightFail());      // deliberately dropped
+  CONSENTDB_IGNORE_STATUS(MightCompute());
+  Result<int> r = MightCompute();
+  return s.ok() && r.ok() ? 0 : 1;
+}

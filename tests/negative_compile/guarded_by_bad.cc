@@ -1,0 +1,21 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror: reads and writes a
+// GUARDED_BY field without holding its mutex. Paired with
+// guarded_by_good.cc; see run_negative_compile.cmake.
+
+#include "consentdb/util/thread_annotations.h"
+
+class Account {
+ public:
+  void Deposit(int amount) { balance_ += amount; }  // no lock held
+  int balance() const { return balance_; }          // no lock held
+
+ private:
+  mutable consentdb::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance();
+}

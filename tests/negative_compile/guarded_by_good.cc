@@ -1,0 +1,26 @@
+// Control snippet: the same guarded structure accessed correctly through
+// MutexLock scopes. Must compile clean under clang -Wthread-safety -Werror.
+
+#include "consentdb/util/thread_annotations.h"
+
+class Account {
+ public:
+  void Deposit(int amount) EXCLUDES(mu_) {
+    consentdb::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+  int balance() const EXCLUDES(mu_) {
+    consentdb::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  mutable consentdb::Mutex mu_;
+  int balance_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Account a;
+  a.Deposit(1);
+  return a.balance();
+}

@@ -1,0 +1,42 @@
+# Drives one negative-compilation check as a CTest:
+#   1. GOOD_SRC must compile — proves the snippet pair is well-formed and a
+#      failure of BAD_SRC is the intended diagnostic, not bit-rot;
+#   2. BAD_SRC must NOT compile under the same flags — proves the static
+#      check actually rejects the violation.
+#
+# Invoked in script mode:
+#   cmake -DCOMPILER=<c++> -DFLAGS="<flags>" -DINCDIR=<repo>/src
+#         -DGOOD_SRC=<good.cc> -DBAD_SRC=<bad.cc>
+#         -P run_negative_compile.cmake
+
+foreach(v COMPILER FLAGS INCDIR GOOD_SRC BAD_SRC)
+  if(NOT DEFINED ${v})
+    message(FATAL_ERROR "run_negative_compile.cmake: missing -D${v}")
+  endif()
+endforeach()
+
+separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -I${INCDIR} -fsyntax-only ${GOOD_SRC}
+  RESULT_VARIABLE good_rc
+  OUTPUT_VARIABLE good_out
+  ERROR_VARIABLE good_err)
+if(NOT good_rc EQUAL 0)
+  message(FATAL_ERROR
+    "control snippet ${GOOD_SRC} failed to compile — the test pair is "
+    "broken, not the checked property:\n${good_out}\n${good_err}")
+endif()
+
+execute_process(
+  COMMAND ${COMPILER} ${flag_list} -I${INCDIR} -fsyntax-only ${BAD_SRC}
+  RESULT_VARIABLE bad_rc
+  OUTPUT_VARIABLE bad_out
+  ERROR_VARIABLE bad_err)
+if(bad_rc EQUAL 0)
+  message(FATAL_ERROR
+    "violation snippet ${BAD_SRC} compiled clean; the static check it "
+    "exercises is no longer enforced")
+endif()
+
+message(STATUS "ok: ${GOOD_SRC} compiles, ${BAD_SRC} is rejected")
