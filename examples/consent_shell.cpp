@@ -25,6 +25,7 @@
 #include <memory>
 #include <sstream>
 
+#include "consentdb/consent/faulty_oracle.h"
 #include "consentdb/core/consent_manager.h"
 #include "consentdb/core/session_engine.h"
 #include "consentdb/obs/metrics.h"
@@ -82,6 +83,7 @@ class Shell {
     if (EqualsIgnoreCase(command, "analyze")) return Analyze(rest);
     if (EqualsIgnoreCase(command, "decide")) return Decide(rest, interactive);
     if (EqualsIgnoreCase(command, "simulate")) return Simulate(rest);
+    if (EqualsIgnoreCase(command, "faults")) return Faults(rest);
     if (EqualsIgnoreCase(command, "stress")) return Stress(rest);
     if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
       return Stats(rest);
@@ -102,6 +104,15 @@ class Shell {
         "  analyze <sql>                      class, guarantees, provenance\n"
         "  decide <sql>                       probe consent interactively\n"
         "  simulate <sql>                     probe against simulated peers\n"
+        "  faults [sub]                       fault injection for simulate:\n"
+        "      faults                         show the current fault plan\n"
+        "      faults off                     disable fault injection\n"
+        "      faults seed <n>                fault-schedule seed\n"
+        "      faults all <p> [latency_ms]    default transient-failure prob\n"
+        "      faults peer <owner> <p> [latency_ms]  per-peer override\n"
+        "      faults kill <owner>            peer permanently unavailable\n"
+        "      faults crash <owner> <k>       peer crashes after k answers\n"
+        "      faults retry <attempts> [initial_ms] [multiplier]  retry policy\n"
         "  stress <n> <threads> <sql>         n simulated sessions through the\n"
         "                                     concurrent engine (plan/provenance\n"
         "                                     caches); prints throughput\n"
@@ -307,7 +318,120 @@ class Shell {
     core::ConsentManager manager(sdb_);
     consent::ValuationOracle oracle(sdb_.pool().SampleValuation(rng_));
     std::cout << "(simulated peers drawn from the consent priors)\n";
-    return Session(sql, manager, oracle);
+    if (fault_plan_.empty()) return Session(sql, manager, oracle);
+
+    // Fault injection active: wrap the simulated peers in the fault plan and
+    // run a resilient session on virtual time (no real sleeps).
+    VirtualClock clock;
+    consent::FaultyOracle faulty(oracle, sdb_.pool(), fault_plan_, &clock);
+    std::cout << "(fault plan active — resilient session, virtual time)\n";
+    Status status = Session(sql, manager, faulty, &clock);
+    consent::FaultyOracle::Stats stats = faulty.stats();
+    std::cout << "faults: " << stats.attempts << " attempt(s), "
+              << stats.successes << " answered, " << stats.transient_faults
+              << " transient, " << stats.unavailable_faults
+              << " unavailable, " << stats.crashed_peers
+              << " crashed peer(s); virtual time "
+              << clock.NowNanos() / 1'000'000 << " ms\n";
+    return status;
+  }
+
+  Status Faults(const std::string& args) {
+    std::istringstream in(args);
+    std::string sub;
+    in >> sub;
+    if (sub.empty()) {
+      if (fault_plan_.empty()) {
+        std::cout << "fault injection off\n";
+        return Status::OK();
+      }
+      std::cout << "seed " << fault_plan_.seed << "; defaults: p="
+                << fault_plan_.defaults.transient_failure_prob << " latency="
+                << fault_plan_.defaults.latency_nanos / 1'000'000 << "ms\n";
+      for (const auto& [owner, pf] : fault_plan_.per_peer) {
+        std::cout << "  " << owner << ": p=" << pf.transient_failure_prob
+                  << " latency=" << pf.latency_nanos / 1'000'000 << "ms"
+                  << (pf.permanently_unavailable ? " DEAD" : "");
+        if (pf.crash_after_answers > 0) {
+          std::cout << " crash_after=" << pf.crash_after_answers;
+        }
+        std::cout << "\n";
+      }
+      std::cout << "retry: max_attempts=" << retry_policy_.max_attempts
+                << " initial="
+                << retry_policy_.initial_backoff_nanos / 1'000'000
+                << "ms multiplier=" << retry_policy_.backoff_multiplier
+                << "\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "off")) {
+      fault_plan_ = consent::FaultPlan{};
+      std::cout << "fault injection off\n";
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "seed")) {
+      uint64_t seed = 0;
+      if (!(in >> seed)) return Status::InvalidArgument("usage: faults seed <n>");
+      fault_plan_.seed = seed;
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "all")) {
+      double p = 0;
+      double latency_ms = 0;
+      if (!(in >> p) || p < 0 || p >= 1) {
+        return Status::InvalidArgument("usage: faults all <p in [0,1)> [latency_ms]");
+      }
+      in >> latency_ms;
+      fault_plan_.defaults.transient_failure_prob = p;
+      fault_plan_.defaults.latency_nanos =
+          static_cast<int64_t>(latency_ms * 1e6);
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "peer")) {
+      std::string owner;
+      double p = 0;
+      double latency_ms = 0;
+      if (!(in >> owner >> p) || p < 0 || p >= 1) {
+        return Status::InvalidArgument(
+            "usage: faults peer <owner> <p in [0,1)> [latency_ms]");
+      }
+      in >> latency_ms;
+      consent::PeerFaults& pf = fault_plan_.per_peer[owner];
+      pf.transient_failure_prob = p;
+      pf.latency_nanos = static_cast<int64_t>(latency_ms * 1e6);
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "kill")) {
+      std::string owner;
+      if (!(in >> owner)) return Status::InvalidArgument("usage: faults kill <owner>");
+      fault_plan_.per_peer[owner].permanently_unavailable = true;
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "crash")) {
+      std::string owner;
+      size_t k = 0;
+      if (!(in >> owner >> k) || k == 0) {
+        return Status::InvalidArgument("usage: faults crash <owner> <k> (k >= 1)");
+      }
+      fault_plan_.per_peer[owner].crash_after_answers = k;
+      return Status::OK();
+    }
+    if (EqualsIgnoreCase(sub, "retry")) {
+      size_t attempts = 0;
+      double initial_ms = 1.0;
+      double multiplier = 2.0;
+      if (!(in >> attempts)) {
+        return Status::InvalidArgument(
+            "usage: faults retry <attempts> [initial_ms] [multiplier]");
+      }
+      in >> initial_ms >> multiplier;
+      retry_policy_.max_attempts = attempts;
+      retry_policy_.initial_backoff_nanos =
+          static_cast<int64_t>(initial_ms * 1e6);
+      retry_policy_.backoff_multiplier = multiplier;
+      return Status::OK();
+    }
+    return Status::InvalidArgument("unknown faults subcommand '" + sub + "'");
   }
 
   Status Stress(const std::string& args) {
@@ -374,10 +498,14 @@ class Shell {
   }
 
   Status Session(const std::string& sql, core::ConsentManager& manager,
-                 consent::ProbeOracle& oracle) {
+                 consent::ProbeOracle& oracle, VirtualClock* clock = nullptr) {
     core::SessionOptions options;
     options.metrics = &metrics_;
     options.tracer = &tracer_;
+    if (clock != nullptr) {
+      options.retry = retry_policy_;
+      options.clock = clock;
+    }
     CONSENTDB_ASSIGN_OR_RETURN(core::SessionReport report,
                                manager.DecideAll(sql, oracle, options));
     std::cout << "algorithm: " << report.algorithm_used << " ("
@@ -390,7 +518,19 @@ class Shell {
     std::cout << report.num_probes << " probe(s); verdicts:\n";
     for (const core::TupleConsent& tc : report.tuples) {
       std::cout << "  " << tc.tuple.ToString() << "  "
-                << (tc.shareable ? "SHAREABLE" : "not shareable") << "\n";
+                << (tc.verdict == core::TupleConsent::Verdict::kUnresolved
+                        ? "UNRESOLVED (consent defaults to deny)"
+                    : tc.shareable ? "SHAREABLE"
+                                   : "not shareable")
+                << "\n";
+    }
+    if (report.resilient) {
+      std::cout << report.num_retries << " retry(ies), "
+                << report.num_unresolved << " unresolved tuple(s); losses: "
+                << report.failures.unavailable << " unavailable, "
+                << report.failures.retries_exhausted << " exhausted, "
+                << report.failures.probe_deadline << " probe-deadline, "
+                << report.failures.session_deadline << " session-deadline\n";
     }
     return Status::OK();
   }
@@ -435,6 +575,8 @@ class Shell {
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::SessionTracer tracer_;
+  consent::FaultPlan fault_plan_;
+  core::RetryPolicy retry_policy_;
 };
 
 }  // namespace

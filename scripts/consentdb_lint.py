@@ -15,6 +15,11 @@ do not) catch but that this codebase bans:
   raw-cout                std::cout/std::cerr in src/consentdb (library code
                           reports through Status/obs; only the shell/bench/
                           example layers own a terminal)
+  sleep-outside-clock     sleep_for/sleep_until anywhere but the Clock
+                          implementation (util/clock.cc) — all waiting goes
+                          through the injected Clock so tests and benches run
+                          on virtual time; a real sleep in a resilience path
+                          would block the suite for wall-clock backoff
 
 A finding on a line carrying `// lint:allow <rule>` (or whose previous line
 is only that comment) is suppressed; the allowlist is per-rule, so an
@@ -58,6 +63,9 @@ GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*(\w+)\s*\)")
 INCLUDE_CC_RE = re.compile(r'#\s*include\s*[<"][^">]+\.cc[">]')
 USING_NAMESPACE_RE = re.compile(r"\busing\s+namespace\b")
 RAW_COUT_RE = re.compile(r"\bstd::(cout|cerr)\b")
+SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
+# The one legitimate real-sleep site: the SystemClock behind RealClock().
+SLEEP_EXEMPT_FILES = {Path("src/consentdb/util/clock.cc")}
 
 RULES = (
     "naked-new",
@@ -65,6 +73,7 @@ RULES = (
     "include-cc",
     "using-namespace-header",
     "raw-cout",
+    "sleep-outside-clock",
 )
 
 
@@ -161,6 +170,14 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                 Finding(rel, lineno, "raw-cout",
                         "library code must not write to std::cout/cerr; "
                         "return a Status or report through obs/"))
+
+        if (SLEEP_RE.search(code) and rel not in SLEEP_EXEMPT_FILES
+                and "sleep-outside-clock" not in allowed):
+            findings.append(
+                Finding(rel, lineno, "sleep-outside-clock",
+                        "real sleep outside the Clock implementation; take "
+                        "a consentdb::Clock and call SleepFor so tests and "
+                        "benches run on virtual time (util/clock.h)"))
 
         for m in GUARDED_BY_RE.finditer(code):
             guarded_targets.add(m.group(1))

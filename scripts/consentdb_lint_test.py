@@ -148,6 +148,48 @@ class RawCoutTest(LintHarness):
         self.assertEqual(self.rules(), [])
 
 
+class SleepOutsideClockTest(LintHarness):
+    def test_flags_sleep_for(self):
+        self.write("src/consentdb/strategy/a.cc",
+                   "void f() {\n"
+                   "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                   "}\n")
+        self.assertEqual(self.rules(), ["sleep-outside-clock"])
+
+    def test_flags_sleep_until(self):
+        self.write("tests/a.cc",
+                   "void f() {\n  std::this_thread::sleep_until(t);\n}\n")
+        self.assertEqual(self.rules(), ["sleep-outside-clock"])
+
+    def test_clock_implementation_is_exempt(self):
+        # util/clock.cc owns the single real sleep behind RealClock().
+        self.write("src/consentdb/util/clock.cc",
+                   "void SystemClock::SleepFor(int64_t n) {\n"
+                   "  std::this_thread::sleep_for(std::chrono::nanoseconds(n));\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_injected_clock_sleepfor_ok(self):
+        # Clock::SleepFor is the virtual-time API, not a real sleep.
+        self.write("src/consentdb/core/a.cc",
+                   "void f(Clock* c) {\n  c->SleepFor(1000);\n}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_sleep_in_comment_or_string_ignored(self):
+        self.write("src/consentdb/a.cc",
+                   "// calls sleep_for(1s) eventually\n"
+                   'const char* s = "sleep_for(1)";\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("tests/a.cc",
+                   "void f() {\n"
+                   "  // lint:allow sleep-outside-clock\n"
+                   "  std::this_thread::sleep_for(std::chrono::seconds(1));\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+
 class AllowlistScopingTest(LintHarness):
     def test_allow_is_per_rule(self):
         # An allow for one rule must not silence a different rule on the

@@ -6,6 +6,18 @@ namespace consentdb::consent {
 
 using provenance::Truth;
 
+const char* ProbeFaultToString(ProbeFault fault) {
+  switch (fault) {
+    case ProbeFault::kNone:
+      return "none";
+    case ProbeFault::kTransient:
+      return "transient";
+    case ProbeFault::kUnavailable:
+      return "unavailable";
+  }
+  return "?";
+}
+
 ValuationOracle::ValuationOracle(provenance::PartialValuation hidden)
     : hidden_(std::move(hidden)) {}
 
@@ -65,6 +77,30 @@ bool ConsentLedger::ProbeVia(ProbeOracle& oracle, VarId x,
   return answer;
 }
 
+ProbeAttempt ConsentLedger::TryProbeVia(ProbeOracle& oracle, VarId x,
+                                        bool* answered_from_ledger) {
+  MutexLock lock(mu_);
+  auto it = answers_.find(x);
+  if (it != answers_.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (answered_from_ledger != nullptr) *answered_from_ledger = true;
+    return ProbeAttempt::Answered(it->second);
+  }
+  if (answered_from_ledger != nullptr) *answered_from_ledger = false;
+  // One attempt under the lock (same serialization argument as ProbeVia).
+  // Success is recorded before the lock drops, so concurrent retries of the
+  // same variable either hit the recorded answer or are the recording
+  // attempt — two recorded answers for one variable are impossible.
+  ProbeAttempt attempt = oracle.TryProbe(x);
+  if (attempt.ok()) {
+    oracle_probes_.fetch_add(1, std::memory_order_relaxed);
+    answers_.emplace(x, attempt.answer);
+  } else {
+    faulted_probes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return attempt;
+}
+
 std::optional<bool> ConsentLedger::Lookup(VarId x) const {
   MutexLock lock(mu_);
   auto it = answers_.find(x);
@@ -82,6 +118,7 @@ void ConsentLedger::Clear() {
   answers_.clear();
   hits_.store(0, std::memory_order_relaxed);
   oracle_probes_.store(0, std::memory_order_relaxed);
+  faulted_probes_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace consentdb::consent

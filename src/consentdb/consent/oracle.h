@@ -21,6 +21,34 @@
 
 namespace consentdb::consent {
 
+// How a single probe attempt can fail (the resilience extension): a
+// transient fault may succeed on retry; an unavailable peer never answers
+// again. A fault carries no answer — consent stays unknown, matching the
+// paper's possible-worlds semantics.
+enum class ProbeFault : uint8_t {
+  kNone,         // answered
+  kTransient,    // timeout/drop; retrying the same variable may succeed
+  kUnavailable,  // the owning peer is permanently gone
+};
+
+const char* ProbeFaultToString(ProbeFault fault);
+
+// The outcome of one probe attempt. `answer` is meaningful only when
+// `fault == kNone`.
+struct ProbeAttempt {
+  bool answer = false;
+  ProbeFault fault = ProbeFault::kNone;
+
+  bool ok() const { return fault == ProbeFault::kNone; }
+
+  static ProbeAttempt Answered(bool answer) {
+    return ProbeAttempt{answer, ProbeFault::kNone};
+  }
+  static ProbeAttempt Faulted(ProbeFault fault) {
+    return ProbeAttempt{false, fault};
+  }
+};
+
 // Interface. Implementations must answer consistently: repeated probes of
 // the same variable return the same value.
 class ProbeOracle {
@@ -29,6 +57,14 @@ class ProbeOracle {
 
   // Asks the owner of `x` for consent; returns the (hidden) val(x).
   virtual bool Probe(VarId x) = 0;
+
+  // Fallible entry point used by the resilient probing path: one attempt at
+  // asking the peer, which may fail instead of answering. The default
+  // implementation wraps the infallible Probe(), so plain oracles never
+  // fault; decorators (FaultyOracle) override it to inject failures.
+  virtual ProbeAttempt TryProbe(VarId x) {
+    return ProbeAttempt::Answered(Probe(x));
+  }
 
   // Number of probes answered so far.
   virtual size_t probe_count() const = 0;
@@ -110,6 +146,14 @@ class ConsentLedger {
   bool ProbeVia(ProbeOracle& oracle, VarId x,
                 bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
 
+  // Fallible variant for the resilient path: answers from the ledger when
+  // possible, otherwise forwards one TryProbe attempt. Only a successful
+  // answer is recorded — a faulted attempt leaves no trace in the answer
+  // map, so a later retry (from any session) reaches the peer again and the
+  // ledger can never hold two answers for one variable.
+  ProbeAttempt TryProbeVia(ProbeOracle& oracle, VarId x,
+                           bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
+
   // The recorded answer, if any session probed `x` already.
   std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
 
@@ -120,6 +164,10 @@ class ConsentLedger {
   // Probes forwarded to an oracle.
   uint64_t oracle_probes() const {
     return oracle_probes_.load(std::memory_order_relaxed);
+  }
+  // TryProbeVia attempts that faulted (nothing recorded).
+  uint64_t faulted_probes() const {
+    return faulted_probes_.load(std::memory_order_relaxed);
   }
 
   void Clear() EXCLUDES(mu_);
@@ -135,6 +183,7 @@ class ConsentLedger {
   std::unordered_map<VarId, bool> answers_ GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> oracle_probes_{0};
+  std::atomic<uint64_t> faulted_probes_{0};
 };
 
 }  // namespace consentdb::consent

@@ -1,10 +1,13 @@
 #include "consentdb/core/consent_manager.h"
 
+#include <cmath>
+
 #include "consentdb/eval/targeted.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/strategy/expected_cost.h"
 #include "consentdb/strategy/optimal.h"
 #include "consentdb/util/check.h"
+#include "consentdb/util/hash_mix.h"
 #include "consentdb/util/json_writer.h"
 
 namespace consentdb::core {
@@ -40,6 +43,32 @@ const char* AlgorithmToString(Algorithm a) {
       return "Optimal";
   }
   return "?";
+}
+
+const char* VerdictToString(TupleConsent::Verdict v) {
+  switch (v) {
+    case TupleConsent::Verdict::kNotShareable:
+      return "not_shareable";
+    case TupleConsent::Verdict::kShareable:
+      return "shareable";
+    case TupleConsent::Verdict::kUnresolved:
+      return "unresolved";
+  }
+  return "?";
+}
+
+int64_t RetryPolicy::BackoffNanos(size_t attempt, VarId x) const {
+  CONSENTDB_CHECK(attempt >= 1, "backoff is computed for retries only");
+  double base = static_cast<double>(initial_backoff_nanos) *
+                std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  base = std::min(base, static_cast<double>(max_backoff_nanos));
+  if (jitter > 0.0) {
+    // Deterministic jitter: a pure function of (seed, variable, attempt),
+    // independent of thread interleaving and of other probes.
+    double u = UnitUniformHash(jitter_seed, x, attempt);
+    base *= 1.0 + jitter * (2.0 * u - 1.0);
+  }
+  return base <= 0.0 ? 0 : static_cast<int64_t>(base);
 }
 
 namespace {
@@ -121,6 +150,94 @@ Result<Selection> SelectStrategy(Algorithm algorithm,
   sel.rationale = "requested explicitly";
   return sel;
 }
+
+// Wraps a fallible oracle in the session's RetryPolicy: transient faults are
+// retried with (deterministically jittered) exponential backoff, permanent
+// unavailability and exhausted budgets surface as kVariableLost, an expired
+// session deadline as kSessionExpired. All waiting goes through the injected
+// clock, so tests advance virtual time instead of sleeping.
+class RetryingProber {
+ public:
+  RetryingProber(ProbeOracle& oracle, const RetryPolicy& policy, Clock* clock,
+                 obs::MetricsRegistry* metrics)
+      : oracle_(oracle),
+        policy_(policy),
+        clock_(clock),
+        metrics_(metrics),
+        session_start_(clock->NowNanos()) {
+    if (metrics_ != nullptr) {
+      retries_ = metrics_->GetCounter("retry.count");
+      transient_ = metrics_->GetCounter("retry.transient");
+      unavailable_ = metrics_->GetCounter("retry.unavailable");
+      exhausted_ = metrics_->GetCounter("retry.exhausted");
+      deadline_ = metrics_->GetCounter("retry.deadline");
+      backoff_ns_ = metrics_->GetHistogram("retry.backoff_ns",
+                                           obs::RetryBackoffBuckets());
+    }
+  }
+
+  strategy::FallibleProbe operator()(VarId x) {
+    const int64_t probe_start = clock_->NowNanos();
+    size_t attempts = 0;
+    while (true) {
+      if (policy_.session_deadline_nanos > 0 &&
+          clock_->NowNanos() - session_start_ >=
+              policy_.session_deadline_nanos) {
+        failures_.session_deadline = 1;
+        return {strategy::ProbeOutcome::kSessionExpired, false};
+      }
+      consent::ProbeAttempt attempt = oracle_.TryProbe(x);
+      ++attempts;
+      if (attempt.ok()) {
+        return {strategy::ProbeOutcome::kAnswered, attempt.answer};
+      }
+      if (attempt.fault == consent::ProbeFault::kUnavailable) {
+        ++failures_.unavailable;
+        if (unavailable_ != nullptr) unavailable_->Add();
+        return {strategy::ProbeOutcome::kVariableLost, false};
+      }
+      ++failures_.transient;
+      if (transient_ != nullptr) transient_->Add();
+      if (policy_.max_attempts > 0 && attempts >= policy_.max_attempts) {
+        ++failures_.retries_exhausted;
+        if (exhausted_ != nullptr) exhausted_->Add();
+        return {strategy::ProbeOutcome::kVariableLost, false};
+      }
+      const int64_t backoff = policy_.BackoffNanos(attempts, x);
+      if (policy_.probe_deadline_nanos > 0 &&
+          clock_->NowNanos() + backoff - probe_start >
+              policy_.probe_deadline_nanos) {
+        ++failures_.probe_deadline;
+        if (deadline_ != nullptr) deadline_->Add();
+        return {strategy::ProbeOutcome::kVariableLost, false};
+      }
+      ++num_retries_;
+      if (retries_ != nullptr) retries_->Add();
+      if (backoff_ns_ != nullptr) {
+        backoff_ns_->Observe(static_cast<uint64_t>(backoff));
+      }
+      clock_->SleepFor(backoff);
+    }
+  }
+
+  size_t num_retries() const { return num_retries_; }
+  const FailureBreakdown& failures() const { return failures_; }
+
+ private:
+  ProbeOracle& oracle_;
+  const RetryPolicy& policy_;
+  Clock* clock_;
+  obs::MetricsRegistry* metrics_;
+  const int64_t session_start_;
+  size_t num_retries_ = 0;
+  FailureBreakdown failures_;
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* transient_ = nullptr;
+  obs::Counter* unavailable_ = nullptr;
+  obs::Counter* exhausted_ = nullptr;
+  obs::Counter* deadline_ = nullptr;
+  obs::Histogram* backoff_ns_ = nullptr;
+};
 
 }  // namespace
 
@@ -211,12 +328,35 @@ Result<SessionReport> ConsentManager::FinishSession(
   strategy::RunInstrumentation instr;
   instr.metrics = metrics;
   instr.tracer = options.tracer;
-  strategy::ProbeRun run = strategy::RunToCompletion(
-      state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); },
-      instr);
 
   SessionReport report;
-  report.num_probes = run.num_probes;
+  size_t num_probes = 0;
+  std::vector<Truth> outcomes;
+  std::vector<std::pair<VarId, bool>> trace;
+  if (options.retry.has_value()) {
+    // Resilient path: probe through TryProbe under the retry policy; faults
+    // degrade to kUnresolved verdicts instead of aborting.
+    Clock* clock = options.clock != nullptr ? options.clock : RealClock();
+    RetryingProber prober(oracle, *options.retry, clock, metrics);
+    strategy::ResilientProbeRun run = strategy::RunToCompletionResilient(
+        state, *sel.strategy, [&prober](VarId x) { return prober(x); }, instr);
+    num_probes = run.num_probes;
+    outcomes = std::move(run.outcomes);
+    trace = std::move(run.trace);
+    report.resilient = true;
+    report.num_retries = prober.num_retries();
+    report.failures = prober.failures();
+  } else {
+    // Legacy path: infallible oracle, byte-identical reports.
+    strategy::ProbeRun run = strategy::RunToCompletion(
+        state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); },
+        instr);
+    num_probes = run.num_probes;
+    outcomes = std::move(run.outcomes);
+    trace = std::move(run.trace);
+  }
+
+  report.num_probes = num_probes;
   report.algorithm_used = sel.strategy->name();
   report.selection_rationale = sel.rationale;
   report.query_profile = prepared.profile;
@@ -228,21 +368,37 @@ Result<SessionReport> ConsentManager::FinishSession(
   report.provenance_per_tuple_read_once = profile.per_tuple_read_once;
   report.tuples.reserve(prepared.tuples.size());
   for (size_t i = 0; i < prepared.tuples.size(); ++i) {
-    CONSENTDB_CHECK(run.outcomes[i] != Truth::kUnknown,
-                    "session ended with an undecided tuple");
+    if (outcomes[i] == Truth::kUnknown) {
+      // Only the resilient path may leave a tuple undecided (lost peers cut
+      // every remaining path to it); possible-world semantics make this a
+      // genuine third value, reported as kUnresolved / not shareable.
+      CONSENTDB_CHECK(report.resilient,
+                      "session ended with an undecided tuple");
+      ++report.num_unresolved;
+      report.tuples.push_back(TupleConsent{prepared.tuples[i], false,
+                                           TupleConsent::Verdict::kUnresolved});
+      continue;
+    }
+    const bool shareable = outcomes[i] == Truth::kTrue;
     report.tuples.push_back(
-        TupleConsent{prepared.tuples[i], run.outcomes[i] == Truth::kTrue});
+        TupleConsent{prepared.tuples[i], shareable,
+                     shareable ? TupleConsent::Verdict::kShareable
+                               : TupleConsent::Verdict::kNotShareable});
   }
-  report.trace.reserve(run.trace.size());
-  for (const auto& [x, answer] : run.trace) {
+  report.trace.reserve(trace.size());
+  for (const auto& [x, answer] : trace) {
     report.trace.push_back(SessionReport::ProbeRecord{
         x, sdb_.pool().name(x), sdb_.pool().owner(x), answer});
   }
   if (metrics != nullptr) {
     metrics->GetHistogram("session.probes", obs::SessionProbeBuckets())
-        ->Observe(run.num_probes);
+        ->Observe(num_probes);
     obs::SetGauge(metrics, "session.last_probes",
-                  static_cast<double>(run.num_probes));
+                  static_cast<double>(num_probes));
+    if (report.num_unresolved > 0) {
+      obs::Increment(metrics, "session.unresolved_tuples",
+                     report.num_unresolved);
+    }
   }
   if (options.tracer != nullptr) {
     // Enrich the runner's events with peer-facing identities; the runner
@@ -338,6 +494,25 @@ std::string SessionReport::ToJson() const {
   w.String(query::QueryClassToString(query_profile_submitted.query_class));
   w.Key("num_probes");
   w.Uint(num_probes);
+  if (resilient) {
+    w.Key("num_retries");
+    w.Uint(num_retries);
+    w.Key("num_unresolved");
+    w.Uint(num_unresolved);
+    w.Key("failures");
+    w.BeginObject();
+    w.Key("transient");
+    w.Uint(failures.transient);
+    w.Key("unavailable");
+    w.Uint(failures.unavailable);
+    w.Key("retries_exhausted");
+    w.Uint(failures.retries_exhausted);
+    w.Key("probe_deadline");
+    w.Uint(failures.probe_deadline);
+    w.Key("session_deadline");
+    w.Uint(failures.session_deadline);
+    w.EndObject();
+  }
   w.Key("provenance");
   w.BeginObject();
   w.Key("tuples");
@@ -359,6 +534,10 @@ std::string SessionReport::ToJson() const {
     w.String(tc.tuple.ToString());
     w.Key("shareable");
     w.Bool(tc.shareable);
+    if (resilient) {
+      w.Key("verdict");
+      w.String(VerdictToString(tc.verdict));
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -386,6 +565,10 @@ std::string SessionReport::ToString() const {
   size_t shareable = 0;
   for (const TupleConsent& t : tuples) shareable += t.shareable ? 1 : 0;
   out += ", shareable=" + std::to_string(shareable);
+  if (resilient) {
+    out += ", unresolved=" + std::to_string(num_unresolved);
+    out += ", retries=" + std::to_string(num_retries);
+  }
   out += ", class=" + std::string(query::QueryClassToString(
                           query_profile.query_class));
   return out + "}";

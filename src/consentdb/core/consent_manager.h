@@ -23,6 +23,7 @@
 #include "consentdb/query/classify.h"
 #include "consentdb/query/parser.h"
 #include "consentdb/strategy/runner.h"
+#include "consentdb/util/clock.h"
 #include "consentdb/util/result.h"
 
 namespace consentdb::core {
@@ -39,6 +40,36 @@ enum class Algorithm {
 };
 
 const char* AlgorithmToString(Algorithm a);
+
+// Retry discipline for fallible oracles (Sec. "fault tolerance"). A probe
+// that returns a transient fault is retried with exponential backoff until
+// it answers, attempts run out, or a deadline expires; a probe that returns
+// kUnavailable (peer permanently gone) is never retried. Exhausted probes
+// degrade gracefully: the variable is declared unreachable and affected
+// tuples resolve to Verdict::kUnresolved instead of aborting the session.
+struct RetryPolicy {
+  // Maximum oracle attempts per probe, including the first. 0 = unlimited
+  // (bound the session with a deadline instead).
+  size_t max_attempts = 3;
+  // Backoff before retry k (1-based) is
+  //   min(initial * multiplier^(k-1), max) * jitter_factor.
+  int64_t initial_backoff_nanos = 1'000'000;  // 1ms
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_nanos = 1'000'000'000;  // 1s
+  // jitter_factor is drawn deterministically from (jitter_seed, variable,
+  // attempt) in [1 - jitter, 1 + jitter]; 0 disables jitter entirely.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+  // Give up on a probe when its next backoff would land past this budget
+  // (measured from the probe's first attempt). 0 = no per-probe deadline.
+  int64_t probe_deadline_nanos = 0;
+  // Stop the whole session (remaining tuples unresolved) once this much
+  // time elapsed since the probe loop started. 0 = no session deadline.
+  int64_t session_deadline_nanos = 0;
+
+  // The delay before retry `attempt` (1-based) of variable `x`.
+  int64_t BackoffNanos(size_t attempt, provenance::VarId x) const;
+};
 
 struct SessionOptions {
   Algorithm algorithm = Algorithm::kAuto;
@@ -62,12 +93,46 @@ struct SessionOptions {
   // must not change which probes are issued.
   obs::MetricsRegistry* metrics = nullptr;
   obs::SessionTracer* tracer = nullptr;
+
+  // Opt-in resilience. Unset (the default) preserves the exact legacy
+  // behaviour: probes go through ProbeOracle::Probe, faults are fatal, and
+  // reports are byte-identical to pre-resilience builds. Set, the session
+  // probes through TryProbe with this retry policy and degrades to
+  // kUnresolved verdicts when probes are exhausted.
+  std::optional<RetryPolicy> retry;
+  // Time source for backoff sleeps and deadlines; null = the real clock.
+  // Tests inject a VirtualClock so no wall-clock time ever passes.
+  Clock* clock = nullptr;
 };
 
 // Shareability verdict for one output tuple.
 struct TupleConsent {
+  // Three-valued outcome: kUnresolved appears only in resilient sessions
+  // whose probes were exhausted by faults (the consent state is genuinely
+  // unknown — under possible-world semantics the tuple may or may not be
+  // shareable).
+  enum class Verdict : uint8_t { kNotShareable, kShareable, kUnresolved };
+
   relational::Tuple tuple;
+  // Conservative boolean view: an unresolved tuple is NOT shareable
+  // (consent defaults to deny). shareable == (verdict == kShareable).
   bool shareable = false;
+  Verdict verdict = Verdict::kNotShareable;
+};
+
+const char* VerdictToString(TupleConsent::Verdict v);
+
+// Why probes failed, by terminal cause (resilient sessions only).
+struct FailureBreakdown {
+  size_t transient = 0;         // transient faults observed (pre-retry)
+  size_t unavailable = 0;       // probes lost to permanently-dead peers
+  size_t retries_exhausted = 0; // probes lost to max_attempts
+  size_t probe_deadline = 0;    // probes lost to the per-probe deadline
+  size_t session_deadline = 0;  // 1 when the session deadline fired
+
+  size_t lost_probes() const {
+    return unavailable + retries_exhausted + probe_deadline;
+  }
 };
 
 struct SessionReport {
@@ -97,6 +162,14 @@ struct SessionReport {
   size_t provenance_max_term_size = 0;
   bool provenance_overall_read_once = false;
   bool provenance_per_tuple_read_once = false;
+
+  // --- Resilience (populated only when SessionOptions::retry is set) -------
+  // When false, the fields below stay zero and are omitted from ToJson /
+  // ToString, keeping legacy reports byte-identical.
+  bool resilient = false;
+  size_t num_retries = 0;     // repeat oracle attempts beyond the first
+  size_t num_unresolved = 0;  // tuples with Verdict::kUnresolved
+  FailureBreakdown failures;
 
   std::string ToString() const;
   // Machine-readable export: algorithm, probes, per-tuple verdicts, trace.

@@ -35,6 +35,19 @@ class LedgerOracle : public ProbeOracle {
     if (from_ledger) ++ledger_hits_;
     return answer;
   }
+  consent::ProbeAttempt TryProbe(VarId x) override {
+    bool from_ledger = false;
+    consent::ProbeAttempt attempt =
+        ledger_.TryProbeVia(backing_, x, &from_ledger);
+    // Faulted attempts leave no trace in the ledger and are not charged to
+    // this session: only an answer counts as a probe, so retries reach the
+    // peer again instead of replaying the failure.
+    if (attempt.ok()) {
+      ++asked_;
+      if (from_ledger) ++ledger_hits_;
+    }
+    return attempt;
+  }
   size_t probe_count() const override { return asked_; }
   uint64_t ledger_hits() const { return ledger_hits_; }
 

@@ -181,6 +181,17 @@ inline const std::vector<uint64_t>& SessionProbeBuckets() {
   return buckets;
 }
 
+// Shared bucket ladder for retry-backoff delays ("retry.backoff_ns"): from
+// 100us to ~100s in decade/half-decade steps, covering the default policy's
+// 1ms..1s exponential range with headroom on both sides.
+inline const std::vector<uint64_t>& RetryBackoffBuckets() {
+  static const std::vector<uint64_t> buckets = {
+      100'000,        500'000,        1'000'000,      5'000'000,
+      10'000'000,     50'000'000,     100'000'000,    500'000'000,
+      1'000'000'000,  5'000'000'000,  10'000'000'000, 100'000'000'000};
+  return buckets;
+}
+
 // --- Null-sink helpers: every call is a no-op when `m` is nullptr. ----------
 
 inline void Increment(MetricsRegistry* m, const char* name,

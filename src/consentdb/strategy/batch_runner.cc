@@ -38,8 +38,6 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
     // or no longer useful in the real state) are dropped before reaching
     // the oracle. The round's first probe is always sent: it was chosen on
     // the real state, so it is useful and unanswered.
-    ++run.num_rounds;
-    obs::Increment(instr.metrics, "batch.rounds");
     bool planning_attributed = false;
     for (VarId x : batch) {
       if (skip_answered &&
@@ -66,6 +64,11 @@ BatchProbeRun RunToCompletionBatched(EvaluationState& state,
       }
       planning_attributed = true;
     }
+    // Commit the round only after every probe of it returned: a failing
+    // oracle mid-round must not inflate the round count (probes already
+    // count one-by-one, strictly after each successful return).
+    ++run.num_rounds;
+    obs::Increment(instr.metrics, "batch.rounds");
   }
   run.outcomes = state.FormulaValues();
   return run;

@@ -85,8 +85,32 @@ double EvaluationState::probability(VarId x) const {
 }
 
 bool EvaluationState::IsUseful(VarId x) const {
-  return val_.Get(x) == Truth::kUnknown && x < var_live_terms_.size() &&
-         var_live_terms_[x] > 0;
+  return val_.Get(x) == Truth::kUnknown &&
+         (x >= unreachable_.size() || !unreachable_[x]) &&
+         x < var_live_terms_.size() && var_live_terms_[x] > 0;
+}
+
+void EvaluationState::MarkUnreachable(VarId x) {
+  CONSENTDB_CHECK(x < pi_.size(), "unknown variable id");
+  CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown,
+                  "cannot lose an already-answered variable: x" +
+                      std::to_string(x));
+  if (unreachable_.empty()) unreachable_.assign(pi_.size(), false);
+  if (!unreachable_[x]) {
+    unreachable_[x] = true;
+    ++num_unreachable_;
+  }
+}
+
+bool EvaluationState::IsUnreachable(VarId x) const {
+  return x < unreachable_.size() && unreachable_[x];
+}
+
+bool EvaluationState::HasUsefulVar() const {
+  for (VarId x : all_vars_) {
+    if (IsUseful(x)) return true;
+  }
+  return false;
 }
 
 std::vector<VarId> EvaluationState::UsefulVars() const {

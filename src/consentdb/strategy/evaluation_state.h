@@ -88,11 +88,28 @@ class EvaluationState {
   // Every variable occurring in the original formulas, ascending.
   const std::vector<VarId>& AllVars() const { return all_vars_; }
 
-  // A variable is useful iff it is unprobed and occurs in a live (residual,
-  // non-absorbed) term of an undecided formula; probing any other variable
-  // can never affect the outcome.
+  // A variable is useful iff it is unprobed, reachable, and occurs in a
+  // live (residual, non-absorbed) term of an undecided formula; probing any
+  // other variable can never affect the outcome (or is impossible).
   bool IsUseful(VarId x) const;
   std::vector<VarId> UsefulVars() const;
+
+  // --- Unreachable variables (resilience: permanently-dead peers) ----------
+
+  // Declares that `x` can never be answered (its peer is gone, or retries
+  // were exhausted). The variable stays Unknown — a term containing it can
+  // still be falsified through its other variables, and its formula can
+  // still be satisfied through other terms, but x itself is no longer
+  // useful and will not be chosen by any strategy. Irreversible.
+  void MarkUnreachable(VarId x);
+  bool IsUnreachable(VarId x) const;
+  size_t num_unreachable() const { return num_unreachable_; }
+
+  // True while some useful variable remains. When this turns false with
+  // formulas still undecided, those formulas are permanently unresolvable
+  // (three-valued kUnresolved outcome): every path to deciding them runs
+  // through an unreachable variable.
+  bool HasUsefulVar() const;
   // Number of live terms containing x (the Freq criterion).
   size_t LiveTermCount(VarId x) const;
 
@@ -192,6 +209,9 @@ class EvaluationState {
   std::vector<double> pi_;
   std::vector<double> costs_;  // empty = unit costs
   PartialValuation val_;
+  // Permanently unanswerable variables (resilience); grows monotonically.
+  std::vector<bool> unreachable_;
+  size_t num_unreachable_ = 0;
   size_t num_undecided_ = 0;
   bool cnfs_attached_ = false;
   bool absorption_enabled_ = true;

@@ -80,6 +80,85 @@ ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
   return run;
 }
 
+ResilientProbeRun RunToCompletionResilient(EvaluationState& state,
+                                           ProbeStrategy& strategy,
+                                           const FallibleProbeFn& probe,
+                                           const RunInstrumentation& instr) {
+  ResilientProbeRun run;
+  obs::SessionTracer local_tracer;
+  obs::SessionTracer& tracer =
+      instr.tracer != nullptr ? *instr.tracer : local_tracer;
+  const size_t first_event = tracer.events().size();
+  const bool instrumented = instr.enabled();
+
+  obs::Counter* probe_count = nullptr;
+  obs::Counter* answer_true = nullptr;
+  obs::Counter* answer_false = nullptr;
+  obs::Counter* lost_vars = nullptr;
+  obs::Histogram* decision_ns = nullptr;
+  if (instr.metrics != nullptr) {
+    probe_count = instr.metrics->GetCounter("probe.count");
+    answer_true = instr.metrics->GetCounter("probe.answer_true");
+    answer_false = instr.metrics->GetCounter("probe.answer_false");
+    lost_vars = instr.metrics->GetCounter("probe.lost_vars");
+    decision_ns = instr.metrics->GetHistogram("strategy.decision_ns");
+  }
+
+  while (!state.AllDecided()) {
+    // Only a lost variable can make every remaining path undecidable, so the
+    // scan is skipped entirely on the (common) fault-free trajectory.
+    if (run.num_lost > 0 && !state.HasUsefulVar()) break;
+    const int64_t t0 = instrumented ? obs::MonotonicNanos() : 0;
+    VarId x = strategy.ChooseNext(state);
+    const int64_t deliberation =
+        instrumented ? obs::MonotonicNanos() - t0 : 0;
+    CONSENTDB_CHECK(state.IsUseful(x),
+                    "strategy '" + strategy.name() +
+                        "' chose a useless or known variable: x" +
+                        std::to_string(x));
+    FallibleProbe result = probe(x);
+    if (result.outcome == ProbeOutcome::kSessionExpired) {
+      run.session_expired = true;
+      break;
+    }
+    if (result.outcome == ProbeOutcome::kVariableLost) {
+      state.MarkUnreachable(x);
+      ++run.num_lost;
+      if (lost_vars != nullptr) lost_vars->Add();
+      continue;
+    }
+    const bool answer = result.answer;
+    state.Assign(x, answer);
+    strategy.OnAnswer(state, x, answer);
+    ++run.num_probes;
+    run.total_cost += state.cost(x);
+
+    obs::ProbeEvent ev;
+    ev.probe_index = run.num_probes - 1;
+    ev.variable = x;
+    ev.answer = answer;
+    ev.decision_nanos = deliberation;
+    ev.formulas_decided = state.num_formulas() - state.num_undecided();
+    ev.formulas_remaining = state.num_undecided();
+    if (instrumented) ev.residual_terms = CountLiveTerms(state);
+    tracer.OnProbe(std::move(ev));
+
+    if (instr.metrics != nullptr) {
+      probe_count->Add();
+      (answer ? answer_true : answer_false)->Add();
+      decision_ns->Observe(static_cast<uint64_t>(deliberation));
+    }
+  }
+  run.outcomes = state.FormulaValues();
+
+  const std::vector<obs::ProbeEvent>& events = tracer.events();
+  run.trace.reserve(events.size() - first_event);
+  for (size_t i = first_event; i < events.size(); ++i) {
+    run.trace.emplace_back(events[i].variable, events[i].answer);
+  }
+  return run;
+}
+
 ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
                          const PartialValuation& hidden,
                          const RunInstrumentation& instr) {

@@ -55,6 +55,52 @@ ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
                          const PartialValuation& hidden,
                          const RunInstrumentation& instr = {});
 
+// --- Resilient session loop (fault-tolerant probing) ------------------------
+
+// What became of one probe request after the caller's retry policy ran its
+// course.
+enum class ProbeOutcome : uint8_t {
+  kAnswered,        // the peer answered; `answer` is valid
+  kVariableLost,    // retries/deadline exhausted or peer gone — give up on x
+  kSessionExpired,  // the whole session hit its deadline — stop probing
+};
+
+struct FallibleProbe {
+  ProbeOutcome outcome = ProbeOutcome::kAnswered;
+  bool answer = false;
+};
+
+// A probe that may fail permanently. Implementations own retrying: by the
+// time they return kVariableLost the variable is unrecoverable for this
+// session.
+using FallibleProbeFn = std::function<FallibleProbe(VarId)>;
+
+struct ResilientProbeRun {
+  // Successfully answered probes only; lost attempts are not counted.
+  size_t num_probes = 0;
+  // Sum of per-variable costs over *answered* probes.
+  double total_cost = 0.0;
+  // Final truth value of every formula; kUnknown marks formulas that could
+  // not be decided because every path to them ran through a lost variable.
+  std::vector<Truth> outcomes;
+  // Answered probes with answers, in order (lost probes leave no trace —
+  // they produced no information).
+  std::vector<std::pair<VarId, bool>> trace;
+  // Variables given up on (MarkUnreachable was applied for each).
+  size_t num_lost = 0;
+  // True when the loop stopped on kSessionExpired rather than convergence.
+  bool session_expired = false;
+};
+
+// Fault-tolerant variant of RunToCompletion: probes until every formula is
+// decided OR no useful variable remains (lost variables cut all remaining
+// paths) OR the probe fn reports session expiry. With a fault-free probe fn
+// this issues the byte-identical probe sequence of RunToCompletion.
+ResilientProbeRun RunToCompletionResilient(EvaluationState& state,
+                                           ProbeStrategy& strategy,
+                                           const FallibleProbeFn& probe,
+                                           const RunInstrumentation& instr = {});
+
 }  // namespace consentdb::strategy
 
 #endif  // CONSENTDB_STRATEGY_RUNNER_H_

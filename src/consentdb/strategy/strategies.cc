@@ -103,43 +103,67 @@ RoStrategy::TermEntry RoStrategy::ScoreTerm(const EvaluationState& state,
   return TermEntry{prob / denom, prob, tid};
 }
 
+namespace {
+
+bool TermHasUsefulVar(const EvaluationState& state, size_t tid) {
+  for (VarId v : state.TermResidualVars(tid)) {
+    if (state.IsUseful(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 VarId RoStrategy::ChooseNext(EvaluationState& state) {
-  if (current_term_ == kNoTerm || !state.TermLive(current_term_)) {
-    if (!heap_initialized_) {
-      state.ForEachLiveTerm([&](size_t tid) { heap_.push(ScoreTerm(state, tid)); });
-      heap_initialized_ = true;
-    }
-    current_term_ = kNoTerm;
-    while (!heap_.empty()) {
-      TermEntry top = heap_.top();
-      heap_.pop();
-      if (!state.TermLive(top.tid)) continue;  // stale: term died
-      TermEntry fresh = ScoreTerm(state, top.tid);
-      if (fresh.frac != top.frac || fresh.prob != top.prob) {
-        heap_.push(fresh);  // stale: term shrank since this entry
-        continue;
+  while (true) {
+    if (current_term_ == kNoTerm || !state.TermLive(current_term_)) {
+      if (!heap_initialized_) {
+        state.ForEachLiveTerm(
+            [&](size_t tid) { heap_.push(ScoreTerm(state, tid)); });
+        heap_initialized_ = true;
       }
-      current_term_ = top.tid;
-      break;
+      current_term_ = kNoTerm;
+      while (!heap_.empty()) {
+        TermEntry top = heap_.top();
+        heap_.pop();
+        if (!state.TermLive(top.tid)) continue;  // stale: term died
+        TermEntry fresh = ScoreTerm(state, top.tid);
+        if (fresh.frac != top.frac || fresh.prob != top.prob) {
+          heap_.push(fresh);  // stale: term shrank since this entry
+          continue;
+        }
+        // A term whose residual variables are all unreachable can never be
+        // probed again; residuals only shrink and the unreachable set only
+        // grows, so dropping it from the heap for good is safe.
+        if (!TermHasUsefulVar(state, top.tid)) continue;
+        current_term_ = top.tid;
+        break;
+      }
+      CONSENTDB_CHECK(current_term_ != kNoTerm,
+                      "no live term with a probeable variable but formulas "
+                      "undecided");
     }
-    CONSENTDB_CHECK(current_term_ != kNoTerm,
-                    "no live term but formulas undecided");
-  }
-  // Probe the term's unknown variables in ascending cost/(1-p) — with unit
-  // costs this is exactly "increasing order of probability" (Alg. 1).
-  VarId best_var = provenance::kInvalidVar;
-  double best_ratio = 0.0;
-  for (VarId v : state.TermResidualVars(current_term_)) {
-    double ratio =
-        state.cost(v) / std::max(1e-12, 1.0 - state.probability(v));
-    if (best_var == provenance::kInvalidVar || ratio < best_ratio) {
-      best_var = v;
-      best_ratio = ratio;
+    // Probe the term's unknown variables in ascending cost/(1-p) — with
+    // unit costs this is exactly "increasing order of probability" (Alg. 1).
+    // Unreachable variables are skipped: they stay in the residual (the
+    // term may still be falsified through its other variables) but cannot
+    // be asked.
+    VarId best_var = provenance::kInvalidVar;
+    double best_ratio = 0.0;
+    for (VarId v : state.TermResidualVars(current_term_)) {
+      if (!state.IsUseful(v)) continue;
+      double ratio =
+          state.cost(v) / std::max(1e-12, 1.0 - state.probability(v));
+      if (best_var == provenance::kInvalidVar || ratio < best_ratio) {
+        best_var = v;
+        best_ratio = ratio;
+      }
     }
+    if (best_var != provenance::kInvalidVar) return best_var;
+    // Every residual variable of the current term became unreachable since
+    // it was selected; abandon it and re-rank from the heap.
+    current_term_ = kNoTerm;
   }
-  CONSENTDB_CHECK(best_var != provenance::kInvalidVar,
-                  "live term has no residual vars");
-  return best_var;
 }
 
 void RoStrategy::OnAnswer(const EvaluationState& state, VarId x, bool value) {

@@ -1,0 +1,33 @@
+#include "consentdb/util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace consentdb {
+
+namespace {
+
+class SystemClock : public Clock {
+ public:
+  int64_t NowNanos() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(int64_t nanos) override {
+    if (nanos <= 0) return;
+    // The one real sleep in the codebase; everything else waits through an
+    // injected Clock (see the lint rule sleep-outside-clock).
+    std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace consentdb

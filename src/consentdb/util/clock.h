@@ -1,0 +1,56 @@
+// Injected time: every component that waits (retry backoff, fault-injected
+// peer latency, deadlines) reads and sleeps through a Clock*, never through
+// std::chrono directly. Tests and benchmarks inject a VirtualClock, whose
+// SleepFor advances a counter instead of blocking, so the whole resilience
+// suite runs in milliseconds of real time with zero real sleeps — the
+// project lint (sleep-outside-clock) rejects any other sleep_for call site.
+
+#ifndef CONSENTDB_UTIL_CLOCK_H_
+#define CONSENTDB_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace consentdb {
+
+// A monotonic nanosecond time source that can also wait.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Nanoseconds since an arbitrary fixed origin; never decreases.
+  virtual int64_t NowNanos() = 0;
+
+  // Waits for `nanos` (no-op when <= 0). Virtual implementations advance
+  // their own notion of now instead of blocking the thread.
+  virtual void SleepFor(int64_t nanos) = 0;
+};
+
+// Deterministic, thread-safe virtual time. SleepFor returns immediately
+// after advancing the clock, so time-driven logic (backoff schedules,
+// deadlines, injected peer latency) runs at full speed while still
+// observing the configured durations.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() override { return now_.load(std::memory_order_relaxed); }
+
+  void SleepFor(int64_t nanos) override {
+    if (nanos > 0) now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+
+  // Test hook: moves time forward without a sleeper.
+  void Advance(int64_t nanos) { SleepFor(nanos); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+// The process-wide real clock (steady_clock + a blocking sleep). Its
+// implementation owns the single sleep_for call the lint rule allows.
+Clock* RealClock();
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_CLOCK_H_

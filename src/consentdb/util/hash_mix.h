@@ -1,0 +1,34 @@
+// Stateless deterministic hashing for schedule-style randomness.
+//
+// A seeded Rng stream is deterministic only if every consumer draws in a
+// fixed order — useless when concurrent sessions interleave their draws.
+// The fault-injection and retry-jitter schedules instead hash the triple
+// (seed, stream, index): the k-th decision for a given stream (a consent
+// variable, say) is a pure function of the triple, identical under any
+// thread interleaving.
+
+#ifndef CONSENTDB_UTIL_HASH_MIX_H_
+#define CONSENTDB_UTIL_HASH_MIX_H_
+
+#include <cstdint>
+
+namespace consentdb {
+
+// SplitMix64 finalizer: a fast, well-mixed 64-bit permutation.
+inline uint64_t SplitMix64(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Uniform draw in [0, 1) fully determined by (seed, stream, index).
+inline double UnitUniformHash(uint64_t seed, uint64_t stream, uint64_t index) {
+  uint64_t h = SplitMix64(seed ^ SplitMix64(stream ^ SplitMix64(index)));
+  // 53 high bits -> the unit interval, like std::generate_canonical.
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace consentdb
+
+#endif  // CONSENTDB_UTIL_HASH_MIX_H_

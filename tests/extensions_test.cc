@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "consentdb/consent/shared_database.h"
 #include "consentdb/eval/evaluate.h"
 #include "consentdb/eval/provenance_profile.h"
@@ -160,6 +162,39 @@ TEST(BatchRunnerTest, SkipAnsweredMatchesDefaultWhenNothingIsRedundant) {
   EXPECT_EQ(skipped.num_skipped, 0u);
   EXPECT_EQ(skipped.num_rounds, sent_all.num_rounds);
   EXPECT_EQ(skipped.outcomes, sent_all.outcomes);
+}
+
+TEST(BatchRunnerTest, FailingOracleMidRoundDoesNotInflateRoundCount) {
+  // Regression: the round counter used to be committed when the batch was
+  // *planned*, so an oracle failing mid-round left rounds == 1 with the
+  // round only partially sent. A round now counts only once every probe of
+  // it returned; per-probe counters record exactly the successful sends.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1, 2}})};
+  std::vector<double> pi = UniformPi(3, 0.7);
+
+  obs::MetricsRegistry metrics;
+  RunInstrumentation instr;
+  instr.metrics = &metrics;
+  size_t calls = 0;
+  ProbeFn failing = [&calls](VarId) -> bool {
+    if (++calls == 2) throw std::runtime_error("peer hung up");
+    return true;
+  };
+
+  EvaluationState state(dnfs, pi);
+  EXPECT_THROW(RunToCompletionBatched(state, MakeFreqFactory(), failing,
+                                      /*batch_size=*/3, instr),
+               std::runtime_error);
+  // The first probe of the round succeeded and was counted; the round never
+  // completed, so the round counter must not have moved.
+  EXPECT_EQ(metrics.GetCounter("batch.probes")->value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("batch.rounds")->value(), 0u);
+  // Exactly the one successful answer was applied before the failure.
+  size_t known = 0;
+  for (VarId x = 0; x < 3; ++x) {
+    known += state.var_value(x) != Truth::kUnknown ? 1 : 0;
+  }
+  EXPECT_EQ(known, 1u);
 }
 
 // --- Budgeted probing ----------------------------------------------------------------

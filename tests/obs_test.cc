@@ -163,6 +163,9 @@ TEST(MetricsTest, ScopedTimerObservesMonotonicElapsed) {
   {
     ScopedTimer timer(&h);
     int64_t first = timer.ElapsedNanos();
+    // The timer measures real monotonic time, so this test must genuinely
+    // wait; everything else runs on the injected Clock.
+    // lint:allow sleep-outside-clock
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
     int64_t second = timer.ElapsedNanos();
     EXPECT_GE(first, 0);

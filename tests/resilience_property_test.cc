@@ -1,0 +1,238 @@
+// Property harness for the resilience layer: 200 seeded random instances of
+// (formulas, probabilities, hidden world, fault plan) checked against the
+// fault-free run. The invariants are the possible-worlds guarantees of the
+// three-valued session semantics:
+//
+//   1. Every run terminates (dead peers included) — enforced by the harness
+//      finishing at all.
+//   2. Every *resolved* formula agrees with the fault-free outcome: faults
+//      may withhold information, never corrupt it.
+//   3. With transient-only faults and enough retry attempts, the resilient
+//      run is byte-identical to the fault-free run: same probe trace, same
+//      outcomes, nothing unresolved.
+//
+// All backoff waiting runs on a VirtualClock; the suite performs no real
+// sleeps regardless of how much virtual time the retries burn.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "consentdb/consent/faulty_oracle.h"
+#include "consentdb/consent/oracle.h"
+#include "consentdb/consent/variable_pool.h"
+#include "consentdb/core/consent_manager.h"
+#include "consentdb/strategy/evaluation_state.h"
+#include "consentdb/strategy/runner.h"
+#include "consentdb/strategy/strategies.h"
+#include "consentdb/util/clock.h"
+#include "consentdb/util/rng.h"
+#include "test_fixtures.h"
+
+namespace consentdb {
+namespace {
+
+using consent::FaultPlan;
+using consent::FaultyOracle;
+using consent::ProbeAttempt;
+using consent::ProbeFault;
+using consent::ValuationOracle;
+using consent::VariablePool;
+using core::RetryPolicy;
+using provenance::Dnf;
+using provenance::PartialValuation;
+using provenance::Truth;
+using provenance::VarId;
+using provenance::VarSet;
+using strategy::EvaluationState;
+using strategy::FallibleProbe;
+using strategy::ProbeOutcome;
+
+struct Instance {
+  VariablePool pool;
+  std::vector<Dnf> dnfs;
+  std::vector<double> pi;
+  PartialValuation hidden;
+  FaultPlan plan;
+  bool transient_only = true;
+};
+
+// A random instance: 4-15 variables over 1-4 peers, 1-3 formulas of 1-4
+// terms with 1-4 variables each, a sampled hidden world, and a fault plan
+// with up to 60% transient failures (30% of instances also kill one peer).
+Instance MakeInstance(uint64_t seed) {
+  Instance inst;
+  Rng rng(1000 + seed);
+  const size_t num_vars = 4 + rng.UniformIndex(12);
+  const size_t num_peers = 1 + rng.UniformIndex(4);
+  for (size_t i = 0; i < num_vars; ++i) {
+    inst.pool.Allocate("x" + std::to_string(i),
+                       "peer" + std::to_string(i % num_peers),
+                       0.05 + 0.9 * rng.UniformReal());
+  }
+  inst.pi = inst.pool.Probabilities();
+
+  const size_t num_formulas = 1 + rng.UniformIndex(3);
+  for (size_t f = 0; f < num_formulas; ++f) {
+    std::vector<VarSet> terms;
+    const size_t num_terms = 1 + rng.UniformIndex(4);
+    for (size_t t = 0; t < num_terms; ++t) {
+      std::vector<VarId> ids;
+      const size_t width = 1 + rng.UniformIndex(4);
+      for (size_t k = 0; k < width; ++k) {
+        ids.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+      }
+      terms.push_back(VarSet(std::move(ids)));
+    }
+    inst.dnfs.push_back(Dnf(terms));
+  }
+
+  inst.hidden = inst.pool.SampleValuation(rng);
+
+  inst.plan.seed = 77'000 + seed;
+  inst.plan.defaults.transient_failure_prob = 0.6 * rng.UniformReal();
+  inst.plan.defaults.latency_nanos = rng.UniformInt(0, 2'000'000);
+  if (rng.Bernoulli(0.3)) {
+    inst.plan.per_peer["peer" + std::to_string(rng.UniformIndex(num_peers))]
+        .permanently_unavailable = true;
+    inst.transient_only = false;
+  }
+  return inst;
+}
+
+// The session-grade retry loop at formula level: transient faults retry with
+// backoff on the virtual clock, dead peers lose the variable. 64 attempts at
+// p <= 0.6 leave a miss probability of 0.6^64 ~ 5e-15 per variable, so
+// transient-only instances must behave exactly like fault-free ones.
+strategy::FallibleProbeFn RetryProbe(FaultyOracle& oracle,
+                                     const RetryPolicy& policy, Clock& clock) {
+  return [&oracle, &policy, &clock](VarId x) {
+    size_t attempts = 0;
+    while (true) {
+      ProbeAttempt a = oracle.TryProbe(x);
+      ++attempts;
+      if (a.ok()) return FallibleProbe{ProbeOutcome::kAnswered, a.answer};
+      if (a.fault == ProbeFault::kUnavailable ||
+          (policy.max_attempts > 0 && attempts >= policy.max_attempts)) {
+        return FallibleProbe{ProbeOutcome::kVariableLost, false};
+      }
+      clock.SleepFor(policy.BackoffNanos(attempts, x));
+    }
+  };
+}
+
+TEST(ResilienceProperty, ResolvedOutcomesAgreeWithTheFaultFreeRun) {
+  size_t transient_only_instances = 0;
+  size_t degraded_instances = 0;
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    SCOPED_TRACE("instance seed " + std::to_string(seed));
+    Instance inst = MakeInstance(seed);
+
+    // Fault-free ground truth.
+    EvaluationState baseline_state(inst.dnfs, inst.pi);
+    strategy::FreqStrategy baseline_strategy;
+    strategy::ProbeRun baseline = strategy::RunToCompletion(
+        baseline_state, baseline_strategy, inst.hidden);
+
+    // The same hidden world behind the fault plan.
+    VirtualClock clock;
+    ValuationOracle backing(inst.hidden);
+    FaultyOracle faulty(backing, inst.pool, inst.plan, &clock);
+    RetryPolicy policy;
+    policy.max_attempts = 64;
+    policy.jitter = 0.25;
+    policy.jitter_seed = seed;
+    EvaluationState state(inst.dnfs, inst.pi);
+    strategy::FreqStrategy freq;
+    strategy::ResilientProbeRun run = strategy::RunToCompletionResilient(
+        state, freq, RetryProbe(faulty, policy, clock));
+
+    // Invariant 2: resolved formulas agree; faults only withhold.
+    ASSERT_EQ(run.outcomes.size(), baseline.outcomes.size());
+    size_t unresolved = 0;
+    for (size_t i = 0; i < run.outcomes.size(); ++i) {
+      if (run.outcomes[i] == Truth::kUnknown) {
+        ++unresolved;
+        continue;
+      }
+      EXPECT_EQ(run.outcomes[i], baseline.outcomes[i])
+          << "formula " << i << " resolved to the wrong truth value";
+    }
+
+    // Invariant 3: transient-only instances are byte-identical.
+    if (inst.transient_only) {
+      ++transient_only_instances;
+      EXPECT_EQ(unresolved, 0u);
+      EXPECT_EQ(run.num_lost, 0u);
+      EXPECT_EQ(run.num_probes, baseline.num_probes);
+      EXPECT_EQ(run.trace, baseline.trace);
+      EXPECT_EQ(run.outcomes, baseline.outcomes);
+    } else if (unresolved > 0) {
+      ++degraded_instances;
+    }
+  }
+  // The generator must actually exercise both regimes.
+  EXPECT_GT(transient_only_instances, 50u);
+  EXPECT_GT(degraded_instances, 0u);
+}
+
+// The same property through the full session stack: ConsentManager::DecideAll
+// with a RetryPolicy over the recruitment database. Fewer instances — each
+// session parses, plans and evaluates SQL — but end to end.
+TEST(ResilienceProperty, SessionVerdictsAgreeWithTheFaultFreeSession) {
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::ConsentManager manager(sdb);
+  size_t transient_only_sessions = 0;
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    SCOPED_TRACE("session seed " + std::to_string(seed));
+    Rng rng(9000 + seed);
+    PartialValuation hidden = sdb.pool().SampleValuation(rng);
+
+    ValuationOracle plain(hidden);
+    Result<core::SessionReport> fault_free =
+        manager.DecideAll(testing::RecruitmentQuerySql(), plain);
+    ASSERT_TRUE(fault_free.ok());
+
+    FaultPlan plan;
+    plan.seed = 31'000 + seed;
+    plan.defaults.transient_failure_prob = 0.5 * rng.UniformReal();
+    const bool kill_peer = rng.Bernoulli(0.25);
+    if (kill_peer) plan.per_peer["Alice"].permanently_unavailable = true;
+
+    VirtualClock clock;
+    ValuationOracle backing(hidden);
+    FaultyOracle faulty(backing, sdb.pool(), plan, &clock);
+    core::SessionOptions options;
+    options.retry = RetryPolicy{};
+    options.retry->max_attempts = 48;
+    options.clock = &clock;
+    Result<core::SessionReport> resilient =
+        manager.DecideAll(testing::RecruitmentQuerySql(), faulty, options);
+    ASSERT_TRUE(resilient.ok());
+
+    ASSERT_EQ(resilient.value().tuples.size(),
+              fault_free.value().tuples.size());
+    size_t unresolved = 0;
+    for (size_t i = 0; i < resilient.value().tuples.size(); ++i) {
+      const core::TupleConsent& tc = resilient.value().tuples[i];
+      if (tc.verdict == core::TupleConsent::Verdict::kUnresolved) {
+        ++unresolved;
+        EXPECT_FALSE(tc.shareable);  // unresolved consent defaults to deny
+        continue;
+      }
+      EXPECT_EQ(tc.shareable, fault_free.value().tuples[i].shareable);
+    }
+    EXPECT_EQ(unresolved, resilient.value().num_unresolved);
+
+    if (!kill_peer) {
+      ++transient_only_sessions;
+      EXPECT_EQ(resilient.value().num_unresolved, 0u);
+      EXPECT_EQ(resilient.value().num_probes, fault_free.value().num_probes);
+    }
+  }
+  EXPECT_GT(transient_only_sessions, 10u);
+}
+
+}  // namespace
+}  // namespace consentdb

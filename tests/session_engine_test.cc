@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "consentdb/consent/faulty_oracle.h"
 #include "consentdb/consent/oracle.h"
 #include "consentdb/core/consent_manager.h"
 #include "consentdb/core/session_engine.h"
@@ -531,6 +532,85 @@ TEST(SessionReportTest, QueryProfileDescribesTheExecutedPlan) {
             QueryClass::kS);
   EXPECT_NE(report.value().ToJson().find("query_class_submitted"),
             std::string::npos);
+}
+
+// --- Concurrent resilience ------------------------------------------------------------
+
+// The thread-safety bar of the fault-injection layer (run under TSAN in CI):
+// eight concurrent resilient sessions hammer ONE shared FaultyOracle through
+// the engine's shared ledger. The ledger must record each variable's answer
+// exactly once — a faulted attempt leaves no trace, so retries from any
+// session reach the peer again, and the recording attempt wins for all.
+TEST(SessionEngineTest, ConcurrentResilientSessionsShareOneFaultyOracle) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  // An all-True world: proving a term per formula needs several distinct
+  // variables, so the sessions genuinely exercise the shared oracle (a
+  // mostly-False world can decide Q_ex with a single probe).
+  PartialValuation hidden = FullValuation(sdb, true);
+
+  // Sequential fault-free ground truth.
+  ConsentManager manager(sdb);
+  ValuationOracle plain(hidden);
+  Result<SessionReport> expected =
+      manager.DecideAll(testing::RecruitmentQuerySql(), plain);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  consent::FaultPlan plan;
+  plan.seed = 314159;
+  plan.defaults.transient_failure_prob = 0.5;
+  VirtualClock clock;
+  ValuationOracle backing(hidden);
+  consent::FaultyOracle faulty(backing, sdb.pool(), plan, &clock);
+
+  constexpr size_t kSessions = 8;
+  EngineOptions options;
+  options.num_threads = kSessions;
+  options.share_consent_ledger = true;
+  options.session.retry = RetryPolicy{};
+  options.session.retry->max_attempts = 24;
+  options.session.clock = &clock;
+  SessionEngine engine(sdb, options);
+
+  std::vector<SessionRequest> requests;
+  for (size_t i = 0; i < kSessions; ++i) {
+    SessionRequest request;
+    request.sql = testing::RecruitmentQuerySql();
+    request.oracle = &faulty;
+    requests.push_back(std::move(request));
+  }
+  std::vector<Result<SessionReport>> results =
+      engine.RunAll(std::move(requests));
+
+  ASSERT_EQ(results.size(), kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    const SessionReport& report = results[i].value();
+    EXPECT_EQ(report.num_unresolved, 0u) << "session " << i;
+    ASSERT_EQ(report.tuples.size(), expected.value().tuples.size());
+    for (size_t j = 0; j < report.tuples.size(); ++j) {
+      EXPECT_EQ(report.tuples[j].shareable,
+                expected.value().tuples[j].shareable)
+          << "session " << i << " tuple " << j;
+    }
+  }
+
+  // One recorded answer per variable: every successful oracle probe was the
+  // recording attempt (successes == ledger entries — a second recorded
+  // answer for any variable would break this equality), and every recorded
+  // answer matches the backing valuation.
+  const ConsentLedger& ledger = engine.ledger();
+  EXPECT_EQ(faulty.stats().successes, ledger.size());
+  EXPECT_EQ(ledger.oracle_probes(), ledger.size());
+  EXPECT_EQ(ledger.faulted_probes(),
+            faulty.stats().attempts - faulty.stats().successes);
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    std::optional<bool> recorded = ledger.Lookup(x);
+    if (recorded.has_value()) {
+      EXPECT_EQ(*recorded, hidden.Get(x) == provenance::Truth::kTrue)
+          << "variable " << x;
+    }
+  }
+  ASSERT_GT(faulty.stats().transient_faults, 0u);  // the plan actually bit
 }
 
 TEST(SessionReportTest, PushdownKeepsBothProfilesInAgreement) {
