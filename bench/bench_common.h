@@ -19,7 +19,6 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -30,6 +29,7 @@
 #include "consentdb/obs/tracer.h"
 #include "consentdb/strategy/expected_cost.h"
 #include "consentdb/strategy/strategies.h"
+#include "consentdb/util/io.h"
 
 namespace consentdb::bench {
 
@@ -72,12 +72,14 @@ inline void EmitMetricsSidecar(const std::string& bench_name) {
   obs::MetricsRegistry* metrics = MetricsSink();
   if (metrics == nullptr) return;
   const std::string path = bench_name + "_metrics.json";
-  std::ofstream out(path);
-  if (!out) {
-    std::cerr << "cannot write metrics sidecar " << path << "\n";
+  Status status = Env::Default()->WriteStringToFile(
+      path, obs::ExportObservabilityJson(metrics, nullptr) + "\n",
+      /*sync=*/false);
+  if (!status.ok()) {
+    std::cerr << "cannot write metrics sidecar " << path << ": "
+              << status.ToString() << "\n";
     return;
   }
-  out << obs::ExportObservabilityJson(metrics, nullptr) << "\n";
   std::cerr << "wrote metrics sidecar " << path << "\n";
 }
 

@@ -26,8 +26,11 @@
 #include <sstream>
 
 #include "consentdb/consent/faulty_oracle.h"
+#include "consentdb/consent/snapshot.h"
+#include "consentdb/core/checkpoint.h"
 #include "consentdb/core/consent_manager.h"
 #include "consentdb/core/session_engine.h"
+#include "consentdb/util/io.h"
 #include "consentdb/obs/metrics.h"
 #include "consentdb/obs/tracer.h"
 #include "consentdb/query/optimize.h"
@@ -85,6 +88,8 @@ class Shell {
     if (EqualsIgnoreCase(command, "simulate")) return Simulate(rest);
     if (EqualsIgnoreCase(command, "faults")) return Faults(rest);
     if (EqualsIgnoreCase(command, "stress")) return Stress(rest);
+    if (EqualsIgnoreCase(command, "save")) return Save(rest);
+    if (EqualsIgnoreCase(command, "resume")) return Resume(rest, interactive);
     if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
       return Stats(rest);
     }
@@ -116,6 +121,12 @@ class Shell {
         "  stress <n> <threads> <sql>         n simulated sessions through the\n"
         "                                     concurrent engine (plan/provenance\n"
         "                                     caches); prints throughput\n"
+        "  save <path>                        checkpoint the database and every\n"
+        "                                     consent answer given so far\n"
+        "  resume <path>                      restore a checkpoint; re-runs any\n"
+        "                                     in-flight sessions it recorded —\n"
+        "                                     already-answered variables replay\n"
+        "                                     from the ledger, never re-asked\n"
         "  \\stats [json|reset]                session telemetry (metrics +\n"
         "                                     last-session probe trace)\n"
         "  exit\n";
@@ -300,9 +311,11 @@ class Shell {
     return Status::OK();
   }
 
-  Status Decide(const std::string& sql, bool interactive) {
-    core::ConsentManager manager(sdb_);
-    consent::CallbackOracle oracle([this, interactive](provenance::VarId x) {
+  // The interactive peers of `decide`. Probes route through the shell's
+  // consent ledger: a variable answered once — in an earlier decide or in a
+  // resumed checkpoint — is never asked again.
+  consent::CallbackOracle InteractiveOracle(bool interactive) {
+    return consent::CallbackOracle([this, interactive](provenance::VarId x) {
       std::cout << "  [probe] " << sdb_.pool().owner(x)
                 << ", do you consent to sharing " << sdb_.pool().name(x)
                 << "? (y/n) " << std::flush;
@@ -311,7 +324,63 @@ class Shell {
       if (!interactive) std::cout << answer << "\n";
       return !answer.empty() && (answer[0] == 'y' || answer[0] == 'Y');
     });
-    return Session(sql, manager, oracle);
+  }
+
+  Status Decide(const std::string& sql, bool interactive) {
+    core::ConsentManager manager(sdb_);
+    consent::CallbackOracle oracle = InteractiveOracle(interactive);
+    consent::LedgerOracle via_ledger(ledger_, oracle);
+    return Session(sql, manager, via_ledger);
+  }
+
+  Status Save(const std::string& path) {
+    if (path.empty()) return Status::InvalidArgument("usage: save <path>");
+    CONSENTDB_RETURN_IF_ERROR(core::WriteCheckpoint(
+        Env::Default(), path, sdb_, ledger_.Answers(), /*sessions=*/{}));
+    std::cout << "checkpoint written to " << path << " ("
+              << ledger_.Answers().size() << " consent answer(s))\n";
+    return Status::OK();
+  }
+
+  Status Resume(const std::string& path, bool interactive) {
+    if (path.empty()) return Status::InvalidArgument("usage: resume <path>");
+    CONSENTDB_ASSIGN_OR_RETURN(core::RestoredCheckpoint restored,
+                               core::ReadCheckpoint(Env::Default(), path));
+    sdb_ = std::move(restored.sdb);
+    ledger_.Clear();
+    for (const auto& [x, answer] : restored.ledger_answers) {
+      CONSENTDB_RETURN_IF_ERROR(ledger_.RestoreAnswer(x, answer));
+    }
+    std::cout << "restored " << sdb_.database().RelationNames().size()
+              << " relation(s) and " << restored.ledger_answers.size()
+              << " consent answer(s) from " << path << "\n";
+    // Re-run the sessions the checkpoint recorded as in flight. Journaled
+    // variables answer from the restored ledger; only genuinely new probes
+    // reach the interactive peers.
+    for (const core::CheckpointedSession& s : restored.sessions) {
+      std::cout << "resuming session: " << s.sql << "\n";
+      core::ConsentManager manager(sdb_);
+      consent::CallbackOracle oracle = InteractiveOracle(interactive);
+      consent::LedgerOracle via_ledger(ledger_, oracle);
+      if (s.single_csv.has_value()) {
+        CONSENTDB_ASSIGN_OR_RETURN(query::PlanPtr plan,
+                                   query::ParseQuery(s.sql));
+        CONSENTDB_ASSIGN_OR_RETURN(relational::Schema schema,
+                                   plan->OutputSchema(sdb_.database()));
+        CONSENTDB_ASSIGN_OR_RETURN(
+            Tuple target, consent::ParseSnapshotRow(*s.single_csv, schema));
+        core::SessionOptions options;
+        options.metrics = &metrics_;
+        options.tracer = &tracer_;
+        CONSENTDB_ASSIGN_OR_RETURN(
+            core::SessionReport report,
+            manager.DecideSingle(s.sql, target, via_ledger, options));
+        std::cout << report.ToString();
+        continue;
+      }
+      CONSENTDB_RETURN_IF_ERROR(Session(s.sql, manager, via_ledger));
+    }
+    return Status::OK();
   }
 
   Status Simulate(const std::string& sql) {
@@ -572,6 +641,7 @@ class Shell {
   }
 
   consent::SharedDatabase sdb_;
+  consent::ConsentLedger ledger_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::SessionTracer tracer_;

@@ -66,6 +66,11 @@ RAW_COUT_RE = re.compile(r"\bstd::(cout|cerr)\b")
 SLEEP_RE = re.compile(r"\bsleep_(?:for|until)\s*\(")
 # The one legitimate real-sleep site: the SystemClock behind RealClock().
 SLEEP_EXEMPT_FILES = {Path("src/consentdb/util/clock.cc")}
+RAW_FILE_IO_RE = re.compile(
+    r"\bstd::(?:o|i|w[oi]?)?fstream\b|\bf(?:re)?open\s*\("
+)
+# The one legitimate raw-file-io site: the POSIX Env behind Env::Default().
+RAW_FILE_IO_EXEMPT_FILES = {Path("src/consentdb/util/io.cc")}
 
 RULES = (
     "naked-new",
@@ -74,6 +79,7 @@ RULES = (
     "using-namespace-header",
     "raw-cout",
     "sleep-outside-clock",
+    "raw-file-io",
 )
 
 
@@ -178,6 +184,14 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                         "real sleep outside the Clock implementation; take "
                         "a consentdb::Clock and call SleepFor so tests and "
                         "benches run on virtual time (util/clock.h)"))
+
+        if (RAW_FILE_IO_RE.search(code) and rel not in RAW_FILE_IO_EXEMPT_FILES
+                and "raw-file-io" not in allowed):
+            findings.append(
+                Finding(rel, lineno, "raw-file-io",
+                        "raw file I/O outside util/io; go through Env "
+                        "(util/io.h) so durability tests can inject a "
+                        "CrashingEnv and crash-recovery stays testable"))
 
         for m in GUARDED_BY_RE.finditer(code):
             guarded_targets.add(m.group(1))

@@ -190,6 +190,53 @@ class SleepOutsideClockTest(LintHarness):
         self.assertEqual(self.rules(), [])
 
 
+class RawFileIoTest(LintHarness):
+    def test_flags_ofstream(self):
+        self.write("src/consentdb/consent/a.cc",
+                   "void f() {\n  std::ofstream out(path);\n}\n")
+        self.assertEqual(self.rules(), ["raw-file-io"])
+
+    def test_flags_ifstream_and_plain_fstream(self):
+        self.write("tests/a.cc",
+                   "void f() {\n"
+                   "  std::ifstream in(path);\n"
+                   "  std::fstream both(path);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), ["raw-file-io", "raw-file-io"])
+
+    def test_flags_fopen(self):
+        self.write("bench/a.cc",
+                   'void f() {\n  FILE* fp = std::fopen("x", "w");\n}\n')
+        self.assertEqual(self.rules(), ["raw-file-io"])
+
+    def test_env_implementation_is_exempt(self):
+        # util/io.cc owns the single real file-I/O site behind Env::Default().
+        self.write("src/consentdb/util/io.cc",
+                   'void f() {\n  FILE* fp = std::fopen("x", "w");\n}\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_fopen_in_comment_or_string_ignored(self):
+        self.write("src/consentdb/a.cc",
+                   "// fopen(path) would be wrong here\n"
+                   'const char* s = "std::ofstream";\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_env_usage_ok(self):
+        self.write("src/consentdb/consent/a.cc",
+                   "void f(Env* env) {\n"
+                   "  auto file = env->NewWritableFile(path, false);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("tests/a.cc",
+                   "void f() {\n"
+                   "  // lint:allow raw-file-io\n"
+                   "  std::ofstream out(path);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+
 class AllowlistScopingTest(LintHarness):
     def test_allow_is_per_rule(self):
         # An allow for one rule must not silence a different rule on the

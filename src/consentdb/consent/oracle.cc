@@ -1,5 +1,8 @@
 #include "consentdb/consent/oracle.h"
 
+#include <algorithm>
+
+#include "consentdb/consent/wal.h"
 #include "consentdb/util/check.h"
 
 namespace consentdb::consent {
@@ -74,6 +77,7 @@ bool ConsentLedger::ProbeVia(ProbeOracle& oracle, VarId x,
   bool answer = oracle.Probe(x);
   oracle_probes_.fetch_add(1, std::memory_order_relaxed);
   answers_.emplace(x, answer);
+  JournalLocked(x, answer);
   return answer;
 }
 
@@ -95,6 +99,7 @@ ProbeAttempt ConsentLedger::TryProbeVia(ProbeOracle& oracle, VarId x,
   if (attempt.ok()) {
     oracle_probes_.fetch_add(1, std::memory_order_relaxed);
     answers_.emplace(x, attempt.answer);
+    JournalLocked(x, attempt.answer);
   } else {
     faulted_probes_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -113,12 +118,69 @@ size_t ConsentLedger::size() const {
   return answers_.size();
 }
 
+void ConsentLedger::AttachJournal(WalWriter* wal,
+                                  uint64_t compact_every_records) {
+  MutexLock lock(mu_);
+  wal_ = wal;
+  compact_every_ = compact_every_records;
+  journaled_since_compact_ = 0;
+}
+
+Status ConsentLedger::journal_error() const {
+  MutexLock lock(mu_);
+  return journal_error_;
+}
+
+void ConsentLedger::JournalLocked(VarId x, bool answer) {
+  if (wal_ == nullptr) return;
+  Status s = wal_->AppendAnswer(x, answer);
+  if (!s.ok()) {
+    // The probe itself stays valid; latch the first failure for the owner.
+    if (journal_error_.ok()) journal_error_ = std::move(s);
+    return;
+  }
+  if (compact_every_ > 0 && ++journaled_since_compact_ >= compact_every_) {
+    journaled_since_compact_ = 0;
+    std::vector<std::pair<VarId, bool>> answers(answers_.begin(),
+                                                answers_.end());
+    std::sort(answers.begin(), answers.end());
+    Status c = wal_->CompactTo(answers);
+    if (!c.ok() && journal_error_.ok()) journal_error_ = std::move(c);
+  }
+}
+
+Status ConsentLedger::RestoreAnswer(VarId x, bool answer) {
+  MutexLock lock(mu_);
+  auto [it, inserted] = answers_.emplace(x, answer);
+  if (!inserted) {
+    if (it->second != answer) {
+      return Status::Internal("conflicting journaled answers for x" +
+                              std::to_string(x));
+    }
+    return Status::OK();  // idempotent replay (snapshot + wal overlap)
+  }
+  restored_answers_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+std::vector<std::pair<VarId, bool>> ConsentLedger::Answers() const {
+  MutexLock lock(mu_);
+  std::vector<std::pair<VarId, bool>> answers(answers_.begin(),
+                                              answers_.end());
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
 void ConsentLedger::Clear() {
+  // Deliberately leaves any attached journal and its file untouched: Clear
+  // is a cache reset for tests/benches, not a consent revocation. Durable
+  // deployments should recover or compact rather than Clear.
   MutexLock lock(mu_);
   answers_.clear();
   hits_.store(0, std::memory_order_relaxed);
   oracle_probes_.store(0, std::memory_order_relaxed);
   faulted_probes_.store(0, std::memory_order_relaxed);
+  restored_answers_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace consentdb::consent

@@ -17,9 +17,12 @@
 
 #include "consentdb/consent/variable_pool.h"
 #include "consentdb/provenance/truth.h"
+#include "consentdb/util/status.h"
 #include "consentdb/util/thread_annotations.h"
 
 namespace consentdb::consent {
+
+class WalWriter;
 
 // How a single probe attempt can fail (the resilience extension): a
 // transient fault may succeed on retry; an unavailable peer never answers
@@ -157,6 +160,36 @@ class ConsentLedger {
   // The recorded answer, if any session probed `x` already.
   std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
 
+  // Durability: journals every answer recorded from here on to `wal`. The
+  // append happens under mu_, immediately after the answer enters the map,
+  // so the journal order is exactly the recording order. When
+  // `compact_every_records` > 0, every that-many journaled answers the WAL
+  // is compacted into its snapshot sidecar. A journal-write failure never
+  // fails the probe — the answer is correct regardless — it is latched in
+  // journal_error() for the owner to surface. (On a CrashingEnv a journal
+  // append can instead throw CrashInjected, unwinding the whole probe loop
+  // like a real crash would.)
+  void AttachJournal(WalWriter* wal, uint64_t compact_every_records = 0)
+      EXCLUDES(mu_);
+
+  // The first journal-append failure, if any (OK otherwise).
+  [[nodiscard]] Status journal_error() const EXCLUDES(mu_);
+
+  // Recovery-only: re-records an answer replayed from a snapshot or WAL.
+  // Observationally silent — no oracle is called, no hit/probe tally moves,
+  // nothing is journaled; only restored_answers() counts it. Restoring an
+  // already-present equal answer is a no-op; a conflicting answer reports
+  // kInternal (corrupt journal).
+  [[nodiscard]] Status RestoreAnswer(VarId x, bool answer) EXCLUDES(mu_);
+
+  // Answers recorded via RestoreAnswer (duplicates excluded).
+  uint64_t restored_answers() const {
+    return restored_answers_.load(std::memory_order_relaxed);
+  }
+
+  // A sorted copy of all recorded answers (checkpointing, compaction).
+  std::vector<std::pair<VarId, bool>> Answers() const EXCLUDES(mu_);
+
   // Distinct variables answered so far.
   size_t size() const EXCLUDES(mu_);
   // Probes answered from the ledger without reaching an oracle.
@@ -179,11 +212,61 @@ class ConsentLedger {
   // atomics rather than guarded fields precisely because of that — a
   // stats read (hits()/oracle_probes()) must not block behind a slow
   // in-flight peer probe.
+  // Journals the freshly recorded answer; called right after the map insert
+  // so no recorded answer can be skipped.
+  void JournalLocked(VarId x, bool answer) REQUIRES(mu_);
+
   mutable Mutex mu_;
   std::unordered_map<VarId, bool> answers_ GUARDED_BY(mu_);
+  WalWriter* wal_ GUARDED_BY(mu_) = nullptr;
+  uint64_t compact_every_ GUARDED_BY(mu_) = 0;
+  uint64_t journaled_since_compact_ GUARDED_BY(mu_) = 0;
+  Status journal_error_ GUARDED_BY(mu_);
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> oracle_probes_{0};
   std::atomic<uint64_t> faulted_probes_{0};
+  std::atomic<uint64_t> restored_answers_{0};
+};
+
+// Per-session view of a shared ledger: satisfies the ProbeOracle interface
+// the probing loop expects while deduplicating oracle traffic ledger-wide.
+// probe_count() is this session's call count, mirroring how each session
+// pays for its own probes in the paper's cost model — which is also what
+// makes resume-after-crash report byte-identically: a recovered ledger
+// answers journaled variables without peer traffic, but the session still
+// counts them as probes.
+class LedgerOracle : public ProbeOracle {
+ public:
+  LedgerOracle(ConsentLedger& ledger, ProbeOracle& backing)
+      : ledger_(ledger), backing_(backing) {}
+
+  bool Probe(VarId x) override {
+    ++asked_;
+    bool from_ledger = false;
+    bool answer = ledger_.ProbeVia(backing_, x, &from_ledger);
+    if (from_ledger) ++ledger_hits_;
+    return answer;
+  }
+  ProbeAttempt TryProbe(VarId x) override {
+    bool from_ledger = false;
+    ProbeAttempt attempt = ledger_.TryProbeVia(backing_, x, &from_ledger);
+    // Faulted attempts leave no trace in the ledger and are not charged to
+    // this session: only an answer counts as a probe, so retries reach the
+    // peer again instead of replaying the failure.
+    if (attempt.ok()) {
+      ++asked_;
+      if (from_ledger) ++ledger_hits_;
+    }
+    return attempt;
+  }
+  size_t probe_count() const override { return asked_; }
+  uint64_t ledger_hits() const { return ledger_hits_; }
+
+ private:
+  ConsentLedger& ledger_;
+  ProbeOracle& backing_;
+  size_t asked_ = 0;
+  uint64_t ledger_hits_ = 0;
 };
 
 }  // namespace consentdb::consent

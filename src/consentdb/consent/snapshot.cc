@@ -20,6 +20,7 @@ using relational::ValueType;
 namespace {
 
 constexpr char kMagic[] = "consentdb-snapshot 1";
+constexpr char kLedgerMagic[] = "consentdb-ledger 1";
 
 std::string CsvField(const std::string& s) {
   if (s.find_first_of(",\"\n\r") == std::string::npos && !s.empty()) return s;
@@ -137,7 +138,25 @@ std::string SaveSnapshot(const SharedDatabase& sdb) {
   return out.str();
 }
 
-Result<SharedDatabase> LoadSnapshot(std::istream& in) {
+namespace {
+
+// One parsed-but-not-yet-inserted snapshot row: tuple plus annotation.
+struct PendingRow {
+  uint64_t stored_id;
+  Tuple tuple;
+  std::string owner;
+  double prior;
+};
+
+struct PendingRelation {
+  std::string name;
+  std::vector<PendingRow> rows;  // file order == required row order
+};
+
+}  // namespace
+
+Result<SharedDatabase> LoadSnapshot(
+    std::istream& in, std::map<uint64_t, provenance::VarId>* var_map_out) {
   CONSENTDB_ASSIGN_OR_RETURN(std::string magic, NextLine(in, "header"));
   if (magic != kMagic) {
     return Status::InvalidArgument("not a consentdb snapshot: " + magic);
@@ -145,6 +164,7 @@ Result<SharedDatabase> LoadSnapshot(std::istream& in) {
   SharedDatabase sdb;
   // Snapshot var id -> rebuilt variable (for block annotations).
   std::map<uint64_t, provenance::VarId> var_map;
+  std::vector<PendingRelation> pending;
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -206,6 +226,8 @@ Result<SharedDatabase> LoadSnapshot(std::istream& in) {
       return Status::InvalidArgument("expected 'annotations', got: " +
                                      annot_header);
     }
+    PendingRelation rel;
+    rel.name = name;
     for (size_t r = 0; r < num_rows; ++r) {
       CONSENTDB_ASSIGN_OR_RETURN(std::string annot_line,
                                  NextLine(in, "annotation"));
@@ -221,29 +243,143 @@ Result<SharedDatabase> LoadSnapshot(std::istream& in) {
       if (prior < 0.0 || prior > 1.0) {
         return Status::InvalidArgument("prior out of range: " + annot_line);
       }
-      auto it = var_map.find(snapshot_var);
-      if (it == var_map.end()) {
-        CONSENTDB_ASSIGN_OR_RETURN(
-            provenance::VarId rebuilt,
-            sdb.InsertTuple(name, tuples[r], fields[1], prior));
-        var_map.emplace(snapshot_var, rebuilt);
-      } else {
-        CONSENTDB_RETURN_IF_ERROR(
-            sdb.InsertTupleInBlock(name, tuples[r], it->second));
-      }
+      rel.rows.push_back(
+          PendingRow{snapshot_var, std::move(tuples[r]), fields[1], prior});
     }
+    pending.push_back(std::move(rel));
 
     CONSENTDB_ASSIGN_OR_RETURN(std::string end_line, NextLine(in, "end"));
     if (end_line != "end") {
       return Status::InvalidArgument("expected 'end', got: " + end_line);
     }
   }
+
+  // Insertion phase. Variables must be recreated in increasing stored-id
+  // order so that rebuilt ids equal the ids SaveSnapshot wrote (strategies
+  // break ties by VarId, so id stability is what makes a session resumed
+  // from a checkpoint probe in exactly the pre-crash order). The constraint
+  // pulling the other way is that rows of one relation must be appended in
+  // file order. Both hold simultaneously for every SaveSnapshot-produced
+  // file: repeatedly flush head rows whose variable already exists (block
+  // members), then create the smallest variable sitting at some relation's
+  // head. Always makes progress, so foreign files with odd id orderings
+  // still load — they merely get renumbered (reported via var_map).
+  size_t remaining = 0;
+  std::vector<size_t> head(pending.size(), 0);
+  for (const PendingRelation& rel : pending) remaining += rel.rows.size();
+  while (remaining > 0) {
+    for (size_t ri = 0; ri < pending.size(); ++ri) {
+      PendingRelation& rel = pending[ri];
+      while (head[ri] < rel.rows.size()) {
+        auto it = var_map.find(rel.rows[head[ri]].stored_id);
+        if (it == var_map.end()) break;
+        CONSENTDB_RETURN_IF_ERROR(sdb.InsertTupleInBlock(
+            rel.name, std::move(rel.rows[head[ri]].tuple), it->second));
+        ++head[ri];
+        --remaining;
+      }
+    }
+    if (remaining == 0) break;
+    size_t best = pending.size();
+    for (size_t ri = 0; ri < pending.size(); ++ri) {
+      if (head[ri] >= pending[ri].rows.size()) continue;
+      if (best == pending.size() ||
+          pending[ri].rows[head[ri]].stored_id <
+              pending[best].rows[head[best]].stored_id) {
+        best = ri;
+      }
+    }
+    PendingRow& row = pending[best].rows[head[best]];
+    CONSENTDB_ASSIGN_OR_RETURN(
+        provenance::VarId rebuilt,
+        sdb.InsertTuple(pending[best].name, std::move(row.tuple), row.owner,
+                        row.prior));
+    var_map.emplace(row.stored_id, rebuilt);
+    ++head[best];
+    --remaining;
+  }
+  if (var_map_out != nullptr) *var_map_out = std::move(var_map);
   return sdb;
 }
 
-Result<SharedDatabase> LoadSnapshot(const std::string& text) {
+Result<SharedDatabase> LoadSnapshot(
+    const std::string& text, std::map<uint64_t, provenance::VarId>* var_map) {
   std::istringstream in(text);
-  return LoadSnapshot(in);
+  return LoadSnapshot(in, var_map);
+}
+
+std::string FormatSnapshotRow(const Tuple& t) { return FormatRow(t); }
+
+Result<Tuple> ParseSnapshotRow(const std::string& line, const Schema& schema) {
+  std::vector<bool> quoted;
+  CONSENTDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             relational::SplitCsvRecord(line, &quoted));
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch: " + line);
+  }
+  std::vector<Value> values;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    CONSENTDB_ASSIGN_OR_RETURN(
+        Value v, ParseValue(fields[i], quoted[i], schema.columns()[i].type));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(values));
+}
+
+void SaveLedgerSnapshot(
+    const std::vector<std::pair<provenance::VarId, bool>>& answers,
+    std::ostream& out) {
+  out << kLedgerMagic << '\n';
+  out << "answers " << answers.size() << '\n';
+  for (const auto& [x, answer] : answers) {
+    out << x << ',' << (answer ? 1 : 0) << '\n';
+  }
+  out << "end\n";
+}
+
+std::string SaveLedgerSnapshot(
+    const std::vector<std::pair<provenance::VarId, bool>>& answers) {
+  std::ostringstream out;
+  SaveLedgerSnapshot(answers, out);
+  return out.str();
+}
+
+Result<std::vector<std::pair<provenance::VarId, bool>>> LoadLedgerSnapshot(
+    std::istream& in) {
+  CONSENTDB_ASSIGN_OR_RETURN(std::string magic, NextLine(in, "header"));
+  if (magic != kLedgerMagic) {
+    return Status::InvalidArgument("not a consentdb ledger snapshot: " + magic);
+  }
+  CONSENTDB_ASSIGN_OR_RETURN(std::string count_line, NextLine(in, "answers"));
+  if (count_line.rfind("answers ", 0) != 0) {
+    return Status::InvalidArgument("expected 'answers <n>', got: " +
+                                   count_line);
+  }
+  const size_t n = std::strtoull(count_line.c_str() + 8, nullptr, 10);
+  std::vector<std::pair<provenance::VarId, bool>> answers;
+  answers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    CONSENTDB_ASSIGN_OR_RETURN(std::string line, NextLine(in, "answer"));
+    char* after_var = nullptr;
+    const uint64_t var = std::strtoull(line.c_str(), &after_var, 10);
+    if (after_var == line.c_str() || *after_var != ',' ||
+        (after_var[1] != '0' && after_var[1] != '1') || after_var[2] != '\0') {
+      return Status::InvalidArgument("bad ledger answer line: " + line);
+    }
+    answers.emplace_back(static_cast<provenance::VarId>(var),
+                         after_var[1] == '1');
+  }
+  CONSENTDB_ASSIGN_OR_RETURN(std::string end_line, NextLine(in, "end"));
+  if (end_line != "end") {
+    return Status::InvalidArgument("expected 'end', got: " + end_line);
+  }
+  return answers;
+}
+
+Result<std::vector<std::pair<provenance::VarId, bool>>> LoadLedgerSnapshot(
+    const std::string& text) {
+  std::istringstream in(text);
+  return LoadLedgerSnapshot(in);
 }
 
 }  // namespace consentdb::consent

@@ -21,8 +21,11 @@
 #define CONSENTDB_CONSENT_SNAPSHOT_H_
 
 #include <istream>
+#include <map>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "consentdb/consent/shared_database.h"
 #include "consentdb/util/result.h"
@@ -32,8 +35,38 @@ namespace consentdb::consent {
 void SaveSnapshot(const SharedDatabase& sdb, std::ostream& out);
 std::string SaveSnapshot(const SharedDatabase& sdb);
 
-[[nodiscard]] Result<SharedDatabase> LoadSnapshot(std::istream& in);
-[[nodiscard]] Result<SharedDatabase> LoadSnapshot(const std::string& text);
+// `var_map`, when non-null, receives the snapshot-file variable id ->
+// rebuilt VarId mapping; anything keyed by the ids SaveSnapshot wrote (a
+// checkpointed ledger, say) must be remapped through it after loading.
+[[nodiscard]] Result<SharedDatabase> LoadSnapshot(
+    std::istream& in, std::map<uint64_t, provenance::VarId>* var_map = nullptr);
+[[nodiscard]] Result<SharedDatabase> LoadSnapshot(
+    const std::string& text,
+    std::map<uint64_t, provenance::VarId>* var_map = nullptr);
+
+// Formats one tuple as a snapshot CSV record (exposed for checkpointing
+// targeted single-tuple sessions).
+std::string FormatSnapshotRow(const relational::Tuple& t);
+// Parses a snapshot CSV record against `schema`.
+[[nodiscard]] Result<relational::Tuple> ParseSnapshotRow(
+    const std::string& line, const relational::Schema& schema);
+
+// Ledger answers, the compacted-snapshot sidecar of the WAL:
+//
+//   consentdb-ledger 1
+//   answers <n>
+//   <var-id>,<0|1>               (n lines)
+//   end
+void SaveLedgerSnapshot(
+    const std::vector<std::pair<provenance::VarId, bool>>& answers,
+    std::ostream& out);
+std::string SaveLedgerSnapshot(
+    const std::vector<std::pair<provenance::VarId, bool>>& answers);
+
+[[nodiscard]] Result<std::vector<std::pair<provenance::VarId, bool>>>
+LoadLedgerSnapshot(std::istream& in);
+[[nodiscard]] Result<std::vector<std::pair<provenance::VarId, bool>>>
+LoadLedgerSnapshot(const std::string& text);
 
 }  // namespace consentdb::consent
 

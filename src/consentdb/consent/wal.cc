@@ -1,0 +1,337 @@
+#include "consentdb/consent/wal.h"
+
+#include <algorithm>
+
+#include "consentdb/consent/oracle.h"
+#include "consentdb/consent/snapshot.h"
+#include "consentdb/util/crc32.h"
+
+namespace consentdb::consent {
+
+namespace {
+
+constexpr char kWalMagic[] = "consentdb-wal 1\n";
+constexpr size_t kWalMagicLen = sizeof(kWalMagic) - 1;  // 16
+constexpr uint8_t kRecordAnswer = 1;
+constexpr size_t kAnswerPayloadLen = 1 + 1 + 8;  // type, answer, var id
+// Framing sanity bound: no legal payload comes close, so a length field
+// beyond it means the length bytes themselves are damaged.
+constexpr uint32_t kMaxPayloadLen = 1u << 20;
+
+void PutFixed32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+std::string EncodeAnswerRecord(VarId x, bool answer) {
+  std::string payload;
+  payload.reserve(kAnswerPayloadLen);
+  payload.push_back(static_cast<char>(kRecordAnswer));
+  payload.push_back(static_cast<char>(answer ? 1 : 0));
+  PutFixed64(&payload, static_cast<uint64_t>(x));
+
+  std::string record;
+  record.reserve(8 + payload.size());
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, Crc32(payload));
+  record += payload;
+  return record;
+}
+
+// Parses raw WAL bytes (magic included). Factored out of ReadWal so
+// WalWriter::Open can validate and heal an existing file from the same code.
+Result<WalReplay> ParseWal(const std::string& content,
+                           const std::string& path) {
+  WalReplay replay;
+  if (content.size() < kWalMagicLen) {
+    // A crash during the very first write can leave a prefix of the magic —
+    // including the zero-byte file of a crash between create and the header
+    // append; anything else is not a WAL. Either way the header is torn.
+    if (std::string_view(kWalMagic, content.size()) == content) {
+      replay.torn_tail = true;
+      replay.bytes_dropped = content.size();
+      return replay;
+    }
+    return Status::InvalidArgument("not a consentdb wal: " + path);
+  }
+  if (content.compare(0, kWalMagicLen, kWalMagic) != 0) {
+    return Status::InvalidArgument("not a consentdb wal: " + path);
+  }
+
+  size_t pos = kWalMagicLen;
+  while (pos < content.size()) {
+    const size_t remaining = content.size() - pos;
+    if (remaining < 8) {  // header cut mid-bytes
+      replay.torn_tail = true;
+      replay.bytes_dropped = remaining;
+      break;
+    }
+    const uint32_t payload_len = GetFixed32(content.data() + pos);
+    const uint32_t crc = GetFixed32(content.data() + pos + 4);
+    if (payload_len > kMaxPayloadLen) {
+      replay.corrupt_record = true;
+      replay.bytes_dropped = remaining;
+      break;
+    }
+    if (remaining - 8 < payload_len) {  // payload cut mid-bytes
+      replay.torn_tail = true;
+      replay.bytes_dropped = remaining;
+      break;
+    }
+    const std::string_view payload(content.data() + pos + 8, payload_len);
+    if (Crc32(payload) != crc) {
+      replay.corrupt_record = true;
+      replay.bytes_dropped = remaining;
+      break;
+    }
+    if (payload_len != kAnswerPayloadLen ||
+        static_cast<uint8_t>(payload[0]) != kRecordAnswer ||
+        static_cast<uint8_t>(payload[1]) > 1) {
+      // Checksum fine but contents unintelligible: treat as corruption, keep
+      // the prefix.
+      replay.corrupt_record = true;
+      replay.bytes_dropped = remaining;
+      break;
+    }
+    const bool answer = payload[1] != 0;
+    const VarId x = static_cast<VarId>(GetFixed64(payload.data() + 2));
+    replay.answers.emplace_back(x, answer);
+    ++replay.records;
+    pos += 8 + payload_len;
+  }
+  return replay;
+}
+
+std::string EncodeWal(const std::vector<std::pair<VarId, bool>>& answers) {
+  std::string out(kWalMagic, kWalMagicLen);
+  for (const auto& [x, answer] : answers) out += EncodeAnswerRecord(x, answer);
+  return out;
+}
+
+// tmp + fsync + atomic rename: the canonical crash-safe full-file replace.
+Status WriteFileAtomically(Env* env, const std::string& path,
+                           std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  CONSENTDB_RETURN_IF_ERROR(env->WriteStringToFile(tmp, data, /*sync=*/true));
+  return env->RenameFile(tmp, path);
+}
+
+}  // namespace
+
+std::string WalSnapshotPath(const std::string& wal_path) {
+  return wal_path + ".snap";
+}
+
+WalWriter::WalWriter(Env* env, std::string path, WalOptions options)
+    : env_(env),
+      path_(std::move(path)),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : RealClock()) {}
+
+WalWriter::~WalWriter() {
+  MutexLock lock(mu_);
+  if (file_ != nullptr) {
+    // Best effort only — and never throw: the destructor commonly runs
+    // while unwinding a CrashInjected, where the env rejects all further
+    // I/O by throwing again. Letting that escape would terminate().
+    try {
+      CONSENTDB_IGNORE_STATUS(SyncLocked());
+      CONSENTDB_IGNORE_STATUS(file_->Close());
+    } catch (const CrashInjected&) {
+      // Process is "dead"; whatever was unsynced is lost, by design.
+    }
+  }
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
+                                                   WalOptions options) {
+  std::unique_ptr<WalWriter> writer(new WalWriter(env, std::move(path), options));
+  MutexLock lock(writer->mu_);
+  if (env->FileExists(writer->path_)) {
+    // Heal a damaged tail before appending after it.
+    CONSENTDB_ASSIGN_OR_RETURN(std::string content,
+                               env->ReadFileToString(writer->path_));
+    CONSENTDB_ASSIGN_OR_RETURN(WalReplay replay,
+                               ParseWal(content, writer->path_));
+    if (replay.torn_tail || replay.corrupt_record ||
+        content.size() < kWalMagicLen) {
+      CONSENTDB_RETURN_IF_ERROR(
+          WriteFileAtomically(env, writer->path_, EncodeWal(replay.answers)));
+    }
+    CONSENTDB_ASSIGN_OR_RETURN(writer->file_,
+                               env->NewWritableFile(writer->path_, true));
+  } else {
+    CONSENTDB_ASSIGN_OR_RETURN(writer->file_,
+                               env->NewWritableFile(writer->path_, false));
+    CONSENTDB_RETURN_IF_ERROR(
+        writer->file_->Append(std::string_view(kWalMagic, kWalMagicLen)));
+    CONSENTDB_RETURN_IF_ERROR(writer->file_->Sync());
+  }
+  writer->last_sync_nanos_ = writer->clock_->NowNanos();
+  return writer;
+}
+
+Status WalWriter::AppendAnswer(VarId x, bool answer) {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("wal is closed: " + path_);
+  }
+  const std::string record = EncodeAnswerRecord(x, answer);
+  CONSENTDB_RETURN_IF_ERROR(file_->Append(record));
+  ++records_;
+  ++pending_;
+  obs::Increment(options_.metrics, "wal.appends");
+  obs::Increment(options_.metrics, "wal.bytes", record.size());
+  if (options_.group_commit_window_nanos <= 0 ||
+      clock_->NowNanos() - last_sync_nanos_ >=
+          options_.group_commit_window_nanos) {
+    CONSENTDB_RETURN_IF_ERROR(SyncLocked());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("wal is closed: " + path_);
+  }
+  return SyncLocked();
+}
+
+Status WalWriter::SyncLocked() {
+  if (pending_ == 0) {
+    last_sync_nanos_ = clock_->NowNanos();
+    return Status::OK();
+  }
+  CONSENTDB_RETURN_IF_ERROR(file_->Sync());
+  obs::Increment(options_.metrics, "wal.syncs");
+  if (options_.metrics != nullptr) {
+    options_.metrics->GetHistogram("wal.batch_records", obs::WalBatchBuckets())
+        ->Observe(pending_);
+  }
+  pending_ = 0;
+  ++syncs_;
+  last_sync_nanos_ = clock_->NowNanos();
+  return Status::OK();
+}
+
+Status WalWriter::CompactTo(
+    const std::vector<std::pair<VarId, bool>>& answers) {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("wal is closed: " + path_);
+  }
+  // Step 1: the snapshot sidecar gets the full answer set. After its rename
+  // lands, the old WAL records are redundant (replay over the snapshot is
+  // idempotent), so a crash anywhere past this point loses nothing.
+  CONSENTDB_RETURN_IF_ERROR(SyncLocked());
+  CONSENTDB_RETURN_IF_ERROR(WriteFileAtomically(
+      env_, WalSnapshotPath(path_), SaveLedgerSnapshot(answers)));
+  // Step 2: reset the WAL to empty and reopen the append handle.
+  CONSENTDB_RETURN_IF_ERROR(file_->Close());
+  file_ = nullptr;
+  CONSENTDB_RETURN_IF_ERROR(WriteFileAtomically(
+      env_, path_, std::string_view(kWalMagic, kWalMagicLen)));
+  CONSENTDB_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path_, true));
+  ++compactions_;
+  obs::Increment(options_.metrics, "wal.compactions");
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  MutexLock lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  CONSENTDB_RETURN_IF_ERROR(SyncLocked());
+  Status s = file_->Close();
+  file_ = nullptr;
+  return s;
+}
+
+uint64_t WalWriter::records_appended() const {
+  MutexLock lock(mu_);
+  return records_;
+}
+
+uint64_t WalWriter::pending_records() const {
+  MutexLock lock(mu_);
+  return pending_;
+}
+
+uint64_t WalWriter::syncs() const {
+  MutexLock lock(mu_);
+  return syncs_;
+}
+
+uint64_t WalWriter::compactions() const {
+  MutexLock lock(mu_);
+  return compactions_;
+}
+
+Result<WalReplay> ReadWal(Env* env, const std::string& path) {
+  CONSENTDB_ASSIGN_OR_RETURN(std::string content, env->ReadFileToString(path));
+  return ParseWal(content, path);
+}
+
+Result<RecoveryStats> RecoverLedger(Env* env, const std::string& wal_path,
+                                    ConsentLedger* ledger,
+                                    obs::MetricsRegistry* metrics,
+                                    Clock* clock) {
+  if (clock == nullptr) clock = RealClock();
+  const int64_t start_nanos = clock->NowNanos();
+  RecoveryStats stats;
+
+  using AnswerVec = std::vector<std::pair<VarId, bool>>;
+  const std::string snap_path = WalSnapshotPath(wal_path);
+  if (env->FileExists(snap_path)) {
+    CONSENTDB_ASSIGN_OR_RETURN(std::string text,
+                               env->ReadFileToString(snap_path));
+    CONSENTDB_ASSIGN_OR_RETURN(AnswerVec answers, LoadLedgerSnapshot(text));
+    for (const auto& [x, answer] : answers) {
+      CONSENTDB_RETURN_IF_ERROR(ledger->RestoreAnswer(x, answer));
+    }
+    stats.snapshot_answers = answers.size();
+  }
+
+  if (env->FileExists(wal_path)) {
+    CONSENTDB_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(env, wal_path));
+    for (const auto& [x, answer] : replay.answers) {
+      CONSENTDB_RETURN_IF_ERROR(ledger->RestoreAnswer(x, answer));
+    }
+    stats.wal_records = replay.records;
+    stats.torn_tail = replay.torn_tail;
+    stats.corrupt_record = replay.corrupt_record;
+    stats.bytes_dropped = replay.bytes_dropped;
+  }
+
+  stats.recovered_answers = ledger->size();
+  stats.replay_nanos = clock->NowNanos() - start_nanos;
+
+  obs::Increment(metrics, "recovery.replays");
+  obs::Increment(metrics, "recovery.replayed_records", stats.wal_records);
+  obs::Increment(metrics, "recovery.snapshot_answers", stats.snapshot_answers);
+  obs::Increment(metrics, "recovery.recovered_answers",
+                 stats.recovered_answers);
+  if (stats.torn_tail) obs::Increment(metrics, "recovery.torn_tails");
+  if (stats.corrupt_record) obs::Increment(metrics, "recovery.corrupt_records");
+  obs::Observe(metrics, "recovery.replay_ns",
+               static_cast<uint64_t>(
+                   std::max<int64_t>(0, stats.replay_nanos)));
+  return stats;
+}
+
+}  // namespace consentdb::consent

@@ -305,6 +305,15 @@ Result<PreparedSession> ConsentManager::PrepareResolved(
 Result<SessionReport> ConsentManager::FinishSession(
     const PreparedSession& prepared, ProbeOracle& oracle,
     const SessionOptions& options, int64_t session_start) const {
+  if (options.ledger != nullptr) {
+    // Durability/resume: interpose the ledger between the probe loop and
+    // the oracle. Journaled answers replay without peer traffic; the rest
+    // of the session is oblivious (a ledger hit is a probe like any other).
+    consent::LedgerOracle ledger_oracle(*options.ledger, oracle);
+    SessionOptions inner = options;
+    inner.ledger = nullptr;
+    return FinishSession(prepared, ledger_oracle, inner, session_start);
+  }
   obs::MetricsRegistry* metrics = options.metrics;
   const ProvenanceProfile& profile = prepared.provenance;
   std::vector<double> pi = sdb_.pool().Probabilities();

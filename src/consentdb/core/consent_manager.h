@@ -103,6 +103,16 @@ struct SessionOptions {
   // Time source for backoff sleeps and deadlines; null = the real clock.
   // Tests inject a VirtualClock so no wall-clock time ever passes.
   Clock* clock = nullptr;
+
+  // Opt-in durability/resume: when set, every probe of the session routes
+  // through this ledger (first touch forwards to the oracle, repeats answer
+  // from the ledger; see ConsentLedger). A ledger recovered from its WAL
+  // answers every previously journaled variable without peer traffic —
+  // that is how a resumed session avoids duplicate probes — while ledger
+  // hits still count as session probes (the paper's cost model), so the
+  // resumed report is byte-identical to the uninterrupted one. Leave null
+  // inside SessionEngine: the engine wires its own shared ledger.
+  consent::ConsentLedger* ledger = nullptr;
 };
 
 // Shareability verdict for one output tuple.

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "consentdb/consent/snapshot.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/util/check.h"
 
@@ -19,45 +20,6 @@ size_t ResolveThreads(size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
-// Per-session view of the shared ledger: satisfies the ProbeOracle
-// interface the probing loop expects while deduplicating oracle traffic
-// engine-wide. probe_count() is this session's call count, mirroring how
-// each session pays for its own probes in the paper's cost model.
-class LedgerOracle : public ProbeOracle {
- public:
-  LedgerOracle(consent::ConsentLedger& ledger, ProbeOracle& backing)
-      : ledger_(ledger), backing_(backing) {}
-
-  bool Probe(VarId x) override {
-    ++asked_;
-    bool from_ledger = false;
-    bool answer = ledger_.ProbeVia(backing_, x, &from_ledger);
-    if (from_ledger) ++ledger_hits_;
-    return answer;
-  }
-  consent::ProbeAttempt TryProbe(VarId x) override {
-    bool from_ledger = false;
-    consent::ProbeAttempt attempt =
-        ledger_.TryProbeVia(backing_, x, &from_ledger);
-    // Faulted attempts leave no trace in the ledger and are not charged to
-    // this session: only an answer counts as a probe, so retries reach the
-    // peer again instead of replaying the failure.
-    if (attempt.ok()) {
-      ++asked_;
-      if (from_ledger) ++ledger_hits_;
-    }
-    return attempt;
-  }
-  size_t probe_count() const override { return asked_; }
-  uint64_t ledger_hits() const { return ledger_hits_; }
-
- private:
-  consent::ConsentLedger& ledger_;
-  ProbeOracle& backing_;
-  size_t asked_ = 0;
-  uint64_t ledger_hits_ = 0;
-};
-
 }  // namespace
 
 SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
@@ -71,6 +33,16 @@ SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
   CONSENTDB_CHECK(options_.session.tracer == nullptr,
                   "EngineOptions::session.tracer must be null; use "
                   "SessionRequest::tracer for per-session tracing");
+  CONSENTDB_CHECK(options_.session.ledger == nullptr,
+                  "EngineOptions::session.ledger must be null; the engine "
+                  "wires its own shared ledger");
+  if (options_.wal != nullptr) {
+    CONSENTDB_CHECK(options_.share_consent_ledger,
+                    "EngineOptions::wal requires share_consent_ledger: an "
+                    "unshared probe path never reaches the ledger, so "
+                    "nothing would be journaled");
+    ledger_.AttachJournal(options_.wal, options_.wal_compact_every_records);
+  }
 }
 
 Result<SessionEngine::PlanEntry> SessionEngine::ResolvePlan(
@@ -162,7 +134,7 @@ Result<SessionReport> SessionEngine::RunOne(const SessionRequest& request) {
       ResolvePrepared(request, entry, options, version));
 
   if (options_.share_consent_ledger) {
-    LedgerOracle oracle(ledger_, *request.oracle);
+    consent::LedgerOracle oracle(ledger_, *request.oracle);
     Result<SessionReport> report =
         manager_.RunPrepared(*prepared, oracle, options);
     obs::Increment(metrics, "engine.ledger.hit", oracle.ledger_hits());
@@ -176,18 +148,43 @@ std::future<Result<SessionReport>> SessionEngine::Submit(
   obs::MetricsRegistry* metrics = options_.session.metrics;
   auto promise = std::make_shared<std::promise<Result<SessionReport>>>();
   std::future<Result<SessionReport>> future = promise->get_future();
+  // Register resumable (SQL-submitted) sessions before they can start: a
+  // checkpoint taken at any instant lists every session whose report has
+  // not been produced yet. Plan-only requests have no serializable spec.
+  uint64_t pending_id = 0;
+  bool registered = false;
+  if (!request.sql.empty() && request.plan == nullptr) {
+    CheckpointedSession spec;
+    spec.sql = request.sql;
+    if (request.single.has_value()) {
+      spec.single_csv = consent::FormatSnapshotRow(*request.single);
+    }
+    MutexLock lock(chk_mu_);
+    pending_id = next_pending_id_++;
+    pending_.emplace(pending_id, std::move(spec));
+    registered = true;
+  }
   // Audited for -Wthread-safety: the queue-depth and in-flight gauges are
   // sampled outside any engine lock on purpose. in_flight_ is an atomic,
   // pool_.queue_depth() locks internally, and Gauge::Set is last-write-wins
   // — concurrent writers can interleave stale samples, which is benign for
   // an instantaneous telemetry gauge (never read back by the engine).
-  pool_.Submit([this, promise, request = std::move(request), metrics] {
+  pool_.Submit([this, promise, request = std::move(request), metrics,
+                pending_id, registered] {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     obs::SetGauge(metrics, "engine.sessions_in_flight",
                   static_cast<double>(sessions_in_flight()));
     obs::SetGauge(metrics, "engine.queue_depth",
                   static_cast<double>(pool_.queue_depth()));
     Result<SessionReport> result = RunOne(request);
+    // Deregister once the report exists (even an error report): the session
+    // no longer needs resuming. A crash anywhere before this line leaves it
+    // in the checkpoint. (A CrashInjected exception from a journaling WAL
+    // deliberately skips this — it models the process dying.)
+    if (registered) {
+      MutexLock lock(chk_mu_);
+      pending_.erase(pending_id);
+    }
     // The in-flight count drops before the future is fulfilled, so a
     // caller returning from get() never sees its own session in flight.
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
@@ -224,6 +221,29 @@ SessionEngine::CacheStats SessionEngine::cache_stats() const {
   stats.plan_entries = plan_cache_.size();
   stats.provenance_entries = prov_cache_.size();
   return stats;
+}
+
+Status SessionEngine::SaveCheckpoint(Env* env, const std::string& path) {
+  return WriteCheckpoint(env, path, sdb_, ledger_.Answers(),
+                         pending_sessions());
+}
+
+Status SessionEngine::RestoreLedger(
+    const std::vector<std::pair<VarId, bool>>& answers) {
+  for (const auto& [x, answer] : answers) {
+    CONSENTDB_RETURN_IF_ERROR(ledger_.RestoreAnswer(x, answer));
+  }
+  return Status::OK();
+}
+
+std::vector<CheckpointedSession> SessionEngine::pending_sessions() const {
+  MutexLock lock(chk_mu_);
+  std::vector<CheckpointedSession> specs;
+  specs.reserve(pending_.size());
+  for (const auto& [id, spec] : pending_) {
+    specs.push_back(spec);
+  }
+  return specs;
 }
 
 void SessionEngine::InvalidateCaches() {

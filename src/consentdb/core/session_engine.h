@@ -34,14 +34,19 @@
 
 #include <atomic>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "consentdb/consent/oracle.h"
+#include "consentdb/consent/wal.h"
+#include "consentdb/core/checkpoint.h"
 #include "consentdb/core/consent_manager.h"
+#include "consentdb/util/io.h"
 #include "consentdb/util/lru_cache.h"
+#include "consentdb/util/thread_annotations.h"
 #include "consentdb/util/thread_pool.h"
 
 namespace consentdb::core {
@@ -54,10 +59,19 @@ struct EngineOptions {
   // Share one consent ledger across all sessions of this engine. Turn off
   // to give every request raw, unmemoized access to its own oracle.
   bool share_consent_ledger = true;
+  // Durability: journal every answer the shared ledger records to this WAL
+  // (see consent/wal.h). Requires share_consent_ledger — an unshared probe
+  // path never reaches the ledger, so nothing would be journaled. The WAL
+  // must outlive the engine.
+  consent::WalWriter* wal = nullptr;
+  // With a WAL attached: compact the journal into its snapshot sidecar
+  // every this-many journaled answers (0 = never auto-compact).
+  uint64_t wal_compact_every_records = 0;
   // Base options for every session. `tracer` must stay null here — a
   // tracer is per-session state; attach per-request tracers through
-  // SessionRequest instead. `metrics` may be set: the registry is
-  // thread-safe and additionally receives the engine.* instruments below.
+  // SessionRequest instead (`ledger` likewise: the engine wires its own
+  // shared ledger). `metrics` may be set: the registry is thread-safe and
+  // additionally receives the engine.* instruments below.
   SessionOptions session;
 };
 
@@ -111,6 +125,24 @@ class SessionEngine {
   };
   CacheStats cache_stats() const;
 
+  // --- Durability / crash recovery -----------------------------------------
+
+  // Writes a checkpoint from which a fresh engine can resume: the database
+  // snapshot, every ledger answer, and the spec of every in-flight
+  // SQL-submitted session (plan-only requests are not resumable and are
+  // skipped). Call from outside the worker pool; sessions may keep running
+  // meanwhile — the checkpoint is simply a consistent cut of the ledger.
+  [[nodiscard]] Status SaveCheckpoint(Env* env, const std::string& path);
+
+  // Seeds the shared ledger with answers recovered from a checkpoint or a
+  // WAL replay (ids must already be remapped to this database's pool; see
+  // ReadCheckpoint). Observationally silent: no metrics, no oracle calls.
+  [[nodiscard]] Status RestoreLedger(
+      const std::vector<std::pair<provenance::VarId, bool>>& answers);
+
+  // Specs of the in-flight resumable sessions, registration order.
+  std::vector<CheckpointedSession> pending_sessions() const EXCLUDES(chk_mu_);
+
   const consent::ConsentLedger& ledger() const { return ledger_; }
 
   size_t num_threads() const { return pool_.num_threads(); }
@@ -161,6 +193,13 @@ class SessionEngine {
   LruCache<ProvKey, std::shared_ptr<const PreparedSession>, ProvKeyHash>
       prov_cache_;
   consent::ConsentLedger ledger_;
+  // In-flight resumable sessions, keyed by a registration id: entered at
+  // Submit, erased when the session's RunOne returns (even on error). What
+  // a checkpoint captures mid-crash is exactly the sessions whose futures
+  // never resolved.
+  mutable Mutex chk_mu_;
+  std::map<uint64_t, CheckpointedSession> pending_ GUARDED_BY(chk_mu_);
+  uint64_t next_pending_id_ GUARDED_BY(chk_mu_) = 0;
   std::atomic<uint64_t> plan_hits_{0};
   std::atomic<uint64_t> plan_misses_{0};
   std::atomic<uint64_t> prov_hits_{0};

@@ -192,6 +192,16 @@ inline const std::vector<uint64_t>& RetryBackoffBuckets() {
   return buckets;
 }
 
+// Shared bucket ladder for WAL group-commit batch sizes ("wal.batch_records"):
+// records made durable per fsync. Power-of-two steps from 1 (sync-every-
+// record, the window=0 default) to 256 (a generous upper bound for one
+// group-commit window under heavy concurrent probing).
+inline const std::vector<uint64_t>& WalBatchBuckets() {
+  static const std::vector<uint64_t> buckets = {1, 2, 4, 8, 16, 32, 64, 128,
+                                                256};
+  return buckets;
+}
+
 // --- Null-sink helpers: every call is a no-op when `m` is nullptr. ----------
 
 inline void Increment(MetricsRegistry* m, const char* name,

@@ -1,0 +1,254 @@
+// core/checkpoint + SessionEngine save/resume: a checkpoint roundtrips the
+// database, the ledger (with variable ids remapped through the snapshot),
+// and the in-flight session specs; an engine resumed from it re-runs those
+// sessions to byte-identical reports without re-probing journaled
+// variables.
+
+#include "consentdb/core/checkpoint.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consentdb/consent/oracle.h"
+#include "consentdb/consent/snapshot.h"
+#include "consentdb/core/session_engine.h"
+#include "consentdb/util/io.h"
+#include "gtest/gtest.h"
+#include "test_fixtures.h"
+
+namespace consentdb::core {
+namespace {
+
+using consent::ConsentLedger;
+using consent::SharedDatabase;
+using consent::ValuationOracle;
+using provenance::VarId;
+using relational::Tuple;
+using relational::Value;
+
+using AnswerVec = std::vector<std::pair<VarId, bool>>;
+
+TEST(CheckpointTest, RoundtripsDatabaseLedgerAndSessions) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  AnswerVec answers = {{0, true}, {3, false}, {5, true}};
+  std::vector<CheckpointedSession> sessions;
+  sessions.push_back({testing::RecruitmentQuerySql(), std::nullopt});
+  sessions.push_back({"SELECT name FROM Companies",
+                      std::optional<std::string>("'PennSolarExperts Ltd.'")});
+
+  ASSERT_TRUE(
+      WriteCheckpoint(&env, "state.ckpt", sdb, answers, sessions).ok());
+  Result<RestoredCheckpoint> restored = ReadCheckpoint(&env, "state.ckpt");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  // The database roundtrips exactly (snapshot text is canonical).
+  EXPECT_EQ(consent::SaveSnapshot(restored.value().sdb),
+            consent::SaveSnapshot(sdb));
+  // Ledger answers land on the rebuilt pool's ids with answers intact.
+  // LoadSnapshot recreates variables in stored-id order, so for a
+  // SaveSnapshot-produced section the mapping is the identity — which is
+  // what keeps a resumed session probing in the pre-crash order.
+  EXPECT_EQ(restored.value().ledger_answers, answers);
+  ASSERT_EQ(restored.value().sessions.size(), 2u);
+  EXPECT_EQ(restored.value().sessions[0].sql, testing::RecruitmentQuerySql());
+  EXPECT_FALSE(restored.value().sessions[0].single_csv.has_value());
+  EXPECT_EQ(restored.value().sessions[1].single_csv,
+            std::optional<std::string>("'PennSolarExperts Ltd.'"));
+}
+
+TEST(CheckpointTest, RejectsMultilineSql) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  std::vector<CheckpointedSession> sessions = {{"SELECT *\nFROM T", {}}};
+  EXPECT_EQ(WriteCheckpoint(&env, "x.ckpt", sdb, {}, sessions).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsLedgerAnswerForUnknownVariable) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  const VarId bogus = static_cast<VarId>(sdb.pool().size() + 100);
+  ASSERT_TRUE(
+      WriteCheckpoint(&env, "x.ckpt", sdb, {{bogus, true}}, {}).ok());
+  EXPECT_EQ(ReadCheckpoint(&env, "x.ckpt").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CheckpointTest, RejectsTruncatedAndForeignFiles) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  ASSERT_TRUE(WriteCheckpoint(&env, "x.ckpt", sdb, {{1, true}}, {}).ok());
+  Result<std::string> full = env.ReadFileToString("x.ckpt");
+  ASSERT_TRUE(full.ok());
+  // Any strict prefix must be rejected, never half-restored.
+  for (size_t cut : {size_t{0}, size_t{10}, full.value().size() / 2,
+                     full.value().size() - 1}) {
+    ASSERT_TRUE(
+        env.WriteStringToFile("cut.ckpt", full.value().substr(0, cut), false)
+            .ok());
+    EXPECT_FALSE(ReadCheckpoint(&env, "cut.ckpt").ok()) << "cut at " << cut;
+  }
+  ASSERT_TRUE(env.WriteStringToFile("junk.ckpt", "not a checkpoint", false)
+                  .ok());
+  EXPECT_FALSE(ReadCheckpoint(&env, "junk.ckpt").ok());
+}
+
+TEST(CheckpointTest, WriteIsAtomicUnderCrashes) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  // Crash at every early append and sync of the re-write: afterwards the
+  // checkpoint under the final name is either the old one intact or the
+  // new one complete — never torn, never half-restored. (Plans placed past
+  // the ops the write performs simply never fire and yield the new one.)
+  bool saw_old = false;
+  bool saw_new = false;
+  for (bool at_sync : {false, true}) {
+    for (uint64_t crash_at = 1; crash_at <= 3; ++crash_at) {
+      CrashingEnv env;
+      ASSERT_TRUE(
+          WriteCheckpoint(&env, "state.ckpt", sdb, {{0, true}}, {}).ok());
+      CrashPlan plan;
+      if (at_sync) {
+        plan.crash_at_sync = crash_at;
+      } else {
+        plan.crash_at_append = crash_at;
+      }
+      plan.power_loss = true;
+      env.set_plan(plan);
+      bool crashed = false;
+      try {
+        Status status =
+            WriteCheckpoint(&env, "state.ckpt", sdb, {{0, false}}, {});
+        (void)status;
+      } catch (const CrashInjected&) {
+        crashed = true;
+      }
+      env.Restart();
+      Result<RestoredCheckpoint> restored =
+          ReadCheckpoint(&env, "state.ckpt");
+      ASSERT_TRUE(restored.ok())
+          << "crash_at=" << crash_at << " at_sync=" << at_sync << ": "
+          << restored.status().ToString();
+      const AnswerVec old_answers = {{0, true}};
+      const AnswerVec new_answers = {{0, false}};
+      if (restored.value().ledger_answers == old_answers) {
+        saw_old = true;
+        EXPECT_TRUE(crashed) << "old state without a crash?";
+      } else {
+        EXPECT_EQ(restored.value().ledger_answers, new_answers)
+            << "crash_at=" << crash_at << " at_sync=" << at_sync;
+        saw_new = true;
+      }
+    }
+  }
+  // The schedule grid must hit both outcomes, or it proves nothing.
+  EXPECT_TRUE(saw_old);
+  EXPECT_TRUE(saw_new);
+}
+
+// The end-to-end resume story: an engine checkpoints mid-workload; a second
+// engine restores the checkpoint and re-runs the pending sessions. Reports
+// are byte-identical and journaled variables never reach the peers again.
+TEST(CheckpointTest, EngineSaveResumeIsExactAndProbeFree) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  provenance::PartialValuation hidden;
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    hidden.Set(x, x % 3 != 1);
+  }
+
+  // Uninterrupted run: the ground-truth report.
+  std::string baseline_json;
+  {
+    core::EngineOptions options;
+    options.num_threads = 1;
+    SessionEngine engine(sdb, options);
+    ValuationOracle oracle(hidden);
+    SessionRequest request;
+    request.sql = testing::RecruitmentQuerySql();
+    request.oracle = &oracle;
+    Result<SessionReport> report = engine.Submit(std::move(request)).get();
+    ASSERT_TRUE(report.ok());
+    baseline_json = report.value().ToJson();
+  }
+
+  // First engine: run the same session to completion (populating the
+  // ledger), then checkpoint with the session re-registered as pending —
+  // the state a crash right before deregistration would leave.
+  {
+    core::EngineOptions options;
+    options.num_threads = 1;
+    SessionEngine engine(sdb, options);
+    ValuationOracle oracle(hidden);
+    SessionRequest request;
+    request.sql = testing::RecruitmentQuerySql();
+    request.oracle = &oracle;
+    ASSERT_TRUE(engine.Submit(std::move(request)).get().ok());
+    ASSERT_TRUE(WriteCheckpoint(&env, "engine.ckpt", sdb,
+                                engine.ledger().Answers(),
+                                {{testing::RecruitmentQuerySql(), {}}})
+                    .ok());
+  }
+
+  // Second engine: restore and resume.
+  Result<RestoredCheckpoint> restored = ReadCheckpoint(&env, "engine.ckpt");
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().sessions.size(), 1u);
+  {
+    core::EngineOptions options;
+    options.num_threads = 1;
+    SessionEngine engine(restored.value().sdb, options);
+    ASSERT_TRUE(engine.RestoreLedger(restored.value().ledger_answers).ok());
+
+    ValuationOracle oracle(hidden);
+    SessionRequest request;
+    request.sql = restored.value().sessions[0].sql;
+    request.oracle = &oracle;
+    Result<SessionReport> report = engine.Submit(std::move(request)).get();
+    ASSERT_TRUE(report.ok());
+    // Byte-identical to the uninterrupted run...
+    EXPECT_EQ(report.value().ToJson(), baseline_json);
+    // ...and no probe reached the peers: every variable was journaled.
+    EXPECT_EQ(oracle.probe_count(), 0u);
+  }
+}
+
+TEST(CheckpointTest, EnginePendingSessionsTrackInFlightWork) {
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::EngineOptions options;
+  options.num_threads = 1;
+  SessionEngine engine(sdb, options);
+  EXPECT_TRUE(engine.pending_sessions().empty());
+
+  provenance::PartialValuation hidden;
+  for (VarId x = 0; x < sdb.pool().size(); ++x) hidden.Set(x, true);
+  ValuationOracle oracle(hidden);
+  SessionRequest request;
+  request.sql = testing::RecruitmentQuerySql();
+  request.oracle = &oracle;
+  ASSERT_TRUE(engine.Submit(std::move(request)).get().ok());
+  // Completed sessions are deregistered.
+  EXPECT_TRUE(engine.pending_sessions().empty());
+}
+
+TEST(CheckpointTest, EngineSaveCheckpointRoundtrips) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::EngineOptions options;
+  options.num_threads = 1;
+  SessionEngine engine(sdb, options);
+  ASSERT_TRUE(engine.RestoreLedger({{0, true}, {2, false}}).ok());
+  ASSERT_TRUE(engine.SaveCheckpoint(&env, "engine.ckpt").ok());
+
+  Result<RestoredCheckpoint> restored = ReadCheckpoint(&env, "engine.ckpt");
+  ASSERT_TRUE(restored.ok());
+  AnswerVec expected = {{0, true}, {2, false}};
+  EXPECT_EQ(restored.value().ledger_answers, expected);
+  EXPECT_EQ(consent::SaveSnapshot(restored.value().sdb),
+            consent::SaveSnapshot(sdb));
+}
+
+}  // namespace
+}  // namespace consentdb::core

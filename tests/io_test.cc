@@ -1,0 +1,227 @@
+// util/io: the POSIX Env, the CRC32 implementation, and — most importantly —
+// the CrashingEnv, whose durability semantics (page cache vs platter, torn
+// writes, dead-process handles) the whole crash-recovery harness stands on.
+
+#include "consentdb/util/io.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "consentdb/util/crc32.h"
+#include "gtest/gtest.h"
+
+namespace consentdb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "consentdb_io_" + name;
+}
+
+TEST(Crc32Test, CheckValue) {
+  // The CRC-32/ISO-HDLC check value: crc32("123456789").
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyAndIncremental) {
+  EXPECT_EQ(Crc32(""), 0u);
+  // Extending in pieces equals hashing the concatenation.
+  uint32_t piecewise = ExtendCrc32(ExtendCrc32(0, "1234"), "56789");
+  EXPECT_EQ(piecewise, Crc32("123456789"));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "consent answer payload";
+  uint32_t clean = Crc32(data);
+  for (size_t i = 0; i < data.size() * 8; ++i) {
+    std::string mutated = data;
+    mutated[i / 8] = static_cast<char>(mutated[i / 8] ^ (1 << (i % 8)));
+    EXPECT_NE(Crc32(mutated), clean) << "bit " << i;
+  }
+}
+
+TEST(PosixEnvTest, WriteReadRoundtrip) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("roundtrip");
+  ASSERT_TRUE(env->WriteStringToFile(path, "hello", true).ok());
+  Result<std::string> read = env->ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "hello");
+  ASSERT_TRUE(env->WriteStringToFile(path, std::string("a\0b", 3), false).ok());
+  read = env->ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), std::string("a\0b", 3));  // binary-safe
+  EXPECT_TRUE(env->FileExists(path));
+  ASSERT_TRUE(env->RemoveFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(PosixEnvTest, MissingFileIsNotFound) {
+  Env* env = Env::Default();
+  const std::string path = TempPath("never_created");
+  EXPECT_EQ(env->ReadFileToString(path).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(env->RemoveFile(path).code(), StatusCode::kNotFound);
+}
+
+TEST(PosixEnvTest, AppendModeAndRename) {
+  Env* env = Env::Default();
+  const std::string a = TempPath("rename_a");
+  const std::string b = TempPath("rename_b");
+  ASSERT_TRUE(env->WriteStringToFile(a, "one", false).ok());
+  {
+    Result<std::unique_ptr<WritableFile>> file = env->NewWritableFile(a, true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE(file.value()->Append("+two").ok());
+    ASSERT_TRUE(file.value()->Sync().ok());
+    ASSERT_TRUE(file.value()->Close().ok());
+  }
+  ASSERT_TRUE(env->RenameFile(a, b).ok());
+  EXPECT_FALSE(env->FileExists(a));
+  Result<std::string> read = env->ReadFileToString(b);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "one+two");
+  ASSERT_TRUE(env->RemoveFile(b).ok());
+}
+
+// --- CrashingEnv ------------------------------------------------------------
+
+TEST(CrashingEnvTest, ActsLikeAFilesystemWithoutAPlan) {
+  CrashingEnv env;
+  ASSERT_TRUE(env.WriteStringToFile("f", "abc", false).ok());
+  EXPECT_TRUE(env.FileExists("f"));
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "abc");
+  ASSERT_TRUE(env.RenameFile("f", "g").ok());
+  EXPECT_FALSE(env.FileExists("f"));
+  EXPECT_EQ(env.ReadFileToString("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CrashingEnvTest, KillAtAppendKeepsPageCache) {
+  CrashingEnv env;
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("one").ok());  // unsynced, in page cache
+
+  CrashPlan plan;
+  plan.crash_at_append = 1;  // counts restart at set_plan
+  env.set_plan(plan);
+  EXPECT_THROW((void)file.value()->Append("two"), CrashInjected);
+  EXPECT_TRUE(env.crashed());
+  // Dead process: every further op throws until Restart.
+  EXPECT_THROW((void)env.ReadFileToString("f"), CrashInjected);
+  EXPECT_THROW((void)env.FileExists("f"), CrashInjected);
+
+  env.Restart();
+  // A kill keeps the page cache: "one" survives, none of "two" does.
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "one");
+}
+
+TEST(CrashingEnvTest, TornBytesOfFatalAppendSurviveAKill) {
+  CrashingEnv env;
+  CrashPlan plan;
+  plan.crash_at_append = 2;
+  plan.torn_bytes = 2;
+  env.set_plan(plan);
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("head,").ok());
+  EXPECT_THROW((void)file.value()->Append("tail").ok(), CrashInjected);
+  env.Restart();
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "head,ta");  // prefix + 2 torn bytes
+}
+
+TEST(CrashingEnvTest, PowerLossDropsUnsyncedData) {
+  CrashingEnv env;
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("durable").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append("-volatile").ok());
+
+  CrashPlan plan;
+  plan.crash_at_append = 1;
+  plan.power_loss = true;
+  env.set_plan(plan);
+  EXPECT_THROW((void)file.value()->Append("x"), CrashInjected);
+  env.Restart();
+  // Power cut: only the fsynced prefix reaches the platter.
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "durable");
+}
+
+TEST(CrashingEnvTest, PowerLossTornBytesReachThePlatter) {
+  CrashingEnv env;
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("durable").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  ASSERT_TRUE(file.value()->Append("XYZ").ok());
+
+  CrashPlan plan;
+  plan.crash_at_sync = 1;
+  plan.power_loss = true;
+  plan.torn_bytes = 1;
+  env.set_plan(plan);
+  EXPECT_THROW((void)file.value()->Sync(), CrashInjected);
+  env.Restart();
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "durableX");  // synced prefix + 1 torn byte
+}
+
+TEST(CrashingEnvTest, CrashAtSyncDropsTheSync) {
+  CrashingEnv env;
+  CrashPlan plan;
+  plan.crash_at_sync = 1;
+  plan.power_loss = true;
+  env.set_plan(plan);
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("data").ok());
+  EXPECT_THROW((void)file.value()->Sync(), CrashInjected);
+  env.Restart();
+  // The fatal sync must NOT have made "data" durable.
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "");
+}
+
+TEST(CrashingEnvTest, StaleHandlesFailAfterRestart) {
+  CrashingEnv env;
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("a").ok());
+  env.Restart();  // clean restart, no crash
+  // The pre-restart handle belongs to the dead process image.
+  EXPECT_FALSE(file.value()->Append("b").ok());
+  Result<std::string> read = env.ReadFileToString("f");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "a");
+}
+
+TEST(CrashingEnvTest, CountersAndRearm) {
+  CrashingEnv env;
+  Result<std::unique_ptr<WritableFile>> file = env.NewWritableFile("f", false);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(file.value()->Append("a").ok());
+  ASSERT_TRUE(file.value()->Append("b").ok());
+  ASSERT_TRUE(file.value()->Sync().ok());
+  EXPECT_EQ(env.num_appends(), 2u);
+  EXPECT_EQ(env.num_syncs(), 1u);
+  CrashPlan plan;
+  plan.crash_at_append = 1;
+  env.set_plan(plan);  // counters reset; next append is the fatal one
+  EXPECT_EQ(env.num_appends(), 0u);
+  EXPECT_THROW((void)file.value()->Append("c"), CrashInjected);
+}
+
+}  // namespace
+}  // namespace consentdb
