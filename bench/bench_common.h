@@ -11,16 +11,26 @@
 //   CONSENTDB_EMIT_METRICS   when set (non-"0"), instrumented benches record
 //                            probe/decision telemetry and write a
 //                            <bench>_metrics.json sidecar next to their
-//                            stdout tables — the perf trajectory baseline
-//                            for future optimisation PRs
+//                            stdout tables
+//   CONSENTDB_BENCH_JSON     perf-trajectory sidecars: unset/"0" = off;
+//                            "1" = write BENCH_<name>.json into the working
+//                            directory; any other value = the directory to
+//                            write it into. scripts/bench_trajectory.py
+//                            runs the tracked benches with this set and
+//                            compares the sidecars against bench/baselines/
+//   CONSENTDB_GIT_REV        free-form revision stamp copied into the
+//                            sidecar (the trajectory runner fills it from
+//                            `git rev-parse`); "unknown" when unset
 
 #ifndef CONSENTDB_BENCH_BENCH_COMMON_H_
 #define CONSENTDB_BENCH_BENCH_COMMON_H_
 
+#include <ctime>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +40,7 @@
 #include "consentdb/strategy/expected_cost.h"
 #include "consentdb/strategy/strategies.h"
 #include "consentdb/util/io.h"
+#include "consentdb/util/json_writer.h"
 
 namespace consentdb::bench {
 
@@ -82,6 +93,124 @@ inline void EmitMetricsSidecar(const std::string& bench_name) {
   }
   std::cerr << "wrote metrics sidecar " << path << "\n";
 }
+
+// --- Perf-trajectory sidecars (CONSENTDB_BENCH_JSON) -------------------------
+
+// Directory for BENCH_<name>.json sidecars, or std::nullopt when disabled.
+// "1" selects the working directory (returned as "").
+inline std::optional<std::string> BenchJsonDir() {
+  const char* env = std::getenv("CONSENTDB_BENCH_JSON");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "0") == 0) {
+    return std::nullopt;
+  }
+  if (std::strcmp(env, "1") == 0) return std::string();
+  return std::string(env);
+}
+
+// Accumulates named scalar results for one bench binary and writes them as a
+// schema-versioned BENCH_<name>.json sidecar on Emit(). The sidecar is the
+// unit of comparison for scripts/bench_trajectory.py: every `results` entry
+// is a (name, value, unit) triple, and entries whose unit ends in "ns" (or
+// is "seconds") are treated as durations subject to regression thresholds.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "git_rev": "<CONSENTDB_GIT_REV or 'unknown'>",
+//     "reps_env": <CONSENTDB_BENCH_REPS or 0>,
+//     "scale": <CONSENTDB_BENCH_SCALE>,
+//     "wall_time_ns": <whole-process wall clock>,
+//     "cpu_time_ns": <whole-process CPU clock>,
+//     "results": [{"name": ..., "value": ..., "unit": ...}, ...],
+//     "metrics": {...ExportObservabilityJson...} | null
+//   }
+// "metrics" carries the CONSENTDB_EMIT_METRICS registry snapshot (probe
+// counts, cache hit rates, histograms with p50/p95/p99) when that toggle is
+// also on; null otherwise.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)),
+        start_wall_nanos_(obs::MonotonicNanos()),
+        start_cpu_(std::clock()) {}
+
+  void AddResult(const std::string& name, double value,
+                 const std::string& unit) {
+    results_.push_back({name, value, unit});
+  }
+
+  // Writes BENCH_<bench_name>.json into the CONSENTDB_BENCH_JSON directory.
+  // No-op (and no clock reads beyond construction) when the knob is off.
+  void Emit() const {
+    std::optional<std::string> dir = BenchJsonDir();
+    if (!dir.has_value()) return;
+    const int64_t wall_ns = obs::MonotonicNanos() - start_wall_nanos_;
+    const int64_t cpu_ns = static_cast<int64_t>(
+        static_cast<double>(std::clock() - start_cpu_) * 1e9 / CLOCKS_PER_SEC);
+    const char* rev = std::getenv("CONSENTDB_GIT_REV");
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema_version");
+    w.Int(1);
+    w.Key("bench");
+    w.String(bench_name_);
+    w.Key("git_rev");
+    w.String(rev != nullptr ? rev : "unknown");
+    w.Key("reps_env");
+    w.Uint(RepsFromEnv(0));
+    w.Key("scale");
+    w.Double(ScaleFromEnv());
+    w.Key("wall_time_ns");
+    w.Int(wall_ns);
+    w.Key("cpu_time_ns");
+    w.Int(cpu_ns);
+    w.Key("results");
+    w.BeginArray();
+    for (const Entry& e : results_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(e.name);
+      w.Key("value");
+      w.Double(e.value);
+      w.Key("unit");
+      w.String(e.unit);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("metrics");
+    obs::MetricsRegistry* metrics = MetricsSink();
+    if (metrics != nullptr) {
+      w.Raw(metrics->ExportJson());
+    } else {
+      w.Null();
+    }
+    w.EndObject();
+    std::string path = *dir;
+    if (!path.empty() && path.back() != '/') path += '/';
+    path += "BENCH_" + bench_name_ + ".json";
+    Status status = Env::Default()->WriteStringToFile(path, w.TakeString() + "\n",
+                                                      /*sync=*/false);
+    if (!status.ok()) {
+      std::cerr << "cannot write bench sidecar " << path << ": "
+                << status.ToString() << "\n";
+      return;
+    }
+    std::cerr << "wrote bench sidecar " << path << "\n";
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string bench_name_;
+  int64_t start_wall_nanos_;
+  std::clock_t start_cpu_;
+  std::vector<Entry> results_;
+};
 
 struct NamedStrategy {
   std::string name;

@@ -1,0 +1,62 @@
+// Perf-trajectory glue for the Google-Benchmark binaries: a console
+// reporter that additionally captures every per-iteration run into a
+// BenchReport, and a drop-in replacement for BENCHMARK_MAIN() that emits
+// the BENCH_<name>.json sidecar (see bench_common.h, CONSENTDB_BENCH_JSON).
+
+#ifndef CONSENTDB_BENCH_BENCH_GBENCH_JSON_H_
+#define CONSENTDB_BENCH_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace consentdb::bench {
+
+// Forwards to ConsoleReporter for stdout; records each non-aggregate,
+// non-errored run as two results — "<name>/real" and "<name>/cpu", both in
+// per-iteration nanoseconds — so sidecars stay comparable across
+// --benchmark_min_time settings.
+class SidecarReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SidecarReporter(BenchReport* report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      report_->AddResult(run.benchmark_name() + "/real",
+                         run.real_accumulated_time / iters * 1e9, "ns");
+      report_->AddResult(run.benchmark_name() + "/cpu",
+                         run.cpu_accumulated_time / iters * 1e9, "ns");
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchReport* report_;
+};
+
+// BENCHMARK_MAIN() body plus sidecar emission. Usage (instead of the macro):
+//   int main(int argc, char** argv) {
+//     return consentdb::bench::GbenchMainWithSidecar("time_next_probe",
+//                                                    argc, argv);
+//   }
+inline int GbenchMainWithSidecar(const std::string& bench_name, int argc,
+                                 char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BenchReport report(bench_name);
+  SidecarReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.Emit();
+  return 0;
+}
+
+}  // namespace consentdb::bench
+
+#endif  // CONSENTDB_BENCH_BENCH_GBENCH_JSON_H_

@@ -66,6 +66,7 @@ double Seconds(std::chrono::steady_clock::duration d) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ext_concurrent_sessions");
   const size_t rows = bench::Scaled(120);
   const size_t sessions = bench::Scaled(200);
   size_t threads = std::thread::hardware_concurrency();
@@ -165,6 +166,29 @@ int main() {
             << stats.plan_misses << " misses; provenance cache: "
             << stats.provenance_hits << " hits / " << stats.provenance_misses
             << " misses\n";
+
+  report.AddResult("sequential/wall", seq_s, "seconds");
+  report.AddResult("engine_warm/wall", eng_s, "seconds");
+  report.AddResult("sequential/probes", static_cast<double>(seq_probes),
+                   "probes");
+  report.AddResult("engine_warm/probes", static_cast<double>(engine_probes),
+                   "probes");
+  report.AddResult("engine_warm/speedup", seq_s / eng_s, "x");
+  const uint64_t plan_total = stats.plan_hits + stats.plan_misses;
+  const uint64_t prov_total = stats.provenance_hits + stats.provenance_misses;
+  if (plan_total > 0) {
+    report.AddResult("cache.plan/hit_rate",
+                     static_cast<double>(stats.plan_hits) /
+                         static_cast<double>(plan_total),
+                     "ratio");
+  }
+  if (prov_total > 0) {
+    report.AddResult("cache.prov/hit_rate",
+                     static_cast<double>(stats.provenance_hits) /
+                         static_cast<double>(prov_total),
+                     "ratio");
+  }
+  report.Emit();
   std::cout << "\nexpected shape: identical probe totals; with warm caches "
                "the engine skips\nparse/optimize/evaluate per session, so "
                "throughput rises well past the 3x target\neven before "

@@ -67,6 +67,7 @@ double Mean(size_t total, size_t n) {
 }  // namespace
 
 int main() {
+  bench::BenchReport report("ext_crash_recovery");
   // --- Part 1: kill/recover mid-session -----------------------------------
   const size_t rows = bench::Scaled(60);
   const size_t sessions = bench::Scaled(40);
@@ -243,8 +244,14 @@ int main() {
         compacted ? "snapshot+tail" : "full wal",
         {std::to_string(compacted ? tail_records : wal_records),
          std::to_string(replayed), bench::FormatMean(ms), rate.str()});
+
+    const std::string shape = compacted ? "snapshot_tail" : "full_wal";
+    report.AddResult("replay/" + shape + "/wall_ms", ms, "ms");
+    report.AddResult("replay/" + shape + "/records",
+                     static_cast<double>(replayed), "records");
   }
 
   bench::EmitMetricsSidecar("ext_crash_recovery");
+  report.Emit();
   return 0;
 }

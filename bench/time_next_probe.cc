@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
 #include "consentdb/datasets/psi.h"
 #include "consentdb/datasets/skewed.h"
 #include "consentdb/strategy/runner.h"
@@ -110,4 +111,7 @@ BENCHMARK(BM_PsiCnfConversion)->Arg(3)->Arg(5)->Arg(6);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return consentdb::bench::GbenchMainWithSidecar("time_next_probe", argc,
+                                                 argv);
+}

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_gbench_json.h"
 #include "consentdb/eval/evaluate.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/query/parser.h"
@@ -99,4 +100,7 @@ BENCHMARK(BM_AnnotatedEval_Pushdown)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return consentdb::bench::GbenchMainWithSidecar("time_plan_optimizer", argc,
+                                                 argv);
+}

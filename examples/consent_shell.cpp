@@ -31,7 +31,9 @@
 #include "consentdb/core/consent_manager.h"
 #include "consentdb/core/session_engine.h"
 #include "consentdb/util/io.h"
+#include "consentdb/obs/flight_recorder.h"
 #include "consentdb/obs/metrics.h"
+#include "consentdb/obs/span.h"
 #include "consentdb/obs/tracer.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/relational/csv.h"
@@ -49,7 +51,7 @@ namespace {
 
 class Shell {
  public:
-  Shell() : rng_(20260705) {}
+  Shell() : rng_(20260705) { spans_.set_flight_recorder(&flight_); }
 
   int Run(std::istream& in, bool interactive) {
     std::string line;
@@ -93,6 +95,12 @@ class Shell {
     if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
       return Stats(rest);
     }
+    if (command == "\\flight" || EqualsIgnoreCase(command, "flight")) {
+      return Flight(rest);
+    }
+    if (command == "\\trace" || EqualsIgnoreCase(command, "trace")) {
+      return Trace(rest);
+    }
     return Status::InvalidArgument("unknown command '" + command +
                                    "' (try: help)");
   }
@@ -127,8 +135,13 @@ class Shell {
         "                                     in-flight sessions it recorded —\n"
         "                                     already-answered variables replay\n"
         "                                     from the ledger, never re-asked\n"
-        "  \\stats [json|reset]                session telemetry (metrics +\n"
-        "                                     last-session probe trace)\n"
+        "  \\stats [json|reset]                session telemetry (metrics with\n"
+        "                                     p50/p95/p99 + last probe trace)\n"
+        "  \\flight [json]                     the flight recorder: the most\n"
+        "                                     recent spans/events, newest-last\n"
+        "  \\trace <file.json>                 export every recorded span as a\n"
+        "                                     Chrome trace (load in Perfetto or\n"
+        "                                     chrome://tracing)\n"
         "  exit\n";
     return Status::OK();
   }
@@ -521,6 +534,7 @@ class Shell {
     // answers may differ across sessions; keep oracles un-shared.
     options.share_consent_ledger = false;
     options.session.metrics = &metrics_;
+    options.session.spans = &spans_;
     core::SessionEngine engine(sdb_, options);
 
     std::vector<std::unique_ptr<consent::ValuationOracle>> oracles;
@@ -571,6 +585,7 @@ class Shell {
     core::SessionOptions options;
     options.metrics = &metrics_;
     options.tracer = &tracer_;
+    options.spans = &spans_;
     if (clock != nullptr) {
       options.retry = retry_policy_;
       options.clock = clock;
@@ -612,6 +627,7 @@ class Shell {
     if (EqualsIgnoreCase(args, "reset")) {
       metrics_.Reset();
       tracer_.Clear();
+      spans_.Clear();
       std::cout << "telemetry reset\n";
       return Status::OK();
     }
@@ -640,11 +656,50 @@ class Shell {
     return Status::OK();
   }
 
+  Status Flight(const std::string& args) {
+    if (EqualsIgnoreCase(args, "json")) {
+      std::cout << flight_.DumpJson() << "\n";
+      return Status::OK();
+    }
+    if (!args.empty()) {
+      return Status::InvalidArgument("usage: \\flight [json]");
+    }
+    if (flight_.num_recorded() == 0) {
+      std::cout << "flight recorder empty — run decide/simulate/stress "
+                   "first\n";
+      return Status::OK();
+    }
+    std::cout << "--- flight recorder (last " << flight_.capacity()
+              << " spans/events, oldest first) ---\n"
+              << flight_.DumpText();
+    return Status::OK();
+  }
+
+  Status Trace(const std::string& args) {
+    if (args.empty()) {
+      return Status::InvalidArgument("usage: \\trace <file.json>");
+    }
+    if (spans_.num_spans() == 0) {
+      std::cout << "no spans recorded yet — run decide/simulate/stress "
+                   "first\n";
+      return Status::OK();
+    }
+    CONSENTDB_RETURN_IF_ERROR(Env::Default()->WriteStringToFile(
+        args, spans_.ExportChromeTrace() + "\n", /*sync=*/false));
+    std::cout << "wrote " << spans_.num_spans() << " span(s) to " << args
+              << " — open in Perfetto (ui.perfetto.dev) or "
+                 "chrome://tracing\n";
+    return Status::OK();
+  }
+
   consent::SharedDatabase sdb_;
   consent::ConsentLedger ledger_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
   obs::SessionTracer tracer_;
+  // Every session span also mirrors into the flight ring (see constructor).
+  obs::SpanCollector spans_;
+  obs::FlightRecorder flight_;
   consent::FaultPlan fault_plan_;
   core::RetryPolicy retry_policy_;
 };

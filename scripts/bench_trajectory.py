@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""bench_trajectory: run the tracked benches and compare BENCH_*.json
+sidecars against the committed baselines in bench/baselines/.
+
+Each tracked bench binary emits a schema-versioned BENCH_<name>.json sidecar
+when CONSENTDB_BENCH_JSON is set (see bench/bench_common.h). This runner
+executes the tracked benches in quick mode, collects the sidecars into a
+scratch directory, and compares every duration-valued result (units "ns",
+"ms" or "seconds") against the baseline of the same bench+result name:
+
+    ratio = current_value / baseline_value
+    FAIL  when ratio > threshold (default 1.5x -- generous because the
+          quick-mode runs are short and CI machines are noisy)
+
+Non-duration results (probe counts, hit rates, speedups) are reported but
+never fail the run: they are workload descriptors, not timings.
+
+Results present only on one side are reported as NEW / GONE and do not fail
+the run either -- renaming a benchmark should not masquerade as a perf
+regression; refresh the baselines instead.
+
+Exit status: 0 clean, 1 regression(s), 2 usage/IO error.
+
+Usage:
+  bench_trajectory.py --build-dir BUILD [--baseline-dir DIR] [--threshold X]
+  bench_trajectory.py --build-dir BUILD --update     # refresh baselines
+  bench_trajectory.py --self-test                    # no build needed
+"""
+
+import argparse
+import copy
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+TRACKED_BENCHES = [
+    # (binary name, extra argv) -- quick-mode settings keep CI under a
+    # couple of minutes while still exercising the full pipeline.
+    ("time_next_probe", ["--benchmark_min_time=0.02"]),
+    ("time_plan_optimizer", ["--benchmark_min_time=0.02"]),
+    ("ext_concurrent_sessions", []),
+    ("ext_crash_recovery", []),
+]
+
+# Environment for quick mode: small datasets, few repetitions.
+QUICK_ENV = {
+    "CONSENTDB_BENCH_REPS": "2",
+    "CONSENTDB_BENCH_SCALE": "0.25",
+    "CONSENTDB_EMIT_METRICS": "1",
+}
+
+DURATION_UNITS = {"ns", "ms", "seconds"}
+
+SCHEMA_VERSION = 1
+
+
+def fail(msg):
+    print(f"bench_trajectory: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def git_rev(repo_root):
+    try:
+        out = subprocess.run(
+            ["git", "-C", repo_root, "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=30)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def run_benches(build_dir, out_dir, repo_root):
+    """Runs every tracked bench, returns {bench_name: sidecar dict}."""
+    sidecars = {}
+    env = dict(os.environ)
+    env.update(QUICK_ENV)
+    env["CONSENTDB_BENCH_JSON"] = out_dir
+    env["CONSENTDB_GIT_REV"] = git_rev(repo_root)
+    for name, extra_args in TRACKED_BENCHES:
+        binary = os.path.join(build_dir, "bench", name)
+        if not os.path.exists(binary):
+            fail(f"bench binary not found: {binary} (build the tree first)")
+        print(f"[bench_trajectory] running {name} ...", flush=True)
+        proc = subprocess.run([binary] + extra_args, env=env, cwd=out_dir,
+                              stdout=subprocess.DEVNULL,
+                              stderr=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            fail(f"{name} exited with status {proc.returncode}")
+        sidecar_path = os.path.join(out_dir, f"BENCH_{name}.json")
+        if not os.path.exists(sidecar_path):
+            fail(f"{name} did not write {sidecar_path} "
+                 "(CONSENTDB_BENCH_JSON plumbing broken?)")
+        sidecars[name] = load_sidecar(sidecar_path)
+    return sidecars
+
+
+def load_sidecar(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot read sidecar {path}: {e}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version {doc.get('schema_version')!r}, "
+             f"expected {SCHEMA_VERSION}")
+    for key in ("bench", "results", "wall_time_ns", "cpu_time_ns"):
+        if key not in doc:
+            fail(f"{path}: missing required key {key!r}")
+    return doc
+
+
+def results_by_name(doc):
+    out = {}
+    for entry in doc["results"]:
+        out[entry["name"]] = (float(entry["value"]), entry["unit"])
+    return out
+
+
+def compare(baseline_doc, current_doc, threshold):
+    """Returns (regressions, report_lines) for one bench."""
+    base = results_by_name(baseline_doc)
+    cur = results_by_name(current_doc)
+    regressions = []
+    lines = []
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            lines.append(f"    GONE  {name} (in baseline only)")
+            continue
+        if name not in base:
+            value, unit = cur[name]
+            lines.append(f"    NEW   {name} = {value:.3g} {unit}")
+            continue
+        base_value, base_unit = base[name]
+        value, unit = cur[name]
+        if unit != base_unit:
+            lines.append(f"    UNIT  {name}: {base_unit} -> {unit} "
+                         "(refresh baselines)")
+            continue
+        if unit not in DURATION_UNITS or base_value <= 0:
+            lines.append(f"    info  {name} = {value:.3g} {unit} "
+                         f"(baseline {base_value:.3g})")
+            continue
+        ratio = value / base_value
+        verdict = "ok  "
+        if ratio > threshold:
+            verdict = "FAIL"
+            regressions.append((name, ratio))
+        lines.append(f"    {verdict}  {name}: {value:.3g} {unit} vs "
+                     f"{base_value:.3g} ({ratio:.2f}x, limit "
+                     f"{threshold:.2f}x)")
+    return regressions, lines
+
+
+def self_test(threshold):
+    """Validates the comparator itself: an injected 2x slowdown must FAIL,
+    an identical run must pass, and non-duration drift must not fail."""
+    baseline = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": "self_test",
+        "git_rev": "base",
+        "wall_time_ns": 1000,
+        "cpu_time_ns": 900,
+        "results": [
+            {"name": "probe/real", "value": 100.0, "unit": "ns"},
+            {"name": "replay/wall_ms", "value": 5.0, "unit": "ms"},
+            {"name": "probes/total", "value": 42.0, "unit": "probes"},
+        ],
+    }
+
+    same = copy.deepcopy(baseline)
+    regressions, _ = compare(baseline, same, threshold)
+    assert not regressions, f"identical run flagged: {regressions}"
+
+    slow = copy.deepcopy(baseline)
+    slow["results"][0]["value"] = 200.0  # 2x slowdown on a duration
+    regressions, _ = compare(baseline, slow, threshold)
+    assert any(name == "probe/real" for name, _ in regressions), \
+        "2x slowdown on probe/real not detected"
+
+    drifted = copy.deepcopy(baseline)
+    drifted["results"][2]["value"] = 84.0  # 2x more probes: not a timing
+    regressions, _ = compare(baseline, drifted, threshold)
+    assert not regressions, \
+        f"non-duration drift flagged as regression: {regressions}"
+
+    renamed = copy.deepcopy(baseline)
+    renamed["results"][1]["name"] = "replay/renamed_ms"
+    regressions, _ = compare(baseline, renamed, threshold)
+    assert not regressions, f"rename flagged as regression: {regressions}"
+
+    print("bench_trajectory self-test: OK "
+          f"(threshold {threshold:.2f}x, 2x slowdown detected)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", help="CMake build directory")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="baseline directory (default: "
+                             "<repo>/bench/baselines)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="regression ratio limit (default 1.5)")
+    parser.add_argument("--update", action="store_true",
+                        help="write fresh baselines instead of comparing")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the comparator on synthetic sidecars")
+    args = parser.parse_args()
+
+    if args.threshold <= 1.0:
+        fail("--threshold must be > 1.0")
+
+    if args.self_test:
+        return self_test(args.threshold)
+
+    if not args.build_dir:
+        fail("--build-dir is required (or use --self-test)")
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = args.baseline_dir or os.path.join(repo_root, "bench",
+                                                     "baselines")
+
+    scratch = tempfile.mkdtemp(prefix="bench_trajectory_")
+    try:
+        sidecars = run_benches(os.path.abspath(args.build_dir), scratch,
+                               repo_root)
+
+        if args.update:
+            os.makedirs(baseline_dir, exist_ok=True)
+            for name in sidecars:
+                src = os.path.join(scratch, f"BENCH_{name}.json")
+                dst = os.path.join(baseline_dir, f"BENCH_{name}.json")
+                shutil.copyfile(src, dst)
+                print(f"[bench_trajectory] baseline updated: {dst}")
+            return 0
+
+        any_regression = False
+        for name, current in sidecars.items():
+            baseline_path = os.path.join(baseline_dir, f"BENCH_{name}.json")
+            print(f"\n{name}:")
+            if not os.path.exists(baseline_path):
+                print(f"    no baseline at {baseline_path} -- run with "
+                      "--update to create one (not a failure)")
+                continue
+            baseline = load_sidecar(baseline_path)
+            regressions, lines = compare(baseline, current, args.threshold)
+            for line in lines:
+                print(line)
+            if regressions:
+                any_regression = True
+
+        if any_regression:
+            print("\nbench_trajectory: REGRESSION -- durations above the "
+                  f"{args.threshold:.2f}x limit (rerun locally; if the "
+                  "slowdown is intended, refresh with --update)")
+            return 1
+        print("\nbench_trajectory: all tracked durations within "
+              f"{args.threshold:.2f}x of baseline")
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,12 @@ do not) catch but that this codebase bans:
                           through the injected Clock so tests and benches run
                           on virtual time; a real sleep in a resilience path
                           would block the suite for wall-clock backoff
+  obs-name-literal        a metric/span name literal at an obs call site
+                          (GetCounter/Increment/Span/RecordEvent/...) that
+                          does not match [a-z0-9_.]+ — names feed exports,
+                          dashboards and the lint-exempt registry in
+                          obs/names.h, so they stay lowercase dotted words;
+                          obs/names.h itself is the one place to mint them
 
 A finding on a line carrying `// lint:allow <rule>` (or whose previous line
 is only that comment) is suppressed; the allowlist is per-rule, so an
@@ -72,6 +78,20 @@ RAW_FILE_IO_RE = re.compile(
 # The one legitimate raw-file-io site: the POSIX Env behind Env::Default().
 RAW_FILE_IO_EXEMPT_FILES = {Path("src/consentdb/util/io.cc")}
 
+# obs call sites whose string-literal arguments are metric/span/event names.
+# `Span foo(` (a declaration) and `Span(` (a temporary) both count; SpanRecord
+# etc. do not (the next char after `Span` must open the argument list or a
+# variable name).
+OBS_NAME_CALL_RE = re.compile(
+    r"\b(?:GetCounter|GetGauge|GetHistogram|Increment|SetGauge|Observe|"
+    r"MaybeHistogram|RecordEvent|RecordSpan|SetArg|ScopedTimer(?:\s+\w+)?|"
+    r"Span(?:\s+\w+)?)\s*\(([^;{]*)"
+)
+OBS_NAME_LITERAL_RE = re.compile(r'"([^"]*)"')
+VALID_OBS_NAME_RE = re.compile(r"^[a-z0-9_.]+$")
+# The registry of canonical names declares its own convention.
+OBS_NAME_EXEMPT_FILES = {Path("src/consentdb/obs/names.h")}
+
 RULES = (
     "naked-new",
     "mutex-guard",
@@ -80,6 +100,7 @@ RULES = (
     "raw-cout",
     "sleep-outside-clock",
     "raw-file-io",
+    "obs-name-literal",
 )
 
 
@@ -115,6 +136,23 @@ def strip_comments_and_strings(line: str) -> str:
         out.append(c)
         i += 1
     return "".join(out)
+
+
+def strip_comments(line: str) -> str:
+    """Removes // comments but keeps string-literal contents — for rules
+    that inspect the literals themselves (obs-name-literal)."""
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            return line[:i]
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+        i += 1
+    return line
 
 
 def allowed_rules(lines: list[str], idx: int) -> set[str]:
@@ -192,6 +230,18 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                         "raw file I/O outside util/io; go through Env "
                         "(util/io.h) so durability tests can inject a "
                         "CrashingEnv and crash-recovery stays testable"))
+
+        if (rel not in OBS_NAME_EXEMPT_FILES
+                and "obs-name-literal" not in allowed):
+            with_literals = strip_comments(raw)
+            for call in OBS_NAME_CALL_RE.finditer(with_literals):
+                for name in OBS_NAME_LITERAL_RE.findall(call.group(1)):
+                    if not VALID_OBS_NAME_RE.match(name):
+                        findings.append(
+                            Finding(rel, lineno, "obs-name-literal",
+                                    f'metric/span name "{name}" does not '
+                                    "match [a-z0-9_.]+; mint a constant in "
+                                    "obs/names.h instead"))
 
         for m in GUARDED_BY_RE.finditer(code):
             guarded_targets.add(m.group(1))

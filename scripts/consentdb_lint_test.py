@@ -237,6 +237,66 @@ class RawFileIoTest(LintHarness):
         self.assertEqual(self.rules(), [])
 
 
+class ObsNameLiteralTest(LintHarness):
+    def test_flags_uppercase_counter_name(self):
+        self.write("src/consentdb/core/a.cc",
+                   'void f(obs::MetricsRegistry* m) {\n'
+                   '  m->GetCounter("Cache.PlanHit")->Increment();\n'
+                   '}\n')
+        self.assertEqual(self.rules(), ["obs-name-literal"])
+
+    def test_flags_space_in_span_name(self):
+        self.write("src/consentdb/core/a.cc",
+                   'void f(obs::SpanCollector* c) {\n'
+                   '  obs::Span span(c, "session run");\n'
+                   '}\n')
+        self.assertEqual(self.rules(), ["obs-name-literal"])
+
+    def test_flags_record_event_literal(self):
+        self.write("src/consentdb/core/a.cc",
+                   'void f(obs::FlightRecorder* fr) {\n'
+                   '  fr->RecordEvent("CrashInjected!");\n'
+                   '}\n')
+        self.assertEqual(self.rules(), ["obs-name-literal"])
+
+    def test_valid_dotted_names_ok(self):
+        self.write("src/consentdb/core/a.cc",
+                   'void f(obs::MetricsRegistry* m, obs::SpanCollector* c) {\n'
+                   '  m->GetCounter("cache.plan.hit")->Increment();\n'
+                   '  obs::Increment(m, "engine.sessions");\n'
+                   '  obs::Span span(c, "wal.append_2");\n'
+                   '}\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_names_registry_is_exempt(self):
+        self.write("src/consentdb/obs/names.h",
+                   'inline constexpr char kOdd[] = "Not A Name";\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_non_obs_calls_ignored(self):
+        # String args to unrelated calls are none of this rule's business.
+        self.write("src/consentdb/core/a.cc",
+                   'void f(std::string s) {\n'
+                   '  auto i = s.find("Upper Case Stuff");\n'
+                   '  SpanRecord rec("Whatever");\n'
+                   '}\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_name_in_comment_ignored(self):
+        self.write("src/consentdb/core/a.cc",
+                   '// e.g. GetCounter("Bad Name") would be rejected\n'
+                   'int f();\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("tests/a.cc",
+                   'void f(obs::MetricsRegistry* m) {\n'
+                   '  // lint:allow obs-name-literal\n'
+                   '  m->GetCounter("query.class.SP")->value();\n'
+                   '}\n')
+        self.assertEqual(self.rules(), [])
+
+
 class AllowlistScopingTest(LintHarness):
     def test_allow_is_per_rule(self):
         # An allow for one rule must not silence a different rule on the

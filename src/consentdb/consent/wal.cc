@@ -4,6 +4,7 @@
 
 #include "consentdb/consent/oracle.h"
 #include "consentdb/consent/snapshot.h"
+#include "consentdb/obs/names.h"
 #include "consentdb/util/crc32.h"
 
 namespace consentdb::consent {
@@ -192,7 +193,11 @@ Status WalWriter::AppendAnswer(VarId x, bool answer) {
     return Status::FailedPrecondition("wal is closed: " + path_);
   }
   const std::string record = EncodeAnswerRecord(x, answer);
-  CONSENTDB_RETURN_IF_ERROR(file_->Append(record));
+  {
+    obs::Span span(options_.spans, obs::names::kSpanWalAppend);
+    span.SetArg(obs::names::kArgBytes, record.size());
+    CONSENTDB_RETURN_IF_ERROR(file_->Append(record));
+  }
   ++records_;
   ++pending_;
   obs::Increment(options_.metrics, "wal.appends");
@@ -218,7 +223,11 @@ Status WalWriter::SyncLocked() {
     last_sync_nanos_ = clock_->NowNanos();
     return Status::OK();
   }
-  CONSENTDB_RETURN_IF_ERROR(file_->Sync());
+  {
+    obs::Span span(options_.spans, obs::names::kSpanWalFsync);
+    span.SetArg(obs::names::kArgRecords, pending_);
+    CONSENTDB_RETURN_IF_ERROR(file_->Sync());
+  }
   obs::Increment(options_.metrics, "wal.syncs");
   if (options_.metrics != nullptr) {
     options_.metrics->GetHistogram("wal.batch_records", obs::WalBatchBuckets())
@@ -236,6 +245,8 @@ Status WalWriter::CompactTo(
   if (file_ == nullptr) {
     return Status::FailedPrecondition("wal is closed: " + path_);
   }
+  obs::Span span(options_.spans, obs::names::kSpanWalCompact);
+  span.SetArg(obs::names::kArgRecords, answers.size());
   // Step 1: the snapshot sidecar gets the full answer set. After its rename
   // lands, the old WAL records are redundant (replay over the snapshot is
   // idempotent), so a crash anywhere past this point loses nothing.

@@ -36,6 +36,7 @@
 
 #include "consentdb/consent/variable_pool.h"
 #include "consentdb/obs/metrics.h"
+#include "consentdb/obs/span.h"
 #include "consentdb/util/clock.h"
 #include "consentdb/util/io.h"
 #include "consentdb/util/result.h"
@@ -53,6 +54,10 @@ struct WalOptions {
   Clock* clock = nullptr;
   // Optional wal.* instruments (appends, syncs, bytes, batch sizes).
   obs::MetricsRegistry* metrics = nullptr;
+  // Optional span sink: wal.append / wal.fsync / wal.compact spans nest
+  // under whatever session span is current on the calling thread, putting
+  // WAL I/O on the same causal timeline as the probes that caused it.
+  obs::SpanCollector* spans = nullptr;
 };
 
 // The snapshot sidecar of a WAL.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "consentdb/eval/targeted.h"
+#include "consentdb/obs/names.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/strategy/expected_cost.h"
 #include "consentdb/strategy/optimal.h"
@@ -159,11 +160,12 @@ Result<Selection> SelectStrategy(Algorithm algorithm,
 class RetryingProber {
  public:
   RetryingProber(ProbeOracle& oracle, const RetryPolicy& policy, Clock* clock,
-                 obs::MetricsRegistry* metrics)
+                 obs::MetricsRegistry* metrics, obs::SpanCollector* spans)
       : oracle_(oracle),
         policy_(policy),
         clock_(clock),
         metrics_(metrics),
+        spans_(spans),
         session_start_(clock->NowNanos()) {
     if (metrics_ != nullptr) {
       retries_ = metrics_->GetCounter("retry.count");
@@ -216,7 +218,13 @@ class RetryingProber {
       if (backoff_ns_ != nullptr) {
         backoff_ns_->Observe(static_cast<uint64_t>(backoff));
       }
-      clock_->SleepFor(backoff);
+      {
+        // Backoff waits show up as retry.wait spans in the timeline (real
+        // duration under RealClock, near-zero under a VirtualClock).
+        obs::Span wait(spans_, obs::names::kSpanRetryWait);
+        wait.SetArg(obs::names::kArgAttempt, attempts);
+        clock_->SleepFor(backoff);
+      }
     }
   }
 
@@ -228,6 +236,7 @@ class RetryingProber {
   const RetryPolicy& policy_;
   Clock* clock_;
   obs::MetricsRegistry* metrics_;
+  obs::SpanCollector* spans_;
   const int64_t session_start_;
   size_t num_retries_ = 0;
   FailureBreakdown failures_;
@@ -321,6 +330,7 @@ Result<SessionReport> ConsentManager::FinishSession(
   Selection sel;
   {
     obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "session.select_ns"));
+    obs::Span span(options.spans, obs::names::kSpanSessionSelect);
     CONSENTDB_ASSIGN_OR_RETURN(
         sel, SelectStrategy(options.algorithm, profile, prepared.single,
                             options, pi, &state));
@@ -337,6 +347,7 @@ Result<SessionReport> ConsentManager::FinishSession(
   strategy::RunInstrumentation instr;
   instr.metrics = metrics;
   instr.tracer = options.tracer;
+  instr.spans = options.spans;
 
   SessionReport report;
   size_t num_probes = 0;
@@ -346,7 +357,8 @@ Result<SessionReport> ConsentManager::FinishSession(
     // Resilient path: probe through TryProbe under the retry policy; faults
     // degrade to kUnresolved verdicts instead of aborting.
     Clock* clock = options.clock != nullptr ? options.clock : RealClock();
-    RetryingProber prober(oracle, *options.retry, clock, metrics);
+    RetryingProber prober(oracle, *options.retry, clock, metrics,
+                          options.spans);
     strategy::ResilientProbeRun run = strategy::RunToCompletionResilient(
         state, *sel.strategy, [&prober](VarId x) { return prober(x); }, instr);
     num_probes = run.num_probes;
@@ -430,8 +442,12 @@ Result<SessionReport> ConsentManager::RunPrepared(
   obs::ScopedTimer session_timer(
       obs::MaybeHistogram(options.metrics, "session.total_ns"));
   obs::Increment(options.metrics, "session.count");
+  obs::Span span(options.spans, obs::names::kSpanSessionRun);
   if (options.tracer != nullptr) options.tracer->Clear();
-  return FinishSession(prepared, oracle, options, session_start);
+  Result<SessionReport> report =
+      FinishSession(prepared, oracle, options, session_start);
+  if (report.ok()) span.SetArg(obs::names::kArgProbes, report->num_probes);
+  return report;
 }
 
 Result<SessionReport> ConsentManager::RunSession(
@@ -443,11 +459,15 @@ Result<SessionReport> ConsentManager::RunSession(
   obs::ScopedTimer session_timer(
       obs::MaybeHistogram(options.metrics, "session.total_ns"));
   obs::Increment(options.metrics, "session.count");
+  obs::Span span(options.spans, obs::names::kSpanSessionRun);
   if (options.tracer != nullptr) options.tracer->Clear();
 
   CONSENTDB_ASSIGN_OR_RETURN(PreparedSession prepared,
                              Prepare(plan, std::move(single), options));
-  return FinishSession(prepared, oracle, options, session_start);
+  Result<SessionReport> report =
+      FinishSession(prepared, oracle, options, session_start);
+  if (report.ok()) span.SetArg(obs::names::kArgProbes, report->num_probes);
+  return report;
 }
 
 Result<SessionReport> ConsentManager::DecideAll(

@@ -19,6 +19,7 @@
 #include "consentdb/eval/evaluate.h"
 #include "consentdb/eval/provenance_profile.h"
 #include "consentdb/obs/metrics.h"
+#include "consentdb/obs/span.h"
 #include "consentdb/obs/tracer.h"
 #include "consentdb/query/classify.h"
 #include "consentdb/query/parser.h"
@@ -93,6 +94,12 @@ struct SessionOptions {
   // must not change which probes are issued.
   obs::MetricsRegistry* metrics = nullptr;
   obs::SessionTracer* tracer = nullptr;
+  // With `spans` attached the session records a causal timeline of nested
+  // spans (session.run > session.select / session.probe > retry.wait, plus
+  // wal.* underneath when the ledger journals through a WAL), exportable as
+  // Chrome trace-event JSON. Null — the default — skips even the clock
+  // read, like the other two sinks.
+  obs::SpanCollector* spans = nullptr;
 
   // Opt-in resilience. Unset (the default) preserves the exact legacy
   // behaviour: probes go through ProbeOracle::Probe, faults are fatal, and

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "consentdb/consent/snapshot.h"
+#include "consentdb/obs/names.h"
 #include "consentdb/query/optimize.h"
 #include "consentdb/util/check.h"
 
@@ -43,12 +44,22 @@ SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
                     "nothing would be journaled");
     ledger_.AttachJournal(options_.wal, options_.wal_compact_every_records);
   }
+  if (options_.flight_recorder_capacity > 0) {
+    flight_ = std::make_unique<obs::FlightRecorder>(
+        options_.flight_recorder_capacity);
+    if (options_.session.spans != nullptr) {
+      // Mirror every finished span into the ring so a post-mortem dump
+      // shows the run-up, not just the lifecycle events.
+      options_.session.spans->set_flight_recorder(flight_.get());
+    }
+  }
 }
 
 Result<SessionEngine::PlanEntry> SessionEngine::ResolvePlan(
     const SessionRequest& request, const SessionOptions& options,
     uint64_t version) {
   obs::MetricsRegistry* metrics = options.metrics;
+  obs::Span span(options.spans, obs::names::kSpanEnginePlan);
   PlanEntry entry;
   entry.version = version;
   const bool cacheable = request.plan == nullptr;
@@ -63,11 +74,11 @@ Result<SessionEngine::PlanEntry> SessionEngine::ResolvePlan(
         plan_cache_.Get(request.sql);
     if (cached.has_value() && (*cached)->version == version) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
-      obs::Increment(metrics, "engine.plan_cache.hit");
+      obs::Increment(metrics, "cache.plan.hit");
       return **cached;
     }
     plan_misses_.fetch_add(1, std::memory_order_relaxed);
-    obs::Increment(metrics, "engine.plan_cache.miss");
+    obs::Increment(metrics, "cache.plan.miss");
     CONSENTDB_ASSIGN_OR_RETURN(entry.plan, query::ParseQuery(request.sql));
   }
   if (options.optimize_plan) {
@@ -87,6 +98,7 @@ Result<std::shared_ptr<const PreparedSession>> SessionEngine::ResolvePrepared(
     const SessionRequest& request, const PlanEntry& entry,
     const SessionOptions& options, uint64_t version) {
   obs::MetricsRegistry* metrics = options.metrics;
+  obs::Span span(options.spans, obs::names::kSpanEnginePrepare);
   if (request.single.has_value()) {
     // Targeted provenance depends on the requested tuple; not cached.
     CONSENTDB_ASSIGN_OR_RETURN(
@@ -100,11 +112,11 @@ Result<std::shared_ptr<const PreparedSession>> SessionEngine::ResolvePrepared(
       prov_cache_.Get(key);
   if (cached.has_value()) {
     prov_hits_.fetch_add(1, std::memory_order_relaxed);
-    obs::Increment(metrics, "engine.prov_cache.hit");
+    obs::Increment(metrics, "cache.prov.hit");
     return *cached;
   }
   prov_misses_.fetch_add(1, std::memory_order_relaxed);
-  obs::Increment(metrics, "engine.prov_cache.miss");
+  obs::Increment(metrics, "cache.prov.miss");
   CONSENTDB_ASSIGN_OR_RETURN(
       PreparedSession prepared,
       manager_.PrepareResolved(entry.plan, entry.effective, std::nullopt,
@@ -122,6 +134,7 @@ Result<SessionReport> SessionEngine::RunOne(const SessionRequest& request) {
   options.tracer = request.tracer;
   obs::MetricsRegistry* metrics = options.metrics;
   obs::Increment(metrics, "engine.sessions");
+  obs::Span span(options.spans, obs::names::kSpanEngineSession);
 
   // One consistent database version per session; a mutation between the
   // reads would be a contract violation (see the header), not a race the
@@ -176,11 +189,30 @@ std::future<Result<SessionReport>> SessionEngine::Submit(
                   static_cast<double>(sessions_in_flight()));
     obs::SetGauge(metrics, "engine.queue_depth",
                   static_cast<double>(pool_.queue_depth()));
-    Result<SessionReport> result = RunOne(request);
+    Result<SessionReport> result = Status::Internal("session never ran");
+    try {
+      result = RunOne(request);
+    } catch (const CrashInjected&) {
+      // The simulated process died mid-session (journaling WAL on a
+      // CrashingEnv). Deregistration is deliberately skipped — the session
+      // stays in the checkpoint, exactly as a real kill would leave it —
+      // and the flight ring is snapshotted for post-mortem now, because the
+      // crashed env rejects all further I/O. The exception reaches the
+      // caller through the future instead of unwinding the worker thread.
+      if (flight_ != nullptr) {
+        flight_->RecordEvent(obs::names::kEventCrashInjected);
+        MutexLock lock(flight_mu_);
+        last_flight_dump_ = flight_->DumpJson();
+      }
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      obs::SetGauge(metrics, "engine.sessions_in_flight",
+                    static_cast<double>(sessions_in_flight()));
+      promise->set_exception(std::current_exception());
+      return;
+    }
     // Deregister once the report exists (even an error report): the session
     // no longer needs resuming. A crash anywhere before this line leaves it
-    // in the checkpoint. (A CrashInjected exception from a journaling WAL
-    // deliberately skips this — it models the process dying.)
+    // in the checkpoint.
     if (registered) {
       MutexLock lock(chk_mu_);
       pending_.erase(pending_id);
@@ -224,8 +256,23 @@ SessionEngine::CacheStats SessionEngine::cache_stats() const {
 }
 
 Status SessionEngine::SaveCheckpoint(Env* env, const std::string& path) {
-  return WriteCheckpoint(env, path, sdb_, ledger_.Answers(),
-                         pending_sessions());
+  CONSENTDB_RETURN_IF_ERROR(WriteCheckpoint(env, path, sdb_,
+                                            ledger_.Answers(),
+                                            pending_sessions()));
+  if (flight_ != nullptr) {
+    // Pair every checkpoint with a flight dump: the ring at checkpoint time
+    // is the run-up a post-mortem wants next to the recovered state. The
+    // sidecar is diagnostic, not durability — no fsync.
+    flight_->RecordEvent(obs::names::kEventCheckpoint);
+    CONSENTDB_RETURN_IF_ERROR(env->WriteStringToFile(
+        path + ".flight.json", flight_->DumpJson(), /*sync=*/false));
+  }
+  return Status::OK();
+}
+
+std::string SessionEngine::last_flight_dump() const {
+  MutexLock lock(flight_mu_);
+  return last_flight_dump_;
 }
 
 Status SessionEngine::RestoreLedger(

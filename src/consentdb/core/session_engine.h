@@ -44,6 +44,7 @@
 #include "consentdb/consent/wal.h"
 #include "consentdb/core/checkpoint.h"
 #include "consentdb/core/consent_manager.h"
+#include "consentdb/obs/flight_recorder.h"
 #include "consentdb/util/io.h"
 #include "consentdb/util/lru_cache.h"
 #include "consentdb/util/thread_annotations.h"
@@ -67,6 +68,16 @@ struct EngineOptions {
   // With a WAL attached: compact the journal into its snapshot sidecar
   // every this-many journaled answers (0 = never auto-compact).
   uint64_t wal_compact_every_records = 0;
+  // Flight-recorder ring size (0 disables). The engine keeps the last this-
+  // many spans/events for post-mortem: the ring is dumped to
+  // `<path>.flight.json` by SaveCheckpoint and captured in
+  // last_flight_dump() when a session dies to an injected crash. When
+  // `session.spans` is attached the engine mirrors every finished span into
+  // the ring; without a span collector only engine lifecycle events
+  // (checkpoint, crash) are recorded. Recording costs a handful of relaxed
+  // atomic stores and happens only on those events — the null-sink default
+  // paths stay untouched.
+  size_t flight_recorder_capacity = 1024;
   // Base options for every session. `tracer` must stay null here — a
   // tracer is per-session state; attach per-request tracers through
   // SessionRequest instead (`ledger` likewise: the engine wires its own
@@ -94,11 +105,13 @@ struct SessionRequest {
 // Metrics recorded into EngineOptions::session.metrics (when attached), on
 // top of the per-session session.*/eval.*/strategy.* instruments:
 //   engine.sessions            counter  sessions executed
-//   engine.plan_cache.hit/.miss    counters (stale-version hits count as miss)
-//   engine.prov_cache.hit/.miss    counters
+//   cache.plan.hit/.miss       counters (stale-version hits count as miss)
+//   cache.prov.hit/.miss       counters
 //   engine.ledger.hit          counter  probes answered without an oracle
 //   engine.queue_depth         gauge    tasks waiting for a worker
 //   engine.sessions_in_flight  gauge    sessions currently executing
+// The registry derives cache.plan.hit_rate / cache.prov.hit_rate lines in
+// its exports from the hit/miss pairs.
 class SessionEngine {
  public:
   explicit SessionEngine(const consent::SharedDatabase& sdb,
@@ -142,6 +155,15 @@ class SessionEngine {
 
   // Specs of the in-flight resumable sessions, registration order.
   std::vector<CheckpointedSession> pending_sessions() const EXCLUDES(chk_mu_);
+
+  // The engine's flight recorder (null when disabled via
+  // EngineOptions::flight_recorder_capacity = 0). Safe to dump at any time.
+  obs::FlightRecorder* flight_recorder() const { return flight_.get(); }
+
+  // The flight-recorder JSON captured when a session last died to an
+  // injected crash (empty if that never happened). The crashing env rejects
+  // all I/O post-crash, so the dump is stashed here instead of on disk.
+  std::string last_flight_dump() const EXCLUDES(flight_mu_);
 
   const consent::ConsentLedger& ledger() const { return ledger_; }
 
@@ -200,6 +222,9 @@ class SessionEngine {
   mutable Mutex chk_mu_;
   std::map<uint64_t, CheckpointedSession> pending_ GUARDED_BY(chk_mu_);
   uint64_t next_pending_id_ GUARDED_BY(chk_mu_) = 0;
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  mutable Mutex flight_mu_;
+  std::string last_flight_dump_ GUARDED_BY(flight_mu_);
   std::atomic<uint64_t> plan_hits_{0};
   std::atomic<uint64_t> plan_misses_{0};
   std::atomic<uint64_t> prov_hits_{0};

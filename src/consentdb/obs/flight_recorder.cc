@@ -1,0 +1,160 @@
+#include "consentdb/obs/flight_recorder.h"
+
+#include <iomanip>
+#include <memory>
+#include <sstream>
+
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb::obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+const char* NamePtr(uint64_t bits) {
+  return reinterpret_cast<const char*>(static_cast<uintptr_t>(bits));
+}
+
+uint64_t NameBits(const char* p) {
+  return static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(RoundUpPow2(capacity)),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::Write(const SpanRecord& rec) {
+  const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket & mask_];
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  slot.name.store(NameBits(rec.name), std::memory_order_relaxed);
+  slot.id.store(rec.id, std::memory_order_relaxed);
+  slot.parent.store(rec.parent_id, std::memory_order_relaxed);
+  slot.start.store(rec.start_nanos, std::memory_order_relaxed);
+  slot.end.store(rec.end_nanos, std::memory_order_relaxed);
+  slot.tid.store(rec.tid, std::memory_order_relaxed);
+  slot.arg_name.store(NameBits(rec.arg_name), std::memory_order_relaxed);
+  slot.arg.store(rec.arg_value, std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  // Publish head after the slot so Snapshot's acquire of head_ orders the
+  // seq reads below it.
+  head_.store(ticket + 1, std::memory_order_release);
+}
+
+void FlightRecorder::RecordSpan(const SpanRecord& rec) { Write(rec); }
+
+void FlightRecorder::RecordEvent(const char* name) {
+  RecordEvent(name, nullptr, 0);
+}
+
+void FlightRecorder::RecordEvent(const char* name, const char* arg_name,
+                                 uint64_t arg_value) {
+  SpanRecord rec;
+  rec.name = name;
+  rec.start_nanos = MonotonicNanos();
+  rec.end_nanos = rec.start_nanos;
+  rec.arg_name = arg_name;
+  rec.arg_value = arg_value;
+  Write(rec);
+}
+
+std::vector<SpanRecord> FlightRecorder::Snapshot() const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+  std::vector<SpanRecord> out;
+  out.reserve(static_cast<size_t>(head - begin));
+  for (uint64_t ticket = begin; ticket < head; ++ticket) {
+    const Slot& slot = slots_[ticket & mask_];
+    const uint64_t want = 2 * ticket + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    SpanRecord rec;
+    rec.name = NamePtr(slot.name.load(std::memory_order_relaxed));
+    rec.id = slot.id.load(std::memory_order_relaxed);
+    rec.parent_id = slot.parent.load(std::memory_order_relaxed);
+    rec.start_nanos = slot.start.load(std::memory_order_relaxed);
+    rec.end_nanos = slot.end.load(std::memory_order_relaxed);
+    rec.tid =
+        static_cast<uint32_t>(slot.tid.load(std::memory_order_relaxed));
+    rec.arg_name = NamePtr(slot.arg_name.load(std::memory_order_relaxed));
+    rec.arg_value = slot.arg.load(std::memory_order_relaxed);
+    // Re-check after copying: a writer that claimed this slot mid-copy
+    // bumped seq past `want`, so the copy above may be torn — drop it.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != want) continue;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void FlightRecorder::WriteJson(JsonWriter& w) const {
+  std::vector<SpanRecord> records = Snapshot();
+  w.BeginObject();
+  w.Key("flight");
+  w.BeginObject();
+  w.Key("capacity");
+  w.Uint(capacity_);
+  w.Key("recorded");
+  w.Uint(num_recorded());
+  w.Key("events");
+  w.BeginArray();
+  for (const SpanRecord& r : records) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(r.name != nullptr ? r.name : "unnamed");
+    w.Key("start_ns");
+    w.Int(r.start_nanos);
+    w.Key("end_ns");
+    w.Int(r.end_nanos);
+    w.Key("id");
+    w.Uint(r.id);
+    w.Key("parent");
+    w.Uint(r.parent_id);
+    w.Key("tid");
+    w.Uint(r.tid);
+    if (r.arg_name != nullptr) {
+      w.Key(r.arg_name);
+      w.Uint(r.arg_value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string FlightRecorder::DumpJson() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.TakeString();
+}
+
+std::string FlightRecorder::DumpText() const {
+  std::vector<SpanRecord> records = Snapshot();
+  std::ostringstream os;
+  os << "flight recorder: " << records.size() << " of " << num_recorded()
+     << " recorded (capacity " << capacity_ << ")\n";
+  for (const SpanRecord& r : records) {
+    os << "  " << std::setw(12) << r.start_nanos << "ns  "
+       << (r.name != nullptr ? r.name : "unnamed");
+    if (r.end_nanos > r.start_nanos) {
+      os << " dur=" << (r.end_nanos - r.start_nanos) << "ns";
+    }
+    if (r.id != 0) os << " id=" << r.id;
+    if (r.parent_id != 0) os << " parent=" << r.parent_id;
+    if (r.arg_name != nullptr) {
+      os << " " << r.arg_name << "=" << r.arg_value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace consentdb::obs

@@ -1,0 +1,94 @@
+// Flight recorder: a fixed-size lock-free ring of the most recent spans and
+// instant events, kept per engine so the last moments before a crash (or
+// the run-up to a checkpoint) can be dumped for post-mortem analysis.
+//
+// Writers never block and never allocate: a slot is claimed with one atomic
+// fetch_add on the head ticket and filled through per-slot atomic words
+// guarded by a seqlock-style sequence number (odd while writing, published
+// with a release store). Readers validate the sequence before and after
+// copying a slot and skip slots that were overwritten mid-read, so a dump
+// taken while probes are still flying yields only intact records —
+// TSAN-clean because every shared word is a std::atomic.
+//
+// Names are stored as raw `const char*` (static-duration strings only, see
+// obs/names.h) — the ring holds eight words per slot and copies nothing.
+//
+// If the ring wraps during one write (capacity writers claim the same slot
+// concurrently), a reader may attribute one writer's fields to another's
+// ticket; with the default capacity of 1024 this needs ~1024 simultaneous
+// in-flight writes and is acceptable for a diagnostic ring.
+
+#ifndef CONSENTDB_OBS_FLIGHT_RECORDER_H_
+#define CONSENTDB_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consentdb/obs/span.h"
+
+namespace consentdb {
+class JsonWriter;
+}  // namespace consentdb
+
+namespace consentdb::obs {
+
+class FlightRecorder {
+ public:
+  // `capacity` is rounded up to a power of two (minimum 8).
+  explicit FlightRecorder(size_t capacity = 1024);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Retains the last `capacity()` of these; older entries are overwritten.
+  void RecordSpan(const SpanRecord& rec);
+  // An instant event (zero duration) stamped with the current time.
+  // `name` must be a static-duration string.
+  void RecordEvent(const char* name);
+  void RecordEvent(const char* name, const char* arg_name, uint64_t arg_value);
+
+  size_t capacity() const { return capacity_; }
+  // Total records ever written (>= capacity() once the ring has wrapped).
+  uint64_t num_recorded() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // The intact records currently in the ring, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  // {"flight":{"capacity":...,"recorded":...,"events":[{name,start_ns,
+  //  end_ns,id,parent,tid,...},...]}} — oldest first.
+  void WriteJson(JsonWriter& w) const;
+  std::string DumpJson() const;
+  // One aligned line per record for the shell's \flight command.
+  std::string DumpText() const;
+
+ private:
+  // Seqlock slot: seq is 2*ticket+1 while writing, 2*ticket+2 when stable
+  // (0 = never written). All fields are atomic words so concurrent
+  // write/read is a race-free torn read, detected by the seq check.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> name{0};      // const char* bits
+    std::atomic<uint64_t> id{0};
+    std::atomic<uint64_t> parent{0};
+    std::atomic<int64_t> start{0};
+    std::atomic<int64_t> end{0};
+    std::atomic<uint64_t> tid{0};
+    std::atomic<uint64_t> arg_name{0};  // const char* bits, 0 = none
+    std::atomic<uint64_t> arg{0};
+  };
+
+  void Write(const SpanRecord& rec);
+
+  size_t capacity_;  // power of two
+  size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  // next ticket
+};
+
+}  // namespace consentdb::obs
+
+#endif  // CONSENTDB_OBS_FLIGHT_RECORDER_H_

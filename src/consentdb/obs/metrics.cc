@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <string_view>
 
 #include "consentdb/util/check.h"
 #include "consentdb/util/json_writer.h"
@@ -81,6 +82,34 @@ uint64_t Histogram::Percentile(double q) const {
   return max();
 }
 
+double Histogram::PercentileInterpolated(double q) const {
+  uint64_t c = count();
+  if (c == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Number of samples at or below the target quantile (fractional).
+  double target = q * static_cast<double>(c);
+  uint64_t seen = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    uint64_t n = bucket_count(i);
+    if (n == 0) continue;
+    if (static_cast<double>(seen + n) >= target) {
+      // The target sample lies in this bucket: interpolate between the
+      // bucket edges by rank position, tightening the edges to the observed
+      // min/max (exact for the first/last bucket, a safe clamp elsewhere).
+      double lo = static_cast<double>(i == 0 ? min() : bounds_[i - 1]);
+      double hi = static_cast<double>(
+          i < bounds_.size() ? std::min(bounds_[i], max()) : max());
+      lo = std::max(lo, static_cast<double>(min()));
+      if (hi <= lo) return hi;
+      double fraction =
+          (target - static_cast<double>(seen)) / static_cast<double>(n);
+      return lo + fraction * (hi - lo);
+    }
+    seen += n;
+  }
+  return static_cast<double>(max());
+}
+
 void Histogram::Merge(const Histogram& other) {
   CONSENTDB_CHECK(bounds_ == other.bounds_,
                   "cannot merge histograms with different bounds");
@@ -147,11 +176,35 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+std::vector<std::pair<std::string, double>> MetricsRegistry::HitRatesLocked()
+    const {
+  std::vector<std::pair<std::string, double>> rates;
+  for (const auto& [name, c] : counters_) {
+    constexpr std::string_view kHit = ".hit";
+    if (name.size() <= kHit.size() ||
+        name.compare(name.size() - kHit.size(), kHit.size(), kHit) != 0) {
+      continue;
+    }
+    const std::string prefix = name.substr(0, name.size() - kHit.size());
+    auto miss = counters_.find(prefix + ".miss");
+    if (miss == counters_.end()) continue;
+    const uint64_t hits = c->value();
+    const uint64_t total = hits + miss->second->value();
+    if (total == 0) continue;
+    rates.emplace_back(prefix + ".hit_rate",
+                       static_cast<double>(hits) / static_cast<double>(total));
+  }
+  return rates;
+}
+
 std::string MetricsRegistry::ExportText() const {
   MutexLock lock(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, rate] : HitRatesLocked()) {
+    os << name << " " << rate << "\n";
   }
   for (const auto& [name, g] : gauges_) {
     os << name << " " << g->value() << "\n";
@@ -159,8 +212,9 @@ std::string MetricsRegistry::ExportText() const {
   for (const auto& [name, h] : histograms_) {
     os << name << " count=" << h->count() << " sum=" << h->sum()
        << " mean=" << h->Mean() << " min=" << h->min() << " max=" << h->max()
-       << " p50=" << h->Percentile(0.5) << " p99=" << h->Percentile(0.99)
-       << "\n";
+       << " p50=" << h->PercentileInterpolated(0.5)
+       << " p95=" << h->PercentileInterpolated(0.95)
+       << " p99=" << h->PercentileInterpolated(0.99) << "\n";
   }
   return os.str();
 }
@@ -173,6 +227,13 @@ void MetricsRegistry::WriteJson(JsonWriter& w) const {
   for (const auto& [name, c] : counters_) {
     w.Key(name);
     w.Uint(c->value());
+  }
+  w.EndObject();
+  w.Key("hit_rates");
+  w.BeginObject();
+  for (const auto& [name, rate] : HitRatesLocked()) {
+    w.Key(name);
+    w.Double(rate);
   }
   w.EndObject();
   w.Key("gauges");
@@ -198,9 +259,11 @@ void MetricsRegistry::WriteJson(JsonWriter& w) const {
     w.Key("mean");
     w.Double(h->Mean());
     w.Key("p50");
-    w.Uint(h->Percentile(0.5));
+    w.Double(h->PercentileInterpolated(0.5));
+    w.Key("p95");
+    w.Double(h->PercentileInterpolated(0.95));
     w.Key("p99");
-    w.Uint(h->Percentile(0.99));
+    w.Double(h->PercentileInterpolated(0.99));
     w.Key("buckets");
     w.BeginArray();
     for (size_t i = 0; i <= h->bounds().size(); ++i) {

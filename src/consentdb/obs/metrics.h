@@ -26,6 +26,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "consentdb/util/thread_annotations.h"
@@ -86,6 +87,12 @@ class Histogram {
   // Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
   // counts; returns max() for samples in the overflow bucket.
   uint64_t Percentile(double q) const;
+  // Linear-interpolation estimate of the q-quantile: finds the bucket
+  // holding the rank-q sample and interpolates between the bucket's lower
+  // and upper edge by rank position, clamped to the observed [min,max].
+  // Smoother than Percentile() on the coarse power-of-4 default ladder;
+  // used for the p50/p95/p99 columns in ExportText/ExportJson.
+  double PercentileInterpolated(double q) const;
 
   const std::vector<uint64_t>& bounds() const { return bounds_; }
   // Count of bucket i (i == bounds().size() is the overflow bucket).
@@ -124,15 +131,22 @@ class MetricsRegistry {
   // Zeroes every instrument, keeping registrations and pointers valid.
   void Reset() EXCLUDES(mu_);
 
-  // Alphabetical `name value` / histogram summary lines.
+  // Alphabetical `name value` / histogram summary lines, plus one derived
+  // `<prefix>.hit_rate` line per `<prefix>.hit`/`<prefix>.miss` counter
+  // pair (e.g. the session-engine cache.plan.* / cache.prov.* counters).
   std::string ExportText() const EXCLUDES(mu_);
-  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  //  mean,p50,p99,buckets:[{le,count},...]}}}
+  // {"counters":{...},"hit_rates":{...},"gauges":{...},"histograms":{name:
+  //  {count,sum,min,max,mean,p50,p95,p99,buckets:[{le,count},...]}}}
   std::string ExportJson() const EXCLUDES(mu_);
   // Emits the same object into an in-progress document (after w.Key(...)).
   void WriteJson(JsonWriter& w) const EXCLUDES(mu_);
 
  private:
+  // Derived hit rates for every `<prefix>.hit`/`<prefix>.miss` counter
+  // pair with at least one sample: (prefix + ".hit_rate", hit/(hit+miss)).
+  std::vector<std::pair<std::string, double>> HitRatesLocked() const
+      REQUIRES(mu_);
+
   // mu_ guards only name registration (the maps); the instruments
   // themselves are updated lock-free through the returned pointers, which
   // stay valid for the registry's lifetime.

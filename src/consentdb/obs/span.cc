@@ -1,0 +1,162 @@
+#include "consentdb/obs/span.h"
+
+#include "consentdb/obs/flight_recorder.h"
+#include "consentdb/util/json_writer.h"
+
+namespace consentdb::obs {
+
+namespace {
+
+// Process-wide collector uids: lets the thread-local caches below detect a
+// destroyed-and-reallocated collector at the same address.
+std::atomic<uint64_t> g_next_collector_uid{1};
+
+// The current (innermost open) span on this thread, keyed by collector uid
+// so spans on different collectors never parent each other.
+thread_local uint64_t tls_current_uid = 0;
+thread_local uint64_t tls_current_id = 0;
+
+// This thread's registered buffer for the collector named by uid.
+struct BufferCache {
+  uint64_t uid = 0;
+  void* buffer = nullptr;
+};
+thread_local BufferCache tls_buffer;
+
+}  // namespace
+
+SpanCollector::SpanCollector(size_t max_spans_per_thread)
+    : uid_(g_next_collector_uid.fetch_add(1, std::memory_order_relaxed)),
+      max_spans_per_thread_(max_spans_per_thread == 0 ? 1
+                                                      : max_spans_per_thread),
+      epoch_nanos_(MonotonicNanos()) {}
+
+SpanCollector::~SpanCollector() = default;
+
+SpanCollector::ThreadBuffer* SpanCollector::BufferForThisThread() {
+  if (tls_buffer.uid == uid_) {
+    return static_cast<ThreadBuffer*>(tls_buffer.buffer);
+  }
+  MutexLock lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(
+      max_spans_per_thread_, static_cast<uint32_t>(buffers_.size())));
+  ThreadBuffer* buf = buffers_.back().get();
+  tls_buffer = {uid_, buf};
+  return buf;
+}
+
+void SpanCollector::Record(const SpanRecord& rec) {
+  ThreadBuffer* buf = BufferForThisThread();
+  SpanRecord stamped = rec;
+  stamped.tid = buf->tid;
+  size_t size = buf->size.load(std::memory_order_relaxed);
+  if (size >= buf->capacity) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buf->records[size] = stamped;
+    // Publish: a concurrent exporter that acquires `size + 1` sees the
+    // record fields written above.
+    buf->size.store(size + 1, std::memory_order_release);
+  }
+  FlightRecorder* flight = flight_.load(std::memory_order_acquire);
+  if (flight != nullptr) flight->RecordSpan(stamped);
+}
+
+size_t SpanCollector::num_spans() const {
+  MutexLock lock(mu_);
+  size_t total = 0;
+  for (const auto& buf : buffers_) {
+    total += buf->size.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+std::vector<SpanRecord> SpanCollector::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<SpanRecord> out;
+  for (const auto& buf : buffers_) {
+    size_t size = buf->size.load(std::memory_order_acquire);
+    for (size_t i = 0; i < size; ++i) out.push_back(buf->records[i]);
+  }
+  return out;
+}
+
+void SpanCollector::Clear() {
+  MutexLock lock(mu_);
+  for (auto& buf : buffers_) {
+    buf->size.store(0, std::memory_order_relaxed);
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void SpanCollector::WriteJson(JsonWriter& w) const {
+  std::vector<SpanRecord> spans = Snapshot();
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ns");
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const SpanRecord& s : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(s.name != nullptr ? s.name : "unnamed");
+    w.Key("cat");
+    w.String("consentdb");
+    w.Key("ph");
+    w.String("X");
+    // Chrome trace timestamps are microseconds; fractional digits keep
+    // nanosecond resolution.
+    w.Key("ts");
+    w.Double(static_cast<double>(s.start_nanos - epoch_nanos_) / 1000.0);
+    w.Key("dur");
+    w.Double(static_cast<double>(s.end_nanos - s.start_nanos) / 1000.0);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Uint(s.tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("id");
+    w.Uint(s.id);
+    w.Key("parent");
+    w.Uint(s.parent_id);
+    if (s.arg_name != nullptr) {
+      w.Key(s.arg_name);
+      w.Uint(s.arg_value);
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+std::string SpanCollector::ExportChromeTrace() const {
+  JsonWriter w;
+  WriteJson(w);
+  return w.TakeString();
+}
+
+Span::Span(SpanCollector* collector, const char* name)
+    : collector_(collector) {
+  if (collector_ == nullptr) return;
+  rec_.name = name;
+  rec_.id = collector_->NextSpanId();
+  const uint64_t uid = collector_->uid();
+  rec_.parent_id = (tls_current_uid == uid) ? tls_current_id : 0;
+  prev_uid_ = tls_current_uid;
+  prev_id_ = tls_current_id;
+  tls_current_uid = uid;
+  tls_current_id = rec_.id;
+  rec_.start_nanos = MonotonicNanos();
+}
+
+Span::~Span() {
+  if (collector_ == nullptr) return;
+  rec_.end_nanos = MonotonicNanos();
+  tls_current_uid = prev_uid_;
+  tls_current_id = prev_id_;
+  collector_->Record(rec_);
+}
+
+}  // namespace consentdb::obs

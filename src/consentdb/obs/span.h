@@ -1,0 +1,165 @@
+// Span tracer: nestable RAII spans exported as Chrome trace-event JSON.
+//
+// A Span marks one timed unit of work (a session, a probe, a WAL fsync).
+// Spans nest: each records the id of the span that was current on the same
+// thread when it started, so a concurrent engine run renders as one causal
+// timeline (session -> plan -> probe -> retry wait -> WAL append) when the
+// export is loaded into Perfetto or chrome://tracing.
+//
+// Design constraints (same bill of rights as metrics.h):
+//   * Opt-in with a zero-overhead null sink: a Span constructed on a null
+//     SpanCollector* compiles down to a pointer test — no clock read, no
+//     allocation, no thread-local write.
+//   * Lock-free recording: each thread appends finished spans to its own
+//     fixed-capacity buffer. The collector mutex is taken once per thread
+//     (buffer registration), never per span. Publication is a single
+//     release store of the buffer size, so a concurrent exporter reads a
+//     consistent prefix — TSAN-clean by construction.
+//   * Span names must be static-duration strings (see obs/names.h): the
+//     record stores the pointer, not a copy.
+//
+// Export format: Chrome trace-event "complete" events ("ph":"X") with
+// microsecond ts/dur relative to the collector's epoch, pid 1, and the
+// collector-assigned per-thread index as tid. Span id / parent id / the
+// optional numeric argument ride in "args".
+
+#ifndef CONSENTDB_OBS_SPAN_H_
+#define CONSENTDB_OBS_SPAN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consentdb/obs/metrics.h"
+#include "consentdb/util/thread_annotations.h"
+
+namespace consentdb {
+class JsonWriter;
+}  // namespace consentdb
+
+namespace consentdb::obs {
+
+class FlightRecorder;
+
+// One finished span. `name`/`arg_name` point at static-duration strings.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root (no enclosing span on this thread)
+  int64_t start_nanos = 0;
+  int64_t end_nanos = 0;
+  uint32_t tid = 0;            // collector-assigned thread index
+  const char* arg_name = nullptr;  // optional single numeric attribute
+  uint64_t arg_value = 0;
+};
+
+// Collects finished spans from many threads. Thread-safe; see the header
+// comment for the locking discipline.
+class SpanCollector {
+ public:
+  // `max_spans_per_thread` bounds memory: once a thread's buffer is full,
+  // further spans on that thread are counted in dropped() and discarded.
+  explicit SpanCollector(size_t max_spans_per_thread = 1 << 16);
+  ~SpanCollector();
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  // Mirrors every finished span into `recorder` (pass nullptr to detach).
+  // Set during setup; the pointer itself is read atomically.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
+  // Finished spans across all threads (a consistent snapshot prefix).
+  size_t num_spans() const EXCLUDES(mu_);
+  // Spans discarded because a thread buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Nanosecond origin of the exported timeline (set at construction).
+  int64_t epoch_nanos() const { return epoch_nanos_; }
+
+  // Chrome trace-event JSON: {"displayTimeUnit":"ns","traceEvents":[...]}.
+  // Safe to call while spans are still being recorded (exports the
+  // published prefix of every thread buffer).
+  void WriteJson(JsonWriter& w) const EXCLUDES(mu_);
+  std::string ExportChromeTrace() const EXCLUDES(mu_);
+
+  // Copies the published records out (export-order: by thread, then append
+  // order). For tests and the flight recorder, not the hot path.
+  std::vector<SpanRecord> Snapshot() const EXCLUDES(mu_);
+
+  // Forgets all recorded spans. Not safe concurrently with active Spans.
+  void Clear() EXCLUDES(mu_);
+
+  // --- Span internals (public for the Span RAII type, not applications) ---
+  uint64_t NextSpanId() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void Record(const SpanRecord& rec) EXCLUDES(mu_);
+  uint64_t uid() const { return uid_; }
+
+ private:
+  // Single-producer fixed-capacity span buffer. The owning thread writes
+  // records then release-stores `size`; readers acquire-load `size` and
+  // read only that prefix.
+  struct ThreadBuffer {
+    ThreadBuffer(size_t capacity, uint32_t tid)
+        : records(std::make_unique<SpanRecord[]>(capacity)),
+          capacity(capacity),
+          tid(tid) {}
+    std::unique_ptr<SpanRecord[]> records;
+    const size_t capacity;
+    const uint32_t tid;  // registration order; the exported trace tid
+    std::atomic<size_t> size{0};
+  };
+
+  ThreadBuffer* BufferForThisThread() EXCLUDES(mu_);
+
+  const uint64_t uid_;  // process-unique, guards thread-local caching
+  const size_t max_spans_per_thread_;
+  const int64_t epoch_nanos_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<FlightRecorder*> flight_{nullptr};
+
+  // mu_ guards buffer registration only; appends are lock-free.
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ GUARDED_BY(mu_);
+};
+
+// RAII span. On a null collector every member is a pointer test; otherwise
+// the constructor assigns an id, links to the thread's current span and
+// becomes current itself until destruction.
+class Span {
+ public:
+  Span(SpanCollector* collector, const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Attaches one numeric attribute (last call wins). `arg_name` must be a
+  // static-duration string. No-op on a null collector.
+  void SetArg(const char* arg_name, uint64_t value) {
+    if (collector_ != nullptr) {
+      rec_.arg_name = arg_name;
+      rec_.arg_value = value;
+    }
+  }
+
+  // 0 on a null collector.
+  uint64_t id() const { return rec_.id; }
+
+ private:
+  SpanCollector* collector_;
+  SpanRecord rec_;
+  // The (collector uid, span id) that was current on this thread before
+  // this span started; restored on destruction.
+  uint64_t prev_uid_ = 0;
+  uint64_t prev_id_ = 0;
+};
+
+}  // namespace consentdb::obs
+
+#endif  // CONSENTDB_OBS_SPAN_H_

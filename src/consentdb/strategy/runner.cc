@@ -1,5 +1,6 @@
 #include "consentdb/strategy/runner.h"
 
+#include "consentdb/obs/names.h"
 #include "consentdb/util/check.h"
 
 namespace consentdb::strategy {
@@ -40,6 +41,7 @@ ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
   }
 
   while (!state.AllDecided()) {
+    obs::Span probe_span(instr.spans, obs::names::kSpanSessionProbe);
     const int64_t t0 = instrumented ? obs::MonotonicNanos() : 0;
     VarId x = strategy.ChooseNext(state);
     const int64_t deliberation =
@@ -48,6 +50,7 @@ ProbeRun RunToCompletion(EvaluationState& state, ProbeStrategy& strategy,
                     "strategy '" + strategy.name() +
                         "' chose a useless or known variable: x" +
                         std::to_string(x));
+    probe_span.SetArg(obs::names::kArgVariable, x);
     bool answer = probe(x);
     state.Assign(x, answer);
     strategy.OnAnswer(state, x, answer);
@@ -108,6 +111,7 @@ ResilientProbeRun RunToCompletionResilient(EvaluationState& state,
     // Only a lost variable can make every remaining path undecidable, so the
     // scan is skipped entirely on the (common) fault-free trajectory.
     if (run.num_lost > 0 && !state.HasUsefulVar()) break;
+    obs::Span probe_span(instr.spans, obs::names::kSpanSessionProbe);
     const int64_t t0 = instrumented ? obs::MonotonicNanos() : 0;
     VarId x = strategy.ChooseNext(state);
     const int64_t deliberation =
@@ -116,6 +120,7 @@ ResilientProbeRun RunToCompletionResilient(EvaluationState& state,
                     "strategy '" + strategy.name() +
                         "' chose a useless or known variable: x" +
                         std::to_string(x));
+    probe_span.SetArg(obs::names::kArgVariable, x);
     FallibleProbe result = probe(x);
     if (result.outcome == ProbeOutcome::kSessionExpired) {
       run.session_expired = true;

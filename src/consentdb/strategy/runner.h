@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "consentdb/obs/metrics.h"
+#include "consentdb/obs/span.h"
 #include "consentdb/obs/tracer.h"
 #include "consentdb/strategy/strategies.h"
 
@@ -17,13 +18,18 @@ namespace consentdb::strategy {
 // Answers a probe for variable x; must be consistent across calls.
 using ProbeFn = std::function<bool(VarId)>;
 
-// Opt-in telemetry sinks for a probing session. Both default to null, in
+// Opt-in telemetry sinks for a probing session. All default to null, in
 // which case the loop records no timings and reads no clocks; attaching
-// either one must not change which probes are issued (verified by tests).
+// any of them must not change which probes are issued (verified by tests).
 struct RunInstrumentation {
   obs::MetricsRegistry* metrics = nullptr;
   obs::SessionTracer* tracer = nullptr;
+  // One session.probe span per probe iteration (deliberation + oracle
+  // round-trip, with retry.wait spans nested inside on the resilient path).
+  obs::SpanCollector* spans = nullptr;
 
+  // Whether the per-probe deliberation clock must run (spans keep their own
+  // clock inside obs::Span, so they do not force it).
   bool enabled() const { return metrics != nullptr || tracer != nullptr; }
 };
 

@@ -135,6 +135,11 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::Raw(const std::string& json) {
+  BeforeValue();
+  out_ += json;
+}
+
 std::string JsonWriter::TakeString() {
   CONSENTDB_CHECK(stack_.empty(), "unterminated JSON structure");
   return std::move(out_);

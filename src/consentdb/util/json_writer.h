@@ -40,6 +40,11 @@ class JsonWriter {
   void Bool(bool value);
   void Null();
 
+  // Splices a pre-rendered JSON value verbatim (object, array, or scalar).
+  // The caller vouches that `json` is well-formed; nesting bookkeeping
+  // treats it as one value.
+  void Raw(const std::string& json);
+
   // Finishes and returns the document; the writer must be at nesting
   // depth 0.
   std::string TakeString();

@@ -495,14 +495,18 @@ TEST(SessionEngineTest, EngineCountersLandInTheRegistry) {
   EXPECT_EQ(registry.GetCounter("engine.sessions")->value(), 4u);
   EXPECT_EQ(registry.GetCounter("session.count")->value(), 4u);
   SessionEngine::CacheStats stats = engine.cache_stats();
-  EXPECT_EQ(registry.GetCounter("engine.plan_cache.hit")->value(),
+  EXPECT_EQ(registry.GetCounter("cache.plan.hit")->value(),
             stats.plan_hits);
-  EXPECT_EQ(registry.GetCounter("engine.plan_cache.miss")->value(),
+  EXPECT_EQ(registry.GetCounter("cache.plan.miss")->value(),
             stats.plan_misses);
-  EXPECT_EQ(registry.GetCounter("engine.prov_cache.hit")->value(),
+  EXPECT_EQ(registry.GetCounter("cache.prov.hit")->value(),
             stats.provenance_hits);
-  EXPECT_EQ(registry.GetCounter("engine.prov_cache.miss")->value(),
+  EXPECT_EQ(registry.GetCounter("cache.prov.miss")->value(),
             stats.provenance_misses);
+  // The exports derive a hit-rate line per hit/miss pair.
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("cache.plan.hit_rate"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache.prov.hit_rate"), std::string::npos) << text;
   EXPECT_EQ(registry.GetCounter("engine.ledger.hit")->value(),
             engine.ledger().hits());
 }
