@@ -55,6 +55,20 @@ SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
   }
 }
 
+SessionEngine::~SessionEngine() {
+  // The collector is caller-owned and outlives the engine; detach our ring
+  // before it is destroyed so later spans don't hit freed memory. When two
+  // engines shared one collector, last attach won — only the engine whose
+  // recorder is still attached clears it. The worker pool (destroyed first,
+  // see member order) is still draining here, so in-flight sessions simply
+  // stop mirroring; threads recording on the collector after the engine is
+  // gone see a null recorder.
+  if (flight_ != nullptr && options_.session.spans != nullptr &&
+      options_.session.spans->flight_recorder() == flight_.get()) {
+    options_.session.spans->set_flight_recorder(nullptr);
+  }
+}
+
 Result<SessionEngine::PlanEntry> SessionEngine::ResolvePlan(
     const SessionRequest& request, const SessionOptions& options,
     uint64_t version) {

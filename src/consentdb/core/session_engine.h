@@ -117,8 +117,10 @@ class SessionEngine {
   explicit SessionEngine(const consent::SharedDatabase& sdb,
                          EngineOptions options = {});
 
-  // Joins the workers after draining every submitted session.
-  ~SessionEngine() = default;
+  // Detaches the flight recorder from the caller-owned span collector (the
+  // collector outlives the engine and must not keep a dangling pointer),
+  // then joins the workers after draining every submitted session.
+  ~SessionEngine();
 
   // Enqueues one session; the future carries its report (or error).
   [[nodiscard]] std::future<Result<SessionReport>> Submit(

@@ -32,9 +32,16 @@ FlightRecorder::FlightRecorder(size_t capacity)
       slots_(std::make_unique<Slot[]>(capacity_)) {}
 
 void FlightRecorder::Write(const SpanRecord& rec) {
+  // fetch_add both allocates the ticket and advances head_; no other store
+  // may touch head_ — a plain store would move the allocator backwards past
+  // tickets already handed to concurrent writers and re-issue them.
   const uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket & mask_];
   slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  // Publish the in-progress marker before any field write becomes visible:
+  // without this fence a weakly-ordered CPU may surface half-new fields to
+  // a reader whose seq checks still both see the old even value.
+  std::atomic_thread_fence(std::memory_order_release);
   slot.name.store(NameBits(rec.name), std::memory_order_relaxed);
   slot.id.store(rec.id, std::memory_order_relaxed);
   slot.parent.store(rec.parent_id, std::memory_order_relaxed);
@@ -44,9 +51,6 @@ void FlightRecorder::Write(const SpanRecord& rec) {
   slot.arg_name.store(NameBits(rec.arg_name), std::memory_order_relaxed);
   slot.arg.store(rec.arg_value, std::memory_order_relaxed);
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
-  // Publish head after the slot so Snapshot's acquire of head_ orders the
-  // seq reads below it.
-  head_.store(ticket + 1, std::memory_order_release);
 }
 
 void FlightRecorder::RecordSpan(const SpanRecord& rec) { Write(rec); }

@@ -50,7 +50,8 @@ class FlightRecorder {
   void RecordEvent(const char* name, const char* arg_name, uint64_t arg_value);
 
   size_t capacity() const { return capacity_; }
-  // Total records ever written (>= capacity() once the ring has wrapped).
+  // Total records ever started (including any still being written;
+  // >= capacity() once the ring has wrapped).
   uint64_t num_recorded() const {
     return head_.load(std::memory_order_acquire);
   }

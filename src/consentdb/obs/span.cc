@@ -38,9 +38,23 @@ SpanCollector::ThreadBuffer* SpanCollector::BufferForThisThread() {
     return static_cast<ThreadBuffer*>(tls_buffer.buffer);
   }
   MutexLock lock(mu_);
-  buffers_.push_back(std::make_unique<ThreadBuffer>(
-      max_spans_per_thread_, static_cast<uint32_t>(buffers_.size())));
-  ThreadBuffer* buf = buffers_.back().get();
+  // The one-entry thread-local cache may have been evicted by a Record on
+  // another collector; reuse this thread's existing buffer (buffers_ holds
+  // one per thread, so the scan is short) instead of leaking a new one per
+  // collector switch.
+  ThreadBuffer* buf = nullptr;
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& existing : buffers_) {
+    if (existing->owner == self) {
+      buf = existing.get();
+      break;
+    }
+  }
+  if (buf == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        max_spans_per_thread_, static_cast<uint32_t>(buffers_.size())));
+    buf = buffers_.back().get();
+  }
   tls_buffer = {uid_, buf};
   return buf;
 }

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "consentdb/obs/metrics.h"
@@ -67,9 +68,14 @@ class SpanCollector {
   SpanCollector& operator=(const SpanCollector&) = delete;
 
   // Mirrors every finished span into `recorder` (pass nullptr to detach).
-  // Set during setup; the pointer itself is read atomically.
+  // Set during setup and detached before the recorder dies; the pointer
+  // itself is read atomically. Last attach wins when several engines share
+  // one collector — each detaches only if it is still the one attached.
   void set_flight_recorder(FlightRecorder* recorder) {
     flight_.store(recorder, std::memory_order_release);
+  }
+  FlightRecorder* flight_recorder() const {
+    return flight_.load(std::memory_order_acquire);
   }
 
   // Finished spans across all threads (a consistent snapshot prefix).
@@ -108,10 +114,15 @@ class SpanCollector {
     ThreadBuffer(size_t capacity, uint32_t tid)
         : records(std::make_unique<SpanRecord[]>(capacity)),
           capacity(capacity),
-          tid(tid) {}
+          tid(tid),
+          owner(std::this_thread::get_id()) {}
     std::unique_ptr<SpanRecord[]> records;
     const size_t capacity;
     const uint32_t tid;  // registration order; the exported trace tid
+    // The producing thread: lets a thread whose thread-local cache was
+    // evicted (it recorded on another collector meanwhile) find its buffer
+    // again instead of registering a fresh one.
+    const std::thread::id owner;
     std::atomic<size_t> size{0};
   };
 

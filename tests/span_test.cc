@@ -571,6 +571,60 @@ TEST(EngineFlightTest, CheckpointWritesAFlightSidecar) {
             std::string::npos);
 }
 
+// A thread alternating between two live collectors must reuse its buffer in
+// each (one buffer per thread per collector), not register a fresh one on
+// every switch.
+TEST(SpanTest, AlternatingCollectorsReuseOneBufferPerThread) {
+  SpanCollector a;
+  SpanCollector b;
+  for (int i = 0; i < 5; ++i) {
+    { Span span(&a, names::kSpanWalFsync); }
+    { Span span(&b, names::kSpanWalAppend); }
+  }
+  for (SpanCollector* collector : {&a, &b}) {
+    std::vector<SpanRecord> snapshot = collector->Snapshot();
+    ASSERT_EQ(snapshot.size(), 5u);
+    for (const SpanRecord& rec : snapshot) {
+      EXPECT_EQ(rec.tid, 0u);  // one registered buffer, not one per switch
+    }
+    EXPECT_EQ(collector->dropped(), 0u);
+  }
+}
+
+// The engine must detach its flight recorder from the caller-owned collector
+// on destruction: the collector outlives the engine, and a span recorded
+// afterwards must not chase a dangling pointer.
+TEST(EngineFlightTest, DestructionDetachesTheCollectorMirror) {
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase();
+  SpanCollector collector;
+  core::EngineOptions options;
+  options.num_threads = 1;
+  options.session.spans = &collector;
+  {
+    core::SessionEngine engine(sdb, options);
+    EXPECT_EQ(collector.flight_recorder(), engine.flight_recorder());
+  }
+  EXPECT_EQ(collector.flight_recorder(), nullptr);
+  { Span span(&collector, names::kSpanWalFsync); }  // must not crash
+  EXPECT_EQ(collector.num_spans(), 1u);
+}
+
+// With two engines sharing one collector, the last attach wins and each
+// engine detaches only its own recorder: destroying the first engine must
+// not sever the survivor's mirror.
+TEST(EngineFlightTest, SharedCollectorKeepsTheSurvivingEnginesRecorder) {
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase();
+  SpanCollector collector;
+  core::EngineOptions options;
+  options.num_threads = 1;
+  options.session.spans = &collector;
+  auto first = std::make_unique<core::SessionEngine>(sdb, options);
+  core::SessionEngine second(sdb, options);
+  EXPECT_EQ(collector.flight_recorder(), second.flight_recorder());
+  first.reset();
+  EXPECT_EQ(collector.flight_recorder(), second.flight_recorder());
+}
+
 TEST(EngineFlightTest, ZeroCapacityDisablesTheRecorder) {
   consent::SharedDatabase sdb = testing::RecruitmentDatabase();
   core::EngineOptions options;
