@@ -26,6 +26,11 @@ do not) catch but that this codebase bans:
                           dashboards and the lint-exempt registry in
                           obs/names.h, so they stay lowercase dotted words;
                           obs/names.h itself is the one place to mint them
+  nested-vector-strategy  a std::vector<std::vector<...>> in
+                          src/consentdb/strategy/ — the probing hot path is
+                          columnar (flat arrays + CSR offsets) precisely to
+                          avoid per-row allocations and pointer-chasing;
+                          store a flat array with an offsets table instead
 
 A finding on a line carrying `// lint:allow <rule>` (or whose previous line
 is only that comment) is suppressed; the allowlist is per-rule, so an
@@ -92,6 +97,12 @@ VALID_OBS_NAME_RE = re.compile(r"^[a-z0-9_.]+$")
 # The registry of canonical names declares its own convention.
 OBS_NAME_EXEMPT_FILES = {Path("src/consentdb/obs/names.h")}
 
+# Vector-of-vectors in the strategy layer: the evaluation hot path went
+# columnar (flat term/clause tables + CSR adjacency) and must not regress to
+# per-row heap allocations. Whitespace is tolerated between the tokens.
+NESTED_VECTOR_RE = re.compile(r"\bstd::vector\s*<\s*std::vector\s*<")
+NESTED_VECTOR_DIR = ("src", "consentdb", "strategy")
+
 RULES = (
     "naked-new",
     "mutex-guard",
@@ -101,6 +112,7 @@ RULES = (
     "sleep-outside-clock",
     "raw-file-io",
     "obs-name-literal",
+    "nested-vector-strategy",
 )
 
 
@@ -222,6 +234,15 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                         "real sleep outside the Clock implementation; take "
                         "a consentdb::Clock and call SleepFor so tests and "
                         "benches run on virtual time (util/clock.h)"))
+
+        if (rel.parts[:3] == NESTED_VECTOR_DIR
+                and NESTED_VECTOR_RE.search(code)
+                and "nested-vector-strategy" not in allowed):
+            findings.append(
+                Finding(rel, lineno, "nested-vector-strategy",
+                        "vector-of-vectors in the strategy layer; the "
+                        "evaluation hot path is columnar — store a flat "
+                        "array with a CSR offsets table instead"))
 
         if (RAW_FILE_IO_RE.search(code) and rel not in RAW_FILE_IO_EXEMPT_FILES
                 and "raw-file-io" not in allowed):

@@ -297,6 +297,58 @@ class ObsNameLiteralTest(LintHarness):
         self.assertEqual(self.rules(), [])
 
 
+class NestedVectorStrategyTest(LintHarness):
+    def test_flags_member_in_strategy_layer(self):
+        self.write("src/consentdb/strategy/a.h",
+                   "class A {\n"
+                   "  std::vector<std::vector<size_t>> var_to_terms_;\n"
+                   "};\n")
+        self.assertEqual(self.rules(), ["nested-vector-strategy"])
+        self.assertEqual(self.findings()[0][2], 2)
+
+    def test_tolerates_whitespace_between_tokens(self):
+        self.write("src/consentdb/strategy/a.h",
+                   "class A {\n"
+                   "  std::vector< std::vector<double> > rows_;\n"
+                   "};\n")
+        self.assertEqual(self.rules(), ["nested-vector-strategy"])
+
+    def test_flat_vector_ok(self):
+        self.write("src/consentdb/strategy/a.h",
+                   "class A {\n"
+                   "  std::vector<uint32_t> vt_off_;\n"
+                   "  std::vector<uint32_t> vt_tid_;\n"
+                   "};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_other_layers_unaffected(self):
+        # Only the strategy hot path is columnar by decree; e.g. the
+        # relational layer may still nest.
+        self.write("src/consentdb/relational/a.h",
+                   "struct Rows {\n"
+                   "  std::vector<std::vector<Value>> cells;\n"
+                   "};\n")
+        self.write("tests/legacy_a.h",
+                   "class L {\n"
+                   "  std::vector<std::vector<size_t>> var_to_terms_;\n"
+                   "};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_mention_in_comment_ignored(self):
+        self.write("src/consentdb/strategy/a.h",
+                   "// replaced std::vector<std::vector<size_t>> with CSR\n"
+                   "class A {};\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("src/consentdb/strategy/a.h",
+                   "class A {\n"
+                   "  // lint:allow nested-vector-strategy\n"
+                   "  std::vector<std::vector<size_t>> scratch_;\n"
+                   "};\n")
+        self.assertEqual(self.rules(), [])
+
+
 class AllowlistScopingTest(LintHarness):
     def test_allow_is_per_rule(self):
         # An allow for one rule must not silence a different rule on the

@@ -380,6 +380,7 @@ Result<SessionReport> ConsentManager::FinishSession(
   report.num_probes = num_probes;
   report.algorithm_used = sel.strategy->name();
   report.selection_rationale = sel.rationale;
+  report.cnf_attach_failed = sel.strategy->cnf_attach_failed();
   report.query_profile = prepared.profile;
   report.query_profile_submitted = prepared.submitted_profile;
   report.provenance_tuples = profile.dnfs.size();
@@ -419,6 +420,9 @@ Result<SessionReport> ConsentManager::FinishSession(
     if (report.num_unresolved > 0) {
       obs::Increment(metrics, "session.unresolved_tuples",
                      report.num_unresolved);
+    }
+    if (report.cnf_attach_failed) {
+      obs::Increment(metrics, "session.cnf_attach_failed");
     }
   }
   if (options.tracer != nullptr) {
@@ -523,6 +527,10 @@ std::string SessionReport::ToJson() const {
   w.String(query::QueryClassToString(query_profile_submitted.query_class));
   w.Key("num_probes");
   w.Uint(num_probes);
+  if (cnf_attach_failed) {
+    w.Key("cnf_attach_failed");
+    w.Bool(true);
+  }
   if (resilient) {
     w.Key("num_retries");
     w.Uint(num_retries);
@@ -594,6 +602,7 @@ std::string SessionReport::ToString() const {
   size_t shareable = 0;
   for (const TupleConsent& t : tuples) shareable += t.shareable ? 1 : 0;
   out += ", shareable=" + std::to_string(shareable);
+  if (cnf_attach_failed) out += ", cnf_attach_failed";
   if (resilient) {
     out += ", unresolved=" + std::to_string(num_unresolved);
     out += ", retries=" + std::to_string(num_retries);

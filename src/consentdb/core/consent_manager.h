@@ -165,6 +165,12 @@ struct SessionReport {
   std::vector<ProbeRecord> trace;
   std::string algorithm_used;
   std::string selection_rationale;
+  // True when the strategy attempted a mid-run residual-CNF attachment that
+  // failed its budget (Hybrid wanted Q-value but retreated to General).
+  // Distinguishes "Hybrid ran Q-value" from "Hybrid never could" in
+  // reports; emitted in ToJson only when set so legacy reports stay
+  // byte-identical.
+  bool cnf_attach_failed = false;
   // Classification of the plan the session actually evaluated and selected
   // its strategy from (the optimized plan when optimization is on) — the
   // class whose Table I guarantees the session relied on.

@@ -1,7 +1,7 @@
 #include "consentdb/provenance/normal_form.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <set>
 
 #include "consentdb/util/check.h"
@@ -121,112 +121,285 @@ bool NoSharedVars(const std::vector<VarSet>& sets) {
   return true;
 }
 
+// --- Bit-matrix transposition ----------------------------------------------
+//
+// Transposition works over a dense local universe: the distinct variables of
+// the input family, sorted ascending, each mapped to one bit. A family of
+// sets is then a flat row-major bit matrix (`words` uint64_t per row), and
+// the inner-loop operations — subset checks during absorption, pairwise
+// unions during merging, pivot frequency counts — become word-parallel
+// AND/OR/POPCNT instead of per-element walks over std::vector<VarId>.
+
+struct MaskFamily {
+  size_t words = 1;            // words per row (fixed for a whole transpose)
+  size_t count = 0;            // number of rows
+  std::vector<uint64_t> bits;  // count * words, row-major
+
+  const uint64_t* row(size_t i) const { return bits.data() + i * words; }
+  uint64_t* row(size_t i) { return bits.data() + i * words; }
+
+  void PushRow(const uint64_t* r) {
+    bits.insert(bits.end(), r, r + words);
+    ++count;
+  }
+  void PushEmptyRow() {
+    bits.insert(bits.end(), words, 0);
+    ++count;
+  }
+  void PushSingleton(size_t bit) {
+    PushEmptyRow();
+    row(count - 1)[bit / 64] = uint64_t{1} << (bit % 64);
+  }
+};
+
+bool RowIsZero(const uint64_t* r, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if (r[w] != 0) return false;
+  }
+  return true;
+}
+
+// True iff a ⊆ b.
+bool RowSubsetOf(const uint64_t* a, const uint64_t* b, size_t words) {
+  for (size_t w = 0; w < words; ++w) {
+    if ((a[w] & ~b[w]) != 0) return false;
+  }
+  return true;
+}
+
+size_t RowPopcount(const uint64_t* r, size_t words) {
+  size_t n = 0;
+  for (size_t w = 0; w < words; ++w) n += __builtin_popcountll(r[w]);
+  return n;
+}
+
+// Absorption on the bit matrix: keeps only the minimal rows. The surviving
+// antichain is unique as a set, so row order within the family is free.
+void MinimizeMasks(MaskFamily* fam) {
+  const size_t words = fam->words;
+  std::vector<uint32_t> order(fam->count);
+  for (uint32_t i = 0; i < fam->count; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return RowPopcount(fam->row(a), words) < RowPopcount(fam->row(b), words);
+  });
+  MaskFamily kept;
+  kept.words = words;
+  kept.bits.reserve(fam->bits.size());
+  for (uint32_t i : order) {
+    const uint64_t* cand = fam->row(i);
+    bool absorbed = false;
+    for (size_t k = 0; k < kept.count; ++k) {
+      // Every kept row has popcount <= cand's, so ⊆ covers equality too.
+      if (RowSubsetOf(kept.row(k), cand, words)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) kept.PushRow(cand);
+  }
+  *fam = std::move(kept);
+}
+
 // Merges two families of the dual form: dual(A ∨ B) = minimal pairwise
-// unions of dual(A) and dual(B). Minimises periodically so the working set
-// stays near the size of the true (minimal) result; only the minimised size
-// counts against the budget.
-Result<std::vector<VarSet>> MergeDuals(const std::vector<VarSet>& left,
-                                       const std::vector<VarSet>& right,
-                                       const NormalFormLimits& limits) {
-  std::vector<VarSet> out;
+// unions (bitwise ORs) of dual(A) and dual(B). Minimises periodically so the
+// working set stays near the size of the true (minimal) result; only the
+// minimised size counts against the budget.
+Result<MaskFamily> MergeDualsMasked(const MaskFamily& left,
+                                    const MaskFamily& right,
+                                    const NormalFormLimits& limits) {
+  const size_t words = left.words;
   // Disjoint variable supports (e.g. read-once formulas): pairwise unions
   // of two antichains over disjoint variables are again an antichain, so
   // minimisation is a no-op — emit directly under the budget.
-  if (!UnionOfAll(left).Intersects(UnionOfAll(right))) {
-    if (left.size() * right.size() > limits.max_sets) {
+  std::vector<uint64_t> support_left(words, 0), support_right(words, 0);
+  for (size_t i = 0; i < left.count; ++i) {
+    for (size_t w = 0; w < words; ++w) support_left[w] |= left.row(i)[w];
+  }
+  for (size_t i = 0; i < right.count; ++i) {
+    for (size_t w = 0; w < words; ++w) support_right[w] |= right.row(i)[w];
+  }
+  bool disjoint = true;
+  for (size_t w = 0; w < words; ++w) {
+    if ((support_left[w] & support_right[w]) != 0) {
+      disjoint = false;
+      break;
+    }
+  }
+  MaskFamily out;
+  out.words = words;
+  if (disjoint) {
+    if (left.count * right.count > limits.max_sets) {
       return BudgetExceeded(limits.max_sets);
     }
-    out.reserve(left.size() * right.size());
-    for (const VarSet& a : left) {
-      for (const VarSet& b : right) out.push_back(a.Union(b));
+    out.bits.reserve(left.count * right.count * words);
+    for (size_t i = 0; i < left.count; ++i) {
+      for (size_t j = 0; j < right.count; ++j) {
+        out.PushEmptyRow();
+        uint64_t* r = out.row(out.count - 1);
+        for (size_t w = 0; w < words; ++w) {
+          r[w] = left.row(i)[w] | right.row(j)[w];
+        }
+      }
     }
-    std::sort(out.begin(), out.end());
     return out;
   }
-  size_t threshold = std::max<size_t>(4096, 4 * (left.size() + right.size()));
-  for (const VarSet& a : left) {
-    for (const VarSet& b : right) {
-      out.push_back(a.Union(b));
+  size_t threshold = std::max<size_t>(4096, 4 * (left.count + right.count));
+  for (size_t i = 0; i < left.count; ++i) {
+    for (size_t j = 0; j < right.count; ++j) {
+      out.PushEmptyRow();
+      uint64_t* r = out.row(out.count - 1);
+      for (size_t w = 0; w < words; ++w) {
+        r[w] = left.row(i)[w] | right.row(j)[w];
+      }
     }
-    if (out.size() > threshold) {
-      Minimize(&out);
-      if (out.size() > limits.max_sets) return BudgetExceeded(limits.max_sets);
+    if (out.count > threshold) {
+      MinimizeMasks(&out);
+      if (out.count > limits.max_sets) return BudgetExceeded(limits.max_sets);
       // Avoid thrashing: keep the threshold well above the minimal size.
-      threshold = std::max(threshold, out.size() * 2);
+      threshold = std::max(threshold, out.count * 2);
     }
   }
-  Minimize(&out);
-  if (out.size() > limits.max_sets) return BudgetExceeded(limits.max_sets);
+  MinimizeMasks(&out);
+  if (out.count > limits.max_sets) return BudgetExceeded(limits.max_sets);
   return out;
 }
 
-// Dual transposition: given a monotone formula as a minimal list of sets,
-// computes the list of sets of the dual normal form (hitting sets). This is
-// both DNF->CNF and CNF->DNF for monotone formulas.
+// Dual transposition on the bit matrix: given a monotone formula as a
+// minimal family of rows, computes the family of the dual normal form
+// (hitting sets). This is both DNF->CNF and CNF->DNF for monotone formulas.
 //
 // Recursion pivots on the most frequent variable x, factoring
-//   ∨ sets  =  (x ∧ A) ∨ R,   A = {t \ {x} : x ∈ t},  R = {t : x ∉ t},
-// so that  dual(sets) = merge({{x}} ∪ dual(A), dual(R)).
+//   ∨ rows  =  (x ∧ A) ∨ R,   A = {t \ {x} : x ∈ t},  R = {t : x ∉ t},
+// so that  dual(rows) = merge({{x}} ∪ dual(A), dual(R)).
 // On structured inputs (e.g. the psi family, whose DNF has 2^k terms but a
 // linear-size CNF) the factorisation follows the formula structure and the
 // intermediate families stay near the size of the final result; a midpoint
 // divide-and-conquer or one-term-at-a-time expansion blows up instead. The
 // inherent worst case (read-once inputs) stays exponential and is caught by
 // the budget.
-Result<std::vector<VarSet>> TransposeImpl(const std::vector<VarSet>& sets,
-                                          const NormalFormLimits& limits) {
-  // No sets: the constant False as a DNF; dual is {{}} (the neutral element
-  // of MergeDuals). An empty set among the inputs: the constant True; dual
-  // is {} (the absorbing element of MergeDuals).
-  if (sets.empty()) return std::vector<VarSet>{VarSet{}};
-  for (const VarSet& s : sets) {
-    if (s.empty()) return std::vector<VarSet>{};
-  }
-  if (sets.size() == 1) {
-    // Dual of a single conjunction x1∧...∧xk is (x1)∧...∧(xk) — singletons.
-    std::vector<VarSet> out;
-    out.reserve(sets[0].size());
-    for (VarId x : sets[0]) out.push_back(VarSet{x});
+Result<MaskFamily> TransposeMasked(const MaskFamily& fam, size_t num_bits,
+                                   const NormalFormLimits& limits) {
+  const size_t words = fam.words;
+  MaskFamily out;
+  out.words = words;
+  // No rows: the constant False as a DNF; dual is {{}} (the neutral element
+  // of the merge). An all-zero row among the inputs: the constant True;
+  // dual is {} (the absorbing element of the merge).
+  if (fam.count == 0) {
+    out.PushEmptyRow();
     return out;
   }
-  // Pick the most frequent variable (ties: smallest id, for determinism).
-  std::map<VarId, size_t> counts;
-  for (const VarSet& s : sets) {
-    for (VarId x : s) ++counts[x];
+  for (size_t i = 0; i < fam.count; ++i) {
+    if (RowIsZero(fam.row(i), words)) return out;
   }
-  VarId pivot = kInvalidVar;
-  size_t best = 0;
-  for (const auto& [x, count] : counts) {
-    if (count > best) {
-      pivot = x;
-      best = count;
+  if (fam.count == 1) {
+    // Dual of a single conjunction x1∧...∧xk is (x1)∧...∧(xk) — singletons.
+    const uint64_t* r = fam.row(0);
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = r[w];
+      while (word != 0) {
+        size_t bit = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+        out.PushSingleton(bit);
+        word &= word - 1;
+      }
+    }
+    return out;
+  }
+  // Pick the most frequent variable (ties: smallest id, for determinism —
+  // bit order is ascending VarId order because the universe is sorted).
+  std::vector<uint32_t> counts(num_bits, 0);
+  for (size_t i = 0; i < fam.count; ++i) {
+    const uint64_t* r = fam.row(i);
+    for (size_t w = 0; w < words; ++w) {
+      uint64_t word = r[w];
+      while (word != 0) {
+        ++counts[w * 64 + static_cast<size_t>(__builtin_ctzll(word))];
+        word &= word - 1;
+      }
     }
   }
-  std::vector<VarSet> with_pivot;   // A: pivot stripped
-  std::vector<VarSet> without_pivot;  // R
-  for (const VarSet& s : sets) {
-    if (s.Contains(pivot)) {
-      with_pivot.push_back(s.Difference(VarSet{pivot}));
+  size_t pivot = 0;
+  uint32_t best = 0;
+  for (size_t bit = 0; bit < num_bits; ++bit) {
+    if (counts[bit] > best) {
+      pivot = bit;
+      best = counts[bit];
+    }
+  }
+  const size_t pivot_word = pivot / 64;
+  const uint64_t pivot_mask = uint64_t{1} << (pivot % 64);
+  MaskFamily with_pivot;  // A: pivot stripped
+  with_pivot.words = words;
+  MaskFamily without_pivot;  // R
+  without_pivot.words = words;
+  for (size_t i = 0; i < fam.count; ++i) {
+    const uint64_t* r = fam.row(i);
+    if ((r[pivot_word] & pivot_mask) != 0) {
+      with_pivot.PushRow(r);
+      with_pivot.row(with_pivot.count - 1)[pivot_word] &= ~pivot_mask;
     } else {
-      without_pivot.push_back(s);
+      without_pivot.PushRow(r);
     }
   }
-  CONSENTDB_ASSIGN_OR_RETURN(std::vector<VarSet> dual_a,
-                             TransposeImpl(with_pivot, limits));
+  CONSENTDB_ASSIGN_OR_RETURN(MaskFamily dual_a,
+                             TransposeMasked(with_pivot, num_bits, limits));
   // dual(x ∧ A) = {{x}} ∪ dual(A); minimal since A never mentions x.
-  std::vector<VarSet> dual_xa;
-  dual_xa.reserve(dual_a.size() + 1);
-  dual_xa.push_back(VarSet{pivot});
-  for (VarSet& c : dual_a) dual_xa.push_back(std::move(c));
-  if (without_pivot.empty()) return dual_xa;
-  CONSENTDB_ASSIGN_OR_RETURN(std::vector<VarSet> dual_r,
-                             TransposeImpl(without_pivot, limits));
-  return MergeDuals(dual_xa, dual_r, limits);
+  MaskFamily dual_xa;
+  dual_xa.words = words;
+  dual_xa.bits.reserve((dual_a.count + 1) * words);
+  dual_xa.PushSingleton(pivot);
+  for (size_t i = 0; i < dual_a.count; ++i) dual_xa.PushRow(dual_a.row(i));
+  if (without_pivot.count == 0) return dual_xa;
+  CONSENTDB_ASSIGN_OR_RETURN(MaskFamily dual_r,
+                             TransposeMasked(without_pivot, num_bits, limits));
+  return MergeDualsMasked(dual_xa, dual_r, limits);
 }
 
+// Converts between the VarSet and bit-matrix representations and runs the
+// masked transpose. The result is a minimal antichain but in recursion
+// order, not canonical order — callers re-sort (Dnf/Cnf constructors do).
 Result<std::vector<VarSet>> Transpose(const std::vector<VarSet>& sets,
                                       const NormalFormLimits& limits) {
-  return TransposeImpl(sets, limits);
+  // Dense local universe: distinct input variables, ascending.
+  std::vector<VarId> universe;
+  universe.reserve(SumOfSizes(sets));
+  for (const VarSet& s : sets) {
+    universe.insert(universe.end(), s.begin(), s.end());
+  }
+  std::sort(universe.begin(), universe.end());
+  universe.erase(std::unique(universe.begin(), universe.end()),
+                 universe.end());
+  MaskFamily fam;
+  fam.words = std::max<size_t>(1, (universe.size() + 63) / 64);
+  fam.bits.reserve(sets.size() * fam.words);
+  for (const VarSet& s : sets) {
+    fam.PushEmptyRow();
+    uint64_t* r = fam.row(fam.count - 1);
+    for (VarId x : s) {
+      size_t bit = static_cast<size_t>(
+          std::lower_bound(universe.begin(), universe.end(), x) -
+          universe.begin());
+      r[bit / 64] |= uint64_t{1} << (bit % 64);
+    }
+  }
+  CONSENTDB_ASSIGN_OR_RETURN(
+      MaskFamily dual, TransposeMasked(fam, universe.size(), limits));
+  std::vector<VarSet> out;
+  out.reserve(dual.count);
+  for (size_t i = 0; i < dual.count; ++i) {
+    const uint64_t* r = dual.row(i);
+    std::vector<VarId> ids;
+    for (size_t w = 0; w < dual.words; ++w) {
+      uint64_t word = r[w];
+      while (word != 0) {
+        size_t bit = w * 64 + static_cast<size_t>(__builtin_ctzll(word));
+        ids.push_back(universe[bit]);
+        word &= word - 1;
+      }
+    }
+    out.push_back(VarSet::FromSorted(std::move(ids)));
+  }
+  return out;
 }
 
 }  // namespace
@@ -436,14 +609,16 @@ Result<Cnf> DnfToCnf(const Dnf& dnf, NormalFormLimits limits) {
   CONSENTDB_ASSIGN_OR_RETURN(
       std::vector<VarSet> clauses,
       Transpose(dnf.terms(), limits));
-  return Cnf(std::move(clauses));
+  // Transpose output is already a minimal antichain; only canonical
+  // (sort + dedup) ordering is needed, not another absorption pass.
+  return Cnf(std::move(clauses), /*absorb=*/false);
 }
 
 Result<Dnf> CnfToDnf(const Cnf& cnf, NormalFormLimits limits) {
   CONSENTDB_ASSIGN_OR_RETURN(
       std::vector<VarSet> terms,
       Transpose(cnf.clauses(), limits));
-  return Dnf(std::move(terms));
+  return Dnf(std::move(terms), /*absorb=*/false);
 }
 
 }  // namespace consentdb::provenance

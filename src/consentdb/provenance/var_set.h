@@ -26,6 +26,14 @@ class VarSet {
     vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
   }
 
+  // Constructs from a vector that is already sorted and duplicate-free —
+  // e.g. ids produced by an ascending bit scan — skipping the re-sort.
+  static VarSet FromSorted(std::vector<VarId> vars) {
+    VarSet out;
+    out.vars_ = std::move(vars);
+    return out;
+  }
+
   size_t size() const { return vars_.size(); }
   bool empty() const { return vars_.empty(); }
   const std::vector<VarId>& vars() const { return vars_; }

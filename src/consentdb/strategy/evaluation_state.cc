@@ -1,20 +1,58 @@
 #include "consentdb/strategy/evaluation_state.h"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
 #include "consentdb/util/check.h"
 
 namespace consentdb::strategy {
 
+namespace {
+
+// All-ones mask over the low `n` bits of the last word of an n-literal term.
+uint64_t TailMask(size_t n) {
+  size_t rem = n % 64;
+  return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+}
+
+}  // namespace
+
 EvaluationState::EvaluationState(std::vector<Dnf> dnfs,
                                  std::vector<double> pi)
-    : pi_(std::move(pi)), val_(pi_.size()) {
+    : pi_(std::move(pi)), num_vars_(pi_.size()), val_(pi_.size()) {
+  const size_t num_words = (num_vars_ + 63) / 64;
+  known_.assign(num_words, 0);
+  useful_.assign(num_words, 0);
+  var_live_terms_.assign(num_vars_, 0);
+
+  // Pass 1: sizes, so every flat array is allocated exactly once.
+  size_t total_terms = 0;
+  size_t total_lits = 0;
+  size_t total_mask_words = 0;
+  for (const Dnf& dnf : dnfs) {
+    if (dnf.IsConstantTrue() || dnf.IsConstantFalse()) continue;
+    total_terms += dnf.num_terms();
+    for (const VarSet& term : dnf.terms()) {
+      total_lits += term.size();
+      total_mask_words += (term.size() + 63) / 64;
+    }
+  }
   formulas_.reserve(dnfs.size());
-  std::set<VarId> vars;
+  term_formula_.reserve(total_terms);
+  term_state_.reserve(total_terms);
+  term_unknown_.reserve(total_terms);
+  term_lit_off_.reserve(total_terms + 1);
+  term_lit_var_.reserve(total_lits);
+  term_mask_off_.reserve(total_terms + 1);
+  term_mask_.reserve(total_mask_words);
+  term_lit_off_.push_back(0);
+  term_mask_off_.push_back(0);
+
+  // Pass 2: fill the term columns and count per-variable occurrences.
   for (size_t j = 0; j < dnfs.size(); ++j) {
     const Dnf& dnf = dnfs[j];
     FormulaInfo f;
+    f.term_begin = f.term_end = static_cast<uint32_t>(term_formula_.size());
     if (dnf.IsConstantTrue()) {
       f.value = Truth::kTrue;
     } else if (dnf.IsConstantFalse()) {
@@ -22,37 +60,71 @@ EvaluationState::EvaluationState(std::vector<Dnf> dnfs,
     } else {
       for (const VarSet& term : dnf.terms()) {
         CONSENTDB_CHECK(!term.empty(), "empty term in non-constant DNF");
-        size_t tid = terms_.size();
         for (VarId v : term) {
-          CONSENTDB_CHECK(v < pi_.size(),
+          CONSENTDB_CHECK(v < num_vars_,
                           "variable without probability: x" + std::to_string(v));
-          if (v >= var_to_terms_.size()) var_to_terms_.resize(v + 1);
-          if (v >= var_live_terms_.size()) var_live_terms_.resize(v + 1, 0);
-          var_to_terms_[v].push_back(tid);
-          var_live_terms_[v]++;
-          vars.insert(v);
+          ++var_live_terms_[v];
         }
-        terms_.push_back(
-            TermInfo{j, term, static_cast<uint32_t>(term.size())});
-        f.term_ids.push_back(tid);
+        term_formula_.push_back(static_cast<uint32_t>(j));
+        term_state_.push_back(TermState::kLive);
+        term_unknown_.push_back(static_cast<uint32_t>(term.size()));
+        term_lit_var_.insert(term_lit_var_.end(), term.begin(), term.end());
+        term_lit_off_.push_back(static_cast<uint32_t>(term_lit_var_.size()));
+        // Fresh residual mask: every literal unknown.
+        size_t words = (term.size() + 63) / 64;
+        for (size_t w = 0; w + 1 < words; ++w) term_mask_.push_back(~uint64_t{0});
+        term_mask_.push_back(TailMask(term.size()));
+        term_mask_off_.push_back(static_cast<uint32_t>(term_mask_.size()));
       }
-      f.live_terms = f.qv_unknown_terms = f.term_ids.size();
+      f.term_end = static_cast<uint32_t>(term_formula_.size());
+      f.live_terms = f.qv_unknown_terms = f.term_end - f.term_begin;
       ++num_undecided_;
     }
-    formulas_.push_back(std::move(f));
+    formulas_.push_back(f);
   }
-  all_vars_.assign(vars.begin(), vars.end());
+
+  // var -> (term, slot) CSR via counting sort; tid-ascending per variable.
+  vt_off_.assign(num_vars_ + 1, 0);
+  for (VarId v = 0; v < num_vars_; ++v) {
+    vt_off_[v + 1] = vt_off_[v] + var_live_terms_[v];
+  }
+  vt_tid_.resize(total_lits);
+  vt_slot_.resize(total_lits);
+  std::vector<uint32_t> cursor(vt_off_.begin(), vt_off_.end() - 1);
+  for (size_t tid = 0; tid < term_formula_.size(); ++tid) {
+    const uint32_t lit_begin = term_lit_off_[tid];
+    const uint32_t lit_end = term_lit_off_[tid + 1];
+    for (uint32_t i = lit_begin; i < lit_end; ++i) {
+      VarId v = term_lit_var_[i];
+      uint32_t pos = cursor[v]++;
+      vt_tid_[pos] = static_cast<uint32_t>(tid);
+      vt_slot_[pos] = i - lit_begin;
+    }
+  }
+
+  all_vars_.reserve(num_vars_);
+  for (VarId v = 0; v < num_vars_; ++v) {
+    if (var_live_terms_[v] == 0) continue;
+    all_vars_.push_back(v);
+    useful_[v >> 6] |= uint64_t{1} << (v & 63);
+    if (var_live_terms_[v] >= 2) ++multi_live_unknown_;
+  }
+
+  var_stamp_.assign(num_vars_, 0);
   scratch_epoch_.assign(formulas_.size(), 0);
   scratch_.assign(formulas_.size(), Scratch{});
-  qv_score_cache_.assign(pi_.size(), 0.0);
-  qv_dirty_.assign(pi_.size(), true);
+  qv_score_cache_.assign(num_vars_, 0.0);
+  qv_dirty_.assign(num_vars_, true);
 }
 
 void EvaluationState::MarkQValueDirty(size_t formula) {
   // The CNF is over the same variable set as the DNF, so marking the term
   // variables covers every affected candidate.
-  for (size_t tid : formulas_[formula].term_ids) {
-    for (VarId v : terms_[tid].vars) qv_dirty_[v] = true;
+  const FormulaInfo& f = formulas_[formula];
+  const uint32_t lit_begin = term_lit_off_[f.term_begin];
+  const uint32_t lit_end = term_lit_off_[f.term_end];
+  for (uint32_t i = lit_begin; i < lit_end; ++i) {
+    qv_dirty_[term_lit_var_[i]] = true;
   }
 }
 
@@ -84,12 +156,6 @@ double EvaluationState::probability(VarId x) const {
   return pi_[x];
 }
 
-bool EvaluationState::IsUseful(VarId x) const {
-  return val_.Get(x) == Truth::kUnknown &&
-         (x >= unreachable_.size() || !unreachable_[x]) &&
-         x < var_live_terms_.size() && var_live_terms_[x] > 0;
-}
-
 void EvaluationState::MarkUnreachable(VarId x) {
   CONSENTDB_CHECK(x < pi_.size(), "unknown variable id");
   CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown,
@@ -99,6 +165,7 @@ void EvaluationState::MarkUnreachable(VarId x) {
   if (!unreachable_[x]) {
     unreachable_[x] = true;
     ++num_unreachable_;
+    ClearUseful(x);
   }
 }
 
@@ -107,22 +174,29 @@ bool EvaluationState::IsUnreachable(VarId x) const {
 }
 
 bool EvaluationState::HasUsefulVar() const {
-  for (VarId x : all_vars_) {
-    if (IsUseful(x)) return true;
+  for (uint64_t word : useful_) {
+    if (word != 0) return true;
   }
   return false;
 }
 
 std::vector<VarId> EvaluationState::UsefulVars() const {
   std::vector<VarId> out;
-  for (VarId x : all_vars_) {
-    if (IsUseful(x)) out.push_back(x);
+  for (size_t w = 0; w < useful_.size(); ++w) {
+    uint64_t word = useful_[w];
+    while (word != 0) {
+      out.push_back(static_cast<VarId>(
+          w * 64 + static_cast<size_t>(__builtin_ctzll(word))));
+      word &= word - 1;
+    }
   }
   return out;
 }
 
-size_t EvaluationState::LiveTermCount(VarId x) const {
-  return x < var_live_terms_.size() ? var_live_terms_[x] : 0;
+void EvaluationState::DecrementVarLive(VarId v) {
+  uint32_t n = --var_live_terms_[v];
+  if (n == 1) --multi_live_unknown_;  // crossed the >= 2 boundary
+  if (n == 0) ClearUseful(v);
 }
 
 void EvaluationState::Assign(VarId x, bool value) {
@@ -130,76 +204,85 @@ void EvaluationState::Assign(VarId x, bool value) {
   CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown,
                   "variable probed twice: x" + std::to_string(x));
   val_.Set(x, value);
-  ro_cache_valid_ = false;
+  known_[x >> 6] |= uint64_t{1} << (x & 63);
+  ClearUseful(x);
+  // x leaves the unknown population; its live-term count stays as is (other
+  // terms' masks still referencing x are cleaned up below).
+  if (var_live_terms_[x] >= 2) --multi_live_unknown_;
 
   // Invalidate cached Q-value scores of every variable sharing a formula
   // with x (before states change, so the formula sets are still complete).
-  if (x < var_to_terms_.size()) {
-    for (size_t tid : var_to_terms_[x]) MarkQValueDirty(terms_[tid].formula);
+  const uint32_t vt_begin = vt_off_[x];
+  const uint32_t vt_end = vt_off_[x + 1];
+  for (uint32_t i = vt_begin; i < vt_end; ++i) {
+    MarkQValueDirty(term_formula_[vt_tid_[i]]);
   }
-  if (x < var_to_clauses_.size()) {
-    for (size_t cid : var_to_clauses_[x]) {
-      MarkQValueDirty(clauses_[cid].formula);
+  if (!vc_off_.empty()) {
+    for (uint32_t i = vc_off_[x]; i < vc_off_[x + 1]; ++i) {
+      MarkQValueDirty(clause_formula_[vc_cid_[i]]);
     }
   }
 
-  if (x < var_to_terms_.size()) {
-    for (size_t tid : var_to_terms_[x]) {
-      TermInfo& t = terms_[tid];
-      if (t.state != TermState::kLive && t.state != TermState::kAbsorbed) {
-        continue;
+  for (uint32_t i = vt_begin; i < vt_end; ++i) {
+    const uint32_t tid = vt_tid_[i];
+    TermState st = term_state_[tid];
+    if (st != TermState::kLive && st != TermState::kAbsorbed) continue;
+    const size_t j = term_formula_[tid];
+    FormulaInfo& f = formulas_[j];
+    if (f.value != Truth::kUnknown) continue;  // defensive; should be defunct
+    const uint32_t xslot = vt_slot_[i];
+    if (!value) {
+      bool was_live = st == TermState::kLive;
+      term_state_[tid] = TermState::kFalsified;
+      --f.qv_unknown_terms;
+      if (was_live) {
+        --f.live_terms;
+        // The mask bits are exactly the term's unknown variables plus the
+        // still-set bit of x itself; skip that slot.
+        ForEachMaskVarSlots(tid, [&](VarId v, uint32_t slot) {
+          if (slot != xslot) DecrementVarLive(v);
+        });
       }
-      FormulaInfo& f = formulas_[t.formula];
-      if (f.value != Truth::kUnknown) continue;  // defensive; should be defunct
-      if (!value) {
-        bool was_live = t.state == TermState::kLive;
-        t.state = TermState::kFalsified;
-        --f.qv_unknown_terms;
-        if (was_live) {
-          --f.live_terms;
-          for (VarId v : t.vars) {
-            if (v != x && val_.Get(v) == Truth::kUnknown) {
-              --var_live_terms_[v];
-            }
-          }
-        }
-        if (f.live_terms == 0) DecideFormula(t.formula, Truth::kFalse);
-      } else {
-        --t.unknown_count;
-        if (t.unknown_count == 0) {
-          t.state = TermState::kSatisfied;
-          DecideFormula(t.formula, Truth::kTrue);
-        }
+      if (f.live_terms == 0) DecideFormula(j, Truth::kFalse);
+    } else {
+      --term_unknown_[tid];
+      const uint32_t mask_begin = term_mask_off_[tid];
+      term_mask_[mask_begin + (xslot >> 6)] &=
+          ~(uint64_t{1} << (xslot & 63));
+      if (term_unknown_[tid] == 0) {
+        term_state_[tid] = TermState::kSatisfied;
+        DecideFormula(j, Truth::kTrue);
       }
     }
   }
 
-  if (cnfs_attached_ && x < var_to_clauses_.size()) {
-    for (size_t cid : var_to_clauses_[x]) {
-      ClauseInfo& c = clauses_[cid];
-      if (c.state != ClauseState::kLive) continue;
-      FormulaInfo& f = formulas_[c.formula];
+  if (cnfs_attached_ && !vc_off_.empty()) {
+    for (uint32_t i = vc_off_[x]; i < vc_off_[x + 1]; ++i) {
+      const uint32_t cid = vc_cid_[i];
+      if (clause_state_[cid] != ClauseState::kLive) continue;
+      const size_t j = clause_formula_[cid];
+      FormulaInfo& f = formulas_[j];
       if (f.value != Truth::kUnknown) continue;
       if (value) {
-        c.state = ClauseState::kSatisfied;
+        clause_state_[cid] = ClauseState::kSatisfied;
         --f.live_clauses;
       } else {
-        --c.unknown_count;
-        if (c.unknown_count == 0) {
-          c.state = ClauseState::kFalsified;
+        --clause_unknown_[cid];
+        if (clause_unknown_[cid] == 0) {
+          clause_state_[cid] = ClauseState::kFalsified;
           --f.live_clauses;
-          DecideFormula(c.formula, Truth::kFalse);
+          DecideFormula(j, Truth::kFalse);
         }
       }
     }
   }
 
-  if (value && x < var_to_terms_.size()) {
+  if (value) {
     // A True assignment shrinks residual terms, which can create new
     // subsumptions; retire them so no strategy probes a useless variable.
     std::vector<size_t> touched;
-    for (size_t tid : var_to_terms_[x]) {
-      size_t j = terms_[tid].formula;
+    for (uint32_t i = vt_begin; i < vt_end; ++i) {
+      size_t j = term_formula_[vt_tid_[i]];
       if (formulas_[j].value == Truth::kUnknown) touched.push_back(j);
     }
     std::sort(touched.begin(), touched.end());
@@ -213,23 +296,23 @@ void EvaluationState::DecideFormula(size_t j, Truth value) {
   if (f.value != Truth::kUnknown) return;
   f.value = value;
   --num_undecided_;
-  ro_cache_valid_ = false;
-  for (size_t tid : f.term_ids) {
-    TermInfo& t = terms_[tid];
-    if (t.state == TermState::kLive) {
-      for (VarId v : t.vars) {
-        if (val_.Get(v) == Truth::kUnknown) --var_live_terms_[v];
-      }
-      t.state = TermState::kDefunct;
-    } else if (t.state == TermState::kAbsorbed) {
-      t.state = TermState::kDefunct;
+  for (uint32_t tid = f.term_begin; tid < f.term_end; ++tid) {
+    if (term_state_[tid] == TermState::kLive) {
+      // Skip already-known variables: mid-Assign the probed variable's bit
+      // can still be set in sibling terms' masks.
+      ForEachMaskVar(tid, [&](VarId v) {
+        if (!KnownBit(v)) DecrementVarLive(v);
+      });
+      term_state_[tid] = TermState::kDefunct;
+    } else if (term_state_[tid] == TermState::kAbsorbed) {
+      term_state_[tid] = TermState::kDefunct;
     }
   }
   f.live_terms = 0;
   f.qv_unknown_terms = 0;
-  for (size_t cid : f.clause_ids) {
-    if (clauses_[cid].state == ClauseState::kLive) {
-      clauses_[cid].state = ClauseState::kDefunct;
+  for (uint32_t cid = f.clause_begin; cid < f.clause_end; ++cid) {
+    if (clause_state_[cid] == ClauseState::kLive) {
+      clause_state_[cid] = ClauseState::kDefunct;
     }
   }
   f.live_clauses = 0;
@@ -245,47 +328,49 @@ void EvaluationState::AbsorbWithin(size_t j) {
   if (!absorption_enabled_) return;
   FormulaInfo& f = formulas_[j];
   if (f.value != Truth::kUnknown || f.live_terms <= 1) return;
-  // Gather live terms with their residual variable sets.
+  // Live terms ordered by (residual size, tid): a term can only be subsumed
+  // by an earlier one, so one forward pass with a kept-list suffices.
   struct Entry {
-    size_t tid;
-    VarSet residual;
+    uint32_t unknown;
+    uint32_t tid;
+    bool operator<(const Entry& other) const {
+      if (unknown != other.unknown) return unknown < other.unknown;
+      return tid < other.tid;
+    }
   };
   std::vector<Entry> live;
   live.reserve(f.live_terms);
-  for (size_t tid : f.term_ids) {
-    TermInfo& t = terms_[tid];
-    if (t.state != TermState::kLive) continue;
-    std::vector<VarId> residual;
-    residual.reserve(t.unknown_count);
-    for (VarId v : t.vars) {
-      if (val_.Get(v) == Truth::kUnknown) residual.push_back(v);
+  for (uint32_t tid = f.term_begin; tid < f.term_end; ++tid) {
+    if (term_state_[tid] == TermState::kLive) {
+      live.push_back(Entry{term_unknown_[tid], tid});
     }
-    live.push_back(Entry{tid, VarSet(std::move(residual))});
   }
-  std::sort(live.begin(), live.end(), [](const Entry& a, const Entry& b) {
-    if (a.residual.size() != b.residual.size()) {
-      return a.residual.size() < b.residual.size();
-    }
-    return a.tid < b.tid;
-  });
-  std::vector<const Entry*> kept;
-  for (Entry& e : live) {
+  std::sort(live.begin(), live.end());
+  std::vector<uint32_t> kept;
+  kept.reserve(live.size());
+  for (const Entry& e : live) {
+    // Stamp the candidate's residual variables, then test each kept term
+    // for containment: kept ⊆ candidate iff all its residuals are stamped.
+    ++stamp_epoch_;
+    ForEachMaskVar(e.tid, [&](VarId v) { var_stamp_[v] = stamp_epoch_; });
     bool absorbed = false;
-    for (const Entry* k : kept) {
-      if (k->residual.SubsetOf(e.residual)) {
+    for (uint32_t k : kept) {
+      bool subset = true;
+      ForEachMaskVar(k, [&](VarId v) {
+        if (var_stamp_[v] != stamp_epoch_) subset = false;
+      });
+      if (subset) {
         absorbed = true;
         break;
       }
     }
     if (!absorbed) {
-      kept.push_back(&e);
+      kept.push_back(e.tid);
       continue;
     }
-    TermInfo& t = terms_[e.tid];
-    t.state = TermState::kAbsorbed;
+    term_state_[e.tid] = TermState::kAbsorbed;
     --f.live_terms;
-    for (VarId v : e.residual) --var_live_terms_[v];
-    ro_cache_valid_ = false;
+    ForEachMaskVar(e.tid, [&](VarId v) { DecrementVarLive(v); });
   }
 }
 
@@ -310,6 +395,7 @@ void EvaluationState::AttachPrecomputedCnfs(const std::vector<Cnf>& cnfs) {
     if (formulas_[j].value != Truth::kUnknown) continue;
     RegisterClauses(j, cnfs[j]);
   }
+  BuildClauseIndex();
   cnfs_attached_ = true;
 }
 
@@ -330,18 +416,15 @@ bool EvaluationState::TryAttachResidualCnfs(
   // Compute every CNF; commit only if all fit in the budget.
   std::vector<std::pair<size_t, Cnf>> computed;
   for (size_t j : order) {
-    FormulaInfo& f = formulas_[j];
+    const FormulaInfo& f = formulas_[j];
     std::vector<VarSet> residual_terms;
     residual_terms.reserve(f.live_terms);
-    for (size_t tid : f.term_ids) {
-      const TermInfo& t = terms_[tid];
-      if (t.state != TermState::kLive) continue;
+    for (uint32_t tid = f.term_begin; tid < f.term_end; ++tid) {
+      if (term_state_[tid] != TermState::kLive) continue;
       std::vector<VarId> residual;
-      residual.reserve(t.unknown_count);
-      for (VarId v : t.vars) {
-        if (val_.Get(v) == Truth::kUnknown) residual.push_back(v);
-      }
-      residual_terms.push_back(VarSet(std::move(residual)));
+      residual.reserve(term_unknown_[tid]);
+      ForEachMaskVar(tid, [&](VarId v) { residual.push_back(v); });
+      residual_terms.push_back(VarSet::FromSorted(std::move(residual)));
     }
     // Read-once fast path: with pairwise-disjoint terms the minimal CNF has
     // exactly prod(|term|) clauses, so infeasibility is decidable without
@@ -364,23 +447,25 @@ bool EvaluationState::TryAttachResidualCnfs(
     computed.emplace_back(j, std::move(*cnf));
   }
   for (auto& [j, cnf] : computed) RegisterClauses(j, cnf);
+  BuildClauseIndex();
   cnfs_attached_ = true;
   return true;
 }
 
 void EvaluationState::RegisterClauses(size_t j, const Cnf& cnf) {
   FormulaInfo& f = formulas_[j];
+  f.clause_begin = static_cast<uint32_t>(clause_formula_.size());
+  if (clause_lit_off_.empty()) clause_lit_off_.push_back(0);
   for (const VarSet& clause : cnf.clauses()) {
     CONSENTDB_CHECK(!clause.empty(), "empty clause for undecided formula");
-    size_t cid = clauses_.size();
-    for (VarId v : clause) {
-      if (v >= var_to_clauses_.size()) var_to_clauses_.resize(v + 1);
-      var_to_clauses_[v].push_back(cid);
-    }
-    clauses_.push_back(
-        ClauseInfo{j, clause, static_cast<uint32_t>(clause.size())});
-    f.clause_ids.push_back(cid);
+    clause_formula_.push_back(static_cast<uint32_t>(j));
+    clause_state_.push_back(ClauseState::kLive);
+    clause_unknown_.push_back(static_cast<uint32_t>(clause.size()));
+    clause_lit_var_.insert(clause_lit_var_.end(), clause.begin(),
+                           clause.end());
+    clause_lit_off_.push_back(static_cast<uint32_t>(clause_lit_var_.size()));
   }
+  f.clause_end = static_cast<uint32_t>(clause_formula_.size());
   f.live_clauses = cnf.num_clauses();
   // Freeze the DHK utility totals for the residual subproblem.
   f.qv_total_terms = static_cast<double>(f.qv_unknown_terms);
@@ -388,48 +473,56 @@ void EvaluationState::RegisterClauses(size_t j, const Cnf& cnf) {
   MarkQValueDirty(j);
 }
 
-const std::vector<size_t>& EvaluationState::TermsContaining(VarId x) const {
-  static const std::vector<size_t> kEmpty;
-  return x < var_to_terms_.size() ? var_to_terms_[x] : kEmpty;
+void EvaluationState::BuildClauseIndex() {
+  // Counting sort of (variable -> clause id) pairs; iterating clause ids in
+  // ascending order keeps each variable's row cid-ascending.
+  vc_off_.assign(num_vars_ + 1, 0);
+  for (VarId v : clause_lit_var_) ++vc_off_[v + 1];
+  for (VarId v = 0; v < num_vars_; ++v) vc_off_[v + 1] += vc_off_[v];
+  vc_cid_.resize(clause_lit_var_.size());
+  std::vector<uint32_t> cursor(vc_off_.begin(), vc_off_.end() - 1);
+  for (size_t cid = 0; cid < clause_formula_.size(); ++cid) {
+    const uint32_t lit_begin = clause_lit_off_[cid];
+    const uint32_t lit_end = clause_lit_off_[cid + 1];
+    for (uint32_t i = lit_begin; i < lit_end; ++i) {
+      vc_cid_[cursor[clause_lit_var_[i]]++] = static_cast<uint32_t>(cid);
+    }
+  }
 }
 
 bool EvaluationState::TermLive(size_t tid) const {
-  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
-  return terms_[tid].state == TermState::kLive;
+  CONSENTDB_CHECK(tid < term_formula_.size(), "term index out of range");
+  return term_state_[tid] == TermState::kLive;
 }
 
 size_t EvaluationState::TermFormula(size_t tid) const {
-  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
-  return terms_[tid].formula;
+  CONSENTDB_CHECK(tid < term_formula_.size(), "term index out of range");
+  return term_formula_[tid];
 }
 
 std::vector<VarId> EvaluationState::TermResidualVars(size_t tid) const {
-  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  CONSENTDB_CHECK(tid < term_formula_.size(), "term index out of range");
   std::vector<VarId> out;
-  for (VarId v : terms_[tid].vars) {
-    if (val_.Get(v) == Truth::kUnknown) out.push_back(v);
-  }
+  ForEachTermResidualVar(tid, [&out](VarId v) { out.push_back(v); });
   return out;
 }
 
 size_t EvaluationState::TermResidualSize(size_t tid) const {
-  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
-  return terms_[tid].unknown_count;
+  CONSENTDB_CHECK(tid < term_formula_.size(), "term index out of range");
+  return term_unknown_[tid];
 }
 
 double EvaluationState::TermResidualProbability(size_t tid) const {
-  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  CONSENTDB_CHECK(tid < term_formula_.size(), "term index out of range");
   double p = 1.0;
-  for (VarId v : terms_[tid].vars) {
-    if (val_.Get(v) == Truth::kUnknown) p *= pi_[v];
-  }
+  ForEachTermResidualVar(tid, [&](VarId v) { p *= pi_[v]; });
   return p;
 }
 
 void EvaluationState::ForEachLiveTerm(
     const std::function<void(size_t)>& fn) const {
-  for (size_t tid = 0; tid < terms_.size(); ++tid) {
-    if (terms_[tid].state == TermState::kLive) fn(tid);
+  for (size_t tid = 0; tid < term_state_.size(); ++tid) {
+    if (term_state_[tid] == TermState::kLive) fn(tid);
   }
 }
 
@@ -446,24 +539,21 @@ double EvaluationState::QValueScore(VarId x) const {
     }
     return scratch_[j];
   };
-  if (x < var_to_terms_.size()) {
-    for (size_t tid : var_to_terms_[x]) {
-      const TermInfo& t = terms_[tid];
-      if (t.state != TermState::kLive && t.state != TermState::kAbsorbed) {
-        continue;
-      }
-      Scratch& s = touch(t.formula);
-      ++s.terms_with_x;
-      if (t.unknown_count == 1) s.sat_trigger = true;
-    }
+  for (uint32_t i = vt_off_[x]; i < vt_off_[x + 1]; ++i) {
+    const uint32_t tid = vt_tid_[i];
+    TermState st = term_state_[tid];
+    if (st != TermState::kLive && st != TermState::kAbsorbed) continue;
+    Scratch& s = touch(term_formula_[tid]);
+    ++s.terms_with_x;
+    if (term_unknown_[tid] == 1) s.sat_trigger = true;
   }
-  if (x < var_to_clauses_.size()) {
-    for (size_t cid : var_to_clauses_[x]) {
-      const ClauseInfo& c = clauses_[cid];
-      if (c.state != ClauseState::kLive) continue;
-      Scratch& s = touch(c.formula);
+  if (!vc_off_.empty()) {
+    for (uint32_t i = vc_off_[x]; i < vc_off_[x + 1]; ++i) {
+      const uint32_t cid = vc_cid_[i];
+      if (clause_state_[cid] != ClauseState::kLive) continue;
+      Scratch& s = touch(clause_formula_[cid]);
       ++s.clauses_with_x;
-      if (c.unknown_count == 1) s.false_trigger = true;
+      if (clause_unknown_[cid] == 1) s.false_trigger = true;
     }
   }
   double delta_true = 0;
@@ -507,27 +597,6 @@ VarId EvaluationState::QValueArgMax() const {
     }
   }
   return best;
-}
-
-bool EvaluationState::ResidualOverallReadOnce() const {
-  if (ro_cache_valid_) return ro_cache_value_;
-  std::vector<bool> seen(pi_.size(), false);
-  bool result = true;
-  for (const TermInfo& t : terms_) {
-    if (t.state != TermState::kLive) continue;
-    for (VarId v : t.vars) {
-      if (val_.Get(v) != Truth::kUnknown) continue;
-      if (seen[v]) {
-        result = false;
-        break;
-      }
-      seen[v] = true;
-    }
-    if (!result) break;
-  }
-  ro_cache_valid_ = true;
-  ro_cache_value_ = result;
-  return result;
 }
 
 size_t EvaluationState::MaxLiveTermsPerFormula() const {

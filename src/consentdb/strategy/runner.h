@@ -28,9 +28,12 @@ struct RunInstrumentation {
   // round-trip, with retry.wait spans nested inside on the resilient path).
   obs::SpanCollector* spans = nullptr;
 
-  // Whether the per-probe deliberation clock must run (spans keep their own
-  // clock inside obs::Span, so they do not force it).
-  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+  // Whether the per-probe deliberation clock must run. A span-only session
+  // counts too: the session.probe spans embed the probe events' decision
+  // timings and residual-term counts, which would otherwise read as zero.
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || spans != nullptr;
+  }
 };
 
 struct ProbeRun {

@@ -1,271 +1,10 @@
 #include "consentdb/strategy/strategies.h"
 
-#include <algorithm>
-
-#include "consentdb/util/check.h"
-
 namespace consentdb::strategy {
 
-namespace {
-
-constexpr size_t kNoTerm = static_cast<size_t>(-1);
-
-}  // namespace
-
-// --- Random -------------------------------------------------------------------
-
-VarId RandomStrategy::ChooseNext(EvaluationState& state) {
-  if (!shuffled_) {
-    order_ = state.AllVars();
-    rng_.Shuffle(order_);
-    next_ = 0;
-    shuffled_ = true;
-  }
-  // Usefulness is monotone (a useless variable never becomes useful again),
-  // so a single forward pointer over the random order suffices.
-  while (next_ < order_.size()) {
-    if (state.IsUseful(order_[next_])) return order_[next_];
-    ++next_;
-  }
-  CONSENTDB_CHECK(false, "no useful variable but formulas undecided");
-  return provenance::kInvalidVar;
-}
-
-// --- LazyArgMax -----------------------------------------------------------------
-
-VarId LazyArgMax::Choose(const EvaluationState& state,
-                         const std::function<double(VarId)>& score) {
-  if (!built_) {
-    for (VarId x : state.AllVars()) {
-      if (state.IsUseful(x)) heap_.push(Entry{score(x), x});
-    }
-    built_ = true;
-  }
-  while (!heap_.empty()) {
-    Entry top = heap_.top();
-    if (!state.IsUseful(top.var)) {
-      heap_.pop();
-      continue;
-    }
-    double current = score(top.var);
-    if (current == top.score) return top.var;
-    heap_.pop();
-    heap_.push(Entry{current, top.var});
-  }
-  CONSENTDB_CHECK(false, "no useful variable but formulas undecided");
-  return provenance::kInvalidVar;
-}
-
-// --- Freq ---------------------------------------------------------------------
-
-VarId FreqStrategy::ChooseNext(EvaluationState& state) {
-  return argmax_.Choose(state, [&state](VarId x) {
-    return static_cast<double>(state.LiveTermCount(x)) / state.cost(x);
-  });
-}
-
-// --- RO (Algorithm 1) -----------------------------------------------------------
-
-namespace {
-
-// Expected cost of fully verifying a term when its unknown variables are
-// probed in the cost-aware order (ascending cost/(1-p)): each variable is
-// reached only if all previous ones answered True.
-double ExpectedTermCost(const EvaluationState& state,
-                        const std::vector<VarId>& residual) {
-  std::vector<VarId> order = residual;
-  std::sort(order.begin(), order.end(), [&state](VarId a, VarId b) {
-    double ra = state.cost(a) / std::max(1e-12, 1.0 - state.probability(a));
-    double rb = state.cost(b) / std::max(1e-12, 1.0 - state.probability(b));
-    if (ra != rb) return ra < rb;
-    return a < b;
-  });
-  double expected = 0.0;
-  double reach = 1.0;
-  for (VarId v : order) {
-    expected += reach * state.cost(v);
-    reach *= state.probability(v);
-  }
-  return expected;
-}
-
-}  // namespace
-
-RoStrategy::TermEntry RoStrategy::ScoreTerm(const EvaluationState& state,
-                                            size_t tid) const {
-  // The term with the highest probability-to-size ratio (Alg. 1); with
-  // non-uniform probe costs the denominator becomes the expected cost of
-  // verifying the term (Sec. VII extension).
-  double prob = state.TermResidualProbability(tid);
-  double denom = state.has_costs()
-                     ? ExpectedTermCost(state, state.TermResidualVars(tid))
-                     : static_cast<double>(state.TermResidualSize(tid));
-  return TermEntry{prob / denom, prob, tid};
-}
-
-namespace {
-
-bool TermHasUsefulVar(const EvaluationState& state, size_t tid) {
-  for (VarId v : state.TermResidualVars(tid)) {
-    if (state.IsUseful(v)) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
-VarId RoStrategy::ChooseNext(EvaluationState& state) {
-  while (true) {
-    if (current_term_ == kNoTerm || !state.TermLive(current_term_)) {
-      if (!heap_initialized_) {
-        state.ForEachLiveTerm(
-            [&](size_t tid) { heap_.push(ScoreTerm(state, tid)); });
-        heap_initialized_ = true;
-      }
-      current_term_ = kNoTerm;
-      while (!heap_.empty()) {
-        TermEntry top = heap_.top();
-        heap_.pop();
-        if (!state.TermLive(top.tid)) continue;  // stale: term died
-        TermEntry fresh = ScoreTerm(state, top.tid);
-        if (fresh.frac != top.frac || fresh.prob != top.prob) {
-          heap_.push(fresh);  // stale: term shrank since this entry
-          continue;
-        }
-        // A term whose residual variables are all unreachable can never be
-        // probed again; residuals only shrink and the unreachable set only
-        // grows, so dropping it from the heap for good is safe.
-        if (!TermHasUsefulVar(state, top.tid)) continue;
-        current_term_ = top.tid;
-        break;
-      }
-      CONSENTDB_CHECK(current_term_ != kNoTerm,
-                      "no live term with a probeable variable but formulas "
-                      "undecided");
-    }
-    // Probe the term's unknown variables in ascending cost/(1-p) — with
-    // unit costs this is exactly "increasing order of probability" (Alg. 1).
-    // Unreachable variables are skipped: they stay in the residual (the
-    // term may still be falsified through its other variables) but cannot
-    // be asked.
-    VarId best_var = provenance::kInvalidVar;
-    double best_ratio = 0.0;
-    for (VarId v : state.TermResidualVars(current_term_)) {
-      if (!state.IsUseful(v)) continue;
-      double ratio =
-          state.cost(v) / std::max(1e-12, 1.0 - state.probability(v));
-      if (best_var == provenance::kInvalidVar || ratio < best_ratio) {
-        best_var = v;
-        best_ratio = ratio;
-      }
-    }
-    if (best_var != provenance::kInvalidVar) return best_var;
-    // Every residual variable of the current term became unreachable since
-    // it was selected; abandon it and re-rank from the heap.
-    current_term_ = kNoTerm;
-  }
-}
-
-void RoStrategy::OnAnswer(const EvaluationState& state, VarId x, bool value) {
-  if (!value || !heap_initialized_) return;
-  // A True answer shrinks every live term containing x, raising its score;
-  // push fresh entries so the heap's maximum stays current.
-  for (size_t tid : state.TermsContaining(x)) {
-    if (state.TermLive(tid)) heap_.push(ScoreTerm(state, tid));
-  }
-}
-
-// --- Q-value (Algorithms 2-3) -----------------------------------------------------
-
-VarId QValueStrategy::ChooseNext(EvaluationState& state) {
-  CONSENTDB_CHECK(state.cnfs_attached(),
-                  "Q-value requires CNFs: call AttachCnfs first");
-  VarId best = state.QValueArgMax();
-  CONSENTDB_CHECK(best != provenance::kInvalidVar,
-                  "no useful variable but formulas undecided");
-  return best;
-}
-
-// --- General (Algorithm 4) --------------------------------------------------------
-
-VarId GeneralStrategy::Alg0Choose(const EvaluationState& state) {
-  // Greedy 0-certificate cover on the disjunction of all live DNFs: pick the
-  // variable with the largest expected number of falsified terms per unit
-  // of cost.
-  VarId best = provenance::kInvalidVar;
-  double best_score = -1.0;
-  for (VarId x : state.AllVars()) {
-    if (!state.IsUseful(x)) continue;
-    double score = (1.0 - state.probability(x)) *
-                   static_cast<double>(state.LiveTermCount(x)) /
-                   state.cost(x);
-    if (best == provenance::kInvalidVar || score > best_score) {
-      best = x;
-      best_score = score;
-    }
-  }
-  CONSENTDB_CHECK(best != provenance::kInvalidVar,
-                  "no useful variable but formulas undecided");
-  return best;
-}
-
-VarId GeneralStrategy::ChooseNext(EvaluationState& state) {
-  if (cost1_ >= cost0_) {
-    last_was_alg0_ = true;
-    return alg0_argmax_.Choose(state, [&state](VarId x) {
-      return (1.0 - state.probability(x)) *
-             static_cast<double>(state.LiveTermCount(x)) / state.cost(x);
-    });
-  }
-  last_was_alg0_ = false;
-  return ro_.ChooseNext(state);
-}
-
-void GeneralStrategy::OnAnswer(const EvaluationState& state, VarId x,
-                               bool value) {
-  (last_was_alg0_ ? cost0_ : cost1_) += state.cost(x);
-  ro_.OnAnswer(state, x, value);
-}
-
-// --- Hybrid (Sec. V-B) --------------------------------------------------------------
-
-VarId HybridStrategy::ChooseNext(EvaluationState& state) {
-  if (state.ResidualOverallReadOnce()) {
-    last_mode_ = Mode::kRo;
-    return ro_.ChooseNext(state);
-  }
-  if (!state.cnfs_attached() &&
-      state.MaxLiveTermsPerFormula() <= attach_max_terms_) {
-    if (!state.TryAttachResidualCnfs(cnf_limits_)) {
-      // Retry only once the formulas have shrunk substantially.
-      attach_max_terms_ = state.MaxLiveTermsPerFormula() / 2;
-      attach_failed_ = true;
-    }
-  }
-  if (state.cnfs_attached()) {
-    last_mode_ = Mode::kQValue;
-    return qvalue_.ChooseNext(state);
-  }
-  last_mode_ = Mode::kGeneral;
-  return general_.ChooseNext(state);
-}
-
-void HybridStrategy::OnAnswer(const EvaluationState& state, VarId x,
-                              bool value) {
-  switch (last_mode_) {
-    case Mode::kGeneral:
-      general_.OnAnswer(state, x, value);
-      break;
-    case Mode::kQValue:
-      qvalue_.OnAnswer(state, x, value);
-      break;
-    case Mode::kRo:
-      ro_.OnAnswer(state, x, value);
-      break;
-  }
-}
-
-// --- Factories ---------------------------------------------------------------------
+// The strategy implementations are header-only templates (strategies.h) so
+// the differential suite can instantiate them against the legacy state; only
+// the session-facing factories live here.
 
 StrategyFactory MakeRandomFactory(uint64_t seed) {
   // Each created strategy gets an independent stream derived from `seed`.

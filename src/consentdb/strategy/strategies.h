@@ -23,23 +23,34 @@
 //
 // A strategy instance carries per-run state; construct a fresh one per
 // probing session (see StrategyFactory / MakeFactory).
+//
+// Every strategy is templated over the state type (defaulting to
+// EvaluationState via the un-suffixed aliases below). The only reason a
+// second state type exists is the differential test suite, which runs the
+// *identical* strategy code against a preserved legacy implementation of
+// the state to prove the columnar rewrite byte-equivalent — keep the
+// template parameter even though production only ever instantiates one.
 
 #ifndef CONSENTDB_STRATEGY_STRATEGIES_H_
 #define CONSENTDB_STRATEGY_STRATEGIES_H_
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <queue>
 #include <string>
+#include <vector>
 
 #include "consentdb/strategy/evaluation_state.h"
+#include "consentdb/util/check.h"
 #include "consentdb/util/rng.h"
 
 namespace consentdb::strategy {
 
-class ProbeStrategy {
+template <typename State>
+class ProbeStrategyT {
  public:
-  virtual ~ProbeStrategy() = default;
+  virtual ~ProbeStrategyT() = default;
 
   virtual std::string name() const = 0;
 
@@ -47,27 +58,50 @@ class ProbeStrategy {
   // formula; the returned variable must be useful. The reference is
   // non-const only so that Hybrid can attach residual CNFs; strategies must
   // not assign values.
-  virtual VarId ChooseNext(EvaluationState& state) = 0;
+  virtual VarId ChooseNext(State& state) = 0;
 
   // Called with the answer of the probe this strategy chose last, after the
   // state has been updated.
-  virtual void OnAnswer(const EvaluationState& state, VarId x, bool value) {
+  virtual void OnAnswer(const State& state, VarId x, bool value) {
     (void)state;
     (void)x;
     (void)value;
   }
+
+  // True when this strategy attempted a residual-CNF attachment that failed
+  // (Hybrid's mid-run switch); surfaced in the session report and metrics.
+  virtual bool cnf_attach_failed() const { return false; }
 };
+
+using ProbeStrategy = ProbeStrategyT<EvaluationState>;
 
 // Creates a fresh strategy for one probing session.
 using StrategyFactory = std::function<std::unique_ptr<ProbeStrategy>()>;
 
 // --- Baselines ---------------------------------------------------------------
 
-class RandomStrategy : public ProbeStrategy {
+template <typename State>
+class RandomStrategyT : public ProbeStrategyT<State> {
  public:
-  explicit RandomStrategy(uint64_t seed) : rng_(seed) {}
+  explicit RandomStrategyT(uint64_t seed) : rng_(seed) {}
   std::string name() const override { return "Random"; }
-  VarId ChooseNext(EvaluationState& state) override;
+
+  VarId ChooseNext(State& state) override {
+    if (!shuffled_) {
+      order_ = state.AllVars();
+      rng_.Shuffle(order_);
+      next_ = 0;
+      shuffled_ = true;
+    }
+    // Usefulness is monotone (a useless variable never becomes useful
+    // again), so a single forward pointer over the random order suffices.
+    while (next_ < order_.size()) {
+      if (state.IsUseful(order_[next_])) return order_[next_];
+      ++next_;
+    }
+    CONSENTDB_CHECK(false, "no useful variable but formulas undecided");
+    return provenance::kInvalidVar;
+  }
 
  private:
   Rng rng_;
@@ -77,16 +111,39 @@ class RandomStrategy : public ProbeStrategy {
   bool shuffled_ = false;
 };
 
+using RandomStrategy = RandomStrategyT<EvaluationState>;
+
 // Lazy argmax over variables whose score never increases during a session
 // (Freq's live-term counts, Alg0's expected eliminations): stale heap
 // entries are refreshed on pop, giving amortised O(log n) selection instead
 // of an O(n) scan per probe.
-class LazyArgMax {
+template <typename State>
+class LazyArgMaxT {
  public:
   // `score(x)` must be non-increasing over time for each variable. Returns
   // the useful variable with the maximal current score (ties: smallest id).
-  VarId Choose(const EvaluationState& state,
-               const std::function<double(VarId)>& score);
+  VarId Choose(const State& state,
+               const std::function<double(VarId)>& score) {
+    if (!built_) {
+      for (VarId x : state.AllVars()) {
+        if (state.IsUseful(x)) heap_.push(Entry{score(x), x});
+      }
+      built_ = true;
+    }
+    while (!heap_.empty()) {
+      Entry top = heap_.top();
+      if (!state.IsUseful(top.var)) {
+        heap_.pop();
+        continue;
+      }
+      double current = score(top.var);
+      if (current == top.score) return top.var;
+      heap_.pop();
+      heap_.push(Entry{current, top.var});
+    }
+    CONSENTDB_CHECK(false, "no useful variable but formulas undecided");
+    return provenance::kInvalidVar;
+  }
 
  private:
   struct Entry {
@@ -101,22 +158,128 @@ class LazyArgMax {
   bool built_ = false;
 };
 
-class FreqStrategy : public ProbeStrategy {
+using LazyArgMax = LazyArgMaxT<EvaluationState>;
+
+template <typename State>
+class FreqStrategyT : public ProbeStrategyT<State> {
  public:
   std::string name() const override { return "Freq"; }
-  VarId ChooseNext(EvaluationState& state) override;
+
+  VarId ChooseNext(State& state) override {
+    return argmax_.Choose(state, [&state](VarId x) {
+      return static_cast<double>(state.LiveTermCount(x)) / state.cost(x);
+    });
+  }
 
  private:
-  LazyArgMax argmax_;
+  LazyArgMaxT<State> argmax_;
 };
+
+using FreqStrategy = FreqStrategyT<EvaluationState>;
 
 // --- Algorithm 1: RO ---------------------------------------------------------
 
-class RoStrategy : public ProbeStrategy {
+namespace internal {
+
+// Expected cost of fully verifying a term when its unknown variables are
+// probed in the cost-aware order (ascending cost/(1-p)): each variable is
+// reached only if all previous ones answered True.
+template <typename State>
+double ExpectedTermCost(const State& state, std::vector<VarId> order) {
+  std::sort(order.begin(), order.end(), [&state](VarId a, VarId b) {
+    double ra = state.cost(a) / std::max(1e-12, 1.0 - state.probability(a));
+    double rb = state.cost(b) / std::max(1e-12, 1.0 - state.probability(b));
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+  double expected = 0.0;
+  double reach = 1.0;
+  for (VarId v : order) {
+    expected += reach * state.cost(v);
+    reach *= state.probability(v);
+  }
+  return expected;
+}
+
+template <typename State>
+bool TermHasUsefulVar(const State& state, size_t tid) {
+  bool useful = false;
+  state.ForEachTermResidualVar(tid, [&](VarId v) {
+    if (state.IsUseful(v)) useful = true;
+  });
+  return useful;
+}
+
+constexpr size_t kNoTerm = static_cast<size_t>(-1);
+
+}  // namespace internal
+
+template <typename State>
+class RoStrategyT : public ProbeStrategyT<State> {
  public:
   std::string name() const override { return "RO"; }
-  VarId ChooseNext(EvaluationState& state) override;
-  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+  VarId ChooseNext(State& state) override {
+    while (true) {
+      if (current_term_ == internal::kNoTerm ||
+          !state.TermLive(current_term_)) {
+        if (!heap_initialized_) {
+          state.ForEachLiveTerm(
+              [&](size_t tid) { heap_.push(ScoreTerm(state, tid)); });
+          heap_initialized_ = true;
+        }
+        current_term_ = internal::kNoTerm;
+        while (!heap_.empty()) {
+          TermEntry top = heap_.top();
+          heap_.pop();
+          if (!state.TermLive(top.tid)) continue;  // stale: term died
+          TermEntry fresh = ScoreTerm(state, top.tid);
+          if (fresh.frac != top.frac || fresh.prob != top.prob) {
+            heap_.push(fresh);  // stale: term shrank since this entry
+            continue;
+          }
+          // A term whose residual variables are all unreachable can never
+          // be probed again; residuals only shrink and the unreachable set
+          // only grows, so dropping it from the heap for good is safe.
+          if (!internal::TermHasUsefulVar(state, top.tid)) continue;
+          current_term_ = top.tid;
+          break;
+        }
+        CONSENTDB_CHECK(current_term_ != internal::kNoTerm,
+                        "no live term with a probeable variable but formulas "
+                        "undecided");
+      }
+      // Probe the term's unknown variables in ascending cost/(1-p) — with
+      // unit costs this is exactly "increasing order of probability"
+      // (Alg. 1). Unreachable variables are skipped: they stay in the
+      // residual (the term may still be falsified through its other
+      // variables) but cannot be asked.
+      VarId best_var = provenance::kInvalidVar;
+      double best_ratio = 0.0;
+      state.ForEachTermResidualVar(current_term_, [&](VarId v) {
+        if (!state.IsUseful(v)) return;
+        double ratio =
+            state.cost(v) / std::max(1e-12, 1.0 - state.probability(v));
+        if (best_var == provenance::kInvalidVar || ratio < best_ratio) {
+          best_var = v;
+          best_ratio = ratio;
+        }
+      });
+      if (best_var != provenance::kInvalidVar) return best_var;
+      // Every residual variable of the current term became unreachable
+      // since it was selected; abandon it and re-rank from the heap.
+      current_term_ = internal::kNoTerm;
+    }
+  }
+
+  void OnAnswer(const State& state, VarId x, bool value) override {
+    if (!value || !heap_initialized_) return;
+    // A True answer shrinks every live term containing x, raising its
+    // score; push fresh entries so the heap's maximum stays current.
+    for (size_t tid : state.TermsContaining(x)) {
+      if (state.TermLive(tid)) heap_.push(ScoreTerm(state, tid));
+    }
+  }
 
  private:
   struct TermEntry {
@@ -132,72 +295,172 @@ class RoStrategy : public ProbeStrategy {
     }
   };
 
-  TermEntry ScoreTerm(const EvaluationState& state, size_t tid) const;
+  TermEntry ScoreTerm(const State& state, size_t tid) const {
+    // The term with the highest probability-to-size ratio (Alg. 1); with
+    // non-uniform probe costs the denominator becomes the expected cost of
+    // verifying the term (Sec. VII extension). The unit-cost path reads the
+    // precomputed residual mask and never allocates.
+    double prob = state.TermResidualProbability(tid);
+    double denom =
+        state.has_costs()
+            ? internal::ExpectedTermCost(state, state.TermResidualVars(tid))
+            : static_cast<double>(state.TermResidualSize(tid));
+    return TermEntry{prob / denom, prob, tid};
+  }
 
-  // The term currently being verified, or SIZE_MAX when none.
-  size_t current_term_ = static_cast<size_t>(-1);
+  // The term currently being verified, or kNoTerm when none.
+  size_t current_term_ = internal::kNoTerm;
   // Lazy max-heap over live terms; entries go stale when terms die and are
   // re-pushed when terms shrink (OnAnswer with a True answer).
   std::priority_queue<TermEntry> heap_;
   bool heap_initialized_ = false;
 };
 
+using RoStrategy = RoStrategyT<EvaluationState>;
+
 // --- Algorithms 2-3: Q-value --------------------------------------------------
 
 // The caller must have attached CNFs to the state (AttachCnfs) before the
 // first ChooseNext; construction is checked lazily.
-class QValueStrategy : public ProbeStrategy {
+template <typename State>
+class QValueStrategyT : public ProbeStrategyT<State> {
  public:
   std::string name() const override { return "Q-value"; }
-  VarId ChooseNext(EvaluationState& state) override;
+
+  VarId ChooseNext(State& state) override {
+    CONSENTDB_CHECK(state.cnfs_attached(),
+                    "Q-value requires CNFs: call AttachCnfs first");
+    VarId best = state.QValueArgMax();
+    CONSENTDB_CHECK(best != provenance::kInvalidVar,
+                    "no useful variable but formulas undecided");
+    return best;
+  }
 };
+
+using QValueStrategy = QValueStrategyT<EvaluationState>;
 
 // --- Algorithm 4: General -----------------------------------------------------
 
-class GeneralStrategy : public ProbeStrategy {
+template <typename State>
+class GeneralStrategyT : public ProbeStrategyT<State> {
  public:
   std::string name() const override { return "General"; }
-  VarId ChooseNext(EvaluationState& state) override;
-  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+  // The single Alg0 scoring rule ([8] Sec. 5.1): expected number of
+  // falsified live terms per unit of cost. Both the tested one-shot
+  // Alg0Choose and the dovetailing ChooseNext below call this — the two
+  // code paths cannot drift.
+  static double Alg0Score(const State& state, VarId x) {
+    return (1.0 - state.probability(x)) *
+           static_cast<double>(state.LiveTermCount(x)) / state.cost(x);
+  }
 
   // Alg0 of [8] Sec. 5.1 on the disjunction of all live provenance: the
-  // useful variable maximising (1 - pi(x)) * #(live terms containing x),
-  // scaled by 1/cost(x) under non-uniform costs.
-  static VarId Alg0Choose(const EvaluationState& state);
+  // useful variable maximising Alg0Score (ties: smallest id).
+  static VarId Alg0Choose(const State& state) {
+    VarId best = provenance::kInvalidVar;
+    double best_score = -1.0;
+    for (VarId x : state.AllVars()) {
+      if (!state.IsUseful(x)) continue;
+      double score = Alg0Score(state, x);
+      if (best == provenance::kInvalidVar || score > best_score) {
+        best = x;
+        best_score = score;
+      }
+    }
+    CONSENTDB_CHECK(best != provenance::kInvalidVar,
+                    "no useful variable but formulas undecided");
+    return best;
+  }
+
+  VarId ChooseNext(State& state) override {
+    if (cost1_ >= cost0_) {
+      last_was_alg0_ = true;
+      return alg0_argmax_.Choose(
+          state, [&state](VarId x) { return Alg0Score(state, x); });
+    }
+    last_was_alg0_ = false;
+    return ro_.ChooseNext(state);
+  }
+
+  void OnAnswer(const State& state, VarId x, bool value) override {
+    (last_was_alg0_ ? cost0_ : cost1_) += state.cost(x);
+    ro_.OnAnswer(state, x, value);
+  }
 
  private:
-  RoStrategy ro_;
-  LazyArgMax alg0_argmax_;
+  RoStrategyT<State> ro_;
+  LazyArgMaxT<State> alg0_argmax_;
   double cost0_ = 0;  // probe cost spent by Alg0 choices
   double cost1_ = 0;  // probe cost spent by RO choices
   bool last_was_alg0_ = false;
 };
 
+using GeneralStrategy = GeneralStrategyT<EvaluationState>;
+
 // --- Hybrid (Sec. V-B) ---------------------------------------------------------
 
-class HybridStrategy : public ProbeStrategy {
+template <typename State>
+class HybridStrategyT : public ProbeStrategyT<State> {
  public:
   // `cnf_limits` bounds the residual-CNF attachment attempts;
   // `attach_max_terms` is the live-term threshold below which an attachment
   // attempt is made (brute-force CNF is feasible only for small DNFs).
-  explicit HybridStrategy(
+  explicit HybridStrategyT(
       provenance::NormalFormLimits cnf_limits = {},
       size_t attach_max_terms = 32)
       : cnf_limits_(cnf_limits), attach_max_terms_(attach_max_terms) {}
 
   std::string name() const override { return "Hybrid"; }
-  VarId ChooseNext(EvaluationState& state) override;
-  void OnAnswer(const EvaluationState& state, VarId x, bool value) override;
+
+  VarId ChooseNext(State& state) override {
+    if (state.ResidualOverallReadOnce()) {
+      last_mode_ = Mode::kRo;
+      return ro_.ChooseNext(state);
+    }
+    if (!state.cnfs_attached() &&
+        state.MaxLiveTermsPerFormula() <= attach_max_terms_) {
+      if (!state.TryAttachResidualCnfs(cnf_limits_)) {
+        // Retry only once the formulas have shrunk substantially.
+        attach_max_terms_ = state.MaxLiveTermsPerFormula() / 2;
+        attach_failed_ = true;
+      }
+    }
+    if (state.cnfs_attached()) {
+      last_mode_ = Mode::kQValue;
+      return qvalue_.ChooseNext(state);
+    }
+    last_mode_ = Mode::kGeneral;
+    return general_.ChooseNext(state);
+  }
+
+  void OnAnswer(const State& state, VarId x, bool value) override {
+    switch (last_mode_) {
+      case Mode::kGeneral:
+        general_.OnAnswer(state, x, value);
+        break;
+      case Mode::kQValue:
+        qvalue_.OnAnswer(state, x, value);
+        break;
+      case Mode::kRo:
+        ro_.OnAnswer(state, x, value);
+        break;
+    }
+  }
+
+  bool cnf_attach_failed() const override { return attach_failed_; }
 
  private:
-  RoStrategy ro_;
-  QValueStrategy qvalue_;
-  GeneralStrategy general_;
+  RoStrategyT<State> ro_;
+  QValueStrategyT<State> qvalue_;
+  GeneralStrategyT<State> general_;
   provenance::NormalFormLimits cnf_limits_;
   size_t attach_max_terms_;
   bool attach_failed_ = false;
   enum class Mode { kGeneral, kQValue, kRo } last_mode_ = Mode::kGeneral;
 };
+
+using HybridStrategy = HybridStrategyT<EvaluationState>;
 
 // --- Factories ----------------------------------------------------------------
 

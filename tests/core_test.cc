@@ -56,6 +56,36 @@ TEST(ConsentManagerTest, RunningExampleAllConsent) {
   EXPECT_LE(report.num_probes, sdb.pool().size());
 }
 
+TEST(ConsentManagerTest, ReportsHybridCnfAttachFailure) {
+  // The running example's provenance shares the company variable across all
+  // terms (not read-once), so Hybrid attempts a residual-CNF attachment;
+  // a one-clause budget makes that attempt fail and the report must say so.
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  ConsentManager manager(sdb);
+  ValuationOracle oracle(FullValuation(sdb, true));
+  SessionOptions options;
+  options.algorithm = Algorithm::kHybrid;
+  options.cnf_limits.max_sets = 1;
+  obs::MetricsRegistry metrics;
+  options.metrics = &metrics;
+  SessionReport report =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), oracle, options);
+  EXPECT_TRUE(report.cnf_attach_failed);
+  EXPECT_EQ(metrics.GetCounter("session.cnf_attach_failed")->value(), 1u);
+  EXPECT_NE(report.ToJson().find("\"cnf_attach_failed\":true"),
+            std::string::npos);
+  EXPECT_NE(report.ToString().find("cnf_attach_failed"), std::string::npos);
+
+  // Default budget: the attachment succeeds and the key stays absent, so
+  // pre-existing reports remain byte-identical.
+  SessionOptions roomy;
+  roomy.algorithm = Algorithm::kHybrid;
+  SessionReport ok =
+      *manager.DecideAll(testing::RecruitmentQuerySql(), oracle, roomy);
+  EXPECT_FALSE(ok.cnf_attach_failed);
+  EXPECT_EQ(ok.ToJson().find("cnf_attach_failed"), std::string::npos);
+}
+
 TEST(ConsentManagerTest, RunningExampleNoConsent) {
   SharedDatabase sdb = testing::RecruitmentDatabase();
   ConsentManager manager(sdb);

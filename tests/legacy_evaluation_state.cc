@@ -1,0 +1,567 @@
+#include "legacy_evaluation_state.h"
+
+#include <algorithm>
+#include <set>
+
+#include "consentdb/util/check.h"
+
+namespace consentdb::strategy {
+
+LegacyEvaluationState::LegacyEvaluationState(std::vector<Dnf> dnfs,
+                                 std::vector<double> pi)
+    : pi_(std::move(pi)), val_(pi_.size()) {
+  formulas_.reserve(dnfs.size());
+  std::set<VarId> vars;
+  for (size_t j = 0; j < dnfs.size(); ++j) {
+    const Dnf& dnf = dnfs[j];
+    FormulaInfo f;
+    if (dnf.IsConstantTrue()) {
+      f.value = Truth::kTrue;
+    } else if (dnf.IsConstantFalse()) {
+      f.value = Truth::kFalse;
+    } else {
+      for (const VarSet& term : dnf.terms()) {
+        CONSENTDB_CHECK(!term.empty(), "empty term in non-constant DNF");
+        size_t tid = terms_.size();
+        for (VarId v : term) {
+          CONSENTDB_CHECK(v < pi_.size(),
+                          "variable without probability: x" + std::to_string(v));
+          if (v >= var_to_terms_.size()) var_to_terms_.resize(v + 1);
+          if (v >= var_live_terms_.size()) var_live_terms_.resize(v + 1, 0);
+          var_to_terms_[v].push_back(tid);
+          var_live_terms_[v]++;
+          vars.insert(v);
+        }
+        terms_.push_back(
+            TermInfo{j, term, static_cast<uint32_t>(term.size())});
+        f.term_ids.push_back(tid);
+      }
+      f.live_terms = f.qv_unknown_terms = f.term_ids.size();
+      ++num_undecided_;
+    }
+    formulas_.push_back(std::move(f));
+  }
+  all_vars_.assign(vars.begin(), vars.end());
+  scratch_epoch_.assign(formulas_.size(), 0);
+  scratch_.assign(formulas_.size(), Scratch{});
+  qv_score_cache_.assign(pi_.size(), 0.0);
+  qv_dirty_.assign(pi_.size(), true);
+}
+
+void LegacyEvaluationState::MarkQValueDirty(size_t formula) {
+  // The CNF is over the same variable set as the DNF, so marking the term
+  // variables covers every affected candidate.
+  for (size_t tid : formulas_[formula].term_ids) {
+    for (VarId v : terms_[tid].vars) qv_dirty_[v] = true;
+  }
+}
+
+Truth LegacyEvaluationState::formula_value(size_t j) const {
+  CONSENTDB_CHECK(j < formulas_.size(), "formula index out of range");
+  return formulas_[j].value;
+}
+
+std::vector<Truth> LegacyEvaluationState::FormulaValues() const {
+  std::vector<Truth> out;
+  out.reserve(formulas_.size());
+  for (const FormulaInfo& f : formulas_) out.push_back(f.value);
+  return out;
+}
+
+void LegacyEvaluationState::SetCosts(std::vector<double> costs) {
+  CONSENTDB_CHECK(val_.CountKnown() == 0,
+                  "SetCosts must be called before any probe");
+  CONSENTDB_CHECK(costs.size() >= pi_.size(),
+                  "cost vector must cover every variable");
+  for (double c : costs) {
+    CONSENTDB_CHECK(c > 0.0, "probe costs must be positive");
+  }
+  costs_ = std::move(costs);
+}
+
+double LegacyEvaluationState::probability(VarId x) const {
+  CONSENTDB_CHECK(x < pi_.size(), "variable without probability");
+  return pi_[x];
+}
+
+bool LegacyEvaluationState::IsUseful(VarId x) const {
+  return val_.Get(x) == Truth::kUnknown &&
+         (x >= unreachable_.size() || !unreachable_[x]) &&
+         x < var_live_terms_.size() && var_live_terms_[x] > 0;
+}
+
+void LegacyEvaluationState::MarkUnreachable(VarId x) {
+  CONSENTDB_CHECK(x < pi_.size(), "unknown variable id");
+  CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown,
+                  "cannot lose an already-answered variable: x" +
+                      std::to_string(x));
+  if (unreachable_.empty()) unreachable_.assign(pi_.size(), false);
+  if (!unreachable_[x]) {
+    unreachable_[x] = true;
+    ++num_unreachable_;
+  }
+}
+
+bool LegacyEvaluationState::IsUnreachable(VarId x) const {
+  return x < unreachable_.size() && unreachable_[x];
+}
+
+bool LegacyEvaluationState::HasUsefulVar() const {
+  for (VarId x : all_vars_) {
+    if (IsUseful(x)) return true;
+  }
+  return false;
+}
+
+std::vector<VarId> LegacyEvaluationState::UsefulVars() const {
+  std::vector<VarId> out;
+  for (VarId x : all_vars_) {
+    if (IsUseful(x)) out.push_back(x);
+  }
+  return out;
+}
+
+size_t LegacyEvaluationState::LiveTermCount(VarId x) const {
+  return x < var_live_terms_.size() ? var_live_terms_[x] : 0;
+}
+
+void LegacyEvaluationState::Assign(VarId x, bool value) {
+  CONSENTDB_CHECK(x < pi_.size(), "unknown variable id");
+  CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown,
+                  "variable probed twice: x" + std::to_string(x));
+  val_.Set(x, value);
+  ro_cache_valid_ = false;
+
+  // Invalidate cached Q-value scores of every variable sharing a formula
+  // with x (before states change, so the formula sets are still complete).
+  if (x < var_to_terms_.size()) {
+    for (size_t tid : var_to_terms_[x]) MarkQValueDirty(terms_[tid].formula);
+  }
+  if (x < var_to_clauses_.size()) {
+    for (size_t cid : var_to_clauses_[x]) {
+      MarkQValueDirty(clauses_[cid].formula);
+    }
+  }
+
+  if (x < var_to_terms_.size()) {
+    for (size_t tid : var_to_terms_[x]) {
+      TermInfo& t = terms_[tid];
+      if (t.state != TermState::kLive && t.state != TermState::kAbsorbed) {
+        continue;
+      }
+      FormulaInfo& f = formulas_[t.formula];
+      if (f.value != Truth::kUnknown) continue;  // defensive; should be defunct
+      if (!value) {
+        bool was_live = t.state == TermState::kLive;
+        t.state = TermState::kFalsified;
+        --f.qv_unknown_terms;
+        if (was_live) {
+          --f.live_terms;
+          for (VarId v : t.vars) {
+            if (v != x && val_.Get(v) == Truth::kUnknown) {
+              --var_live_terms_[v];
+            }
+          }
+        }
+        if (f.live_terms == 0) DecideFormula(t.formula, Truth::kFalse);
+      } else {
+        --t.unknown_count;
+        if (t.unknown_count == 0) {
+          t.state = TermState::kSatisfied;
+          DecideFormula(t.formula, Truth::kTrue);
+        }
+      }
+    }
+  }
+
+  if (cnfs_attached_ && x < var_to_clauses_.size()) {
+    for (size_t cid : var_to_clauses_[x]) {
+      ClauseInfo& c = clauses_[cid];
+      if (c.state != ClauseState::kLive) continue;
+      FormulaInfo& f = formulas_[c.formula];
+      if (f.value != Truth::kUnknown) continue;
+      if (value) {
+        c.state = ClauseState::kSatisfied;
+        --f.live_clauses;
+      } else {
+        --c.unknown_count;
+        if (c.unknown_count == 0) {
+          c.state = ClauseState::kFalsified;
+          --f.live_clauses;
+          DecideFormula(c.formula, Truth::kFalse);
+        }
+      }
+    }
+  }
+
+  if (value && x < var_to_terms_.size()) {
+    // A True assignment shrinks residual terms, which can create new
+    // subsumptions; retire them so no strategy probes a useless variable.
+    std::vector<size_t> touched;
+    for (size_t tid : var_to_terms_[x]) {
+      size_t j = terms_[tid].formula;
+      if (formulas_[j].value == Truth::kUnknown) touched.push_back(j);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    for (size_t j : touched) AbsorbWithin(j);
+  }
+}
+
+void LegacyEvaluationState::DecideFormula(size_t j, Truth value) {
+  FormulaInfo& f = formulas_[j];
+  if (f.value != Truth::kUnknown) return;
+  f.value = value;
+  --num_undecided_;
+  ro_cache_valid_ = false;
+  for (size_t tid : f.term_ids) {
+    TermInfo& t = terms_[tid];
+    if (t.state == TermState::kLive) {
+      for (VarId v : t.vars) {
+        if (val_.Get(v) == Truth::kUnknown) --var_live_terms_[v];
+      }
+      t.state = TermState::kDefunct;
+    } else if (t.state == TermState::kAbsorbed) {
+      t.state = TermState::kDefunct;
+    }
+  }
+  f.live_terms = 0;
+  f.qv_unknown_terms = 0;
+  for (size_t cid : f.clause_ids) {
+    if (clauses_[cid].state == ClauseState::kLive) {
+      clauses_[cid].state = ClauseState::kDefunct;
+    }
+  }
+  f.live_clauses = 0;
+}
+
+void LegacyEvaluationState::SetAbsorptionEnabled(bool enabled) {
+  CONSENTDB_CHECK(val_.CountKnown() == 0,
+                  "SetAbsorptionEnabled must be called before any probe");
+  absorption_enabled_ = enabled;
+}
+
+void LegacyEvaluationState::AbsorbWithin(size_t j) {
+  if (!absorption_enabled_) return;
+  FormulaInfo& f = formulas_[j];
+  if (f.value != Truth::kUnknown || f.live_terms <= 1) return;
+  // Gather live terms with their residual variable sets.
+  struct Entry {
+    size_t tid;
+    VarSet residual;
+  };
+  std::vector<Entry> live;
+  live.reserve(f.live_terms);
+  for (size_t tid : f.term_ids) {
+    TermInfo& t = terms_[tid];
+    if (t.state != TermState::kLive) continue;
+    std::vector<VarId> residual;
+    residual.reserve(t.unknown_count);
+    for (VarId v : t.vars) {
+      if (val_.Get(v) == Truth::kUnknown) residual.push_back(v);
+    }
+    live.push_back(Entry{tid, VarSet(std::move(residual))});
+  }
+  std::sort(live.begin(), live.end(), [](const Entry& a, const Entry& b) {
+    if (a.residual.size() != b.residual.size()) {
+      return a.residual.size() < b.residual.size();
+    }
+    return a.tid < b.tid;
+  });
+  std::vector<const Entry*> kept;
+  for (Entry& e : live) {
+    bool absorbed = false;
+    for (const Entry* k : kept) {
+      if (k->residual.SubsetOf(e.residual)) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) {
+      kept.push_back(&e);
+      continue;
+    }
+    TermInfo& t = terms_[e.tid];
+    t.state = TermState::kAbsorbed;
+    --f.live_terms;
+    for (VarId v : e.residual) --var_live_terms_[v];
+    ro_cache_valid_ = false;
+  }
+}
+
+Status LegacyEvaluationState::AttachCnfs(provenance::NormalFormLimits limits) {
+  CONSENTDB_CHECK(val_.CountKnown() == 0,
+                  "AttachCnfs must be called before any probe; use "
+                  "TryAttachResidualCnfs mid-run");
+  if (cnfs_attached_) return Status::OK();
+  if (TryAttachResidualCnfs(limits)) return Status::OK();
+  return Status::ResourceExhausted(
+      "CNF of the provenance exceeds the clause budget; Q-value not "
+      "applicable");
+}
+
+void LegacyEvaluationState::AttachPrecomputedCnfs(const std::vector<Cnf>& cnfs) {
+  CONSENTDB_CHECK(val_.CountKnown() == 0,
+                  "AttachPrecomputedCnfs must be called before any probe");
+  CONSENTDB_CHECK(cnfs.size() == formulas_.size(),
+                  "one CNF per formula required");
+  CONSENTDB_CHECK(!cnfs_attached_, "CNFs already attached");
+  for (size_t j = 0; j < formulas_.size(); ++j) {
+    if (formulas_[j].value != Truth::kUnknown) continue;
+    RegisterClauses(j, cnfs[j]);
+  }
+  cnfs_attached_ = true;
+}
+
+bool LegacyEvaluationState::TryAttachResidualCnfs(
+    provenance::NormalFormLimits limits) {
+  if (cnfs_attached_) return true;
+  // Try the largest formulas first: when the brute-force CNF is infeasible
+  // it is the big DNFs that blow the budget, and failing fast on them saves
+  // converting hundreds of small formulas for nothing.
+  std::vector<size_t> order;
+  order.reserve(formulas_.size());
+  for (size_t j = 0; j < formulas_.size(); ++j) {
+    if (formulas_[j].value == Truth::kUnknown) order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return formulas_[a].live_terms > formulas_[b].live_terms;
+  });
+  // Compute every CNF; commit only if all fit in the budget.
+  std::vector<std::pair<size_t, Cnf>> computed;
+  for (size_t j : order) {
+    FormulaInfo& f = formulas_[j];
+    std::vector<VarSet> residual_terms;
+    residual_terms.reserve(f.live_terms);
+    for (size_t tid : f.term_ids) {
+      const TermInfo& t = terms_[tid];
+      if (t.state != TermState::kLive) continue;
+      std::vector<VarId> residual;
+      residual.reserve(t.unknown_count);
+      for (VarId v : t.vars) {
+        if (val_.Get(v) == Truth::kUnknown) residual.push_back(v);
+      }
+      residual_terms.push_back(VarSet(std::move(residual)));
+    }
+    // Read-once fast path: with pairwise-disjoint terms the minimal CNF has
+    // exactly prod(|term|) clauses, so infeasibility is decidable without
+    // running the conversion.
+    Dnf residual_dnf(std::move(residual_terms));
+    if (residual_dnf.IsReadOnce()) {
+      size_t product = 1;
+      bool over = false;
+      for (const VarSet& term : residual_dnf.terms()) {
+        product *= term.size();
+        if (product > limits.max_sets) {
+          over = true;
+          break;
+        }
+      }
+      if (over) return false;
+    }
+    Result<Cnf> cnf = DnfToCnf(residual_dnf, limits);
+    if (!cnf.ok()) return false;
+    computed.emplace_back(j, std::move(*cnf));
+  }
+  for (auto& [j, cnf] : computed) RegisterClauses(j, cnf);
+  cnfs_attached_ = true;
+  return true;
+}
+
+void LegacyEvaluationState::RegisterClauses(size_t j, const Cnf& cnf) {
+  FormulaInfo& f = formulas_[j];
+  for (const VarSet& clause : cnf.clauses()) {
+    CONSENTDB_CHECK(!clause.empty(), "empty clause for undecided formula");
+    size_t cid = clauses_.size();
+    for (VarId v : clause) {
+      if (v >= var_to_clauses_.size()) var_to_clauses_.resize(v + 1);
+      var_to_clauses_[v].push_back(cid);
+    }
+    clauses_.push_back(
+        ClauseInfo{j, clause, static_cast<uint32_t>(clause.size())});
+    f.clause_ids.push_back(cid);
+  }
+  f.live_clauses = cnf.num_clauses();
+  // Freeze the DHK utility totals for the residual subproblem.
+  f.qv_total_terms = static_cast<double>(f.qv_unknown_terms);
+  f.qv_total_clauses = static_cast<double>(cnf.num_clauses());
+  MarkQValueDirty(j);
+}
+
+const std::vector<size_t>& LegacyEvaluationState::TermsContaining(VarId x) const {
+  static const std::vector<size_t> kEmpty;
+  return x < var_to_terms_.size() ? var_to_terms_[x] : kEmpty;
+}
+
+bool LegacyEvaluationState::TermLive(size_t tid) const {
+  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  return terms_[tid].state == TermState::kLive;
+}
+
+size_t LegacyEvaluationState::TermFormula(size_t tid) const {
+  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  return terms_[tid].formula;
+}
+
+std::vector<VarId> LegacyEvaluationState::TermResidualVars(size_t tid) const {
+  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  std::vector<VarId> out;
+  for (VarId v : terms_[tid].vars) {
+    if (val_.Get(v) == Truth::kUnknown) out.push_back(v);
+  }
+  return out;
+}
+
+size_t LegacyEvaluationState::TermResidualSize(size_t tid) const {
+  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  return terms_[tid].unknown_count;
+}
+
+double LegacyEvaluationState::TermResidualProbability(size_t tid) const {
+  CONSENTDB_CHECK(tid < terms_.size(), "term index out of range");
+  double p = 1.0;
+  for (VarId v : terms_[tid].vars) {
+    if (val_.Get(v) == Truth::kUnknown) p *= pi_[v];
+  }
+  return p;
+}
+
+void LegacyEvaluationState::ForEachLiveTerm(
+    const std::function<void(size_t)>& fn) const {
+  for (size_t tid = 0; tid < terms_.size(); ++tid) {
+    if (terms_[tid].state == TermState::kLive) fn(tid);
+  }
+}
+
+double LegacyEvaluationState::QValueScore(VarId x) const {
+  CONSENTDB_CHECK(cnfs_attached_, "QValueScore requires attached CNFs");
+  CONSENTDB_CHECK(val_.Get(x) == Truth::kUnknown, "variable already known");
+  ++epoch_;
+  scratch_formulas_.clear();
+  auto touch = [this](size_t j) -> Scratch& {
+    if (scratch_epoch_[j] != epoch_) {
+      scratch_epoch_[j] = epoch_;
+      scratch_[j] = Scratch{};
+      scratch_formulas_.push_back(j);
+    }
+    return scratch_[j];
+  };
+  if (x < var_to_terms_.size()) {
+    for (size_t tid : var_to_terms_[x]) {
+      const TermInfo& t = terms_[tid];
+      if (t.state != TermState::kLive && t.state != TermState::kAbsorbed) {
+        continue;
+      }
+      Scratch& s = touch(t.formula);
+      ++s.terms_with_x;
+      if (t.unknown_count == 1) s.sat_trigger = true;
+    }
+  }
+  if (x < var_to_clauses_.size()) {
+    for (size_t cid : var_to_clauses_[x]) {
+      const ClauseInfo& c = clauses_[cid];
+      if (c.state != ClauseState::kLive) continue;
+      Scratch& s = touch(c.formula);
+      ++s.clauses_with_x;
+      if (c.unknown_count == 1) s.false_trigger = true;
+    }
+  }
+  double delta_true = 0;
+  double delta_false = 0;
+  for (size_t j : scratch_formulas_) {
+    const FormulaInfo& f = formulas_[j];
+    const Scratch& s = scratch_[j];
+    double max_contrib = f.qv_total_terms * f.qv_total_clauses;
+    double t = static_cast<double>(f.qv_unknown_terms);
+    double c = static_cast<double>(f.live_clauses);
+    double now = max_contrib - t * c;
+    double if_true =
+        s.sat_trigger
+            ? max_contrib
+            : max_contrib - t * (c - static_cast<double>(s.clauses_with_x));
+    double if_false =
+        s.false_trigger
+            ? max_contrib
+            : max_contrib - (t - static_cast<double>(s.terms_with_x)) * c;
+    delta_true += if_true - now;
+    delta_false += if_false - now;
+  }
+  return pi_[x] * delta_true + (1.0 - pi_[x]) * delta_false;
+}
+
+VarId LegacyEvaluationState::QValueArgMax() const {
+  // With non-uniform costs the greedy maximises expected utility gain per
+  // unit of cost (the standard adaptive-submodular form of the rule).
+  VarId best = provenance::kInvalidVar;
+  double best_score = -1.0;
+  for (VarId x : all_vars_) {
+    if (!IsUseful(x)) continue;
+    if (qv_dirty_[x]) {
+      qv_score_cache_[x] = QValueScore(x) / cost(x);
+      qv_dirty_[x] = false;
+    }
+    double score = qv_score_cache_[x];
+    if (best == provenance::kInvalidVar || score > best_score) {
+      best = x;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool LegacyEvaluationState::ResidualOverallReadOnce() const {
+  if (ro_cache_valid_) return ro_cache_value_;
+  std::vector<bool> seen(pi_.size(), false);
+  bool result = true;
+  for (const TermInfo& t : terms_) {
+    if (t.state != TermState::kLive) continue;
+    for (VarId v : t.vars) {
+      if (val_.Get(v) != Truth::kUnknown) continue;
+      if (seen[v]) {
+        result = false;
+        break;
+      }
+      seen[v] = true;
+    }
+    if (!result) break;
+  }
+  ro_cache_valid_ = true;
+  ro_cache_value_ = result;
+  return result;
+}
+
+size_t LegacyEvaluationState::MaxLiveTermsPerFormula() const {
+  size_t max_terms = 0;
+  for (const FormulaInfo& f : formulas_) {
+    if (f.value == Truth::kUnknown) {
+      max_terms = std::max(max_terms, f.live_terms);
+    }
+  }
+  return max_terms;
+}
+
+size_t LegacyEvaluationState::live_terms(size_t j) const {
+  CONSENTDB_CHECK(j < formulas_.size(), "formula index out of range");
+  return formulas_[j].live_terms;
+}
+
+size_t LegacyEvaluationState::qv_unknown_terms(size_t j) const {
+  CONSENTDB_CHECK(j < formulas_.size(), "formula index out of range");
+  return formulas_[j].qv_unknown_terms;
+}
+
+size_t LegacyEvaluationState::live_clauses(size_t j) const {
+  CONSENTDB_CHECK(j < formulas_.size(), "formula index out of range");
+  return formulas_[j].live_clauses;
+}
+
+std::string LegacyEvaluationState::ToString() const {
+  std::string out = "LegacyEvaluationState{formulas=";
+  out += std::to_string(formulas_.size());
+  out += ", undecided=" + std::to_string(num_undecided_);
+  out += ", known_vars=" + std::to_string(val_.CountKnown());
+  out += cnfs_attached_ ? ", cnfs" : "";
+  return out + "}";
+}
+
+}  // namespace consentdb::strategy

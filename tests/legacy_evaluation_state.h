@@ -1,4 +1,8 @@
-// EvaluationState: the shared runtime substrate of all probing strategies.
+// LegacyEvaluationState: a frozen copy of the pre-columnar EvaluationState
+// (vector-of-structs terms, vector-of-vectors adjacency), kept verbatim as
+// the reference implementation for the differential suite. The strategy
+// templates instantiate against it so legacy-order sessions can be replayed
+// against the rewritten columnar state and compared probe-for-probe.
 //
 // Holds a system of monotone DNF formulas (one per query output tuple, from
 // the provenance), optional CNFs (for Q-value), the probability map pi, and
@@ -12,24 +16,14 @@
 //   * clauses are updated dually; a formula is decided the moment its value
 //     is determined, retiring all of its terms and clauses.
 //
-// Layout: everything is columnar and arena-style. Terms, clauses and
-// formulas live in flat parallel arrays; variable-to-term and
-// variable-to-clause adjacency is CSR (one offsets array plus one flat index
-// array, no vector-of-vectors); each term carries a residual bitmask over
-// its own literal slots (bit i set = literal i still unknown) in a shared
-// 64-bit word arena, so falsify/satisfy/absorption checks are word-parallel
-// AND/POPCNT operations; the valuation and usefulness sets are word bitsets.
-//
 // All bookkeeping is incremental: Assign(x, b) costs O(deg(x)) plus an
-// absorption pass over the formulas containing x, Q-value candidate scoring
-// costs O(deg(x)) per *dirty* candidate, and the overall-read-once check is
-// O(1) via a maintained counter — this is what makes the paper's 1000-row
-// experiments tractable.
+// absorption pass over the formulas containing x, and Q-value candidate
+// scoring costs O(deg(x)) per candidate — this is what makes the paper's
+// 1000-row experiments tractable.
 
-#ifndef CONSENTDB_STRATEGY_EVALUATION_STATE_H_
-#define CONSENTDB_STRATEGY_EVALUATION_STATE_H_
+#ifndef CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_
+#define CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_
 
-#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -47,21 +41,11 @@ using provenance::Truth;
 using provenance::VarId;
 using provenance::VarSet;
 
-class EvaluationState {
+class LegacyEvaluationState {
  public:
-  // A borrowed view over a contiguous run of term ids (one CSR row).
-  struct TidSpan {
-    const uint32_t* data = nullptr;
-    size_t count = 0;
-    const uint32_t* begin() const { return data; }
-    const uint32_t* end() const { return data + count; }
-    size_t size() const { return count; }
-    bool empty() const { return count == 0; }
-  };
-
   // `pi[x]` is the probability that variable x is True; it must cover every
   // variable occurring in `dnfs`.
-  EvaluationState(std::vector<Dnf> dnfs, std::vector<double> pi);
+  LegacyEvaluationState(std::vector<Dnf> dnfs, std::vector<double> pi);
 
   // --- CNF attachment (required by Q-value scoring) -----------------------
 
@@ -111,10 +95,7 @@ class EvaluationState {
   // A variable is useful iff it is unprobed, reachable, and occurs in a
   // live (residual, non-absorbed) term of an undecided formula; probing any
   // other variable can never affect the outcome (or is impossible).
-  bool IsUseful(VarId x) const {
-    return x < num_vars_ &&
-           (useful_[x >> 6] >> (x & 63)) & uint64_t{1};
-  }
+  bool IsUseful(VarId x) const;
   std::vector<VarId> UsefulVars() const;
 
   // --- Unreachable variables (resilience: permanently-dead peers) ----------
@@ -134,9 +115,7 @@ class EvaluationState {
   // through an unreachable variable.
   bool HasUsefulVar() const;
   // Number of live terms containing x (the Freq criterion).
-  size_t LiveTermCount(VarId x) const {
-    return x < num_vars_ ? var_live_terms_[x] : 0;
-  }
+  size_t LiveTermCount(VarId x) const;
 
   // Records a probe answer and simplifies. `x` must be unprobed.
   void Assign(VarId x, bool value);
@@ -148,41 +127,26 @@ class EvaluationState {
 
   // --- Terms (for RO / General / Freq) --------------------------------------
 
-  size_t num_terms() const { return term_formula_.size(); }
-  // Ids of all terms whose original conjunction contains x (any state),
-  // ascending — a borrowed view into the CSR index.
-  TidSpan TermsContaining(VarId x) const {
-    if (x >= num_vars_) return TidSpan{};
-    return TidSpan{vt_tid_.data() + vt_off_[x], vt_off_[x + 1] - vt_off_[x]};
-  }
+  size_t num_terms() const { return terms_.size(); }
+  // Ids of all terms whose original conjunction contains x (any state).
+  const std::vector<size_t>& TermsContaining(VarId x) const;
   bool TermLive(size_t tid) const;
   size_t TermFormula(size_t tid) const;
   // Unknown variables of a live term, ascending.
   std::vector<VarId> TermResidualVars(size_t tid) const;
+  // Shim matching the columnar state's allocation-free iteration so the
+  // templated strategies instantiate against both types identically.
+  template <typename Fn>
+  void ForEachTermResidualVar(size_t tid, Fn&& fn) const {
+    for (VarId v : terms_[tid].vars) {
+      if (val_.Get(v) == Truth::kUnknown) fn(v);
+    }
+  }
   size_t TermResidualSize(size_t tid) const;
   // Product of pi over the term's unknown variables.
   double TermResidualProbability(size_t tid) const;
   // Calls fn(tid) for every live term of every undecided formula.
   void ForEachLiveTerm(const std::function<void(size_t)>& fn) const;
-
-  // Calls fn(v) for every unknown variable of term `tid`, ascending.
-  // Allocation-free equivalent of TermResidualVars for hot strategy loops.
-  template <typename Fn>
-  void ForEachTermResidualVar(size_t tid, Fn&& fn) const {
-    if (term_state_[tid] == TermState::kLive ||
-        term_state_[tid] == TermState::kAbsorbed) {
-      ForEachMaskVar(tid, fn);
-      return;
-    }
-    // Dead terms no longer maintain their residual mask; fall back to the
-    // valuation scan (matches the historical any-state semantics).
-    const uint32_t lit_begin = term_lit_off_[tid];
-    const uint32_t lit_end = term_lit_off_[tid + 1];
-    for (uint32_t i = lit_begin; i < lit_end; ++i) {
-      VarId v = term_lit_var_[i];
-      if (!KnownBit(v)) fn(v);
-    }
-  }
 
   // --- Q-value scoring (Algs. 2-3); requires attached CNFs ------------------
 
@@ -196,9 +160,8 @@ class EvaluationState {
   // --- Residual-structure checks (Hybrid / diagnostics) ---------------------
 
   // No unknown variable occurs in two live terms (across all undecided
-  // formulas) — RO is provably optimal from this point on. O(1): the count
-  // of unknown variables with >= 2 live terms is maintained incrementally.
-  bool ResidualOverallReadOnce() const { return multi_live_unknown_ == 0; }
+  // formulas) — RO is provably optimal from this point on.
+  bool ResidualOverallReadOnce() const;
   size_t MaxLiveTermsPerFormula() const;
   // Live (unknown-ish) term/clause counters per formula, for tests.
   size_t live_terms(size_t j) const;
@@ -217,14 +180,22 @@ class EvaluationState {
   };
   enum class ClauseState : uint8_t { kLive, kSatisfied, kFalsified, kDefunct };
 
+  struct TermInfo {
+    size_t formula;
+    VarSet vars;
+    uint32_t unknown_count;
+    TermState state = TermState::kLive;
+  };
+  struct ClauseInfo {
+    size_t formula;
+    VarSet vars;
+    uint32_t unknown_count;
+    ClauseState state = ClauseState::kLive;
+  };
   struct FormulaInfo {
     Truth value = Truth::kUnknown;
-    // Terms and clauses of a formula are contiguous id ranges (terms are
-    // appended formula by formula in the constructor, clauses at attach).
-    uint32_t term_begin = 0;
-    uint32_t term_end = 0;
-    uint32_t clause_begin = 0;
-    uint32_t clause_end = 0;
+    std::vector<size_t> term_ids;
+    std::vector<size_t> clause_ids;
     size_t live_terms = 0;        // TermState::kLive only
     size_t qv_unknown_terms = 0;  // kLive + kAbsorbed (DHK's t_j)
     size_t live_clauses = 0;      // DHK's c_j
@@ -233,113 +204,29 @@ class EvaluationState {
     double qv_total_clauses = 0;
   };
 
-  bool KnownBit(VarId v) const {
-    return (known_[v >> 6] >> (v & 63)) & uint64_t{1};
-  }
-  void ClearUseful(VarId v) { useful_[v >> 6] &= ~(uint64_t{1} << (v & 63)); }
-
-  // Calls fn(v) for every set bit of tid's residual mask, slot-ascending
-  // (= VarId-ascending: literals are stored sorted).
-  template <typename Fn>
-  void ForEachMaskVar(size_t tid, Fn&& fn) const {
-    const uint32_t mask_begin = term_mask_off_[tid];
-    const uint32_t mask_end = term_mask_off_[tid + 1];
-    const uint32_t lit_begin = term_lit_off_[tid];
-    for (uint32_t w = mask_begin; w < mask_end; ++w) {
-      uint64_t word = term_mask_[w];
-      while (word != 0) {
-        uint32_t slot = (w - mask_begin) * 64 +
-                        static_cast<uint32_t>(__builtin_ctzll(word));
-        fn(term_lit_var_[lit_begin + slot]);
-        word &= word - 1;
-      }
-    }
-  }
-
-  // As ForEachMaskVar, but also hands fn the literal slot index.
-  template <typename Fn>
-  void ForEachMaskVarSlots(size_t tid, Fn&& fn) const {
-    const uint32_t mask_begin = term_mask_off_[tid];
-    const uint32_t mask_end = term_mask_off_[tid + 1];
-    const uint32_t lit_begin = term_lit_off_[tid];
-    for (uint32_t w = mask_begin; w < mask_end; ++w) {
-      uint64_t word = term_mask_[w];
-      while (word != 0) {
-        uint32_t slot = (w - mask_begin) * 64 +
-                        static_cast<uint32_t>(__builtin_ctzll(word));
-        fn(term_lit_var_[lit_begin + slot], slot);
-        word &= word - 1;
-      }
-    }
-  }
-
-  // Decrements the live-term count of an *unknown* variable, maintaining
-  // the usefulness bitset and the read-once counter.
-  void DecrementVarLive(VarId v);
-
   void DecideFormula(size_t j, Truth value);
   // Retires live terms of formula j that are subsumed by a smaller residual
   // term (run after a True assignment touched the formula).
   void AbsorbWithin(size_t j);
   void RegisterClauses(size_t j, const Cnf& cnf);
-  // Builds the var -> clause CSR index after all clauses are registered.
-  void BuildClauseIndex();
 
-  // --- Formula table --------------------------------------------------------
   std::vector<FormulaInfo> formulas_;
-
-  // --- Term table (parallel columns indexed by tid) -------------------------
-  std::vector<uint32_t> term_formula_;
-  std::vector<TermState> term_state_;
-  std::vector<uint32_t> term_unknown_;
-  // Literals: CSR of sorted VarIds per term.
-  std::vector<uint32_t> term_lit_off_;  // num_terms + 1
-  std::vector<VarId> term_lit_var_;
-  // Residual masks: per-term word ranges in a shared arena; bit i of term t
-  // means literal i of t is still unknown (maintained for kLive/kAbsorbed).
-  std::vector<uint32_t> term_mask_off_;  // num_terms + 1 (word offsets)
-  std::vector<uint64_t> term_mask_;
-
-  // --- Clause table (parallel columns indexed by cid) -----------------------
-  std::vector<uint32_t> clause_formula_;
-  std::vector<ClauseState> clause_state_;
-  std::vector<uint32_t> clause_unknown_;
-  std::vector<uint32_t> clause_lit_off_;  // num_clauses + 1
-  std::vector<VarId> clause_lit_var_;
-
-  // --- Variable-indexed columns ---------------------------------------------
-  // CSR var -> (term id, slot of the variable within that term).
-  std::vector<uint32_t> vt_off_;  // num_vars + 1
-  std::vector<uint32_t> vt_tid_;
-  std::vector<uint32_t> vt_slot_;
-  // CSR var -> clause id (built once at CNF attachment).
-  std::vector<uint32_t> vc_off_;  // num_vars + 1 (empty until attached)
-  std::vector<uint32_t> vc_cid_;
+  std::vector<TermInfo> terms_;
+  std::vector<ClauseInfo> clauses_;
+  std::vector<std::vector<size_t>> var_to_terms_;
+  std::vector<std::vector<size_t>> var_to_clauses_;
   // Live-term occurrence count per variable.
-  std::vector<uint32_t> var_live_terms_;
-  // Word bitsets over [0, num_vars): probed, and useful (unknown, reachable,
-  // live-term count > 0).
-  std::vector<uint64_t> known_;
-  std::vector<uint64_t> useful_;
-
+  std::vector<size_t> var_live_terms_;
   std::vector<VarId> all_vars_;
   std::vector<double> pi_;
   std::vector<double> costs_;  // empty = unit costs
-  size_t num_vars_ = 0;
   PartialValuation val_;
   // Permanently unanswerable variables (resilience); grows monotonically.
   std::vector<bool> unreachable_;
   size_t num_unreachable_ = 0;
   size_t num_undecided_ = 0;
-  // Number of unknown variables occurring in >= 2 live terms; zero iff the
-  // residual system is overall read-once. Never increases after build.
-  size_t multi_live_unknown_ = 0;
   bool cnfs_attached_ = false;
   bool absorption_enabled_ = true;
-
-  // Scratch for AbsorbWithin (epoch-stamped per-variable membership marks).
-  mutable std::vector<uint64_t> var_stamp_;
-  mutable uint64_t stamp_epoch_ = 0;
 
   // Scratch for QValueScore (epoch-stamped per-formula accumulators).
   mutable std::vector<uint64_t> scratch_epoch_;
@@ -353,6 +240,10 @@ class EvaluationState {
   };
   mutable std::vector<Scratch> scratch_;
 
+  // Cache for ResidualOverallReadOnce.
+  mutable bool ro_cache_valid_ = false;
+  mutable bool ro_cache_value_ = false;
+
   // Q-value score cache: a variable's score only changes when a formula it
   // occurs in is touched by an assignment, so QValueArgMax re-scores only
   // the dirty candidates (the difference between O(#vars * deg) and
@@ -364,4 +255,4 @@ class EvaluationState {
 
 }  // namespace consentdb::strategy
 
-#endif  // CONSENTDB_STRATEGY_EVALUATION_STATE_H_
+#endif  // CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_

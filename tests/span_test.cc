@@ -21,6 +21,7 @@
 #include "consentdb/obs/flight_recorder.h"
 #include "consentdb/obs/names.h"
 #include "consentdb/obs/span.h"
+#include "consentdb/strategy/runner.h"
 #include "consentdb/util/io.h"
 #include "consentdb/util/thread_pool.h"
 #include "test_fixtures.h"
@@ -370,6 +371,26 @@ TEST(SpanTest, SessionRunProducesCausalTimeline) {
   }
   EXPECT_EQ(run_spans, 1u);
   EXPECT_EQ(probe_spans, report.value().num_probes);
+}
+
+TEST(SpanTest, SpanOnlyInstrumentationEnablesTheProbeClock) {
+  // Regression: RunInstrumentation::enabled() ignored `spans`, so a
+  // span-only session skipped the per-probe deliberation clock and its
+  // probe events carried zero decision_nanos and residual_terms. Each sink
+  // alone must count as instrumented.
+  strategy::RunInstrumentation instr;
+  EXPECT_FALSE(instr.enabled());
+  SpanCollector collector;
+  instr.spans = &collector;
+  EXPECT_TRUE(instr.enabled());
+  instr.spans = nullptr;
+  MetricsRegistry metrics;
+  instr.metrics = &metrics;
+  EXPECT_TRUE(instr.enabled());
+  instr.metrics = nullptr;
+  SessionTracer tracer;
+  instr.tracer = &tracer;
+  EXPECT_TRUE(instr.enabled());
 }
 
 // TSAN target: many threads record nested spans while a reader exports.

@@ -105,6 +105,37 @@ TEST(GeneralStrategyTest, Alg0MaximisesExpectedElimination) {
   EXPECT_EQ(GeneralStrategy::Alg0Choose(state), 0u);
 }
 
+TEST(GeneralStrategyTest, Alg0PathsPickIdenticalVariables) {
+  // The one-shot Alg0Choose and the dovetailing ChooseNext (lazy argmax)
+  // share one scoring function; on any system their first pick must agree,
+  // with and without non-uniform costs.
+  Rng rng(133);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t num_vars = 3 + rng.UniformIndex(10);
+    std::vector<VarSet> terms;
+    const size_t num_terms = 1 + rng.UniformIndex(5);
+    for (size_t t = 0; t < num_terms; ++t) {
+      std::vector<VarId> vars;
+      const size_t width = 1 + rng.UniformIndex(4);
+      for (size_t k = 0; k < width; ++k) {
+        vars.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+      }
+      terms.emplace_back(std::move(vars));
+    }
+    std::vector<double> pi(num_vars);
+    for (double& p : pi) p = 0.1 + 0.8 * rng.UniformReal();
+    EvaluationState state({Dnf(terms)}, pi);
+    if (rng.Bernoulli(0.5)) {
+      std::vector<double> costs(num_vars);
+      for (double& c : costs) c = 0.5 + 2.0 * rng.UniformReal();
+      state.SetCosts(costs);
+    }
+    GeneralStrategy general;
+    EXPECT_EQ(general.ChooseNext(state), GeneralStrategy::Alg0Choose(state))
+        << "trial " << trial;
+  }
+}
+
 TEST(GeneralStrategyTest, AlternatesBetweenSides) {
   // With equal costs the first pick is Alg0's; after it is charged, RO picks.
   std::vector<double> pi = UniformPi(6, 0.5);
@@ -295,6 +326,32 @@ TEST(HybridStrategyTest, AttachesCnfsLazily) {
   (void)hybrid.ChooseNext(state);
   // Small formula: hybrid attaches CNFs at the first opportunity.
   EXPECT_TRUE(state.cnfs_attached());
+}
+
+TEST(HybridStrategyTest, SurfacesFailedCnfAttachment) {
+  // (0^1) v (0^2) v (3^4): variable 0 repeats, so Hybrid attempts the
+  // residual-CNF attachment; a one-clause budget makes the transpose's 2x2
+  // clause merge fail and the strategy must report it.
+  std::vector<Dnf> dnfs = {Dnf({VarSet{0, 1}, VarSet{0, 2}, VarSet{3, 4}})};
+  provenance::NormalFormLimits tiny;
+  tiny.max_sets = 1;
+  EvaluationState state(dnfs, UniformPi(5, 0.5));
+  HybridStrategy hybrid(tiny);
+  EXPECT_FALSE(hybrid.cnf_attach_failed());
+  (void)hybrid.ChooseNext(state);
+  EXPECT_FALSE(state.cnfs_attached());
+  EXPECT_TRUE(hybrid.cnf_attach_failed());
+
+  // With the default budget the same formula attaches fine.
+  EvaluationState roomy_state(dnfs, UniformPi(5, 0.5));
+  HybridStrategy roomy;
+  (void)roomy.ChooseNext(roomy_state);
+  EXPECT_TRUE(roomy_state.cnfs_attached());
+  EXPECT_FALSE(roomy.cnf_attach_failed());
+
+  // Non-Hybrid strategies never attempt an attachment.
+  RoStrategy ro;
+  EXPECT_FALSE(ro.cnf_attach_failed());
 }
 
 // --- Expected-cost harness --------------------------------------------------------------------

@@ -1,0 +1,292 @@
+// Differential suite for the columnar EvaluationState rewrite.
+//
+// Every probing strategy is a template over the state type, so the *same*
+// strategy code can drive the rewritten columnar state and the preserved
+// pre-rewrite implementation (tests/legacy_evaluation_state.*). For hundreds
+// of randomized formula systems — mixed probe costs, unreachable variables,
+// absorption on and off, CNFs attached up-front or mid-run — the two states
+// must produce byte-identical probe traces and final verdicts. Any
+// divergence in simplification order, tie-breaking, usefulness accounting,
+// or Q-value arithmetic shows up as a trace mismatch with the offending
+// seed in the failure message.
+//
+// Labelled `strategy_diff` (ctest -L strategy_diff); CI additionally runs it
+// under TSAN and ASAN.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "consentdb/strategy/strategies.h"
+#include "consentdb/util/rng.h"
+#include "legacy_evaluation_state.h"
+
+namespace consentdb::strategy {
+namespace {
+
+using provenance::Dnf;
+using provenance::kInvalidVar;
+using provenance::NormalFormLimits;
+using provenance::VarSet;
+
+// --- Randomized formula systems ---------------------------------------------
+
+struct System {
+  std::vector<Dnf> dnfs;
+  std::vector<double> pi;
+  std::vector<double> costs;  // empty = unit costs
+  std::vector<bool> hidden;   // the oracle's fixed valuation
+  std::vector<VarId> lost_upfront;  // unreachable before the first probe
+  VarId lost_midrun = kInvalidVar;  // goes unreachable mid-session...
+  size_t lost_midrun_step = 0;      // ...before this probe index
+  bool absorption = true;
+};
+
+System MakeSystem(Rng& rng) {
+  System s;
+  const size_t num_vars = 4 + rng.UniformIndex(20);
+  s.pi.resize(num_vars);
+  for (double& p : s.pi) p = 0.05 + 0.9 * rng.UniformReal();
+
+  const size_t num_formulas = 1 + rng.UniformIndex(4);
+  for (size_t j = 0; j < num_formulas; ++j) {
+    if (rng.Bernoulli(0.05)) {  // occasional constant formula
+      s.dnfs.push_back(rng.Bernoulli(0.5) ? Dnf::ConstantTrue()
+                                          : Dnf::ConstantFalse());
+      continue;
+    }
+    const size_t num_terms = 1 + rng.UniformIndex(6);
+    std::vector<VarSet> terms;
+    for (size_t t = 0; t < num_terms; ++t) {
+      const size_t width = 1 + rng.UniformIndex(5);
+      std::vector<VarId> vars;
+      for (size_t k = 0; k < width; ++k) {
+        vars.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+      }
+      terms.emplace_back(std::move(vars));  // VarSet sorts + dedups
+    }
+    s.dnfs.push_back(Dnf(std::move(terms)));
+  }
+
+  s.hidden.resize(num_vars);
+  for (size_t x = 0; x < num_vars; ++x) s.hidden[x] = rng.Bernoulli(s.pi[x]);
+
+  if (rng.Bernoulli(0.5)) {
+    s.costs.resize(num_vars);
+    for (double& c : s.costs) c = 0.5 + 3.5 * rng.UniformReal();
+  }
+  s.absorption = !rng.Bernoulli(0.25);
+
+  if (rng.Bernoulli(0.3)) {
+    const size_t n = 1 + rng.UniformIndex(3);
+    for (size_t i = 0; i < n; ++i) {
+      s.lost_upfront.push_back(static_cast<VarId>(rng.UniformIndex(num_vars)));
+    }
+  }
+  if (rng.Bernoulli(0.3)) {
+    s.lost_midrun = static_cast<VarId>(rng.UniformIndex(num_vars));
+    s.lost_midrun_step = 1 + rng.UniformIndex(8);
+  }
+  return s;
+}
+
+std::string Describe(const System& s) {
+  std::ostringstream os;
+  os << s.dnfs.size() << " formulas over " << s.pi.size() << " vars, "
+     << (s.costs.empty() ? "unit" : "mixed") << " costs, absorption "
+     << (s.absorption ? "on" : "off") << ", " << s.lost_upfront.size()
+     << " vars lost up-front";
+  if (s.lost_midrun != kInvalidVar) {
+    os << ", x" << s.lost_midrun << " lost before probe "
+       << s.lost_midrun_step;
+  }
+  return os.str();
+}
+
+// --- One session, templated over the state type -----------------------------
+
+enum class Kind {
+  kRandom,
+  kFreq,
+  kRo,
+  kQValue,        // CNFs attached up-front
+  kGeneral,
+  kHybrid,        // late (residual) CNF attachment
+  kHybridTinyCnf, // limits force the attachment to fail mid-run
+};
+
+constexpr Kind kAllKinds[] = {Kind::kRandom, Kind::kFreq,   Kind::kRo,
+                              Kind::kQValue, Kind::kGeneral, Kind::kHybrid,
+                              Kind::kHybridTinyCnf};
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kRandom: return "Random";
+    case Kind::kFreq: return "Freq";
+    case Kind::kRo: return "RO";
+    case Kind::kQValue: return "Q-value";
+    case Kind::kGeneral: return "General";
+    case Kind::kHybrid: return "Hybrid";
+    case Kind::kHybridTinyCnf: return "Hybrid(tiny-cnf)";
+  }
+  return "?";
+}
+
+template <typename State>
+std::unique_ptr<ProbeStrategyT<State>> MakeStrategy(Kind kind, uint64_t seed) {
+  switch (kind) {
+    case Kind::kRandom:
+      return std::make_unique<RandomStrategyT<State>>(seed);
+    case Kind::kFreq:
+      return std::make_unique<FreqStrategyT<State>>();
+    case Kind::kRo:
+      return std::make_unique<RoStrategyT<State>>();
+    case Kind::kQValue:
+      return std::make_unique<QValueStrategyT<State>>();
+    case Kind::kGeneral:
+      return std::make_unique<GeneralStrategyT<State>>();
+    case Kind::kHybrid:
+      return std::make_unique<HybridStrategyT<State>>();
+    case Kind::kHybridTinyCnf: {
+      NormalFormLimits tiny;
+      tiny.max_sets = 1;  // any multi-clause residual CNF fails to attach
+      return std::make_unique<HybridStrategyT<State>>(tiny,
+                                                      /*attach_max_terms=*/64);
+    }
+  }
+  return nullptr;
+}
+
+struct SessionResult {
+  bool skipped = false;  // Q-value inapplicable (CNF conversion blew up)
+  std::vector<std::pair<VarId, bool>> trace;
+  std::vector<Truth> outcomes;
+  bool attach_failed = false;
+
+  bool operator==(const SessionResult& o) const {
+    return skipped == o.skipped && trace == o.trace &&
+           outcomes == o.outcomes && attach_failed == o.attach_failed;
+  }
+};
+
+std::string Describe(const SessionResult& r) {
+  std::ostringstream os;
+  if (r.skipped) return "(skipped)";
+  os << "trace [";
+  for (const auto& [x, b] : r.trace) os << " x" << x << "=" << (b ? 1 : 0);
+  os << " ] outcomes [";
+  for (Truth t : r.outcomes) os << " " << provenance::TruthToString(t);
+  os << " ] attach_failed=" << r.attach_failed;
+  return os.str();
+}
+
+template <typename State>
+SessionResult RunSession(const System& sys, Kind kind, uint64_t seed) {
+  State state(sys.dnfs, sys.pi);
+  if (!sys.costs.empty()) state.SetCosts(sys.costs);
+  if (!sys.absorption) state.SetAbsorptionEnabled(false);
+  SessionResult out;
+  if (kind == Kind::kQValue) {
+    if (!state.AttachCnfs().ok()) {
+      out.skipped = true;
+      return out;
+    }
+  }
+  for (VarId x : sys.lost_upfront) {
+    if (!state.IsUnreachable(x)) state.MarkUnreachable(x);
+  }
+  auto strategy = MakeStrategy<State>(kind, seed);
+  while (!state.AllDecided() && state.HasUsefulVar()) {
+    if (sys.lost_midrun != kInvalidVar &&
+        out.trace.size() == sys.lost_midrun_step &&
+        state.var_value(sys.lost_midrun) == Truth::kUnknown &&
+        !state.IsUnreachable(sys.lost_midrun)) {
+      state.MarkUnreachable(sys.lost_midrun);
+      if (state.AllDecided() || !state.HasUsefulVar()) break;
+    }
+    VarId x = strategy->ChooseNext(state);
+    EXPECT_TRUE(state.IsUseful(x));
+    const bool answer = sys.hidden[x];
+    state.Assign(x, answer);
+    strategy->OnAnswer(state, x, answer);
+    out.trace.emplace_back(x, answer);
+  }
+  out.outcomes = state.FormulaValues();
+  out.attach_failed = strategy->cnf_attach_failed();
+  return out;
+}
+
+// --- The differential fuzzer ------------------------------------------------
+
+class StrategyDiffTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyDiffTest, ColumnarMatchesLegacyByteForByte) {
+  Rng rng(90000 + GetParam());
+  // 8 shards x 30 systems x 7 strategies = 1680 session pairs.
+  for (int trial = 0; trial < 30; ++trial) {
+    const System sys = MakeSystem(rng);
+    const uint64_t seed = rng.Fork();
+    for (Kind kind : kAllKinds) {
+      SessionResult legacy =
+          RunSession<LegacyEvaluationState>(sys, kind, seed);
+      SessionResult columnar = RunSession<EvaluationState>(sys, kind, seed);
+      EXPECT_TRUE(legacy == columnar)
+          << KindName(kind) << " diverged on shard " << GetParam()
+          << " trial " << trial << ": " << Describe(sys)
+          << "\n  legacy:   " << Describe(legacy)
+          << "\n  columnar: " << Describe(columnar);
+      if (!(legacy == columnar)) return;  // one counterexample is enough
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyDiffTest, ::testing::Range(0, 8));
+
+// --- Deterministic spot checks ----------------------------------------------
+
+// The legacy state must agree with the columnar one on a formula system with
+// heavy absorption churn: nested terms falsify/absorb in cascades.
+TEST(StrategyDiffSpotTest, AbsorptionCascade) {
+  std::vector<Dnf> dnfs;
+  dnfs.push_back(Dnf({VarSet{0, 1, 2, 3}, VarSet{0, 1, 2}, VarSet{4, 5},
+                      VarSet{2, 4}}));
+  dnfs.push_back(Dnf({VarSet{1, 5}, VarSet{0, 3, 5}}));
+  System sys;
+  sys.dnfs = dnfs;
+  sys.pi = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  sys.hidden = {true, true, false, true, true, false};
+  for (Kind kind : kAllKinds) {
+    SessionResult legacy = RunSession<LegacyEvaluationState>(sys, kind, 7);
+    SessionResult columnar = RunSession<EvaluationState>(sys, kind, 7);
+    EXPECT_TRUE(legacy == columnar)
+        << KindName(kind) << ":\n  legacy:   " << Describe(legacy)
+        << "\n  columnar: " << Describe(columnar);
+  }
+}
+
+// Forced mid-run CNF-attachment failure: both states must report it through
+// the strategy and fall back to General identically.
+TEST(StrategyDiffSpotTest, HybridAttachFailureMatches) {
+  // (0^1) v (0^2) v (3^4) is not read-once (0 repeats), so Hybrid attempts
+  // the attachment, and its CNF needs a 2x2 clause merge > max_sets = 1.
+  System sys;
+  sys.dnfs.push_back(Dnf({VarSet{0, 1}, VarSet{0, 2}, VarSet{3, 4}}));
+  sys.pi = {0.5, 0.5, 0.5, 0.5, 0.5};
+  sys.hidden = {true, false, true, false, true};
+  SessionResult legacy =
+      RunSession<LegacyEvaluationState>(sys, Kind::kHybridTinyCnf, 1);
+  SessionResult columnar =
+      RunSession<EvaluationState>(sys, Kind::kHybridTinyCnf, 1);
+  EXPECT_TRUE(legacy == columnar)
+      << "legacy:   " << Describe(legacy)
+      << "\ncolumnar: " << Describe(columnar);
+  EXPECT_TRUE(columnar.attach_failed);
+}
+
+}  // namespace
+}  // namespace consentdb::strategy
