@@ -1,0 +1,1343 @@
+#!/usr/bin/env python3
+"""consentdb-analyze: AST-level determinism, lock-order and layering checks.
+
+Three passes over the consentdb library (src/consentdb + the examples/
+shell), complementing the regex hygiene rules in consentdb_lint.py with
+checks that need type, scope and call-graph information:
+
+1. Determinism audit — the byte-identical guarantees (resumed sessions,
+   concurrent-vs-sequential runs, the strategy differential suite) only hold
+   if no hash-table iteration order or wall-clock value can reach serialized
+   output. Conservative by design: every order/time dependence is flagged
+   and must either be fixed or carry a written justification.
+
+     det-unordered-iter   range-for or begin()/cbegin() iteration over a
+                          std::unordered_{map,set,multimap,multiset} in
+                          src/consentdb. Suppress with
+                          `// det:order-insensitive <why>` (why required) —
+                          e.g. the values are sorted at the boundary or
+                          folded through an order-independent reduction.
+     det-pointer-key      std::{map,set,multimap,multiset} keyed by a
+                          pointer: iteration order is allocation order,
+                          which varies run to run. Key by a stable id.
+                          Suppress with `// lint:allow det-pointer-key --
+                          <reason>`.
+     det-wallclock        system_clock::now / random_device / rand / srand /
+                          time(...) outside util/clock (the injectable Clock
+                          seam) and util/rng.h (the seeded SplitMix64
+                          helpers). Suppress with `// lint:allow
+                          det-wallclock -- <reason>`.
+
+2. Lock-order cycle detection (rule `lock-cycle`) — per-function mutex
+   acquisitions are extracted from MutexLock/std::*lock* scopes and from
+   EXCLUDES(...) annotations on declarations, then folded through the call
+   graph into one global lock-order graph: an edge A -> B means some path
+   acquires B while holding A. GUARDED_BY(...) names contribute (leaf)
+   nodes. Calls are resolved against the receiver's *static* type only —
+   virtual dispatch is not expanded to derived classes, so the graph never
+   contains an edge no concrete composition can produce. A cycle is a
+   potential deadlock and always fails — there is no suppression.
+   `--dot FILE` emits the graph as a Graphviz artifact.
+
+3. Module layering (rule `layer-violation`) — the include graph must follow
+   the module DAG
+
+     util -> provenance/relational -> obs -> query -> consent -> eval
+          -> strategy -> core/datasets -> shell (examples/)
+
+   A module may include strictly lower layers (and itself); same-layer
+   cross-includes (provenance <-> relational, core <-> datasets) are
+   violations too. obs sits below query because the query classifier
+   publishes metrics. Suppress with `// lint:allow layer-violation --
+   <reason>`.
+
+Two interchangeable frontends feed passes 1 and 2 (pass 3 is include-graph
+only):
+
+  clang   libclang (clang.cindex) over the TUs in compile_commands.json —
+          full type/scope fidelity; used by CI.
+  text    a built-in scanner (brace-matched scopes, per-class member and
+          parameter types) that needs no toolchain; used where libclang is
+          unavailable and by `ctest -L static_analysis` locally.
+
+`--frontend=auto` (default) picks clang when importable, else text.
+
+Usage:
+  consentdb_analyze.py [--root DIR] [--build-dir DIR | --compdb FILE]
+                       [--frontend auto|clang|text] [--format text|json]
+                       [--dot FILE] [--passes det,lock,layer] [--list-rules]
+
+Exit status: 0 clean, 1 findings, 2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Optional
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from consentdb_findings import (  # noqa: E402
+    Finding, allowed_rules, det_justification, emit)
+
+RULES = (
+    "det-unordered-iter",
+    "det-pointer-key",
+    "det-wallclock",
+    "lock-cycle",
+    "layer-violation",
+)
+
+CXX_SUFFIXES = {".h", ".hpp", ".cc", ".cpp"}
+
+# ---------------------------------------------------------------------------
+# Module layering.
+
+# A module may include strictly lower layers and itself. Peers the design
+# keeps mutually independent (provenance/relational, core/datasets) share an
+# index so neither may include the other.
+MODULE_LAYERS = {
+    "util": 0,
+    "provenance": 1,
+    "relational": 1,
+    "obs": 2,
+    "query": 3,
+    "consent": 4,
+    "eval": 5,
+    "strategy": 6,
+    "core": 7,
+    "datasets": 7,
+    "shell": 8,
+}
+
+LAYER_DAG = ("util -> provenance/relational -> obs -> query -> consent "
+             "-> eval -> strategy -> core/datasets -> shell")
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"consentdb/(\w+)/')
+
+# Wall-clock / ambient-entropy tokens. steady_clock durations are fine (they
+# never identify a run); it is calendar time and unseeded randomness that
+# break replay.
+WALLCLOCK_RE = re.compile(
+    r"\bsystem_clock\s*::\s*now\b|\brandom_device\b|"
+    r"(?<![\w:.])s?rand\s*\(|\bstd\s*::\s*time\s*\(|"
+    r"(?<![\w:_.])time\s*\(\s*(?:nullptr|NULL|0)\s*\)")
+WALLCLOCK_EXEMPT = {
+    Path("src/consentdb/util/clock.h"),
+    Path("src/consentdb/util/clock.cc"),
+    Path("src/consentdb/util/rng.h"),
+}
+
+# The lock primitives' own definition (Mutex, MutexLock, the annotation
+# macros): scanning it would register the RAII wrappers' internals and the
+# macro parameter names as locks.
+LOCK_EXEMPT = {Path("src/consentdb/util/thread_annotations.h")}
+
+UNORDERED_RE = re.compile(r"\bunordered_(?:flat_)?(?:multi)?(?:map|set)\b")
+ORDERED_ASSOC_RE = re.compile(r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<")
+
+LOCK_DECL_RE = re.compile(
+    r"\b(?:MutexLock|std\s*::\s*(?:lock_guard|scoped_lock|unique_lock)\s*"
+    r"(?:<[^<>]*>)?)\s+\w+\s*[({]([^;{}]*?)[)}]")
+EXCLUDES_RE = re.compile(r"\bEXCLUDES\s*\(([^()]*)\)")
+GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*([\w.>&-]+)\s*\)")
+TEMPLATE_RE = re.compile(r"\btemplate\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>")
+CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*"
+                      r"(?:final\s*)?(?::\s*([^{;]*))?$")
+
+CONTROL_KEYWORDS = {
+    "if", "else", "for", "while", "switch", "do", "try", "catch", "return",
+    "case", "default", "sizeof", "new", "delete", "throw", "co_return",
+    "co_await", "co_yield", "static_assert", "alignas", "alignof", "not",
+    "and", "or", "using", "typedef", "goto", "break", "continue", "friend",
+}
+
+LAMBDA_TAIL_RE = re.compile(
+    r"\]\s*(?:\([^()]*\))?\s*(?:mutable\b\s*)?(?:noexcept\b\s*)?"
+    r"(?:->\s*[\w:<>,&*\s]+)?$")
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# A non-`::` colon: the range-for separator (never part of a scope
+# qualifier).
+RANGE_COLON_RE = re.compile(r"(?<!:):(?!:)")
+
+
+def first_template_arg(text: str, open_idx: int) -> str:
+    """The first template argument of the `<` at open_idx (depth-aware)."""
+    depth, i, start = 0, open_idx, open_idx + 1
+    while i < len(text):
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return text[start:i].strip()
+        elif c == "," and depth == 1:
+            return text[start:i].strip()
+        i += 1
+    return text[start:].strip()
+
+
+def pointer_keyed(decl_text: str) -> bool:
+    """True when an ordered std::{map,set,...} in decl_text has a pointer
+    key (first template argument ends in `*`)."""
+    for m in ORDERED_ASSOC_RE.finditer(decl_text):
+        open_idx = decl_text.index("<", m.end() - 1)
+        if first_template_arg(decl_text, open_idx).endswith("*"):
+            return True
+    return False
+
+
+def strip_block_comments(text: str) -> str:
+    """Replaces /* ... */ with spaces (newlines kept, offsets preserved)."""
+    out, i, n = [], 0, len(text)
+    while i < n:
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            out.append("".join(c if c == "\n" else " " for c in text[i:end]))
+            i = end
+        elif text.startswith("//", i):
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(text[i:end])  # line comments handled per line later
+            i = end
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def strip_line(line: str) -> str:
+    """Removes // comments and string/char literal contents from one line."""
+    out, i, n = [], 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                i += 2 if line[i] == "\\" else 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def parse_class_header(header: str) -> Optional[tuple[str, tuple[str, ...]]]:
+    """(class name, base classes) when `header` opens a class/struct body."""
+    h = TEMPLATE_RE.sub(" ", header).strip()
+    if "(" in h or "=" in h or re.search(r"\benum\b", h):
+        return None
+    m = CLASS_RE.search(h)
+    if m is None:
+        return None
+    bases = []
+    for part in (m.group(2) or "").split(","):
+        part = re.sub(r"<[^<>]*>", " ", part)
+        ids = [i for i in re.findall(r"\w+", part)
+               if i not in ("public", "protected", "private", "virtual",
+                            "final")]
+        if ids:
+            bases.append(ids[-1])
+    return m.group(1), tuple(bases)
+
+
+# ---------------------------------------------------------------------------
+# Intermediate representation shared by both frontends.
+
+
+class FunctionIR:
+    """One function (or method): its direct lock acquisitions, annotated
+    exclusions, outgoing calls and the locks held at each call site."""
+
+    def __init__(self, cls: str, name: str, path: Path, line: int):
+        self.cls = cls
+        self.name = name
+        self.path = path
+        self.line = line
+        self.acquisitions: list[tuple[str, int]] = []  # (lock, line)
+        self.excludes: set[str] = set()
+        # (callee, receiver class | None free/own-class | "?" unresolvable,
+        #  line, tuple(held locks))
+        self.calls: list[tuple[str, Optional[str], int, tuple[str, ...]]] = []
+        # direct nested-scope edges: (outer lock, inner lock, line)
+        self.nested: list[tuple[str, str, int]] = []
+        self.var_types: dict[str, str] = {}  # param/local name -> class
+
+    @property
+    def qual(self) -> str:
+        return f"{self.cls}::{self.name}" if self.cls else self.name
+
+
+class TUResult:
+    def __init__(self):
+        self.det_sites: list[Finding] = []  # pre-suppression
+        self.functions: list[FunctionIR] = []
+        self.lock_nodes: set[str] = set()  # GUARDED_BY-discovered locks
+        self.bases: dict[str, tuple[str, ...]] = {}
+
+
+# ---------------------------------------------------------------------------
+# Text frontend: brace-matched scope scanner with per-class symbol tables.
+
+
+class Scope:
+    def __init__(self, kind: str, name: str = "",
+                 fn: Optional[FunctionIR] = None):
+        self.kind = kind  # namespace | class | function | block
+        self.name = name
+        self.fn = fn
+        self.locks: list[str] = []  # locks whose scope closes with this brace
+
+
+class TextFrontend:
+    """Heuristic single-pass C++ scanner. A collection sweep first builds,
+    per class, the base-class list, the members with unordered types and a
+    member -> class-of-member-type table; the analysis sweep then re-walks
+    every file with that symbol table to emit determinism sites and the
+    lock/call IR. Calls whose receiver type cannot be established are
+    dropped from the lock graph rather than guessed."""
+
+    name = "text"
+
+    def __init__(self, root: Path, files: list[Path]):
+        self.root = root
+        self.files = files
+        self.class_bases: dict[str, tuple[str, ...]] = {}
+        self.unordered_members: set[tuple[str, str]] = set()
+        self.member_types: dict[tuple[str, str], str] = {}
+        raw_members: list[tuple[str, str, str]] = []  # (cls, member, decl)
+        for path in files:
+            self._collect(path, raw_members)
+        for cls, member, decl in raw_members:
+            ids = [i for i in re.findall(r"\w+", decl)
+                   if i in self.class_bases]
+            if ids:
+                self.member_types[(cls, member)] = ids[-1]
+
+    # -- collection sweep ---------------------------------------------------
+    def _collect(self, path: Path, raw_members: list) -> None:
+        aliases: set[str] = set()  # unordered type aliases (file-local)
+        for cls, stmt, _line, is_header in self._statements(path):
+            if is_header:
+                parsed = parse_class_header(stmt)
+                if parsed is not None:
+                    self.class_bases.setdefault(parsed[0], parsed[1])
+                continue
+            am = re.match(r"\s*using\s+(\w+)\s*=\s*(.*)", stmt)
+            if am and (UNORDERED_RE.search(am.group(2))
+                       or any(re.search(rf"\b{a}\b", am.group(2))
+                              for a in aliases)):
+                aliases.add(am.group(1))
+                continue
+            stripped = GUARDED_BY_RE.sub(" ", stmt).strip()
+            if UNORDERED_RE.search(stmt) or any(
+                    re.search(rf"\b{a}\b", stmt) for a in aliases):
+                dm = re.search(r"[>\s](\w+)\s*(?:=[^;]*|\{[^}]*\})?\s*$",
+                               stripped)
+                if dm and dm.group(1) not in ("const", "mutable", "override"):
+                    self.unordered_members.add((cls, dm.group(1)))
+            # Member declarations (no parens once annotations are gone).
+            if cls and "(" not in stripped and ")" not in stripped:
+                first = re.match(r"(\w+)", stripped)
+                if first and first.group(1) not in (
+                        "using", "typedef", "friend", "public", "private",
+                        "protected", "static_assert", "enum", "return"):
+                    # Strip the initializer so `T* x = nullptr;` types x.
+                    no_init = re.sub(r"(=|\{).*$", "", stripped).rstrip()
+                    dm = re.match(r"(.*[>&*\s])(\w+)\s*$", no_init)
+                    if dm:
+                        raw_members.append((cls, dm.group(2), dm.group(1)))
+
+    def _statements(self, path: Path):
+        """Yields (enclosing_class, text, line, is_header) for every
+        `;`-terminated statement and `{`-opening header, comments and
+        literal contents stripped. Collection sweep only — the analysis
+        sweep runs the full scope machine."""
+        text = strip_block_comments(path.read_text(encoding="utf-8"))
+        lines = [strip_line(l) for l in text.splitlines()]
+        class_stack: list[str] = []
+        brace_kinds: list[str] = []
+        stmt, stmt_line = [], 1
+        for lineno, line in enumerate(lines, start=1):
+            for c in line:
+                if c == "{":
+                    header = "".join(stmt).strip()
+                    parsed = parse_class_header(header)
+                    yield (class_stack[-1] if class_stack else "",
+                           header, stmt_line, True)
+                    if parsed is not None:
+                        class_stack.append(parsed[0])
+                        brace_kinds.append("class")
+                    else:
+                        brace_kinds.append("block")
+                    stmt, stmt_line = [], lineno
+                elif c == "}":
+                    if brace_kinds and brace_kinds.pop() == "class":
+                        class_stack.pop()
+                    stmt, stmt_line = [], lineno
+                elif c == ";":
+                    yield (class_stack[-1] if class_stack else "",
+                           "".join(stmt).strip(), stmt_line, False)
+                    stmt, stmt_line = [], lineno
+                else:
+                    if not stmt:
+                        stmt_line = lineno
+                    stmt.append(c)
+            stmt.append(" ")
+
+    # -- analysis sweep -----------------------------------------------------
+    def analyze(self) -> TUResult:
+        result = TUResult()
+        result.bases = dict(self.class_bases)
+        for path in self.files:
+            self._analyze_file(path, result)
+        return result
+
+    def _analyze_file(self, path: Path, result: TUResult) -> None:
+        rel = path.relative_to(self.root)
+        text = strip_block_comments(path.read_text(encoding="utf-8"))
+        lines = [strip_line(l) for l in text.splitlines()]
+        scopes: list[Scope] = []
+        stmt, stmt_line = [], 1
+
+        def current_fn() -> Optional[FunctionIR]:
+            for s in reversed(scopes):
+                if s.kind == "function":
+                    return s.fn
+            return None
+
+        def current_cls() -> str:
+            for s in reversed(scopes):
+                if s.kind == "class":
+                    return s.name
+            return ""
+
+        def held_locks() -> list[str]:
+            held = []
+            for s in scopes:
+                held.extend(s.locks)
+            return held
+
+        def resolve_lock(expr: str, cls: str) -> str:
+            expr = expr.strip().lstrip("&").strip()
+            expr = re.sub(r"^this\s*->\s*", "", expr)
+            member = re.split(r"->|\.", expr)[-1].strip()
+            if not re.fullmatch(r"\w+", member):
+                return f"{rel.stem}::{expr}"
+            owner = cls if cls else rel.stem
+            return f"{owner}::{member}"
+
+        def fn_class(header_name: str) -> tuple[str, str]:
+            parts = [p.strip() for p in header_name.split("::")]
+            if len(parts) >= 2:
+                return parts[-2], parts[-1]
+            return current_cls(), parts[-1]
+
+        def base_chain(cls: str) -> list[str]:
+            out, queue, seen = [], [cls], set()
+            while queue:
+                c = queue.pop(0)
+                if not c or c in seen:
+                    continue
+                seen.add(c)
+                out.append(c)
+                queue.extend(self.class_bases.get(c, ()))
+            return out
+
+        def receiver_class(token: str, fn: Optional[FunctionIR],
+                           cls: str) -> str:
+            if token == "this":
+                return cls or "?"
+            if token in self.class_bases:
+                return token  # Class::StaticCall(...)
+            if fn is not None and token in fn.var_types:
+                return fn.var_types[token]
+            for c in base_chain(cls):
+                t = self.member_types.get((c, token))
+                if t is not None:
+                    return t
+            return "?"
+
+        def record_params(fn: FunctionIR, header: str) -> None:
+            """Maps parameter names to their classes for call resolution."""
+            depth = start = 0
+            params = ""
+            for i, c in enumerate(header):
+                if c == "(":
+                    depth += 1
+                    if depth == 1:
+                        start = i + 1
+                elif c == ")":
+                    depth -= 1
+                    if depth == 0:
+                        params = header[start:i]
+                        break
+            for part in params.split(","):
+                part = part.split("=")[0]
+                part = re.sub(r"<[^<>]*>", " ", part)
+                ids = re.findall(r"\w+", part)
+                if len(ids) >= 2 and ids[-2] in self.class_bases:
+                    fn.var_types[ids[-1]] = ids[-2]
+
+        def process_statement(s: str, line: int, is_header: bool) -> None:
+            if rel in LOCK_EXEMPT:
+                return
+            fn = current_fn()
+            cls = fn.cls if fn else current_cls()
+            for m in GUARDED_BY_RE.finditer(s):
+                result.lock_nodes.add(resolve_lock(m.group(1), current_cls()))
+            # Prototypes carrying EXCLUDES (class bodies / headers).
+            if fn is None and not is_header:
+                em = EXCLUDES_RE.search(s)
+                if em:
+                    nm = self._header_fn_name(s)
+                    if nm:
+                        dcls, dname = fn_class(nm)
+                        decl = FunctionIR(dcls, dname, rel, line)
+                        decl.excludes = {
+                            resolve_lock(x, decl.cls)
+                            for x in em.group(1).split(",") if x.strip()}
+                        result.functions.append(decl)
+            if fn is None:
+                return
+            # Typed local declarations (for receiver resolution).
+            lm = re.match(r"\s*(?:const\s+)?([A-Za-z_]\w*)\s*[&*]?\s+"
+                          r"(\w+)\s*[=({]", s)
+            if lm and lm.group(1) in self.class_bases:
+                fn.var_types[lm.group(2)] = lm.group(1)
+            # Lock acquisitions (brace scope = innermost open scope).
+            for m in LOCK_DECL_RE.finditer(s):
+                for arg in self._lock_args(m.group(1)):
+                    lock = resolve_lock(arg, cls)
+                    for outer in held_locks():
+                        if outer != lock:
+                            fn.nested.append((outer, lock, line))
+                    fn.acquisitions.append((lock, line))
+                    if scopes:
+                        scopes[-1].locks.append(lock)
+            # Calls, with best-effort receiver typing.
+            without_locks = LOCK_DECL_RE.sub(" ", s)
+            for m in CALL_RE.finditer(without_locks):
+                name = m.group(1)
+                if name in CONTROL_KEYWORDS or name.isupper():
+                    continue
+                prefix = without_locks[:m.start()].rstrip()
+                recv: Optional[str] = None
+                if prefix.endswith((".", "->")):
+                    rm = re.search(r"([A-Za-z_]\w*)\s*(?:\.|->)\s*$", prefix)
+                    if rm is None:
+                        recv = "?"  # )->m(...) and other chains
+                    else:
+                        before = prefix[:rm.start()].rstrip()
+                        if before.endswith((".", "->", ")", "]")):
+                            recv = "?"  # multi-hop chain
+                        else:
+                            recv = receiver_class(rm.group(1), fn, cls)
+                elif prefix.endswith("::"):
+                    qm = re.search(r"([A-Za-z_]\w*)\s*::\s*$", prefix)
+                    recv = (qm.group(1) if qm and
+                            qm.group(1) in self.class_bases else "?")
+                elif prefix and (prefix[-1].isalnum()
+                                 or prefix[-1] in "_>"):
+                    word = re.search(r"([\w>]+)\s*$", prefix)
+                    if word and word.group(1) not in CONTROL_KEYWORDS:
+                        continue  # `Type name(...)` declaration
+                fn.calls.append((name, recv, line, tuple(held_locks())))
+
+        def classify_header(header: str, line: int) -> Scope:
+            h = TEMPLATE_RE.sub(" ", header).strip()
+            if not h:
+                return Scope("block")
+            if re.search(r"\bnamespace\b", h) and "(" not in h:
+                return Scope("namespace", h.split()[-1])
+            parsed = parse_class_header(header)
+            if parsed is not None:
+                return Scope("class", parsed[0])
+            if h.rstrip().endswith(("=", ",", "(", "[")):
+                return Scope("block")
+            if LAMBDA_TAIL_RE.search(h):
+                return Scope("block")  # lambda body joins enclosing function
+            first = re.match(r"[A-Za-z_]\w*", h)
+            if first and first.group(0) in CONTROL_KEYWORDS:
+                return Scope("block")
+            if current_fn() is not None:
+                return Scope("block")  # no nested named functions
+            nm = self._header_fn_name(h)
+            if nm:
+                cls, name = fn_class(nm)
+                fn = FunctionIR(cls, name, rel, line)
+                em = EXCLUDES_RE.search(h)
+                if em:
+                    fn.excludes = {
+                        resolve_lock(x, cls)
+                        for x in em.group(1).split(",") if x.strip()}
+                record_params(fn, h)
+                if rel not in LOCK_EXEMPT:
+                    result.functions.append(fn)
+                return Scope("function", nm, fn)
+            return Scope("block")
+
+        for lineno, line in enumerate(lines, start=1):
+            for c in line:
+                if c == "{":
+                    header = "".join(stmt)
+                    hline = stmt_line
+                    process_statement(header, hline, is_header=True)
+                    self._det_scan(rel, header, hline, current_fn(),
+                                   current_cls(), True, result)
+                    scopes.append(classify_header(header, hline))
+                    stmt, stmt_line = [], lineno
+                elif c == "}":
+                    if scopes:
+                        scopes.pop()
+                    stmt, stmt_line = [], lineno
+                elif c == ";":
+                    s = "".join(stmt)
+                    process_statement(s, stmt_line, is_header=False)
+                    self._det_scan(rel, s, stmt_line, current_fn(),
+                                   current_cls(), False, result)
+                    stmt, stmt_line = [], lineno
+                else:
+                    if not stmt or not "".join(stmt).strip():
+                        stmt_line = lineno
+                    stmt.append(c)
+            stmt.append(" ")
+
+    def _lock_args(self, argtext: str):
+        # std::scoped_lock may take several mutexes.
+        for part in argtext.split(","):
+            part = part.strip()
+            if part and "=" not in part:
+                yield part
+
+    def _header_fn_name(self, h: str) -> Optional[str]:
+        """The qualified name before the first top-level `(` of a function
+        header/declaration, or None."""
+        h = TEMPLATE_RE.sub(" ", h)
+        depth = 0
+        for i, c in enumerate(h):
+            if c == "<":
+                depth += 1
+            elif c == ">":
+                depth = max(0, depth - 1)
+            elif c == "(" and depth == 0:
+                m = re.search(r"([\w~]+(?:\s*::\s*[\w~]+)*)\s*$", h[:i])
+                if m and m.group(1) not in CONTROL_KEYWORDS:
+                    return re.sub(r"\s", "", m.group(1))
+                return None
+        return None
+
+    def _det_scan(self, rel: Path, stmt: str, line: int,
+                  fn: Optional[FunctionIR], cls: str, is_header: bool,
+                  result: TUResult) -> None:
+        if rel.parts[:2] != ("src", "consentdb"):
+            return
+        enclosing_cls = fn.cls if fn else cls
+
+        def is_unordered_expr(expr: str) -> bool:
+            expr = expr.strip()
+            if UNORDERED_RE.search(expr):
+                return True
+            base = re.sub(r"^this\s*->\s*", "", expr)
+            terminal = re.split(r"->|\.", base)[-1].strip()
+            terminal = re.sub(r"\(.*\)$", "", terminal).strip()
+            if not re.fullmatch(r"\w+", terminal):
+                return False
+            return ((enclosing_cls, terminal) in self.unordered_members
+                    or ("", terminal) in self.unordered_members)
+
+        # Range-for over an unordered expression (header statements only —
+        # `for (decl : expr)` has no semicolons, so the full head arrives).
+        if is_header:
+            m = re.search(r"\bfor\s*\((.*)\)\s*$", stmt)
+            if m:
+                colon = RANGE_COLON_RE.search(m.group(1))
+                if colon and is_unordered_expr(m.group(1)[colon.end():]):
+                    result.det_sites.append(Finding(
+                        rel, line, "det-unordered-iter",
+                        "range-for over an unordered container — iteration "
+                        "order is hash-seed and insertion-order dependent; "
+                        "materialize sorted at the boundary or justify with "
+                        "`// det:order-insensitive <why>`"))
+        # begin()/cbegin() on an unordered expression (iterator loops and
+        # iterator-pair constructions).
+        for m in re.finditer(r"([\w.>-]+?)\s*\.\s*c?begin\s*\(", stmt):
+            if is_unordered_expr(m.group(1)):
+                result.det_sites.append(Finding(
+                    rel, line, "det-unordered-iter",
+                    "iterator over an unordered container — iteration order "
+                    "is hash-seed and insertion-order dependent; materialize "
+                    "sorted at the boundary or justify with "
+                    "`// det:order-insensitive <why>`"))
+        # Pointer-keyed ordered containers.
+        if pointer_keyed(stmt):
+            result.det_sites.append(Finding(
+                rel, line, "det-pointer-key",
+                "ordered container keyed by pointer value — iteration order "
+                "is allocation order, which varies run to run; key by a "
+                "stable id instead"))
+        # Wall-clock / ambient entropy.
+        if rel not in WALLCLOCK_EXEMPT and WALLCLOCK_RE.search(stmt):
+            result.det_sites.append(Finding(
+                rel, line, "det-wallclock",
+                "wall-clock or ambient randomness outside util/clock and "
+                "util/rng.h — route time through the injected Clock and "
+                "randomness through seeded SplitMix64 so runs replay "
+                "byte-identically"))
+
+
+# ---------------------------------------------------------------------------
+# libclang frontend.
+
+
+class ClangFrontendError(RuntimeError):
+    pass
+
+
+class ClangFrontend:
+    """compile_commands.json-driven frontend on clang.cindex. Determinism
+    sites use canonical types (aliases resolve); lock scopes follow compound
+    statements child by child, so a lock's reach is its true brace scope;
+    calls resolve through the referenced declaration (static type — virtual
+    dispatch is not expanded)."""
+
+    name = "clang"
+
+    def __init__(self, root: Path, compdb_path: Path):
+        try:
+            import clang.cindex as ci
+        except ImportError as e:
+            raise ClangFrontendError(
+                f"clang.cindex unavailable ({e}); install python3-clang or "
+                "use --frontend=text") from e
+        self.ci = ci
+        self._configure_libclang(ci)
+        try:
+            self.index = ci.Index.create()
+        except Exception as e:  # libclang .so missing
+            raise ClangFrontendError(f"libclang unusable: {e}") from e
+        self.root = root
+        self.compdb_path = compdb_path
+        self.entries = self._load_compdb(compdb_path)
+
+    @staticmethod
+    def _configure_libclang(ci) -> None:
+        if ci.Config.loaded:
+            return
+        import glob
+        candidates = (glob.glob("/usr/lib/llvm-*/lib/libclang.so*") +
+                      glob.glob("/usr/lib/*/libclang-*.so*") +
+                      glob.glob("/usr/lib/*/libclang.so*"))
+        for c in sorted(candidates, reverse=True):
+            try:
+                ci.Config.set_library_file(c)
+                ci.Index.create()
+                return
+            except Exception:
+                ci.Config.loaded = False
+                ci.conf.lib_file = None  # retry with the next candidate
+        # Fall through: let cindex try its default lookup.
+
+    def _load_compdb(self, path: Path) -> list[tuple[Path, list[str]]]:
+        try:
+            db = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            raise ClangFrontendError(f"cannot read {path}: {e}") from e
+        entries = []
+        lib = (self.root / "src" / "consentdb").resolve()
+        for e in db:
+            f = Path(e["file"])
+            if not f.is_absolute():
+                f = Path(e["directory"]) / f
+            f = f.resolve()
+            if lib not in f.parents:
+                continue
+            if "arguments" in e:
+                args = list(e["arguments"])[1:]
+            else:
+                import shlex
+                args = shlex.split(e["command"])[1:]
+            # Drop the source file, output and -c; keep the include/flag set.
+            cleaned, skip = [], False
+            for a in args:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", str(f), e["file"]):
+                    continue
+                if a in ("-o", "--output"):
+                    skip = True
+                    continue
+                cleaned.append(a)
+            entries.append((f, cleaned))
+        if not entries:
+            raise ClangFrontendError(
+                f"no src/consentdb TUs in {path}; configure the build first")
+        return entries
+
+    def analyze(self) -> TUResult:
+        result = TUResult()
+        seen_sites: set[tuple[str, int, str]] = set()
+        seen_fns: set[tuple[str, str, str, int]] = set()
+        for path, args in self.entries:
+            self._analyze_tu(path, args, result, seen_sites, seen_fns)
+        return result
+
+    def _rel(self, location) -> Optional[Path]:
+        if location.file is None:
+            return None
+        p = Path(location.file.name).resolve()
+        try:
+            rel = p.relative_to(self.root)
+        except ValueError:
+            return None
+        if rel.parts[:2] != ("src", "consentdb"):
+            return None
+        return rel
+
+    def _analyze_tu(self, path: Path, args: list[str], result: TUResult,
+                    seen_sites, seen_fns) -> None:
+        ci = self.ci
+        tu = self.index.parse(str(path), args=args)
+        fatal = [d for d in tu.diagnostics
+                 if d.severity >= ci.Diagnostic.Error]
+        if fatal:
+            raise ClangFrontendError(
+                f"{path}: {fatal[0].spelling} (fix the build or the "
+                "compile_commands.json export)")
+
+        fn_kinds = {ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+                    ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+                    ci.CursorKind.FUNCTION_TEMPLATE}
+        class_kinds = {ci.CursorKind.CLASS_DECL, ci.CursorKind.STRUCT_DECL,
+                       ci.CursorKind.CLASS_TEMPLATE}
+
+        def canonical(t) -> str:
+            try:
+                return t.get_canonical().spelling
+            except Exception:
+                return t.spelling
+
+        def add_site(rel, line, rule, message):
+            key = (str(rel), line, rule)
+            if key not in seen_sites:
+                seen_sites.add(key)
+                result.det_sites.append(Finding(rel, line, rule, message))
+
+        def decl_tokens(cursor) -> str:
+            try:
+                return " ".join(t.spelling for t in cursor.get_tokens())
+            except Exception:
+                return ""
+
+        def lock_name_of(var_cursor, cls: str, rel: Path) -> str:
+            """The lock a MutexLock-style RAII var acquires: the referenced
+            field/var of its constructor argument."""
+            best = None
+            for node in var_cursor.walk_preorder():
+                if node.kind == ci.CursorKind.MEMBER_REF_EXPR and \
+                        node.referenced is not None:
+                    owner = node.referenced.semantic_parent
+                    oname = owner.spelling if owner is not None else cls
+                    best = f"{oname}::{node.referenced.spelling}"
+                elif node.kind == ci.CursorKind.DECL_REF_EXPR and \
+                        best is None and node.referenced is not None and \
+                        "utex" in canonical(node.referenced.type):
+                    best = f"{rel.stem}::{node.referenced.spelling}"
+            if best is not None:
+                return best
+            m = re.search(r"\(\s*&?\s*([\w.>-]+)", decl_tokens(var_cursor))
+            member = re.split(r"->|\.", m.group(1))[-1] if m else "unknown"
+            owner = cls if cls else rel.stem
+            return f"{owner}::{member}"
+
+        def excludes_of(cursor, cls: str, rel: Path) -> set[str]:
+            out = set()
+            toks = decl_tokens(cursor)
+            body_at = toks.find("{")
+            header = toks if body_at == -1 else toks[:body_at]
+            for m in EXCLUDES_RE.finditer(header.replace(" ", "")):
+                for x in m.group(1).split(","):
+                    if x.strip():
+                        member = re.split(r"->|\.", x.strip().lstrip("&"))[-1]
+                        owner = cls if cls else rel.stem
+                        out.add(f"{owner}::{member}")
+            return out
+
+        def visit_fn_body(body, fn: FunctionIR, held: list[str],
+                          cls: str, rel: Path) -> None:
+            """Walks a statement; compound statements thread the running
+            lock set child to child so later statements see earlier locks."""
+            if body is None:
+                return
+            if body.kind == ci.CursorKind.COMPOUND_STMT:
+                block_locks: list[str] = []
+                for child in body.get_children():
+                    if child.kind == ci.CursorKind.DECL_STMT:
+                        for d in child.get_children():
+                            if d.kind != ci.CursorKind.VAR_DECL:
+                                continue
+                            ct = canonical(d.type)
+                            if re.search(r"\bMutexLock\b|\block_guard\b|"
+                                         r"\bscoped_lock\b|\bunique_lock\b",
+                                         ct):
+                                lock = lock_name_of(d, cls, rel)
+                                line = d.location.line
+                                for outer in held + block_locks:
+                                    if outer != lock:
+                                        fn.nested.append((outer, lock, line))
+                                fn.acquisitions.append((lock, line))
+                                block_locks.append(lock)
+                            else:
+                                visit_fn_body(d, fn, held + block_locks,
+                                              cls, rel)
+                        continue
+                    visit_fn_body(child, fn, held + block_locks, cls, rel)
+                return
+            if body.kind == ci.CursorKind.CALL_EXPR and \
+                    body.referenced is not None:
+                callee = body.referenced
+                ccls = None
+                sp = callee.semantic_parent
+                if sp is not None and sp.kind in class_kinds:
+                    ccls = sp.spelling
+                if callee.spelling:
+                    fn.calls.append((callee.spelling, ccls,
+                                     body.location.line, tuple(held)))
+            for child in body.get_children():
+                visit_fn_body(child, fn, held, cls, rel)
+
+        def det_scan_cursor(cursor, rel: Path) -> None:
+            k = cursor.kind
+            if k == ci.CursorKind.CXX_FOR_RANGE_STMT:
+                for child in cursor.get_children():
+                    if not child.kind.is_expression():
+                        continue
+                    if UNORDERED_RE.search(canonical(child.type)):
+                        add_site(rel, cursor.location.line,
+                                 "det-unordered-iter",
+                                 "range-for over an unordered container — "
+                                 "iteration order is hash-seed and "
+                                 "insertion-order dependent; materialize "
+                                 "sorted at the boundary or justify with "
+                                 "`// det:order-insensitive <why>`")
+                        break
+            elif k == ci.CursorKind.MEMBER_REF_EXPR and \
+                    cursor.spelling in ("begin", "cbegin"):
+                children = list(cursor.get_children())
+                base = children[0] if children else None
+                if base is not None and \
+                        UNORDERED_RE.search(canonical(base.type)):
+                    add_site(rel, cursor.location.line, "det-unordered-iter",
+                             "iterator over an unordered container — "
+                             "iteration order is hash-seed and "
+                             "insertion-order dependent; materialize sorted "
+                             "at the boundary or justify with "
+                             "`// det:order-insensitive <why>`")
+            elif k in (ci.CursorKind.VAR_DECL, ci.CursorKind.FIELD_DECL):
+                if pointer_keyed(canonical(cursor.type)):
+                    add_site(rel, cursor.location.line, "det-pointer-key",
+                             "ordered container keyed by pointer value — "
+                             "iteration order is allocation order, which "
+                             "varies run to run; key by a stable id instead")
+
+        def walk(cursor, cls: str) -> None:
+            rel = self._rel(cursor.location)
+            k = cursor.kind
+            if k in class_kinds:
+                cls = cursor.spelling or cls
+                if rel is not None and cls:
+                    bases = tuple(
+                        b.spelling.split("::")[-1].replace("class ", "")
+                        .replace("struct ", "").strip()
+                        for b in cursor.get_children()
+                        if b.kind == ci.CursorKind.CXX_BASE_SPECIFIER)
+                    result.bases.setdefault(cls, bases)
+            if rel is not None:
+                det_scan_cursor(cursor, rel)
+                if rel in LOCK_EXEMPT:
+                    for child in cursor.get_children():
+                        walk(child, cls)
+                    return
+                if k == ci.CursorKind.FIELD_DECL:
+                    toks = decl_tokens(cursor)
+                    for m in GUARDED_BY_RE.finditer(toks.replace(" ", "")):
+                        member = re.split(r"->|\.",
+                                          m.group(1).lstrip("&"))[-1]
+                        result.lock_nodes.add(f"{cls}::{member}")
+                if k in fn_kinds:
+                    sp = cursor.semantic_parent
+                    fcls = cls
+                    if sp is not None and sp.kind in class_kinds:
+                        fcls = sp.spelling
+                    key = (fcls, cursor.spelling, str(rel),
+                           cursor.location.line)
+                    if key not in seen_fns:
+                        seen_fns.add(key)
+                        fn = FunctionIR(fcls, cursor.spelling, rel,
+                                        cursor.location.line)
+                        fn.excludes = excludes_of(cursor, fcls, rel)
+                        result.functions.append(fn)
+                        if cursor.is_definition():
+                            body = None
+                            for child in cursor.get_children():
+                                if child.kind == \
+                                        ci.CursorKind.COMPOUND_STMT:
+                                    body = child
+                            visit_fn_body(body, fn, [], fcls, rel)
+                    return  # bodies handled above; don't descend twice
+            for child in cursor.get_children():
+                walk(child, cls)
+
+        walk(tu.cursor, "")
+
+
+# ---------------------------------------------------------------------------
+# Lock-order graph: fold per-function IR through the call graph.
+
+
+class LockGraph:
+    def __init__(self):
+        self.nodes: set[str] = set()
+        # (a, b) -> example sites ["file:line", ...]
+        self.edges: dict[tuple[str, str], list[str]] = defaultdict(list)
+
+    def add_edge(self, a: str, b: str, site: str) -> None:
+        self.nodes.update((a, b))
+        sites = self.edges[(a, b)]
+        if site not in sites:
+            sites.append(site)
+
+    def cycles(self) -> list[list[str]]:
+        """One witness cycle per distinct node set, as a closed node path
+        [a, b, ..., a]."""
+        adj = defaultdict(list)
+        for (a, b) in self.edges:
+            adj[a].append(b)
+        for nbrs in adj.values():
+            nbrs.sort()
+        found = []
+        seen_components: set[frozenset] = set()
+        for start in sorted(self.nodes):
+            stack = [(start, [start])]
+            visited = set()
+            while stack:
+                node, path = stack.pop()
+                for nxt in adj.get(node, ()):
+                    if nxt == start:
+                        comp = frozenset(path)
+                        if comp not in seen_components:
+                            seen_components.add(comp)
+                            found.append(path + [start])
+                        continue
+                    if nxt not in visited and nxt not in path:
+                        visited.add(nxt)
+                        stack.append((nxt, path + [nxt]))
+        return found
+
+    def to_dot(self) -> str:
+        lines = [
+            "// consentdb lock-order graph — generated by "
+            "consentdb_analyze.py",
+            "// An edge A -> B means some code path acquires B while "
+            "holding A.",
+            "digraph lock_order {",
+            "  rankdir=LR;",
+            '  node [shape=box, fontname="monospace"];',
+        ]
+        for n in sorted(self.nodes):
+            lines.append(f'  "{n}";')
+        for (a, b), sites in sorted(self.edges.items()):
+            label = sites[0] + ("" if len(sites) == 1
+                                else f" (+{len(sites) - 1})")
+            lines.append(f'  "{a}" -> "{b}" [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def build_lock_graph(result: TUResult) -> LockGraph:
+    graph = LockGraph()
+    graph.nodes.update(result.lock_nodes)
+
+    # Merge FunctionIR fragments (decl + def, or per-file pieces) by
+    # qualified name, then compute each function's transitive acquisition
+    # set over the call graph.
+    merged: dict[str, FunctionIR] = {}
+    for fn in result.functions:
+        m = merged.setdefault(fn.qual, FunctionIR(fn.cls, fn.name,
+                                                  fn.path, fn.line))
+        m.acquisitions.extend(fn.acquisitions)
+        m.excludes.update(fn.excludes)
+        m.calls.extend(fn.calls)
+        m.nested.extend(fn.nested)
+
+    def base_chain(cls: str) -> list[str]:
+        out, queue, seen = [], [cls], set()
+        while queue:
+            c = queue.pop(0)
+            if not c or c in seen:
+                continue
+            seen.add(c)
+            out.append(c)
+            queue.extend(result.bases.get(c, ()))
+        return out
+
+    def resolve(callee: str, recv: Optional[str],
+                caller_cls: str) -> list[str]:
+        """Call targets by static type: the receiver's class (or its bases,
+        for inherited methods); an unqualified call tries the caller's own
+        class chain, then a free function. An unresolvable receiver ("?")
+        contributes nothing — no guessing across same-named methods."""
+        if recv == "?":
+            return []
+        if recv:
+            for c in base_chain(recv):
+                qual = f"{c}::{callee}"
+                if qual in merged:
+                    return [qual]
+            return []
+        for c in base_chain(caller_cls):
+            qual = f"{c}::{callee}"
+            if qual in merged:
+                return [qual]
+        if callee in merged:
+            return [callee]
+        return []
+
+    direct = {q: {a for a, _ in fn.acquisitions} | fn.excludes
+              for q, fn in merged.items()}
+    reach = {q: set(s) for q, s in direct.items()}
+    changed = True
+    while changed:
+        changed = False
+        for q, fn in merged.items():
+            for callee, recv, _line, _held in fn.calls:
+                for target in resolve(callee, recv, fn.cls):
+                    extra = reach[target] - reach[q]
+                    if extra:
+                        reach[q].update(extra)
+                        changed = True
+
+    for q, fn in merged.items():
+        graph.nodes.update(direct[q])
+        for a, b, line in fn.nested:
+            graph.add_edge(a, b, f"{fn.path}:{line}")
+        for callee, recv, line, held in fn.calls:
+            if not held:
+                continue
+            acquired: set[str] = set()
+            for target in resolve(callee, recv, fn.cls):
+                acquired |= reach[target]
+            for outer in held:
+                for inner in sorted(acquired):
+                    if inner != outer:
+                        graph.add_edge(outer, inner, f"{fn.path}:{line}")
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Passes.
+
+
+def collect_files(root: Path) -> tuple[list[Path], list[Path]]:
+    """(library files under src/consentdb, layering scope incl. examples)."""
+    lib, layered = [], []
+    for base, is_lib in (("src/consentdb", True), ("examples", False)):
+        d = root / base
+        if not d.is_dir():
+            continue
+        for p in sorted(d.rglob("*")):
+            if p.suffix in CXX_SUFFIXES and p.is_file():
+                layered.append(p)
+                if is_lib:
+                    lib.append(p)
+    return lib, layered
+
+
+def module_of(rel: Path) -> Optional[str]:
+    if rel.parts[:2] == ("src", "consentdb") and len(rel.parts) > 3:
+        return rel.parts[2]
+    if rel.parts[:1] == ("examples",):
+        return "shell"
+    return None
+
+
+def layering_pass(root: Path, files: list[Path]) -> list[Finding]:
+    findings = []
+    for path in files:
+        rel = path.relative_to(root)
+        mod = module_of(rel)
+        if mod is None or mod not in MODULE_LAYERS:
+            continue
+        lines = path.read_text(encoding="utf-8").splitlines()
+        for idx, raw in enumerate(lines):
+            m = INCLUDE_RE.search(raw)
+            if m is None:
+                continue
+            dep = m.group(1)
+            if dep == mod or dep not in MODULE_LAYERS:
+                continue
+            if MODULE_LAYERS[dep] < MODULE_LAYERS[mod]:
+                continue
+            if "layer-violation" in allowed_rules(lines, idx,
+                                                  require_reason=True):
+                continue
+            relation = ("its own layer" if
+                        MODULE_LAYERS[dep] == MODULE_LAYERS[mod]
+                        else "a higher layer")
+            findings.append(Finding(
+                rel, idx + 1, "layer-violation",
+                f"module '{mod}' (layer {MODULE_LAYERS[mod]}) includes "
+                f"'{dep}' from {relation} (layer {MODULE_LAYERS[dep]}); "
+                f"the module DAG is {LAYER_DAG}"))
+    return findings
+
+
+def apply_det_suppressions(root: Path, sites: list[Finding]) -> list[Finding]:
+    out = []
+    file_lines: dict[Path, list[str]] = {}
+    seen: set[tuple[str, int, str]] = set()
+    for f in sorted(sites, key=lambda f: (str(f.path), f.line, f.rule)):
+        key = (str(f.path), f.line, f.rule)
+        if key in seen:
+            continue
+        seen.add(key)
+        lines = file_lines.setdefault(
+            f.path, (root / f.path).read_text(encoding="utf-8").splitlines())
+        idx = min(f.line, len(lines)) - 1
+        if f.rule == "det-unordered-iter":
+            why = det_justification(lines, idx)
+            if why:
+                continue
+            if why == "":
+                out.append(Finding(
+                    f.path, f.line, f.rule,
+                    "det:order-insensitive suppression carries no "
+                    "justification — write why the iteration order cannot "
+                    "reach any serialized output"))
+                continue
+        elif f.rule in allowed_rules(lines, idx, require_reason=True):
+            continue
+        out.append(f)
+    return out
+
+
+def run(root: Path, frontend_kind: str, compdb: Optional[Path],
+        passes: set[str], dot_path: Optional[Path]) -> tuple[list[Finding],
+                                                             str]:
+    lib_files, layered_files = collect_files(root)
+    findings: list[Finding] = []
+    frontend_used = "none"
+
+    if passes & {"det", "lock"}:
+        if frontend_kind in ("clang", "auto") and compdb is not None and \
+                compdb.is_file():
+            try:
+                frontend = ClangFrontend(root, compdb)
+            except ClangFrontendError:
+                if frontend_kind == "clang":
+                    raise
+                frontend = TextFrontend(root, lib_files)
+        elif frontend_kind == "clang":
+            raise ClangFrontendError(
+                "--frontend=clang needs a compile_commands.json "
+                "(--build-dir/--compdb); configure the build first")
+        else:
+            frontend = TextFrontend(root, lib_files)
+        frontend_used = frontend.name
+        result = frontend.analyze()
+        if "det" in passes:
+            findings.extend(apply_det_suppressions(root, result.det_sites))
+        if "lock" in passes:
+            graph = build_lock_graph(result)
+            if dot_path is not None:
+                dot_path.write_text(graph.to_dot())
+            for cycle in graph.cycles():
+                sites = []
+                for a, b in zip(cycle, cycle[1:]):
+                    sites.append(f"{a} -> {b} at {graph.edges[(a, b)][0]}")
+                first_site = graph.edges[(cycle[0], cycle[1])][0]
+                path_str, line_str = first_site.rsplit(":", 1)
+                findings.append(Finding(
+                    Path(path_str), int(line_str), "lock-cycle",
+                    "lock-order cycle (potential deadlock): "
+                    + "; ".join(sites)
+                    + " — pick one global order and take the locks in it"))
+
+    if "layer" in passes:
+        findings.extend(layering_pass(root, layered_files))
+
+    findings.sort(key=lambda f: (str(f.path), f.line, f.rule))
+    return findings, frontend_used
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog="consentdb_analyze.py", add_help=True,
+        description="determinism / lock-order / layering analyzer")
+    ap.add_argument("--root", type=Path,
+                    default=Path(__file__).resolve().parent.parent)
+    ap.add_argument("--build-dir", type=Path, default=None,
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("--compdb", type=Path, default=None,
+                    help="explicit compile_commands.json path")
+    ap.add_argument("--frontend", choices=("auto", "clang", "text"),
+                    default="auto")
+    ap.add_argument("--format", choices=("text", "json"), default="text")
+    ap.add_argument("--dot", type=Path, default=None,
+                    help="write the lock-order graph as Graphviz DOT")
+    ap.add_argument("--passes", default="det,lock,layer",
+                    help="comma-separated subset of det,lock,layer")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv[1:])
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+    root = args.root.resolve()
+    if not (root / "src" / "consentdb").is_dir():
+        print(f"consentdb-analyze: not a consentdb tree: {root}",
+              file=sys.stderr)
+        return 2
+    passes = {p.strip() for p in args.passes.split(",") if p.strip()}
+    unknown = passes - {"det", "lock", "layer"}
+    if unknown:
+        print(f"consentdb-analyze: unknown pass(es): {sorted(unknown)}",
+              file=sys.stderr)
+        return 2
+    compdb = args.compdb
+    if compdb is None and args.build_dir is not None:
+        compdb = args.build_dir / "compile_commands.json"
+    if compdb is None:
+        default = root / "build" / "compile_commands.json"
+        compdb = default if default.is_file() else None
+
+    try:
+        findings, frontend_used = run(root, args.frontend, compdb, passes,
+                                      args.dot)
+    except ClangFrontendError as e:
+        print(f"consentdb-analyze: {e}", file=sys.stderr)
+        return 2
+    emit(findings, args.format)
+    if findings:
+        print(f"consentdb-analyze: {len(findings)} finding(s) "
+              f"[frontend={frontend_used}]", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

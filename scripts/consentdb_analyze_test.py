@@ -1,0 +1,393 @@
+#!/usr/bin/env python3
+"""Unit tests for every consentdb_analyze.py check and suppression path.
+
+Two layers, mirroring consentdb_lint_test.py:
+
+  * harness tests materialize miniature repos in a temp directory and
+    assert on the (rule, line) pairs the analyzer reports, including the
+    `det:order-insensitive` / `lint:allow <rule> -- <reason>` machinery;
+  * fixture tests run every tree under tests/analyze_fixtures/ and assert
+    that each *_bad tree trips exactly its check and each *_good tree is
+    clean.
+
+Run directly or via ctest:
+
+    python3 scripts/consentdb_analyze_test.py
+"""
+
+import contextlib
+import io
+import json
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import consentdb_analyze as az  # noqa: E402
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "analyze_fixtures"
+
+
+class AnalyzeHarness(unittest.TestCase):
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        self.root = Path(self._tmp.name)
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def write(self, rel: str, content: str) -> None:
+        path = self.root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content)
+
+    def findings(self, passes=("det", "lock", "layer"), dot=None):
+        found, frontend = az.run(self.root, "text", None, set(passes), dot)
+        self.assertIn(frontend, ("text", "none"))
+        return found
+
+    def rules(self, **kwargs):
+        return [f.rule for f in self.findings(**kwargs)]
+
+
+class DetUnorderedIterTest(AnalyzeHarness):
+    CLASS = ("#include <unordered_map>\n"
+             "namespace consentdb::consent {\n"
+             "class T {\n"
+             " public:\n"
+             "  int Sum() const {\n"
+             "    int s = 0;\n"
+             "%s"
+             "    return s;\n"
+             "  }\n"
+             " private:\n"
+             "  std::unordered_map<int, int> m_;\n"
+             "};\n"
+             "}  // namespace consentdb::consent\n")
+
+    def test_range_for_over_unordered_member_flagged(self):
+        self.write("src/consentdb/consent/t.cc", self.CLASS % (
+            "    for (const auto& [k, v] : m_) {\n"
+            "      s += v;\n"
+            "    }\n"))
+        [f] = self.findings()
+        self.assertEqual(f.rule, "det-unordered-iter")
+        self.assertEqual(f.line, 7)
+
+    def test_begin_iteration_flagged(self):
+        self.write("src/consentdb/consent/t.cc", self.CLASS % (
+            "    auto it = m_.begin();\n"
+            "    s += it->second;\n"))
+        self.assertEqual(self.rules(), ["det-unordered-iter"])
+
+    def test_marker_with_why_suppresses(self):
+        self.write("src/consentdb/consent/t.cc", self.CLASS % (
+            "    // det:order-insensitive sum is commutative\n"
+            "    for (const auto& [k, v] : m_) {\n"
+            "      s += v;\n"
+            "    }\n"))
+        self.assertEqual(self.rules(), [])
+
+    def test_marker_without_why_is_its_own_finding(self):
+        self.write("src/consentdb/consent/t.cc", self.CLASS % (
+            "    // det:order-insensitive\n"
+            "    for (const auto& [k, v] : m_) {\n"
+            "      s += v;\n"
+            "    }\n"))
+        [f] = self.findings()
+        self.assertEqual(f.rule, "det-unordered-iter")
+        self.assertIn("justification", f.message)
+
+
+class DetPointerKeyTest(AnalyzeHarness):
+    def test_pointer_keyed_map_flagged(self):
+        self.write("src/consentdb/eval/t.h",
+                   "#include <map>\n"
+                   "namespace consentdb::eval {\n"
+                   "class T {\n"
+                   "  std::map<const int*, int> by_ptr_;\n"
+                   "};\n"
+                   "}  // namespace consentdb::eval\n")
+        [f] = self.findings()
+        self.assertEqual(f.rule, "det-pointer-key")
+        self.assertEqual(f.line, 4)
+
+    def test_value_keyed_map_ok(self):
+        self.write("src/consentdb/eval/t.h",
+                   "#include <map>\n"
+                   "namespace consentdb::eval {\n"
+                   "class T {\n"
+                   "  std::map<int, const int*> by_id_;\n"
+                   "};\n"
+                   "}  // namespace consentdb::eval\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_lint_allow_with_reason_suppresses(self):
+        self.write("src/consentdb/eval/t.h",
+                   "#include <set>\n"
+                   "namespace consentdb::eval {\n"
+                   "class T {\n"
+                   "  // lint:allow det-pointer-key -- scratch set, never"
+                   " iterated in output order\n"
+                   "  std::set<const int*> seen_;\n"
+                   "};\n"
+                   "}  // namespace consentdb::eval\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_lint_allow_without_reason_does_not_suppress(self):
+        self.write("src/consentdb/eval/t.h",
+                   "#include <set>\n"
+                   "namespace consentdb::eval {\n"
+                   "class T {\n"
+                   "  std::set<const int*> seen_;  // lint:allow"
+                   " det-pointer-key\n"
+                   "};\n"
+                   "}  // namespace consentdb::eval\n")
+        self.assertEqual(self.rules(), ["det-pointer-key"])
+
+
+class DetWallclockTest(AnalyzeHarness):
+    def test_system_clock_now_flagged(self):
+        self.write("src/consentdb/core/t.cc",
+                   "#include <chrono>\n"
+                   "namespace consentdb::core {\n"
+                   "long Now() {\n"
+                   "  return std::chrono::system_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n"
+                   "}  // namespace consentdb::core\n")
+        [f] = self.findings()
+        self.assertEqual(f.rule, "det-wallclock")
+
+    def test_random_device_flagged(self):
+        self.write("src/consentdb/strategy/t.cc",
+                   "#include <random>\n"
+                   "namespace consentdb::strategy {\n"
+                   "unsigned Seed() {\n"
+                   "  std::random_device rd;\n"
+                   "  return rd();\n"
+                   "}\n"
+                   "}  // namespace consentdb::strategy\n")
+        self.assertEqual(self.rules(), ["det-wallclock"])
+
+    def test_clock_module_is_exempt(self):
+        self.write("src/consentdb/util/clock.cc",
+                   "#include <chrono>\n"
+                   "namespace consentdb {\n"
+                   "long SystemClock_NowNanos() {\n"
+                   "  return std::chrono::system_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n"
+                   "}  // namespace consentdb\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_lint_allow_with_reason_suppresses(self):
+        self.write("src/consentdb/core/t.cc",
+                   "#include <chrono>\n"
+                   "namespace consentdb::core {\n"
+                   "long Now() {\n"
+                   "  // lint:allow det-wallclock -- log banner only, never"
+                   " serialized\n"
+                   "  return std::chrono::system_clock::now()"
+                   ".time_since_epoch().count();\n"
+                   "}\n"
+                   "}  // namespace consentdb::core\n")
+        self.assertEqual(self.rules(), [])
+
+
+class LockCycleTest(AnalyzeHarness):
+    def test_intraprocedural_cycle_detected(self):
+        self.write("src/consentdb/consent/t.cc",
+                   (FIXTURES / "lock_cycle_bad" / "src" / "consentdb"
+                    / "consent" / "pair_ledger.cc").read_text())
+        [f] = self.findings(passes=("lock",))
+        self.assertEqual(f.rule, "lock-cycle")
+        self.assertIn("PairLedger::mu_a_", f.message)
+        self.assertIn("PairLedger::mu_b_", f.message)
+
+    def test_interprocedural_cycle_through_typed_members(self):
+        self.write("src/consentdb/consent/t.cc",
+                   "namespace consentdb::consent {\n"
+                   "class B;\n"
+                   "class A {\n"
+                   " public:\n"
+                   "  void Step();\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  B* peer_ GUARDED_BY(mu_) = nullptr;\n"
+                   "};\n"
+                   "class B {\n"
+                   " public:\n"
+                   "  void Poke();\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  A* peer_ GUARDED_BY(mu_) = nullptr;\n"
+                   "};\n"
+                   "void A::Step() {\n"
+                   "  MutexLock lock(mu_);\n"
+                   "  peer_->Poke();\n"
+                   "}\n"
+                   "void B::Poke() {\n"
+                   "  MutexLock lock(mu_);\n"
+                   "  peer_->Step();\n"
+                   "}\n"
+                   "}  // namespace consentdb::consent\n")
+        [f] = self.findings(passes=("lock",))
+        self.assertEqual(f.rule, "lock-cycle")
+        self.assertIn("A::mu_", f.message)
+        self.assertIn("B::mu_", f.message)
+
+    def test_unknown_receiver_contributes_no_edges(self):
+        # An unresolvable callee named like a lock-taking method must not
+        # be bound to it — static types only, no name-based guessing.
+        self.write("src/consentdb/consent/t.cc",
+                   "namespace consentdb::consent {\n"
+                   "class A {\n"
+                   " public:\n"
+                   "  void Step() {\n"
+                   "    MutexLock lock(mu_);\n"
+                   "    ++n_;\n"
+                   "  }\n"
+                   " private:\n"
+                   "  Mutex mu_;\n"
+                   "  int n_ GUARDED_BY(mu_) = 0;\n"
+                   "};\n"
+                   "void Drive(void* opaque) {\n"
+                   "  auto* a = Reinterpret(opaque);\n"
+                   "  a->Step();\n"
+                   "}\n"
+                   "}  // namespace consentdb::consent\n")
+        self.assertEqual(self.rules(passes=("lock",)), [])
+
+    def test_dot_output_is_deterministic(self):
+        src = (FIXTURES / "lock_cycle_good" / "src" / "consentdb"
+               / "consent" / "pair_ledger.cc").read_text()
+        self.write("src/consentdb/consent/t.cc", src)
+        dot_a = self.root / "a.dot"
+        dot_b = self.root / "b.dot"
+        self.assertEqual(self.findings(passes=("lock",), dot=dot_a), [])
+        self.assertEqual(self.findings(passes=("lock",), dot=dot_b), [])
+        self.assertEqual(dot_a.read_text(), dot_b.read_text())
+        self.assertIn('"PairLedger::mu_a_" -> "PairLedger::mu_b_"',
+                      dot_a.read_text())
+
+
+class LayeringTest(AnalyzeHarness):
+    def test_upward_include_flagged(self):
+        self.write("src/consentdb/util/t.h",
+                   '#include "consentdb/core/session_engine.h"\n')
+        [f] = self.findings(passes=("layer",))
+        self.assertEqual(f.rule, "layer-violation")
+        self.assertEqual(f.line, 1)
+
+    def test_downward_and_same_module_includes_ok(self):
+        self.write("src/consentdb/core/t.h",
+                   '#include "consentdb/core/checkpoint.h"\n'
+                   '#include "consentdb/strategy/strategy.h"\n'
+                   '#include "consentdb/util/status.h"\n')
+        self.assertEqual(self.rules(passes=("layer",)), [])
+
+    def test_peer_modules_cannot_include_each_other(self):
+        self.write("src/consentdb/provenance/t.h",
+                   '#include "consentdb/relational/relation.h"\n')
+        self.assertEqual(self.rules(passes=("layer",)),
+                         ["layer-violation"])
+
+    def test_lint_allow_with_reason_suppresses(self):
+        self.write("src/consentdb/util/t.h",
+                   "// lint:allow layer-violation -- transitional, tracked"
+                   " in ROADMAP item 3\n"
+                   '#include "consentdb/core/session_engine.h"\n')
+        self.assertEqual(self.rules(passes=("layer",)), [])
+
+
+class FixtureTreesTest(unittest.TestCase):
+    """Every *_bad tree trips its check; every *_good tree is clean."""
+
+    EXPECT = {
+        "det_unordered_iter": "det-unordered-iter",
+        "det_pointer_key": "det-pointer-key",
+        "det_wallclock": "det-wallclock",
+        "lock_cycle": "lock-cycle",
+        "layer_violation": "layer-violation",
+    }
+
+    def run_tree(self, tree: Path):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(io.StringIO()):
+            rc = az.main(["analyze", "--root", str(tree),
+                          "--frontend=text", "--format=json"])
+        return rc, json.loads(out.getvalue())
+
+    def test_every_check_has_a_fixture_pair(self):
+        names = {p.name for p in FIXTURES.iterdir() if p.is_dir()}
+        for stem in self.EXPECT:
+            self.assertIn(f"{stem}_bad", names)
+            self.assertIn(f"{stem}_good", names)
+
+    def test_bad_trees_fail_with_expected_rule(self):
+        for stem, rule in sorted(self.EXPECT.items()):
+            with self.subTest(tree=f"{stem}_bad"):
+                rc, findings = self.run_tree(FIXTURES / f"{stem}_bad")
+                self.assertEqual(rc, 1)
+                self.assertIn(rule, {f["rule"] for f in findings})
+                for f in findings:
+                    self.assertEqual(sorted(f),
+                                     ["line", "message", "path", "rule"])
+
+    def test_good_trees_pass(self):
+        for stem in sorted(self.EXPECT):
+            with self.subTest(tree=f"{stem}_good"):
+                rc, findings = self.run_tree(FIXTURES / f"{stem}_good")
+                self.assertEqual(rc, 0)
+                self.assertEqual(findings, [])
+
+
+class CliTest(AnalyzeHarness):
+    def main(self, *argv):
+        out = io.StringIO()
+        err = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            rc = az.main(["analyze", *argv])
+        return rc, out.getvalue(), err.getvalue()
+
+    def test_list_rules_covers_all_checks(self):
+        rc, out, _ = self.main("--list-rules")
+        self.assertEqual(rc, 0)
+        self.assertEqual(out.split(), list(az.RULES))
+
+    def test_unknown_pass_is_usage_error(self):
+        self.write("src/consentdb/t.cc", "int f() { return 1; }\n")
+        rc, _, err = self.main("--root", str(self.root), "--passes", "tea")
+        self.assertEqual(rc, 2)
+        self.assertIn("unknown pass", err)
+
+    def test_non_tree_root_is_usage_error(self):
+        rc, _, err = self.main("--root", str(self.root))
+        self.assertEqual(rc, 2)
+        self.assertIn("not a consentdb tree", err)
+
+    def test_forced_clang_without_compdb_is_environment_error(self):
+        self.write("src/consentdb/t.cc", "int f() { return 1; }\n")
+        rc, _, err = self.main("--root", str(self.root), "--frontend=clang")
+        self.assertEqual(rc, 2)
+        self.assertIn("compile_commands.json", err)
+
+    def test_json_schema_and_exit_code(self):
+        self.write("src/consentdb/util/t.h",
+                   '#include "consentdb/core/session_engine.h"\n')
+        rc, out, err = self.main("--root", str(self.root),
+                                 "--frontend=text", "--format=json")
+        self.assertEqual(rc, 1)
+        [finding] = json.loads(out)
+        self.assertEqual(sorted(finding), ["line", "message", "path", "rule"])
+        self.assertEqual(finding["rule"], "layer-violation")
+        self.assertIn("1 finding(s)", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Shared finding schema and suppression machinery for the consentdb static
+tooling (consentdb_lint.py and consentdb_analyze.py).
+
+Both tools report findings in one shape — `{path, line, rule, message}` —
+so the CI lint/analyze jobs can render GitHub annotations from a single code
+path, and both honour the same suppression comments:
+
+  // lint:allow <rule>[,<rule>...] [-- <reason>]
+      Suppresses the named rules on the same line, or on the next line when
+      the comment stands alone. The `-- <reason>` tail is optional for the
+      lint rules and *required* for the analyzer rules (callers ask via
+      `require_reason`): an analyzer finding is only silenced by a
+      justification a reviewer can read.
+
+  // det:order-insensitive <why>
+      The dedicated suppression for the determinism audit's
+      det-unordered-iter rule: iterating an unordered container is fine when
+      the loop provably cannot leak its order (e.g. the values are sorted
+      immediately after, or folded through an order-independent reduction).
+      The <why> is mandatory — an empty justification does not suppress.
+
+Exit-code convention shared by both CLIs: 0 clean, 1 findings, 2 usage/IO.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w,-]+)(?:\s+--\s*(.*))?")
+DET_SUPPRESS_RE = re.compile(r"//\s*det:order-insensitive\b[ \t]*(.*)")
+
+
+class Finding:
+    """One diagnostic: a (path, line, rule) anchor plus a human message."""
+
+    def __init__(self, path: Union[Path, str], line: int, rule: str,
+                 message: str):
+        self.path = Path(path)
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": str(self.path),
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+def emit(findings: list[Finding], fmt: str = "text",
+         out: Optional[TextIO] = None) -> None:
+    """Prints findings as lines (text) or as one JSON array (json)."""
+    if out is None:
+        out = sys.stdout  # resolved at call time so stdout redirection works
+    if fmt == "json":
+        json.dump([f.to_dict() for f in findings], out, indent=2)
+        out.write("\n")
+    else:
+        for f in findings:
+            print(f, file=out)
+
+
+def allowed_rules(lines: list[str], idx: int,
+                  require_reason: bool = False) -> set[str]:
+    """Rules suppressed on line index `idx` (0-based): an inline
+    `lint:allow`, or a preceding comment-only line carrying one. With
+    `require_reason`, only suppressions carrying a non-empty `-- <reason>`
+    tail count."""
+    allowed: set[str] = set()
+    for text, standalone_only in ((lines[idx], False),
+                                  (lines[idx - 1].strip() if idx > 0 else "",
+                                   True)):
+        m = ALLOW_RE.search(text)
+        if not m:
+            continue
+        if standalone_only and not text.startswith("//"):
+            continue
+        if require_reason and not (m.group(2) or "").strip():
+            continue
+        allowed.update(m.group(1).split(","))
+    return allowed
+
+
+def det_justification(lines: list[str], idx: int) -> Optional[str]:
+    """The `det:order-insensitive` justification covering line `idx`, taken
+    from an inline comment or a standalone comment on the previous line.
+    Returns None when absent; returns "" (falsy — caller must NOT suppress)
+    when the marker is present but carries no written why."""
+    m = DET_SUPPRESS_RE.search(lines[idx])
+    if m is None and idx > 0:
+        prev = lines[idx - 1].strip()
+        if prev.startswith("//"):
+            m = DET_SUPPRESS_RE.search(prev)
+    if m is None:
+        return None
+    return m.group(1).strip()

@@ -34,11 +34,13 @@ do not) catch but that this codebase bans:
 
 A finding on a line carrying `// lint:allow <rule>` (or whose previous line
 is only that comment) is suppressed; the allowlist is per-rule, so an
-allowed `naked-new` does not silence a `raw-cout` on the same line.
+allowed `naked-new` does not silence a `raw-cout` on the same line. The
+schema and suppression machinery live in consentdb_findings.py, shared with
+consentdb_analyze.py so CI renders both tools' findings through one path.
 
 Exit status: 0 clean, 1 findings, 2 usage/IO error.
 
-Usage: consentdb_lint.py [REPO_ROOT] [--list-rules]
+Usage: consentdb_lint.py [REPO_ROOT] [--list-rules] [--format=text|json]
 Run from anywhere; REPO_ROOT defaults to the script's parent repo.
 """
 
@@ -48,11 +50,13 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from consentdb_findings import (  # noqa: E402
+    ALLOW_RE, Finding, allowed_rules, emit)
+
 LINT_DIRS = ("src", "tests", "bench")
 CXX_SUFFIXES = {".h", ".cc", ".cpp", ".hpp"}
 HEADER_SUFFIXES = {".h", ".hpp"}
-
-ALLOW_RE = re.compile(r"//\s*lint:allow\s+([\w,-]+)")
 
 # `new` is legal only when the same statement hands it straight to a smart
 # pointer, in either construction style:
@@ -116,17 +120,6 @@ RULES = (
 )
 
 
-class Finding:
-    def __init__(self, path: Path, line: int, rule: str, message: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
 def strip_comments_and_strings(line: str) -> str:
     """Removes // comments and the contents of string/char literals so the
     pattern rules never fire inside prose or quoted SQL."""
@@ -165,21 +158,6 @@ def strip_comments(line: str) -> str:
                 i += 2 if line[i] == "\\" else 1
         i += 1
     return line
-
-
-def allowed_rules(lines: list[str], idx: int) -> set[str]:
-    """Rules suppressed on line idx: an inline `lint:allow` or a preceding
-    comment-only line carrying one."""
-    allowed: set[str] = set()
-    m = ALLOW_RE.search(lines[idx])
-    if m:
-        allowed.update(m.group(1).split(","))
-    if idx > 0:
-        prev = lines[idx - 1].strip()
-        m = ALLOW_RE.search(prev)
-        if m and prev.startswith("//"):
-            allowed.update(m.group(1).split(","))
-    return allowed
 
 
 def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
@@ -314,10 +292,19 @@ def run(root: Path) -> list[Finding]:
 
 
 def main(argv: list[str]) -> int:
-    args = [a for a in argv[1:] if a != "--list-rules"]
-    if "--list-rules" in argv:
-        print("\n".join(RULES))
-        return 0
+    fmt = "text"
+    args = []
+    for a in argv[1:]:
+        if a == "--list-rules":
+            print("\n".join(RULES))
+            return 0
+        if a.startswith("--format="):
+            fmt = a.split("=", 1)[1]
+            if fmt not in ("text", "json"):
+                print(f"consentdb-lint: unknown format: {fmt}", file=sys.stderr)
+                return 2
+        else:
+            args.append(a)
     if len(args) > 1:
         print(__doc__, file=sys.stderr)
         return 2
@@ -326,8 +313,7 @@ def main(argv: list[str]) -> int:
         print(f"consentdb-lint: no such directory: {root}", file=sys.stderr)
         return 2
     findings = run(root)
-    for f in findings:
-        print(f)
+    emit(findings, fmt)
     if findings:
         print(f"consentdb-lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -378,6 +378,23 @@ class CliTest(LintHarness):
     def test_list_rules(self):
         self.assertEqual(lint.main(["lint", "--list-rules"]), 0)
 
+    def test_json_format(self):
+        import contextlib
+        import io
+        import json
+        self.write("src/consentdb/bad.cc", "int* f() { return new int; }\n")
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = lint.main(["lint", str(self.root), "--format=json"])
+        self.assertEqual(rc, 1)
+        [finding] = json.loads(out.getvalue())
+        self.assertEqual(sorted(finding), ["line", "message", "path", "rule"])
+        self.assertEqual(finding["rule"], "naked-new")
+        self.assertEqual(finding["line"], 1)
+
+    def test_unknown_format_is_usage_error(self):
+        self.assertEqual(lint.main(["lint", "--format=xml"]), 2)
+
 
 if __name__ == "__main__":
     unittest.main()

@@ -141,6 +141,7 @@ void ConsentLedger::JournalLocked(VarId x, bool answer) {
   }
   if (compact_every_ > 0 && ++journaled_since_compact_ >= compact_every_) {
     journaled_since_compact_ = 0;
+    // det:order-insensitive sorted by VarId before CompactTo serializes it
     std::vector<std::pair<VarId, bool>> answers(answers_.begin(),
                                                 answers_.end());
     std::sort(answers.begin(), answers.end());
@@ -165,6 +166,7 @@ Status ConsentLedger::RestoreAnswer(VarId x, bool answer) {
 
 std::vector<std::pair<VarId, bool>> ConsentLedger::Answers() const {
   MutexLock lock(mu_);
+  // det:order-insensitive sorted by VarId before any caller serializes it
   std::vector<std::pair<VarId, bool>> answers(answers_.begin(),
                                               answers_.end());
   std::sort(answers.begin(), answers.end());

@@ -1,0 +1,21 @@
+// BAD: ranking peers by Peer* means iteration order is allocation order,
+// which varies from run to run.
+
+#include <map>
+#include <string>
+
+namespace consentdb::strategy {
+
+struct Peer {
+  std::string name;
+};
+
+class PeerRank {
+ public:
+  void Bump(const Peer* peer) { ++rank_[peer]; }
+
+ private:
+  std::map<const Peer*, int> rank_;
+};
+
+}  // namespace consentdb::strategy

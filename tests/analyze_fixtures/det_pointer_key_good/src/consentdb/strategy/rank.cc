@@ -1,0 +1,23 @@
+// GOOD: peers are ranked by their stable numeric id, so iteration order is
+// identical on every run.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace consentdb::strategy {
+
+struct Peer {
+  uint64_t id = 0;
+  std::string name;
+};
+
+class PeerRank {
+ public:
+  void Bump(const Peer& peer) { ++rank_[peer.id]; }
+
+ private:
+  std::map<uint64_t, int> rank_;
+};
+
+}  // namespace consentdb::strategy

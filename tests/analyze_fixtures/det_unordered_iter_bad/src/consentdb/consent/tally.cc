@@ -1,0 +1,25 @@
+// BAD: Serialize() walks an unordered_map directly, so the emitted bytes
+// depend on the hash seed and insertion order.
+
+#include <string>
+#include <unordered_map>
+
+namespace consentdb::consent {
+
+class AnswerTally {
+ public:
+  void Record(int x, bool answer) { answers_[x] = answer; }
+
+  std::string Serialize() const {
+    std::string out;
+    for (const auto& [x, answer] : answers_) {
+      out += std::to_string(x) + (answer ? ":1;" : ":0;");
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, bool> answers_;
+};
+
+}  // namespace consentdb::consent

@@ -1,0 +1,32 @@
+// GOOD: the unordered map is materialized into a sorted vector before any
+// byte is emitted, and the one remaining iteration carries a justification.
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace consentdb::consent {
+
+class AnswerTally {
+ public:
+  void Record(int x, bool answer) { answers_[x] = answer; }
+
+  std::string Serialize() const {
+    // det:order-insensitive sorted by key below before any byte is emitted
+    std::vector<std::pair<int, bool>> sorted(answers_.begin(),
+                                             answers_.end());
+    std::sort(sorted.begin(), sorted.end());
+    std::string out;
+    for (const auto& [x, answer] : sorted) {
+      out += std::to_string(x) + (answer ? ":1;" : ":0;");
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<int, bool> answers_;
+};
+
+}  // namespace consentdb::consent

@@ -1,0 +1,14 @@
+// BAD: stamping a report with system_clock makes every run's serialized
+// output unique — replay can never be byte-identical.
+
+#include <chrono>
+#include <cstdint>
+
+namespace consentdb::core {
+
+uint64_t ReportStamp() {
+  return static_cast<uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+}  // namespace consentdb::core

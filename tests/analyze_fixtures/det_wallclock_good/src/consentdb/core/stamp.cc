@@ -1,0 +1,10 @@
+// GOOD: the stamp is a logical tick handed in by the caller (ultimately the
+// injected Clock), so replaying a session reproduces the same bytes.
+
+#include <cstdint>
+
+namespace consentdb::core {
+
+uint64_t ReportStamp(uint64_t logical_ticks) { return logical_ticks; }
+
+}  // namespace consentdb::core

@@ -1,0 +1,9 @@
+// BAD: util is layer 0 — it must not see core (layer 7), or the module DAG
+// inverts and everything transitively depends on everything.
+
+#ifndef CONSENTDB_UTIL_REACHES_UP_H_
+#define CONSENTDB_UTIL_REACHES_UP_H_
+
+#include "consentdb/core/session_engine.h"
+
+#endif  // CONSENTDB_UTIL_REACHES_UP_H_

@@ -1,0 +1,9 @@
+// GOOD: core (layer 7) may depend on util (layer 0) — includes only ever
+// point down the module DAG.
+
+#ifndef CONSENTDB_CORE_USES_UTIL_H_
+#define CONSENTDB_CORE_USES_UTIL_H_
+
+#include "consentdb/util/status.h"
+
+#endif  // CONSENTDB_CORE_USES_UTIL_H_

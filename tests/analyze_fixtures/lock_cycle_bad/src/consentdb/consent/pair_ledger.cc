@@ -1,0 +1,29 @@
+// BAD: mu_a_ and mu_b_ are taken in opposite orders on two paths — two
+// threads running LockAB and LockBA concurrently can deadlock.
+
+namespace consentdb::consent {
+
+class PairLedger {
+ public:
+  void LockAB() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    ++generation_;
+    ++epoch_;
+  }
+
+  void LockBA() {
+    MutexLock b(mu_b_);
+    MutexLock a(mu_a_);
+    ++epoch_;
+    ++generation_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int generation_ GUARDED_BY(mu_a_) = 0;
+  int epoch_ GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace consentdb::consent

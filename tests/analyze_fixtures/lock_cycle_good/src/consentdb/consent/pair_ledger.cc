@@ -1,0 +1,29 @@
+// GOOD: every path acquires mu_a_ before mu_b_ — one global lock order, so
+// the lock graph is acyclic.
+
+namespace consentdb::consent {
+
+class PairLedger {
+ public:
+  void LockAB() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    ++generation_;
+    ++epoch_;
+  }
+
+  void LockBoth() {
+    MutexLock a(mu_a_);
+    MutexLock b(mu_b_);
+    ++epoch_;
+    ++generation_;
+  }
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+  int generation_ GUARDED_BY(mu_a_) = 0;
+  int epoch_ GUARDED_BY(mu_b_) = 0;
+};
+
+}  // namespace consentdb::consent

@@ -1,3 +1,6 @@
+// NOLINTBEGIN: frozen pre-columnar reference implementation (see the
+// header); exempt from style churn by design.
+
 #include "legacy_evaluation_state.h"
 
 #include <algorithm>
@@ -565,3 +568,5 @@ std::string LegacyEvaluationState::ToString() const {
 }
 
 }  // namespace consentdb::strategy
+
+// NOLINTEND

@@ -24,6 +24,10 @@
 #ifndef CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_
 #define CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_
 
+// NOLINTBEGIN: frozen pre-columnar reference implementation, kept
+// byte-for-byte as the differential baseline — style fixes here would
+// defeat its purpose.
+
 #include <functional>
 #include <string>
 #include <vector>
@@ -254,5 +258,7 @@ class LegacyEvaluationState {
 };
 
 }  // namespace consentdb::strategy
+
+// NOLINTEND
 
 #endif  // CONSENTDB_TESTS_LEGACY_EVALUATION_STATE_H_
