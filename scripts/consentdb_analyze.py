@@ -60,7 +60,10 @@ only):
           parameter types) that needs no toolchain; used where libclang is
           unavailable and by `ctest -L static_analysis` locally.
 
-`--frontend=auto` (default) picks clang when importable, else text.
+`--frontend=auto` (default) picks clang when importable, else text; a clang
+failure discovered mid-analysis (stale compile_commands.json entry, fatal
+diagnostic, deleted TU) also degrades to the text frontend rather than
+erroring out.
 
 Usage:
   consentdb_analyze.py [--root DIR] [--build-dir DIR | --compdb FILE]
@@ -132,6 +135,24 @@ WALLCLOCK_EXEMPT = {
     Path("src/consentdb/util/rng.h"),
 }
 
+# Finding messages shared by both frontends, so the clang and text paths
+# report byte-identical diagnostics for the same site.
+MSG_UNORDERED_RANGE = (
+    "range-for over an unordered container — iteration order is hash-seed "
+    "and insertion-order dependent; materialize sorted at the boundary or "
+    "justify with `// det:order-insensitive <why>`")
+MSG_UNORDERED_ITER = (
+    "iterator over an unordered container — iteration order is hash-seed "
+    "and insertion-order dependent; materialize sorted at the boundary or "
+    "justify with `// det:order-insensitive <why>`")
+MSG_POINTER_KEY = (
+    "ordered container keyed by pointer value — iteration order is "
+    "allocation order, which varies run to run; key by a stable id instead")
+MSG_WALLCLOCK = (
+    "wall-clock or ambient randomness outside util/clock and util/rng.h — "
+    "route time through the injected Clock and randomness through seeded "
+    "SplitMix64 so runs replay byte-identically")
+
 # The lock primitives' own definition (Mutex, MutexLock, the annotation
 # macros): scanning it would register the RAII wrappers' internals and the
 # macro parameter names as locks.
@@ -144,7 +165,9 @@ LOCK_DECL_RE = re.compile(
     r"\b(?:MutexLock|std\s*::\s*(?:lock_guard|scoped_lock|unique_lock)\s*"
     r"(?:<[^<>]*>)?)\s+\w+\s*[({]([^;{}]*?)[)}]")
 EXCLUDES_RE = re.compile(r"\bEXCLUDES\s*\(([^()]*)\)")
-GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*([\w.>&-]+)\s*\)")
+# The argument group tolerates interior spaces because the clang frontend
+# matches against token streams ("this -> mu_").
+GUARDED_BY_RE = re.compile(r"\bGUARDED_BY\s*\(\s*([^()]+?)\s*\)")
 TEMPLATE_RE = re.compile(r"\btemplate\s*<[^<>]*(?:<[^<>]*>[^<>]*)*>")
 CLASS_RE = re.compile(r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*"
                       r"(?:final\s*)?(?::\s*([^{;]*))?$")
@@ -668,35 +691,21 @@ class TextFrontend:
                 if colon and is_unordered_expr(m.group(1)[colon.end():]):
                     result.det_sites.append(Finding(
                         rel, line, "det-unordered-iter",
-                        "range-for over an unordered container — iteration "
-                        "order is hash-seed and insertion-order dependent; "
-                        "materialize sorted at the boundary or justify with "
-                        "`// det:order-insensitive <why>`"))
+                        MSG_UNORDERED_RANGE))
         # begin()/cbegin() on an unordered expression (iterator loops and
         # iterator-pair constructions).
         for m in re.finditer(r"([\w.>-]+?)\s*\.\s*c?begin\s*\(", stmt):
             if is_unordered_expr(m.group(1)):
                 result.det_sites.append(Finding(
-                    rel, line, "det-unordered-iter",
-                    "iterator over an unordered container — iteration order "
-                    "is hash-seed and insertion-order dependent; materialize "
-                    "sorted at the boundary or justify with "
-                    "`// det:order-insensitive <why>`"))
+                    rel, line, "det-unordered-iter", MSG_UNORDERED_ITER))
         # Pointer-keyed ordered containers.
         if pointer_keyed(stmt):
             result.det_sites.append(Finding(
-                rel, line, "det-pointer-key",
-                "ordered container keyed by pointer value — iteration order "
-                "is allocation order, which varies run to run; key by a "
-                "stable id instead"))
+                rel, line, "det-pointer-key", MSG_POINTER_KEY))
         # Wall-clock / ambient entropy.
         if rel not in WALLCLOCK_EXEMPT and WALLCLOCK_RE.search(stmt):
             result.det_sites.append(Finding(
-                rel, line, "det-wallclock",
-                "wall-clock or ambient randomness outside util/clock and "
-                "util/rng.h — route time through the injected Clock and "
-                "randomness through seeded SplitMix64 so runs replay "
-                "byte-identically"))
+                rel, line, "det-wallclock", MSG_WALLCLOCK))
 
 
 # ---------------------------------------------------------------------------
@@ -920,6 +929,27 @@ class ClangFrontend:
             for child in body.get_children():
                 visit_fn_body(child, fn, held, cls, rel)
 
+        def wallclock_callee(callee) -> bool:
+            """True when `callee` is one of the ambient time/entropy entry
+            points (the AST twin of WALLCLOCK_RE): system_clock::now, any
+            random_device member (construction or operator()), or the free
+            functions rand/srand/time. steady_clock durations stay allowed
+            — they never identify a run."""
+            name = callee.spelling
+            sp = callee.semantic_parent
+            parent = sp.spelling if sp is not None else ""
+            if parent == "random_device":
+                return True
+            if name == "now":
+                return parent == "system_clock"
+            if name in ("rand", "srand", "time"):
+                return sp is None or sp.kind in (
+                    ci.CursorKind.TRANSLATION_UNIT,
+                    ci.CursorKind.NAMESPACE,
+                    ci.CursorKind.LINKAGE_SPEC,
+                    ci.CursorKind.UNEXPOSED_DECL)
+            return False
+
         def det_scan_cursor(cursor, rel: Path) -> None:
             k = cursor.kind
             if k == ci.CursorKind.CXX_FOR_RANGE_STMT:
@@ -928,12 +958,7 @@ class ClangFrontend:
                         continue
                     if UNORDERED_RE.search(canonical(child.type)):
                         add_site(rel, cursor.location.line,
-                                 "det-unordered-iter",
-                                 "range-for over an unordered container — "
-                                 "iteration order is hash-seed and "
-                                 "insertion-order dependent; materialize "
-                                 "sorted at the boundary or justify with "
-                                 "`// det:order-insensitive <why>`")
+                                 "det-unordered-iter", MSG_UNORDERED_RANGE)
                         break
             elif k == ci.CursorKind.MEMBER_REF_EXPR and \
                     cursor.spelling in ("begin", "cbegin"):
@@ -942,17 +967,33 @@ class ClangFrontend:
                 if base is not None and \
                         UNORDERED_RE.search(canonical(base.type)):
                     add_site(rel, cursor.location.line, "det-unordered-iter",
-                             "iterator over an unordered container — "
-                             "iteration order is hash-seed and "
-                             "insertion-order dependent; materialize sorted "
-                             "at the boundary or justify with "
-                             "`// det:order-insensitive <why>`")
+                             MSG_UNORDERED_ITER)
+            elif k == ci.CursorKind.CALL_EXPR:
+                if rel not in WALLCLOCK_EXEMPT and \
+                        cursor.referenced is not None and \
+                        wallclock_callee(cursor.referenced):
+                    add_site(rel, cursor.location.line, "det-wallclock",
+                             MSG_WALLCLOCK)
             elif k in (ci.CursorKind.VAR_DECL, ci.CursorKind.FIELD_DECL):
                 if pointer_keyed(canonical(cursor.type)):
                     add_site(rel, cursor.location.line, "det-pointer-key",
-                             "ordered container keyed by pointer value — "
-                             "iteration order is allocation order, which "
-                             "varies run to run; key by a stable id instead")
+                             MSG_POINTER_KEY)
+                if rel not in WALLCLOCK_EXEMPT and \
+                        "random_device" in canonical(cursor.type):
+                    add_site(rel, cursor.location.line, "det-wallclock",
+                             MSG_WALLCLOCK)
+
+        def det_walk(cursor) -> None:
+            """Determinism-scans a whole subtree. walk() stops descending at
+            function declarations (their lock/call IR comes from
+            visit_fn_body), so bodies are routed through here — otherwise
+            range-fors, begin() iterators and wall-clock calls inside
+            function bodies would never be scanned."""
+            rel = self._rel(cursor.location)
+            if rel is not None:
+                det_scan_cursor(cursor, rel)
+            for child in cursor.get_children():
+                det_walk(child)
 
         def walk(cursor, cls: str) -> None:
             rel = self._rel(cursor.location)
@@ -973,10 +1014,13 @@ class ClangFrontend:
                         walk(child, cls)
                     return
                 if k == ci.CursorKind.FIELD_DECL:
+                    # Token streams are space-joined ("generation_ GUARDED_BY
+                    # ( mu_ )"); collapsing the spaces would glue the macro
+                    # to the field name and defeat the \b anchor.
                     toks = decl_tokens(cursor)
-                    for m in GUARDED_BY_RE.finditer(toks.replace(" ", "")):
-                        member = re.split(r"->|\.",
-                                          m.group(1).lstrip("&"))[-1]
+                    for m in GUARDED_BY_RE.finditer(toks):
+                        member = re.split(
+                            r"->|\.", m.group(1).lstrip("&"))[-1].strip()
                         result.lock_nodes.add(f"{cls}::{member}")
                 if k in fn_kinds:
                     sp = cursor.semantic_parent
@@ -998,6 +1042,10 @@ class ClangFrontend:
                                         ci.CursorKind.COMPOUND_STMT:
                                     body = child
                             visit_fn_body(body, fn, [], fcls, rel)
+                        # walk() never descends past this return, so the
+                        # body's determinism sites are collected here.
+                        for child in cursor.get_children():
+                            det_walk(child)
                     return  # bodies handled above; don't descend twice
             for child in cursor.get_children():
                 walk(child, cls)
@@ -1182,9 +1230,15 @@ def layering_pass(root: Path, files: list[Path]) -> list[Finding]:
         mod = module_of(rel)
         if mod is None or mod not in MODULE_LAYERS:
             continue
-        lines = path.read_text(encoding="utf-8").splitlines()
-        for idx, raw in enumerate(lines):
-            m = INCLUDE_RE.search(raw)
+        raw_text = path.read_text(encoding="utf-8")
+        lines = raw_text.splitlines()
+        # Match includes against comment-stripped text — a commented-out
+        # include is not a dependency. strip_block_comments keeps newlines,
+        # so indices stay aligned with the raw lines, which are still used
+        # below to read the lint:allow suppression comments.
+        code_lines = strip_block_comments(raw_text).splitlines()
+        for idx, code in enumerate(code_lines):
+            m = INCLUDE_RE.search(code.split("//", 1)[0])
             if m is None:
                 continue
             dep = m.group(1)
@@ -1243,6 +1297,7 @@ def run(root: Path, frontend_kind: str, compdb: Optional[Path],
     frontend_used = "none"
 
     if passes & {"det", "lock"}:
+        frontend = None
         if frontend_kind in ("clang", "auto") and compdb is not None and \
                 compdb.is_file():
             try:
@@ -1250,15 +1305,23 @@ def run(root: Path, frontend_kind: str, compdb: Optional[Path],
             except ClangFrontendError:
                 if frontend_kind == "clang":
                     raise
-                frontend = TextFrontend(root, lib_files)
         elif frontend_kind == "clang":
             raise ClangFrontendError(
                 "--frontend=clang needs a compile_commands.json "
                 "(--build-dir/--compdb); configure the build first")
-        else:
+        if frontend is None:
             frontend = TextFrontend(root, lib_files)
+        try:
+            result = frontend.analyze()
+        except ClangFrontendError:
+            # analyze() can fail long after construction (fatal diagnostic,
+            # stale compile_commands.json entry, deleted TU); auto degrades
+            # to the text frontend exactly like a construction failure.
+            if frontend_kind != "auto" or frontend.name != "clang":
+                raise
+            frontend = TextFrontend(root, lib_files)
+            result = frontend.analyze()
         frontend_used = frontend.name
-        result = frontend.analyze()
         if "det" in passes:
             findings.extend(apply_det_suppressions(root, result.det_sites))
         if "lock" in passes:

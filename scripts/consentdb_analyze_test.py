@@ -18,6 +18,7 @@ Run directly or via ctest:
 import contextlib
 import io
 import json
+import os
 import sys
 import tempfile
 import unittest
@@ -28,6 +29,26 @@ import consentdb_analyze as az  # noqa: E402
 
 REPO = Path(__file__).resolve().parent.parent
 FIXTURES = REPO / "tests" / "analyze_fixtures"
+
+
+def clang_usable() -> bool:
+    """True when python3-clang and a loadable libclang are both present."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return False
+    try:
+        az.ClangFrontend._configure_libclang(ci)
+        ci.Index.create()
+        return True
+    except Exception:
+        return False
+
+
+CLANG_USABLE = clang_usable()
+# CI sets this so clang-frontend coverage can never silently skip there —
+# a missing python3-clang must fail the job, not hollow out the gate.
+REQUIRE_CLANG = os.environ.get("CONSENTDB_ANALYZE_REQUIRE_CLANG") == "1"
 
 
 class AnalyzeHarness(unittest.TestCase):
@@ -302,6 +323,72 @@ class LayeringTest(AnalyzeHarness):
                    '#include "consentdb/core/session_engine.h"\n')
         self.assertEqual(self.rules(passes=("layer",)), [])
 
+    def test_commented_out_include_not_flagged(self):
+        self.write("src/consentdb/util/t.h",
+                   '// #include "consentdb/core/session_engine.h"\n'
+                   "/*\n"
+                   '#include "consentdb/core/checkpoint.h"\n'
+                   "*/\n"
+                   '#include "consentdb/util/status.h"\n')
+        self.assertEqual(self.rules(passes=("layer",)), [])
+
+    def test_include_after_block_comment_still_flagged(self):
+        self.write("src/consentdb/util/t.h",
+                   '/* why */ #include "consentdb/core/session_engine.h"\n')
+        [f] = self.findings(passes=("layer",))
+        self.assertEqual(f.rule, "layer-violation")
+        self.assertEqual(f.line, 1)
+
+
+class AutoFallbackTest(AnalyzeHarness):
+    """--frontend=auto must degrade to the text frontend on any
+    ClangFrontendError — from the constructor (no python3-clang) and from
+    analyze() (stale compile_commands.json entry, fatal diagnostic)."""
+
+    UNORDERED = ("#include <unordered_map>\n"
+                 "namespace consentdb::consent {\n"
+                 "class T {\n"
+                 "  int Sum() const {\n"
+                 "    int s = 0;\n"
+                 "    for (const auto& [k, v] : m_) {\n"
+                 "      s += v;\n"
+                 "    }\n"
+                 "    return s;\n"
+                 "  }\n"
+                 "  std::unordered_map<int, int> m_;\n"
+                 "};\n"
+                 "}  // namespace consentdb::consent\n")
+
+    class LateFailingFrontend:
+        name = "clang"
+
+        def __init__(self, root, compdb):
+            pass
+
+        def analyze(self):
+            raise az.ClangFrontendError("stale compile_commands.json entry")
+
+    def with_stub_frontend(self, frontend_kind):
+        self.write("src/consentdb/consent/t.cc", self.UNORDERED)
+        compdb = self.root / "compile_commands.json"
+        compdb.write_text("[]")
+        orig = az.ClangFrontend
+        az.ClangFrontend = self.LateFailingFrontend
+        try:
+            return az.run(self.root, frontend_kind, compdb,
+                          {"det"}, None)
+        finally:
+            az.ClangFrontend = orig
+
+    def test_auto_falls_back_when_analyze_raises(self):
+        found, frontend = self.with_stub_frontend("auto")
+        self.assertEqual(frontend, "text")
+        self.assertEqual([f.rule for f in found], ["det-unordered-iter"])
+
+    def test_forced_clang_analyze_error_propagates(self):
+        with self.assertRaises(az.ClangFrontendError):
+            self.with_stub_frontend("clang")
+
 
 class FixtureTreesTest(unittest.TestCase):
     """Every *_bad tree trips its check; every *_good tree is clean."""
@@ -342,6 +429,86 @@ class FixtureTreesTest(unittest.TestCase):
         for stem in sorted(self.EXPECT):
             with self.subTest(tree=f"{stem}_good"):
                 rc, findings = self.run_tree(FIXTURES / f"{stem}_good")
+                self.assertEqual(rc, 0)
+                self.assertEqual(findings, [])
+
+
+# The fixture sources reference the library's lock vocabulary without
+# including it; the clang runs inject this stand-in so every TU parses.
+CLANG_PRELUDE = """\
+#pragma once
+#define GUARDED_BY(x)
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+"""
+
+
+@unittest.skipUnless(CLANG_USABLE or REQUIRE_CLANG,
+                     "python3-clang / libclang not installed")
+class ClangFixtureTreesTest(unittest.TestCase):
+    """The FixtureTreesTest contract again, through the clang frontend.
+
+    This is the regression net for the clang walk going blind to function
+    bodies: the det_unordered_iter / det_wallclock bad fixtures place their
+    sites *inside* bodies, so they only trip if the frontend really scans
+    them. Skipped where libclang is unavailable — unless
+    CONSENTDB_ANALYZE_REQUIRE_CLANG=1 (set by the CI analyze job), where a
+    missing frontend must fail loudly instead of hollowing out the gate.
+    """
+
+    # Trees whose sources parse as standalone TUs; the layer fixtures are
+    # header-only (no TU) and the layering pass never uses a frontend.
+    EXPECT = {
+        "det_unordered_iter": "det-unordered-iter",
+        "det_pointer_key": "det-pointer-key",
+        "det_wallclock": "det-wallclock",
+        "lock_cycle": "lock-cycle",
+    }
+
+    def test_clang_frontend_available_when_required(self):
+        if REQUIRE_CLANG:
+            self.assertTrue(
+                CLANG_USABLE,
+                "CONSENTDB_ANALYZE_REQUIRE_CLANG=1 but clang.cindex or "
+                "libclang is unusable — the CI clang gate would be vacuous")
+
+    def run_tree(self, tree: Path, tmp: Path):
+        prelude = tmp / "prelude.h"
+        prelude.write_text(CLANG_PRELUDE)
+        entries = [{
+            "directory": str(tree),
+            "file": str(cc),
+            "arguments": ["clang++", "-std=c++17",
+                          "-include", str(prelude), "-c", str(cc)],
+        } for cc in sorted((tree / "src" / "consentdb").rglob("*.cc"))]
+        compdb = tmp / "compile_commands.json"
+        compdb.write_text(json.dumps(entries))
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(io.StringIO()):
+            rc = az.main(["analyze", "--root", str(tree),
+                          "--frontend=clang", "--compdb", str(compdb),
+                          "--format=json"])
+        return rc, json.loads(out.getvalue())
+
+    def test_bad_trees_fail_with_expected_rule(self):
+        for stem, rule in sorted(self.EXPECT.items()):
+            with self.subTest(tree=f"{stem}_bad"), \
+                    tempfile.TemporaryDirectory() as tmp:
+                rc, findings = self.run_tree(FIXTURES / f"{stem}_bad",
+                                             Path(tmp))
+                self.assertEqual(rc, 1)
+                self.assertIn(rule, {f["rule"] for f in findings})
+
+    def test_good_trees_pass(self):
+        for stem in sorted(self.EXPECT):
+            with self.subTest(tree=f"{stem}_good"), \
+                    tempfile.TemporaryDirectory() as tmp:
+                rc, findings = self.run_tree(FIXTURES / f"{stem}_good",
+                                             Path(tmp))
                 self.assertEqual(rc, 0)
                 self.assertEqual(findings, [])
 
