@@ -43,6 +43,7 @@ TRACKED_BENCHES = [
     ("time_plan_optimizer", ["--benchmark_min_time=0.02"]),
     ("ext_concurrent_sessions", []),
     ("ext_crash_recovery", []),
+    ("ext_sharded_ledger", []),
 ]
 
 # Environment for quick mode: small datasets, few repetitions.

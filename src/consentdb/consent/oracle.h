@@ -136,9 +136,15 @@ class CallbackOracle : public ProbeOracle {
 // The ledger only deduplicates *oracle traffic*; each session still counts
 // its own probes by the paper's cost model, so session reports are
 // identical with and without a shared ledger (answers are consistent).
+//
+// The public surface is virtual: ShardedConsentLedger (sharded_ledger.h)
+// partitions the answer map across N of these behind the same interface,
+// so callers that hold a ConsentLedger& (LedgerOracle, SessionEngine,
+// recovery) are oblivious to the sharding.
 class ConsentLedger {
  public:
   ConsentLedger() = default;
+  virtual ~ConsentLedger() = default;
   ConsentLedger(const ConsentLedger&) = delete;
   ConsentLedger& operator=(const ConsentLedger&) = delete;
 
@@ -146,19 +152,20 @@ class ConsentLedger {
   // `answered_from_ledger` is non-null it is set to whether the answer came
   // from the ledger (per-caller accounting; the global tallies below are
   // engine-wide).
-  bool ProbeVia(ProbeOracle& oracle, VarId x,
-                bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
+  virtual bool ProbeVia(ProbeOracle& oracle, VarId x,
+                        bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
 
   // Fallible variant for the resilient path: answers from the ledger when
   // possible, otherwise forwards one TryProbe attempt. Only a successful
   // answer is recorded — a faulted attempt leaves no trace in the answer
   // map, so a later retry (from any session) reaches the peer again and the
   // ledger can never hold two answers for one variable.
-  ProbeAttempt TryProbeVia(ProbeOracle& oracle, VarId x,
-                           bool* answered_from_ledger = nullptr) EXCLUDES(mu_);
+  virtual ProbeAttempt TryProbeVia(ProbeOracle& oracle, VarId x,
+                                   bool* answered_from_ledger = nullptr)
+      EXCLUDES(mu_);
 
   // The recorded answer, if any session probed `x` already.
-  std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
+  virtual std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
 
   // Durability: journals every answer recorded from here on to `wal`. The
   // append happens under mu_, immediately after the answer enters the map,
@@ -169,41 +176,44 @@ class ConsentLedger {
   // journal_error() for the owner to surface. (On a CrashingEnv a journal
   // append can instead throw CrashInjected, unwinding the whole probe loop
   // like a real crash would.)
-  void AttachJournal(WalWriter* wal, uint64_t compact_every_records = 0)
+  virtual void AttachJournal(WalWriter* wal, uint64_t compact_every_records = 0)
       EXCLUDES(mu_);
 
   // The first journal-append failure, if any (OK otherwise).
-  [[nodiscard]] Status journal_error() const EXCLUDES(mu_);
+  [[nodiscard]] virtual Status journal_error() const EXCLUDES(mu_);
 
   // Recovery-only: re-records an answer replayed from a snapshot or WAL.
   // Observationally silent — no oracle is called, no hit/probe tally moves,
   // nothing is journaled; only restored_answers() counts it. Restoring an
   // already-present equal answer is a no-op; a conflicting answer reports
   // kInternal (corrupt journal).
-  [[nodiscard]] Status RestoreAnswer(VarId x, bool answer) EXCLUDES(mu_);
+  [[nodiscard]] virtual Status RestoreAnswer(VarId x, bool answer)
+      EXCLUDES(mu_);
 
   // Answers recorded via RestoreAnswer (duplicates excluded).
-  uint64_t restored_answers() const {
+  virtual uint64_t restored_answers() const {
     return restored_answers_.load(std::memory_order_relaxed);
   }
 
   // A sorted copy of all recorded answers (checkpointing, compaction).
-  std::vector<std::pair<VarId, bool>> Answers() const EXCLUDES(mu_);
+  virtual std::vector<std::pair<VarId, bool>> Answers() const EXCLUDES(mu_);
 
   // Distinct variables answered so far.
-  size_t size() const EXCLUDES(mu_);
+  virtual size_t size() const EXCLUDES(mu_);
   // Probes answered from the ledger without reaching an oracle.
-  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  virtual uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
   // Probes forwarded to an oracle.
-  uint64_t oracle_probes() const {
+  virtual uint64_t oracle_probes() const {
     return oracle_probes_.load(std::memory_order_relaxed);
   }
   // TryProbeVia attempts that faulted (nothing recorded).
-  uint64_t faulted_probes() const {
+  virtual uint64_t faulted_probes() const {
     return faulted_probes_.load(std::memory_order_relaxed);
   }
 
-  void Clear() EXCLUDES(mu_);
+  virtual void Clear() EXCLUDES(mu_);
 
  private:
   // mu_ guards the answer map and, deliberately, the backing oracle call:

@@ -1,0 +1,219 @@
+#include "consentdb/consent/replica.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "consentdb/consent/sharded_ledger.h"
+#include "consentdb/consent/snapshot.h"
+
+namespace consentdb::consent {
+
+WalFollower::WalFollower(Env* env, std::string wal_path)
+    : env_(env), path_(std::move(wal_path)) {}
+
+Status WalFollower::Poll() {
+  MutexLock lock(mu_);
+  ++polls_;
+  if (!env_->FileExists(path_)) {
+    // The leader has not created (or synced) this shard's log yet.
+    return Status::OK();
+  }
+  CONSENTDB_ASSIGN_OR_RETURN(std::string content,
+                             env_->ReadFileToString(path_));
+  // The snapshot sidecar is part of the replicated state: compaction moves
+  // the log's prefix into it and resets the log to header-only bytes — a
+  // rewrite the tail offset alone cannot see (the reset log is exactly as
+  // long as the header the follower already consumed). Any sidecar change
+  // therefore forces a full resync.
+  std::string snapshot;
+  const std::string snap_path = WalSnapshotPath(path_);
+  if (env_->FileExists(snap_path)) {
+    CONSENTDB_ASSIGN_OR_RETURN(snapshot, env_->ReadFileToString(snap_path));
+  }
+  if (synced_once_ && offset_ <= content.size() &&
+      snapshot == snapshot_applied_) {
+    // Incremental tail: parse only the bytes appended since the last poll.
+    WalReplay tail = ParseWalRecords(
+        std::string_view(content).substr(offset_));
+    const bool rewritten =
+        tail.corrupt_record ||
+        (tail.shard.has_value() && shard_.has_value() &&
+         *tail.shard != *shard_);
+    if (!rewritten) {
+      for (const auto& [x, answer] : tail.answers) {
+        CONSENTDB_RETURN_IF_ERROR(ApplyLocked(x, answer));
+      }
+      if (tail.shard.has_value()) shard_ = tail.shard;
+      // A torn tail is not damage from where a follower stands: the bytes
+      // may simply not all be visible yet. Stay at the last record
+      // boundary and retry them next poll.
+      offset_ = content.size() - static_cast<size_t>(tail.bytes_dropped);
+      return Status::OK();
+    }
+    // A parse failure mid-stream means the file was rewritten under us
+    // (compaction or tail healing): fall through to a full resync.
+  }
+  return ResyncLocked(content, snapshot);
+}
+
+Status WalFollower::ResyncLocked(const std::string& content,
+                                 const std::string& snapshot) {
+  if (synced_once_) ++resyncs_;
+  synced_once_ = true;
+  // Snapshot first: compaction moves the log's prefix into the sidecar, so
+  // the full view is snapshot + log (replay is idempotent, order is safe).
+  using AnswerVec = std::vector<std::pair<VarId, bool>>;
+  if (!snapshot.empty()) {
+    CONSENTDB_ASSIGN_OR_RETURN(AnswerVec answers,
+                               LoadLedgerSnapshot(snapshot));
+    for (const auto& [x, answer] : answers) {
+      CONSENTDB_RETURN_IF_ERROR(ApplyLocked(x, answer));
+    }
+  }
+  snapshot_applied_ = snapshot;
+  CONSENTDB_ASSIGN_OR_RETURN(WalReplay replay,
+                             ParseWalContent(content, path_));
+  for (const auto& [x, answer] : replay.answers) {
+    CONSENTDB_RETURN_IF_ERROR(ApplyLocked(x, answer));
+  }
+  if (replay.shard.has_value()) shard_ = replay.shard;
+  offset_ = content.size() - static_cast<size_t>(replay.bytes_dropped);
+  return Status::OK();
+}
+
+Status WalFollower::ApplyLocked(VarId x, bool answer) {
+  auto [it, inserted] = answers_.emplace(x, answer);
+  if (!inserted) {
+    if (it->second != answer) {
+      return Status::Internal(
+          "replica stream conflicts with replicated answer for x" +
+          std::to_string(x) + " (" + path_ + ")");
+    }
+    return Status::OK();  // idempotent replay (snapshot + wal overlap)
+  }
+  ++applied_;
+  return Status::OK();
+}
+
+std::optional<bool> WalFollower::Lookup(VarId x) const {
+  MutexLock lock(mu_);
+  auto it = answers_.find(x);
+  if (it == answers_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<VarId, bool>> WalFollower::Answers() const {
+  MutexLock lock(mu_);
+  // det:order-insensitive sorted by VarId before any caller serializes it
+  std::vector<std::pair<VarId, bool>> answers(answers_.begin(),
+                                              answers_.end());
+  std::sort(answers.begin(), answers.end());
+  return answers;
+}
+
+size_t WalFollower::size() const {
+  MutexLock lock(mu_);
+  return answers_.size();
+}
+
+std::optional<WalShardInfo> WalFollower::shard() const {
+  MutexLock lock(mu_);
+  return shard_;
+}
+
+uint64_t WalFollower::polls() const {
+  MutexLock lock(mu_);
+  return polls_;
+}
+
+uint64_t WalFollower::applied_answers() const {
+  MutexLock lock(mu_);
+  return applied_;
+}
+
+uint64_t WalFollower::resyncs() const {
+  MutexLock lock(mu_);
+  return resyncs_;
+}
+
+LedgerReplica::LedgerReplica(Env* env, const std::string& base_path,
+                             size_t num_shards) {
+  followers_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    followers_.push_back(
+        std::make_unique<WalFollower>(env, ShardWalPath(base_path, k)));
+  }
+}
+
+Status LedgerReplica::Poll() {
+  Status first;
+  for (const auto& follower : followers_) {
+    Status s = follower->Poll();
+    if (!s.ok() && first.ok()) first = std::move(s);
+  }
+  return first;
+}
+
+std::optional<bool> LedgerReplica::Lookup(VarId x) const {
+  return followers_[ShardedConsentLedger::ShardOf(x, followers_.size())]
+      ->Lookup(x);
+}
+
+size_t LedgerReplica::size() const {
+  size_t total = 0;
+  for (const auto& follower : followers_) total += follower->size();
+  return total;
+}
+
+Result<std::vector<std::pair<VarId, bool>>> LedgerReplica::Answers() const {
+  std::vector<std::pair<VarId, bool>> merged;
+  // Shard-id order, then one global sort: the same deterministic merge
+  // cross-shard recovery uses, so replica state serializes byte-identically
+  // to the recovered leader's.
+  for (const auto& follower : followers_) {
+    std::vector<std::pair<VarId, bool>> part = follower->Answers();
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  for (size_t i = 1; i < merged.size(); ++i) {
+    if (merged[i].first == merged[i - 1].first &&
+        merged[i].second != merged[i - 1].second) {
+      return Status::Internal(
+          "replica shards disagree on x" + std::to_string(merged[i].first));
+    }
+  }
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+Result<LedgerReplica::Cutover> LedgerReplica::CutOver() {
+  CONSENTDB_RETURN_IF_ERROR(Poll());
+  // The followers must describe one coherent shard set: same generation,
+  // a num_shards matching this replica, and each log at its own slot.
+  // (Followers that never saw a header tail still-empty logs and constrain
+  // nothing.) Shard-id order keeps the first-mismatch error deterministic.
+  std::optional<WalShardInfo> reference;
+  for (size_t k = 0; k < followers_.size(); ++k) {
+    std::optional<WalShardInfo> shard = followers_[k]->shard();
+    if (!shard.has_value()) continue;
+    if (shard->shard_id != k ||
+        shard->num_shards != followers_.size()) {
+      return Status::FailedPrecondition(
+          "replica follows a log stamped for a different shard set: " +
+          followers_[k]->wal_path());
+    }
+    if (reference.has_value() &&
+        reference->generation != shard->generation) {
+      return Status::FailedPrecondition(
+          "replica followed a mixed-generation shard set; refusing cutover");
+    }
+    reference = shard;
+  }
+  Cutover cut;
+  cut.next_generation =
+      reference.has_value() ? reference->generation + 1 : 1;
+  CONSENTDB_ASSIGN_OR_RETURN(cut.answers, Answers());
+  return cut;
+}
+
+}  // namespace consentdb::consent

@@ -1,0 +1,150 @@
+// Read replicas for the (sharded) consent ledger: followers tail the
+// leader's WAL files through the injectable Env — the same byte stream the
+// leader fsyncs is the replication stream, no separate protocol — into an
+// eventually-consistent, read-only answer view.
+//
+// WalFollower tails one shard's log: each Poll() re-reads the file and
+// parses only the bytes appended since the last poll (a byte-offset
+// incremental tail). Whenever the incremental parse cannot proceed — the
+// file shrank or was rewritten (compaction, tail healing), the tail bytes
+// are damaged, or this is the first poll — the follower falls back to a
+// full resync: snapshot sidecar plus the whole log, applied idempotently.
+// Because consent answers are per-variable facts, a follower never unlearns
+// an answer: records the leader loses to a power cut stay valid here (the
+// peer really did answer), and a genuine conflict between what the follower
+// knows and what the stream says is surfaced as Internal — that is
+// split-brain or corruption, never normal operation.
+//
+// LedgerReplica bundles one follower per shard with the deterministic
+// merge order recovery uses (shard-id order) and the failover path:
+// CutOver() does a final catch-up, verifies the followers agree on one
+// (num_shards, generation) shard set — rejecting mixed-generation sets the
+// same way cross-shard recovery does — and emits the merged answers plus
+// the next generation number for stamping the new leader's WAL set.
+//
+// Followers are crash-free state: they hold no durable files, so "follower
+// crash" is simply destruction; a fresh follower over the same paths
+// resyncs to an identical view (property-tested in the crash grid).
+
+#ifndef CONSENTDB_CONSENT_REPLICA_H_
+#define CONSENTDB_CONSENT_REPLICA_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "consentdb/consent/variable_pool.h"
+#include "consentdb/consent/wal.h"
+#include "consentdb/util/io.h"
+#include "consentdb/util/result.h"
+#include "consentdb/util/thread_annotations.h"
+
+namespace consentdb::consent {
+
+// Tails one WAL file into an in-memory answer map. Thread-safe: polls and
+// reads may interleave freely.
+class WalFollower {
+ public:
+  // `env` must outlive the follower. A missing file is not an error — the
+  // leader may not have created this shard's log yet.
+  WalFollower(Env* env, std::string wal_path);
+
+  // Catches up on everything the leader has made visible in the file so
+  // far. Returns the first apply conflict or I/O error; safe to call again
+  // after either.
+  [[nodiscard]] Status Poll() EXCLUDES(mu_);
+
+  // The replicated answer, if this follower has seen one for `x`.
+  std::optional<bool> Lookup(VarId x) const EXCLUDES(mu_);
+
+  // Sorted copy of every replicated answer.
+  std::vector<std::pair<VarId, bool>> Answers() const EXCLUDES(mu_);
+
+  size_t size() const EXCLUDES(mu_);
+
+  // The shard header of the tailed log, once one has been seen.
+  std::optional<WalShardInfo> shard() const EXCLUDES(mu_);
+
+  const std::string& wal_path() const { return path_; }
+
+  // Telemetry: polls made, answers newly learned, full resyncs taken
+  // (first catch-up excluded — only genuine fallbacks count).
+  uint64_t polls() const EXCLUDES(mu_);
+  uint64_t applied_answers() const EXCLUDES(mu_);
+  uint64_t resyncs() const EXCLUDES(mu_);
+
+ private:
+  [[nodiscard]] Status ResyncLocked(const std::string& content,
+                                    const std::string& snapshot)
+      REQUIRES(mu_);
+  [[nodiscard]] Status ApplyLocked(VarId x, bool answer) REQUIRES(mu_);
+
+  Env* const env_;
+  const std::string path_;
+
+  mutable Mutex mu_;
+  std::unordered_map<VarId, bool> answers_ GUARDED_BY(mu_);
+  // Bytes of the log consumed so far (always a record boundary); the next
+  // incremental poll parses from here.
+  size_t offset_ GUARDED_BY(mu_) = 0;
+  bool synced_once_ GUARDED_BY(mu_) = false;
+  // Sidecar bytes the current view already includes: compaction changes the
+  // sidecar without growing the log (it *resets* it to header-only bytes,
+  // exactly as long as what was already consumed), so sidecar drift — not
+  // just log shrinkage — must trigger a resync.
+  std::string snapshot_applied_ GUARDED_BY(mu_);
+  std::optional<WalShardInfo> shard_ GUARDED_BY(mu_);
+  uint64_t polls_ GUARDED_BY(mu_) = 0;
+  uint64_t applied_ GUARDED_BY(mu_) = 0;
+  uint64_t resyncs_ GUARDED_BY(mu_) = 0;
+};
+
+// One follower per shard of a sharded log set (ShardWalPath(base, k)),
+// polled and merged in shard-id order.
+class LedgerReplica {
+ public:
+  LedgerReplica(Env* env, const std::string& base_path, size_t num_shards);
+
+  size_t num_shards() const { return followers_.size(); }
+  WalFollower& follower(size_t i) { return *followers_[i]; }
+  const WalFollower& follower(size_t i) const { return *followers_[i]; }
+
+  // Polls every follower in shard-id order; first error wins (the
+  // remaining shards are still polled so one bad shard cannot starve the
+  // others' freshness).
+  [[nodiscard]] Status Poll();
+
+  // Read path: routed by the same stable hash the leader shards by.
+  std::optional<bool> Lookup(VarId x) const;
+  size_t size() const;
+
+  // All shards' answers merged and sorted; a variable claimed by two
+  // shards with different answers is Internal (only possible with a
+  // mis-assembled set — partitions are disjoint by construction).
+  [[nodiscard]] Result<std::vector<std::pair<VarId, bool>>> Answers() const;
+
+  // Failover: the merged state a new leader starts from.
+  struct Cutover {
+    // Generation to stamp the new leader's WAL set with: one past the
+    // generation this replica was following.
+    uint64_t next_generation = 1;
+    std::vector<std::pair<VarId, bool>> answers;
+  };
+
+  // Final catch-up poll, then verifies every follower that has seen a
+  // header agrees on one (num_shards, generation) set — a mixed set means
+  // the source logs are not one coherent leader and is rejected — and
+  // returns the merged answers. The replica remains usable afterwards.
+  [[nodiscard]] Result<Cutover> CutOver();
+
+ private:
+  std::vector<std::unique_ptr<WalFollower>> followers_;
+};
+
+}  // namespace consentdb::consent
+
+#endif  // CONSENTDB_CONSENT_REPLICA_H_

@@ -14,7 +14,10 @@ namespace {
 constexpr char kWalMagic[] = "consentdb-wal 1\n";
 constexpr size_t kWalMagicLen = sizeof(kWalMagic) - 1;  // 16
 constexpr uint8_t kRecordAnswer = 1;
+constexpr uint8_t kRecordShardHeader = 2;
 constexpr size_t kAnswerPayloadLen = 1 + 1 + 8;  // type, answer, var id
+// type, reserved, shard id, num shards, generation
+constexpr size_t kShardPayloadLen = 1 + 1 + 4 + 4 + 8;
 // Framing sanity bound: no legal payload comes close, so a length field
 // beyond it means the length bytes themselves are damaged.
 constexpr uint32_t kMaxPayloadLen = 1u << 20;
@@ -39,13 +42,7 @@ uint64_t GetFixed64(const char* p) {
   return v;
 }
 
-std::string EncodeAnswerRecord(VarId x, bool answer) {
-  std::string payload;
-  payload.reserve(kAnswerPayloadLen);
-  payload.push_back(static_cast<char>(kRecordAnswer));
-  payload.push_back(static_cast<char>(answer ? 1 : 0));
-  PutFixed64(&payload, static_cast<uint64_t>(x));
-
+std::string FrameRecord(const std::string& payload) {
   std::string record;
   record.reserve(8 + payload.size());
   PutFixed32(&record, static_cast<uint32_t>(payload.size()));
@@ -54,10 +51,38 @@ std::string EncodeAnswerRecord(VarId x, bool answer) {
   return record;
 }
 
+std::string EncodeAnswerRecord(VarId x, bool answer) {
+  std::string payload;
+  payload.reserve(kAnswerPayloadLen);
+  payload.push_back(static_cast<char>(kRecordAnswer));
+  payload.push_back(static_cast<char>(answer ? 1 : 0));
+  PutFixed64(&payload, static_cast<uint64_t>(x));
+  return FrameRecord(payload);
+}
+
+std::string EncodeShardRecord(const WalShardInfo& shard) {
+  std::string payload;
+  payload.reserve(kShardPayloadLen);
+  payload.push_back(static_cast<char>(kRecordShardHeader));
+  payload.push_back(0);  // reserved
+  PutFixed32(&payload, shard.shard_id);
+  PutFixed32(&payload, shard.num_shards);
+  PutFixed64(&payload, shard.generation);
+  return FrameRecord(payload);
+}
+
+// Magic plus, for a shard-set member, the stamped shard header.
+std::string WalHeaderBytes(const std::optional<WalShardInfo>& shard) {
+  std::string out(kWalMagic, kWalMagicLen);
+  if (shard.has_value()) out += EncodeShardRecord(*shard);
+  return out;
+}
+
+void ParseRecords(std::string_view content, size_t pos, WalReplay* replay);
+
 // Parses raw WAL bytes (magic included). Factored out of ReadWal so
 // WalWriter::Open can validate and heal an existing file from the same code.
-Result<WalReplay> ParseWal(const std::string& content,
-                           const std::string& path) {
+Result<WalReplay> ParseWal(std::string_view content, const std::string& path) {
   WalReplay replay;
   if (content.size() < kWalMagicLen) {
     // A crash during the very first write can leave a prefix of the magic —
@@ -73,8 +98,15 @@ Result<WalReplay> ParseWal(const std::string& content,
   if (content.compare(0, kWalMagicLen, kWalMagic) != 0) {
     return Status::InvalidArgument("not a consentdb wal: " + path);
   }
+  ParseRecords(content, kWalMagicLen, &replay);
+  return replay;
+}
 
-  size_t pos = kWalMagicLen;
+// The record-stream loop of ParseWal, shared with the public
+// ParseWalRecords (incremental follower tails start mid-file, after the
+// magic they already consumed).
+void ParseRecords(std::string_view content, size_t pos, WalReplay* out) {
+  WalReplay& replay = *out;
   while (pos < content.size()) {
     const size_t remaining = content.size() - pos;
     if (remaining < 8) {  // header cut mid-bytes
@@ -100,26 +132,35 @@ Result<WalReplay> ParseWal(const std::string& content,
       replay.bytes_dropped = remaining;
       break;
     }
-    if (payload_len != kAnswerPayloadLen ||
-        static_cast<uint8_t>(payload[0]) != kRecordAnswer ||
-        static_cast<uint8_t>(payload[1]) > 1) {
+    if (payload_len == kAnswerPayloadLen &&
+        static_cast<uint8_t>(payload[0]) == kRecordAnswer &&
+        static_cast<uint8_t>(payload[1]) <= 1) {
+      const bool answer = payload[1] != 0;
+      const VarId x = static_cast<VarId>(GetFixed64(payload.data() + 2));
+      replay.answers.emplace_back(x, answer);
+      ++replay.records;
+    } else if (payload_len == kShardPayloadLen &&
+               static_cast<uint8_t>(payload[0]) == kRecordShardHeader &&
+               static_cast<uint8_t>(payload[1]) == 0) {
+      WalShardInfo shard;
+      shard.shard_id = GetFixed32(payload.data() + 2);
+      shard.num_shards = GetFixed32(payload.data() + 6);
+      shard.generation = GetFixed64(payload.data() + 10);
+      replay.shard = shard;
+    } else {
       // Checksum fine but contents unintelligible: treat as corruption, keep
       // the prefix.
       replay.corrupt_record = true;
       replay.bytes_dropped = remaining;
       break;
     }
-    const bool answer = payload[1] != 0;
-    const VarId x = static_cast<VarId>(GetFixed64(payload.data() + 2));
-    replay.answers.emplace_back(x, answer);
-    ++replay.records;
     pos += 8 + payload_len;
   }
-  return replay;
 }
 
-std::string EncodeWal(const std::vector<std::pair<VarId, bool>>& answers) {
-  std::string out(kWalMagic, kWalMagicLen);
+std::string EncodeWal(const std::optional<WalShardInfo>& shard,
+                      const std::vector<std::pair<VarId, bool>>& answers) {
+  std::string out = WalHeaderBytes(shard);
   for (const auto& [x, answer] : answers) out += EncodeAnswerRecord(x, answer);
   return out;
 }
@@ -136,6 +177,10 @@ Status WriteFileAtomically(Env* env, const std::string& path,
 
 std::string WalSnapshotPath(const std::string& wal_path) {
   return wal_path + ".snap";
+}
+
+std::string ShardWalPath(const std::string& base_path, size_t shard_id) {
+  return base_path + ".shard" + std::to_string(shard_id);
 }
 
 WalWriter::WalWriter(Env* env, std::string path, WalOptions options)
@@ -169,10 +214,32 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
                                env->ReadFileToString(writer->path_));
     CONSENTDB_ASSIGN_OR_RETURN(WalReplay replay,
                                ParseWal(content, writer->path_));
+    // Shard-set safety: a member file must carry exactly the declared
+    // header, and a plain open must never adopt a shard member. The one
+    // tolerated gap is a headerless *empty* member — the residue of a crash
+    // between file creation and the header fsync — which holds no answers
+    // and is re-stamped by the heal below.
+    if (options.shard.has_value()) {
+      if (replay.shard.has_value()) {
+        if (*replay.shard != *options.shard) {
+          return Status::FailedPrecondition(
+              "wal shard header mismatch (foreign shard set member?): " +
+              writer->path_);
+        }
+      } else if (!replay.answers.empty()) {
+        return Status::FailedPrecondition(
+            "wal carries records but no shard header: " + writer->path_);
+      }
+    } else if (replay.shard.has_value()) {
+      return Status::FailedPrecondition(
+          "wal belongs to a sharded log set; open it with matching "
+          "WalOptions::shard: " + writer->path_);
+    }
     if (replay.torn_tail || replay.corrupt_record ||
-        content.size() < kWalMagicLen) {
-      CONSENTDB_RETURN_IF_ERROR(
-          WriteFileAtomically(env, writer->path_, EncodeWal(replay.answers)));
+        content.size() < kWalMagicLen ||
+        (options.shard.has_value() && !replay.shard.has_value())) {
+      CONSENTDB_RETURN_IF_ERROR(WriteFileAtomically(
+          env, writer->path_, EncodeWal(options.shard, replay.answers)));
     }
     CONSENTDB_ASSIGN_OR_RETURN(writer->file_,
                                env->NewWritableFile(writer->path_, true));
@@ -180,7 +247,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env, std::string path,
     CONSENTDB_ASSIGN_OR_RETURN(writer->file_,
                                env->NewWritableFile(writer->path_, false));
     CONSENTDB_RETURN_IF_ERROR(
-        writer->file_->Append(std::string_view(kWalMagic, kWalMagicLen)));
+        writer->file_->Append(WalHeaderBytes(options.shard)));
     CONSENTDB_RETURN_IF_ERROR(writer->file_->Sync());
   }
   writer->last_sync_nanos_ = writer->clock_->NowNanos();
@@ -256,8 +323,8 @@ Status WalWriter::CompactTo(
   // Step 2: reset the WAL to empty and reopen the append handle.
   CONSENTDB_RETURN_IF_ERROR(file_->Close());
   file_ = nullptr;
-  CONSENTDB_RETURN_IF_ERROR(WriteFileAtomically(
-      env_, path_, std::string_view(kWalMagic, kWalMagicLen)));
+  CONSENTDB_RETURN_IF_ERROR(
+      WriteFileAtomically(env_, path_, WalHeaderBytes(options_.shard)));
   CONSENTDB_ASSIGN_OR_RETURN(file_, env_->NewWritableFile(path_, true));
   ++compactions_;
   obs::Increment(options_.metrics, "wal.compactions");
@@ -298,6 +365,17 @@ Result<WalReplay> ReadWal(Env* env, const std::string& path) {
   return ParseWal(content, path);
 }
 
+Result<WalReplay> ParseWalContent(std::string_view content,
+                                  const std::string& path) {
+  return ParseWal(content, path);
+}
+
+WalReplay ParseWalRecords(std::string_view bytes) {
+  WalReplay replay;
+  ParseRecords(bytes, 0, &replay);
+  return replay;
+}
+
 Result<RecoveryStats> RecoverLedger(Env* env, const std::string& wal_path,
                                     ConsentLedger* ledger,
                                     obs::MetricsRegistry* metrics,
@@ -327,6 +405,7 @@ Result<RecoveryStats> RecoverLedger(Env* env, const std::string& wal_path,
     stats.torn_tail = replay.torn_tail;
     stats.corrupt_record = replay.corrupt_record;
     stats.bytes_dropped = replay.bytes_dropped;
+    stats.shard = replay.shard;
   }
 
   stats.recovered_answers = ledger->size();
@@ -343,6 +422,58 @@ Result<RecoveryStats> RecoverLedger(Env* env, const std::string& wal_path,
                static_cast<uint64_t>(
                    std::max<int64_t>(0, stats.replay_nanos)));
   return stats;
+}
+
+std::vector<WalWriter*> ShardWalSet::pointers() const {
+  std::vector<WalWriter*> out;
+  out.reserve(wals.size());
+  for (const auto& wal : wals) out.push_back(wal.get());
+  return out;
+}
+
+Result<ShardWalSet> OpenShardWalSet(Env* env, const std::string& base_path,
+                                    size_t num_shards, uint64_t generation,
+                                    WalOptions options) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("shard wal set needs at least one shard");
+  }
+  // Peek at the existing members first: an already-stamped generation wins
+  // over the argument, disagreements fail before any file is touched, and a
+  // member stamped for a different set size or slot is rejected outright.
+  std::optional<uint64_t> existing;
+  for (size_t k = 0; k < num_shards; ++k) {
+    const std::string path = ShardWalPath(base_path, k);
+    if (!env->FileExists(path)) continue;
+    CONSENTDB_ASSIGN_OR_RETURN(WalReplay replay, ReadWal(env, path));
+    // Headerless members are creation-crash residue; Open heals and
+    // re-stamps them (or rejects them if they somehow carry records).
+    if (!replay.shard.has_value()) continue;
+    if (replay.shard->num_shards != num_shards ||
+        replay.shard->shard_id != k) {
+      return Status::FailedPrecondition(
+          "wal stamped for a different shard set (want shard " +
+          std::to_string(k) + "/" + std::to_string(num_shards) + "): " + path);
+    }
+    if (existing.has_value() && *existing != replay.shard->generation) {
+      return Status::FailedPrecondition(
+          "mixed-generation shard wal set at " + base_path);
+    }
+    existing = replay.shard->generation;
+  }
+  ShardWalSet set;
+  set.generation = existing.value_or(generation);
+  set.wals.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    WalOptions shard_options = options;
+    shard_options.shard = WalShardInfo{static_cast<uint32_t>(k),
+                                       static_cast<uint32_t>(num_shards),
+                                       set.generation};
+    CONSENTDB_ASSIGN_OR_RETURN(
+        std::unique_ptr<WalWriter> wal,
+        WalWriter::Open(env, ShardWalPath(base_path, k), shard_options));
+    set.wals.push_back(std::move(wal));
+  }
+  return set;
 }
 
 }  // namespace consentdb::consent

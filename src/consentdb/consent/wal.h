@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,6 +47,31 @@ namespace consentdb::consent {
 
 class ConsentLedger;
 
+// Identity of one WAL inside a sharded ledger's log set (see
+// sharded_ledger.h). Stamped into the file as the first record after the
+// magic — payload { u8 record_type = 2 | u8 reserved = 0 | u32 shard_id |
+// u32 num_shards | u64 generation } — and preserved across tail healing and
+// compaction, so a log can never silently migrate between shard sets:
+// recovery rejects a set whose members disagree on (num_shards, generation)
+// or sit at the wrong shard index. Files without the record are plain
+// single-ledger logs (the pre-sharding format, still fully supported).
+struct WalShardInfo {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  // Shard-set epoch: bumped when a new leader set is cut over (replica
+  // promotion), so logs of the demoted generation can never be mixed into
+  // the new set's recovery.
+  uint64_t generation = 0;
+
+  friend bool operator==(const WalShardInfo& a, const WalShardInfo& b) {
+    return a.shard_id == b.shard_id && a.num_shards == b.num_shards &&
+           a.generation == b.generation;
+  }
+  friend bool operator!=(const WalShardInfo& a, const WalShardInfo& b) {
+    return !(a == b);
+  }
+};
+
 struct WalOptions {
   // Nanoseconds between fsyncs: 0 syncs every append; > 0 batches appends
   // and syncs once the window since the last fsync has elapsed.
@@ -58,10 +84,20 @@ struct WalOptions {
   // under whatever session span is current on the calling thread, putting
   // WAL I/O on the same causal timeline as the probes that caused it.
   obs::SpanCollector* spans = nullptr;
+  // When set, this WAL belongs to a sharded log set: a fresh file is
+  // stamped with the shard header and an existing file must carry exactly
+  // this header (Open fails otherwise — a foreign or stale-generation log
+  // must never be appended to). Unset = plain single-ledger WAL; opening a
+  // shard-stamped file without declaring the shard fails symmetrically.
+  std::optional<WalShardInfo> shard;
 };
 
 // The snapshot sidecar of a WAL.
 std::string WalSnapshotPath(const std::string& wal_path);
+
+// The WAL file of shard `shard_id` in a sharded log set rooted at
+// `base_path`: `<base_path>.shard<k>`.
+std::string ShardWalPath(const std::string& base_path, size_t shard_id);
 
 // Append side. Thread-safe; ConsentLedger calls AppendAnswer under its own
 // mutex, but the writer also protects itself so shells/tests can share one.
@@ -135,6 +171,8 @@ struct WalReplay {
   bool corrupt_record = false;
   // Tail bytes dropped by either condition.
   uint64_t bytes_dropped = 0;
+  // The shard header, when the log belongs to a sharded set.
+  std::optional<WalShardInfo> shard;
 };
 
 // Parses the WAL at `path`. A missing file is NotFound; a file that is not
@@ -142,6 +180,18 @@ struct WalReplay {
 // errors — they come back as torn_tail/corrupt_record with the recovered
 // prefix in `answers`.
 [[nodiscard]] Result<WalReplay> ReadWal(Env* env, const std::string& path);
+
+// ReadWal over bytes already in hand (magic included): for followers that
+// read the log themselves and need the parse to line up with the exact
+// bytes they fetched. `path` is for error messages only.
+[[nodiscard]] Result<WalReplay> ParseWalContent(std::string_view content,
+                                                const std::string& path);
+
+// Parses a bare record stream (no magic): the incremental-tail path of a
+// follower (replica.h) parsing only the bytes appended since its last
+// poll. Damage never makes this fail — torn or corrupt tails come back in
+// the replay flags with the clean prefix, exactly as in ReadWal.
+[[nodiscard]] WalReplay ParseWalRecords(std::string_view bytes);
 
 // What RecoverLedger replayed; mirrored into the recovery.* metrics.
 struct RecoveryStats {
@@ -152,6 +202,8 @@ struct RecoveryStats {
   bool corrupt_record = false;
   uint64_t bytes_dropped = 0;
   int64_t replay_nanos = 0;
+  // The replayed WAL's shard header, if it carried one.
+  std::optional<WalShardInfo> shard;
 };
 
 // Replays `<wal>.snap` + the WAL tail into `ledger` via RestoreAnswer.
@@ -164,6 +216,30 @@ struct RecoveryStats {
 [[nodiscard]] Result<RecoveryStats> RecoverLedger(
     Env* env, const std::string& wal_path, ConsentLedger* ledger,
     obs::MetricsRegistry* metrics = nullptr, Clock* clock = nullptr);
+
+// One WAL per ledger shard, opened as a set (see sharded_ledger.h).
+struct ShardWalSet {
+  std::vector<std::unique_ptr<WalWriter>> wals;
+  // The generation every member's header agrees on.
+  uint64_t generation = 0;
+
+  // Borrowed pointers in shard-id order, for AttachShardJournals /
+  // EngineOptions::shard_wals. The set must outlive every borrower.
+  std::vector<WalWriter*> pointers() const;
+};
+
+// Opens — creating if absent — the `num_shards` WAL files of the sharded
+// log set rooted at `base_path` (ShardWalPath(base_path, k) for shard k).
+// Fresh files are stamped with `generation`; when any member already
+// carries a header, the existing generation wins and every member must
+// agree on it (and on num_shards), otherwise the open fails — resizing a
+// shard set or mixing logs from two generations is never silent. `options`
+// applies to every member (options.shard is filled in per shard).
+[[nodiscard]] Result<ShardWalSet> OpenShardWalSet(Env* env,
+                                                  const std::string& base_path,
+                                                  size_t num_shards,
+                                                  uint64_t generation = 0,
+                                                  WalOptions options = {});
 
 }  // namespace consentdb::consent
 

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "consentdb/consent/oracle.h"
 #include "consentdb/consent/snapshot.h"
 
 namespace consentdb::core {
@@ -176,6 +177,53 @@ Result<RestoredCheckpoint> ReadCheckpoint(Env* env, const std::string& path) {
                                    "'");
   }
   return restored;
+}
+
+Result<ShardRecoveryStats> RecoverShardedLedger(Env* env,
+                                                const std::string& base_path,
+                                                size_t num_shards,
+                                                consent::ConsentLedger* ledger,
+                                                obs::MetricsRegistry* metrics,
+                                                Clock* clock) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("sharded recovery needs at least one shard");
+  }
+  ShardRecoveryStats stats;
+  stats.shards.reserve(num_shards);
+  std::optional<uint64_t> generation;
+  // Shard-id order, always: the merge must not depend on directory listing
+  // or map order, so two recoveries of one set are byte-identical.
+  for (size_t k = 0; k < num_shards; ++k) {
+    const std::string wal_path = consent::ShardWalPath(base_path, k);
+    CONSENTDB_ASSIGN_OR_RETURN(
+        consent::RecoveryStats shard_stats,
+        consent::RecoverLedger(env, wal_path, ledger, metrics, clock));
+    if (shard_stats.shard.has_value()) {
+      if (shard_stats.shard->num_shards != num_shards ||
+          shard_stats.shard->shard_id != k) {
+        return Status::FailedPrecondition(
+            "shard wal stamped for a different set (want shard " +
+            std::to_string(k) + "/" + std::to_string(num_shards) +
+            "): " + wal_path);
+      }
+      if (generation.has_value() &&
+          *generation != shard_stats.shard->generation) {
+        return Status::FailedPrecondition(
+            "mixed-generation shard set at " + base_path + ": shard " +
+            std::to_string(k) + " is generation " +
+            std::to_string(shard_stats.shard->generation) + ", expected " +
+            std::to_string(*generation));
+      }
+      generation = shard_stats.shard->generation;
+    } else if (shard_stats.wal_records + shard_stats.snapshot_answers > 0) {
+      return Status::FailedPrecondition(
+          "shard wal carries answers but no shard header: " + wal_path);
+    }
+    stats.shards.push_back(shard_stats);
+  }
+  stats.generation = generation.value_or(0);
+  stats.recovered_answers = ledger->size();
+  return stats;
 }
 
 }  // namespace consentdb::core

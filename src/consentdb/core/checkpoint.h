@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "consentdb/consent/shared_database.h"
+#include "consentdb/consent/wal.h"
 #include "consentdb/provenance/truth.h"
 #include "consentdb/util/io.h"
 #include "consentdb/util/result.h"
@@ -70,6 +71,44 @@ struct RestoredCheckpoint {
 
 [[nodiscard]] Result<RestoredCheckpoint> ReadCheckpoint(
     Env* env, const std::string& path);
+
+// --- Cross-shard recovery ---------------------------------------------------
+//
+// Deterministic recovery of a sharded ledger's WAL set (see
+// consent/sharded_ledger.h): shard logs replay strictly in shard-id order,
+// each through the same snapshot+tail replay a single WAL gets
+// (RecoverLedger), and the recovered answers merge into `ledger` via
+// RestoreAnswer. The target may be a plain ConsentLedger (merging N shards
+// down to one view) or a ShardedConsentLedger (re-partitioned by the same
+// stable hash); either way the merged answer set is identical, and the
+// replay order is a pure function of shard ids — no map iteration order
+// can leak into what recovery produces.
+//
+// The per-shard generation header guards the set: a member stamped for a
+// different (num_shards, generation) or sitting at the wrong slot fails
+// recovery with FailedPrecondition. Without this, a stale shard file from
+// a demoted leader generation could silently resurrect into the merged
+// view. Missing members are fine (a crash before a shard's first append
+// creates nothing); a headerless member carrying records is rejected —
+// only a header-before-records file can claim membership. On any error the
+// target ledger may hold a partial merge and must be discarded.
+
+// What RecoverShardedLedger replayed.
+struct ShardRecoveryStats {
+  // Per-shard replay stats, in shard-id (= replay) order; one entry per
+  // shard, zeroed for members with no files.
+  std::vector<consent::RecoveryStats> shards;
+  // The generation every present member agreed on (0 if no member carried
+  // a header — an empty set).
+  uint64_t generation = 0;
+  // Distinct answers in `ledger` after the merge.
+  uint64_t recovered_answers = 0;
+};
+
+[[nodiscard]] Result<ShardRecoveryStats> RecoverShardedLedger(
+    Env* env, const std::string& base_path, size_t num_shards,
+    consent::ConsentLedger* ledger, obs::MetricsRegistry* metrics = nullptr,
+    Clock* clock = nullptr);
 
 }  // namespace consentdb::core
 

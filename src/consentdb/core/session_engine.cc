@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "consentdb/consent/sharded_ledger.h"
 #include "consentdb/consent/snapshot.h"
 #include "consentdb/obs/names.h"
 #include "consentdb/query/optimize.h"
@@ -37,12 +38,49 @@ SessionEngine::SessionEngine(const consent::SharedDatabase& sdb,
   CONSENTDB_CHECK(options_.session.ledger == nullptr,
                   "EngineOptions::session.ledger must be null; the engine "
                   "wires its own shared ledger");
-  if (options_.wal != nullptr) {
+  CONSENTDB_CHECK(options_.ledger_shards > 0,
+                  "EngineOptions::ledger_shards must be at least 1");
+  if (options_.wal != nullptr || !options_.shard_wals.empty()) {
     CONSENTDB_CHECK(options_.share_consent_ledger,
-                    "EngineOptions::wal requires share_consent_ledger: an "
-                    "unshared probe path never reaches the ledger, so "
-                    "nothing would be journaled");
-    ledger_.AttachJournal(options_.wal, options_.wal_compact_every_records);
+                    "journaling requires share_consent_ledger: an unshared "
+                    "probe path never reaches the ledger, so nothing would "
+                    "be journaled");
+  }
+  if (options_.ledger_shards > 1) {
+    CONSENTDB_CHECK(options_.share_consent_ledger,
+                    "EngineOptions::ledger_shards > 1 requires "
+                    "share_consent_ledger: sharding partitions the shared "
+                    "ledger, which an unshared probe path never touches");
+    CONSENTDB_CHECK(options_.wal == nullptr,
+                    "a sharded ledger journals per shard: use "
+                    "EngineOptions::shard_wals, not wal");
+    auto sharded = std::make_unique<consent::ShardedConsentLedger>(
+        options_.ledger_shards);
+    if (!options_.shard_wals.empty()) {
+      CONSENTDB_CHECK(options_.shard_wals.size() == options_.ledger_shards,
+                      "EngineOptions::shard_wals must carry exactly one wal "
+                      "per ledger shard");
+      sharded->AttachShardJournals(options_.shard_wals,
+                                   options_.wal_compact_every_records);
+    }
+    ledger_ = std::move(sharded);
+  } else {
+    // ledger_shards == 1: the classic single-ledger path. A one-member
+    // shard wal set is accepted so callers can drive every shard count
+    // through OpenShardWalSet uniformly.
+    CONSENTDB_CHECK(options_.shard_wals.empty() ||
+                        options_.shard_wals.size() == 1,
+                    "EngineOptions::shard_wals must carry exactly one wal "
+                    "per ledger shard");
+    CONSENTDB_CHECK(options_.wal == nullptr || options_.shard_wals.empty(),
+                    "EngineOptions::wal and shard_wals are mutually "
+                    "exclusive");
+    ledger_ = std::make_unique<consent::ConsentLedger>();
+    consent::WalWriter* wal =
+        options_.shard_wals.empty() ? options_.wal : options_.shard_wals[0];
+    if (wal != nullptr) {
+      ledger_->AttachJournal(wal, options_.wal_compact_every_records);
+    }
   }
   if (options_.flight_recorder_capacity > 0) {
     flight_ = std::make_unique<obs::FlightRecorder>(
@@ -161,7 +199,7 @@ Result<SessionReport> SessionEngine::RunOne(const SessionRequest& request) {
       ResolvePrepared(request, entry, options, version));
 
   if (options_.share_consent_ledger) {
-    consent::LedgerOracle oracle(ledger_, *request.oracle);
+    consent::LedgerOracle oracle(*ledger_, *request.oracle);
     Result<SessionReport> report =
         manager_.RunPrepared(*prepared, oracle, options);
     obs::Increment(metrics, "engine.ledger.hit", oracle.ledger_hits());
@@ -271,7 +309,7 @@ SessionEngine::CacheStats SessionEngine::cache_stats() const {
 
 Status SessionEngine::SaveCheckpoint(Env* env, const std::string& path) {
   CONSENTDB_RETURN_IF_ERROR(WriteCheckpoint(env, path, sdb_,
-                                            ledger_.Answers(),
+                                            ledger_->Answers(),
                                             pending_sessions()));
   if (flight_ != nullptr) {
     // Pair every checkpoint with a flight dump: the ring at checkpoint time
@@ -292,7 +330,7 @@ std::string SessionEngine::last_flight_dump() const {
 Status SessionEngine::RestoreLedger(
     const std::vector<std::pair<VarId, bool>>& answers) {
   for (const auto& [x, answer] : answers) {
-    CONSENTDB_RETURN_IF_ERROR(ledger_.RestoreAnswer(x, answer));
+    CONSENTDB_RETURN_IF_ERROR(ledger_->RestoreAnswer(x, answer));
   }
   return Status::OK();
 }

@@ -60,13 +60,27 @@ struct EngineOptions {
   // Share one consent ledger across all sessions of this engine. Turn off
   // to give every request raw, unmemoized access to its own oracle.
   bool share_consent_ledger = true;
+  // Shards of the shared consent ledger, hash-partitioned by variable id
+  // (see consent/sharded_ledger.h). 1 — the default — is the classic
+  // single-ledger engine, byte-identical to every prior release; > 1
+  // spreads probe recording and journal fsyncs across that many
+  // independently locked shards and requires share_consent_ledger. Session
+  // reports are byte-identical at any shard count (the `ctest -L sharding`
+  // differential suite holds this).
+  size_t ledger_shards = 1;
   // Durability: journal every answer the shared ledger records to this WAL
   // (see consent/wal.h). Requires share_consent_ledger — an unshared probe
-  // path never reaches the ledger, so nothing would be journaled. The WAL
-  // must outlive the engine.
+  // path never reaches the ledger, so nothing would be journaled — and
+  // ledger_shards == 1 (a sharded ledger journals per shard; use
+  // shard_wals). The WAL must outlive the engine.
   consent::WalWriter* wal = nullptr;
-  // With a WAL attached: compact the journal into its snapshot sidecar
-  // every this-many journaled answers (0 = never auto-compact).
+  // Per-shard journals for a sharded ledger: empty, or exactly
+  // ledger_shards writers in shard-id order (OpenShardWalSet::pointers()).
+  // Mutually exclusive with `wal`; the writers must outlive the engine.
+  std::vector<consent::WalWriter*> shard_wals;
+  // With a WAL (or shard WAL set) attached: compact the journal into its
+  // snapshot sidecar every this-many journaled answers (0 = never
+  // auto-compact; sharded ledgers count per shard).
   uint64_t wal_compact_every_records = 0;
   // Flight-recorder ring size (0 disables). The engine keeps the last this-
   // many spans/events for post-mortem: the ring is dumped to
@@ -167,7 +181,7 @@ class SessionEngine {
   // all I/O post-crash, so the dump is stashed here instead of on disk.
   std::string last_flight_dump() const EXCLUDES(flight_mu_);
 
-  const consent::ConsentLedger& ledger() const { return ledger_; }
+  const consent::ConsentLedger& ledger() const { return *ledger_; }
 
   size_t num_threads() const { return pool_.num_threads(); }
   size_t queue_depth() const { return pool_.queue_depth(); }
@@ -216,7 +230,9 @@ class SessionEngine {
   LruCache<std::string, std::shared_ptr<const PlanEntry>> plan_cache_;
   LruCache<ProvKey, std::shared_ptr<const PreparedSession>, ProvKeyHash>
       prov_cache_;
-  consent::ConsentLedger ledger_;
+  // Plain ConsentLedger (ledger_shards == 1) or ShardedConsentLedger,
+  // chosen once at construction; never null.
+  std::unique_ptr<consent::ConsentLedger> ledger_;
   // In-flight resumable sessions, keyed by a registration id: entered at
   // Submit, erased when the session's RunOne returns (even on error). What
   // a checkpoint captures mid-crash is exactly the sessions whose futures

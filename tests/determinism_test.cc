@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "consentdb/consent/oracle.h"
+#include "consentdb/consent/replica.h"
+#include "consentdb/consent/sharded_ledger.h"
 #include "consentdb/consent/snapshot.h"
+#include "consentdb/consent/wal.h"
 #include "consentdb/core/checkpoint.h"
 #include "consentdb/core/session_engine.h"
 #include "consentdb/obs/metrics.h"
@@ -206,6 +209,183 @@ TEST(DeterminismTest, TraceJsonIdenticalAcrossRepeatedRuns) {
   const std::string first = TimelessTraceJson();
   const std::string second = TimelessTraceJson();
   EXPECT_EQ(first, second);
+}
+
+// --- Sharded-ledger determinism (`ctest -L sharding`) -----------------------
+
+TEST(DeterminismTest, ShardedLedgerSnapshotIndependentOfInsertionOrder) {
+  const AnswerVec canonical = CanonicalAnswers();
+  ConsentLedger plain;
+  FillLedger(plain, canonical);
+  const std::string golden = SaveLedgerSnapshot(plain.Answers());
+
+  for (uint64_t seed : {1u, 7u, 42u}) {
+    AnswerVec shuffled = canonical;
+    Rng(seed).Shuffle(shuffled);
+    consent::ShardedConsentLedger sharded(4);
+    FillLedger(sharded, shuffled);
+    // Four unordered maps instead of one, each scrambled by the shuffle:
+    // the merged Answers() and its serialization must not notice.
+    EXPECT_EQ(sharded.Answers(), plain.Answers()) << "seed " << seed;
+    EXPECT_EQ(SaveLedgerSnapshot(sharded.Answers()), golden)
+        << "seed " << seed;
+  }
+}
+
+// An oracle answering a pure function of the id, so differently permuted
+// probe schedules journal the same logical answer set.
+class PureOracle : public consent::ProbeOracle {
+ public:
+  bool Probe(VarId x) override { return x % 3 == 0; }
+  size_t probe_count() const override { return 0; }
+};
+
+// Journals the canonical answers through a 4-shard WAL set in `order`,
+// recovers the set into a plain ledger, and returns the recovered ledger's
+// snapshot bytes plus the checkpoint bytes written from them.
+std::pair<std::string, std::string> ShardRecoveryBytes(
+    const std::vector<VarId>& order, uint64_t compact_every) {
+  CrashingEnv env;
+  {
+    Result<consent::ShardWalSet> set =
+        consent::OpenShardWalSet(&env, "ledger", 4, /*generation=*/1);
+    CONSENTDB_CHECK(set.ok(), set.status().ToString());
+    consent::ShardedConsentLedger ledger(4);
+    ledger.AttachShardJournals(set.value().pointers(), compact_every);
+    PureOracle oracle;
+    for (VarId x : order) ledger.ProbeVia(oracle, x);
+    for (consent::WalWriter* wal : set.value().pointers()) {
+      Status st = wal->Sync();
+      CONSENTDB_CHECK(st.ok(), st.ToString());
+    }
+  }
+  ConsentLedger recovered;
+  Result<core::ShardRecoveryStats> stats =
+      core::RecoverShardedLedger(&env, "ledger", 4, &recovered);
+  CONSENTDB_CHECK(stats.ok(), stats.status().ToString());
+
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  std::vector<core::CheckpointedSession> sessions;
+  sessions.push_back({testing::RecruitmentQuerySql(), std::nullopt});
+  Status written = core::WriteCheckpoint(&env, "out.ckpt", sdb,
+                                         recovered.Answers(), sessions);
+  CONSENTDB_CHECK(written.ok(), written.ToString());
+  Result<std::string> ckpt = env.ReadFileToString("out.ckpt");
+  CONSENTDB_CHECK(ckpt.ok(), ckpt.status().ToString());
+  return {SaveLedgerSnapshot(recovered.Answers()), ckpt.value()};
+}
+
+TEST(DeterminismTest, ShardRecoveryIndependentOfJournalingOrder) {
+  std::vector<VarId> order;
+  for (VarId x = 0; x < 64; ++x) order.push_back(x);
+  const auto golden = ShardRecoveryBytes(order, /*compact_every=*/0);
+
+  for (uint64_t seed : {3u, 19u, 77u}) {
+    std::vector<VarId> permuted = order;
+    Rng(seed).Shuffle(permuted);
+    ASSERT_NE(permuted, order) << "shuffle was a no-op; seed " << seed;
+    // Permuting the probe order permutes every shard WAL's record order
+    // AND how answers interleave across shards; with compaction on, it
+    // also moves the snapshot/tail split. None of it may reach the bytes.
+    EXPECT_EQ(ShardRecoveryBytes(permuted, 0), golden) << "seed " << seed;
+    EXPECT_EQ(ShardRecoveryBytes(permuted, 3), golden)
+        << "seed " << seed << " (compacting)";
+  }
+}
+
+TEST(DeterminismTest, ShardedCheckpointBytesMatchSingleShard) {
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  const AnswerVec canonical = CanonicalAnswers();
+  std::vector<core::CheckpointedSession> sessions;
+  sessions.push_back({testing::RecruitmentQuerySql(), std::nullopt});
+
+  ConsentLedger plain;
+  consent::ShardedConsentLedger sharded(7);
+  FillLedger(plain, canonical);
+  AnswerVec shuffled = canonical;
+  Rng(5).Shuffle(shuffled);
+  FillLedger(sharded, shuffled);
+
+  ASSERT_TRUE(core::WriteCheckpoint(&env, "plain.ckpt", sdb, plain.Answers(),
+                                    sessions)
+                  .ok());
+  ASSERT_TRUE(core::WriteCheckpoint(&env, "sharded.ckpt", sdb,
+                                    sharded.Answers(), sessions)
+                  .ok());
+  Result<std::string> plain_bytes = env.ReadFileToString("plain.ckpt");
+  Result<std::string> sharded_bytes = env.ReadFileToString("sharded.ckpt");
+  ASSERT_TRUE(plain_bytes.ok());
+  ASSERT_TRUE(sharded_bytes.ok());
+  EXPECT_EQ(sharded_bytes.value(), plain_bytes.value());
+}
+
+TEST(DeterminismTest, PlanFingerprintStableAcrossShardedCheckpointRoundTrip) {
+  Result<query::PlanPtr> original =
+      query::ParseQuery(testing::RecruitmentQuerySql());
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+
+  CrashingEnv env;
+  SharedDatabase sdb = testing::RecruitmentDatabase();
+  consent::ShardedConsentLedger sharded(4);
+  // Only pool variables: ReadCheckpoint remaps every ledger id through the
+  // database snapshot and rejects ids the snapshot never wrote.
+  AnswerVec pool_answers;
+  for (VarId x = 0; x < sdb.pool().size(); ++x) {
+    pool_answers.push_back({x, x % 3 == 0});
+  }
+  FillLedger(sharded, pool_answers);
+  std::vector<core::CheckpointedSession> sessions;
+  sessions.push_back({testing::RecruitmentQuerySql(), std::nullopt});
+  ASSERT_TRUE(core::WriteCheckpoint(&env, "rt.ckpt", sdb, sharded.Answers(),
+                                    sessions)
+                  .ok());
+
+  Result<core::RestoredCheckpoint> restored =
+      core::ReadCheckpoint(&env, "rt.ckpt");
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored.value().sessions.size(), 1u);
+  Result<query::PlanPtr> replanned =
+      query::ParseQuery(restored.value().sessions[0].sql);
+  ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+  // The fingerprint keys the engine's provenance cache across restarts: a
+  // session resumed from a sharded checkpoint must hash to the same entry.
+  EXPECT_EQ(replanned.value()->Fingerprint(), original.value()->Fingerprint());
+  EXPECT_EQ(replanned.value()->ToString(), original.value()->ToString());
+}
+
+TEST(DeterminismTest, ReplicaViewIndependentOfPollSchedule) {
+  CrashingEnv env;
+  Result<consent::ShardWalSet> set =
+      consent::OpenShardWalSet(&env, "ledger", 4, /*generation=*/1);
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  consent::ShardedConsentLedger leader(4);
+  leader.AttachShardJournals(set.value().pointers(),
+                             /*compact_every_records=*/2);
+  PureOracle oracle;
+
+  // `eager` polls after every probe (riding compaction rewrites); `lazy`
+  // polls exactly once at the end.
+  consent::LedgerReplica eager(&env, "ledger", 4);
+  consent::LedgerReplica lazy(&env, "ledger", 4);
+  for (VarId x = 0; x < 48; ++x) {
+    leader.ProbeVia(oracle, x);
+    ASSERT_TRUE(eager.Poll().ok());
+  }
+  for (consent::WalWriter* wal : set.value().pointers()) {
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  ASSERT_TRUE(eager.Poll().ok());
+  ASSERT_TRUE(lazy.Poll().ok());
+
+  Result<AnswerVec> eager_view = eager.Answers();
+  Result<AnswerVec> lazy_view = lazy.Answers();
+  ASSERT_TRUE(eager_view.ok()) << eager_view.status().ToString();
+  ASSERT_TRUE(lazy_view.ok()) << lazy_view.status().ToString();
+  EXPECT_EQ(eager_view.value(), lazy_view.value());
+  EXPECT_EQ(eager_view.value(), leader.Answers());
+  EXPECT_EQ(SaveLedgerSnapshot(eager_view.value()),
+            SaveLedgerSnapshot(lazy_view.value()));
 }
 
 }  // namespace
