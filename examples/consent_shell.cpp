@@ -27,6 +27,9 @@
 
 #include "consentdb/consent/faulty_oracle.h"
 #include "consentdb/consent/snapshot.h"
+#include "consentdb/net/posix_transport.h"
+#include "consentdb/net/probe_client.h"
+#include "consentdb/net/probe_server.h"
 #include "consentdb/core/checkpoint.h"
 #include "consentdb/core/consent_manager.h"
 #include "consentdb/core/session_engine.h"
@@ -92,6 +95,11 @@ class Shell {
     if (EqualsIgnoreCase(command, "stress")) return Stress(rest);
     if (EqualsIgnoreCase(command, "save")) return Save(rest);
     if (EqualsIgnoreCase(command, "resume")) return Resume(rest, interactive);
+    if (EqualsIgnoreCase(command, "serve")) return Serve(rest);
+    if (EqualsIgnoreCase(command, "connect")) return Connect(rest, interactive);
+    if (command == "\\conns" || EqualsIgnoreCase(command, "conns")) {
+      return Conns();
+    }
     if (command == "\\stats" || EqualsIgnoreCase(command, "stats")) {
       return Stats(rest);
     }
@@ -135,6 +143,14 @@ class Shell {
         "                                     in-flight sessions it recorded —\n"
         "                                     already-answered variables replay\n"
         "                                     from the ledger, never re-asked\n"
+        "  serve <port>                       serve consent sessions over TCP\n"
+        "                                     (port 0 picks a free port);\n"
+        "                                     serve stop shuts down gracefully\n"
+        "  connect <addr> <sql>               run <sql> as a consent session on\n"
+        "                                     the server at <addr> (host:port or\n"
+        "                                     port) — you answer its probes\n"
+        "  \\conns                             probe-server stats (connections,\n"
+        "                                     in-flight/shed/completed sessions)\n"
         "  \\stats [json|reset]                session telemetry (metrics with\n"
         "                                     p50/p95/p99 + last probe trace)\n"
         "  \\flight [json]                     the flight recorder: the most\n"
@@ -619,6 +635,103 @@ class Shell {
     return Status::OK();
   }
 
+  // --- Networked probe service (net::ProbeServer / net::ProbeClient) --------
+
+  Status Serve(const std::string& args) {
+    if (EqualsIgnoreCase(args, "stop")) {
+      if (server_ == nullptr) {
+        return Status::FailedPrecondition("not serving");
+      }
+      server_->Shutdown(/*drain_deadline_nanos=*/1'000'000'000);
+      net::ServerStats stats = server_->stats();
+      server_.reset();
+      serve_engine_.reset();
+      std::cout << "server stopped: " << stats.completed_sessions
+                << " completed, " << stats.shed_sessions << " shed, "
+                << stats.inflight_sessions << " still parked\n";
+      return Status::OK();
+    }
+    if (args.empty()) {
+      return Status::InvalidArgument("usage: serve <port> | serve stop");
+    }
+    if (server_ != nullptr) {
+      return Status::FailedPrecondition(
+          "already serving on " + server_->address() + " (serve stop first)");
+    }
+    core::EngineOptions eopts;
+    eopts.num_threads = 1;  // sessions are served event-driven, not pooled
+    eopts.session.metrics = &metrics_;
+    serve_engine_ = std::make_unique<core::SessionEngine>(sdb_, eopts);
+    server_ = std::make_unique<net::ProbeServer>(*serve_engine_, posix_);
+    Status listening = server_->Listen(args);
+    if (!listening.ok()) {
+      server_.reset();
+      serve_engine_.reset();
+      return listening;
+    }
+    server_->Start();
+    std::cout << "serving consent probes on " << server_->address()
+              << " (don't mutate tables while sessions are in flight)\n";
+    return Status::OK();
+  }
+
+  Status Connect(const std::string& args, bool interactive) {
+    std::istringstream in(args);
+    std::string addr;
+    in >> addr;
+    std::string sql;
+    std::getline(in, sql);
+    sql = std::string(StripWhitespace(sql));
+    if (addr.empty() || sql.empty()) {
+      return Status::InvalidArgument("usage: connect <addr> <sql>");
+    }
+    // The server names the variable in each ProbeRequest, so the prompt
+    // works against any server — not just one sharing this shell's tables.
+    net::ProbeRequest pending;
+    net::ProbeClientOptions copts;
+    copts.tenant = "shell";
+    copts.client_id =
+        (static_cast<uint32_t>(getpid()) << 8) ^ next_client_id_++;
+    copts.on_probe = [&pending](const net::ProbeRequest& r) { pending = r; };
+    consent::CallbackOracle oracle(
+        [&pending, interactive](provenance::VarId) {
+          std::cout << "  [probe] " << pending.owner
+                    << ", do you consent to sharing " << pending.variable_name
+                    << "? (y/n) " << std::flush;
+          std::string answer;
+          if (!std::getline(std::cin, answer)) answer = "n";
+          if (!interactive) std::cout << answer << "\n";
+          return !answer.empty() && (answer[0] == 'y' || answer[0] == 'Y');
+        });
+    net::ProbeClient client(posix_, addr, &oracle, copts);
+    CONSENTDB_ASSIGN_OR_RETURN(std::string report_json, client.Decide(sql));
+    const net::ProbeClient::ClientStats& cs = client.stats();
+    std::cout << report_json << "\n"
+              << cs.oracle_probes << " probe(s) answered";
+    if (cs.reconnects > 0) std::cout << ", " << cs.reconnects << " reconnect(s)";
+    std::cout << "\n";
+    return Status::OK();
+  }
+
+  Status Conns() {
+    if (server_ == nullptr) {
+      std::cout << "not serving — start with: serve <port>\n";
+      return Status::OK();
+    }
+    net::ServerStats s = server_->stats();
+    std::cout << "server " << server_->address()
+              << (s.draining ? " (draining)" : "") << "\n"
+              << "  connections: " << s.connections << " open, "
+              << s.accepted_connections << " accepted\n"
+              << "  sessions:    " << s.inflight_sessions << " in flight, "
+              << s.opened_sessions << " opened, " << s.completed_sessions
+              << " completed, " << s.resumed_sessions << " resumed\n"
+              << "  backpressure: " << s.shed_sessions << " shed, "
+              << s.expired_sessions << " expired, " << s.corrupt_frames
+              << " corrupt frame(s)\n";
+    return Status::OK();
+  }
+
   Status Stats(const std::string& args) {
     if (EqualsIgnoreCase(args, "json")) {
       std::cout << obs::ExportObservabilityJson(&metrics_, &tracer_) << "\n";
@@ -702,6 +815,13 @@ class Shell {
   obs::FlightRecorder flight_;
   consent::FaultPlan fault_plan_;
   core::RetryPolicy retry_policy_;
+  // Probe service state. Declaration order doubles as teardown order: the
+  // server (destroyed first) must go before the engine and transport it
+  // borrows.
+  net::PosixTransport posix_;
+  std::unique_ptr<core::SessionEngine> serve_engine_;
+  std::unique_ptr<net::ProbeServer> server_;
+  uint32_t next_client_id_ = 1;
 };
 
 }  // namespace

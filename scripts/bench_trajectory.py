@@ -44,6 +44,7 @@ TRACKED_BENCHES = [
     ("ext_concurrent_sessions", []),
     ("ext_crash_recovery", []),
     ("ext_sharded_ledger", []),
+    ("ext_probe_server", []),
 ]
 
 # Environment for quick mode: small datasets, few repetitions.

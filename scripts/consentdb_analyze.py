@@ -43,7 +43,7 @@ checks that need type, scope and call-graph information:
    the module DAG
 
      util -> provenance/relational -> obs -> query -> consent -> eval
-          -> strategy -> core/datasets -> shell (examples/)
+          -> strategy -> core/datasets -> net -> shell (examples/)
 
    A module may include strictly lower layers (and itself); same-layer
    cross-includes (provenance <-> relational, core <-> datasets) are
@@ -114,11 +114,12 @@ MODULE_LAYERS = {
     "strategy": 6,
     "core": 7,
     "datasets": 7,
-    "shell": 8,
+    "net": 8,
+    "shell": 9,
 }
 
 LAYER_DAG = ("util -> provenance/relational -> obs -> query -> consent "
-             "-> eval -> strategy -> core/datasets -> shell")
+             "-> eval -> strategy -> core/datasets -> net -> shell")
 
 INCLUDE_RE = re.compile(r'#\s*include\s*"consentdb/(\w+)/')
 

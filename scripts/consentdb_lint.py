@@ -26,6 +26,12 @@ do not) catch but that this codebase bans:
                           dashboards and the lint-exempt registry in
                           obs/names.h, so they stay lowercase dotted words;
                           obs/names.h itself is the one place to mint them
+  raw-socket              socket()/connect()/bind()/send()/recv() and
+                          friends outside src/consentdb/net/ — every byte
+                          that crosses a process boundary goes through the
+                          Transport seam (util/transport.h) so the chaos
+                          harness can interpose; only the net/ module owns
+                          real sockets
   nested-vector-strategy  a std::vector<std::vector<...>> in
                           src/consentdb/strategy/ — the probing hot path is
                           columnar (flat arrays + CSR offsets) precisely to
@@ -101,6 +107,19 @@ VALID_OBS_NAME_RE = re.compile(r"^[a-z0-9_.]+$")
 # The registry of canonical names declares its own convention.
 OBS_NAME_EXEMPT_FILES = {Path("src/consentdb/obs/names.h")}
 
+# Raw BSD socket API calls. Free-function call sites only: a leading `.`,
+# `->` or identifier character means a method or a longer name (Reconnect,
+# transport.Connect), which is fine — it is the global/POSIX functions that
+# bypass the Transport seam. `::connect(...)` (explicitly global-qualified)
+# is still caught.
+RAW_SOCKET_RE = re.compile(
+    r"(?<![\w.>])(?:socket|connect|bind|listen|accept|accept4|send|recv|"
+    r"sendto|recvfrom|sendmsg|recvmsg|setsockopt|getsockopt|getsockname|"
+    r"getpeername|getaddrinfo|inet_pton|inet_ntop)\s*\("
+)
+# The one module allowed to touch sockets: the transport implementations.
+RAW_SOCKET_EXEMPT_DIR = ("src", "consentdb", "net")
+
 # Vector-of-vectors in the strategy layer: the evaluation hot path went
 # columnar (flat term/clause tables + CSR adjacency) and must not regress to
 # per-row heap allocations. Whitespace is tolerated between the tokens.
@@ -115,6 +134,7 @@ RULES = (
     "raw-cout",
     "sleep-outside-clock",
     "raw-file-io",
+    "raw-socket",
     "obs-name-literal",
     "nested-vector-strategy",
 )
@@ -229,6 +249,16 @@ def lint_file(path: Path, rel: Path, findings: list[Finding]) -> None:
                         "raw file I/O outside util/io; go through Env "
                         "(util/io.h) so durability tests can inject a "
                         "CrashingEnv and crash-recovery stays testable"))
+
+        if (rel.parts[:3] != RAW_SOCKET_EXEMPT_DIR
+                and RAW_SOCKET_RE.search(code)
+                and "raw-socket" not in allowed):
+            findings.append(
+                Finding(rel, lineno, "raw-socket",
+                        "raw socket call outside src/consentdb/net/; open "
+                        "connections through the Transport seam "
+                        "(util/transport.h) so the chaos harness can "
+                        "interpose on every byte"))
 
         if (rel not in OBS_NAME_EXEMPT_FILES
                 and "obs-name-literal" not in allowed):

@@ -237,6 +237,60 @@ class RawFileIoTest(LintHarness):
         self.assertEqual(self.rules(), [])
 
 
+class RawSocketTest(LintHarness):
+    def test_flags_socket_and_connect(self):
+        self.write("src/consentdb/core/a.cc",
+                   "void f() {\n"
+                   "  int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+                   "  connect(fd, addr, len);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), ["raw-socket", "raw-socket"])
+
+    def test_flags_send_recv_in_tests(self):
+        self.write("tests/a.cc",
+                   "void f(int fd) {\n"
+                   "  send(fd, buf, n, 0);\n"
+                   "  recv(fd, buf, n, 0);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), ["raw-socket", "raw-socket"])
+
+    def test_net_module_is_exempt(self):
+        # net/ owns the PosixTransport, the one real-socket site.
+        self.write("src/consentdb/net/posix_transport.cc",
+                   "void f() {\n"
+                   "  int fd = socket(AF_INET, SOCK_STREAM, 0);\n"
+                   "  bind(fd, addr, len);\n"
+                   "  listen(fd, 128);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_transport_seam_methods_ok(self):
+        # Transport::Connect / Listener::Accept / Reconnect are the sanctioned
+        # spellings; method calls and longer identifiers must not fire.
+        self.write("src/consentdb/core/a.cc",
+                   "void f(Transport& t, ProbeClient& c) {\n"
+                   "  auto conn = t.Connect(addr);\n"
+                   "  auto l = t->Listen(addr);\n"
+                   "  c.Reconnect(open, &attempt);\n"
+                   "  Disconnect(conn);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+    def test_socket_in_comment_or_string_ignored(self):
+        self.write("src/consentdb/core/a.cc",
+                   "// connect(fd, ...) would bypass the Transport seam\n"
+                   'const char* s = "socket(AF_INET)";\n')
+        self.assertEqual(self.rules(), [])
+
+    def test_allowlist_suppresses(self):
+        self.write("tests/a.cc",
+                   "void f(int fd) {\n"
+                   "  // lint:allow raw-socket\n"
+                   "  send(fd, buf, n, 0);\n"
+                   "}\n")
+        self.assertEqual(self.rules(), [])
+
+
 class ObsNameLiteralTest(LintHarness):
     def test_flags_uppercase_counter_name(self):
         self.write("src/consentdb/core/a.cc",

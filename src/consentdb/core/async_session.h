@@ -1,0 +1,128 @@
+// AsyncConsentSession: one consent session as a resumable server-side
+// object, advanced by events instead of blocking oracle calls.
+//
+// FinishSession (consent_manager.cc) drives a probing session by *calling*
+// an oracle and sleeping through retry backoffs — fine in-process, fatal in
+// a server that must keep hundreds of sessions moving on one thread. This
+// class is the same pipeline with the control flow inverted: Pump() says
+// what the session needs next (probe a variable, wait until a time, done),
+// OnAnswer/OnFault feed in what the network delivered, and retry backoffs
+// become parked wait states on the injected clock instead of sleeps.
+//
+// Equivalence contract (held by differential tests): driven with the same
+// prepared session, options, and answers, the final SessionReport is
+// byte-identical to ConsentManager::RunPrepared's — including ledger
+// accounting. Ledger integration mirrors LedgerOracle exactly: a variable
+// already in the ledger resolves instantly (a ledger *hit*, still counted
+// as a session probe per the paper's cost model), a fresh network answer is
+// recorded through ProbeVia/TryProbeVia so it is journaled and tallied as
+// an oracle probe, and faulted attempts leave no trace. That shared ledger
+// is what makes resume safe: re-opening a session after a connection loss
+// replays its journaled answers without ever re-probing a peer.
+
+#ifndef CONSENTDB_CORE_ASYNC_SESSION_H_
+#define CONSENTDB_CORE_ASYNC_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "consentdb/core/consent_manager.h"
+
+namespace consentdb::core {
+
+class AsyncConsentSession {
+ public:
+  // What the session needs next.
+  struct Step {
+    enum class Kind : uint8_t {
+      kProbe,  // ask the client to probe `variable`
+      kWait,   // nothing to do until the clock reaches `wake_at_nanos`
+      kDone,   // finished; report() is available
+    };
+    Kind kind = Kind::kDone;
+    provenance::VarId variable = 0;  // kProbe only
+    int64_t wake_at_nanos = 0;       // kWait only
+  };
+
+  // Builds the session over an already-prepared query (strategy selection
+  // happens here, exactly as in FinishSession). `options.spans` must be
+  // null — spans are RAII scopes and cannot park. `prepared`, the database,
+  // and every pointer in `options` must outlive the session.
+  static Result<std::unique_ptr<AsyncConsentSession>> Create(
+      const consent::SharedDatabase& sdb,
+      std::shared_ptr<const PreparedSession> prepared,
+      const SessionOptions& options);
+
+  // Advances as far as possible without external input and reports the next
+  // need. Idempotent: while a probe is outstanding it returns the same
+  // kProbe again (safe to call after a resume to re-issue the request).
+  Step Pump();
+
+  // The client's answer for variable `x`. Answers for variables that are
+  // not the outstanding probe are ignored — duplicate deliveries and
+  // answers racing a reconnect are harmless.
+  void OnAnswer(provenance::VarId x, bool answer);
+
+  // The client's probe attempt for `x` failed. In a resilient session this
+  // feeds the RetryPolicy (backoff becomes a kWait park); in a
+  // non-resilient session any fault fails the whole session.
+  void OnFault(provenance::VarId x, consent::ProbeFault fault);
+
+  // The session deadline fired (resilient sessions only): undecided tuples
+  // degrade to kUnresolved and the next Pump() completes the report.
+  void Expire();
+
+  bool done() const { return done_; }
+  bool resilient() const { return resilient_; }
+
+  // The finished report (or the error that ended the session). Only valid
+  // once Pump() returned kDone.
+  const Result<SessionReport>& report() const;
+
+ private:
+  AsyncConsentSession(const consent::SharedDatabase& sdb,
+                      std::shared_ptr<const PreparedSession> prepared,
+                      const SessionOptions& options);
+
+  void Finish();
+  void ResolveFromLedger(provenance::VarId x);
+
+  const consent::SharedDatabase& sdb_;
+  const std::shared_ptr<const PreparedSession> prepared_;
+  SessionOptions options_;
+  const bool resilient_;
+  RetryPolicy policy_;  // meaningful only when resilient_
+  Clock* clock_;
+  int64_t session_start_ = 0;
+
+  std::vector<double> pi_;
+  std::unique_ptr<strategy::EvaluationState> state_;
+  internal::StrategySelection sel_;
+  std::unique_ptr<strategy::SessionStepper> stepper_;
+
+  // Outstanding probe, if any, with its retry bookkeeping.
+  std::optional<provenance::VarId> awaiting_;
+  size_t attempts_ = 0;
+  int64_t probe_start_ = 0;
+  std::optional<int64_t> wake_at_;  // parked backoff (awaiting_ stays set)
+
+  size_t num_retries_ = 0;
+  FailureBreakdown failures_;
+
+  // Retry metrics, hoisted once like RetryingProber does.
+  obs::Counter* retries_ = nullptr;
+  obs::Counter* transient_ = nullptr;
+  obs::Counter* unavailable_ = nullptr;
+  obs::Counter* exhausted_ = nullptr;
+  obs::Counter* deadline_ = nullptr;
+  obs::Histogram* backoff_ns_ = nullptr;
+
+  bool expired_ = false;  // deadline fired; the stepper was told once
+  bool done_ = false;
+  std::optional<Result<SessionReport>> report_;
+};
+
+}  // namespace consentdb::core
+
+#endif  // CONSENTDB_CORE_ASYNC_SESSION_H_

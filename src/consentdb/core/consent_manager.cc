@@ -74,16 +74,14 @@ int64_t RetryPolicy::BackoffNanos(size_t attempt, VarId x) const {
 
 namespace {
 
-struct Selection {
-  std::unique_ptr<ProbeStrategy> strategy;
-  std::string rationale;
-};
+using internal::StrategySelection;
 
 // Auto selection: the runtime checks of Sec. IV-D layered over the
 // syntactic guarantees of Table I.
-Selection SelectAuto(const ProvenanceProfile& profile, bool single_tuple,
-                     const SessionOptions& options, EvaluationState* state) {
-  Selection sel;
+StrategySelection SelectAuto(const ProvenanceProfile& profile,
+                             bool single_tuple, const SessionOptions& options,
+                             EvaluationState* state) {
+  StrategySelection sel;
   if (profile.overall_read_once ||
       (single_tuple && profile.per_tuple_read_once)) {
     sel.strategy = std::make_unique<strategy::RoStrategy>();
@@ -109,13 +107,13 @@ Selection SelectAuto(const ProvenanceProfile& profile, bool single_tuple,
   return sel;
 }
 
-Result<Selection> SelectStrategy(Algorithm algorithm,
-                                 const ProvenanceProfile& profile,
-                                 bool single_tuple,
-                                 const SessionOptions& options,
-                                 const std::vector<double>& pi,
-                                 EvaluationState* state) {
-  Selection sel;
+}  // namespace
+
+Result<StrategySelection> internal::SelectSessionStrategy(
+    Algorithm algorithm, const ProvenanceProfile& profile, bool single_tuple,
+    const SessionOptions& options, const std::vector<double>& pi,
+    EvaluationState* state) {
+  StrategySelection sel;
   switch (algorithm) {
     case Algorithm::kAuto:
       return SelectAuto(profile, single_tuple, options, state);
@@ -151,6 +149,8 @@ Result<Selection> SelectStrategy(Algorithm algorithm,
   sel.rationale = "requested explicitly";
   return sel;
 }
+
+namespace {
 
 // Wraps a fallible oracle in the session's RetryPolicy: transient faults are
 // retried with (deterministically jittered) exponential backoff, permanent
@@ -218,12 +218,22 @@ class RetryingProber {
       if (backoff_ns_ != nullptr) {
         backoff_ns_->Observe(static_cast<uint64_t>(backoff));
       }
+      // Never sleep past the session deadline: a full backoff that
+      // overshoots it would stall the kSessionExpired verdict (and, served
+      // over the network, the client's error) until the sleep ran out.
+      int64_t wait_nanos = backoff;
+      if (policy_.session_deadline_nanos > 0) {
+        const int64_t remaining = session_start_ +
+                                  policy_.session_deadline_nanos -
+                                  clock_->NowNanos();
+        wait_nanos = std::min(wait_nanos, remaining > 0 ? remaining : 0);
+      }
       {
         // Backoff waits show up as retry.wait spans in the timeline (real
         // duration under RealClock, near-zero under a VirtualClock).
         obs::Span wait(spans_, obs::names::kSpanRetryWait);
         wait.SetArg(obs::names::kArgAttempt, attempts);
-        clock_->SleepFor(backoff);
+        clock_->SleepFor(wait_nanos);
       }
     }
   }
@@ -327,13 +337,14 @@ Result<SessionReport> ConsentManager::FinishSession(
   const ProvenanceProfile& profile = prepared.provenance;
   std::vector<double> pi = sdb_.pool().Probabilities();
   EvaluationState state(profile.dnfs, pi);
-  Selection sel;
+  internal::StrategySelection sel;
   {
     obs::ScopedTimer timer(obs::MaybeHistogram(metrics, "session.select_ns"));
     obs::Span span(options.spans, obs::names::kSpanSessionSelect);
     CONSENTDB_ASSIGN_OR_RETURN(
-        sel, SelectStrategy(options.algorithm, profile, prepared.single,
-                            options, pi, &state));
+        sel, internal::SelectSessionStrategy(options.algorithm, profile,
+                                             prepared.single, options, pi,
+                                             &state));
   }
   if (metrics != nullptr) {
     obs::Increment(
@@ -349,10 +360,7 @@ Result<SessionReport> ConsentManager::FinishSession(
   instr.tracer = options.tracer;
   instr.spans = options.spans;
 
-  SessionReport report;
-  size_t num_probes = 0;
-  std::vector<Truth> outcomes;
-  std::vector<std::pair<VarId, bool>> trace;
+  internal::ProbePhase phase;
   if (options.retry.has_value()) {
     // Resilient path: probe through TryProbe under the retry policy; faults
     // degrade to kUnresolved verdicts instead of aborting.
@@ -361,23 +369,48 @@ Result<SessionReport> ConsentManager::FinishSession(
                           options.spans);
     strategy::ResilientProbeRun run = strategy::RunToCompletionResilient(
         state, *sel.strategy, [&prober](VarId x) { return prober(x); }, instr);
-    num_probes = run.num_probes;
-    outcomes = std::move(run.outcomes);
-    trace = std::move(run.trace);
-    report.resilient = true;
-    report.num_retries = prober.num_retries();
-    report.failures = prober.failures();
+    phase.num_probes = run.num_probes;
+    phase.outcomes = std::move(run.outcomes);
+    phase.trace = std::move(run.trace);
+    phase.resilient = true;
+    phase.num_retries = prober.num_retries();
+    phase.failures = prober.failures();
   } else {
     // Legacy path: infallible oracle, byte-identical reports.
     strategy::ProbeRun run = strategy::RunToCompletion(
         state, *sel.strategy, [&oracle](VarId x) { return oracle.Probe(x); },
         instr);
-    num_probes = run.num_probes;
-    outcomes = std::move(run.outcomes);
-    trace = std::move(run.trace);
+    phase.num_probes = run.num_probes;
+    phase.outcomes = std::move(run.outcomes);
+    phase.trace = std::move(run.trace);
   }
 
-  report.num_probes = num_probes;
+  SessionReport report =
+      internal::AssembleReport(sdb_, prepared, sel, std::move(phase), options);
+  if (options.tracer != nullptr) {
+    // Enrich the runner's events with peer-facing identities; the runner
+    // only sees VarIds.
+    for (obs::ProbeEvent& ev : options.tracer->mutable_events()) {
+      ev.variable_name = sdb_.pool().name(ev.variable);
+      ev.owner = sdb_.pool().owner(ev.variable);
+    }
+    options.tracer->set_session_nanos(obs::MonotonicNanos() - session_start);
+  }
+  return report;
+}
+
+SessionReport internal::AssembleReport(const consent::SharedDatabase& sdb,
+                                       const PreparedSession& prepared,
+                                       const StrategySelection& sel,
+                                       ProbePhase phase,
+                                       const SessionOptions& options) {
+  obs::MetricsRegistry* metrics = options.metrics;
+  const ProvenanceProfile& profile = prepared.provenance;
+  SessionReport report;
+  report.resilient = phase.resilient;
+  report.num_retries = phase.num_retries;
+  report.failures = phase.failures;
+  report.num_probes = phase.num_probes;
   report.algorithm_used = sel.strategy->name();
   report.selection_rationale = sel.rationale;
   report.cnf_attach_failed = sel.strategy->cnf_attach_failed();
@@ -390,7 +423,7 @@ Result<SessionReport> ConsentManager::FinishSession(
   report.provenance_per_tuple_read_once = profile.per_tuple_read_once;
   report.tuples.reserve(prepared.tuples.size());
   for (size_t i = 0; i < prepared.tuples.size(); ++i) {
-    if (outcomes[i] == Truth::kUnknown) {
+    if (phase.outcomes[i] == Truth::kUnknown) {
       // Only the resilient path may leave a tuple undecided (lost peers cut
       // every remaining path to it); possible-world semantics make this a
       // genuine third value, reported as kUnresolved / not shareable.
@@ -401,22 +434,22 @@ Result<SessionReport> ConsentManager::FinishSession(
                                            TupleConsent::Verdict::kUnresolved});
       continue;
     }
-    const bool shareable = outcomes[i] == Truth::kTrue;
+    const bool shareable = phase.outcomes[i] == Truth::kTrue;
     report.tuples.push_back(
         TupleConsent{prepared.tuples[i], shareable,
                      shareable ? TupleConsent::Verdict::kShareable
                                : TupleConsent::Verdict::kNotShareable});
   }
-  report.trace.reserve(trace.size());
-  for (const auto& [x, answer] : trace) {
+  report.trace.reserve(phase.trace.size());
+  for (const auto& [x, answer] : phase.trace) {
     report.trace.push_back(SessionReport::ProbeRecord{
-        x, sdb_.pool().name(x), sdb_.pool().owner(x), answer});
+        x, sdb.pool().name(x), sdb.pool().owner(x), answer});
   }
   if (metrics != nullptr) {
     metrics->GetHistogram("session.probes", obs::SessionProbeBuckets())
-        ->Observe(num_probes);
+        ->Observe(phase.num_probes);
     obs::SetGauge(metrics, "session.last_probes",
-                  static_cast<double>(num_probes));
+                  static_cast<double>(phase.num_probes));
     if (report.num_unresolved > 0) {
       obs::Increment(metrics, "session.unresolved_tuples",
                      report.num_unresolved);
@@ -424,15 +457,6 @@ Result<SessionReport> ConsentManager::FinishSession(
     if (report.cnf_attach_failed) {
       obs::Increment(metrics, "session.cnf_attach_failed");
     }
-  }
-  if (options.tracer != nullptr) {
-    // Enrich the runner's events with peer-facing identities; the runner
-    // only sees VarIds.
-    for (obs::ProbeEvent& ev : options.tracer->mutable_events()) {
-      ev.variable_name = sdb_.pool().name(ev.variable);
-      ev.owner = sdb_.pool().owner(ev.variable);
-    }
-    options.tracer->set_session_nanos(obs::MonotonicNanos() - session_start);
   }
   return report;
 }

@@ -287,6 +287,45 @@ class ConsentManager {
   const consent::SharedDatabase& sdb_;
 };
 
+// --- Session internals shared with the async (network-serving) path ---------
+//
+// AsyncConsentSession reproduces FinishSession's pipeline with the probe
+// loop inverted; these helpers are the pieces both paths must share so their
+// reports stay byte-identical. Not part of the public API surface.
+namespace internal {
+
+// A chosen probing strategy plus the explanation reports carry.
+struct StrategySelection {
+  std::unique_ptr<strategy::ProbeStrategy> strategy;
+  std::string rationale;
+};
+
+// Strategy selection (Sec. IV-D runtime checks over Table I guarantees).
+// May attach CNFs to `state` as a side effect (Q-value paths).
+[[nodiscard]] Result<StrategySelection> SelectSessionStrategy(
+    Algorithm algorithm, const eval::ProvenanceProfile& profile,
+    bool single_tuple, const SessionOptions& options,
+    const std::vector<double>& pi, strategy::EvaluationState* state);
+
+// What the probe loop produced, independent of how it was driven.
+struct ProbePhase {
+  size_t num_probes = 0;
+  std::vector<provenance::Truth> outcomes;
+  std::vector<std::pair<provenance::VarId, bool>> trace;
+  bool resilient = false;
+  size_t num_retries = 0;
+  FailureBreakdown failures;
+};
+
+// Builds the SessionReport from a finished probe phase: verdicts, trace
+// enrichment with peer names/owners, and the session.* report metrics.
+SessionReport AssembleReport(const consent::SharedDatabase& sdb,
+                             const PreparedSession& prepared,
+                             const StrategySelection& sel, ProbePhase phase,
+                             const SessionOptions& options);
+
+}  // namespace internal
+
 }  // namespace consentdb::core
 
 #endif  // CONSENTDB_CORE_CONSENT_MANAGER_H_

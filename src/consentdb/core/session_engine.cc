@@ -213,6 +213,12 @@ std::future<Result<SessionReport>> SessionEngine::Submit(
   obs::MetricsRegistry* metrics = options_.session.metrics;
   auto promise = std::make_shared<std::promise<Result<SessionReport>>>();
   std::future<Result<SessionReport>> future = promise->get_future();
+  if (draining()) {
+    // Drain refuses new admissions up front — nothing is registered, so the
+    // refused session can never appear in a checkpoint.
+    promise->set_value(Status::Unavailable("engine is draining"));
+    return future;
+  }
   // Register resumable (SQL-submitted) sessions before they can start: a
   // checkpoint taken at any instant lists every session whose report has
   // not been produced yet. Plan-only requests have no serializable spec.
@@ -343,6 +349,27 @@ std::vector<CheckpointedSession> SessionEngine::pending_sessions() const {
     specs.push_back(spec);
   }
   return specs;
+}
+
+Result<std::shared_ptr<const PreparedSession>> SessionEngine::PrepareForServe(
+    const SessionRequest& request) {
+  const SessionOptions& options = options_.session;
+  const uint64_t version = sdb_.version();
+  CONSENTDB_ASSIGN_OR_RETURN(PlanEntry entry,
+                             ResolvePlan(request, options, version));
+  return ResolvePrepared(request, entry, options, version);
+}
+
+uint64_t SessionEngine::RegisterPendingSession(CheckpointedSession spec) {
+  MutexLock lock(chk_mu_);
+  const uint64_t id = next_pending_id_++;
+  pending_.emplace(id, std::move(spec));
+  return id;
+}
+
+void SessionEngine::ReleasePendingSession(uint64_t id) {
+  MutexLock lock(chk_mu_);
+  pending_.erase(id);
 }
 
 void SessionEngine::InvalidateCaches() {

@@ -189,6 +189,40 @@ class SessionEngine {
     return in_flight_.load(std::memory_order_relaxed);
   }
 
+  // --- Network serving hooks (used by net::ProbeServer) --------------------
+
+  // Resolves a request through the plan and provenance caches without
+  // running a probe loop: the prepared session the server's async path
+  // drives event by event. `request.oracle` may stay null — no probing
+  // happens here.
+  [[nodiscard]] Result<std::shared_ptr<const PreparedSession>> PrepareForServe(
+      const SessionRequest& request);
+
+  // The shared consent ledger, mutable: async server sessions record
+  // network answers through it (journaling included) and resumed sessions
+  // replay from it. Null when share_consent_ledger is off.
+  consent::ConsentLedger* shared_ledger() {
+    return options_.share_consent_ledger ? ledger_.get() : nullptr;
+  }
+
+  // The base options every engine session runs with (metrics, limits,
+  // clock); the server derives its async-session options from these.
+  const SessionOptions& base_session_options() const {
+    return options_.session;
+  }
+
+  // Registers a parked network session so SaveCheckpoint captures it like
+  // any in-flight Submit; returns the id for ReleasePendingSession once the
+  // session's report exists (or it is abandoned).
+  uint64_t RegisterPendingSession(CheckpointedSession spec) EXCLUDES(chk_mu_);
+  void ReleasePendingSession(uint64_t id) EXCLUDES(chk_mu_);
+
+  // Graceful drain: every later Submit fails fast with kUnavailable while
+  // sessions already queued run to completion (the destructor still joins
+  // them). Irreversible.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
   // Drops every cached plan and prepared session. Only needed by tests and
   // memory-pressure handling: database mutations invalidate automatically
   // through the version in the cache keys.
@@ -248,6 +282,7 @@ class SessionEngine {
   std::atomic<uint64_t> prov_hits_{0};
   std::atomic<uint64_t> prov_misses_{0};
   std::atomic<size_t> in_flight_{0};
+  std::atomic<bool> draining_{false};
   // Declared last: destroyed first, so the workers drain and join while
   // the caches, ledger and manager above are still alive.
   ThreadPool pool_;

@@ -1,0 +1,93 @@
+// ChaosTransport: an in-memory Transport whose fault behaviour is a pure
+// function of a seed, in the spirit of FaultyOracle and CrashingEnv.
+//
+// Every faultable operation (Connect, Write) consumes one global operation
+// index; the fault chosen for that operation is decided by
+// UnitUniformHash(seed, stream, index) against the plan's cumulative
+// probabilities. Under a single-threaded driver (the chaos harness pumps
+// client and server cooperatively) the operation order — and therefore the
+// entire fault schedule — is identical across runs of the same seed.
+//
+// Faults modelled:
+//   * connect failure  — Connect returns kUnavailable (server unreachable)
+//   * connection drop  — Write fails with kUnavailable and the peer sees
+//                        kUnavailable after draining what was delivered
+//   * torn write       — Write reports full success but only a prefix is
+//                        delivered before the connection drops (the frame
+//                        CRC layer turns the torn tail into silence)
+//   * corruption       — one delivered byte is bit-flipped (the CRC layer
+//                        detects it; the receiver drops the connection)
+//   * duplicate        — the written chunk is delivered twice
+//   * delay            — delivery is deferred by delay_nanos on the clock;
+//                        later chunks queue behind it (no reordering, like
+//                        TCP)
+//
+// Delivered bytes preserve stream order: a delayed chunk blocks everything
+// written after it until the clock passes its ready time.
+
+#ifndef CONSENTDB_NET_CHAOS_TRANSPORT_H_
+#define CONSENTDB_NET_CHAOS_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "consentdb/util/clock.h"
+#include "consentdb/util/transport.h"
+
+namespace consentdb::net {
+
+// Fault probabilities (independent per operation, chosen by a single draw
+// against their cumulative sum, which must be <= 1).
+struct ChaosPlan {
+  uint64_t seed = 0;
+  double connect_fail_prob = 0.0;
+  double drop_prob = 0.0;
+  double torn_write_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double delay_prob = 0.0;
+  int64_t delay_nanos = 0;  // deferral applied by a delay fault
+};
+
+// Tallies of injected faults, for asserting the harness exercised them.
+struct ChaosStats {
+  uint64_t connects = 0;
+  uint64_t writes = 0;
+  uint64_t connect_fails = 0;
+  uint64_t drops = 0;
+  uint64_t torn_writes = 0;
+  uint64_t corruptions = 0;
+  uint64_t duplicates = 0;
+  uint64_t delays = 0;
+};
+
+class ChaosTransport : public Transport {
+ public:
+  // `clock` is used only to timestamp delayed deliveries; tests pass a
+  // VirtualClock they advance from the driver loop. Must outlive the
+  // transport and every endpoint it hands out.
+  ChaosTransport(ChaosPlan plan, Clock* clock);
+  ~ChaosTransport() override;
+
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override;
+  Result<std::unique_ptr<Connection>> Connect(
+      const std::string& address) override;
+
+  ChaosStats stats() const;
+
+  // Shared between the transport and every endpoint it hands out; public
+  // only so the implementation classes (internal to chaos_transport.cc)
+  // can name it.
+  struct State;
+
+ private:
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace consentdb::net
+
+#endif  // CONSENTDB_NET_CHAOS_TRANSPORT_H_

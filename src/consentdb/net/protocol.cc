@@ -1,0 +1,200 @@
+#include "consentdb/net/protocol.h"
+
+namespace consentdb::net {
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("truncated ") + what +
+                                 " message body");
+}
+
+Status Overlong(const char* what) {
+  return Status::InvalidArgument(std::string("trailing bytes after ") + what +
+                                 " message body");
+}
+
+// Rejects bodies with trailing garbage so every byte on the wire is
+// accounted for.
+Status CheckEnd(std::string_view body, size_t pos, const char* what) {
+  if (pos != body.size()) return Overlong(what);
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeMessage(const Message& msg) {
+  std::string body;
+  uint8_t type = 0;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, OpenSession>) {
+          type = static_cast<uint8_t>(MsgType::kOpenSession);
+          PutU64(&body, m.session_id);
+          PutString(&body, m.tenant);
+          PutString(&body, m.sql);
+          PutU8(&body, m.has_single);
+          PutString(&body, m.single_csv);
+          PutU64(&body, static_cast<uint64_t>(m.deadline_nanos));
+        } else if constexpr (std::is_same_v<T, ProbeRequest>) {
+          type = static_cast<uint8_t>(MsgType::kProbeRequest);
+          PutU64(&body, m.session_id);
+          PutU64(&body, m.variable);
+          PutString(&body, m.variable_name);
+          PutString(&body, m.owner);
+        } else if constexpr (std::is_same_v<T, ProbeAnswer>) {
+          type = static_cast<uint8_t>(MsgType::kProbeAnswer);
+          PutU64(&body, m.session_id);
+          PutU64(&body, m.variable);
+          PutU8(&body, m.answer);
+        } else if constexpr (std::is_same_v<T, ProbeFaultMsg>) {
+          type = static_cast<uint8_t>(MsgType::kProbeFault);
+          PutU64(&body, m.session_id);
+          PutU64(&body, m.variable);
+          PutU8(&body, m.fault);
+        } else if constexpr (std::is_same_v<T, SessionReportMsg>) {
+          type = static_cast<uint8_t>(MsgType::kSessionReport);
+          PutU64(&body, m.session_id);
+          PutString(&body, m.report_json);
+        } else if constexpr (std::is_same_v<T, ErrorMsg>) {
+          type = static_cast<uint8_t>(MsgType::kError);
+          PutU64(&body, m.session_id);
+          PutU8(&body, m.code);
+          PutString(&body, m.message);
+          PutU64(&body, static_cast<uint64_t>(m.retry_after_nanos));
+        } else if constexpr (std::is_same_v<T, AckMsg>) {
+          type = static_cast<uint8_t>(MsgType::kAck);
+          PutU64(&body, m.session_id);
+        } else if constexpr (std::is_same_v<T, PingMsg>) {
+          type = static_cast<uint8_t>(MsgType::kPing);
+          PutU64(&body, m.nonce);
+        } else if constexpr (std::is_same_v<T, PongMsg>) {
+          type = static_cast<uint8_t>(MsgType::kPong);
+          PutU64(&body, m.nonce);
+        }
+      },
+      msg);
+  return EncodeFrame(type, body);
+}
+
+Result<Message> DecodeMessage(uint8_t type, std::string_view body) {
+  size_t pos = 0;
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kOpenSession: {
+      OpenSession m;
+      uint64_t deadline = 0;
+      if (!GetU64(body, &pos, &m.session_id) ||
+          !GetString(body, &pos, &m.tenant) || !GetString(body, &pos, &m.sql) ||
+          !GetU8(body, &pos, &m.has_single) ||
+          !GetString(body, &pos, &m.single_csv) ||
+          !GetU64(body, &pos, &deadline)) {
+        return Truncated("OpenSession");
+      }
+      m.deadline_nanos = static_cast<int64_t>(deadline);
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "OpenSession"));
+      return Message(m);
+    }
+    case MsgType::kProbeRequest: {
+      ProbeRequest m;
+      if (!GetU64(body, &pos, &m.session_id) ||
+          !GetU64(body, &pos, &m.variable) ||
+          !GetString(body, &pos, &m.variable_name) ||
+          !GetString(body, &pos, &m.owner)) {
+        return Truncated("ProbeRequest");
+      }
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "ProbeRequest"));
+      return Message(m);
+    }
+    case MsgType::kProbeAnswer: {
+      ProbeAnswer m;
+      if (!GetU64(body, &pos, &m.session_id) ||
+          !GetU64(body, &pos, &m.variable) || !GetU8(body, &pos, &m.answer)) {
+        return Truncated("ProbeAnswer");
+      }
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "ProbeAnswer"));
+      return Message(m);
+    }
+    case MsgType::kProbeFault: {
+      ProbeFaultMsg m;
+      if (!GetU64(body, &pos, &m.session_id) ||
+          !GetU64(body, &pos, &m.variable) || !GetU8(body, &pos, &m.fault)) {
+        return Truncated("ProbeFault");
+      }
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "ProbeFault"));
+      return Message(m);
+    }
+    case MsgType::kSessionReport: {
+      SessionReportMsg m;
+      if (!GetU64(body, &pos, &m.session_id) ||
+          !GetString(body, &pos, &m.report_json)) {
+        return Truncated("SessionReport");
+      }
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "SessionReport"));
+      return Message(m);
+    }
+    case MsgType::kError: {
+      ErrorMsg m;
+      uint64_t retry_after = 0;
+      if (!GetU64(body, &pos, &m.session_id) || !GetU8(body, &pos, &m.code) ||
+          !GetString(body, &pos, &m.message) ||
+          !GetU64(body, &pos, &retry_after)) {
+        return Truncated("Error");
+      }
+      m.retry_after_nanos = static_cast<int64_t>(retry_after);
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "Error"));
+      return Message(m);
+    }
+    case MsgType::kAck: {
+      AckMsg m;
+      if (!GetU64(body, &pos, &m.session_id)) return Truncated("Ack");
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "Ack"));
+      return Message(m);
+    }
+    case MsgType::kPing: {
+      PingMsg m;
+      if (!GetU64(body, &pos, &m.nonce)) return Truncated("Ping");
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "Ping"));
+      return Message(m);
+    }
+    case MsgType::kPong: {
+      PongMsg m;
+      if (!GetU64(body, &pos, &m.nonce)) return Truncated("Pong");
+      CONSENTDB_RETURN_IF_ERROR(CheckEnd(body, pos, "Pong"));
+      return Message(m);
+    }
+  }
+  return Status::InvalidArgument("unknown message type " +
+                                 std::to_string(static_cast<int>(type)));
+}
+
+uint8_t WireStatusCode(StatusCode code) { return static_cast<uint8_t>(code); }
+
+Status StatusFromWire(uint8_t code, std::string message) {
+  switch (static_cast<StatusCode>(code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(message));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(message));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(message));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(message));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kUnimplemented:
+      return Status::Unimplemented(std::move(message));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace consentdb::net

@@ -37,6 +37,8 @@ inline constexpr char kSpanEngineSession[] = "engine.session";
 inline constexpr char kSpanWalAppend[] = "wal.append";
 inline constexpr char kSpanWalFsync[] = "wal.fsync";
 inline constexpr char kSpanWalCompact[] = "wal.compact";
+// One ProbeServer poll iteration that did work (accepts, frames, timers).
+inline constexpr char kSpanServerPoll[] = "server.poll";
 
 // --- Flight-recorder instant events -----------------------------------------
 

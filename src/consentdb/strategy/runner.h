@@ -5,6 +5,7 @@
 #define CONSENTDB_STRATEGY_RUNNER_H_
 
 #include <functional>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -109,6 +110,77 @@ ResilientProbeRun RunToCompletionResilient(EvaluationState& state,
                                            ProbeStrategy& strategy,
                                            const FallibleProbeFn& probe,
                                            const RunInstrumentation& instr = {});
+
+// --- Inverted-control session loop (network serving) -------------------------
+
+// RunToCompletionResilient with the control flow turned inside out: instead
+// of calling a probe function and blocking, the stepper *emits* the variable
+// it wants probed and parks until the caller reports what happened. This is
+// what lets ProbeServer keep hundreds of sessions in flight on one thread —
+// each session advances only when its client's answer arrives.
+//
+//   while (auto x = stepper.Next()) {        // nullopt == finished
+//     ... ship ProbeRequest(*x), await the client ...
+//     stepper.OnAnswer(answer);              // or OnVariableLost()
+//   }
+//   ResilientProbeRun run = stepper.Take();
+//
+// Next() is idempotent: until the pending variable is resolved by OnAnswer /
+// OnVariableLost it returns the same id again (safe to call after a resume).
+// Driven with the same strategy, state, and answers, the stepper issues the
+// byte-identical probe sequence — and the identical ResilientProbeRun — as
+// RunToCompletionResilient (a differential test holds this).
+//
+// `instr.spans` must be null: a span is an RAII scope and cannot survive
+// parking between Next() and OnAnswer. Metrics and tracer work as in the
+// blocking loops.
+class SessionStepper {
+ public:
+  SessionStepper(EvaluationState& state, ProbeStrategy& strategy,
+                 const RunInstrumentation& instr = {});
+
+  // The variable to probe next, or nullopt once the session has finished
+  // (all formulas decided, no useful variable left, or expired).
+  std::optional<VarId> Next();
+
+  // Resolves the pending probe with the owner's answer.
+  void OnAnswer(bool answer);
+
+  // Resolves the pending probe as permanently lost (retries exhausted).
+  void OnVariableLost();
+
+  // Aborts the session: the next Next() finishes with session_expired set.
+  // May be called with or without a pending probe.
+  void OnSessionExpired();
+
+  bool finished() const { return finished_; }
+
+  // The completed run; call only after Next() returned nullopt.
+  ResilientProbeRun Take();
+
+ private:
+  void Finish();
+
+  EvaluationState& state_;
+  ProbeStrategy& strategy_;
+  RunInstrumentation instr_;
+  obs::SessionTracer local_tracer_;
+  obs::SessionTracer* tracer_;
+  size_t first_event_;
+  bool instrumented_;
+
+  obs::Counter* probe_count_ = nullptr;
+  obs::Counter* answer_true_ = nullptr;
+  obs::Counter* answer_false_ = nullptr;
+  obs::Counter* lost_vars_ = nullptr;
+  obs::Histogram* decision_ns_ = nullptr;
+
+  std::optional<VarId> pending_;
+  int64_t pending_deliberation_ = 0;
+  bool expired_ = false;
+  bool finished_ = false;
+  ResilientProbeRun run_;
+};
 
 }  // namespace consentdb::strategy
 

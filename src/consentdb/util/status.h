@@ -24,6 +24,8 @@ enum class StatusCode {
   kResourceExhausted, // a size guard tripped (e.g. CNF blow-up)
   kUnimplemented,     // feature intentionally not supported
   kInternal,          // invariant violation detected at runtime
+  kUnavailable,       // service overloaded/shedding or connection lost; retry
+  kDeadlineExceeded,  // a deadline expired before the operation finished
 };
 
 // Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -64,6 +66,12 @@ class [[nodiscard]] Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -75,6 +83,10 @@ class [[nodiscard]] Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   // "OK" or "<CodeName>: <message>".

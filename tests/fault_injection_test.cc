@@ -689,6 +689,40 @@ TEST(ResilientSessionTest, SessionDeadlineExpiresViaVirtualTime) {
   EXPECT_GT(report.value().num_unresolved, 0u);
 }
 
+TEST(ResilientSessionTest, BackoffSleepIsClampedToSessionDeadline) {
+  // Regression: a scheduled backoff used to be slept in full even when it
+  // overshot the session deadline, so a session with a 10s backoff and a
+  // 50ms deadline burned 10s of (virtual) wall clock before noticing it had
+  // expired. The prober must clamp every backoff sleep to the remaining
+  // session budget.
+  consent::SharedDatabase sdb = testing::RecruitmentDatabase();
+  core::ConsentManager manager(sdb);
+  Rng rng(45);
+  PartialValuation hidden = sdb.pool().SampleValuation(rng);
+
+  FaultPlan plan;
+  plan.defaults.transient_failure_prob = 1.0;  // every attempt backs off
+  VirtualClock clock;
+  ValuationOracle backing(hidden);
+  FaultyOracle faulty(backing, sdb.pool(), plan, &clock);
+  SessionOptions options;
+  options.retry = RetryPolicy{};
+  options.retry->initial_backoff_nanos = 10'000'000'000;  // 10s
+  options.retry->max_backoff_nanos = 10'000'000'000;
+  options.retry->session_deadline_nanos = 50'000'000;  // 50ms
+  options.clock = &clock;
+
+  const int64_t start = clock.NowNanos();
+  Result<SessionReport> report =
+      manager.DecideAll(testing::RecruitmentQuerySql(), faulty, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().failures.session_deadline, 1u);
+  const int64_t elapsed = clock.NowNanos() - start;
+  // The first backoff alone would be 200x the deadline; clamped, the whole
+  // session ends within a small multiple of the deadline.
+  EXPECT_LT(elapsed, 2 * options.retry->session_deadline_nanos) << elapsed;
+}
+
 TEST(ResilientSessionTest, ProbeDeadlineLosesSlowVariables) {
   consent::SharedDatabase sdb = testing::RecruitmentDatabase();
   core::ConsentManager manager(sdb);
